@@ -1,0 +1,38 @@
+//! Exact all-pairs stretch (`O(n²)`) and Monte-Carlo estimation costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use sfc_core::ZCurve;
+use sfc_metrics::all_pairs::{all_pairs_exact, all_pairs_exact_par};
+use sfc_metrics::sampling::estimate_all_pairs_manhattan;
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_pairs_exact_z_d2");
+    for k in [3u32, 4, 5] {
+        let z = ZCurve::<2>::new(k).unwrap();
+        group.bench_with_input(BenchmarkId::new("seq", format!("k{k}")), &z, |b, z| {
+            b.iter(|| black_box(all_pairs_exact(z)))
+        });
+        group.bench_with_input(BenchmarkId::new("par", format!("k{k}")), &z, |b, z| {
+            b.iter(|| black_box(all_pairs_exact_par(z)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled(c: &mut Criterion) {
+    // Sampling cost is independent of n: demonstrate on a 2^40-cell grid.
+    let z = ZCurve::<2>::new(20).unwrap();
+    c.bench_function("all_pairs_sampled_10k_n2pow40", |b| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| black_box(estimate_all_pairs_manhattan(&z, 10_000, &mut rng)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exact, bench_sampled
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Curve encode/decode throughput: the raw cost of `π` and `π⁻¹` per
+//! family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use sfc_core::{CurveKind, Grid, Point, SpaceFillingCurve};
+use std::hint::black_box;
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let grid = Grid::<2>::new(10).unwrap(); // 1024×1024
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let points: Vec<Point<2>> = (0..1024).map(|_| grid.random_cell(&mut rng)).collect();
+
+    let mut group = c.benchmark_group("encode_d2_k10");
+    for kind in CurveKind::ALL {
+        let curve = kind.build::<2>(10).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &curve, |b, curve| {
+            b.iter(|| {
+                let mut acc = 0u128;
+                for p in &points {
+                    acc ^= curve.index_of(black_box(*p));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decode_d2_k10");
+    let indices: Vec<u128> = (0..1024).map(|_| rng.gen_range(0..grid.n())).collect();
+    for kind in CurveKind::ALL {
+        let curve = kind.build::<2>(10).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &curve, |b, curve| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &i in &indices {
+                    acc ^= curve.point_of(black_box(i)).coord(0);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dimensions(c: &mut Criterion) {
+    // Morton encode across dimensions (fast paths for d=2,3; generic above).
+    let mut group = c.benchmark_group("morton_encode_by_dimension");
+    macro_rules! bench_d {
+        ($d:literal, $k:expr) => {{
+            let grid = Grid::<$d>::new($k).unwrap();
+            let z = sfc_core::ZCurve::<$d>::over(grid);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+            let points: Vec<Point<$d>> = (0..1024).map(|_| grid.random_cell(&mut rng)).collect();
+            group.bench_function(format!("d{}", $d), |b| {
+                b.iter(|| {
+                    let mut acc = 0u128;
+                    for p in &points {
+                        acc ^= z.encode(black_box(*p));
+                    }
+                    acc
+                })
+            });
+        }};
+    }
+    bench_d!(2, 16);
+    bench_d!(3, 10);
+    bench_d!(4, 8);
+    bench_d!(6, 5);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encode_decode, bench_dimensions
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Spatial-index query strategies: full scan vs intervals vs BIGMIN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use sfc_core::{Grid, HilbertCurve, Point, ZCurve};
+use sfc_index::{BoxRegion, SfcIndex};
+use std::hint::black_box;
+
+fn setup(
+    k: u32,
+    records: usize,
+) -> (
+    Grid<2>,
+    Vec<(Point<2>, usize)>,
+    Vec<BoxRegion<2>>,
+) {
+    let grid = Grid::<2>::new(k).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    let recs: Vec<(Point<2>, usize)> = (0..records)
+        .map(|i| (grid.random_cell(&mut rng), i))
+        .collect();
+    let max = (grid.side() - 1) as u32;
+    let boxes: Vec<BoxRegion<2>> = (0..64)
+        .map(|_| {
+            let corner = grid.random_cell(&mut rng);
+            let size = rng.gen_range(2..10u32);
+            BoxRegion::new(
+                corner,
+                Point::new([
+                    (corner.coord(0) + size).min(max),
+                    (corner.coord(1) + size).min(max),
+                ]),
+            )
+        })
+        .collect();
+    (grid, recs, boxes)
+}
+
+fn bench_box_queries(c: &mut Criterion) {
+    let (grid, recs, boxes) = setup(7, 20_000); // 128×128, 20k records
+    let zindex = SfcIndex::build(ZCurve::over(grid), recs.clone());
+    let hindex = SfcIndex::build(HilbertCurve::over(grid), recs);
+
+    let mut group = c.benchmark_group("box_query_128x128_20k");
+    group.bench_function("z_full_scan", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &boxes {
+                total += black_box(zindex.query_box_full_scan(q).0.len());
+            }
+            total
+        })
+    });
+    group.bench_function("z_bigmin", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &boxes {
+                total += black_box(zindex.query_box_bigmin(q).0.len());
+            }
+            total
+        })
+    });
+    group.bench_function("z_intervals", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &boxes {
+                total += black_box(zindex.query_box_intervals(q).0.len());
+            }
+            total
+        })
+    });
+    group.bench_function("hilbert_intervals", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &boxes {
+                total += black_box(hindex.query_box_intervals(q).0.len());
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let (grid, recs, _) = setup(7, 20_000);
+    let zindex = SfcIndex::build(ZCurve::over(grid), recs);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(10);
+    let queries: Vec<Point<2>> = (0..32).map(|_| grid.random_cell(&mut rng)).collect();
+    c.bench_function("knn_k10_z_20k", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for q in &queries {
+                total += black_box(zindex.knn(*q, 10, 16).1.scanned);
+            }
+            total
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_box_queries, bench_knn
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Exact NN-stretch computation: scaling in `n` and sequential vs Rayon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfc_core::{CurveKind, ZCurve};
+use sfc_metrics::nn_stretch::{summarize, summarize_par};
+use std::hint::black_box;
+
+fn bench_summarize_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_stretch_summarize_z_d2");
+    for k in [4u32, 6, 8] {
+        let z = ZCurve::<2>::new(k).unwrap();
+        group.bench_with_input(BenchmarkId::new("seq", format!("k{k}")), &z, |b, z| {
+            b.iter(|| black_box(summarize(z)))
+        });
+        group.bench_with_input(BenchmarkId::new("par", format!("k{k}")), &z, |b, z| {
+            b.iter(|| black_box(summarize_par(z)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_summarize_by_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_stretch_by_curve_k6");
+    for kind in CurveKind::ALL {
+        let curve = kind.build::<2>(6).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &curve,
+            |b, curve| b.iter(|| black_box(summarize(curve))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_summarize_scaling, bench_summarize_by_curve
+}
+criterion_main!(benches);

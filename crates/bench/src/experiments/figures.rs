@@ -1,0 +1,201 @@
+//! Regeneration of the paper's four figures.
+
+use sfc_core::{Point, SpaceFillingCurve, ZCurve};
+use sfc_metrics::decomposition::nn_decomposition;
+use sfc_metrics::nn_stretch::{per_cell_delta_avg, summarize};
+use sfc_metrics::report::{fmt_f64, Table};
+
+/// Figure 1: the curves `π₁` (order C,A,B,D) and `π₂` (order A,B,C,D) on
+/// the 2×2 grid, their worked stretch values, and the exhaustive optimum
+/// over all 24 bijections.
+pub fn fig1() -> Vec<Table> {
+    let pi1 = sfc_core::PermutationCurve::figure1_pi1();
+    let pi2 = sfc_core::PermutationCurve::figure1_pi2();
+
+    let mut per_cell = Table::new(
+        "Figure 1 per-cell δ^avg (grid layout: A=(0,1) C=(1,1) / D=(0,0) B=(1,0))",
+        &["cell", "δ^avg under π₁", "δ^avg under π₂"],
+    );
+    let labels = [("A", Point::new([0, 1])), ("B", Point::new([1, 0])), ("C", Point::new([1, 1])), ("D", Point::new([0, 0]))];
+    let grid = pi1.grid();
+    let deltas1 = per_cell_delta_avg(&pi1);
+    let deltas2 = per_cell_delta_avg(&pi2);
+    for (name, cell) in labels {
+        let rank = grid.row_major_rank(&cell) as usize;
+        per_cell.push_row(vec![
+            name.to_string(),
+            fmt_f64(deltas1[rank], 2),
+            fmt_f64(deltas2[rank], 2),
+        ]);
+    }
+
+    let mut summary = Table::new(
+        "Figure 1 summary (paper: D^avg(π₁)=1.5, D^avg(π₂)=2, D^max(π₁)=2, D^max(π₂)=2.5)",
+        &["curve", "order", "D^avg", "D^max"],
+    );
+    for (curve, order) in [(&pi1, "C,A,B,D"), (&pi2, "A,B,C,D")] {
+        let s = summarize(curve);
+        summary.push_row(vec![
+            curve.name(),
+            order.to_string(),
+            fmt_f64(s.d_avg(), 3),
+            fmt_f64(s.d_max(), 3),
+        ]);
+    }
+
+    let opt = sfc_metrics::optimal::exhaustive_optimal(grid);
+    let mut optimum = Table::new(
+        "Exhaustive optimum over all 24 bijections of the 2×2 grid",
+        &["quantity", "value"],
+    );
+    optimum.push_row(vec!["optimal D^avg".into(), fmt_f64(opt.d_avg(), 3)]);
+    optimum.push_row(vec!["bijections evaluated".into(), opt.evaluated.to_string()]);
+    optimum.push_row(vec!["optimal bijections".into(), opt.optima_count.to_string()]);
+    optimum.push_row(vec![
+        "π₁ achieves the optimum".into(),
+        (summarize(&pi1).d_avg() == opt.d_avg()).to_string(),
+    ]);
+
+    vec![per_cell, summary, optimum]
+}
+
+/// Figure 2: the decomposition paths `p(α, β)` and `p(β, α)` for
+/// `α = (1,1), β = (3,5)`.
+pub fn fig2() -> Vec<Table> {
+    let alpha = Point::new([1, 1]);
+    let beta = Point::new([3, 5]);
+    let mut table = Table::new(
+        "Figure 2: nearest-neighbor decompositions of α=(1,1), β=(3,5)",
+        &["step", "p(α,β) edge", "p(β,α) edge"],
+    );
+    let fwd = nn_decomposition(alpha, beta);
+    let bwd = nn_decomposition(beta, alpha);
+    for (i, (f, b)) in fwd.iter().zip(bwd.iter()).enumerate() {
+        table.push_row(vec![
+            (i + 1).to_string(),
+            format!("{}–{}", f.lo, f.hi),
+            format!("{}–{}", b.lo, b.hi),
+        ]);
+    }
+    let mut props = Table::new("Decomposition properties", &["property", "value"]);
+    props.push_row(vec![
+        "path length = Δ(α,β)".into(),
+        format!("{} = {}", fwd.len(), alpha.manhattan(&beta)),
+    ]);
+    let fset: std::collections::HashSet<_> = fwd.iter().collect();
+    let bset: std::collections::HashSet<_> = bwd.iter().collect();
+    props.push_row(vec![
+        "p(α,β) ≠ p(β,α)".into(),
+        (fset != bset).to_string(),
+    ]);
+    vec![table, props]
+}
+
+/// Figure 3: the Z-curve key of every cell of the 8×8 grid, in the paper's
+/// visual layout (dimension 2 upward, dimension 1 rightward).
+pub fn fig3() -> Vec<Table> {
+    let z = ZCurve::<2>::new(3).unwrap();
+    let mut layout = Table::new(
+        "Figure 3: Z keys on the 8×8 grid (binary, row x2=7 at top)",
+        &["x2\\x1", "000", "001", "010", "011", "100", "101", "110", "111"],
+    );
+    for x2 in (0..8u32).rev() {
+        let mut row = vec![format!("{x2:03b}")];
+        for x1 in 0..8u32 {
+            row.push(format!("{:06b}", z.index_of(Point::new([x1, x2]))));
+        }
+        layout.push_row(row);
+    }
+    let mut checks = Table::new("Worked-example checks", &["check", "value"]);
+    let p = Point::new([0b101, 0b010, 0b011]);
+    let z3 = ZCurve::<3>::new(3).unwrap();
+    checks.push_row(vec![
+        "Z(101,010,011) (paper: 100011101)".into(),
+        format!("{:09b}", z3.index_of(p)),
+    ]);
+    checks.push_row(vec![
+        "bijective on 8×8".into(),
+        z.validate_bijection().is_ok().to_string(),
+    ]);
+    vec![layout, checks]
+}
+
+/// Figure 4: the simple curve's traversal of the 8×8 grid.
+pub fn fig4() -> Vec<Table> {
+    let s = sfc_core::SimpleCurve::<2>::new(3).unwrap();
+    let mut layout = Table::new(
+        "Figure 4: simple-curve indices on the 8×8 grid (row x2=7 at top)",
+        &["x2\\x1", "0", "1", "2", "3", "4", "5", "6", "7"],
+    );
+    for x2 in (0..8u32).rev() {
+        let mut row = vec![x2.to_string()];
+        for x1 in 0..8u32 {
+            row.push(s.index_of(Point::new([x1, x2])).to_string());
+        }
+        layout.push_row(row);
+    }
+    let mut checks = Table::new("Eq. 8 checks", &["check", "value"]);
+    checks.push_row(vec![
+        "S((3,5)) = 3 + 8·5".into(),
+        s.index_of(Point::new([3, 5])).to_string(),
+    ]);
+    checks.push_row(vec![
+        "bijective on 8×8".into(),
+        s.validate_bijection().is_ok().to_string(),
+    ]);
+    vec![layout, checks]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_paper_values() {
+        let tables = fig1();
+        assert_eq!(tables.len(), 3);
+        let summary = &tables[1];
+        assert_eq!(summary.rows[0][2], "1.500"); // D^avg(π₁)
+        assert_eq!(summary.rows[0][3], "2.000"); // D^max(π₁)
+        assert_eq!(summary.rows[1][2], "2.000"); // D^avg(π₂)
+        assert_eq!(summary.rows[1][3], "2.500"); // D^max(π₂)
+        // π₁ is optimal.
+        assert_eq!(tables[2].rows[3][1], "true");
+    }
+
+    #[test]
+    fn fig2_paths_have_six_steps() {
+        let tables = fig2();
+        assert_eq!(tables[0].rows.len(), 6);
+        assert_eq!(tables[1].rows[1][1], "true");
+    }
+
+    #[test]
+    fn fig3_layout_matches_paper_cells() {
+        let tables = fig3();
+        let layout = &tables[0];
+        // Top-left cell of the figure is (x1=000, x2=111) → key 010101.
+        assert_eq!(layout.rows[0][1], "010101");
+        // Bottom-left is (000,000) → 000000; bottom-right (111,000) →
+        // 101010.
+        assert_eq!(layout.rows[7][1], "000000");
+        assert_eq!(layout.rows[7][8], "101010");
+        // Top-right (111,111) → 111111.
+        assert_eq!(layout.rows[0][8], "111111");
+        // The d=3 worked example.
+        assert_eq!(tables[1].rows[0][1], "100011101");
+    }
+
+    #[test]
+    fn fig4_layout_is_row_major() {
+        let tables = fig4();
+        let layout = &tables[0];
+        // Bottom row (x2=0) is 0..7 left to right.
+        assert_eq!(layout.rows[7][1], "0");
+        assert_eq!(layout.rows[7][8], "7");
+        // Top row (x2=7) is 56..63.
+        assert_eq!(layout.rows[0][1], "56");
+        assert_eq!(layout.rows[0][8], "63");
+        assert_eq!(tables[1].rows[0][1], "43");
+    }
+}

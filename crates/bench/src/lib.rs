@@ -1,0 +1,72 @@
+//! # sfc-bench — the reproduction harness
+//!
+//! One experiment per paper artifact (figure, theorem, lemma, proposition)
+//! plus the application-level experiments motivated by the paper's
+//! introduction. Run them all:
+//!
+//! ```text
+//! cargo run -p sfc-bench --release --bin experiments
+//! ```
+//!
+//! or a single one by id (see [`all_experiments`]):
+//!
+//! ```text
+//! cargo run -p sfc-bench --release --bin experiments -- thm2
+//! cargo run -p sfc-bench --release --bin experiments -- --markdown fig1 lem5
+//! ```
+//!
+//! Criterion micro-benchmarks (curve throughput, metric scaling, query
+//! strategies, partitioning, tree building) live under `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{all_experiments, Experiment};
+
+use sfc_metrics::report::Table;
+
+/// Renders a slice of tables either as plain text or Markdown.
+pub fn render_tables(tables: &[Table], markdown: bool) -> String {
+    tables
+        .iter()
+        .map(|t| {
+            if markdown {
+                t.render_markdown()
+            } else {
+                t.render_text()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_has_unique_id_and_title() {
+        let experiments = all_experiments();
+        assert!(experiments.len() >= 18, "got {}", experiments.len());
+        let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), experiments.len(), "duplicate experiment ids");
+        for e in &experiments {
+            assert!(!e.title.is_empty());
+            assert!(!e.paper_ref.is_empty());
+        }
+    }
+
+    #[test]
+    fn render_tables_produces_both_formats() {
+        let mut t = Table::new("x", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let text = render_tables(&[t.clone()], false);
+        assert!(text.contains("== x =="));
+        let md = render_tables(&[t], true);
+        assert!(md.contains("### x"));
+    }
+}

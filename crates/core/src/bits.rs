@@ -1,0 +1,170 @@
+//! Bit-manipulation primitives for curve key construction.
+//!
+//! The Z curve interleaves coordinate bits ("dilated integers"); the Gray
+//! curve additionally applies the binary-reflected Gray code to the
+//! interleaved key. The generic routines here work for any dimension `d`;
+//! magic-mask fast paths are provided for the ubiquitous `d = 2, 3` cases
+//! and are verified against the generic path in the tests.
+
+/// Spreads the low `k` bits of `x` so that bit `j` of `x` lands at bit `j·d`
+/// of the result (a "dilated integer" with stride `d`).
+///
+/// `dilate(x, d, k)` places zeros between consecutive bits, leaving room for
+/// the other `d − 1` coordinates' bits.
+#[inline]
+pub fn dilate(x: u32, d: usize, k: u32) -> u128 {
+    debug_assert!(d >= 1 && (k as usize) * d <= 128);
+    let mut out = 0u128;
+    for j in 0..k {
+        let bit = u128::from((x >> j) & 1);
+        out |= bit << (j as usize * d);
+    }
+    out
+}
+
+/// Inverse of [`dilate`]: collects every `d`-th bit of `x` (starting at bit
+/// 0) into a compact integer.
+#[inline]
+pub fn undilate(x: u128, d: usize, k: u32) -> u32 {
+    debug_assert!(d >= 1 && (k as usize) * d <= 128);
+    let mut out = 0u32;
+    for j in 0..k {
+        let bit = ((x >> (j as usize * d)) & 1) as u32;
+        out |= bit << j;
+    }
+    out
+}
+
+/// Magic-mask dilation for `d = 2`: spreads the low 32 bits of `x` into the
+/// even bit positions of a `u64`.
+///
+/// This is the classical "Part1By1" routine; validated against the generic
+/// [`dilate`] in tests.
+#[inline]
+pub fn dilate2(x: u32) -> u64 {
+    let mut x = u64::from(x);
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`dilate2`].
+#[inline]
+pub fn undilate2(x: u64) -> u32 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Magic-mask dilation for `d = 3`: spreads the low 21 bits of `x` with
+/// stride 3 into a `u64` ("Part1By2").
+#[inline]
+pub fn dilate3(x: u32) -> u64 {
+    debug_assert!(x < (1 << 21), "dilate3 supports at most 21 bits");
+    let mut x = u64::from(x) & 0x1F_FFFF;
+    x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`dilate3`].
+#[inline]
+pub fn undilate3(x: u64) -> u32 {
+    let mut x = x & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & 0x0000_0000_001F_FFFF;
+    x as u32
+}
+
+/// Binary-reflected Gray code: `gray(i) = i ^ (i >> 1)`.
+#[inline]
+pub fn gray(i: u128) -> u128 {
+    i ^ (i >> 1)
+}
+
+/// Inverse of the binary-reflected Gray code (prefix-XOR).
+#[inline]
+pub fn gray_inverse(mut g: u128) -> u128 {
+    let mut shift = 1;
+    while shift < 128 {
+        g ^= g >> shift;
+        shift <<= 1;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dilate_places_bits_at_stride_d() {
+        assert_eq!(dilate(0b1011, 1, 4), 0b1011);
+        assert_eq!(dilate(0b1011, 2, 4), 0b1000101);
+        assert_eq!(dilate(0b11, 3, 2), 0b1001);
+        assert_eq!(dilate(0, 5, 10), 0);
+    }
+
+    #[test]
+    fn undilate_inverts_dilate_for_all_small_inputs() {
+        for d in 1..=5 {
+            for k in 0..=6 {
+                for x in 0u32..(1 << k) {
+                    let dil = dilate(x, d, k);
+                    assert_eq!(undilate(dil, d, k), x, "d={d} k={k} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dilate2_matches_generic() {
+        for x in (0u32..=65_535).step_by(37) {
+            assert_eq!(u128::from(dilate2(x)), dilate(x, 2, 32));
+            assert_eq!(undilate2(dilate2(x)), x);
+        }
+        assert_eq!(u128::from(dilate2(u32::MAX)), dilate(u32::MAX, 2, 32));
+    }
+
+    #[test]
+    fn dilate3_matches_generic() {
+        for x in (0u32..(1 << 21)).step_by(997) {
+            assert_eq!(u128::from(dilate3(x)), dilate(x, 3, 21));
+            assert_eq!(undilate3(dilate3(x)), x);
+        }
+        let max = (1u32 << 21) - 1;
+        assert_eq!(u128::from(dilate3(max)), dilate(max, 3, 21));
+    }
+
+    #[test]
+    fn gray_code_roundtrips_and_adjacent_codes_differ_in_one_bit() {
+        for i in 0u128..1024 {
+            assert_eq!(gray_inverse(gray(i)), i);
+            assert_eq!(gray(gray_inverse(i)), i);
+        }
+        for i in 0u128..1023 {
+            let diff = gray(i) ^ gray(i + 1);
+            assert_eq!(diff.count_ones(), 1, "gray({i}) vs gray({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn gray_inverse_handles_high_bits() {
+        let big = 1u128 << 120;
+        assert_eq!(gray_inverse(gray(big)), big);
+        assert_eq!(gray(gray_inverse(u128::MAX)), u128::MAX);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by the `sfc-core` constructors.
+
+use std::fmt;
+
+/// Errors raised when constructing grids or curves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SfcError {
+    /// The requested grid side is not a power of two (the model requires
+    /// side `2^k`).
+    SideNotPowerOfTwo {
+        /// The offending side length.
+        side: u64,
+    },
+    /// The grid would need more than 127 index bits (`k·d > 127`), which the
+    /// `u128` [`CurveIndex`](crate::CurveIndex) cannot represent.
+    GridTooLarge {
+        /// Bits per coordinate.
+        k: u32,
+        /// Number of dimensions.
+        d: usize,
+    },
+    /// The grid has more cells than can be materialised in memory
+    /// (table-driven curves need `n ≤ usize::MAX` and practically far less).
+    TooManyCells {
+        /// Number of cells requested.
+        n: u128,
+    },
+    /// A candidate mapping is not a bijection onto `{0, …, n−1}`.
+    NotABijection {
+        /// A human-readable description of the first violation found.
+        detail: String,
+    },
+    /// The number of dimensions must be at least 1.
+    ZeroDimensions,
+    /// A permutation of the axes had the wrong length or repeated entries.
+    InvalidAxisPermutation {
+        /// A human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfcError::SideNotPowerOfTwo { side } => {
+                write!(f, "grid side {side} is not a power of two")
+            }
+            SfcError::GridTooLarge { k, d } => write!(
+                f,
+                "grid with k = {k} bits per axis in d = {d} dimensions needs {} index bits (max 127)",
+                (*k as usize) * d
+            ),
+            SfcError::TooManyCells { n } => {
+                write!(f, "grid with {n} cells is too large to materialise")
+            }
+            SfcError::NotABijection { detail } => {
+                write!(f, "mapping is not a bijection: {detail}")
+            }
+            SfcError::ZeroDimensions => write!(f, "dimension d must be at least 1"),
+            SfcError::InvalidAxisPermutation { detail } => {
+                write!(f, "invalid axis permutation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SfcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SfcError::SideNotPowerOfTwo { side: 3 };
+        assert!(e.to_string().contains("power of two"));
+        let e = SfcError::GridTooLarge { k: 64, d: 3 };
+        assert!(e.to_string().contains("192 index bits"));
+        let e = SfcError::TooManyCells { n: 1 << 70 };
+        assert!(e.to_string().contains("too large"));
+        let e = SfcError::NotABijection {
+            detail: "index 3 repeated".into(),
+        };
+        assert!(e.to_string().contains("index 3 repeated"));
+        assert!(SfcError::ZeroDimensions.to_string().contains("at least 1"));
+    }
+}

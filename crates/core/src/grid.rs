@@ -1,0 +1,489 @@
+//! The universe: a `d`-dimensional grid of side `2^k` with `n = 2^{kd}` cells.
+//!
+//! Provides cell iteration (row-major), nearest-neighbor iteration (the
+//! paper's `N(α)`), iteration over the edge set `NN_d`, and boundary
+//! predicates used in the paper's `H₂` / `U₂` boundary analyses.
+
+use crate::error::SfcError;
+use crate::point::Point;
+use rand::Rng;
+
+/// The `d`-dimensional universe of side `2^k`.
+///
+/// `Grid` is a tiny `Copy` value (just `k`); all geometry is derived.
+///
+/// ```
+/// use sfc_core::Grid;
+/// let g = Grid::<2>::new(3).unwrap(); // the paper's 8×8 running example
+/// assert_eq!(g.side(), 8);
+/// assert_eq!(g.n(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Grid<const D: usize> {
+    k: u32,
+}
+
+impl<const D: usize> Grid<D> {
+    /// Creates the universe with side `2^k`.
+    ///
+    /// Fails if `D == 0`, if `k > 32` (coordinates are `u32`), or if the
+    /// grid needs more than 127 index bits.
+    pub fn new(k: u32) -> Result<Self, SfcError> {
+        if D == 0 {
+            return Err(SfcError::ZeroDimensions);
+        }
+        if k > 32 || (k as usize) * D > 127 {
+            return Err(SfcError::GridTooLarge { k, d: D });
+        }
+        Ok(Self { k })
+    }
+
+    /// Creates the universe from its side length, which must be a power of
+    /// two (the model's `d√n = 2^k` assumption).
+    pub fn from_side(side: u64) -> Result<Self, SfcError> {
+        if side == 0 || !side.is_power_of_two() {
+            return Err(SfcError::SideNotPowerOfTwo { side });
+        }
+        Self::new(side.trailing_zeros())
+    }
+
+    /// Bits per coordinate (`k`).
+    #[inline]
+    pub const fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The number of dimensions `d`.
+    #[inline]
+    pub const fn d(&self) -> usize {
+        D
+    }
+
+    /// Side length `2^k` (the paper's `d√n`).
+    #[inline]
+    pub const fn side(&self) -> u64 {
+        1u64 << self.k
+    }
+
+    /// Number of cells `n = 2^{kd}`.
+    #[inline]
+    pub const fn n(&self) -> u128 {
+        1u128 << (self.k as usize * D)
+    }
+
+    /// `true` iff the point lies inside the universe.
+    #[inline]
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        let side = self.side();
+        p.coords().iter().all(|&c| u64::from(c) < side)
+    }
+
+    /// `true` iff the cell lies on the boundary of the universe, i.e. some
+    /// coordinate is `0` or `2^k − 1`. These are the cells of the paper's
+    /// set `U₂` (Theorem 3 proof); interior cells form `U₁`.
+    #[inline]
+    pub fn is_boundary(&self, p: &Point<D>) -> bool {
+        let max = (self.side() - 1) as u32;
+        p.coords().iter().any(|&c| c == 0 || c == max)
+    }
+
+    /// Number of nearest neighbors `|N(α)|`. The paper notes
+    /// `d ≤ |N(α)| ≤ 2d`; interior cells have exactly `2d`.
+    #[inline]
+    pub fn neighbor_count(&self, p: &Point<D>) -> usize {
+        let max = (self.side() - 1) as u32;
+        let mut count = 0;
+        for &c in p.coords().iter() {
+            if c > 0 {
+                count += 1;
+            }
+            if c < max {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Iterates the nearest neighbors `N(α)` of a cell (Manhattan distance
+    /// exactly 1, in-bounds).
+    #[inline]
+    pub fn neighbors(&self, p: Point<D>) -> NeighborIter<D> {
+        NeighborIter {
+            grid: *self,
+            center: p,
+            axis: 0,
+            up: false,
+        }
+    }
+
+    /// Iterates all cells in row-major order (axis 0 fastest).
+    #[inline]
+    pub fn cells(&self) -> CellIter<D> {
+        CellIter {
+            grid: *self,
+            next: Some(Point::origin()),
+            remaining: self.n(),
+        }
+    }
+
+    /// Iterates the unordered nearest-neighbor pairs `NN_d` — the "edges of
+    /// length 1" of the universe. Each edge is yielded once as
+    /// `(α, β, axis)` with `β = α + e_axis`.
+    #[inline]
+    pub fn nn_edges(&self) -> NnEdgeIter<D> {
+        NnEdgeIter {
+            cells: self.cells(),
+            current: None,
+            axis: 0,
+        }
+    }
+
+    /// Total number of unordered nearest-neighbor pairs:
+    /// `|NN_d| = d · (2^k − 1) · 2^{k(d−1)}`.
+    pub fn nn_edge_count(&self) -> u128 {
+        let per_axis = (self.side() as u128 - 1) * (self.n() / self.side() as u128);
+        per_axis * D as u128
+    }
+
+    /// The row-major rank of a cell (what [`SimpleCurve`](crate::SimpleCurve)
+    /// uses as its curve index): `Σ_i x_i · (2^k)^{i}` with axis 0 least
+    /// significant — exactly the paper's Eq. 8 under the axis convention.
+    #[inline]
+    pub fn row_major_rank(&self, p: &Point<D>) -> u128 {
+        let mut rank = 0u128;
+        for axis in (0..D).rev() {
+            rank = (rank << self.k) | u128::from(p.coord(axis));
+        }
+        rank
+    }
+
+    /// Inverse of [`row_major_rank`](Self::row_major_rank).
+    #[inline]
+    pub fn point_from_row_major(&self, mut rank: u128) -> Point<D> {
+        let mask = (1u128 << self.k) - 1;
+        let mut coords = [0u32; D];
+        for c in coords.iter_mut() {
+            *c = (rank & mask) as u32;
+            rank >>= self.k;
+        }
+        Point::new(coords)
+    }
+
+    /// A uniformly random cell.
+    pub fn random_cell<R: Rng + ?Sized>(&self, rng: &mut R) -> Point<D> {
+        let side = self.side();
+        let mut coords = [0u32; D];
+        for c in coords.iter_mut() {
+            *c = rng.gen_range(0..side) as u32;
+        }
+        Point::new(coords)
+    }
+
+    /// A uniformly random unordered nearest-neighbor pair `(α, β) ∈ NN_d`,
+    /// returned as `(α, β, axis)` with `β = α + e_axis`.
+    pub fn random_nn_edge<R: Rng + ?Sized>(&self, rng: &mut R) -> (Point<D>, Point<D>, usize) {
+        let side = self.side();
+        let axis = rng.gen_range(0..D);
+        let mut coords = [0u32; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            if i == axis {
+                *c = rng.gen_range(0..side - 1) as u32;
+            } else {
+                *c = rng.gen_range(0..side) as u32;
+            }
+        }
+        let a = Point::new(coords);
+        let b = a.step_up(axis).expect("in-bounds by construction");
+        (a, b, axis)
+    }
+
+    /// A uniformly random ordered pair of *distinct* cells (an element of the
+    /// paper's set `A'`).
+    pub fn random_distinct_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> (Point<D>, Point<D>) {
+        let a = self.random_cell(rng);
+        loop {
+            let b = self.random_cell(rng);
+            if b != a {
+                return (a, b);
+            }
+        }
+    }
+}
+
+/// Iterator over all cells of a grid in row-major order.
+#[derive(Debug, Clone)]
+pub struct CellIter<const D: usize> {
+    grid: Grid<D>,
+    next: Option<Point<D>>,
+    remaining: u128,
+}
+
+impl<const D: usize> Iterator for CellIter<D> {
+    type Item = Point<D>;
+
+    fn next(&mut self) -> Option<Point<D>> {
+        let current = self.next?;
+        self.remaining -= 1;
+        // Odometer increment, axis 0 fastest.
+        let max = (self.grid.side() - 1) as u32;
+        let mut coords = current.coords();
+        let mut carried = true;
+        for c in coords.iter_mut() {
+            if *c < max {
+                *c += 1;
+                carried = false;
+                break;
+            }
+            *c = 0;
+        }
+        self.next = if carried { None } else { Some(Point::new(coords)) };
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (r, usize::try_from(self.remaining).ok())
+    }
+}
+
+/// Iterator over the nearest neighbors `N(α)` of a cell.
+#[derive(Debug, Clone)]
+pub struct NeighborIter<const D: usize> {
+    grid: Grid<D>,
+    center: Point<D>,
+    axis: usize,
+    up: bool,
+}
+
+impl<const D: usize> Iterator for NeighborIter<D> {
+    type Item = Point<D>;
+
+    fn next(&mut self) -> Option<Point<D>> {
+        let max = (self.grid.side() - 1) as u32;
+        while self.axis < D {
+            let axis = self.axis;
+            if !self.up {
+                self.up = true;
+                if self.center.coord(axis) > 0 {
+                    return self.center.step_down(axis);
+                }
+            } else {
+                self.axis += 1;
+                self.up = false;
+                if self.center.coord(axis) < max {
+                    return self.center.step_up(axis);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over the unordered nearest-neighbor edge set `NN_d`.
+///
+/// Yields `(α, β, axis)` with `β = α + e_axis`; each edge appears exactly
+/// once.
+#[derive(Debug, Clone)]
+pub struct NnEdgeIter<const D: usize> {
+    cells: CellIter<D>,
+    current: Option<Point<D>>,
+    axis: usize,
+}
+
+impl<const D: usize> Iterator for NnEdgeIter<D> {
+    type Item = (Point<D>, Point<D>, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let max = (self.cells.grid.side() - 1) as u32;
+        loop {
+            let cell = match self.current {
+                Some(c) => c,
+                None => {
+                    self.current = Some(self.cells.next()?);
+                    self.axis = 0;
+                    self.current.unwrap()
+                }
+            };
+            while self.axis < D {
+                let axis = self.axis;
+                self.axis += 1;
+                if cell.coord(axis) < max {
+                    let up = cell.step_up(axis).expect("in-bounds");
+                    return Some((cell, up, axis));
+                }
+            }
+            self.current = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn grid_basic_geometry() {
+        let g = Grid::<3>::new(2).unwrap();
+        assert_eq!(g.side(), 4);
+        assert_eq!(g.n(), 64);
+        assert_eq!(g.d(), 3);
+        assert_eq!(g.k(), 2);
+    }
+
+    #[test]
+    fn from_side_accepts_only_powers_of_two() {
+        assert!(Grid::<2>::from_side(8).is_ok());
+        assert_eq!(Grid::<2>::from_side(8).unwrap().k(), 3);
+        assert!(matches!(
+            Grid::<2>::from_side(6),
+            Err(SfcError::SideNotPowerOfTwo { side: 6 })
+        ));
+        assert!(matches!(
+            Grid::<2>::from_side(0),
+            Err(SfcError::SideNotPowerOfTwo { side: 0 })
+        ));
+    }
+
+    #[test]
+    fn oversized_grid_is_rejected() {
+        assert!(matches!(
+            Grid::<2>::new(64),
+            Err(SfcError::GridTooLarge { .. })
+        ));
+        // k is capped at 32 by the u32 coordinate type.
+        assert!(Grid::<1>::new(32).is_ok());
+        assert!(Grid::<1>::new(33).is_err());
+        // And k·d is capped at 127 index bits.
+        assert!(Grid::<4>::new(31).is_ok());
+        assert!(Grid::<4>::new(32).is_err());
+    }
+
+    #[test]
+    fn k_zero_grid_is_a_single_cell() {
+        let g = Grid::<3>::new(0).unwrap();
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.cells().count(), 1);
+        assert_eq!(g.neighbors(Point::origin()).count(), 0);
+        assert_eq!(g.nn_edges().count(), 0);
+        assert_eq!(g.nn_edge_count(), 0);
+    }
+
+    #[test]
+    fn cells_visit_every_cell_once_row_major() {
+        let g = Grid::<2>::new(2).unwrap();
+        let cells: Vec<_> = g.cells().collect();
+        assert_eq!(cells.len(), 16);
+        let set: HashSet<_> = cells.iter().copied().collect();
+        assert_eq!(set.len(), 16);
+        // Row-major: axis 0 fastest.
+        assert_eq!(cells[0], Point::new([0, 0]));
+        assert_eq!(cells[1], Point::new([1, 0]));
+        assert_eq!(cells[4], Point::new([0, 1]));
+        assert_eq!(cells[15], Point::new([3, 3]));
+    }
+
+    #[test]
+    fn neighbor_count_bounds_match_paper() {
+        // The paper: d ≤ |N(α)| ≤ 2d for every cell.
+        let g = Grid::<2>::new(2).unwrap();
+        for cell in g.cells() {
+            let count = g.neighbors(cell).count();
+            assert_eq!(count, g.neighbor_count(&cell));
+            assert!(count >= 2 && count <= 4, "cell {cell} has {count}");
+        }
+        // Corner has exactly d, interior exactly 2d.
+        assert_eq!(g.neighbor_count(&Point::new([0, 0])), 2);
+        assert_eq!(g.neighbor_count(&Point::new([1, 1])), 4);
+    }
+
+    #[test]
+    fn neighbors_are_exactly_manhattan_distance_one() {
+        let g = Grid::<3>::new(1).unwrap();
+        for cell in g.cells() {
+            for nb in g.neighbors(cell) {
+                assert!(g.contains(&nb));
+                assert_eq!(cell.manhattan(&nb), 1);
+            }
+            // Cross-check against brute force.
+            let brute: HashSet<_> = g
+                .cells()
+                .filter(|other| cell.manhattan(other) == 1)
+                .collect();
+            let iter: HashSet<_> = g.neighbors(cell).collect();
+            assert_eq!(brute, iter);
+        }
+    }
+
+    #[test]
+    fn nn_edges_enumerates_each_edge_once() {
+        let g = Grid::<2>::new(2).unwrap();
+        let edges: Vec<_> = g.nn_edges().collect();
+        assert_eq!(edges.len() as u128, g.nn_edge_count());
+        // 2 axes × 3 steps × 4 rows = 24 edges on a 4×4 grid.
+        assert_eq!(edges.len(), 24);
+        let set: HashSet<_> = edges.iter().map(|(a, b, _)| (*a, *b)).collect();
+        assert_eq!(set.len(), edges.len());
+        for (a, b, axis) in edges {
+            assert_eq!(a.manhattan(&b), 1);
+            assert_eq!(b.coord(axis), a.coord(axis) + 1);
+        }
+    }
+
+    #[test]
+    fn nn_edge_count_formula_in_three_dims() {
+        let g = Grid::<3>::new(2).unwrap();
+        // d · (side−1) · side^{d−1} = 3 · 3 · 16 = 144.
+        assert_eq!(g.nn_edge_count(), 144);
+        assert_eq!(g.nn_edges().count(), 144);
+    }
+
+    #[test]
+    fn boundary_predicate() {
+        let g = Grid::<2>::new(2).unwrap();
+        assert!(g.is_boundary(&Point::new([0, 2])));
+        assert!(g.is_boundary(&Point::new([3, 1])));
+        assert!(!g.is_boundary(&Point::new([1, 2])));
+        // Count of boundary cells: n − (side−2)^d = 16 − 4 = 12.
+        let boundary = g.cells().filter(|c| g.is_boundary(c)).count();
+        assert_eq!(boundary, 12);
+    }
+
+    #[test]
+    fn row_major_rank_roundtrips() {
+        let g = Grid::<3>::new(2).unwrap();
+        for (expected, cell) in g.cells().enumerate() {
+            let rank = g.row_major_rank(&cell);
+            assert_eq!(rank, expected as u128);
+            assert_eq!(g.point_from_row_major(rank), cell);
+        }
+    }
+
+    #[test]
+    fn random_cells_and_edges_are_in_bounds() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let g = Grid::<3>::new(3).unwrap();
+        for _ in 0..200 {
+            let c = g.random_cell(&mut rng);
+            assert!(g.contains(&c));
+            let (a, b, axis) = g.random_nn_edge(&mut rng);
+            assert!(g.contains(&a) && g.contains(&b));
+            assert_eq!(a.manhattan(&b), 1);
+            assert_eq!(b.coord(axis), a.coord(axis) + 1);
+            let (x, y) = g.random_distinct_pair(&mut rng);
+            assert_ne!(x, y);
+            assert!(g.contains(&x) && g.contains(&y));
+        }
+    }
+
+    #[test]
+    fn cell_iter_size_hint_is_exact() {
+        let g = Grid::<2>::new(2).unwrap();
+        let mut iter = g.cells();
+        assert_eq!(iter.size_hint(), (16, Some(16)));
+        iter.next();
+        assert_eq!(iter.size_hint(), (15, Some(15)));
+    }
+}

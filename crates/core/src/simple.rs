@@ -1,0 +1,108 @@
+//! The paper's "simple curve" (Section IV.C, Eq. 8): row-major order.
+//!
+//! `S(α) = Σ_{i=1}^{d} x_i · (d√n)^{i−1}` — coordinate 1 varies fastest.
+//! Despite its triviality, Theorem 3 shows it matches the Z curve's
+//! average-average nearest-neighbor stretch `~ (1/d)·n^{1−1/d}`, and
+//! Proposition 2 shows its average-maximum stretch is exactly `n^{1−1/d}`.
+
+use crate::curve::SpaceFillingCurve;
+use crate::error::SfcError;
+use crate::grid::Grid;
+use crate::point::Point;
+use crate::CurveIndex;
+
+/// The paper's simple curve: `S(α) = Σ_i x_i · side^{i−1}` (row-major,
+/// axis 0 fastest).
+///
+/// ```
+/// use sfc_core::{Point, SimpleCurve, SpaceFillingCurve};
+/// let s = SimpleCurve::<2>::new(3).unwrap();
+/// // S((x1, x2)) = x1 + 8·x2 on an 8×8 grid.
+/// assert_eq!(s.index_of(Point::new([3, 5])), 3 + 8 * 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimpleCurve<const D: usize> {
+    grid: Grid<D>,
+}
+
+impl<const D: usize> SimpleCurve<D> {
+    /// Creates the simple curve over the grid of side `2^k`.
+    pub fn new(k: u32) -> Result<Self, SfcError> {
+        Ok(Self {
+            grid: Grid::new(k)?,
+        })
+    }
+
+    /// Creates the simple curve over an existing grid.
+    pub fn over(grid: Grid<D>) -> Self {
+        Self { grid }
+    }
+}
+
+impl<const D: usize> SpaceFillingCurve<D> for SimpleCurve<D> {
+    fn grid(&self) -> Grid<D> {
+        self.grid
+    }
+
+    #[inline]
+    fn index_of(&self, p: Point<D>) -> CurveIndex {
+        self.grid.row_major_rank(&p)
+    }
+
+    #[inline]
+    fn point_of(&self, idx: CurveIndex) -> Point<D> {
+        self.grid.point_from_row_major(idx)
+    }
+
+    fn name(&self) -> String {
+        "simple".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_eq_8_of_the_paper() {
+        // S(α) = Σ x_i side^{i−1}; d = 3, side = 4.
+        let s = SimpleCurve::<3>::new(2).unwrap();
+        let p = Point::new([3, 1, 2]);
+        assert_eq!(s.index_of(p), 3 + 1 * 4 + 2 * 16);
+        assert_eq!(s.point_of(39), p);
+    }
+
+    #[test]
+    fn is_bijective() {
+        SimpleCurve::<2>::new(3).unwrap().validate_bijection().unwrap();
+        SimpleCurve::<4>::new(1).unwrap().validate_bijection().unwrap();
+        SimpleCurve::<1>::new(6).unwrap().validate_bijection().unwrap();
+    }
+
+    #[test]
+    fn neighbor_distance_along_axis_is_power_of_side() {
+        // Neighbors along the paper's dimension i are at curve distance
+        // side^{i−1}; in particular along dimension d the distance is
+        // side^{d−1} = n^{1−1/d} (used in Proposition 2).
+        let s = SimpleCurve::<3>::new(2).unwrap();
+        let p = Point::new([1, 1, 1]);
+        assert_eq!(s.curve_distance(p, p.step_up(0).unwrap()), 1);
+        assert_eq!(s.curve_distance(p, p.step_up(1).unwrap()), 4);
+        assert_eq!(s.curve_distance(p, p.step_up(2).unwrap()), 16);
+        // n^{1−1/d} = 64^{2/3} = 16.
+        let n = s.grid().n() as f64;
+        assert_eq!(16f64, n.powf(1.0 - 1.0 / 3.0).round());
+    }
+
+    #[test]
+    fn figure_4_traversal_8x8() {
+        // Figure 4: the simple curve sweeps each row left-to-right, rows
+        // bottom-to-top.
+        let s = SimpleCurve::<2>::new(3).unwrap();
+        let order: Vec<_> = s.traverse().collect();
+        assert_eq!(order[0], Point::new([0, 0]));
+        assert_eq!(order[7], Point::new([7, 0]));
+        assert_eq!(order[8], Point::new([0, 1]));
+        assert_eq!(order[63], Point::new([7, 7]));
+    }
+}

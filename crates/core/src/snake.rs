@@ -1,0 +1,157 @@
+//! The snake (boustrophedon) curve: row-major order with alternating
+//! direction, generalized to `d` dimensions.
+//!
+//! The snake curve is the classical *continuous* relative of the paper's
+//! simple curve: consecutive curve positions are always nearest neighbors in
+//! the grid. It serves as a baseline showing that continuity alone does not
+//! improve the average NN-stretch asymptotics (it shares the simple curve's
+//! `Θ(n^{1−1/d})` behaviour).
+//!
+//! Construction: the reflected mixed-radix (m-ary Gray) code. Writing the
+//! curve index in base `m = 2^k` as digits `t_{d−1} … t_0` (most significant
+//! digit drives axis `d−1`), the coordinate along axis `i` is traversed in
+//! increasing order iff `⌊index / m^{i+1}⌋` is even. Because `m` is even,
+//! that parity equals the parity of the single digit `t_{i+1}`, which makes
+//! both directions of the mapping a simple digit scan.
+
+use crate::curve::SpaceFillingCurve;
+use crate::error::SfcError;
+use crate::grid::Grid;
+use crate::point::Point;
+use crate::CurveIndex;
+
+/// The `d`-dimensional boustrophedon curve on the grid of side `2^k`.
+///
+/// ```
+/// use sfc_core::{Point, SnakeCurve, SpaceFillingCurve};
+/// let s = SnakeCurve::<2>::new(1).unwrap();
+/// // 2×2 traversal: (0,0) → (1,0) → (1,1) → (0,1).
+/// let order: Vec<_> = s.traverse().collect();
+/// assert_eq!(order, vec![
+///     Point::new([0, 0]),
+///     Point::new([1, 0]),
+///     Point::new([1, 1]),
+///     Point::new([0, 1]),
+/// ]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnakeCurve<const D: usize> {
+    grid: Grid<D>,
+}
+
+impl<const D: usize> SnakeCurve<D> {
+    /// Creates the snake curve over the grid of side `2^k`.
+    pub fn new(k: u32) -> Result<Self, SfcError> {
+        Ok(Self {
+            grid: Grid::new(k)?,
+        })
+    }
+
+    /// Creates the snake curve over an existing grid.
+    pub fn over(grid: Grid<D>) -> Self {
+        Self { grid }
+    }
+}
+
+impl<const D: usize> SpaceFillingCurve<D> for SnakeCurve<D> {
+    fn grid(&self) -> Grid<D> {
+        self.grid
+    }
+
+    fn index_of(&self, p: Point<D>) -> CurveIndex {
+        let side = self.grid.side() as u128;
+        let max = (side - 1) as u32;
+        // Emit digits from the most significant axis down; axis i is
+        // reflected iff the digit just emitted for axis i+1 is odd.
+        let mut index = 0u128;
+        let mut prev_digit = 0u32; // digit of axis D (virtual): even
+        for axis in (0..D).rev() {
+            let raw = p.coord(axis);
+            let digit = if prev_digit & 1 == 0 { raw } else { max - raw };
+            index = index * side + u128::from(digit);
+            prev_digit = digit;
+        }
+        index
+    }
+
+    fn point_of(&self, idx: CurveIndex) -> Point<D> {
+        let side = self.grid.side() as u128;
+        let max = (side - 1) as u32;
+        // Extract digits most significant first, un-reflecting each axis
+        // with the parity of the digit one position up.
+        let mut digits = [0u32; D];
+        let mut rem = idx;
+        for axis in 0..D {
+            let place = side.pow((D - 1 - axis) as u32);
+            digits[D - 1 - axis] = (rem / place) as u32;
+            rem %= place;
+        }
+        let mut coords = [0u32; D];
+        let mut prev_digit = 0u32;
+        for axis in (0..D).rev() {
+            let digit = digits[axis];
+            coords[axis] = if prev_digit & 1 == 0 { digit } else { max - digit };
+            prev_digit = digit;
+        }
+        Point::new(coords)
+    }
+
+    fn name(&self) -> String {
+        "snake".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_bijective() {
+        SnakeCurve::<1>::new(5).unwrap().validate_bijection().unwrap();
+        SnakeCurve::<2>::new(3).unwrap().validate_bijection().unwrap();
+        SnakeCurve::<3>::new(2).unwrap().validate_bijection().unwrap();
+        SnakeCurve::<4>::new(1).unwrap().validate_bijection().unwrap();
+    }
+
+    #[test]
+    fn is_continuous_hamiltonian_path() {
+        // The defining property: consecutive indices are grid neighbors.
+        assert!(SnakeCurve::<2>::new(3).unwrap().is_continuous());
+        assert!(SnakeCurve::<3>::new(2).unwrap().is_continuous());
+        assert!(SnakeCurve::<4>::new(1).unwrap().is_continuous());
+        assert!(SnakeCurve::<1>::new(4).unwrap().is_continuous());
+    }
+
+    #[test]
+    fn two_dim_traversal_4x4() {
+        let s = SnakeCurve::<2>::new(2).unwrap();
+        let order: Vec<_> = s.traverse().collect();
+        // Row 0 left→right, row 1 right→left, etc.
+        assert_eq!(order[0], Point::new([0, 0]));
+        assert_eq!(order[3], Point::new([3, 0]));
+        assert_eq!(order[4], Point::new([3, 1]));
+        assert_eq!(order[7], Point::new([0, 1]));
+        assert_eq!(order[8], Point::new([0, 2]));
+        assert_eq!(order[15], Point::new([0, 3]));
+    }
+
+    #[test]
+    fn one_dim_snake_is_identity() {
+        let s = SnakeCurve::<1>::new(4).unwrap();
+        for p in s.grid().cells() {
+            assert_eq!(s.index_of(p), u128::from(p.coord(0)));
+        }
+    }
+
+    #[test]
+    fn matches_simple_curve_on_even_rows() {
+        use crate::simple::SimpleCurve;
+        let snake = SnakeCurve::<2>::new(3).unwrap();
+        let simple = SimpleCurve::<2>::new(3).unwrap();
+        for p in snake.grid().cells() {
+            if p.coord(1) % 2 == 0 {
+                assert_eq!(snake.index_of(p), simple.index_of(p), "at {p}");
+            }
+        }
+    }
+}

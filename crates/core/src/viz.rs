@@ -1,0 +1,159 @@
+//! Plain-text visualisation of two-dimensional curves.
+//!
+//! [`render_traversal`] draws the curve's path on a character canvas in
+//! the paper's figure orientation (dimension 1 rightward, dimension 2
+//! upward, origin bottom-left), connecting consecutive indices that are
+//! grid neighbors and counting the "jumps" where they are not — exactly
+//! the discontinuities visible in the paper's Figure 3 (the Z curve's
+//! characteristic shape) versus Figure 4 (the simple curve's sweep).
+
+use crate::curve::SpaceFillingCurve;
+use crate::point::Point;
+
+/// A rendered traversal: the drawing plus discontinuity statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rendering {
+    /// The character canvas, rows top to bottom.
+    pub canvas: String,
+    /// Number of consecutive-index pairs that are not grid neighbors
+    /// (drawn as gaps).
+    pub jumps: u64,
+    /// The largest Manhattan distance between consecutive cells.
+    pub longest_jump: u64,
+}
+
+impl std::fmt::Display for Rendering {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.canvas)?;
+        if self.jumps > 0 {
+            write!(
+                f,
+                "({} jumps not drawn, longest Δ = {})",
+                self.jumps, self.longest_jump
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a 2-D curve's traversal as ASCII art.
+///
+/// Cells are `o` at even canvas positions; unit steps between consecutive
+/// indices are drawn with `-` / `|`; non-adjacent consecutive indices are
+/// left blank and counted in [`Rendering::jumps`].
+///
+/// Intended for small grids (`side ≤ 64`); the canvas is
+/// `(2·side−1)²` characters.
+pub fn render_traversal<C: SpaceFillingCurve<2>>(curve: &C) -> Rendering {
+    let side = curve.grid().side();
+    assert!(side <= 64, "render_traversal is for small grids (side ≤ 64)");
+    let dim = (2 * side - 1) as usize;
+    let mut canvas = vec![vec![b' '; dim]; dim];
+
+    let pos = |p: Point<2>| -> (usize, usize) {
+        // (row, col); dimension 2 points up.
+        let col = 2 * p.coord(0) as usize;
+        let row = dim - 1 - 2 * p.coord(1) as usize;
+        (row, col)
+    };
+
+    let mut jumps = 0u64;
+    let mut longest = 0u64;
+    let mut prev: Option<Point<2>> = None;
+    for p in curve.traverse() {
+        let (row, col) = pos(p);
+        canvas[row][col] = b'o';
+        if let Some(q) = prev {
+            let dist = p.manhattan(&q);
+            if dist == 1 {
+                let (prow, pcol) = pos(q);
+                let mrow = (row + prow) / 2;
+                let mcol = (col + pcol) / 2;
+                canvas[mrow][mcol] = if mrow == row { b'-' } else { b'|' };
+            } else {
+                jumps += 1;
+                longest = longest.max(dist);
+            }
+        }
+        prev = Some(p);
+    }
+
+    let mut out = String::with_capacity(dim * (dim + 1));
+    for row in canvas {
+        // Trim trailing spaces per row for tidy output.
+        let line = String::from_utf8(row).expect("ascii canvas");
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    Rendering {
+        canvas: out,
+        jumps,
+        longest_jump: longest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagonal::DiagonalCurve;
+    use crate::hilbert::HilbertCurve;
+    use crate::morton::ZCurve;
+    use crate::simple::SimpleCurve;
+    use crate::snake::SnakeCurve;
+    use crate::spiral::SpiralCurve;
+
+    #[test]
+    fn snake_renders_without_jumps() {
+        let r = render_traversal(&SnakeCurve::<2>::new(2).unwrap());
+        assert_eq!(r.jumps, 0);
+        assert_eq!(r.longest_jump, 0);
+        assert_eq!(r.canvas.matches('o').count(), 16);
+    }
+
+    #[test]
+    fn hilbert_and_spiral_are_jump_free() {
+        assert_eq!(render_traversal(&HilbertCurve::<2>::new(3).unwrap()).jumps, 0);
+        assert_eq!(render_traversal(&SpiralCurve::new(3).unwrap()).jumps, 0);
+    }
+
+    #[test]
+    fn z_curve_has_jumps() {
+        let r = render_traversal(&ZCurve::<2>::new(2).unwrap());
+        // A 4×4 Z curve jumps between each 2×2 block beyond unit steps:
+        // 16 cells, 15 steps, of which the diagonal "z" moves are jumps.
+        assert!(r.jumps > 0);
+        assert!(r.longest_jump >= 2);
+        assert!(r.to_string().contains("jumps not drawn"));
+    }
+
+    #[test]
+    fn simple_curve_jumps_at_row_ends() {
+        let r = render_traversal(&SimpleCurve::<2>::new(2).unwrap());
+        // 3 row-to-row returns, each of Manhattan length 4 (3 back + 1 up).
+        assert_eq!(r.jumps, 3);
+        assert_eq!(r.longest_jump, 4);
+    }
+
+    #[test]
+    fn snake_2x2_snapshot() {
+        let r = render_traversal(&SnakeCurve::<2>::new(1).unwrap());
+        // (0,0)→(1,0)→(1,1)→(0,1): bottom edge, right edge, top edge.
+        let expected = "o-o\n  |\no-o\n";
+        assert_eq!(r.canvas, expected);
+    }
+
+    #[test]
+    fn diagonal_curve_renders() {
+        let r = render_traversal(&DiagonalCurve::new(2).unwrap());
+        assert_eq!(r.canvas.matches('o').count(), 16);
+        // Within-diagonal steps are distance 2: all jumps.
+        assert!(r.jumps > 0);
+        assert_eq!(r.longest_jump, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "small grids")]
+    fn large_canvas_rejected() {
+        render_traversal(&ZCurve::<2>::new(7).unwrap());
+    }
+}

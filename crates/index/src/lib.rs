@@ -1,0 +1,33 @@
+//! # sfc-index — spatial indexing over space filling curves
+//!
+//! The paper's database motivation (secondary-memory data structures [9],
+//! associative searching [21] — the original Z-curve paper): store
+//! multi-dimensional records in a plain one-dimensional ordered structure
+//! keyed by curve index, and answer box and nearest-neighbor queries by
+//! navigating key ranges. Proximity preservation is what makes this work —
+//! a low-stretch curve keeps spatially close records in few contiguous key
+//! runs.
+//!
+//! Components:
+//!
+//! * [`BoxRegion`] — an axis-aligned query box.
+//! * [`bigmin`] — the Tropf–Herzog BIGMIN/LITMAX primitives on Morton
+//!   codes, which let a range scan *skip* key gaps that leave the box.
+//! * [`SfcIndex`] — a sorted key table over any curve, with three box-query
+//!   strategies (full scan, interval decomposition, BIGMIN jumping) and a
+//!   verified exact k-nearest-neighbor search whose cost directly reflects
+//!   the curve's stretch.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bigmin;
+pub mod query;
+pub mod region;
+pub mod table;
+
+pub use bigmin::{bigmin, litmax};
+pub use query::QueryStats;
+pub use region::BoxRegion;
+pub use table::SfcIndex;

@@ -1,0 +1,62 @@
+//! Query cost accounting.
+//!
+//! The experiment harness compares curve families by the *work* a query
+//! does against the sorted key table, not wall-clock alone:
+//!
+//! * `seeks` — binary searches / scan restarts (disk seeks in the classic
+//!   secondary-memory model of the paper's reference [9]);
+//! * `scanned` — entries touched by the scan;
+//! * `reported` — entries actually inside the query region.
+//!
+//! `scanned / reported` is the **overscan ratio**: 1.0 means the curve laid
+//! the region out perfectly contiguously.
+
+/// Work counters for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Binary searches / scan restarts performed.
+    pub seeks: u64,
+    /// Entries examined.
+    pub scanned: u64,
+    /// Entries matching the query.
+    pub reported: u64,
+}
+
+impl QueryStats {
+    /// `scanned / reported`, the overscan ratio (`∞` if nothing matched but
+    /// entries were scanned; 1.0 for an empty scan).
+    pub fn overscan(&self) -> f64 {
+        if self.reported == 0 {
+            if self.scanned == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.scanned as f64 / self.reported as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overscan_ratios() {
+        let q = QueryStats {
+            seeks: 1,
+            scanned: 20,
+            reported: 10,
+        };
+        assert_eq!(q.overscan(), 2.0);
+        let empty = QueryStats::default();
+        assert_eq!(empty.overscan(), 1.0);
+        let miss = QueryStats {
+            seeks: 1,
+            scanned: 5,
+            reported: 0,
+        };
+        assert!(miss.overscan().is_infinite());
+    }
+}

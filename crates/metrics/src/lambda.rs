@@ -1,0 +1,177 @@
+//! The `Λ_i(Z)` decomposition of the Z curve's edge sum (paper, Lemma 5).
+//!
+//! The paper partitions the nearest-neighbor edge set `NN_d` into groups
+//! `G_i` (pairs differing along dimension `i`), and further into `G_{i,j}`
+//! (pairs whose lower coordinate along dimension `i` ends in `j−1` one-bits
+//! followed by a zero). Within `G_{i,j}` every edge has the *same* curve
+//! distance, which makes `Λ_i(Z) = Σ_{G_i} Δ_Z` computable in closed form:
+//!
+//! `Λ_i(Z) = Σ_{j=1}^{k} |G_{i,j}| · (2^{jd−i} − Σ_{ℓ=1}^{j−1} 2^{ℓd−i})`
+//! with `|G_{i,j}| = 2^{k−j} · n^{1−1/d}`,
+//!
+//! and Lemma 5 states `Λ_i(Z)/n^{2−1/d} → 2^{d−i}/(2^d − 1)`.
+//!
+//! This module computes `Λ_i` three independent ways — brute-force
+//! enumeration, per-coordinate aggregation, and the closed form above — and
+//! the tests pin them against each other.
+
+use sfc_core::{SpaceFillingCurve, ZCurve};
+
+/// `Λ_i(Z)` by brute-force enumeration of every edge in `G_i`
+/// (`i = axis + 1` in the paper's 1-based dimension numbering).
+///
+/// Cost: `O(n)` curve evaluations. Intended for tests and small grids.
+pub fn lambda_measured_brute<const D: usize>(z: &ZCurve<D>, axis: usize) -> u128 {
+    let grid = z.grid();
+    grid.nn_edges()
+        .filter(|&(_, _, a)| a == axis)
+        .map(|(p, q, _)| z.curve_distance(p, q))
+        .sum()
+}
+
+/// `Λ_i(Z)` by per-coordinate aggregation: the curve distance of a
+/// `G_i`-edge depends only on its lower coordinate `c` along the axis, and
+/// each `c` occurs `side^{d−1}` times.
+///
+/// Cost: `O(side)` — usable far beyond enumerable grids.
+pub fn lambda_measured<const D: usize>(z: &ZCurve<D>, axis: usize) -> u128 {
+    let grid = z.grid();
+    let multiplicity = grid.n() / u128::from(grid.side()); // side^{d−1}
+    let mut sum = 0u128;
+    for c in 0..(grid.side() - 1) as u32 {
+        sum += z.nn_edge_distance(axis, c);
+    }
+    sum * multiplicity
+}
+
+/// `Λ_i(Z)` by the closed form in the proof of Lemma 5.
+///
+/// `i` is the paper's 1-based dimension (`i = axis + 1`).
+pub fn lambda_closed_form(k: u32, d: usize, i: usize) -> u128 {
+    assert!((1..=d).contains(&i), "dimension index i must be in 1..=d");
+    let k = k as usize;
+    let mut total = 0u128;
+    for j in 1..=k {
+        // |G_{i,j}| = 2^{k−j} · 2^{k(d−1)}.
+        let group_size = 1u128 << (k - j + k * (d - 1));
+        // Δ_Z on the group: 2^{jd−i} − Σ_{ℓ=1}^{j−1} 2^{ℓd−i}.
+        let mut dist = 1u128 << (j * d - i);
+        for l in 1..j {
+            dist -= 1u128 << (l * d - i);
+        }
+        total += group_size * dist;
+    }
+    total
+}
+
+/// The size of the group `G_{i,j}`: `2^{k−j} · n^{1−1/d}` (independent of
+/// `i`).
+pub fn group_size(k: u32, d: usize, j: usize) -> u128 {
+    assert!((1..=k as usize).contains(&j));
+    1u128 << (k as usize - j + k as usize * (d - 1))
+}
+
+/// The normalized ratio `Λ_i(Z) / n^{2−1/d}`, which Lemma 5 proves
+/// converges to [`lemma5_lambda_limit`](crate::bounds::lemma5_lambda_limit)
+/// `= 2^{d−i}/(2^d−1)`.
+pub fn lambda_normalized(k: u32, d: usize, i: usize) -> f64 {
+    let lambda = lambda_closed_form(k, d, i);
+    // n^{2−1/d} = 2^{k(2d−1)}.
+    let norm = 1u128 << (k as usize * (2 * d - 1));
+    lambda as f64 / norm as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::lemma5_lambda_limit;
+    use crate::nn_stretch::summarize;
+
+    #[test]
+    fn three_computations_of_lambda_agree() {
+        let z2 = ZCurve::<2>::new(3).unwrap();
+        for axis in 0..2 {
+            let brute = lambda_measured_brute(&z2, axis);
+            let fast = lambda_measured(&z2, axis);
+            let closed = lambda_closed_form(3, 2, axis + 1);
+            assert_eq!(brute, fast, "d=2 axis={axis}");
+            assert_eq!(brute, closed, "d=2 axis={axis}");
+        }
+        let z3 = ZCurve::<3>::new(2).unwrap();
+        for axis in 0..3 {
+            let brute = lambda_measured_brute(&z3, axis);
+            assert_eq!(brute, lambda_measured(&z3, axis), "d=3 axis={axis}");
+            assert_eq!(brute, lambda_closed_form(2, 3, axis + 1), "d=3 axis={axis}");
+        }
+        let z4 = ZCurve::<4>::new(1).unwrap();
+        for axis in 0..4 {
+            assert_eq!(
+                lambda_measured_brute(&z4, axis),
+                lambda_closed_form(1, 4, axis + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_sums_to_z_edge_sum() {
+        // Σ_i Λ_i(Z) = Σ_{NN_d} Δ_Z — ties this module to nn_stretch.
+        let z = ZCurve::<2>::new(3).unwrap();
+        let total: u128 = (0..2).map(|a| lambda_measured(&z, a)).sum();
+        assert_eq!(total, summarize(&z).edge_sum);
+
+        let z3 = ZCurve::<3>::new(2).unwrap();
+        let total3: u128 = (0..3).map(|a| lambda_measured(&z3, a)).sum();
+        assert_eq!(total3, summarize(&z3).edge_sum);
+    }
+
+    #[test]
+    fn lambda_decreases_with_dimension_index() {
+        // Lemma 5: Λ_i ∝ 2^{d−i} asymptotically — lower-numbered dimensions
+        // (more significant interleave positions) carry larger stretch.
+        for k in 2..=4u32 {
+            for i in 1..3usize {
+                assert!(
+                    lambda_closed_form(k, 3, i) > lambda_closed_form(k, 3, i + 1),
+                    "k={k} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_lambda_converges_to_lemma5_limit() {
+        // d = 2: limits are 2/3 (i=1) and 1/3 (i=2). Convergence in k.
+        for i in 1..=2usize {
+            let limit = lemma5_lambda_limit(2, i);
+            let mut prev_err = f64::INFINITY;
+            for k in 2..=10u32 {
+                let err = (lambda_normalized(k, 2, i) - limit).abs();
+                assert!(err <= prev_err + 1e-15, "k={k} i={i}: {err} > {prev_err}");
+                prev_err = err;
+            }
+            assert!(prev_err < 1e-3, "i={i}: final error {prev_err}");
+        }
+        // d = 3, generous k: limits 4/7, 2/7, 1/7.
+        for i in 1..=3usize {
+            let err = (lambda_normalized(10, 3, i) - lemma5_lambda_limit(3, i)).abs();
+            assert!(err < 1e-3, "d=3 i={i}: {err}");
+        }
+    }
+
+    #[test]
+    fn group_sizes_partition_the_axis_edge_count() {
+        // Σ_j |G_{i,j}| = (side − 1) · side^{d−1} = |G_i|.
+        let k = 4u32;
+        let d = 2usize;
+        let total: u128 = (1..=k as usize).map(|j| group_size(k, d, j)).sum();
+        let side = 1u128 << k;
+        let expected = (side - 1) * (1u128 << (k as usize * (d - 1)));
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension index")]
+    fn closed_form_rejects_out_of_range_dimension() {
+        lambda_closed_form(3, 2, 3);
+    }
+}

@@ -1,0 +1,405 @@
+//! Nearest-neighbor stretch metrics (paper, Definitions 1–4).
+//!
+//! * `δ^avg_π(α)` — average curve distance from `α` to its grid neighbors
+//!   ([`delta_avg`]).
+//! * `δ^max_π(α)` — maximum curve distance to a neighbor ([`delta_max`]).
+//! * `D^avg(π)` — average-average NN-stretch: the mean of `δ^avg` over all
+//!   cells.
+//! * `D^max(π)` — average-maximum NN-stretch: the mean of `δ^max`.
+//!
+//! [`summarize`] / [`summarize_par`] compute all of these **exactly** in one
+//! pass: the rational sum `Σ_α δ^avg_π(α)` is accumulated as the integer
+//! `Σ_α (L/|N(α)|)·Σ_β Δπ(α,β)` with `L = lcm(d,…,2d)`, so the result is a
+//! ratio of two `u128`s. Sequential and parallel drivers agree bit-for-bit
+//! (integer addition is associative), which the tests assert.
+
+use rayon::prelude::*;
+use sfc_core::{CurveIndex, Point, SpaceFillingCurve};
+
+/// Greatest common divisor (Euclid).
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple of `d, d+1, …, 2d` — every possible `|N(α)|`
+/// divides this, so `L/|N(α)|` is an integer.
+pub(crate) fn neighbor_count_lcm(d: usize) -> u128 {
+    let mut l = 1u128;
+    for m in d..=2 * d {
+        let m = m as u128;
+        l = l / gcd(l, m) * m;
+    }
+    l
+}
+
+/// The paper's `δ^avg_π(α)`: the average curve distance from `α` to its
+/// nearest neighbors `N(α)`.
+pub fn delta_avg<const D: usize, C: SpaceFillingCurve<D>>(curve: &C, cell: Point<D>) -> f64 {
+    let (sum, count) = delta_sum(curve, cell);
+    sum as f64 / count as f64
+}
+
+/// The exact numerator/denominator of `δ^avg_π(α)`:
+/// `(Σ_{β∈N(α)} Δπ(α,β), |N(α)|)`.
+pub fn delta_sum<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    cell: Point<D>,
+) -> (u128, usize) {
+    let grid = curve.grid();
+    let idx = curve.index_of(cell);
+    let mut sum = 0u128;
+    let mut count = 0usize;
+    for nb in grid.neighbors(cell) {
+        sum += idx.abs_diff(curve.index_of(nb));
+        count += 1;
+    }
+    (sum, count)
+}
+
+/// The paper's `δ^max_π(α)`: the maximum curve distance from `α` to a
+/// nearest neighbor.
+pub fn delta_max<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    cell: Point<D>,
+) -> CurveIndex {
+    let grid = curve.grid();
+    let idx = curve.index_of(cell);
+    grid.neighbors(cell)
+        .map(|nb| idx.abs_diff(curve.index_of(nb)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact one-pass summary of all NN-stretch metrics of a curve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NnStretchSummary {
+    /// Curve name (for reports).
+    pub curve: String,
+    /// Dimension `d`.
+    pub d: usize,
+    /// Bits per coordinate `k`.
+    pub k: u32,
+    /// Number of cells `n = 2^{kd}`.
+    pub n: u128,
+    /// Exact numerator of `D^avg`: `Σ_α (L/|N(α)|)·Σ_β Δπ(α,β)`.
+    pub davg_numerator: u128,
+    /// Exact denominator of `D^avg`: `L · n`.
+    pub davg_denominator: u128,
+    /// `Σ_α δ^max_π(α)` (so `D^max = dmax_sum / n`).
+    pub dmax_sum: u128,
+    /// `Σ_{(α,β) ∈ NN_d} Δπ(α,β)` — the Lemma 3 / Lemma 5 edge sum.
+    pub edge_sum: u128,
+    /// `max_α δ^max_π(α)`: the worst single neighbor separation.
+    pub max_delta: CurveIndex,
+}
+
+impl NnStretchSummary {
+    /// `D^avg(π)` as a float (the underlying value is exact).
+    pub fn d_avg(&self) -> f64 {
+        self.davg_numerator as f64 / self.davg_denominator as f64
+    }
+
+    /// `D^max(π)` as a float (the underlying value is exact).
+    pub fn d_max(&self) -> f64 {
+        self.dmax_sum as f64 / self.n as f64
+    }
+
+    /// `true` iff `D^avg` equals `num/den` exactly (cross-multiplication,
+    /// no floating point). Used to assert the paper's hand-worked values.
+    pub fn d_avg_equals_ratio(&self, num: u128, den: u128) -> bool {
+        // davg_numerator / davg_denominator == num / den
+        self.davg_numerator * den == num * self.davg_denominator
+    }
+
+    /// `true` iff `D^max` equals `num/den` exactly.
+    pub fn d_max_equals_ratio(&self, num: u128, den: u128) -> bool {
+        self.dmax_sum * den == num * self.n
+    }
+
+    /// Ratio of the measured `D^avg` to a reference value (a bound or an
+    /// asymptote).
+    pub fn ratio_to(&self, reference: f64) -> f64 {
+        self.d_avg() / reference
+    }
+}
+
+/// Per-cell contribution, accumulated exactly.
+#[derive(Debug, Clone, Copy, Default)]
+struct Accum {
+    davg_scaled: u128,
+    dmax_sum: u128,
+    double_edge_sum: u128,
+    max_delta: u128,
+}
+
+impl Accum {
+    fn merge(self, other: Self) -> Self {
+        Accum {
+            davg_scaled: self.davg_scaled + other.davg_scaled,
+            dmax_sum: self.dmax_sum + other.dmax_sum,
+            double_edge_sum: self.double_edge_sum + other.double_edge_sum,
+            max_delta: self.max_delta.max(other.max_delta),
+        }
+    }
+}
+
+fn cell_accum<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    lcm: u128,
+    cell: Point<D>,
+) -> Accum {
+    let grid = curve.grid();
+    let idx = curve.index_of(cell);
+    let mut sum = 0u128;
+    let mut max = 0u128;
+    let mut count = 0u128;
+    for nb in grid.neighbors(cell) {
+        let dist = idx.abs_diff(curve.index_of(nb));
+        sum += dist;
+        max = max.max(dist);
+        count += 1;
+    }
+    Accum {
+        davg_scaled: sum * (lcm / count),
+        dmax_sum: max,
+        double_edge_sum: sum,
+        max_delta: max,
+    }
+}
+
+fn finish<const D: usize, C: SpaceFillingCurve<D>>(curve: &C, acc: Accum) -> NnStretchSummary {
+    let grid = curve.grid();
+    let lcm = neighbor_count_lcm(D);
+    NnStretchSummary {
+        curve: curve.name(),
+        d: D,
+        k: grid.k(),
+        n: grid.n(),
+        davg_numerator: acc.davg_scaled,
+        davg_denominator: lcm * grid.n(),
+        dmax_sum: acc.dmax_sum,
+        // Each unordered NN edge was visited from both endpoints.
+        edge_sum: acc.double_edge_sum / 2,
+        max_delta: acc.max_delta,
+    }
+}
+
+/// Computes all NN-stretch metrics exactly, sequentially.
+///
+/// Cost: `O(n·d)` curve evaluations.
+pub fn summarize<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> NnStretchSummary {
+    let lcm = neighbor_count_lcm(D);
+    let acc = curve
+        .grid()
+        .cells()
+        .map(|cell| cell_accum(curve, lcm, cell))
+        .fold(Accum::default(), Accum::merge);
+    finish(curve, acc)
+}
+
+/// Computes all NN-stretch metrics exactly, in parallel with Rayon.
+///
+/// Returns bit-identical results to [`summarize`] (integer accumulation is
+/// order-independent).
+pub fn summarize_par<const D: usize, C: SpaceFillingCurve<D> + Sync>(
+    curve: &C,
+) -> NnStretchSummary {
+    let grid = curve.grid();
+    let lcm = neighbor_count_lcm(D);
+    let n = u64::try_from(grid.n()).expect("grid too large for exact enumeration");
+    let acc = (0..n)
+        .into_par_iter()
+        .map(|rank| {
+            let cell = grid.point_from_row_major(u128::from(rank));
+            cell_accum(curve, lcm, cell)
+        })
+        .reduce(Accum::default, Accum::merge);
+    finish(curve, acc)
+}
+
+/// The per-cell `δ^avg` values in row-major cell order (for distribution
+/// plots and the Figure 1 worked example).
+pub fn per_cell_delta_avg<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> Vec<f64> {
+    curve
+        .grid()
+        .cells()
+        .map(|cell| delta_avg(curve, cell))
+        .collect()
+}
+
+/// A measured value paired with a reference (bound or asymptote), as
+/// reported by the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchRatio {
+    /// The measured metric value.
+    pub measured: f64,
+    /// The reference value it is compared against.
+    pub reference: f64,
+}
+
+impl StretchRatio {
+    /// `measured / reference`.
+    pub fn ratio(&self) -> f64 {
+        self.measured / self.reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sfc_core::transform::Reversed;
+    use sfc_core::{CurveKind, Grid, PermutationCurve, SimpleCurve, ZCurve};
+
+    #[test]
+    fn lcm_of_neighbor_counts() {
+        assert_eq!(neighbor_count_lcm(1), 2); // lcm(1, 2)
+        assert_eq!(neighbor_count_lcm(2), 12); // lcm(2, 3, 4)
+        assert_eq!(neighbor_count_lcm(3), 60); // lcm(3, 4, 5, 6)
+        assert_eq!(neighbor_count_lcm(4), 840); // lcm(4..=8)
+    }
+
+    #[test]
+    fn figure1_pi1_worked_values() {
+        // Paper, Section III: D^avg(π₁) = 1.5, D^max(π₁) = 2, and every
+        // per-cell δ^avg is 1.5.
+        let pi1 = PermutationCurve::figure1_pi1();
+        let s = summarize(&pi1);
+        assert!(s.d_avg_equals_ratio(3, 2), "D^avg(π₁) = {}", s.d_avg());
+        assert!(s.d_max_equals_ratio(2, 1), "D^max(π₁) = {}", s.d_max());
+        for v in per_cell_delta_avg(&pi1) {
+            assert_eq!(v, 1.5);
+        }
+    }
+
+    #[test]
+    fn figure1_pi2_worked_values() {
+        // Paper: D^avg(π₂) = 2 and D^max(π₂) = 2.5.
+        let pi2 = PermutationCurve::figure1_pi2();
+        let s = summarize(&pi2);
+        assert!(s.d_avg_equals_ratio(2, 1), "D^avg(π₂) = {}", s.d_avg());
+        assert!(s.d_max_equals_ratio(5, 2), "D^max(π₂) = {}", s.d_max());
+    }
+
+    #[test]
+    fn dmax_dominates_davg_everywhere() {
+        // Proposition 1's driving fact: δ^max ≥ δ^avg, hence D^max ≥ D^avg.
+        for kind in CurveKind::ALL {
+            let c = kind.build::<2>(3).unwrap();
+            let s = summarize(&c);
+            assert!(
+                s.d_max() >= s.d_avg() - 1e-12,
+                "{kind}: {} < {}",
+                s.d_max(),
+                s.d_avg()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_bitwise() {
+        for kind in CurveKind::ALL {
+            let c = kind.build::<2>(3).unwrap();
+            assert_eq!(summarize(&c), summarize_par(&c), "{kind}");
+            let c3 = kind.build::<3>(2).unwrap();
+            assert_eq!(summarize(&c3), summarize_par(&c3), "{kind} d=3");
+        }
+    }
+
+    #[test]
+    fn lemma3_brackets_davg() {
+        use crate::bounds::{lemma3_lower, lemma3_upper};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let grid = Grid::<2>::new(2).unwrap();
+        for _ in 0..5 {
+            let c = PermutationCurve::random(grid, &mut rng).unwrap();
+            let s = summarize(&c);
+            let lo = lemma3_lower(s.edge_sum, s.n, 2);
+            let hi = lemma3_upper(s.edge_sum, s.n, 2);
+            assert!(lo <= s.d_avg() + 1e-12 && s.d_avg() <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn reversal_preserves_all_metrics() {
+        let z = ZCurve::<2>::new(3).unwrap();
+        let s = summarize(&z);
+        let r = summarize(&Reversed::new(z));
+        assert_eq!(s.davg_numerator, r.davg_numerator);
+        assert_eq!(s.dmax_sum, r.dmax_sum);
+        assert_eq!(s.edge_sum, r.edge_sum);
+        assert_eq!(s.max_delta, r.max_delta);
+    }
+
+    #[test]
+    fn one_dimensional_monotone_curve_has_stretch_one() {
+        // In d = 1 the simple curve is the identity: every neighbor pair is
+        // at curve distance 1, so D^avg = D^max = 1.
+        let s = summarize(&SimpleCurve::<1>::new(5).unwrap());
+        assert!(s.d_avg_equals_ratio(1, 1));
+        assert!(s.d_max_equals_ratio(1, 1));
+        assert_eq!(s.max_delta, 1);
+    }
+
+    #[test]
+    fn simple_curve_dmax_is_exactly_n_pow() {
+        // Proposition 2: D^max(S) = n^{1−1/d}, exactly, for every cell.
+        for k in 1..=3u32 {
+            let s2 = summarize(&SimpleCurve::<2>::new(k).unwrap());
+            let expected = crate::bounds::prop2_dmax_simple_exact(k, 2);
+            assert!(s2.d_max_equals_ratio(expected, 1), "d=2 k={k}");
+        }
+        let s3 = summarize(&SimpleCurve::<3>::new(2).unwrap());
+        assert!(s3.d_max_equals_ratio(crate::bounds::prop2_dmax_simple_exact(2, 3), 1));
+    }
+
+    #[test]
+    fn edge_sum_matches_direct_enumeration() {
+        let z = ZCurve::<2>::new(2).unwrap();
+        let s = summarize(&z);
+        let direct: u128 = z
+            .grid()
+            .nn_edges()
+            .map(|(a, b, _)| z.curve_distance(a, b))
+            .sum();
+        assert_eq!(s.edge_sum, direct);
+    }
+
+    #[test]
+    fn delta_helpers_agree_with_summary() {
+        let z = ZCurve::<2>::new(2).unwrap();
+        let cell = Point::new([1, 2]);
+        let (sum, count) = delta_sum(&z, cell);
+        assert_eq!(count, 4);
+        assert!((delta_avg(&z, cell) - sum as f64 / 4.0).abs() < 1e-12);
+        assert!(delta_max(&z, cell) >= sum / 4);
+    }
+
+    #[test]
+    fn thm1_lower_bound_holds_for_every_curve_and_random_bijections() {
+        use crate::bounds::thm1_nn_stretch_lower_bound;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        for kind in CurveKind::ALL {
+            for k in 1..=3u32 {
+                let c = kind.build::<2>(k).unwrap();
+                let s = summarize(&c);
+                let bound = thm1_nn_stretch_lower_bound(k, 2);
+                assert!(
+                    s.d_avg() >= bound - 1e-12,
+                    "{kind} d=2 k={k}: {} < {bound}",
+                    s.d_avg()
+                );
+            }
+        }
+        let grid = Grid::<2>::new(2).unwrap();
+        for _ in 0..20 {
+            let c = PermutationCurve::random(grid, &mut rng).unwrap();
+            let s = summarize(&c);
+            assert!(s.d_avg() >= thm1_nn_stretch_lower_bound(2, 2) - 1e-12);
+        }
+    }
+}

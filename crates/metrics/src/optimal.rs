@@ -1,0 +1,388 @@
+//! Searching for *optimal* curves: how close to the Theorem 1 lower bound
+//! can any bijection get?
+//!
+//! The paper leaves the exact optimum open (Section VI). Two probes:
+//!
+//! * [`exhaustive_optimal`] — enumerates **all** `n!` bijections for tiny
+//!   universes (the 2×2 grid of Figure 1 and the 2×2×2 cube), establishing
+//!   the true optimum by brute force. For the 2×2 grid this proves
+//!   Figure 1's `π₁` (with `D^avg = 1.5`) is optimal.
+//! * [`anneal`] — simulated annealing over the permutation space with an
+//!   incremental `O(d)` move evaluation, for grids where enumeration is
+//!   hopeless. The annealer probes how much slack Theorem 1 leaves on
+//!   small-but-nontrivial universes.
+//!
+//! Both optimize the *exact* scaled objective
+//! `T(π) = Σ_α (L/|N(α)|)·Σ_{β∈N(α)} Δπ(α,β)` (so `D^avg = T/(L·n)`),
+//! keeping search decisions free of floating-point noise.
+
+use crate::nn_stretch::neighbor_count_lcm;
+use rand::Rng;
+use sfc_core::{Grid, PermutationCurve, SpaceFillingCurve};
+
+/// A weighted nearest-neighbor edge of the grid, with endpoints as
+/// row-major ranks and weight `L/|N(a)| + L/|N(b)|`.
+#[derive(Debug, Clone, Copy)]
+struct WeightedEdge {
+    a: u32,
+    b: u32,
+    weight: u64,
+}
+
+/// Precomputes the weighted edge list of the grid: the exact objective is
+/// `T(π) = Σ_e weight(e) · |π(a_e) − π(b_e)|`.
+fn weighted_edges<const D: usize>(grid: Grid<D>) -> Vec<WeightedEdge> {
+    let lcm = neighbor_count_lcm(D) as u64;
+    grid.nn_edges()
+        .map(|(p, q, _)| WeightedEdge {
+            a: grid.row_major_rank(&p) as u32,
+            b: grid.row_major_rank(&q) as u32,
+            weight: lcm / grid.neighbor_count(&p) as u64 + lcm / grid.neighbor_count(&q) as u64,
+        })
+        .collect()
+}
+
+/// The exact scaled objective for a permutation `perm[rank] = index`.
+fn objective(edges: &[WeightedEdge], perm: &[u64]) -> u128 {
+    edges
+        .iter()
+        .map(|e| u128::from(e.weight) * u128::from(perm[e.a as usize].abs_diff(perm[e.b as usize])))
+        .sum()
+}
+
+/// Result of an optimal-curve search.
+#[derive(Debug, Clone)]
+pub struct SearchResult<const D: usize> {
+    /// The best curve found.
+    pub best: PermutationCurve<D>,
+    /// Exact numerator of the best `D^avg` (same scaling as
+    /// [`NnStretchSummary`](crate::nn_stretch::NnStretchSummary)).
+    pub davg_numerator: u128,
+    /// Exact denominator (`L·n`).
+    pub davg_denominator: u128,
+    /// Number of permutations achieving the optimum (exhaustive search
+    /// only; `0` for annealing).
+    pub optima_count: u64,
+    /// Number of candidate evaluations performed.
+    pub evaluated: u64,
+}
+
+impl<const D: usize> SearchResult<D> {
+    /// The best `D^avg` as a float.
+    pub fn d_avg(&self) -> f64 {
+        self.davg_numerator as f64 / self.davg_denominator as f64
+    }
+
+    /// `true` iff the best `D^avg` equals `num/den` exactly.
+    pub fn d_avg_equals_ratio(&self, num: u128, den: u128) -> bool {
+        self.davg_numerator * den == num * self.davg_denominator
+    }
+}
+
+fn perm_to_curve<const D: usize>(grid: Grid<D>, perm: &[u64]) -> PermutationCurve<D> {
+    PermutationCurve::from_index_fn(grid, "search-best", |p| {
+        u128::from(perm[grid.row_major_rank(&p) as usize])
+    })
+    .expect("a permutation is always a bijection")
+}
+
+/// Exhaustively enumerates all `n!` bijections and returns the true optimum
+/// of `D^avg`.
+///
+/// # Panics
+/// Panics if `n > 8` (`8! = 40320` is the practical limit; `9!` grids do
+/// not exist since `n` is a power of two, and `16!` is out of reach).
+pub fn exhaustive_optimal<const D: usize>(grid: Grid<D>) -> SearchResult<D> {
+    let n = grid.n();
+    assert!(n <= 8, "exhaustive search requires n ≤ 8 (got {n})");
+    let n = n as usize;
+    let edges = weighted_edges(grid);
+    let lcm = neighbor_count_lcm(D);
+
+    let mut perm: Vec<u64> = (0..n as u64).collect();
+    let mut best_cost = u128::MAX;
+    let mut best_perm = perm.clone();
+    let mut optima = 0u64;
+    let mut evaluated = 0u64;
+
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    let mut consider = |perm: &[u64], best_cost: &mut u128, best_perm: &mut Vec<u64>| {
+        let cost = objective(&edges, perm);
+        evaluated += 1;
+        match cost.cmp(best_cost) {
+            std::cmp::Ordering::Less => {
+                *best_cost = cost;
+                *best_perm = perm.to_vec();
+                optima = 1;
+            }
+            std::cmp::Ordering::Equal => optima += 1,
+            std::cmp::Ordering::Greater => {}
+        }
+    };
+    consider(&perm, &mut best_cost, &mut best_perm);
+    let mut i = 1usize;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            consider(&perm, &mut best_cost, &mut best_perm);
+            c[i] += 1;
+            i = 1;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+
+    SearchResult {
+        best: perm_to_curve(grid, &best_perm),
+        davg_numerator: best_cost,
+        davg_denominator: lcm * grid.n(),
+        optima_count: optima,
+        evaluated,
+    }
+}
+
+/// Configuration for the simulated-annealing search.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealConfig {
+    /// Total number of proposed swaps.
+    pub iterations: u64,
+    /// Initial temperature, in units of the *scaled* objective (a good
+    /// default is a few percent of the starting objective).
+    pub initial_temp: f64,
+    /// Multiplicative cooling applied every
+    /// [`cooling_interval`](Self::cooling_interval) proposals.
+    pub cooling: f64,
+    /// Proposals between cooling steps.
+    pub cooling_interval: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 200_000,
+            initial_temp: 0.0, // 0 → auto: 5% of the starting objective
+            cooling: 0.97,
+            cooling_interval: 1_000,
+        }
+    }
+}
+
+/// Simulated annealing over the permutation space, starting from `start`.
+///
+/// The move set is "swap the cells at two curve positions"; each proposal
+/// is evaluated incrementally by re-summing only the edges incident to the
+/// two affected cells (`O(d)` work instead of `O(n·d)`).
+pub fn anneal<const D: usize, R: Rng + ?Sized>(
+    start: &PermutationCurve<D>,
+    config: AnnealConfig,
+    rng: &mut R,
+) -> SearchResult<D> {
+    let grid = start.grid();
+    let n = usize::try_from(grid.n()).expect("grid too large");
+    assert!(n >= 2, "annealing needs at least two cells");
+    let lcm = neighbor_count_lcm(D);
+    let edges = weighted_edges(grid);
+
+    // Per-rank incident edge lists for incremental evaluation.
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (ei, e) in edges.iter().enumerate() {
+        incident[e.a as usize].push(ei as u32);
+        incident[e.b as usize].push(ei as u32);
+    }
+
+    // perm[rank] = index; pos[index] = rank.
+    let mut perm: Vec<u64> = (0..n as u64)
+        .map(|rank| start.index_of(grid.point_from_row_major(u128::from(rank))) as u64)
+        .collect();
+    let mut pos: Vec<u64> = vec![0; n];
+    for (rank, &idx) in perm.iter().enumerate() {
+        pos[idx as usize] = rank as u64;
+    }
+
+    let mut cost = objective(&edges, &perm);
+    let mut best_cost = cost;
+    let mut best_perm = perm.clone();
+    let mut temp = if config.initial_temp > 0.0 {
+        config.initial_temp
+    } else {
+        cost as f64 * 0.05
+    };
+
+    // Sum over edges incident to `rank_a` or `rank_b` (deduplicated).
+    let local = |perm: &[u64], rank_a: usize, rank_b: usize| -> u128 {
+        let mut sum = 0u128;
+        for &ei in &incident[rank_a] {
+            let e = edges[ei as usize];
+            sum += u128::from(e.weight)
+                * u128::from(perm[e.a as usize].abs_diff(perm[e.b as usize]));
+        }
+        for &ei in &incident[rank_b] {
+            let e = edges[ei as usize];
+            // Skip edges already counted from rank_a's side.
+            if e.a as usize == rank_a || e.b as usize == rank_a {
+                continue;
+            }
+            sum += u128::from(e.weight)
+                * u128::from(perm[e.a as usize].abs_diff(perm[e.b as usize]));
+        }
+        sum
+    };
+
+    for it in 0..config.iterations {
+        let i = rng.gen_range(0..n);
+        let mut j = rng.gen_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        let rank_a = pos[i] as usize;
+        let rank_b = pos[j] as usize;
+
+        let before = local(&perm, rank_a, rank_b);
+        perm.swap(rank_a, rank_b);
+        let after = local(&perm, rank_a, rank_b);
+
+        let accept = if after <= before {
+            true
+        } else {
+            let delta = (after - before) as f64;
+            rng.gen::<f64>() < (-delta / temp.max(f64::MIN_POSITIVE)).exp()
+        };
+
+        if accept {
+            pos.swap(i, j);
+            cost = cost + after - before;
+            if cost < best_cost {
+                best_cost = cost;
+                best_perm.clone_from(&perm);
+            }
+        } else {
+            perm.swap(rank_a, rank_b); // undo
+        }
+
+        if (it + 1) % config.cooling_interval == 0 {
+            temp *= config.cooling;
+        }
+    }
+
+    SearchResult {
+        best: perm_to_curve(grid, &best_perm),
+        davg_numerator: best_cost,
+        davg_denominator: lcm * grid.n(),
+        optima_count: 0,
+        evaluated: config.iterations + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn_stretch::summarize;
+    use rand::SeedableRng;
+    use sfc_core::ZCurve;
+
+    #[test]
+    fn exhaustive_2x2_optimum_is_figure1_pi1_value() {
+        // All 24 bijections of the 2×2 grid: the optimum D^avg is 1.5 —
+        // Figure 1's π₁ achieves it.
+        let grid = Grid::<2>::new(1).unwrap();
+        let result = exhaustive_optimal(grid);
+        assert_eq!(result.evaluated, 24);
+        assert!(result.d_avg_equals_ratio(3, 2), "optimum = {}", result.d_avg());
+        // The 2×2 universe is a 4-cycle; of the 6 cyclic label orders, 4
+        // reach the minimum cycle cost 6 (= D^avg 1.5), each in 4 rotations:
+        // 16 optimal permutations out of 24.
+        assert_eq!(result.optima_count, 16);
+        // And the Thm 1 lower bound is respected (it is loose at n = 4).
+        let bound = crate::bounds::thm1_nn_stretch_lower_bound(1, 2);
+        assert!(result.d_avg() >= bound);
+    }
+
+    #[test]
+    fn exhaustive_1d_optimum_is_monotone_order() {
+        // In one dimension (n = 8) the identity order is optimal with
+        // D^avg = 1.
+        let grid = Grid::<1>::new(3).unwrap();
+        let result = exhaustive_optimal(grid);
+        assert!(result.d_avg_equals_ratio(1, 1), "optimum = {}", result.d_avg());
+        // Exactly 2 optima: ascending and descending.
+        assert_eq!(result.optima_count, 2);
+        assert_eq!(result.evaluated, 40320);
+    }
+
+    #[test]
+    fn exhaustive_matches_summarize_on_its_winner() {
+        let grid = Grid::<2>::new(1).unwrap();
+        let result = exhaustive_optimal(grid);
+        let s = summarize(&result.best);
+        assert_eq!(
+            s.davg_numerator * result.davg_denominator,
+            result.davg_numerator * s.davg_denominator
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≤ 8")]
+    fn exhaustive_rejects_large_grids() {
+        exhaustive_optimal(Grid::<2>::new(2).unwrap());
+    }
+
+    #[test]
+    fn anneal_finds_the_2x2_optimum() {
+        let grid = Grid::<2>::new(1).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let start = PermutationCurve::random(grid, &mut rng).unwrap();
+        let result = anneal(
+            &start,
+            AnnealConfig {
+                iterations: 5_000,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(result.d_avg_equals_ratio(3, 2), "got {}", result.d_avg());
+        result.best.validate_bijection().unwrap();
+    }
+
+    #[test]
+    fn anneal_beats_or_matches_random_start_on_4x4() {
+        let grid = Grid::<2>::new(2).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let start = PermutationCurve::random(grid, &mut rng).unwrap();
+        let start_cost = summarize(&start).d_avg();
+        let result = anneal(&start, AnnealConfig::default(), &mut rng);
+        assert!(result.d_avg() <= start_cost + 1e-12);
+        result.best.validate_bijection().unwrap();
+        // The incremental cost bookkeeping must agree with a full recompute.
+        let s = summarize(&result.best);
+        assert_eq!(
+            s.davg_numerator * result.davg_denominator,
+            result.davg_numerator * s.davg_denominator,
+            "incremental cost drifted from ground truth"
+        );
+    }
+
+    #[test]
+    fn anneal_result_respects_thm1_bound_and_comes_close_to_z() {
+        // On the 4×4 grid the annealer should land between the Thm 1 bound
+        // and the Z curve's stretch (Z is provably within 1.5× of optimal
+        // asymptotically, and empirically near-optimal even at n = 16).
+        let grid = Grid::<2>::new(2).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        let start = PermutationCurve::identity(grid).unwrap();
+        let result = anneal(&start, AnnealConfig::default(), &mut rng);
+        let bound = crate::bounds::thm1_nn_stretch_lower_bound(2, 2);
+        let z = summarize(&ZCurve::<2>::new(2).unwrap()).d_avg();
+        assert!(result.d_avg() >= bound - 1e-12);
+        assert!(
+            result.d_avg() <= z + 1e-12,
+            "annealer ({}) should not lose to Z ({z}) on a 4×4 grid",
+            result.d_avg()
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Gravitational force evaluation: direct summation and Barnes–Hut.
+//!
+//! Units: `G = 1`; Plummer softening `ε` avoids singularities for
+//! coincident bodies. The Barnes–Hut walker applies the standard opening
+//! criterion `size/dist < θ`: nodes that look small from the target body
+//! are approximated by their center of mass.
+
+use crate::body::Body;
+use crate::tree::Tree;
+use rayon::prelude::*;
+
+/// Work counters for a Barnes–Hut force evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BhStats {
+    /// Body–body interactions evaluated (leaf visits).
+    pub direct_interactions: u64,
+    /// Body–node (center of mass) interactions evaluated.
+    pub node_interactions: u64,
+}
+
+impl BhStats {
+    /// Total interactions of either kind.
+    pub fn total(&self) -> u64 {
+        self.direct_interactions + self.node_interactions
+    }
+}
+
+#[inline]
+fn accumulate_kernel<const D: usize>(
+    acc: &mut [f64; D],
+    from: &[f64; D],
+    to: &[f64; D],
+    mass: f64,
+    softening_sq: f64,
+) {
+    let mut r2 = softening_sq;
+    let mut delta = [0.0; D];
+    for a in 0..D {
+        delta[a] = to[a] - from[a];
+        r2 += delta[a] * delta[a];
+    }
+    let inv_r = 1.0 / r2.sqrt();
+    let inv_r3 = inv_r * inv_r * inv_r;
+    for a in 0..D {
+        acc[a] += mass * delta[a] * inv_r3;
+    }
+}
+
+/// Direct `O(n²)` accelerations — the accuracy reference.
+pub fn direct_forces<const D: usize>(bodies: &[Body<D>], softening: f64) -> Vec<[f64; D]> {
+    let eps2 = softening * softening;
+    bodies
+        .iter()
+        .map(|bi| {
+            let mut acc = [0.0; D];
+            for bj in bodies {
+                if std::ptr::eq(bi, bj) {
+                    continue;
+                }
+                accumulate_kernel(&mut acc, &bi.pos, &bj.pos, bj.mass, eps2);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Direct `O(n²)` accelerations, Rayon-parallel over target bodies.
+pub fn direct_forces_par<const D: usize>(bodies: &[Body<D>], softening: f64) -> Vec<[f64; D]> {
+    let eps2 = softening * softening;
+    bodies
+        .par_iter()
+        .enumerate()
+        .map(|(i, bi)| {
+            let mut acc = [0.0; D];
+            for (j, bj) in bodies.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                accumulate_kernel(&mut acc, &bi.pos, &bj.pos, bj.mass, eps2);
+            }
+            acc
+        })
+        .collect()
+}
+
+fn bh_one<const D: usize>(
+    tree: &Tree<D>,
+    target: usize,
+    theta: f64,
+    eps2: f64,
+    stats: &mut BhStats,
+) -> [f64; D] {
+    let bodies = tree.bodies();
+    let bi = &bodies[target];
+    let mut acc = [0.0; D];
+    // Explicit stack walk of node ids.
+    let mut stack = vec![0usize];
+    while let Some(id) = stack.pop() {
+        let node = &tree.nodes()[id];
+        if node.mass == 0.0 {
+            continue;
+        }
+        let mut r2 = 0.0;
+        for a in 0..D {
+            let d = node.com[a] - bi.pos[a];
+            r2 += d * d;
+        }
+        let accept = node.is_leaf()
+            || node.size() * node.size() < theta * theta * r2;
+        if accept {
+            if node.is_leaf() {
+                for (j, bj) in bodies[node.bodies.clone()].iter().enumerate() {
+                    if node.bodies.start + j == target {
+                        continue;
+                    }
+                    accumulate_kernel(&mut acc, &bi.pos, &bj.pos, bj.mass, eps2);
+                    stats.direct_interactions += 1;
+                }
+            } else if node.bodies.contains(&target) {
+                // A far-field approximation must not include the target
+                // itself; descend instead.
+                stack.extend_from_slice(&node.children);
+            } else {
+                accumulate_kernel(&mut acc, &bi.pos, &node.com, node.mass, eps2);
+                stats.node_interactions += 1;
+            }
+        } else {
+            stack.extend_from_slice(&node.children);
+        }
+    }
+    acc
+}
+
+/// Barnes–Hut accelerations with opening angle `theta`, sequential.
+/// Returns one acceleration per (sorted) body, plus work counters.
+pub fn barnes_hut_forces<const D: usize>(
+    tree: &Tree<D>,
+    theta: f64,
+    softening: f64,
+) -> (Vec<[f64; D]>, BhStats) {
+    let eps2 = softening * softening;
+    let mut stats = BhStats::default();
+    let forces = (0..tree.bodies().len())
+        .map(|i| bh_one(tree, i, theta, eps2, &mut stats))
+        .collect();
+    (forces, stats)
+}
+
+/// Barnes–Hut accelerations, Rayon-parallel over target bodies. Forces are
+/// identical to the sequential walker; stats are summed across workers.
+pub fn barnes_hut_forces_par<const D: usize>(
+    tree: &Tree<D>,
+    theta: f64,
+    softening: f64,
+) -> (Vec<[f64; D]>, BhStats) {
+    let eps2 = softening * softening;
+    let results: Vec<([f64; D], BhStats)> = (0..tree.bodies().len())
+        .into_par_iter()
+        .map(|i| {
+            let mut stats = BhStats::default();
+            let f = bh_one(tree, i, theta, eps2, &mut stats);
+            (f, stats)
+        })
+        .collect();
+    let mut stats = BhStats::default();
+    let mut forces = Vec::with_capacity(results.len());
+    for (f, s) in results {
+        forces.push(f);
+        stats.direct_interactions += s.direct_interactions;
+        stats.node_interactions += s.node_interactions;
+    }
+    (forces, stats)
+}
+
+/// Mean relative error of `approx` against `reference` (L2 per body).
+pub fn mean_relative_error<const D: usize>(
+    approx: &[[f64; D]],
+    reference: &[[f64; D]],
+) -> f64 {
+    assert_eq!(approx.len(), reference.len());
+    let mut total = 0.0;
+    for (a, r) in approx.iter().zip(reference.iter()) {
+        let mut diff2 = 0.0;
+        let mut ref2 = 0.0;
+        for axis in 0..D {
+            let d = a[axis] - r[axis];
+            diff2 += d * d;
+            ref2 += r[axis] * r[axis];
+        }
+        total += (diff2 / ref2.max(1e-30)).sqrt();
+    }
+    total / approx.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::{sample_bodies, Distribution};
+    use rand::SeedableRng;
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(41)
+    }
+
+    #[test]
+    fn two_body_force_is_newtons_law() {
+        let bodies = vec![
+            Body::<2>::at_rest([0.25, 0.5], 2.0),
+            Body::<2>::at_rest([0.75, 0.5], 1.0),
+        ];
+        let f = direct_forces(&bodies, 0.0);
+        // |a1| = m2/r² = 1/0.25 = 4, pointing +x.
+        assert!((f[0][0] - 4.0).abs() < 1e-12);
+        assert!(f[0][1].abs() < 1e-12);
+        // |a2| = m1/r² = 8, pointing −x.
+        assert!((f[1][0] + 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forces_obey_newtons_third_law_in_aggregate() {
+        let bodies: Vec<Body<3>> = sample_bodies(Distribution::Uniform, 50, &mut rng());
+        let f = direct_forces(&bodies, 1e-3);
+        // Total momentum change: Σ m_i a_i = 0 (pairwise cancellation).
+        for axis in 0..3 {
+            let total: f64 = bodies
+                .iter()
+                .zip(f.iter())
+                .map(|(b, a)| b.mass * a[axis])
+                .sum();
+            assert!(total.abs() < 1e-9, "axis {axis}: {total}");
+        }
+    }
+
+    #[test]
+    fn parallel_direct_matches_sequential() {
+        let bodies: Vec<Body<2>> = sample_bodies(Distribution::Uniform, 100, &mut rng());
+        let seq = direct_forces(&bodies, 1e-3);
+        let par = direct_forces_par(&bodies, 1e-3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn barnes_hut_theta_zero_equals_direct() {
+        // θ = 0 never accepts an internal node: BH degenerates to exact
+        // summation (leaf-by-leaf).
+        let bodies: Vec<Body<2>> = sample_bodies(Distribution::Uniform, 80, &mut rng());
+        let tree = Tree::build(bodies, 8, 1);
+        let (bh, stats) = barnes_hut_forces(&tree, 0.0, 1e-3);
+        let direct = direct_forces(tree.bodies(), 1e-3);
+        let err = mean_relative_error(&bh, &direct);
+        assert!(err < 1e-12, "θ=0 error {err}");
+        assert_eq!(stats.node_interactions, 0);
+        assert_eq!(stats.direct_interactions as usize, 80 * 79);
+    }
+
+    #[test]
+    fn barnes_hut_accuracy_improves_as_theta_shrinks() {
+        let bodies: Vec<Body<2>> = sample_bodies(Distribution::Uniform, 300, &mut rng());
+        let tree = Tree::build(bodies, 8, 4);
+        let direct = direct_forces(tree.bodies(), 1e-3);
+        let mut prev_err = f64::INFINITY;
+        for theta in [1.2, 0.8, 0.4, 0.2] {
+            let (bh, _) = barnes_hut_forces(&tree, theta, 1e-3);
+            let err = mean_relative_error(&bh, &direct);
+            assert!(err <= prev_err + 1e-6, "θ={theta}: {err} > {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 0.01, "θ=0.2 error too large: {prev_err}");
+    }
+
+    #[test]
+    fn barnes_hut_does_less_work_than_direct() {
+        let bodies: Vec<Body<2>> = sample_bodies(Distribution::Uniform, 500, &mut rng());
+        let tree = Tree::build(bodies, 8, 4);
+        let (_, stats) = barnes_hut_forces(&tree, 0.7, 1e-3);
+        let direct_work = 500u64 * 499;
+        assert!(
+            stats.total() < direct_work / 2,
+            "BH did {} vs direct {direct_work}",
+            stats.total()
+        );
+    }
+
+    #[test]
+    fn parallel_bh_matches_sequential() {
+        let bodies: Vec<Body<2>> = sample_bodies(Distribution::Clustered { clusters: 3, sigma: 0.05 }, 200, &mut rng());
+        let tree = Tree::build(bodies, 8, 4);
+        let (seq, seq_stats) = barnes_hut_forces(&tree, 0.6, 1e-3);
+        let (par, par_stats) = barnes_hut_forces_par(&tree, 0.6, 1e-3);
+        assert_eq!(seq, par);
+        assert_eq!(seq_stats, par_stats);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a curve, measure its stretch, compare to the paper's
+//! bounds.
+//!
+//! ```text
+//! cargo run --release -p sfc --example quickstart
+//! ```
+
+use sfc::metrics::{bounds, nn_stretch};
+use sfc::prelude::*;
+
+fn main() {
+    // The universe: a 256×256 grid (d = 2, k = 8, n = 65 536 cells).
+    let k = 8;
+    let z = ZCurve::<2>::new(k).expect("valid grid");
+    println!("universe: {}×{} = {} cells", z.grid().side(), z.grid().side(), z.grid().n());
+
+    // Where does the cell (100, 200) land on the curve, and what cell sits
+    // at position 12345?
+    let p = Point::new([100, 200]);
+    println!("Z({p}) = {}", z.index_of(p));
+    println!("Z⁻¹(12345) = {}", z.point_of(12345));
+
+    // Exact average nearest-neighbor stretch (Definition 2 of the paper):
+    // how far apart, on average, does the curve pull grid neighbors?
+    let summary = nn_stretch::summarize_par(&z);
+    println!("\nD^avg(Z) = {:.3}", summary.d_avg());
+    println!("D^max(Z) = {:.3}", summary.d_max());
+
+    // Theorem 1: *no* curve — however clever — can beat this bound:
+    let bound = bounds::thm1_nn_stretch_lower_bound(k, 2);
+    println!("Theorem-1 lower bound for any SFC: {bound:.3}");
+
+    // Theorem 2: the Z curve is within 1.5× of that bound:
+    println!(
+        "Z optimality gap: {:.4} (→ 1.5 as n → ∞)",
+        summary.d_avg() / bound
+    );
+
+    // And the trivial row-major curve does *just as well* on average
+    // (Theorem 3) — the paper's surprise:
+    let simple = nn_stretch::summarize_par(&SimpleCurve::<2>::new(k).unwrap());
+    println!(
+        "\nD^avg(simple) = {:.3} — same asymptote as Z ({:.3})",
+        simple.d_avg(),
+        bounds::nn_stretch_asymptote(k, 2),
+    );
+
+    // … but not on the *maximum* stretch (Proposition 2): the simple curve
+    // always has one neighbor a full n^{1−1/d} away.
+    println!(
+        "D^max(simple) = {} = n^(1-1/d), exactly (Prop. 2)",
+        simple.d_max()
+    );
+}

@@ -1,0 +1,56 @@
+//! Survey the proximity-preservation of every curve family across grid
+//! sizes — a compact reproduction of the paper's main narrative plus its
+//! open Hilbert question.
+//!
+//! ```text
+//! cargo run --release -p sfc --example stretch_survey
+//! ```
+
+use sfc::metrics::report::{fmt_f64, fmt_ratio, Table};
+use sfc::metrics::{bounds, nn_stretch};
+use sfc::prelude::*;
+
+fn main() {
+    let mut table = Table::new(
+        "Average NN-stretch, normalized by the asymptote (1/d)·n^{1−1/d}  (d = 2)",
+        &["k", "n", "Thm1 bound/asym", "Z", "simple", "snake", "gray", "hilbert"],
+    );
+    for k in 2..=8u32 {
+        let asym = bounds::nn_stretch_asymptote(k, 2);
+        let bound = bounds::thm1_nn_stretch_lower_bound(k, 2);
+        let mut row = vec![
+            k.to_string(),
+            bounds::n_cells(k, 2).to_string(),
+            fmt_ratio(bound / asym),
+        ];
+        for kind in CurveKind::ALL {
+            let curve = kind.build::<2>(k).unwrap();
+            let s = nn_stretch::summarize_par(&curve);
+            row.push(fmt_ratio(s.d_avg() / asym));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render_text());
+    println!(
+        "Reading: the bound column tends to 2/3 ≈ 0.667 (Theorem 1); Z and simple\n\
+         tend to 1.0 (Theorems 2–3); Hilbert & friends stay Θ(1): nobody escapes\n\
+         the n^(1-1/d) regime — the paper's negative result, measured.\n"
+    );
+
+    let mut dmax = Table::new(
+        "Average-maximum NN-stretch D^max, same grids",
+        &["k", "Z", "simple (= n^{1−1/d})", "hilbert"],
+    );
+    for k in 2..=8u32 {
+        let z = nn_stretch::summarize_par(&ZCurve::<2>::new(k).unwrap());
+        let s = nn_stretch::summarize_par(&SimpleCurve::<2>::new(k).unwrap());
+        let h = nn_stretch::summarize_par(&HilbertCurve::<2>::new(k).unwrap());
+        dmax.push_row(vec![
+            k.to_string(),
+            fmt_f64(z.d_max(), 2),
+            fmt_f64(s.d_max(), 2),
+            fmt_f64(h.d_max(), 2),
+        ]);
+    }
+    println!("{}", dmax.render_text());
+}

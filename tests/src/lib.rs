@@ -1,0 +1,11 @@
+//! Host crate for the workspace integration tests (see `tests/tests/`).
+//!
+//! The library itself only provides shared helpers for the integration
+//! tests.
+
+use rand::SeedableRng;
+
+/// A deterministic test RNG.
+pub fn test_rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+    rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+}

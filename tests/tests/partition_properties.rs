@@ -1,0 +1,81 @@
+//! Property tests for the partitioner: optimality of min-bottleneck
+//! against brute force, and structural invariants of greedy cuts.
+
+use proptest::prelude::*;
+use sfc_core::{Grid, SimpleCurve};
+use sfc_partition::partitioner::partition_min_bottleneck;
+use sfc_partition::{partition_greedy, WeightedGrid};
+
+/// Brute-force optimal bottleneck for a 1-D weight sequence split into at
+/// most `p` contiguous parts, by dynamic programming.
+fn dp_bottleneck(weights: &[f64], p: usize) -> f64 {
+    let n = weights.len();
+    let mut prefix = vec![0.0f64; n + 1];
+    for (i, w) in weights.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + w;
+    }
+    let seg = |a: usize, b: usize| prefix[b] - prefix[a];
+    // dp[j][i] = min bottleneck splitting weights[..i] into j parts.
+    let mut dp = vec![f64::INFINITY; n + 1];
+    dp[0] = 0.0;
+    for i in 1..=n {
+        dp[i] = seg(0, i);
+    }
+    for _ in 2..=p {
+        let mut next = vec![f64::INFINITY; n + 1];
+        next[0] = 0.0;
+        for i in 1..=n {
+            let mut best = f64::INFINITY;
+            for cut in 0..i {
+                best = best.min(dp[cut].max(seg(cut, i)));
+            }
+            next[i] = best;
+        }
+        dp = next;
+    }
+    dp[n]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bisection-based min-bottleneck partitioner matches the exact DP
+    /// optimum on random 1-D weight sequences (8 cells, the d=1, k=3 grid).
+    #[test]
+    fn min_bottleneck_matches_dp(
+        raw in proptest::collection::vec(0.0f64..100.0, 8),
+        p in 1usize..6,
+    ) {
+        let grid = Grid::<1>::new(3).unwrap();
+        let curve = SimpleCurve::<1>::over(grid);
+        let weights = WeightedGrid::from_weights(grid, raw.clone());
+        let partition = partition_min_bottleneck(&curve, &weights, p, 1e-12);
+        let measured = partition.bottleneck(&raw);
+        let optimal = dp_bottleneck(&raw, p);
+        let total: f64 = raw.iter().sum();
+        prop_assert!(
+            (measured - optimal).abs() <= 1e-6 * total.max(1.0),
+            "measured {measured} vs DP optimum {optimal} (p = {p}, weights {raw:?})"
+        );
+    }
+
+    /// Greedy bottleneck is at most optimum + max single weight (the
+    /// classical greedy guarantee), and never below the optimum.
+    #[test]
+    fn greedy_respects_classical_guarantee(
+        raw in proptest::collection::vec(0.0f64..50.0, 8),
+        p in 1usize..5,
+    ) {
+        let grid = Grid::<1>::new(3).unwrap();
+        let curve = SimpleCurve::<1>::over(grid);
+        let weights = WeightedGrid::from_weights(grid, raw.clone());
+        let greedy = partition_greedy(&curve, &weights, p).bottleneck(&raw);
+        let optimal = dp_bottleneck(&raw, p);
+        let max_w = raw.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(greedy >= optimal - 1e-9, "greedy {greedy} < optimal {optimal}");
+        prop_assert!(
+            greedy <= optimal + max_w + 1e-9,
+            "greedy {greedy} > optimal {optimal} + max {max_w}"
+        );
+    }
+}

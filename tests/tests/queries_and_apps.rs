@@ -1,0 +1,130 @@
+//! Integration tests for the application substrates: query correctness
+//! across curves and workloads, and end-to-end partition/N-body sanity.
+
+use proptest::prelude::*;
+use sfc_core::{CurveKind, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
+use sfc_index::{BoxRegion, SfcIndex};
+use sfc_integration::test_rng;
+
+fn random_records(grid: Grid<2>, count: usize, seed: u64) -> Vec<(Point<2>, usize)> {
+    let mut rng = test_rng(seed);
+    (0..count).map(|i| (grid.random_cell(&mut rng), i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BIGMIN jumping and interval decomposition return identical result
+    /// sets on random boxes and record sets.
+    #[test]
+    fn bigmin_equals_intervals(seed in any::<u64>(), lx in 0u32..16, ly in 0u32..16, w in 0u32..8, h in 0u32..8) {
+        let grid = Grid::<2>::new(4).unwrap();
+        let index = SfcIndex::build(ZCurve::over(grid), random_records(grid, 300, seed));
+        let hi = Point::new([(lx + w).min(15), (ly + h).min(15)]);
+        let region = BoxRegion::new(Point::new([lx.min(hi.coord(0)), ly.min(hi.coord(1))]), hi);
+        let (a, _) = index.query_box_bigmin(&region);
+        let (b, _) = index.query_box_intervals(&region);
+        let mut ka: Vec<usize> = a.iter().map(|e| e.payload).collect();
+        let mut kb: Vec<usize> = b.iter().map(|e| e.payload).collect();
+        ka.sort_unstable();
+        kb.sort_unstable();
+        prop_assert_eq!(ka, kb);
+    }
+
+    /// Verified kNN equals the linear-scan ground truth in distance
+    /// profile, for random queries on random data, under both Z and
+    /// Hilbert.
+    #[test]
+    fn knn_is_exact(seed in any::<u64>(), qx in 0u32..16, qy in 0u32..16, k in 1usize..10) {
+        let grid = Grid::<2>::new(4).unwrap();
+        let records = random_records(grid, 150, seed);
+        let q = Point::new([qx, qy]);
+
+        let zidx = SfcIndex::build(ZCurve::over(grid), records.clone());
+        let (got, _) = zidx.knn(q, k, 4);
+        let want = zidx.knn_linear(q, k);
+        let gd: Vec<u64> = got.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+        let wd: Vec<u64> = want.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+        prop_assert_eq!(&gd, &wd);
+
+        let hidx = SfcIndex::build(HilbertCurve::over(grid), records);
+        let (got_h, _) = hidx.knn(q, k, 4);
+        let hd: Vec<u64> = got_h.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+        prop_assert_eq!(&hd, &wd);
+    }
+
+    /// Partitions are well-formed for every curve, part count and
+    /// workload: complete coverage, imbalance ≥ 1, cut bounded by total
+    /// edges.
+    #[test]
+    fn partitions_are_well_formed(
+        kind_idx in 0usize..5,
+        p in 1usize..12,
+        clustered in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use sfc_partition::{partition_greedy, quality, WeightedGrid, Workload};
+        let grid = Grid::<2>::new(3).unwrap();
+        let mut rng = test_rng(seed);
+        let workload = if clustered {
+            Workload::GaussianClusters { count: 3, sigma: 1.0 }
+        } else {
+            Workload::Uniform
+        };
+        let weights = WeightedGrid::generate(grid, workload, &mut rng);
+        let curve = CurveKind::ALL[kind_idx].build::<2>(3).unwrap();
+        let part = partition_greedy(&curve, &weights, p);
+        prop_assert_eq!(part.parts(), p);
+        prop_assert_eq!(*part.boundaries().last().unwrap(), 64u128);
+        let q = quality::evaluate(&curve, &weights, &part);
+        prop_assert!(q.imbalance >= 1.0 - 1e-12);
+        prop_assert!(q.edge_cut <= grid.nn_edge_count() as u64);
+        prop_assert!(q.comm_volume <= 64);
+        // Parallel evaluation agrees exactly.
+        prop_assert_eq!(q, quality::evaluate_par(&curve, &weights, &part));
+    }
+}
+
+/// The index works end-to-end with a *permutation* curve (the paper's
+/// fully general bijection) — queries just degrade, never break.
+#[test]
+fn index_with_random_bijection_curve() {
+    let grid = Grid::<2>::new(3).unwrap();
+    let mut rng = test_rng(42);
+    let curve = sfc_core::PermutationCurve::random(grid, &mut rng).unwrap();
+    let records = random_records(grid, 100, 7);
+    let index = SfcIndex::build(&curve, records);
+    let region = BoxRegion::new(Point::new([1, 1]), Point::new([5, 6]));
+    let (hits, stats) = index.query_box_intervals(&region);
+    let (full, _) = index.query_box_full_scan(&region);
+    assert_eq!(hits.len(), full.len());
+    // A random bijection has dreadful clustering: many seeks.
+    assert!(stats.seeks >= hits.len() as u64 / 4);
+    // kNN still exact.
+    let q = Point::new([3, 3]);
+    let (got, _) = index.knn(q, 5, 8);
+    let want = index.knn_linear(q, 5);
+    let gd: Vec<u64> = got.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+    let wd: Vec<u64> = want.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+    assert_eq!(gd, wd);
+}
+
+/// N-body pipeline through the facade: sample → tree → BH forces →
+/// leapfrog steps, with bounded energy drift.
+#[test]
+fn nbody_end_to_end() {
+    use sfc_nbody::body::{sample_bodies, Distribution};
+    let mut rng = test_rng(11);
+    let mut bodies: Vec<sfc_nbody::Body<2>> =
+        sample_bodies(Distribution::Clustered { clusters: 3, sigma: 0.08 }, 150, &mut rng);
+    for b in bodies.iter_mut() {
+        b.mass = 1.0 / 150.0;
+    }
+    let drift = sfc_nbody::sim::run_barnes_hut(&mut bodies, 5e-5, 10, 1e-2, 0.6, 8, 4);
+    assert!(drift < 1e-2, "energy drift {drift}");
+    // Decomposition summaries are finite and ordered sensibly.
+    let z = ZCurve::<2>::new(6).unwrap();
+    let summary = sfc_nbody::decomp::summarize(&z, &mut bodies, 4);
+    assert!(summary.sequential_locality.is_finite());
+    assert!(summary.mean_chunk_volume >= 0.0);
+}
