@@ -14,15 +14,19 @@ fn bench_encode_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("encode_d2_k10");
     for kind in CurveKind::ALL {
         let curve = kind.build::<2>(10).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &curve, |b, curve| {
-            b.iter(|| {
-                let mut acc = 0u128;
-                for p in &points {
-                    acc ^= curve.index_of(black_box(*p));
-                }
-                acc
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &curve,
+            |b, curve| {
+                b.iter(|| {
+                    let mut acc = 0u128;
+                    for p in &points {
+                        acc ^= curve.index_of(black_box(*p));
+                    }
+                    acc
+                })
+            },
+        );
     }
     group.finish();
 
@@ -30,15 +34,19 @@ fn bench_encode_decode(c: &mut Criterion) {
     let indices: Vec<u128> = (0..1024).map(|_| rng.gen_range(0..grid.n())).collect();
     for kind in CurveKind::ALL {
         let curve = kind.build::<2>(10).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &curve, |b, curve| {
-            b.iter(|| {
-                let mut acc = 0u32;
-                for &i in &indices {
-                    acc ^= curve.point_of(black_box(i)).coord(0);
-                }
-                acc
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &curve,
+            |b, curve| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for &i in &indices {
+                        acc ^= curve.point_of(black_box(i)).coord(0);
+                    }
+                    acc
+                })
+            },
+        );
     }
     group.finish();
 }

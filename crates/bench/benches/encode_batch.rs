@@ -1,0 +1,193 @@
+//! Batch-encoding and bulk-load throughput: the PR's acceptance numbers.
+//!
+//! * `encode_*`: points/sec for the scalar `index_of` loop vs. the
+//!   LUT-dilation scalar path (Z only) vs. `index_of_batch`, for the 2-D /
+//!   3-D Hilbert and Z curves at k ∈ {10, 16, 21}.
+//! * `index_build_1m`: `SfcIndex` bulk load (batch encode + radix sort)
+//!   vs. the seed's array-of-structs `sort_by_key` build, on 1M uniform
+//!   random points.
+//!
+//! Each benchmark iteration processes [`N_POINTS`] points (or builds one
+//! 1M-record index), so points/sec = N / (reported time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
+use sfc_index::SfcIndex;
+use std::hint::black_box;
+
+const N_POINTS: usize = 8192;
+
+fn points_for<const D: usize>(grid: Grid<D>, seed: u64) -> Vec<Point<D>> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..N_POINTS).map(|_| grid.random_cell(&mut rng)).collect()
+}
+
+fn bench_encode_2d(c: &mut Criterion) {
+    for k in [10u32, 16, 21] {
+        let grid = Grid::<2>::new(k).unwrap();
+        let points = points_for(grid, u64::from(k));
+        let z = ZCurve::over(grid);
+        let h = HilbertCurve::over(grid);
+        let mut group = c.benchmark_group(format!("encode_d2_k{k}"));
+        group.bench_with_input(BenchmarkId::new("z", "scalar"), &z, |b, z| {
+            b.iter(|| {
+                let mut acc = 0u128;
+                for p in &points {
+                    acc ^= z.index_of(black_box(*p));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("z", "lut_scalar"), &z, |b, z| {
+            b.iter(|| {
+                let mut acc = 0u128;
+                for p in &points {
+                    acc ^= z.encode_lut(black_box(*p));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("z", "batch"), &z, |b, z| {
+            let mut out = Vec::with_capacity(N_POINTS);
+            b.iter(|| {
+                z.index_of_batch(black_box(&points), &mut out);
+                out.last().copied()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert", "scalar"), &h, |b, h| {
+            b.iter(|| {
+                let mut acc = 0u128;
+                for p in &points {
+                    acc ^= h.index_of(black_box(*p));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert", "batch"), &h, |b, h| {
+            let mut out = Vec::with_capacity(N_POINTS);
+            b.iter(|| {
+                h.index_of_batch(black_box(&points), &mut out);
+                out.last().copied()
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_encode_3d(c: &mut Criterion) {
+    for k in [10u32, 16, 21] {
+        let grid = Grid::<3>::new(k).unwrap();
+        let points = points_for(grid, 100 + u64::from(k));
+        let z = ZCurve::over(grid);
+        let h = HilbertCurve::over(grid);
+        let mut group = c.benchmark_group(format!("encode_d3_k{k}"));
+        group.bench_with_input(BenchmarkId::new("z", "scalar"), &z, |b, z| {
+            b.iter(|| {
+                let mut acc = 0u128;
+                for p in &points {
+                    acc ^= z.index_of(black_box(*p));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("z", "batch"), &z, |b, z| {
+            let mut out = Vec::with_capacity(N_POINTS);
+            b.iter(|| {
+                z.index_of_batch(black_box(&points), &mut out);
+                out.last().copied()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert", "scalar"), &h, |b, h| {
+            b.iter(|| {
+                let mut acc = 0u128;
+                for p in &points {
+                    acc ^= h.index_of(black_box(*p));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert", "batch"), &h, |b, h| {
+            let mut out = Vec::with_capacity(N_POINTS);
+            b.iter(|| {
+                h.index_of_batch(black_box(&points), &mut out);
+                out.last().copied()
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_decode_batch(c: &mut Criterion) {
+    let k = 16u32;
+    let grid = Grid::<2>::new(k).unwrap();
+    let points = points_for(grid, 7);
+    let h = HilbertCurve::over(grid);
+    let mut keys = Vec::new();
+    h.index_of_batch(&points, &mut keys);
+    let mut group = c.benchmark_group("decode_d2_k16");
+    group.bench_function("hilbert_scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &i in &keys {
+                acc ^= h.point_of(black_box(i)).coord(0);
+            }
+            acc
+        })
+    });
+    group.bench_function("hilbert_batch", |b| {
+        let mut out = Vec::with_capacity(N_POINTS);
+        b.iter(|| {
+            h.point_of_batch(black_box(&keys), &mut out);
+            out.last().copied()
+        })
+    });
+    group.finish();
+}
+
+/// The seed's build strategy, kept as the baseline: array-of-structs with
+/// scalar encoding and a stable comparison sort.
+fn aos_comparison_build<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    records: &[(Point<D>, u64)],
+) -> Vec<(CurveIndex, Point<D>, u64)> {
+    let mut entries: Vec<(CurveIndex, Point<D>, u64)> = records
+        .iter()
+        .map(|&(p, payload)| (curve.index_of(p), p, payload))
+        .collect();
+    entries.sort_by_key(|e| e.0);
+    entries
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let k = 16u32;
+    let grid = Grid::<2>::new(k).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let records: Vec<(Point<2>, u64)> = (0..1_000_000)
+        .map(|i| (grid.random_cell(&mut rng), i))
+        .collect();
+    let z = ZCurve::over(grid);
+    let h = HilbertCurve::over(grid);
+    let mut group = c.benchmark_group("index_build_1m_d2_k16");
+    group.sample_size(10);
+    group.bench_function("z_aos_sort_by_key", |b| {
+        b.iter(|| black_box(aos_comparison_build(&z, &records)).len())
+    });
+    group.bench_function("z_soa_radix_bulk_load", |b| {
+        b.iter(|| black_box(SfcIndex::build(z, records.iter().copied())).len())
+    });
+    group.bench_function("hilbert_aos_sort_by_key", |b| {
+        b.iter(|| black_box(aos_comparison_build(&h, &records)).len())
+    });
+    group.bench_function("hilbert_soa_radix_bulk_load", |b| {
+        b.iter(|| black_box(SfcIndex::build(h, records.iter().copied())).len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encode_2d, bench_encode_3d, bench_decode_batch, bench_index_build
+}
+criterion_main!(benches);

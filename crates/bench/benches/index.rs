@@ -6,14 +6,7 @@ use sfc_core::{Grid, HilbertCurve, Point, ZCurve};
 use sfc_index::{BoxRegion, SfcIndex};
 use std::hint::black_box;
 
-fn setup(
-    k: u32,
-    records: usize,
-) -> (
-    Grid<2>,
-    Vec<(Point<2>, usize)>,
-    Vec<BoxRegion<2>>,
-) {
+fn setup(k: u32, records: usize) -> (Grid<2>, Vec<(Point<2>, usize)>, Vec<BoxRegion<2>>) {
     let grid = Grid::<2>::new(k).unwrap();
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
     let recs: Vec<(Point<2>, usize)> = (0..records)

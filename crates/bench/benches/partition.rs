@@ -3,7 +3,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use sfc_core::{Grid, ZCurve};
-use sfc_partition::{partition_greedy, partitioner::partition_min_bottleneck, quality, WeightedGrid, Workload};
+use sfc_partition::{
+    partition_greedy, partitioner::partition_min_bottleneck, quality, WeightedGrid, Workload,
+};
 use std::hint::black_box;
 
 fn bench_partition(c: &mut Criterion) {

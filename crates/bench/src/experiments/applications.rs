@@ -54,9 +54,8 @@ pub fn app_partition() -> Vec<Table> {
 pub fn app_index() -> Vec<Table> {
     let grid = Grid::<2>::new(5).unwrap(); // 32×32
     let mut r = rng(66);
-    let records: Vec<(Point<2>, usize)> = (0..2_000)
-        .map(|i| (grid.random_cell(&mut r), i))
-        .collect();
+    let records: Vec<(Point<2>, usize)> =
+        (0..2_000).map(|i| (grid.random_cell(&mut r), i)).collect();
     let queries: Vec<BoxRegion<2>> = (0..100)
         .map(|_| {
             let corner = grid.random_cell(&mut r);
@@ -73,7 +72,12 @@ pub fn app_index() -> Vec<Table> {
 
     let mut table = Table::new(
         "Box-query cost via interval decomposition (100 random boxes, 2000 records)",
-        &["curve", "avg seeks (intervals)", "avg reported", "kNN avg scanned (k=5)"],
+        &[
+            "curve",
+            "avg seeks (intervals)",
+            "avg reported",
+            "kNN avg scanned (k=5)",
+        ],
     );
     for kind in CurveKind::ALL {
         let curve = kind.build::<2>(5).unwrap();
@@ -143,7 +147,12 @@ pub fn app_nbody() -> Vec<Table> {
         let bodies: Vec<sfc_nbody::Body<2>> = sample_bodies(dist, 600, &mut rng(77));
         let mut table = Table::new(
             format!("SFC body-ordering quality, 600 bodies, {dname}"),
-            &["curve", "seq. locality", "mean chunk bbox vol (p=8)", "empirical NN stretch"],
+            &[
+                "curve",
+                "seq. locality",
+                "mean chunk bbox vol (p=8)",
+                "empirical NN stretch",
+            ],
         );
         for kind in CurveKind::ALL {
             let curve = kind.build::<2>(6).unwrap();
@@ -165,7 +174,12 @@ pub fn app_nbody() -> Vec<Table> {
     let direct = sfc_nbody::gravity::direct_forces_par(tree.bodies(), 1e-3);
     let mut bh_table = Table::new(
         "Barnes–Hut vs direct (800 bodies, Morton tree)",
-        &["θ", "interactions", "vs direct n(n−1)", "mean rel. force error"],
+        &[
+            "θ",
+            "interactions",
+            "vs direct n(n−1)",
+            "mean rel. force error",
+        ],
     );
     for theta in [0.3f64, 0.5, 0.8, 1.2] {
         let (forces, stats) = sfc_nbody::gravity::barnes_hut_forces_par(&tree, theta, 1e-3);

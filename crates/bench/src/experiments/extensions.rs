@@ -49,7 +49,14 @@ pub fn hilbert() -> Vec<Table> {
 pub fn optsearch() -> Vec<Table> {
     let mut table = Table::new(
         "Best curves found vs the Theorem-1 bound and the Z curve (d=2)",
-        &["grid", "method", "best D^avg", "Z D^avg", "Thm-1 bound", "best/bound"],
+        &[
+            "grid",
+            "method",
+            "best D^avg",
+            "Z D^avg",
+            "Thm-1 bound",
+            "best/bound",
+        ],
     );
 
     // 2×2: exhaustive ground truth.
@@ -103,9 +110,18 @@ pub fn optsearch() -> Vec<Table> {
 pub fn dmax_z() -> Vec<Table> {
     let mut table = Table::new(
         "D^max(Z)/n^{1−1/d}: exact closed form, far beyond enumerable sizes",
-        &["d", "k", "n", "normalized D^max(Z)", "simple curve (Prop. 2)"],
+        &[
+            "d",
+            "k",
+            "n",
+            "normalized D^max(Z)",
+            "simple curve (Prop. 2)",
+        ],
     );
-    for (d, ks) in [(2usize, vec![2u32, 4, 8, 16, 24, 28]), (3, vec![2, 4, 8, 12, 16])] {
+    for (d, ks) in [
+        (2usize, vec![2u32, 4, 8, 16, 24, 28]),
+        (3, vec![2, 4, 8, 12, 16]),
+    ] {
         for k in ks {
             let v = sfc_metrics::dmax_z::dmax_z_normalized(k, d);
             table.push_row(vec![
@@ -126,15 +142,21 @@ pub fn dmax_z() -> Vec<Table> {
     let enum2 = summarize_par(&z2).dmax_sum;
     let closed2 = sfc_metrics::dmax_z::dmax_z_sum(4, 2);
     check.push_row(vec![
-        "2".into(), "4".into(),
-        closed2.to_string(), enum2.to_string(), (closed2 == enum2).to_string(),
+        "2".into(),
+        "4".into(),
+        closed2.to_string(),
+        enum2.to_string(),
+        (closed2 == enum2).to_string(),
     ]);
     let z3 = sfc_core::ZCurve::<3>::new(3).unwrap();
     let enum3 = summarize_par(&z3).dmax_sum;
     let closed3 = sfc_metrics::dmax_z::dmax_z_sum(3, 3);
     check.push_row(vec![
-        "3".into(), "3".into(),
-        closed3.to_string(), enum3.to_string(), (closed3 == enum3).to_string(),
+        "3".into(),
+        "3".into(),
+        closed3.to_string(),
+        enum3.to_string(),
+        (closed3 == enum3).to_string(),
     ]);
     assert_eq!(closed2, enum2);
     assert_eq!(closed3, enum3);

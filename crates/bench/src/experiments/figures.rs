@@ -16,7 +16,12 @@ pub fn fig1() -> Vec<Table> {
         "Figure 1 per-cell δ^avg (grid layout: A=(0,1) C=(1,1) / D=(0,0) B=(1,0))",
         &["cell", "δ^avg under π₁", "δ^avg under π₂"],
     );
-    let labels = [("A", Point::new([0, 1])), ("B", Point::new([1, 0])), ("C", Point::new([1, 1])), ("D", Point::new([0, 0]))];
+    let labels = [
+        ("A", Point::new([0, 1])),
+        ("B", Point::new([1, 0])),
+        ("C", Point::new([1, 1])),
+        ("D", Point::new([0, 0])),
+    ];
     let grid = pi1.grid();
     let deltas1 = per_cell_delta_avg(&pi1);
     let deltas2 = per_cell_delta_avg(&pi2);
@@ -49,8 +54,14 @@ pub fn fig1() -> Vec<Table> {
         &["quantity", "value"],
     );
     optimum.push_row(vec!["optimal D^avg".into(), fmt_f64(opt.d_avg(), 3)]);
-    optimum.push_row(vec!["bijections evaluated".into(), opt.evaluated.to_string()]);
-    optimum.push_row(vec!["optimal bijections".into(), opt.optima_count.to_string()]);
+    optimum.push_row(vec![
+        "bijections evaluated".into(),
+        opt.evaluated.to_string(),
+    ]);
+    optimum.push_row(vec![
+        "optimal bijections".into(),
+        opt.optima_count.to_string(),
+    ]);
     optimum.push_row(vec![
         "π₁ achieves the optimum".into(),
         (summarize(&pi1).d_avg() == opt.d_avg()).to_string(),
@@ -84,10 +95,7 @@ pub fn fig2() -> Vec<Table> {
     ]);
     let fset: std::collections::HashSet<_> = fwd.iter().collect();
     let bset: std::collections::HashSet<_> = bwd.iter().collect();
-    props.push_row(vec![
-        "p(α,β) ≠ p(β,α)".into(),
-        (fset != bset).to_string(),
-    ]);
+    props.push_row(vec!["p(α,β) ≠ p(β,α)".into(), (fset != bset).to_string()]);
     vec![table, props]
 }
 
@@ -97,7 +105,9 @@ pub fn fig3() -> Vec<Table> {
     let z = ZCurve::<2>::new(3).unwrap();
     let mut layout = Table::new(
         "Figure 3: Z keys on the 8×8 grid (binary, row x2=7 at top)",
-        &["x2\\x1", "000", "001", "010", "011", "100", "101", "110", "111"],
+        &[
+            "x2\\x1", "000", "001", "010", "011", "100", "101", "110", "111",
+        ],
     );
     for x2 in (0..8u32).rev() {
         let mut row = vec![format!("{x2:03b}")];
@@ -159,7 +169,7 @@ mod tests {
         assert_eq!(summary.rows[0][3], "2.000"); // D^max(π₁)
         assert_eq!(summary.rows[1][2], "2.000"); // D^avg(π₂)
         assert_eq!(summary.rows[1][3], "2.500"); // D^max(π₂)
-        // π₁ is optimal.
+                                                 // π₁ is optimal.
         assert_eq!(tables[2].rows[3][1], "true");
     }
 

@@ -80,7 +80,13 @@ pub fn stratified() -> Vec<Table> {
 
     let mut table = Table::new(
         "Estimating the Z curve's stretch on n = 2^52 (asymptote = 2^25/2)",
-        &["estimator", "estimate", "std. error", "target", "rel. error"],
+        &[
+            "estimator",
+            "estimate",
+            "std. error",
+            "target",
+            "rel. error",
+        ],
     );
     table.push_row(vec![
         "naive cell sampling (2080 cells)".into(),
@@ -123,7 +129,14 @@ pub fn distribution() -> Vec<Table> {
     let k = 6u32;
     let mut table = Table::new(
         "Per-edge Δπ distribution, 64×64 grid (counts per log2 bucket)",
-        &["curve", "occupied buckets", "median bucket", "mean Δπ", "max Δπ", "mass in Δ ≥ 2^6"],
+        &[
+            "curve",
+            "occupied buckets",
+            "median bucket",
+            "mean Δπ",
+            "max Δπ",
+            "mass in Δ ≥ 2^6",
+        ],
     );
     for curve in all_2d_curves(k) {
         let h = edge_distance_histogram(&curve);
@@ -147,7 +160,9 @@ mod tests {
     fn seven_curves_are_bijections() {
         use sfc_core::SpaceFillingCurve;
         for curve in all_2d_curves(3) {
-            curve.validate_bijection().unwrap_or_else(|e| panic!("{}: {e}", curve.name()));
+            curve
+                .validate_bijection()
+                .unwrap_or_else(|e| panic!("{}: {e}", curve.name()));
         }
         assert_eq!(all_2d_curves(2).len(), 7);
     }
@@ -185,7 +200,10 @@ mod tests {
         let tables = distribution();
         let rows = &tables[0].rows;
         let get = |name: &str, col: usize| -> String {
-            rows.iter().find(|r| r[0] == name).map(|r| r[col].clone()).unwrap()
+            rows.iter()
+                .find(|r| r[0] == name)
+                .map(|r| r[col].clone())
+                .unwrap()
         };
         // Simple: exactly two spikes (1 and side).
         assert_eq!(get("simple", 1), "2");
@@ -209,7 +227,10 @@ mod tests {
         let big = &tables[0];
         let naive_err: f64 = big.rows[0][4].parse().unwrap();
         let strat_err: f64 = big.rows[1][4].parse().unwrap();
-        assert!(strat_err < 1e-6, "stratified should be near-exact: {strat_err}");
+        assert!(
+            strat_err < 1e-6,
+            "stratified should be near-exact: {strat_err}"
+        );
         assert!(naive_err > 0.1, "naive should miss badly: {naive_err}");
     }
 }

@@ -33,7 +33,11 @@ pub fn thm1() -> Vec<Table> {
         for &k in ks {
             let bound = bounds::thm1_nn_stretch_lower_bound(k, D);
             for s in curve_summaries::<D>(k) {
-                assert!(s.d_avg() >= bound - 1e-9, "violation: {} d={D} k={k}", s.curve);
+                assert!(
+                    s.d_avg() >= bound - 1e-9,
+                    "violation: {} d={D} k={k}",
+                    s.curve
+                );
                 table.push_row(vec![
                     D.to_string(),
                     k.to_string(),
@@ -118,7 +122,13 @@ pub fn lem2() -> Vec<Table> {
 pub fn lem4() -> Vec<Table> {
     let mut table = Table::new(
         "Lemma 4: max edge multiplicity in the NN decomposition vs bound",
-        &["d", "k", "max multiplicity (census)", "closed-form max", "bound ½·n^{(d+1)/d}"],
+        &[
+            "d",
+            "k",
+            "max multiplicity (census)",
+            "closed-form max",
+            "bound ½·n^{(d+1)/d}",
+        ],
     );
     fn row<const D: usize>(table: &mut Table, k: u32) {
         let grid = Grid::<D>::new(k).unwrap();
@@ -209,7 +219,14 @@ pub fn lem5() -> Vec<Table> {
 pub fn thm3() -> Vec<Table> {
     let mut table = Table::new(
         "Theorem 3: D^avg(simple) vs the asymptote (1/d)·n^{1−1/d}",
-        &["d", "k", "D^avg(S)", "asymptote", "normalized (→1)", "interior δ^avg (exact)"],
+        &[
+            "d",
+            "k",
+            "D^avg(S)",
+            "asymptote",
+            "normalized (→1)",
+            "interior δ^avg (exact)",
+        ],
     );
     fn rows<const D: usize>(table: &mut Table, ks: &[u32]) {
         for &k in ks {
@@ -359,7 +376,7 @@ mod tests {
         let tables = thm2();
         let rows = &tables[0].rows;
         // d=2 rows: normalized ratio at the largest k should be close to 1.
-        let last_d2 = rows.iter().filter(|r| r[0] == "2").next_back().unwrap();
+        let last_d2 = rows.iter().rfind(|r| r[0] == "2").unwrap();
         let ratio: f64 = last_d2[5].parse().unwrap();
         assert!((ratio - 1.0).abs() < 0.05, "d=2 normalized {ratio}");
     }
@@ -368,7 +385,7 @@ mod tests {
     fn ratio15_converges() {
         let tables = ratio15();
         let rows = &tables[0].rows;
-        let last_d2 = rows.iter().filter(|r| r[0] == "2").next_back().unwrap();
+        let last_d2 = rows.iter().rfind(|r| r[0] == "2").unwrap();
         let ratio: f64 = last_d2[2].parse().unwrap();
         assert!((ratio - 1.5).abs() < 0.05, "ratio {ratio}");
     }

@@ -34,6 +34,31 @@ pub trait SpaceFillingCurve<const D: usize> {
     /// The cell at a given curve position (the inverse bijection `π⁻¹`).
     fn point_of(&self, idx: CurveIndex) -> Point<D>;
 
+    /// Encodes a batch of points, appending one index per point to `out`
+    /// (after clearing it).
+    ///
+    /// Semantically identical to mapping [`Self::index_of`] over `points`;
+    /// implementations override it with table-driven kernels that amortize
+    /// per-call overhead and keep the loop free of per-element branches
+    /// (see [`ZCurve`](crate::ZCurve) and
+    /// [`HilbertCurve`](crate::HilbertCurve)). This is the entry point all
+    /// bulk workloads (index build, metric sweeps, n-body decomposition)
+    /// go through.
+    fn index_of_batch(&self, points: &[Point<D>], out: &mut Vec<CurveIndex>) {
+        out.clear();
+        out.reserve(points.len());
+        out.extend(points.iter().map(|&p| self.index_of(p)));
+    }
+
+    /// Decodes a batch of indices, appending one point per index to `out`
+    /// (after clearing it). Semantically identical to mapping
+    /// [`Self::point_of`] over `indices`.
+    fn point_of_batch(&self, indices: &[CurveIndex], out: &mut Vec<Point<D>>) {
+        out.clear();
+        out.reserve(indices.len());
+        out.extend(indices.iter().map(|&i| self.point_of(i)));
+    }
+
     /// A short human-readable name ("Z", "Hilbert", …) used in reports.
     fn name(&self) -> String {
         "unnamed".to_string()
@@ -160,6 +185,12 @@ impl<const D: usize> SpaceFillingCurve<D> for BoxedCurve<D> {
     fn point_of(&self, idx: CurveIndex) -> Point<D> {
         (**self).point_of(idx)
     }
+    fn index_of_batch(&self, points: &[Point<D>], out: &mut Vec<CurveIndex>) {
+        (**self).index_of_batch(points, out)
+    }
+    fn point_of_batch(&self, indices: &[CurveIndex], out: &mut Vec<Point<D>>) {
+        (**self).point_of_batch(indices, out)
+    }
     fn name(&self) -> String {
         (**self).name()
     }
@@ -174,6 +205,12 @@ impl<const D: usize, C: SpaceFillingCurve<D> + ?Sized> SpaceFillingCurve<D> for 
     }
     fn point_of(&self, idx: CurveIndex) -> Point<D> {
         (**self).point_of(idx)
+    }
+    fn index_of_batch(&self, points: &[Point<D>], out: &mut Vec<CurveIndex>) {
+        (**self).index_of_batch(points, out)
+    }
+    fn point_of_batch(&self, indices: &[CurveIndex], out: &mut Vec<Point<D>>) {
+        (**self).point_of_batch(indices, out)
     }
     fn name(&self) -> String {
         (**self).name()
@@ -315,7 +352,7 @@ mod tests {
         fn takes_curve<C: SpaceFillingCurve<2>>(c: C) -> u128 {
             c.index_of(Point::new([0, 0]))
         }
-        assert_eq!(takes_curve(&z), 0);
+        assert_eq!(takes_curve(z), 0);
     }
 
     #[test]

@@ -83,11 +83,7 @@ impl SpaceFillingCurve<2> for DiagonalCurve {
         let y_min = s.saturating_sub(side - 1);
         let pos_up = y - y_min; // direction of increasing x₂
         let len = self.diag_len(s);
-        let offset = if s % 2 == 0 {
-            pos_up
-        } else {
-            len - 1 - pos_up
-        };
+        let offset = if s % 2 == 0 { pos_up } else { len - 1 - pos_up };
         self.cells_before_diag(s) + offset
     }
 
@@ -107,7 +103,11 @@ impl SpaceFillingCurve<2> for DiagonalCurve {
         let s = lo;
         let len = self.diag_len(s);
         let offset = idx - self.cells_before_diag(s);
-        let pos_up = if s % 2 == 0 { offset } else { len - 1 - offset };
+        let pos_up = if s.is_multiple_of(2) {
+            offset
+        } else {
+            len - 1 - offset
+        };
         let y_min = s.saturating_sub(side - 1);
         let y = y_min + pos_up;
         let x = s - y;

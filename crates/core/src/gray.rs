@@ -64,6 +64,21 @@ impl<const D: usize> SpaceFillingCurve<D> for GrayCurve<D> {
         self.morton.decode(gray(idx))
     }
 
+    /// Batch encode: the Morton LUT kernel, then the Gray inverse on each
+    /// key in place.
+    fn index_of_batch(&self, points: &[Point<D>], out: &mut Vec<CurveIndex>) {
+        self.morton.index_of_batch(points, out);
+        for key in out.iter_mut() {
+            *key = gray_inverse(*key);
+        }
+    }
+
+    fn point_of_batch(&self, indices: &[CurveIndex], out: &mut Vec<Point<D>>) {
+        out.clear();
+        out.reserve(indices.len());
+        out.extend(indices.iter().map(|&i| self.morton.decode(gray(i))));
+    }
+
     fn name(&self) -> String {
         "gray".to_string()
     }
@@ -75,10 +90,22 @@ mod tests {
 
     #[test]
     fn is_bijective() {
-        GrayCurve::<1>::new(5).unwrap().validate_bijection().unwrap();
-        GrayCurve::<2>::new(3).unwrap().validate_bijection().unwrap();
-        GrayCurve::<3>::new(2).unwrap().validate_bijection().unwrap();
-        GrayCurve::<4>::new(1).unwrap().validate_bijection().unwrap();
+        GrayCurve::<1>::new(5)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        GrayCurve::<2>::new(3)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        GrayCurve::<3>::new(2)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        GrayCurve::<4>::new(1)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
     }
 
     #[test]

@@ -237,7 +237,11 @@ impl<const D: usize> Iterator for CellIter<D> {
             }
             *c = 0;
         }
-        self.next = if carried { None } else { Some(Point::new(coords)) };
+        self.next = if carried {
+            None
+        } else {
+            Some(Point::new(coords))
+        };
         Some(current)
     }
 
@@ -391,7 +395,7 @@ mod tests {
         for cell in g.cells() {
             let count = g.neighbors(cell).count();
             assert_eq!(count, g.neighbor_count(&cell));
-            assert!(count >= 2 && count <= 4, "cell {cell} has {count}");
+            assert!((2..=4).contains(&count), "cell {cell} has {count}");
         }
         // Corner has exactly d, interior exactly 2d.
         assert_eq!(g.neighbor_count(&Point::new([0, 0])), 2);

@@ -15,10 +15,11 @@
 //! consecutive indices are always nearest neighbors — a property the tests
 //! verify exhaustively on small grids in 2, 3 and 4 dimensions.
 
-use crate::bits::{dilate, undilate};
+use crate::bits::{dilate, dilate2_lut, dilate3_lut, undilate, undilate2_lut, undilate3};
 use crate::curve::SpaceFillingCurve;
 use crate::error::SfcError;
 use crate::grid::Grid;
+use crate::hilbert_tables::{tables_2d, tables_3d};
 use crate::point::Point;
 use crate::CurveIndex;
 
@@ -178,6 +179,65 @@ impl<const D: usize> SpaceFillingCurve<D> for HilbertCurve<D> {
         Point::new(self.transpose_to_axes(self.unpack(idx)))
     }
 
+    /// Batch encode via the byte-at-a-time state-transition tables
+    /// ([`crate::hilbert_tables`]): LUT-dilate each point to its Morton
+    /// key, then transduce Morton → Hilbert a byte (2-D) or 6 bits (3-D)
+    /// per table lookup. Identical output to the scalar Skilling path,
+    /// verified exhaustively at table-construction time and by the
+    /// workspace property tests.
+    fn index_of_batch(&self, points: &[Point<D>], out: &mut Vec<CurveIndex>) {
+        let k = self.grid.k();
+        out.clear();
+        out.reserve(points.len());
+        if D == 2 && k <= 32 {
+            let t = tables_2d();
+            out.extend(points.iter().map(|p| {
+                let c = p.coords();
+                let m = dilate2_lut(c[0]) << 1 | dilate2_lut(c[1]);
+                u128::from(t.encode(m, k))
+            }));
+        } else if D == 3 && k <= 21 {
+            let t = tables_3d();
+            out.extend(points.iter().map(|p| {
+                let c = p.coords();
+                let m = dilate3_lut(c[0]) << 2 | dilate3_lut(c[1]) << 1 | dilate3_lut(c[2]);
+                u128::from(t.encode(m, k))
+            }));
+        } else {
+            out.extend(points.iter().map(|&p| self.index_of(p)));
+        }
+    }
+
+    /// Batch decode: the inverse transduction (Hilbert → Morton), then
+    /// LUT undilation.
+    fn point_of_batch(&self, indices: &[CurveIndex], out: &mut Vec<Point<D>>) {
+        let k = self.grid.k();
+        out.clear();
+        out.reserve(indices.len());
+        if D == 2 && k <= 32 {
+            let t = tables_2d();
+            out.extend(indices.iter().map(|&idx| {
+                let m = t.decode(idx as u64, k);
+                let mut coords = [0u32; D];
+                coords[0] = undilate2_lut(m >> 1);
+                coords[1] = undilate2_lut(m);
+                Point::new(coords)
+            }));
+        } else if D == 3 && k <= 21 {
+            let t = tables_3d();
+            out.extend(indices.iter().map(|&idx| {
+                let m = t.decode(idx as u64, k);
+                let mut coords = [0u32; D];
+                coords[0] = undilate3((m >> 2) & 0x1249_2492_4924_9249);
+                coords[1] = undilate3((m >> 1) & 0x1249_2492_4924_9249);
+                coords[2] = undilate3(m & 0x1249_2492_4924_9249);
+                Point::new(coords)
+            }));
+        } else {
+            out.extend(indices.iter().map(|&i| self.point_of(i)));
+        }
+    }
+
     fn name(&self) -> String {
         "hilbert".to_string()
     }
@@ -190,17 +250,50 @@ mod tests {
 
     #[test]
     fn is_bijective() {
-        HilbertCurve::<1>::new(4).unwrap().validate_bijection().unwrap();
-        HilbertCurve::<2>::new(1).unwrap().validate_bijection().unwrap();
-        HilbertCurve::<2>::new(2).unwrap().validate_bijection().unwrap();
-        HilbertCurve::<2>::new(3).unwrap().validate_bijection().unwrap();
-        HilbertCurve::<2>::new(4).unwrap().validate_bijection().unwrap();
-        HilbertCurve::<3>::new(1).unwrap().validate_bijection().unwrap();
-        HilbertCurve::<3>::new(2).unwrap().validate_bijection().unwrap();
-        HilbertCurve::<3>::new(3).unwrap().validate_bijection().unwrap();
-        HilbertCurve::<4>::new(1).unwrap().validate_bijection().unwrap();
-        HilbertCurve::<4>::new(2).unwrap().validate_bijection().unwrap();
-        HilbertCurve::<5>::new(1).unwrap().validate_bijection().unwrap();
+        HilbertCurve::<1>::new(4)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        HilbertCurve::<2>::new(1)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        HilbertCurve::<2>::new(2)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        HilbertCurve::<2>::new(3)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        HilbertCurve::<2>::new(4)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        HilbertCurve::<3>::new(1)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        HilbertCurve::<3>::new(2)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        HilbertCurve::<3>::new(3)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        HilbertCurve::<4>::new(1)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        HilbertCurve::<4>::new(2)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        HilbertCurve::<5>::new(1)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
     }
 
     #[test]
@@ -221,9 +314,18 @@ mod tests {
 
     #[test]
     fn starts_at_origin() {
-        assert_eq!(HilbertCurve::<2>::new(3).unwrap().point_of(0), Point::origin());
-        assert_eq!(HilbertCurve::<3>::new(2).unwrap().point_of(0), Point::origin());
-        assert_eq!(HilbertCurve::<4>::new(2).unwrap().point_of(0), Point::origin());
+        assert_eq!(
+            HilbertCurve::<2>::new(3).unwrap().point_of(0),
+            Point::origin()
+        );
+        assert_eq!(
+            HilbertCurve::<3>::new(2).unwrap().point_of(0),
+            Point::origin()
+        );
+        assert_eq!(
+            HilbertCurve::<4>::new(2).unwrap().point_of(0),
+            Point::origin()
+        );
     }
 
     #[test]

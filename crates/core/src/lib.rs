@@ -31,6 +31,45 @@
 //!   paper's remark that "different Z curves are possible by taking the
 //!   dimensions in a different order".
 //!
+//! ## Batch API
+//!
+//! Every curve also exposes
+//! [`index_of_batch`](SpaceFillingCurve::index_of_batch) and
+//! [`point_of_batch`](SpaceFillingCurve::point_of_batch) — semantically a
+//! `map` of the scalar calls, but overridden with table-driven kernels
+//! where it pays:
+//!
+//! * [`ZCurve`] encodes through 256-entry dilation LUTs
+//!   ([`bits::DILATE2_LUT`] / [`bits::DILATE3_LUT`]);
+//! * [`HilbertCurve`] (2-D/3-D) transduces the Morton key through
+//!   precomputed state-transition tables, a byte at a time — an order of
+//!   magnitude faster than the per-bit Skilling transpose it replaces;
+//! * [`GrayCurve`] rides the Morton kernel and applies the Gray inverse
+//!   in place.
+//!
+//! Bulk workloads (index construction in `sfc-index`, metric sweeps in
+//! `sfc-metrics`, n-body decomposition in `sfc-nbody`) all route through
+//! this API. Quickstart:
+//!
+//! ```
+//! use sfc_core::{HilbertCurve, Point, SpaceFillingCurve};
+//!
+//! let h = HilbertCurve::<2>::new(16).unwrap();
+//! let points: Vec<Point<2>> = (0..1000).map(|i| Point::new([i, i * 7 % 65_536])).collect();
+//!
+//! // One call encodes the whole batch through the table kernel …
+//! let mut keys = Vec::new();
+//! h.index_of_batch(&points, &mut keys);
+//!
+//! // … bit-identically to the scalar path.
+//! assert_eq!(keys[3], h.index_of(points[3]));
+//!
+//! // And back again.
+//! let mut roundtrip = Vec::new();
+//! h.point_of_batch(&keys, &mut roundtrip);
+//! assert_eq!(roundtrip, points);
+//! ```
+//!
 //! ## Conventions
 //!
 //! * Dimensions are indexed `1..=d` in the paper; in code, **axis `i`**
@@ -61,6 +100,7 @@ pub mod error;
 pub mod gray;
 pub mod grid;
 pub mod hilbert;
+mod hilbert_tables;
 pub mod morton;
 pub mod permutation;
 pub mod point;

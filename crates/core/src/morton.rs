@@ -14,7 +14,9 @@
 //! `Z(101, 010, 011) = 100011101` — verified in the tests below and in the
 //! crate-level docs.
 
-use crate::bits::{dilate, dilate2, dilate3, undilate, undilate2, undilate3};
+use crate::bits::{
+    dilate, dilate2, dilate2_lut, dilate3, dilate3_lut, undilate, undilate2, undilate3,
+};
 use crate::curve::SpaceFillingCurve;
 use crate::error::SfcError;
 use crate::grid::Grid;
@@ -100,6 +102,32 @@ impl<const D: usize> ZCurve<D> {
         Point::new(coords)
     }
 
+    /// Table-driven encode: identical output to [`encode`](Self::encode),
+    /// using the 256-entry dilation LUTs ([`crate::bits::DILATE2_LUT`] /
+    /// [`crate::bits::DILATE3_LUT`]) instead of the magic-mask ladder.
+    ///
+    /// This is the kernel behind
+    /// [`index_of_batch`](SpaceFillingCurve::index_of_batch): over a batch
+    /// the tables stay L1-resident and the loop body is branch-free, so
+    /// the compiler can keep the pipeline full.
+    #[inline]
+    pub fn encode_lut(&self, p: Point<D>) -> CurveIndex {
+        let k = self.grid.k();
+        let coords = p.coords();
+        if D == 2 && k <= 32 {
+            let hi = u128::from(dilate2_lut(coords[0])) << 1;
+            let lo = u128::from(dilate2_lut(coords[1]));
+            return hi | lo;
+        }
+        if D == 3 && k <= 21 {
+            let a = u128::from(dilate3_lut(coords[0])) << 2;
+            let b = u128::from(dilate3_lut(coords[1])) << 1;
+            let c = u128::from(dilate3_lut(coords[2]));
+            return a | b | c;
+        }
+        self.encode(p)
+    }
+
     /// The exact curve distance between the two endpoints of a
     /// nearest-neighbor edge along `axis` whose lower coordinate is `c`.
     ///
@@ -132,6 +160,21 @@ impl<const D: usize> SpaceFillingCurve<D> for ZCurve<D> {
     #[inline]
     fn point_of(&self, idx: CurveIndex) -> Point<D> {
         self.decode(idx)
+    }
+
+    fn index_of_batch(&self, points: &[Point<D>], out: &mut Vec<CurveIndex>) {
+        out.clear();
+        out.reserve(points.len());
+        // `extend` from an exact-size iterator keeps the loop free of
+        // per-element capacity checks; `encode_lut` is branch-free for the
+        // monomorphized d = 2, 3 fast paths.
+        out.extend(points.iter().map(|&p| self.encode_lut(p)));
+    }
+
+    fn point_of_batch(&self, indices: &[CurveIndex], out: &mut Vec<Point<D>>) {
+        out.clear();
+        out.reserve(indices.len());
+        out.extend(indices.iter().map(|&i| self.decode(i)));
     }
 
     fn name(&self) -> String {
@@ -209,6 +252,35 @@ mod tests {
                 expected |= dilate(c, 3, 2) << (2 - axis);
             }
             assert_eq!(z.encode(p), expected, "at {p}");
+        }
+    }
+
+    #[test]
+    fn lut_encode_and_batch_match_scalar() {
+        let z2 = ZCurve::<2>::new(3).unwrap();
+        let pts2: Vec<Point<2>> = z2.grid().cells().collect();
+        let mut keys = Vec::new();
+        z2.index_of_batch(&pts2, &mut keys);
+        for (p, &key) in pts2.iter().zip(&keys) {
+            assert_eq!(key, z2.index_of(*p), "at {p}");
+            assert_eq!(z2.encode_lut(*p), z2.encode(*p), "at {p}");
+        }
+        let mut back = Vec::new();
+        z2.point_of_batch(&keys, &mut back);
+        assert_eq!(back, pts2);
+
+        let z3 = ZCurve::<3>::new(2).unwrap();
+        let pts3: Vec<Point<3>> = z3.grid().cells().collect();
+        z3.index_of_batch(&pts3, &mut keys);
+        for (p, &key) in pts3.iter().zip(&keys) {
+            assert_eq!(key, z3.index_of(*p), "at {p}");
+        }
+        // Generic dimension falls back to the scalar path.
+        let z5 = ZCurve::<5>::new(1).unwrap();
+        let pts5: Vec<Point<5>> = z5.grid().cells().collect();
+        z5.index_of_batch(&pts5, &mut keys);
+        for (p, &key) in pts5.iter().zip(&keys) {
+            assert_eq!(key, z5.index_of(*p), "at {p}");
         }
     }
 

@@ -237,8 +237,12 @@ mod tests {
 
     #[test]
     fn figure1_curves_are_bijections() {
-        PermutationCurve::figure1_pi1().validate_bijection().unwrap();
-        PermutationCurve::figure1_pi2().validate_bijection().unwrap();
+        PermutationCurve::figure1_pi1()
+            .validate_bijection()
+            .unwrap();
+        PermutationCurve::figure1_pi2()
+            .validate_bijection()
+            .unwrap();
     }
 
     #[test]

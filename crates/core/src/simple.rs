@@ -68,15 +68,24 @@ mod tests {
         // S(α) = Σ x_i side^{i−1}; d = 3, side = 4.
         let s = SimpleCurve::<3>::new(2).unwrap();
         let p = Point::new([3, 1, 2]);
-        assert_eq!(s.index_of(p), 3 + 1 * 4 + 2 * 16);
+        assert_eq!(s.index_of(p), 3 + 4 + 2 * 16);
         assert_eq!(s.point_of(39), p);
     }
 
     #[test]
     fn is_bijective() {
-        SimpleCurve::<2>::new(3).unwrap().validate_bijection().unwrap();
-        SimpleCurve::<4>::new(1).unwrap().validate_bijection().unwrap();
-        SimpleCurve::<1>::new(6).unwrap().validate_bijection().unwrap();
+        SimpleCurve::<2>::new(3)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        SimpleCurve::<4>::new(1)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        SimpleCurve::<1>::new(6)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
     }
 
     #[test]

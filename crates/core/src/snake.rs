@@ -90,7 +90,11 @@ impl<const D: usize> SpaceFillingCurve<D> for SnakeCurve<D> {
         let mut prev_digit = 0u32;
         for axis in (0..D).rev() {
             let digit = digits[axis];
-            coords[axis] = if prev_digit & 1 == 0 { digit } else { max - digit };
+            coords[axis] = if prev_digit & 1 == 0 {
+                digit
+            } else {
+                max - digit
+            };
             prev_digit = digit;
         }
         Point::new(coords)
@@ -107,10 +111,22 @@ mod tests {
 
     #[test]
     fn is_bijective() {
-        SnakeCurve::<1>::new(5).unwrap().validate_bijection().unwrap();
-        SnakeCurve::<2>::new(3).unwrap().validate_bijection().unwrap();
-        SnakeCurve::<3>::new(2).unwrap().validate_bijection().unwrap();
-        SnakeCurve::<4>::new(1).unwrap().validate_bijection().unwrap();
+        SnakeCurve::<1>::new(5)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        SnakeCurve::<2>::new(3)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        SnakeCurve::<3>::new(2)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
+        SnakeCurve::<4>::new(1)
+            .unwrap()
+            .validate_bijection()
+            .unwrap();
     }
 
     #[test]

@@ -226,7 +226,10 @@ mod tests {
         let r = Reflected::new(s, [true, false]);
         r.validate_bijection().unwrap();
         // Reflecting axis 0: cell (0, y) now has the index (3, y) had.
-        assert_eq!(r.index_of(Point::new([0, 1])), s.index_of(Point::new([3, 1])));
+        assert_eq!(
+            r.index_of(Point::new([0, 1])),
+            s.index_of(Point::new([3, 1]))
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl std::fmt::Display for Rendering {
 /// `(2·side−1)²` characters.
 pub fn render_traversal<C: SpaceFillingCurve<2>>(curve: &C) -> Rendering {
     let side = curve.grid().side();
-    assert!(side <= 64, "render_traversal is for small grids (side ≤ 64)");
+    assert!(
+        side <= 64,
+        "render_traversal is for small grids (side ≤ 64)"
+    );
     let dim = (2 * side - 1) as usize;
     let mut canvas = vec![vec![b' '; dim]; dim];
 
@@ -112,7 +115,10 @@ mod tests {
 
     #[test]
     fn hilbert_and_spiral_are_jump_free() {
-        assert_eq!(render_traversal(&HilbertCurve::<2>::new(3).unwrap()).jumps, 0);
+        assert_eq!(
+            render_traversal(&HilbertCurve::<2>::new(3).unwrap()).jumps,
+            0
+        );
         assert_eq!(render_traversal(&SpiralCurve::new(3).unwrap()).jumps, 0);
     }
 

@@ -123,20 +123,11 @@ mod tests {
     use sfc_core::{Point, SpaceFillingCurve};
 
     /// Brute-force reference: smallest code > zcode decoding into the box.
-    fn bigmin_brute<const D: usize>(
-        z: &ZCurve<D>,
-        zcode: u128,
-        b: &BoxRegion<D>,
-    ) -> Option<u128> {
-        (zcode + 1..z.grid().n())
-            .find(|&c| b.contains(&z.decode(c)))
+    fn bigmin_brute<const D: usize>(z: &ZCurve<D>, zcode: u128, b: &BoxRegion<D>) -> Option<u128> {
+        (zcode + 1..z.grid().n()).find(|&c| b.contains(&z.decode(c)))
     }
 
-    fn litmax_brute<const D: usize>(
-        z: &ZCurve<D>,
-        zcode: u128,
-        b: &BoxRegion<D>,
-    ) -> Option<u128> {
+    fn litmax_brute<const D: usize>(z: &ZCurve<D>, zcode: u128, b: &BoxRegion<D>) -> Option<u128> {
         (0..zcode).rev().find(|&c| b.contains(&z.decode(c)))
     }
 

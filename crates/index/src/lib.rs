@@ -17,6 +17,35 @@
 //!   strategies (full scan, interval decomposition, BIGMIN jumping) and a
 //!   verified exact k-nearest-neighbor search whose cost directly reflects
 //!   the curve's stretch.
+//!
+//! ## Storage layout and bulk load
+//!
+//! [`SfcIndex`] stores its records as a **structure of arrays**: three
+//! parallel columns `keys` / `points` / `payloads`, sorted by curve key.
+//! Key-range navigation (binary search, BIGMIN scans) walks only the
+//! dense key column — 4 keys per cache line — and dereferences the other
+//! columns just for matching rows, so range scans are bounded by key-column
+//! bandwidth rather than record size. Rows are surfaced as zero-copy
+//! [`EntryRef`] views.
+//!
+//! [`SfcIndex::build`] is a bulk loader: points are encoded through the
+//! curve's batch kernel
+//! ([`index_of_batch`](sfc_core::SpaceFillingCurve::index_of_batch)) and
+//! sorted by a stable LSD **radix sort** over the `d·k` significant key
+//! bits — linear passes with sequential memory traffic, replacing the
+//! comparison sort a naive build would use. Already-sorted columns can be
+//! adopted wholesale with [`SfcIndex::from_sorted`].
+//!
+//! ## Choosing a box-query strategy
+//!
+//! * `query_box_intervals` — exact interval decomposition; zero overscan,
+//!   but `O(volume · log volume)` preprocessing per query. Best for small
+//!   boxes on any curve.
+//! * `query_box_bigmin` (Z curve only) — no preprocessing; **wins when the
+//!   box is large or the table is dense**, because each BIGMIN jump skips
+//!   a whole key gap with one binary search, and the number of jumps is
+//!   bounded by the box's key-range "islands" rather than its volume.
+//! * `query_box_full_scan` — the `O(n)` baseline.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -30,4 +59,4 @@ pub mod table;
 pub use bigmin::{bigmin, litmax};
 pub use query::QueryStats;
 pub use region::BoxRegion;
-pub use table::SfcIndex;
+pub use table::{EntryRef, SfcIndex};

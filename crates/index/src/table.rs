@@ -1,20 +1,43 @@
 //! The sorted key table: a one-dimensional stand-in for a B-tree over
 //! curve keys (the "UB-tree lite" of the paper's database motivation).
+//!
+//! ## Layout: structure of arrays
+//!
+//! Records are stored as three parallel columns — `keys`, `points`,
+//! `payloads` — sorted by curve key. Binary search and BIGMIN range scans
+//! touch **only the key column**: at 16 bytes per key, a cache line holds
+//! 4 keys, so a scan over the key column moves ~3–9× less memory than the
+//! old array-of-structs layout did for typical payloads (the point and
+//! payload columns are only dereferenced for entries that actually match).
+//!
+//! ## Bulk load: radix sort
+//!
+//! [`SfcIndex::build`] encodes all points through the curve's
+//! [`index_of_batch`](SpaceFillingCurve::index_of_batch) kernel, then
+//! sorts with an LSD radix sort over the `d·k` significant key bits —
+//! `O(n · d·k/8)` with sequential memory traffic, instead of the
+//! `O(n log n)` comparison sort with cache-hostile access the seed used.
+//! The sort is stable, so records with equal keys keep input order,
+//! exactly like the previous `sort_by_key`. Pre-sorted columns can skip
+//! the sort entirely via [`SfcIndex::from_sorted`].
 
 use crate::bigmin::bigmin;
 use crate::query::QueryStats;
 use crate::region::BoxRegion;
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
 
-/// One record of the index.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Entry<const D: usize, T> {
+/// A borrowed view of one record of the index.
+///
+/// The index stores columns, not structs; `EntryRef` is the zero-copy
+/// row view handed out by lookups and queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryRef<'a, const D: usize, T> {
     /// Curve key of the record's cell.
     pub key: CurveIndex,
     /// The record's cell.
     pub point: Point<D>,
     /// User payload.
-    pub payload: T,
+    pub payload: &'a T,
 }
 
 /// A spatial index: records sorted by curve key, queried through key-range
@@ -26,27 +49,184 @@ pub struct Entry<const D: usize, T> {
 #[derive(Debug, Clone)]
 pub struct SfcIndex<const D: usize, T, C: SpaceFillingCurve<D>> {
     curve: C,
-    entries: Vec<Entry<D, T>>,
+    keys: Vec<CurveIndex>,
+    points: Vec<Point<D>>,
+    payloads: Vec<T>,
+}
+
+/// An unsigned key type the radix sort can extract 8-bit digits from.
+/// Narrowing the key to the smallest width that holds the grid's `d·k`
+/// bits halves (or quarters) the memory each sorting pass moves — the
+/// dominant cost at bulk-load scale.
+trait RadixKey: Copy + Ord {
+    fn digit(self, pass: u32) -> usize;
+}
+
+macro_rules! impl_radix_key {
+    ($($t:ty),*) => {$(
+        impl RadixKey for $t {
+            #[inline]
+            fn digit(self, pass: u32) -> usize {
+                (self >> (pass * 8)) as usize & 0xFF
+            }
+        }
+    )*};
+}
+
+impl_radix_key!(u32, u64, u128);
+
+/// Stable LSD radix sort of `(key, original-index)` pairs, 8 bits per
+/// pass, ping-pong between two buffers. A single prescan builds every
+/// pass's histogram, and passes whose digit is constant across all keys
+/// (the high digits of small grids) are skipped outright. Each executed
+/// pass is one sequential read of the pair array — no random gathers.
+fn radix_sort_pairs<K: RadixKey>(mut pairs: Vec<(K, u32)>, bits: u32) -> Vec<(K, u32)> {
+    let n = pairs.len();
+    let passes = bits.div_ceil(8);
+    if n <= 1 || passes == 0 {
+        return pairs;
+    }
+    let mut counts = vec![[0usize; 256]; passes as usize];
+    for &(key, _) in &pairs {
+        for (pass, count) in counts.iter_mut().enumerate() {
+            count[key.digit(pass as u32)] += 1;
+        }
+    }
+    let mut scratch = vec![pairs[0]; n];
+    for (pass, count) in counts.iter().enumerate() {
+        if count.contains(&n) {
+            continue;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0usize;
+        for (offset, &c) in offsets.iter_mut().zip(count.iter()) {
+            *offset = acc;
+            acc += c;
+        }
+        for &pair in &pairs {
+            let digit = pair.0.digit(pass as u32);
+            scratch[offsets[digit]] = pair;
+            offsets[digit] += 1;
+        }
+        std::mem::swap(&mut pairs, &mut scratch);
+    }
+    pairs
+}
+
+/// Returns the stable permutation placing `keys` in non-decreasing order,
+/// looking only at the low `bits` bits (the grid's `d·k`; everything above
+/// is zero). Dispatches to the narrowest pair width that holds the keys.
+fn radix_sort_perm(keys: &[CurveIndex], bits: u32) -> Vec<u32> {
+    let n = keys.len();
+    assert!(
+        u32::try_from(n).is_ok(),
+        "bulk load supports at most u32::MAX records"
+    );
+    // For tiny inputs the counting passes cost more than they save.
+    if n < 64 {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| keys[i as usize]);
+        return perm;
+    }
+    if bits <= 32 {
+        let pairs: Vec<(u32, u32)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k as u32, i as u32))
+            .collect();
+        radix_sort_pairs(pairs, bits)
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect()
+    } else if bits <= 64 {
+        let pairs: Vec<(u64, u32)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k as u64, i as u32))
+            .collect();
+        radix_sort_pairs(pairs, bits)
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect()
+    } else {
+        let pairs: Vec<(u128, u32)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u32))
+            .collect();
+        radix_sort_pairs(pairs, bits)
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect()
+    }
 }
 
 impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
-    /// Builds the index from records; sorts by curve key (stable in input
-    /// order for equal keys, so multiple records per cell are supported).
+    /// Builds the index from records: batch-encodes every point through
+    /// the curve's [`index_of_batch`](SpaceFillingCurve::index_of_batch)
+    /// kernel, then radix-sorts by curve key. Stable in input order for
+    /// equal keys, so multiple records per cell are supported.
     pub fn build(curve: C, records: impl IntoIterator<Item = (Point<D>, T)>) -> Self {
         let grid = curve.grid();
-        let mut entries: Vec<Entry<D, T>> = records
-            .into_iter()
-            .map(|(point, payload)| {
-                assert!(grid.contains(&point), "record out of bounds: {point}");
-                Entry {
-                    key: curve.index_of(point),
-                    point,
-                    payload,
-                }
+        let (points, payloads): (Vec<Point<D>>, Vec<T>) = records.into_iter().unzip();
+        for point in &points {
+            assert!(grid.contains(point), "record out of bounds: {point}");
+        }
+        let mut keys = Vec::new();
+        curve.index_of_batch(&points, &mut keys);
+        let bits = grid.k() * D as u32;
+        let perm = radix_sort_perm(&keys, bits);
+        let sorted_keys = perm.iter().map(|&i| keys[i as usize]).collect();
+        let sorted_points = perm.iter().map(|&i| points[i as usize]).collect();
+        let mut slots: Vec<Option<T>> = payloads.into_iter().map(Some).collect();
+        let sorted_payloads = perm
+            .iter()
+            .map(|&i| {
+                slots[i as usize]
+                    .take()
+                    .expect("radix permutation is a bijection")
             })
             .collect();
-        entries.sort_by_key(|e| e.key);
-        Self { curve, entries }
+        Self {
+            curve,
+            keys: sorted_keys,
+            points: sorted_points,
+            payloads: sorted_payloads,
+        }
+    }
+
+    /// Builds the index directly from columns already sorted by key
+    /// (e.g. the output of a previous [`build`](Self::build), a merge of
+    /// sorted runs, or an external bulk loader). Skips encoding and
+    /// sorting entirely.
+    ///
+    /// # Panics
+    /// Panics if the columns have different lengths or `keys` is not
+    /// sorted; in debug builds also verifies every key matches its point.
+    pub fn from_sorted(
+        curve: C,
+        keys: Vec<CurveIndex>,
+        points: Vec<Point<D>>,
+        payloads: Vec<T>,
+    ) -> Self {
+        assert_eq!(keys.len(), points.len(), "column length mismatch");
+        assert_eq!(keys.len(), payloads.len(), "column length mismatch");
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "from_sorted requires keys in non-decreasing order"
+        );
+        debug_assert!(
+            keys.iter()
+                .zip(points.iter())
+                .all(|(&key, &point)| curve.index_of(point) == key),
+            "key column disagrees with curve encoding of the point column"
+        );
+        Self {
+            curve,
+            keys,
+            points,
+            payloads,
+        }
     }
 
     /// The curve backing this index.
@@ -54,46 +234,73 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
         &self.curve
     }
 
-    /// All entries, sorted by key.
-    pub fn entries(&self) -> &[Entry<D, T>] {
-        &self.entries
+    /// The key column, sorted non-decreasing.
+    pub fn keys(&self) -> &[CurveIndex] {
+        &self.keys
+    }
+
+    /// The point column, in key order.
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    /// The payload column, in key order.
+    pub fn payloads(&self) -> &[T] {
+        &self.payloads
+    }
+
+    /// The record at position `i` of the key order.
+    pub fn entry(&self, i: usize) -> EntryRef<'_, D, T> {
+        EntryRef {
+            key: self.keys[i],
+            point: self.points[i],
+            payload: &self.payloads[i],
+        }
+    }
+
+    /// All records in key order (the successor of the old `entries()`
+    /// slice access).
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = EntryRef<'_, D, T>> + '_ {
+        (0..self.keys.len()).map(|i| self.entry(i))
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.keys.len()
     }
 
     /// `true` iff the index holds no records.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.keys.is_empty()
     }
 
-    /// First entry position with key ≥ `key` (binary search).
+    /// First entry position with key ≥ `key` (binary search over the key
+    /// column only).
     fn lower_bound(&self, key: CurveIndex) -> usize {
-        self.entries.partition_point(|e| e.key < key)
+        self.keys.partition_point(|&k| k < key)
     }
 
-    /// All records at exactly the given cell.
-    pub fn point_lookup(&self, p: Point<D>) -> &[Entry<D, T>] {
+    /// All records at exactly the given cell, in input order. Zero-copy:
+    /// one binary search, then a lazy walk of the matching row range.
+    pub fn point_lookup(&self, p: Point<D>) -> impl ExactSizeIterator<Item = EntryRef<'_, D, T>> {
         let key = self.curve.index_of(p);
         let start = self.lower_bound(key);
-        let end = start + self.entries[start..].partition_point(|e| e.key == key);
-        &self.entries[start..end]
+        let end = start + self.keys[start..].partition_point(|&k| k == key);
+        (start..end).map(|i| self.entry(i))
     }
 
     /// Box query by full scan of the table — the baseline every strategy
     /// must beat.
-    pub fn query_box_full_scan(&self, b: &BoxRegion<D>) -> (Vec<&Entry<D, T>>, QueryStats) {
+    pub fn query_box_full_scan(&self, b: &BoxRegion<D>) -> (Vec<EntryRef<'_, D, T>>, QueryStats) {
         let mut out = Vec::new();
-        for e in &self.entries {
-            if b.contains(&e.point) {
-                out.push(e);
+        for (i, point) in self.points.iter().enumerate() {
+            if b.contains(point) {
+                out.push(self.entry(i));
             }
         }
         let stats = QueryStats {
             seeks: 1,
-            scanned: self.entries.len() as u64,
+            scanned: self.len() as u64,
             reported: out.len() as u64,
         };
         (out, stats)
@@ -103,17 +310,17 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
     /// ([`BoxRegion::curve_intervals`]): one binary search per interval,
     /// zero overscan. Works for **any** curve; preprocessing costs
     /// `O(volume · log volume)`.
-    pub fn query_box_intervals(&self, b: &BoxRegion<D>) -> (Vec<&Entry<D, T>>, QueryStats) {
+    pub fn query_box_intervals(&self, b: &BoxRegion<D>) -> (Vec<EntryRef<'_, D, T>>, QueryStats) {
         let intervals = b.curve_intervals(&self.curve);
         let mut out = Vec::new();
         let mut stats = QueryStats::default();
         for (lo, hi) in intervals {
             stats.seeks += 1;
             let mut i = self.lower_bound(lo);
-            while i < self.entries.len() && self.entries[i].key <= hi {
+            while i < self.len() && self.keys[i] <= hi {
                 stats.scanned += 1;
-                debug_assert!(b.contains(&self.entries[i].point));
-                out.push(&self.entries[i]);
+                debug_assert!(b.contains(&self.points[i]));
+                out.push(self.entry(i));
                 i += 1;
             }
         }
@@ -129,24 +336,28 @@ impl<const D: usize, T> SfcIndex<D, T, ZCurve<D>> {
     ///
     /// Needs no per-query `O(volume)` preprocessing — the cost is driven by
     /// the number of box/key-range "islands", i.e. by the Z curve's
-    /// clustering behaviour.
-    pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<&Entry<D, T>>, QueryStats) {
+    /// clustering behaviour. The scan reads the key column contiguously
+    /// and touches the point column only to test membership.
+    pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<EntryRef<'_, D, T>>, QueryStats) {
         let zmin = self.curve.encode(b.lo());
         let zmax = self.curve.encode(b.hi());
         let mut out = Vec::new();
-        let mut stats = QueryStats { seeks: 1, ..Default::default() };
+        let mut stats = QueryStats {
+            seeks: 1,
+            ..Default::default()
+        };
         let mut i = self.lower_bound(zmin);
-        while i < self.entries.len() {
-            let e = &self.entries[i];
-            if e.key > zmax {
+        while i < self.len() {
+            let key = self.keys[i];
+            if key > zmax {
                 break;
             }
             stats.scanned += 1;
-            if b.contains(&e.point) {
-                out.push(e);
+            if b.contains(&self.points[i]) {
+                out.push(self.entry(i));
                 i += 1;
             } else {
-                match bigmin(&self.curve, e.key, zmin, zmax) {
+                match bigmin(&self.curve, key, zmin, zmax) {
                     Some(next) => {
                         stats.seeks += 1;
                         i = self.lower_bound(next);
@@ -173,32 +384,37 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
     ///
     /// The returned stats count all entries examined; a lower-stretch curve
     /// yields a smaller verification ball and fewer touched entries.
-    pub fn knn(&self, q: Point<D>, k: usize, window: usize) -> (Vec<&Entry<D, T>>, QueryStats) {
+    pub fn knn(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<EntryRef<'_, D, T>>, QueryStats) {
         assert!(k >= 1, "k must be at least 1");
-        if self.entries.is_empty() {
+        if self.is_empty() {
             return (Vec::new(), QueryStats::default());
         }
         let key = self.curve.index_of(q);
         let pos = self.lower_bound(key);
         let lo = pos.saturating_sub(window);
-        let hi = (pos + window).min(self.entries.len());
-        let mut candidates: Vec<&Entry<D, T>> = self.entries[lo..hi].iter().collect();
+        let hi = (pos + window).min(self.len());
+        let mut candidates: Vec<usize> = (lo..hi).collect();
         let mut stats = QueryStats {
             seeks: 1,
             scanned: (hi - lo) as u64,
             ..Default::default()
         };
         // Rank candidates by true distance.
-        candidates.sort_by(|a, b| {
-            q.euclidean_sq(&a.point)
-                .cmp(&q.euclidean_sq(&b.point))
-                .then(a.key.cmp(&b.key))
+        candidates.sort_by(|&a, &b| {
+            q.euclidean_sq(&self.points[a])
+                .cmp(&q.euclidean_sq(&self.points[b]))
+                .then(self.keys[a].cmp(&self.keys[b]))
         });
         candidates.truncate(k);
         // Verification radius: k-th candidate distance (or the whole grid
         // if the window produced fewer than k candidates).
         let radius = if candidates.len() == k {
-            let worst = q.euclidean(&candidates[k - 1].point);
+            let worst = q.euclidean(&self.points[candidates[k - 1]]);
             worst.ceil() as u32
         } else {
             (self.curve.grid().side() - 1) as u32
@@ -207,7 +423,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
         let (verified, ball_stats) = self.query_box_intervals(&ball);
         stats.seeks += ball_stats.seeks;
         stats.scanned += ball_stats.scanned;
-        let mut all: Vec<&Entry<D, T>> = verified;
+        let mut all = verified;
         all.sort_by(|a, b| {
             q.euclidean_sq(&a.point)
                 .cmp(&q.euclidean_sq(&b.point))
@@ -220,8 +436,8 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
 
     /// Reference k-nearest-neighbor by linear scan (ground truth for
     /// tests).
-    pub fn knn_linear(&self, q: Point<D>, k: usize) -> Vec<&Entry<D, T>> {
-        let mut all: Vec<&Entry<D, T>> = self.entries.iter().collect();
+    pub fn knn_linear(&self, q: Point<D>, k: usize) -> Vec<EntryRef<'_, D, T>> {
+        let mut all: Vec<EntryRef<'_, D, T>> = self.entries().collect();
         all.sort_by(|a, b| {
             q.euclidean_sq(&a.point)
                 .cmp(&q.euclidean_sq(&b.point))
@@ -254,9 +470,61 @@ mod tests {
         let grid = Grid::<2>::new(3).unwrap();
         let idx = SfcIndex::build(ZCurve::over(grid), random_records(grid, 100, 1));
         assert_eq!(idx.len(), 100);
-        for w in idx.entries().windows(2) {
-            assert!(w[0].key <= w[1].key);
+        for w in idx.keys().windows(2) {
+            assert!(w[0] <= w[1]);
         }
+        // Columns are consistent rows.
+        for e in idx.entries() {
+            assert_eq!(idx.curve().index_of(e.point), e.key);
+        }
+    }
+
+    #[test]
+    fn radix_build_matches_comparison_sort_including_stability() {
+        // The seed's build used a stable `sort_by_key`; the radix bulk
+        // load must produce the identical entry order, duplicates
+        // included.
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut records = random_records(grid, 500, 42);
+        // Force many duplicate keys.
+        for i in 0..200 {
+            records.push((records[i].0, 10_000 + i));
+        }
+        let idx = SfcIndex::build(ZCurve::over(grid), records.clone());
+        let mut expected: Vec<(CurveIndex, usize)> = records
+            .iter()
+            .map(|&(p, payload)| (ZCurve::over(grid).index_of(p), payload))
+            .collect();
+        expected.sort_by_key(|&(key, _)| key); // stable
+        let got: Vec<(CurveIndex, usize)> = idx.entries().map(|e| (e.key, *e.payload)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn from_sorted_round_trips_build_columns() {
+        let grid = Grid::<2>::new(3).unwrap();
+        let idx = SfcIndex::build(ZCurve::over(grid), random_records(grid, 80, 3));
+        let rebuilt = SfcIndex::from_sorted(
+            ZCurve::over(grid),
+            idx.keys().to_vec(),
+            idx.points().to_vec(),
+            idx.payloads().to_vec(),
+        );
+        assert_eq!(rebuilt.len(), idx.len());
+        let bx = BoxRegion::new(Point::new([1, 1]), Point::new([5, 6]));
+        let (a, _) = idx.query_box_full_scan(&bx);
+        let (b, _) = rebuilt.query_box_full_scan(&bx);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_sorted_rejects_unsorted_keys() {
+        let grid = Grid::<2>::new(2).unwrap();
+        let points = vec![Point::new([1, 0]), Point::new([0, 0])];
+        let curve = ZCurve::over(grid);
+        let keys: Vec<CurveIndex> = points.iter().map(|&p| curve.index_of(p)).collect();
+        let _ = SfcIndex::from_sorted(curve, keys, points, vec![0usize, 1]);
     }
 
     #[test]
@@ -267,9 +535,9 @@ mod tests {
         let idx = SfcIndex::build(ZCurve::over(grid), records);
         let hits = idx.point_lookup(p);
         assert_eq!(hits.len(), 2);
-        let payloads: Vec<usize> = hits.iter().map(|e| e.payload).collect();
+        let payloads: Vec<usize> = hits.map(|e| *e.payload).collect();
         assert!(payloads.contains(&10) && payloads.contains(&30));
-        assert!(idx.point_lookup(Point::new([3, 3])).is_empty());
+        assert_eq!(idx.point_lookup(Point::new([3, 3])).len(), 0);
     }
 
     #[test]
@@ -286,8 +554,8 @@ mod tests {
             let (full, fs) = idx.query_box_full_scan(&bx);
             let (ivals, is) = idx.query_box_intervals(&bx);
             let (bm, bs) = idx.query_box_bigmin(&bx);
-            let key = |v: &Vec<&Entry<2, usize>>| {
-                let mut ks: Vec<(u128, usize)> = v.iter().map(|e| (e.key, e.payload)).collect();
+            let key = |v: &Vec<EntryRef<2, usize>>| {
+                let mut ks: Vec<(u128, usize)> = v.iter().map(|e| (e.key, *e.payload)).collect();
                 ks.sort();
                 ks
             };
@@ -376,16 +644,16 @@ mod tests {
         let records = random_records(grid, 400, 8);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
         let queries: Vec<Point<2>> = (0..40).map(|_| grid.random_cell(&mut rng)).collect();
-        let total = |idx: &SfcIndex<2, usize, _>| -> u64 {
-            queries.iter().map(|q| idx.knn(*q, 5, 8).1.scanned).sum()
-        };
         let hilbert = SfcIndex::build(HilbertCurve::over(grid), records.clone());
         let simple = SfcIndex::build(sfc_core::SimpleCurve::over(grid), records.clone());
         let th = queries
             .iter()
             .map(|q| hilbert.knn(*q, 5, 8).1.scanned)
             .sum::<u64>();
-        let ts = total(&simple);
+        let ts = queries
+            .iter()
+            .map(|q| simple.knn(*q, 5, 8).1.scanned)
+            .sum::<u64>();
         assert!(th <= ts, "hilbert {th} > simple {ts}");
     }
 
@@ -394,5 +662,29 @@ mod tests {
     fn build_rejects_out_of_bounds_records() {
         let grid = Grid::<2>::new(1).unwrap();
         SfcIndex::build(ZCurve::over(grid), vec![(Point::new([5, 5]), 0usize)]);
+    }
+
+    #[test]
+    fn radix_sort_perm_is_stable_and_correct_across_widths() {
+        // Exercise multi-pass keys (> 8 bits) and the tiny-input fallback.
+        for n in [0usize, 1, 5, 63, 64, 65, 1000] {
+            let keys: Vec<CurveIndex> = (0..n)
+                .map(|i| ((i as u128).wrapping_mul(0x9E37_79B9) >> 3) % 1021)
+                .collect();
+            let perm = radix_sort_perm(&keys, 32);
+            assert_eq!(perm.len(), n);
+            let mut seen = vec![false; n];
+            for &i in &perm {
+                assert!(!seen[i as usize], "duplicate index {i}");
+                seen[i as usize] = true;
+            }
+            for w in perm.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                assert!(keys[a] <= keys[b], "order violated");
+                if keys[a] == keys[b] {
+                    assert!(a < b, "stability violated for equal keys");
+                }
+            }
+        }
     }
 }

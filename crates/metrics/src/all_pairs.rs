@@ -37,13 +37,15 @@ pub struct AllPairsStretch {
 }
 
 /// Caches each cell's curve index and coordinates in row-major rank order,
-/// so the `O(n²)` pair loop performs no curve evaluations.
+/// so the `O(n²)` pair loop performs no curve evaluations. Encoding goes
+/// through the curve's batch kernel
+/// ([`SpaceFillingCurve::index_of_batch`]), which is substantially faster
+/// than per-cell `index_of` for the table-driven curves.
 fn materialize<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> Vec<(Point<D>, u128)> {
-    curve
-        .grid()
-        .cells()
-        .map(|p| (p, curve.index_of(p)))
-        .collect()
+    let cells: Vec<Point<D>> = curve.grid().cells().collect();
+    let mut keys = Vec::new();
+    curve.index_of_batch(&cells, &mut keys);
+    cells.into_iter().zip(keys).collect()
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -140,7 +142,9 @@ pub fn all_pairs_exact_par<const D: usize, C: SpaceFillingCurve<D> + Sync>(
 /// stretch pass, still `O(n²)`).
 pub fn sa_prime_sum<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> u128 {
     let n = check_enumerable(curve.grid().n());
-    let indices: Vec<u128> = curve.grid().cells().map(|p| curve.index_of(p)).collect();
+    let cells: Vec<Point<D>> = curve.grid().cells().collect();
+    let mut indices = Vec::new();
+    curve.index_of_batch(&cells, &mut indices);
     let mut sum = 0u128;
     for i in 0..n {
         for j in i + 1..n {

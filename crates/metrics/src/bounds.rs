@@ -170,8 +170,7 @@ mod tests {
         for d in 1..=4usize {
             let k = 20 / d as u32;
             let asym = nn_stretch_asymptote(k, d);
-            let limit_bound =
-                (2.0 / (3.0 * d as f64)) * n_pow_1_minus_1_over_d(k, d) as f64;
+            let limit_bound = (2.0 / (3.0 * d as f64)) * n_pow_1_minus_1_over_d(k, d) as f64;
             assert!(((asym / limit_bound) - Z_OPTIMALITY_RATIO).abs() < 1e-12);
         }
     }

@@ -178,7 +178,7 @@ mod tests {
         let z = ZCurve::<2>::new(3).unwrap();
         for corner in [[0u32, 0], [2, 3], [4, 4]] {
             let c = clusters_for_box(&z, Point::new(corner), 3);
-            assert!(c >= 1 && c <= 9);
+            assert!((1..=9).contains(&c));
         }
     }
 

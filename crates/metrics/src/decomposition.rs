@@ -118,11 +118,7 @@ pub fn edge_multiplicity_census<const D: usize>(grid: Grid<D>) -> HashMap<NnEdge
 /// an edge along `axis` with lower coordinate `c` appears in
 /// `2 · side^{d−1} · (c+1) · (side−1−c)` decompositions.
 pub fn edge_multiplicity_closed_form<const D: usize>(grid: Grid<D>, edge: &NnEdge<D>) -> u128 {
-    crate::bounds::lemma4_edge_multiplicity_exact(
-        grid.k(),
-        D,
-        u64::from(edge.lo.coord(edge.axis)),
-    )
+    crate::bounds::lemma4_edge_multiplicity_exact(grid.k(), D, u64::from(edge.lo.coord(edge.axis)))
 }
 
 #[cfg(test)]

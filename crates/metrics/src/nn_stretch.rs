@@ -62,10 +62,7 @@ pub fn delta_sum<const D: usize, C: SpaceFillingCurve<D>>(
 
 /// The paper's `δ^max_π(α)`: the maximum curve distance from `α` to a
 /// nearest neighbor.
-pub fn delta_max<const D: usize, C: SpaceFillingCurve<D>>(
-    curve: &C,
-    cell: Point<D>,
-) -> CurveIndex {
+pub fn delta_max<const D: usize, C: SpaceFillingCurve<D>>(curve: &C, cell: Point<D>) -> CurveIndex {
     let grid = curve.grid();
     let idx = curve.index_of(cell);
     grid.neighbors(cell)

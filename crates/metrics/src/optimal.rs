@@ -124,7 +124,7 @@ pub fn exhaustive_optimal<const D: usize>(grid: Grid<D>) -> SearchResult<D> {
     let mut i = 1usize;
     while i < n {
         if c[i] < i {
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 perm.swap(0, i);
             } else {
                 perm.swap(c[i], i);
@@ -219,8 +219,8 @@ pub fn anneal<const D: usize, R: Rng + ?Sized>(
         let mut sum = 0u128;
         for &ei in &incident[rank_a] {
             let e = edges[ei as usize];
-            sum += u128::from(e.weight)
-                * u128::from(perm[e.a as usize].abs_diff(perm[e.b as usize]));
+            sum +=
+                u128::from(e.weight) * u128::from(perm[e.a as usize].abs_diff(perm[e.b as usize]));
         }
         for &ei in &incident[rank_b] {
             let e = edges[ei as usize];
@@ -228,8 +228,8 @@ pub fn anneal<const D: usize, R: Rng + ?Sized>(
             if e.a as usize == rank_a || e.b as usize == rank_a {
                 continue;
             }
-            sum += u128::from(e.weight)
-                * u128::from(perm[e.a as usize].abs_diff(perm[e.b as usize]));
+            sum +=
+                u128::from(e.weight) * u128::from(perm[e.a as usize].abs_diff(perm[e.b as usize]));
         }
         sum
     };
@@ -293,7 +293,11 @@ mod tests {
         let grid = Grid::<2>::new(1).unwrap();
         let result = exhaustive_optimal(grid);
         assert_eq!(result.evaluated, 24);
-        assert!(result.d_avg_equals_ratio(3, 2), "optimum = {}", result.d_avg());
+        assert!(
+            result.d_avg_equals_ratio(3, 2),
+            "optimum = {}",
+            result.d_avg()
+        );
         // The 2×2 universe is a 4-cycle; of the 6 cyclic label orders, 4
         // reach the minimum cycle cost 6 (= D^avg 1.5), each in 4 rotations:
         // 16 optimal permutations out of 24.
@@ -309,7 +313,11 @@ mod tests {
         // D^avg = 1.
         let grid = Grid::<1>::new(3).unwrap();
         let result = exhaustive_optimal(grid);
-        assert!(result.d_avg_equals_ratio(1, 1), "optimum = {}", result.d_avg());
+        assert!(
+            result.d_avg_equals_ratio(1, 1),
+            "optimum = {}",
+            result.d_avg()
+        );
         // Exactly 2 optima: ascending and descending.
         assert_eq!(result.optima_count, 2);
         assert_eq!(result.evaluated, 40320);

@@ -65,7 +65,7 @@ impl Table {
                 let pad = w - cell.chars().count();
                 s.push_str("  ");
                 s.push_str(cell);
-                s.extend(std::iter::repeat(' ').take(pad));
+                s.extend(std::iter::repeat_n(' ', pad));
             }
             s.trim_end().to_string()
         };
@@ -86,7 +86,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -112,7 +116,7 @@ pub fn fmt_u128(v: u128) -> String {
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     let chars: Vec<char> = digits.chars().collect();
     for (i, c) in chars.iter().enumerate() {
-        if i > 0 && (chars.len() - i) % 3 == 0 {
+        if i > 0 && (chars.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(*c);

@@ -107,6 +107,50 @@ pub fn estimate_d_max<const D: usize, C: SpaceFillingCurve<D>, R: Rng + ?Sized>(
     acc.estimate()
 }
 
+/// Pairs per encoding batch in the all-pairs estimators: big enough to
+/// amortize the batch kernel's setup, small enough to stay cache-resident.
+const PAIR_BATCH: usize = 1024;
+
+/// Shared driver for the all-pairs estimators: samples pairs, encodes
+/// them in chunks through the curve's batch kernel
+/// ([`SpaceFillingCurve::index_of_batch`]), and accumulates
+/// `Δπ / denominator(a, b)`. Sample order (and therefore the estimate for
+/// a given RNG stream) is identical to the old one-pair-at-a-time loop.
+fn estimate_all_pairs_with<const D: usize, C, R, F>(
+    curve: &C,
+    samples: u64,
+    rng: &mut R,
+    denominator: F,
+) -> Estimate
+where
+    C: SpaceFillingCurve<D>,
+    R: Rng + ?Sized,
+    F: Fn(&sfc_core::Point<D>, &sfc_core::Point<D>) -> f64,
+{
+    let grid = curve.grid();
+    let mut acc = Welford::default();
+    let mut points = Vec::with_capacity(2 * PAIR_BATCH);
+    let mut keys = Vec::with_capacity(2 * PAIR_BATCH);
+    let mut remaining = samples;
+    while remaining > 0 {
+        let chunk = (remaining as usize).min(PAIR_BATCH);
+        points.clear();
+        for _ in 0..chunk {
+            let (a, b) = grid.random_distinct_pair(rng);
+            points.push(a);
+            points.push(b);
+        }
+        curve.index_of_batch(&points, &mut keys);
+        for i in 0..chunk {
+            let (a, b) = (points[2 * i], points[2 * i + 1]);
+            let curve_dist = sfc_core::index_distance(keys[2 * i], keys[2 * i + 1]);
+            acc.push(curve_dist as f64 / denominator(&a, &b));
+        }
+        remaining -= chunk as u64;
+    }
+    acc.estimate()
+}
+
 /// Estimates the all-pairs Manhattan stretch `str^{avg,M}(π)` by sampling
 /// unordered pairs of distinct cells uniformly.
 pub fn estimate_all_pairs_manhattan<const D: usize, C: SpaceFillingCurve<D>, R: Rng + ?Sized>(
@@ -114,14 +158,7 @@ pub fn estimate_all_pairs_manhattan<const D: usize, C: SpaceFillingCurve<D>, R: 
     samples: u64,
     rng: &mut R,
 ) -> Estimate {
-    let grid = curve.grid();
-    let mut acc = Welford::default();
-    for _ in 0..samples {
-        let (a, b) = grid.random_distinct_pair(rng);
-        let ratio = curve.curve_distance(a, b) as f64 / a.manhattan(&b) as f64;
-        acc.push(ratio);
-    }
-    acc.estimate()
+    estimate_all_pairs_with(curve, samples, rng, |a, b| a.manhattan(b) as f64)
 }
 
 /// Estimates the all-pairs Euclidean stretch `str^{avg,E}(π)`.
@@ -130,14 +167,7 @@ pub fn estimate_all_pairs_euclidean<const D: usize, C: SpaceFillingCurve<D>, R: 
     samples: u64,
     rng: &mut R,
 ) -> Estimate {
-    let grid = curve.grid();
-    let mut acc = Welford::default();
-    for _ in 0..samples {
-        let (a, b) = grid.random_distinct_pair(rng);
-        let ratio = curve.curve_distance(a, b) as f64 / a.euclidean(&b);
-        acc.push(ratio);
-    }
-    acc.estimate()
+    estimate_all_pairs_with(curve, samples, rng, |a, b| a.euclidean(b))
 }
 
 /// Stratified estimator of the **mean nearest-neighbor edge distance**
@@ -155,7 +185,10 @@ pub fn estimate_edge_mean_stratified<const D: usize, C: SpaceFillingCurve<D>, R:
     samples_per_stratum: u64,
     rng: &mut R,
 ) -> Estimate {
-    assert!(samples_per_stratum >= 2, "need ≥ 2 samples per stratum for a variance estimate");
+    assert!(
+        samples_per_stratum >= 2,
+        "need ≥ 2 samples per stratum for a variance estimate"
+    );
     let grid = curve.grid();
     let k = grid.k();
     assert!(k >= 1, "a single-cell grid has no edges");

@@ -143,8 +143,6 @@ pub fn is_fiber_monotone<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> 
     true
 }
 
-
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,10 +230,16 @@ mod tests {
     fn fiber_monotone_classification() {
         assert!(is_fiber_monotone(&ZCurve::<2>::new(3).unwrap()));
         assert!(is_fiber_monotone(&SimpleCurve::<2>::new(3).unwrap()));
-        assert!(is_fiber_monotone(&sfc_core::SnakeCurve::<2>::new(3).unwrap()));
+        assert!(is_fiber_monotone(
+            &sfc_core::SnakeCurve::<2>::new(3).unwrap()
+        ));
         assert!(is_fiber_monotone(&ZCurve::<3>::new(2).unwrap()));
-        assert!(!is_fiber_monotone(&sfc_core::GrayCurve::<2>::new(3).unwrap()));
-        assert!(!is_fiber_monotone(&sfc_core::HilbertCurve::<2>::new(3).unwrap()));
+        assert!(!is_fiber_monotone(
+            &sfc_core::GrayCurve::<2>::new(3).unwrap()
+        ));
+        assert!(!is_fiber_monotone(
+            &sfc_core::HilbertCurve::<2>::new(3).unwrap()
+        ));
     }
 
     #[test]

@@ -112,13 +112,29 @@ pub fn body_key<const D: usize, C: SpaceFillingCurve<D>>(curve: &C, body: &Body<
     curve.index_of(quantize(curve.grid(), &body.pos))
 }
 
+/// The curve keys of a batch of bodies at resolution `2^k`: quantise all
+/// positions, then encode through the curve's batch kernel
+/// ([`SpaceFillingCurve::index_of_batch`]).
+pub fn body_keys<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    bodies: &[Body<D>],
+    out: &mut Vec<CurveIndex>,
+) {
+    let grid = curve.grid();
+    let cells: Vec<Point<D>> = bodies.iter().map(|b| quantize(grid, &b.pos)).collect();
+    curve.index_of_batch(&cells, out);
+}
+
 /// Sorts bodies in place by their curve key (the Warren–Salmon ordering
 /// step). Ties (same cell) keep their relative order.
+///
+/// Keys come from the batch encoding kernel; the sort itself is a stable
+/// comparison sort on the `(key, body)` pairs.
 pub fn sort_by_curve<const D: usize, C: SpaceFillingCurve<D>>(curve: &C, bodies: &mut [Body<D>]) {
-    let mut keyed: Vec<(CurveIndex, Body<D>)> = bodies
-        .iter()
-        .map(|b| (body_key(curve, b), *b))
-        .collect();
+    let mut keys = Vec::new();
+    body_keys(curve, bodies, &mut keys);
+    let mut keyed: Vec<(CurveIndex, Body<D>)> =
+        keys.into_iter().zip(bodies.iter().copied()).collect();
     keyed.sort_by_key(|(k, _)| *k);
     for (dst, (_, b)) in bodies.iter_mut().zip(keyed) {
         *dst = b;
@@ -151,7 +167,10 @@ mod tests {
     #[test]
     fn clustered_bodies_concentrate() {
         let bodies: Vec<Body<2>> = sample_bodies(
-            Distribution::Clustered { clusters: 2, sigma: 0.01 },
+            Distribution::Clustered {
+                clusters: 2,
+                sigma: 0.01,
+            },
             400,
             &mut rng(),
         );

@@ -105,8 +105,7 @@ fn bh_one<const D: usize>(
             let d = node.com[a] - bi.pos[a];
             r2 += d * d;
         }
-        let accept = node.is_leaf()
-            || node.size() * node.size() < theta * theta * r2;
+        let accept = node.is_leaf() || node.size() * node.size() < theta * theta * r2;
         if accept {
             if node.is_leaf() {
                 for (j, bj) in bodies[node.bodies.clone()].iter().enumerate() {
@@ -173,10 +172,7 @@ pub fn barnes_hut_forces_par<const D: usize>(
 }
 
 /// Mean relative error of `approx` against `reference` (L2 per body).
-pub fn mean_relative_error<const D: usize>(
-    approx: &[[f64; D]],
-    reference: &[[f64; D]],
-) -> f64 {
+pub fn mean_relative_error<const D: usize>(approx: &[[f64; D]], reference: &[[f64; D]]) -> f64 {
     assert_eq!(approx.len(), reference.len());
     let mut total = 0.0;
     for (a, r) in approx.iter().zip(reference.iter()) {
@@ -283,7 +279,14 @@ mod tests {
 
     #[test]
     fn parallel_bh_matches_sequential() {
-        let bodies: Vec<Body<2>> = sample_bodies(Distribution::Clustered { clusters: 3, sigma: 0.05 }, 200, &mut rng());
+        let bodies: Vec<Body<2>> = sample_bodies(
+            Distribution::Clustered {
+                clusters: 3,
+                sigma: 0.05,
+            },
+            200,
+            &mut rng(),
+        );
         let tree = Tree::build(bodies, 8, 4);
         let (seq, seq_stats) = barnes_hut_forces(&tree, 0.6, 1e-3);
         let (par, par_stats) = barnes_hut_forces_par(&tree, 0.6, 1e-3);

@@ -188,8 +188,14 @@ mod tests {
     #[test]
     fn barnes_hut_driver_has_bounded_drift() {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
-        let mut bodies: Vec<Body<2>> =
-            sample_bodies(Distribution::Clustered { clusters: 2, sigma: 0.05 }, 100, &mut rng);
+        let mut bodies: Vec<Body<2>> = sample_bodies(
+            Distribution::Clustered {
+                clusters: 2,
+                sigma: 0.05,
+            },
+            100,
+            &mut rng,
+        );
         // Give total mass 1 so the dynamics are gentle at dt = 1e-4.
         for b in bodies.iter_mut() {
             b.mass = 1.0 / 100.0;

@@ -297,11 +297,7 @@ mod tests {
         let max_level = tree.nodes().iter().map(|n| n.level).max().unwrap();
         assert!(max_level <= 5);
         // The deepest node holds all 20 bodies as an (oversized) leaf.
-        let deepest = tree
-            .nodes()
-            .iter()
-            .find(|n| n.level == max_level)
-            .unwrap();
+        let deepest = tree.nodes().iter().find(|n| n.level == max_level).unwrap();
         assert!(deepest.is_leaf());
         assert_eq!(deepest.bodies.len(), 20);
     }

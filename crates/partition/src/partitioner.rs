@@ -232,7 +232,8 @@ mod tests {
     #[test]
     fn greedy_covers_all_cells_exactly_once() {
         let grid = Grid::<2>::new(2).unwrap();
-        let w = WeightedGrid::generate(grid, Workload::CornerExponential { scale: 1.5 }, &mut rng());
+        let w =
+            WeightedGrid::generate(grid, Workload::CornerExponential { scale: 1.5 }, &mut rng());
         let z = ZCurve::<2>::over(grid);
         let part = partition_greedy(&z, &w, 5);
         assert_eq!(part.boundaries().first(), Some(&0));
@@ -251,7 +252,10 @@ mod tests {
         for workload in [
             Workload::Uniform,
             Workload::CornerExponential { scale: 2.0 },
-            Workload::GaussianClusters { count: 3, sigma: 2.0 },
+            Workload::GaussianClusters {
+                count: 3,
+                sigma: 2.0,
+            },
         ] {
             let w = WeightedGrid::generate(grid, workload, &mut r);
             let z = ZCurve::<2>::over(grid);
@@ -312,7 +316,14 @@ mod tests {
     fn every_curve_kind_partitions_cleanly() {
         let grid = Grid::<2>::new(3).unwrap();
         let mut r = rng();
-        let w = WeightedGrid::generate(grid, Workload::GaussianClusters { count: 4, sigma: 1.0 }, &mut r);
+        let w = WeightedGrid::generate(
+            grid,
+            Workload::GaussianClusters {
+                count: 4,
+                sigma: 1.0,
+            },
+            &mut r,
+        );
         for kind in CurveKind::ALL {
             let c = kind.build::<2>(3).unwrap();
             let part = partition_greedy(&c, &w, 4);
@@ -327,7 +338,14 @@ mod tests {
         // not report below it.
         let grid = Grid::<2>::new(2).unwrap();
         let mut r = rng();
-        let w = WeightedGrid::generate(grid, Workload::GaussianClusters { count: 2, sigma: 1.0 }, &mut r);
+        let w = WeightedGrid::generate(
+            grid,
+            Workload::GaussianClusters {
+                count: 2,
+                sigma: 1.0,
+            },
+            &mut r,
+        );
         let h = HilbertCurve::<2>::over(grid);
         let order = w.in_curve_order(&h);
         let total: f64 = order.iter().sum();

@@ -83,9 +83,7 @@ pub fn evaluate_par<const D: usize, C: SpaceFillingCurve<D> + Sync>(
             // Count each edge once from its lower endpoint (step_up only).
             for axis in 0..D {
                 if let Some(up) = cell.step_up(axis) {
-                    if grid.contains(&up)
-                        && partition.part_of(curve.index_of(up)) != own
-                    {
+                    if grid.contains(&up) && partition.part_of(curve.index_of(up)) != own {
                         cut += 1;
                     }
                 }
@@ -166,11 +164,22 @@ mod tests {
     fn parallel_matches_sequential() {
         let grid = Grid::<2>::new(3).unwrap();
         let mut r = rng();
-        let w = WeightedGrid::generate(grid, Workload::GaussianClusters { count: 3, sigma: 2.0 }, &mut r);
+        let w = WeightedGrid::generate(
+            grid,
+            Workload::GaussianClusters {
+                count: 3,
+                sigma: 2.0,
+            },
+            &mut r,
+        );
         for kind in CurveKind::ALL {
             let c = kind.build::<2>(3).unwrap();
             let part = partition_greedy(&c, &w, 5);
-            assert_eq!(evaluate(&c, &w, &part), evaluate_par(&c, &w, &part), "{kind}");
+            assert_eq!(
+                evaluate(&c, &w, &part),
+                evaluate_par(&c, &w, &part),
+                "{kind}"
+            );
         }
     }
 
@@ -214,7 +223,14 @@ mod tests {
     fn imbalance_is_at_least_one() {
         let grid = Grid::<2>::new(2).unwrap();
         let mut r = rng();
-        let w = WeightedGrid::generate(grid, Workload::GaussianClusters { count: 2, sigma: 0.8 }, &mut r);
+        let w = WeightedGrid::generate(
+            grid,
+            Workload::GaussianClusters {
+                count: 2,
+                sigma: 0.8,
+            },
+            &mut r,
+        );
         let z = ZCurve::<2>::over(grid);
         for p in [2usize, 3, 4, 7] {
             let q = evaluate(&z, &w, &partition_greedy(&z, &w, p));

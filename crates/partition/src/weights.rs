@@ -55,8 +55,7 @@ impl<const D: usize> WeightedGrid<D> {
                 }
             }
             Workload::GaussianClusters { count, sigma } => {
-                let centers: Vec<Point<D>> =
-                    (0..count).map(|_| grid.random_cell(rng)).collect();
+                let centers: Vec<Point<D>> = (0..count).map(|_| grid.random_cell(rng)).collect();
                 let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
                 for cell in grid.cells() {
                     let rank = grid.row_major_rank(&cell) as usize;
@@ -133,7 +132,8 @@ mod tests {
     #[test]
     fn corner_exponential_decays_monotonically_from_origin() {
         let grid = Grid::<2>::new(3).unwrap();
-        let w = WeightedGrid::generate(grid, Workload::CornerExponential { scale: 2.0 }, &mut rng());
+        let w =
+            WeightedGrid::generate(grid, Workload::CornerExponential { scale: 2.0 }, &mut rng());
         assert!(w.weight(&Point::new([0, 0])) > w.weight(&Point::new([1, 0])));
         assert!(w.weight(&Point::new([1, 1])) > w.weight(&Point::new([7, 7])));
         // Equal Manhattan distance → equal weight.
@@ -145,7 +145,10 @@ mod tests {
         let grid = Grid::<2>::new(3).unwrap();
         let w = WeightedGrid::generate(
             grid,
-            Workload::GaussianClusters { count: 3, sigma: 1.5 },
+            Workload::GaussianClusters {
+                count: 3,
+                sigma: 1.5,
+            },
             &mut rng(),
         );
         for cell in grid.cells() {

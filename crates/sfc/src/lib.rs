@@ -48,9 +48,8 @@ pub use sfc_partition as partition;
 /// The most commonly used types, one `use` away.
 pub mod prelude {
     pub use sfc_core::{
-        CurveIndex, CurveKind, DiagonalCurve, Grid, GrayCurve, HilbertCurve,
-        PermutationCurve, Point, SimpleCurve, SnakeCurve, SpaceFillingCurve, SpiralCurve,
-        ZCurve,
+        CurveIndex, CurveKind, DiagonalCurve, GrayCurve, Grid, HilbertCurve, PermutationCurve,
+        Point, SimpleCurve, SnakeCurve, SpaceFillingCurve, SpiralCurve, ZCurve,
     };
     pub use sfc_index::{BoxRegion, SfcIndex};
     pub use sfc_metrics::nn_stretch::NnStretchSummary;

@@ -38,7 +38,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     let direct = direct_forces_par(tree.bodies(), softening);
     let t_direct = t0.elapsed();
-    println!("direct summation: {} interactions in {t_direct:.2?}", n * (n - 1));
+    println!(
+        "direct summation: {} interactions in {t_direct:.2?}",
+        n * (n - 1)
+    );
     for theta in [0.3, 0.6, 1.0] {
         let t0 = std::time::Instant::now();
         let (forces, stats) = barnes_hut_forces_par(&tree, theta, softening);

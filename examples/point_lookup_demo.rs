@@ -1,0 +1,26 @@
+//! Minimal demo of exact-cell lookups through the SoA index.
+
+use rand::SeedableRng;
+use sfc::index::SfcIndex;
+use sfc::prelude::*;
+
+fn main() {
+    let grid = Grid::<2>::new(6).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+    let mut records: Vec<(Point<2>, u32)> = (0..2_000)
+        .map(|i| (grid.random_cell(&mut rng), i))
+        .collect();
+    let target = Point::new([17, 42]);
+    records.push((target, 9_001));
+    records.push((target, 9_002));
+    let index = SfcIndex::build(ZCurve::over(grid), records);
+    let hits = index.point_lookup(target);
+    println!("{} records at {target}:", hits.len());
+    for e in hits {
+        println!("  payload {} (key {})", e.payload, e.key);
+    }
+    println!(
+        "records at (0, 0): {}",
+        index.point_lookup(Point::new([0, 0])).len()
+    );
+}

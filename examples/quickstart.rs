@@ -12,7 +12,12 @@ fn main() {
     // The universe: a 256×256 grid (d = 2, k = 8, n = 65 536 cells).
     let k = 8;
     let z = ZCurve::<2>::new(k).expect("valid grid");
-    println!("universe: {}×{} = {} cells", z.grid().side(), z.grid().side(), z.grid().n());
+    println!(
+        "universe: {}×{} = {} cells",
+        z.grid().side(),
+        z.grid().side(),
+        z.grid().n()
+    );
 
     // Where does the cell (100, 200) land on the curve, and what cell sits
     // at position 12345?

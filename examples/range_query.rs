@@ -86,7 +86,10 @@ fn main() {
     // Exact verified kNN.
     let q = Point::new([64, 64]);
     let (nearest, stats) = zindex.knn(q, 5, 16);
-    println!("5 nearest records to {q} (scanned {} entries):", stats.scanned);
+    println!(
+        "5 nearest records to {q} (scanned {} entries):",
+        stats.scanned
+    );
     for e in nearest {
         println!(
             "  record {:>6} at {}  (distance {:.2})",

@@ -13,7 +13,16 @@ use sfc::prelude::*;
 fn main() {
     let mut table = Table::new(
         "Average NN-stretch, normalized by the asymptote (1/d)·n^{1−1/d}  (d = 2)",
-        &["k", "n", "Thm1 bound/asym", "Z", "simple", "snake", "gray", "hilbert"],
+        &[
+            "k",
+            "n",
+            "Thm1 bound/asym",
+            "Z",
+            "simple",
+            "snake",
+            "gray",
+            "hilbert",
+        ],
     );
     for k in 2..=8u32 {
         let asym = bounds::nn_stretch_asymptote(k, 2);

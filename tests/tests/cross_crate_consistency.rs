@@ -96,7 +96,10 @@ fn partition_edge_cut_brute_force() {
     let mut rng = test_rng(9);
     let weights = WeightedGrid::generate(
         grid,
-        Workload::GaussianClusters { count: 2, sigma: 1.5 },
+        Workload::GaussianClusters {
+            count: 2,
+            sigma: 1.5,
+        },
         &mut rng,
     );
     for kind in CurveKind::ALL {

@@ -48,9 +48,8 @@ fn extended_curves_sa_prime_is_universal() {
 fn extended_curves_serve_box_and_knn_queries() {
     let grid = Grid::<2>::new(4).unwrap();
     let mut rng = test_rng(123);
-    let records: Vec<(Point<2>, usize)> = (0..200)
-        .map(|i| (grid.random_cell(&mut rng), i))
-        .collect();
+    let records: Vec<(Point<2>, usize)> =
+        (0..200).map(|i| (grid.random_cell(&mut rng), i)).collect();
     for curve in extended_curves(4) {
         let name = curve.name();
         let index = SfcIndex::build(curve, records.clone());
@@ -74,7 +73,10 @@ fn extended_curves_partition_cleanly() {
     let mut rng = test_rng(7);
     let weights = WeightedGrid::generate(
         grid,
-        Workload::GaussianClusters { count: 3, sigma: 2.0 },
+        Workload::GaussianClusters {
+            count: 3,
+            sigma: 2.0,
+        },
         &mut rng,
     );
     for curve in extended_curves(4) {

@@ -8,6 +8,7 @@ use sfc_partition::{partition_greedy, WeightedGrid};
 
 /// Brute-force optimal bottleneck for a 1-D weight sequence split into at
 /// most `p` contiguous parts, by dynamic programming.
+#[allow(clippy::needless_range_loop)] // index-form DP recurrences read clearer
 fn dp_bottleneck(weights: &[f64], p: usize) -> f64 {
     let n = weights.len();
     let mut prefix = vec![0.0f64; n + 1];

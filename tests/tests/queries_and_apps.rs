@@ -2,13 +2,15 @@
 //! across curves and workloads, and end-to-end partition/N-body sanity.
 
 use proptest::prelude::*;
-use sfc_core::{CurveKind, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
+use sfc_core::{CurveKind, Grid, HilbertCurve, Point, ZCurve};
 use sfc_index::{BoxRegion, SfcIndex};
 use sfc_integration::test_rng;
 
 fn random_records(grid: Grid<2>, count: usize, seed: u64) -> Vec<(Point<2>, usize)> {
     let mut rng = test_rng(seed);
-    (0..count).map(|i| (grid.random_cell(&mut rng), i)).collect()
+    (0..count)
+        .map(|i| (grid.random_cell(&mut rng), i))
+        .collect()
 }
 
 proptest! {
@@ -24,8 +26,8 @@ proptest! {
         let region = BoxRegion::new(Point::new([lx.min(hi.coord(0)), ly.min(hi.coord(1))]), hi);
         let (a, _) = index.query_box_bigmin(&region);
         let (b, _) = index.query_box_intervals(&region);
-        let mut ka: Vec<usize> = a.iter().map(|e| e.payload).collect();
-        let mut kb: Vec<usize> = b.iter().map(|e| e.payload).collect();
+        let mut ka: Vec<usize> = a.iter().map(|e| *e.payload).collect();
+        let mut kb: Vec<usize> = b.iter().map(|e| *e.payload).collect();
         ka.sort_unstable();
         kb.sort_unstable();
         prop_assert_eq!(ka, kb);
@@ -115,8 +117,14 @@ fn index_with_random_bijection_curve() {
 fn nbody_end_to_end() {
     use sfc_nbody::body::{sample_bodies, Distribution};
     let mut rng = test_rng(11);
-    let mut bodies: Vec<sfc_nbody::Body<2>> =
-        sample_bodies(Distribution::Clustered { clusters: 3, sigma: 0.08 }, 150, &mut rng);
+    let mut bodies: Vec<sfc_nbody::Body<2>> = sample_bodies(
+        Distribution::Clustered {
+            clusters: 3,
+            sigma: 0.08,
+        },
+        150,
+        &mut rng,
+    );
     for b in bodies.iter_mut() {
         b.mass = 1.0 / 150.0;
     }

@@ -1,0 +1,313 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`, [`prelude::any`], range strategies,
+//! [`array::uniform2`]–[`array::uniform4`] and [`collection::vec`].
+//!
+//! Differences from the real crate: inputs are sampled uniformly at random
+//! (no bias toward edge cases) and failures are **not shrunk** — the
+//! failing input values are reported via the panic message instead. Each
+//! test's stream is deterministic, derived from the test's full path, so
+//! failures reproduce across runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait: something that can produce random values.
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SampleRange, StandardSample};
+
+    /// A source of random test inputs.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t>
+            where
+                std::ops::RangeInclusive<$t>: SampleRange<$t>,
+            {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, u128, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut SmallRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing any value of `T` (see [`crate::prelude::any`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: StandardSample + std::fmt::Debug> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            T::sample_standard(rng)
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+
+    /// An array strategy: `N` independent draws from the inner strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut SmallRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+
+    /// `[S; 2]` drawn independently.
+    pub fn uniform2<S: Strategy>(s: S) -> UniformArray<S, 2> {
+        UniformArray(s)
+    }
+
+    /// `[S; 3]` drawn independently.
+    pub fn uniform3<S: Strategy>(s: S) -> UniformArray<S, 3> {
+        UniformArray(s)
+    }
+
+    /// `[S; 4]` drawn independently.
+    pub fn uniform4<S: Strategy>(s: S) -> UniformArray<S, 4> {
+        UniformArray(s)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Something that can pick a vector length.
+    pub trait VecLen {
+        /// Draws a length.
+        fn draw_len(&self, rng: &mut SmallRng) -> usize;
+    }
+
+    impl VecLen for usize {
+        fn draw_len(&self, _rng: &mut SmallRng) -> usize {
+            *self
+        }
+    }
+
+    impl VecLen for std::ops::Range<usize> {
+        fn draw_len(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl VecLen for std::ops::RangeInclusive<usize> {
+        fn draw_len(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A `Vec` strategy: `len` independent draws from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = self.len.draw_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `element` with length drawn from `len`.
+    pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and deterministic seeding for the test loop.
+
+    /// Runner configuration (`cases` = number of random inputs per test).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic seed derived from a test's full path (FNV-1a), so each
+    /// test gets its own reproducible stream.
+    pub fn seed_for(test_path: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude`.
+
+    pub use crate::strategy::{Any, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: rand::StandardSample + std::fmt::Debug>() -> Any<T> {
+        Any::default()
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::Config = $cfg;
+            let seed = $crate::test_runner::seed_for(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+            for _case in 0..config.cases {
+                $(let $arg = ($strat).sample(&mut rng);)+
+                // Report the failing inputs (no shrinking in this stand-in).
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $arg.clone();)+
+                    $body
+                }));
+                if let Err(e) = result {
+                    eprintln!(
+                        concat!("proptest case failed: ", stringify!($name),
+                                $( "\n  ", stringify!($arg), " = {:?}", )+ ),
+                        $($arg),+
+                    );
+                    std::panic::resume_unwind(e);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..5, f in 0.0f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.0..2.5).contains(&f));
+        }
+
+        #[test]
+        fn arrays_and_vecs_have_requested_shape(
+            a in crate::array::uniform3(0u32..8),
+            v in crate::collection::vec(0u32..100, 7),
+            b in any::<bool>(),
+        ) {
+            prop_assert_eq!(a.len(), 3);
+            prop_assert!(a.iter().all(|&x| x < 8));
+            prop_assert_eq!(v.len(), 7);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_test_path() {
+        assert_ne!(
+            crate::test_runner::seed_for("a::b"),
+            crate::test_runner::seed_for("a::c")
+        );
+    }
+}

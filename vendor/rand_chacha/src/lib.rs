@@ -1,0 +1,51 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Provides a deterministic, seedable generator under the [`ChaCha8Rng`]
+//! name so seeded test code compiles and runs unchanged. The stream is
+//! **not** the real ChaCha8 keystream (no crates.io access to the
+//! original); it is xoshiro256** with SplitMix64 seeding, which is more
+//! than adequate for the statistical assertions in this workspace's tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable generator (API-compatible subset of the real
+/// `ChaCha8Rng`: `seed_from_u64` + `RngCore`).
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    inner: SmallRng,
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Alias matching the real crate's strongest variant.
+pub type ChaCha20Rng = ChaCha8Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

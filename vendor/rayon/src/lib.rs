@@ -1,0 +1,173 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the parallel-iterator API surface the workspace uses
+//! (`into_par_iter`, `par_iter`, `map`, `enumerate`, `reduce`, `collect`,
+//! `sum`, `for_each`, and [`join`]) with **sequential** execution. The
+//! semantics match rayon for deterministic pipelines: `reduce` folds in
+//! order, `collect` preserves input order. Swapping the real rayon back in
+//! requires no source changes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// A "parallel" iterator: a thin sequential wrapper with rayon's method
+/// names.
+#[derive(Debug, Clone)]
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each element through `f`.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Keeps elements matching the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// Folds all elements with `op`, starting from `identity()`.
+    ///
+    /// Rayon's contract: `identity` may be invoked any number of times and
+    /// `op` must be associative; a sequential left fold satisfies both.
+    pub fn reduce<ID, OP>(mut self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        let first = self.inner.next().unwrap_or_else(&identity);
+        self.inner.fold(first, op)
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Sums the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Runs `f` on every element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    /// The number of elements.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The wrapped sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+    /// Wraps `self`.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Conversion into a [`ParIter`] over references (rayon's
+/// `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The wrapped sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: 'a;
+    /// Wraps a shared borrow of `self`.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<std::slice::Iter<'a, T>> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<std::slice::Iter<'a, T>> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential_fold() {
+        let total = (0u64..100)
+            .into_par_iter()
+            .map(|x| x * x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0u64..100).map(|x| x * x).sum::<u64>());
+    }
+
+    #[test]
+    fn par_iter_enumerate_collect_preserves_order() {
+        let v = vec![10, 20, 30];
+        let out: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn reduce_of_empty_uses_identity() {
+        let total = (0u64..0).into_par_iter().reduce(|| 7, |a, b| a + b);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}
