@@ -1,0 +1,222 @@
+//! Streaming ingest through `SfcStore` vs repeated `SfcIndex::build`
+//! rebuilds — the dynamic-workload scenario the store exists for.
+//!
+//! Scenario (per curve family): a 1M-record base set on a 2048×2048 grid
+//! absorbs 100k upserts in 10 rounds of 10k, with a batch of box queries
+//! after every round.
+//!
+//! * `rebuild_*` — the static path: an authoritative `BTreeMap` takes the
+//!   updates and the **whole** `SfcIndex` is rebuilt from it each round.
+//! * `store_*` — the LSM path: updates stream into the store's memtable,
+//!   flush/compaction amortises the sort work, queries span the levels.
+//!
+//! Before timing anything, the harness asserts that the store's query
+//! results are **byte-identical** (key, point, payload) to a fresh static
+//! index built over the same live set — for BIGMIN on Z, intervals on
+//! Hilbert, and kNN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
+use sfc_index::{BoxRegion, SfcIndex};
+use sfc_store::SfcStore;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const BASE: usize = 1_000_000;
+const ROUNDS: usize = 10;
+const UPDATES_PER_ROUND: usize = 10_000;
+const GRID_K: u32 = 11; // 2048×2048
+const QUERIES_PER_ROUND: usize = 8;
+
+struct Scenario {
+    grid: Grid<2>,
+    base: Vec<(Point<2>, u64)>,
+    rounds: Vec<Vec<(Point<2>, u64)>>,
+    boxes: Vec<BoxRegion<2>>,
+}
+
+fn scenario() -> Scenario {
+    let grid = Grid::<2>::new(GRID_K).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    let base: Vec<(Point<2>, u64)> = (0..BASE)
+        .map(|i| (grid.random_cell(&mut rng), i as u64))
+        .collect();
+    let rounds: Vec<Vec<(Point<2>, u64)>> = (0..ROUNDS)
+        .map(|r| {
+            (0..UPDATES_PER_ROUND)
+                .map(|i| {
+                    (
+                        grid.random_cell(&mut rng),
+                        (BASE + r * UPDATES_PER_ROUND + i) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let max = (grid.side() - 1) as u32;
+    let boxes: Vec<BoxRegion<2>> = (0..QUERIES_PER_ROUND)
+        .map(|_| {
+            let corner = grid.random_cell(&mut rng);
+            let size = rng.gen_range(8..24u32);
+            BoxRegion::new(
+                corner,
+                Point::new([
+                    (corner.coord(0) + size).min(max),
+                    (corner.coord(1) + size).min(max),
+                ]),
+            )
+        })
+        .collect();
+    Scenario {
+        grid,
+        base,
+        rounds,
+        boxes,
+    }
+}
+
+type Authority = BTreeMap<CurveIndex, (Point<2>, u64)>;
+
+fn authority_of<C: SpaceFillingCurve<2>>(curve: &C, records: &[(Point<2>, u64)]) -> Authority {
+    records
+        .iter()
+        .map(|&(p, v)| (curve.index_of(p), (p, v)))
+        .collect()
+}
+
+fn apply_round<C: SpaceFillingCurve<2>>(
+    curve: &C,
+    authority: &mut Authority,
+    updates: &[(Point<2>, u64)],
+) {
+    for &(p, v) in updates {
+        authority.insert(curve.index_of(p), (p, v));
+    }
+}
+
+/// Asserts the store's merged query results are byte-identical to a fresh
+/// static index over the same live set.
+fn assert_equivalence(sc: &Scenario) {
+    let triple = |key: CurveIndex, point: Point<2>, payload: u64| (key, point, payload);
+
+    // Z: BIGMIN both sides, plus kNN.
+    let z = ZCurve::over(sc.grid);
+    let mut store = SfcStore::bulk_load(z, sc.base.iter().copied());
+    let mut authority = authority_of(&z, &sc.base);
+    for updates in &sc.rounds {
+        apply_round(&z, &mut authority, updates);
+        for &(p, v) in updates {
+            store.insert(p, v);
+        }
+    }
+    let index = SfcIndex::build(z, authority.values().copied());
+    assert_eq!(store.len(), index.len(), "live set size");
+    for b in &sc.boxes {
+        let (got, _) = store.query_box_bigmin(b);
+        let (want, _) = index.query_box_bigmin(b);
+        let got: Vec<_> = got
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        let want: Vec<_> = want
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        assert_eq!(got, want, "Z bigmin mismatch on {b:?}");
+        let q = b.lo();
+        let (gk, _) = store.knn(q, 10, 16);
+        let (wk, _) = index.knn(q, 10, 16);
+        let gk: Vec<_> = gk
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        let wk: Vec<_> = wk
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        assert_eq!(gk, wk, "Z knn mismatch at {q}");
+    }
+
+    // Hilbert: interval strategy both sides.
+    let h = HilbertCurve::over(sc.grid);
+    let mut store = SfcStore::bulk_load(h, sc.base.iter().copied());
+    let mut authority = authority_of(&h, &sc.base);
+    for updates in &sc.rounds {
+        apply_round(&h, &mut authority, updates);
+        for &(p, v) in updates {
+            store.insert(p, v);
+        }
+    }
+    let index = SfcIndex::build(h, authority.values().copied());
+    for b in &sc.boxes {
+        let (got, _) = store.query_box_intervals(b);
+        let (want, _) = index.query_box_intervals(b);
+        let got: Vec<_> = got
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        let want: Vec<_> = want
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        assert_eq!(got, want, "Hilbert intervals mismatch on {b:?}");
+    }
+    println!("equivalence: store query results byte-identical to static index (Z + Hilbert)");
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let sc = scenario();
+    assert_equivalence(&sc);
+
+    let mut group = c.benchmark_group("ingest_100k_into_1m");
+
+    macro_rules! bench_curve {
+        ($name:literal, $curve:expr, $query:ident) => {
+            let curve = $curve;
+            // Rebuild baseline: authority map + full rebuild per round.
+            let mut authority = authority_of(&curve, &sc.base);
+            group.bench_function(concat!($name, "_rebuild"), |bencher| {
+                bencher.iter(|| {
+                    let mut total = 0usize;
+                    for updates in &sc.rounds {
+                        apply_round(&curve, &mut authority, updates);
+                        let index = SfcIndex::build(curve, authority.values().copied());
+                        for b in &sc.boxes {
+                            total += black_box(index.$query(b).0.len());
+                        }
+                    }
+                    total
+                })
+            });
+            // Streaming path: updates land in the memtable, flushes and
+            // size-tiered merges amortise the sort.
+            let mut store = SfcStore::bulk_load(curve, sc.base.iter().copied());
+            group.bench_function(concat!($name, "_store_streaming"), |bencher| {
+                bencher.iter(|| {
+                    let mut total = 0usize;
+                    for updates in &sc.rounds {
+                        for &(p, v) in updates {
+                            store.insert(p, v);
+                        }
+                        for b in &sc.boxes {
+                            total += black_box(store.$query(b).0.len());
+                        }
+                    }
+                    total
+                })
+            });
+        };
+    }
+
+    bench_curve!("z", ZCurve::over(sc.grid), query_box_bigmin);
+    bench_curve!("hilbert", HilbertCurve::over(sc.grid), query_box_intervals);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ingest
+}
+criterion_main!(benches);

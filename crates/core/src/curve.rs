@@ -175,6 +175,43 @@ impl<const D: usize, C: SpaceFillingCurve<D> + ?Sized> Iterator for CurveOrderIt
 /// does).
 pub type BoxedCurve<const D: usize> = Box<dyn SpaceFillingCurve<D> + Send + Sync>;
 
+/// A reference-counted, dynamically dispatched curve: cheap to clone, so
+/// one curve instance can back many structures at once (e.g. every sorted
+/// run of an LSM-style store).
+pub type SharedCurve<const D: usize> = std::sync::Arc<dyn SpaceFillingCurve<D> + Send + Sync>;
+
+macro_rules! impl_curve_for_smart_pointer {
+    ($($ptr:ident :: $name:ident),*) => {$(
+        impl<const D: usize, C: SpaceFillingCurve<D> + ?Sized> SpaceFillingCurve<D>
+            for std::$ptr::$name<C>
+        {
+            fn grid(&self) -> Grid<D> {
+                (**self).grid()
+            }
+            fn index_of(&self, p: Point<D>) -> CurveIndex {
+                (**self).index_of(p)
+            }
+            fn point_of(&self, idx: CurveIndex) -> Point<D> {
+                (**self).point_of(idx)
+            }
+            fn index_of_batch(&self, points: &[Point<D>], out: &mut Vec<CurveIndex>) {
+                (**self).index_of_batch(points, out)
+            }
+            fn point_of_batch(&self, indices: &[CurveIndex], out: &mut Vec<Point<D>>) {
+                (**self).point_of_batch(indices, out)
+            }
+            fn name(&self) -> String {
+                (**self).name()
+            }
+        }
+    )*};
+}
+
+// `Arc<C>` / `Rc<C>` delegate like `&C` does: clone-shareable curve handles
+// satisfy the same bound as the curve itself, which is what lets multi-run
+// structures hold "one curve per run" without duplicating table state.
+impl_curve_for_smart_pointer!(sync::Arc, rc::Rc);
+
 impl<const D: usize> SpaceFillingCurve<D> for BoxedCurve<D> {
     fn grid(&self) -> Grid<D> {
         (**self).grid()
@@ -353,6 +390,22 @@ mod tests {
             c.index_of(Point::new([0, 0]))
         }
         assert_eq!(takes_curve(z), 0);
+    }
+
+    #[test]
+    fn shared_curve_handles_delegate() {
+        let shared: SharedCurve<2> = std::sync::Arc::new(ZCurve::<2>::new(2).unwrap());
+        let clone = shared.clone();
+        assert_eq!(shared.grid().n(), 16);
+        let p = Point::new([2, 3]);
+        assert_eq!(clone.index_of(p), shared.index_of(p));
+        assert_eq!(clone.point_of(13), shared.point_of(13));
+        assert_eq!(shared.name(), "Z");
+        let rc = std::rc::Rc::new(SimpleCurve::<2>::new(2).unwrap());
+        assert_eq!(rc.index_of(Point::new([3, 1])), 7);
+        let mut out = Vec::new();
+        rc.index_of_batch(&[Point::new([3, 1])], &mut out);
+        assert_eq!(out, vec![7]);
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub mod spiral;
 pub mod transform;
 pub mod viz;
 
-pub use curve::{BoxedCurve, CurveKind, CurveOrderIter, SpaceFillingCurve};
+pub use curve::{BoxedCurve, CurveKind, CurveOrderIter, SharedCurve, SpaceFillingCurve};
 pub use diagonal::DiagonalCurve;
 pub use error::SfcError;
 pub use gray::GrayCurve;

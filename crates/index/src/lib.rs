@@ -46,6 +46,22 @@
 //!   a whole key gap with one binary search, and the number of jumps is
 //!   bounded by the box's key-range "islands" rather than its volume.
 //! * `query_box_full_scan` — the `O(n)` baseline.
+//!
+//! ## Building blocks for multi-run structures
+//!
+//! Everything the index does to one sorted run is also exposed as a
+//! free-standing primitive over raw columns, so structures composed of
+//! *several* sorted runs (the `sfc-store` LSM-style store) reuse the exact
+//! same code per level:
+//!
+//! * [`sort_columns`] — batch-encode + stable radix sort: sorted-column
+//!   construction from unsorted records;
+//! * [`interval_scan`] / [`bigmin_scan`] — the two range-scan shapes over
+//!   a bare key slice, with per-level [`QueryStats`] accounting;
+//! * [`SfcIndex::from_sorted`] / [`SfcIndex::into_columns`] — adopt and
+//!   release column storage without re-sorting;
+//! * [`SfcIndex::lower_bound`] / [`SfcIndex::find_key`] — key-column
+//!   binary searches.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -54,9 +70,11 @@
 pub mod bigmin;
 pub mod query;
 pub mod region;
+pub mod scan;
 pub mod table;
 
 pub use bigmin::{bigmin, litmax};
 pub use query::QueryStats;
 pub use region::BoxRegion;
-pub use table::{EntryRef, SfcIndex};
+pub use scan::{bigmin_scan, interval_scan};
+pub use table::{sort_columns, EntryRef, SfcIndex};

@@ -1,0 +1,122 @@
+//! Range-scan building blocks over raw sorted key slices.
+//!
+//! [`SfcIndex`](crate::SfcIndex) and any structure composed of several
+//! sorted runs (e.g. an LSM-style store) share the same two scan shapes:
+//! walking a precomputed list of exact curve intervals, and the Tropf &
+//! Herzog BIGMIN jumping scan. Both are expressed here against plain
+//! `&[CurveIndex]` / `&[Point]` columns so one implementation serves every
+//! level of every structure; matches are surfaced as column positions
+//! through a `visit` callback and work is accounted in a caller-supplied
+//! [`QueryStats`].
+
+use crate::bigmin::bigmin;
+use crate::query::QueryStats;
+use crate::region::BoxRegion;
+use sfc_core::{CurveIndex, Point, ZCurve};
+
+/// Scans a sorted key column for every entry inside the given curve
+/// intervals (each `(lo, hi)` inclusive, as produced by
+/// [`BoxRegion::curve_intervals`]), calling `visit` with the position of
+/// each match.
+///
+/// One binary search per interval plus one sequential step per matching
+/// entry; because the intervals are exact, every visited entry is a match
+/// (`scanned == reported` for interval queries).
+pub fn interval_scan(
+    keys: &[CurveIndex],
+    intervals: &[(CurveIndex, CurveIndex)],
+    stats: &mut QueryStats,
+    mut visit: impl FnMut(usize),
+) {
+    for &(lo, hi) in intervals {
+        stats.seeks += 1;
+        let mut i = keys.partition_point(|&k| k < lo);
+        while i < keys.len() && keys[i] <= hi {
+            stats.scanned += 1;
+            visit(i);
+            i += 1;
+        }
+    }
+}
+
+/// BIGMIN jumping scan of a sorted Morton-key column (Tropf & Herzog):
+/// scan from `Z(lo)`, and whenever the scan meets an entry outside the
+/// box, compute BIGMIN and restart the scan there with a binary search
+/// over the remaining tail. Calls `visit` with the position of every entry
+/// whose point lies in the box.
+///
+/// `points` must be the point column parallel to `keys`; only positions
+/// under consideration are dereferenced.
+pub fn bigmin_scan<const D: usize>(
+    z: &ZCurve<D>,
+    keys: &[CurveIndex],
+    points: &[Point<D>],
+    b: &BoxRegion<D>,
+    stats: &mut QueryStats,
+    mut visit: impl FnMut(usize),
+) {
+    debug_assert_eq!(keys.len(), points.len(), "column length mismatch");
+    let zmin = z.encode(b.lo());
+    let zmax = z.encode(b.hi());
+    stats.seeks += 1;
+    let mut i = keys.partition_point(|&k| k < zmin);
+    while i < keys.len() {
+        let key = keys[i];
+        if key > zmax {
+            break;
+        }
+        stats.scanned += 1;
+        if b.contains(&points[i]) {
+            visit(i);
+            i += 1;
+        } else {
+            match bigmin(z, key, zmin, zmax) {
+                Some(next) => {
+                    stats.seeks += 1;
+                    // `next > key >= keys[i]`, so searching the tail finds
+                    // the same position as a fresh whole-column search.
+                    i += keys[i..].partition_point(|&k| k < next);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfc_core::{Grid, SpaceFillingCurve};
+
+    #[test]
+    fn interval_scan_visits_exactly_the_ranges() {
+        let keys: Vec<CurveIndex> = vec![0, 2, 2, 5, 7, 9, 12];
+        let mut stats = QueryStats::default();
+        let mut hits = Vec::new();
+        interval_scan(&keys, &[(2, 5), (9, 10)], &mut stats, |i| hits.push(i));
+        assert_eq!(hits, vec![1, 2, 3, 5]);
+        assert_eq!(stats.seeks, 2);
+        assert_eq!(stats.scanned, 4);
+    }
+
+    #[test]
+    fn bigmin_scan_matches_filtering_the_key_range() {
+        let grid = Grid::<2>::new(3).unwrap();
+        let z = ZCurve::over(grid);
+        // All cells, sorted by key (the full curve order).
+        let points: Vec<Point<2>> = z.traverse().collect();
+        let keys: Vec<CurveIndex> = (0..grid.n()).collect();
+        let b = BoxRegion::new(Point::new([2, 1]), Point::new([6, 5]));
+        let mut stats = QueryStats::default();
+        let mut hits = Vec::new();
+        bigmin_scan(&z, &keys, &points, &b, &mut stats, |i| hits.push(i));
+        let expected: Vec<usize> = (0..points.len())
+            .filter(|&i| b.contains(&points[i]))
+            .collect();
+        assert_eq!(hits, expected);
+        assert_eq!(
+            stats.scanned as usize,
+            hits.len() + stats.seeks as usize - 1
+        );
+    }
+}

@@ -21,9 +21,9 @@
 //! exactly like the previous `sort_by_key`. Pre-sorted columns can skip
 //! the sort entirely via [`SfcIndex::from_sorted`].
 
-use crate::bigmin::bigmin;
 use crate::query::QueryStats;
 use crate::region::BoxRegion;
+use crate::scan::{bigmin_scan, interval_scan};
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
 
 /// A borrowed view of one record of the index.
@@ -161,37 +161,57 @@ fn radix_sort_perm(keys: &[CurveIndex], bits: u32) -> Vec<u32> {
     }
 }
 
+/// Sorted-column construction: encodes `points` through the curve's batch
+/// kernel and radix-sorts all three columns by curve key, **stable** in
+/// input order for equal keys. This is the bulk-load primitive shared by
+/// [`SfcIndex::build`] and by multi-run structures that assemble their own
+/// runs (e.g. an LSM-style store's initial load).
+///
+/// # Panics
+/// Panics if any point lies outside the curve's grid or if `points` and
+/// `payloads` have different lengths.
+pub fn sort_columns<const D: usize, T, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    points: Vec<Point<D>>,
+    payloads: Vec<T>,
+) -> (Vec<CurveIndex>, Vec<Point<D>>, Vec<T>) {
+    let grid = curve.grid();
+    assert_eq!(points.len(), payloads.len(), "column length mismatch");
+    for point in &points {
+        assert!(grid.contains(point), "record out of bounds: {point}");
+    }
+    let mut keys = Vec::new();
+    curve.index_of_batch(&points, &mut keys);
+    let bits = grid.k() * D as u32;
+    let perm = radix_sort_perm(&keys, bits);
+    let sorted_keys = perm.iter().map(|&i| keys[i as usize]).collect();
+    let sorted_points = perm.iter().map(|&i| points[i as usize]).collect();
+    let mut slots: Vec<Option<T>> = payloads.into_iter().map(Some).collect();
+    let sorted_payloads = perm
+        .iter()
+        .map(|&i| {
+            slots[i as usize]
+                .take()
+                .expect("radix permutation is a bijection")
+        })
+        .collect();
+    (sorted_keys, sorted_points, sorted_payloads)
+}
+
 impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
     /// Builds the index from records: batch-encodes every point through
     /// the curve's [`index_of_batch`](SpaceFillingCurve::index_of_batch)
-    /// kernel, then radix-sorts by curve key. Stable in input order for
-    /// equal keys, so multiple records per cell are supported.
+    /// kernel, then radix-sorts by curve key (see [`sort_columns`]).
+    /// Stable in input order for equal keys, so multiple records per cell
+    /// are supported.
     pub fn build(curve: C, records: impl IntoIterator<Item = (Point<D>, T)>) -> Self {
-        let grid = curve.grid();
         let (points, payloads): (Vec<Point<D>>, Vec<T>) = records.into_iter().unzip();
-        for point in &points {
-            assert!(grid.contains(point), "record out of bounds: {point}");
-        }
-        let mut keys = Vec::new();
-        curve.index_of_batch(&points, &mut keys);
-        let bits = grid.k() * D as u32;
-        let perm = radix_sort_perm(&keys, bits);
-        let sorted_keys = perm.iter().map(|&i| keys[i as usize]).collect();
-        let sorted_points = perm.iter().map(|&i| points[i as usize]).collect();
-        let mut slots: Vec<Option<T>> = payloads.into_iter().map(Some).collect();
-        let sorted_payloads = perm
-            .iter()
-            .map(|&i| {
-                slots[i as usize]
-                    .take()
-                    .expect("radix permutation is a bijection")
-            })
-            .collect();
+        let (keys, points, payloads) = sort_columns(&curve, points, payloads);
         Self {
             curve,
-            keys: sorted_keys,
-            points: sorted_points,
-            payloads: sorted_payloads,
+            keys,
+            points,
+            payloads,
         }
     }
 
@@ -249,6 +269,13 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
         &self.payloads
     }
 
+    /// Decomposes the index back into its parts: the curve and the three
+    /// sorted columns. The inverse of [`from_sorted`](Self::from_sorted);
+    /// lets run-merging code consume the columns without cloning payloads.
+    pub fn into_columns(self) -> (C, Vec<CurveIndex>, Vec<Point<D>>, Vec<T>) {
+        (self.curve, self.keys, self.points, self.payloads)
+    }
+
     /// The record at position `i` of the key order.
     pub fn entry(&self, i: usize) -> EntryRef<'_, D, T> {
         EntryRef {
@@ -276,8 +303,15 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
 
     /// First entry position with key ≥ `key` (binary search over the key
     /// column only).
-    fn lower_bound(&self, key: CurveIndex) -> usize {
+    pub fn lower_bound(&self, key: CurveIndex) -> usize {
         self.keys.partition_point(|&k| k < key)
+    }
+
+    /// Position of the first entry with exactly this key, or `None` if the
+    /// key is absent. One binary search over the key column.
+    pub fn find_key(&self, key: CurveIndex) -> Option<usize> {
+        let i = self.lower_bound(key);
+        (i < self.len() && self.keys[i] == key).then_some(i)
     }
 
     /// All records at exactly the given cell, in input order. Zero-copy:
@@ -314,16 +348,10 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
         let intervals = b.curve_intervals(&self.curve);
         let mut out = Vec::new();
         let mut stats = QueryStats::default();
-        for (lo, hi) in intervals {
-            stats.seeks += 1;
-            let mut i = self.lower_bound(lo);
-            while i < self.len() && self.keys[i] <= hi {
-                stats.scanned += 1;
-                debug_assert!(b.contains(&self.points[i]));
-                out.push(self.entry(i));
-                i += 1;
-            }
-        }
+        interval_scan(&self.keys, &intervals, &mut stats, |i| {
+            debug_assert!(b.contains(&self.points[i]));
+            out.push(self.entry(i));
+        });
         stats.reported = out.len() as u64;
         (out, stats)
     }
@@ -339,33 +367,11 @@ impl<const D: usize, T> SfcIndex<D, T, ZCurve<D>> {
     /// clustering behaviour. The scan reads the key column contiguously
     /// and touches the point column only to test membership.
     pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<EntryRef<'_, D, T>>, QueryStats) {
-        let zmin = self.curve.encode(b.lo());
-        let zmax = self.curve.encode(b.hi());
         let mut out = Vec::new();
-        let mut stats = QueryStats {
-            seeks: 1,
-            ..Default::default()
-        };
-        let mut i = self.lower_bound(zmin);
-        while i < self.len() {
-            let key = self.keys[i];
-            if key > zmax {
-                break;
-            }
-            stats.scanned += 1;
-            if b.contains(&self.points[i]) {
-                out.push(self.entry(i));
-                i += 1;
-            } else {
-                match bigmin(&self.curve, key, zmin, zmax) {
-                    Some(next) => {
-                        stats.seeks += 1;
-                        i = self.lower_bound(next);
-                    }
-                    None => break,
-                }
-            }
-        }
+        let mut stats = QueryStats::default();
+        bigmin_scan(&self.curve, &self.keys, &self.points, b, &mut stats, |i| {
+            out.push(self.entry(i));
+        });
         stats.reported = out.len() as u64;
         (out, stats)
     }

@@ -32,5 +32,7 @@ pub mod sim;
 pub mod tree;
 
 pub use body::{Body, Distribution};
+pub use decomp::Orderer;
 pub use gravity::{barnes_hut_forces, direct_forces, BhStats};
+pub use sim::OrderingMode;
 pub use tree::Tree;

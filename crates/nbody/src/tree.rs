@@ -78,6 +78,30 @@ impl<const D: usize> Tree<D> {
         (Self::from_sorted(sorted, &sorted_keys, k, leaf_cap), order)
     }
 
+    /// Builds the tree from bodies **already in Morton order** at
+    /// resolution `2^k`, with their keys supplied — skips quantisation and
+    /// sorting entirely. This is the entry point for callers that maintain
+    /// the curve order incrementally across steps
+    /// (see [`Orderer`](crate::decomp::Orderer)).
+    ///
+    /// # Panics
+    /// Panics if `keys` and `bodies` differ in length or `keys` is not
+    /// non-decreasing.
+    pub fn build_presorted(
+        bodies: Vec<Body<D>>,
+        keys: &[CurveIndex],
+        k: u32,
+        leaf_cap: usize,
+    ) -> Self {
+        assert!(leaf_cap >= 1, "leaf capacity must be at least 1");
+        assert_eq!(bodies.len(), keys.len(), "one key per body");
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "build_presorted requires keys in non-decreasing order"
+        );
+        Self::from_sorted(bodies, keys, k, leaf_cap)
+    }
+
     fn from_sorted(bodies: Vec<Body<D>>, keys: &[CurveIndex], k: u32, leaf_cap: usize) -> Self {
         let mut tree = Self {
             bodies,

@@ -14,6 +14,7 @@
 //! | [`metrics`] | `sfc-metrics` | `D^avg`, `D^max`, all-pairs stretch, `Λ_i`, bounds, optimal-curve search |
 //! | [`partition`] | `sfc-partition` | weighted SFC domain decomposition and quality metrics |
 //! | [`index`] | `sfc-index` | sorted-key spatial index, BIGMIN range queries, verified kNN |
+//! | [`store`] | `sfc-store` | mutable LSM-style spatial store over SFC-sorted runs |
 //! | [`nbody`] | `sfc-nbody` | Morton-tree Barnes–Hut, leapfrog, SFC work decomposition |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@ pub use sfc_index as index;
 pub use sfc_metrics as metrics;
 pub use sfc_nbody as nbody;
 pub use sfc_partition as partition;
+pub use sfc_store as store;
 
 /// The most commonly used types, one `use` away.
 pub mod prelude {
@@ -54,6 +56,7 @@ pub mod prelude {
     pub use sfc_index::{BoxRegion, SfcIndex};
     pub use sfc_metrics::nn_stretch::NnStretchSummary;
     pub use sfc_partition::{Partition, WeightedGrid, Workload};
+    pub use sfc_store::SfcStore;
 }
 
 #[cfg(test)]

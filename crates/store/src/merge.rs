@@ -1,0 +1,122 @@
+//! K-way merge of immutable sorted runs.
+
+use sfc_core::{CurveIndex, Point, SpaceFillingCurve};
+use sfc_index::SfcIndex;
+
+/// A forward-only cursor over one run's columns. Payloads are consumed
+/// through the vector's `IntoIter`, advanced in lockstep with `pos`, so
+/// merging moves every payload exactly once and never clones.
+struct Cursor<const D: usize, T> {
+    keys: Vec<CurveIndex>,
+    points: Vec<Point<D>>,
+    payloads: std::vec::IntoIter<Option<T>>,
+    pos: usize,
+}
+
+impl<const D: usize, T> Cursor<D, T> {
+    fn head(&self) -> Option<CurveIndex> {
+        self.keys.get(self.pos).copied()
+    }
+
+    fn take(&mut self) -> (Point<D>, Option<T>) {
+        let point = self.points[self.pos];
+        let slot = self
+            .payloads
+            .next()
+            .expect("payload column parallel to key column");
+        self.pos += 1;
+        (point, slot)
+    }
+}
+
+/// Merges `runs` (ordered oldest → newest, each with unique keys) into a
+/// single run. For keys present in several runs the **newest** version
+/// survives and superseded versions are dropped. Tombstones (`None`
+/// payloads) are kept as tombstones unless `drop_tombstones` is set, which
+/// is only sound when the merged run becomes the bottom of the stack.
+pub(crate) fn merge_runs<const D: usize, T, C: SpaceFillingCurve<D> + Clone>(
+    curve: &C,
+    runs: Vec<SfcIndex<D, Option<T>, C>>,
+    drop_tombstones: bool,
+) -> SfcIndex<D, Option<T>, C> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut cursors: Vec<Cursor<D, T>> = runs
+        .into_iter()
+        .map(|run| {
+            let (_, keys, points, payloads) = run.into_columns();
+            Cursor {
+                keys,
+                points,
+                payloads: payloads.into_iter(),
+                pos: 0,
+            }
+        })
+        .collect();
+    let mut keys = Vec::with_capacity(total);
+    let mut points = Vec::with_capacity(total);
+    let mut payloads: Vec<Option<T>> = Vec::with_capacity(total);
+    while let Some(min) = cursors.iter().filter_map(Cursor::head).min() {
+        // Advance every cursor holding the minimum key; cursors are ordered
+        // oldest → newest, so the last writer is the newest version.
+        let mut winner: Option<(Point<D>, Option<T>)> = None;
+        for cursor in cursors.iter_mut() {
+            if cursor.head() == Some(min) {
+                winner = Some(cursor.take());
+            }
+        }
+        let (point, slot) = winner.expect("min key came from some cursor");
+        if slot.is_some() || !drop_tombstones {
+            keys.push(min);
+            points.push(point);
+            payloads.push(slot);
+        }
+    }
+    SfcIndex::from_sorted(curve.clone(), keys, points, payloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfc_core::{Grid, ZCurve};
+
+    fn run_of(
+        curve: ZCurve<2>,
+        cells: &[(u32, u32, Option<u32>)],
+    ) -> SfcIndex<2, Option<u32>, ZCurve<2>> {
+        let mut rows: Vec<(CurveIndex, Point<2>, Option<u32>)> = cells
+            .iter()
+            .map(|&(x, y, v)| {
+                let p = Point::new([x, y]);
+                (curve.index_of(p), p, v)
+            })
+            .collect();
+        rows.sort_by_key(|&(k, _, _)| k);
+        let (keys, rest): (Vec<_>, Vec<_>) = rows.into_iter().map(|(k, p, v)| (k, (p, v))).unzip();
+        let (points, payloads) = rest.into_iter().unzip();
+        SfcIndex::from_sorted(curve, keys, points, payloads)
+    }
+
+    #[test]
+    fn newest_version_wins_and_tombstones_drop_at_bottom() {
+        let curve = ZCurve::over(Grid::<2>::new(3).unwrap());
+        let old = run_of(curve, &[(0, 0, Some(1)), (1, 1, Some(2)), (2, 2, Some(3))]);
+        let new = run_of(curve, &[(1, 1, Some(20)), (2, 2, None), (3, 3, Some(4))]);
+
+        let kept = merge_runs(&curve, vec![old.clone(), new.clone()], false);
+        assert_eq!(kept.len(), 4); // tombstone for (2,2) is retained
+        let vals: Vec<Option<u32>> = kept.payloads().to_vec();
+        assert!(vals.contains(&None));
+        assert!(vals.contains(&Some(20)) && !vals.contains(&Some(2)));
+
+        let bottom = merge_runs(&curve, vec![old, new], true);
+        assert_eq!(bottom.len(), 3); // (0,0)=1, (1,1)=20, (3,3)=4
+        assert!(bottom.payloads().iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn merge_of_empty_inputs_is_empty() {
+        let curve = ZCurve::over(Grid::<2>::new(2).unwrap());
+        let merged = merge_runs::<2, u32, _>(&curve, vec![run_of(curve, &[])], true);
+        assert!(merged.is_empty());
+    }
+}

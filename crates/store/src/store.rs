@@ -1,0 +1,761 @@
+//! The mutable store: memtable, run stack, compaction, merged queries.
+
+use std::collections::{btree_map, BTreeMap};
+use std::fmt;
+
+use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
+use sfc_index::{
+    bigmin, bigmin_scan, interval_scan, sort_columns, BoxRegion, QueryStats, SfcIndex,
+};
+
+use crate::merge::merge_runs;
+
+/// Memtable entries buffered before an automatic flush, unless overridden
+/// with [`SfcStore::with_memtable_capacity`].
+pub const DEFAULT_MEMTABLE_CAPACITY: usize = 4096;
+
+/// A borrowed view of one live record of the store — the multi-level
+/// analogue of [`sfc_index::EntryRef`]. Tombstoned and superseded versions
+/// are never surfaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreEntryRef<'a, const D: usize, T> {
+    /// Curve key of the record's cell.
+    pub key: CurveIndex,
+    /// The record's cell.
+    pub point: Point<D>,
+    /// User payload of the newest version.
+    pub payload: &'a T,
+}
+
+/// The version of a cell found at some level: `None` payload = tombstone.
+type Version<'a, const D: usize, T> = Option<(Point<D>, &'a T)>;
+
+/// A mutable spatial store over SFC-sorted runs (see the crate docs for
+/// the memtable / run / compaction lifecycle).
+///
+/// The store maps each grid cell (equivalently, each curve key — the curve
+/// is a bijection) to at most one live payload. All reads see the merged,
+/// newest-wins view across the memtable and every run.
+pub struct SfcStore<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
+    curve: C,
+    /// Newest level: key → (cell, payload-or-tombstone), sorted by key.
+    memtable: BTreeMap<CurveIndex, (Point<D>, Option<T>)>,
+    /// Immutable sorted runs, oldest first; each run has unique keys and
+    /// the bottom run (`runs[0]`) is always tombstone-free.
+    runs: Vec<SfcIndex<D, Option<T>, C>>,
+    memtable_cap: usize,
+    /// Exact number of live (visible, non-tombstoned) records.
+    live: usize,
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> fmt::Debug for SfcStore<D, T, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SfcStore")
+            .field("curve", &self.curve.name())
+            .field("live", &self.live)
+            .field("memtable_len", &self.memtable.len())
+            .field("run_lens", &self.run_lens())
+            .finish()
+    }
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
+    /// An empty store with the default memtable capacity.
+    pub fn new(curve: C) -> Self {
+        Self::with_memtable_capacity(curve, DEFAULT_MEMTABLE_CAPACITY)
+    }
+
+    /// An empty store flushing its memtable at `capacity` entries.
+    pub fn with_memtable_capacity(curve: C, capacity: usize) -> Self {
+        Self {
+            curve,
+            memtable: BTreeMap::new(),
+            runs: Vec::new(),
+            memtable_cap: capacity.max(1),
+            live: 0,
+        }
+    }
+
+    /// Builds a store from a batch of records in one bottom run, using the
+    /// same sorted-column construction as [`SfcIndex::build`]
+    /// ([`sort_columns`]). Records sharing a cell collapse newest-wins
+    /// (later in the iterator = newer), matching the store's update
+    /// semantics.
+    pub fn bulk_load(curve: C, records: impl IntoIterator<Item = (Point<D>, T)>) -> Self {
+        let (points, payloads): (Vec<Point<D>>, Vec<T>) = records.into_iter().unzip();
+        let (keys, points, payloads) = sort_columns(&curve, points, payloads);
+        // The sort is stable, so within an equal-key group the last record
+        // is the newest — keep it.
+        let mut run_keys: Vec<CurveIndex> = Vec::with_capacity(keys.len());
+        let mut run_points: Vec<Point<D>> = Vec::with_capacity(keys.len());
+        let mut run_payloads: Vec<Option<T>> = Vec::with_capacity(keys.len());
+        for ((key, point), payload) in keys.into_iter().zip(points).zip(payloads) {
+            if run_keys.last() == Some(&key) {
+                *run_points.last_mut().expect("non-empty") = point;
+                *run_payloads.last_mut().expect("non-empty") = Some(payload);
+            } else {
+                run_keys.push(key);
+                run_points.push(point);
+                run_payloads.push(Some(payload));
+            }
+        }
+        let live = run_keys.len();
+        let runs = if live == 0 {
+            Vec::new()
+        } else {
+            vec![SfcIndex::from_sorted(
+                curve.clone(),
+                run_keys,
+                run_points,
+                run_payloads,
+            )]
+        };
+        Self {
+            curve,
+            memtable: BTreeMap::new(),
+            runs,
+            memtable_cap: DEFAULT_MEMTABLE_CAPACITY,
+            live,
+        }
+    }
+
+    /// The curve backing this store.
+    pub fn curve(&self) -> &C {
+        &self.curve
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` iff the store holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Current number of buffered memtable entries (live and tombstone).
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Sizes of the immutable runs, oldest first (tombstones included).
+    pub fn run_lens(&self) -> Vec<usize> {
+        self.runs.iter().map(SfcIndex::len).collect()
+    }
+
+    /// Inserts or updates the record at cell `p` (an *upsert*: the store
+    /// holds one live record per cell). Returns `true` if a live record
+    /// was replaced.
+    pub fn insert(&mut self, p: Point<D>, payload: T) -> bool {
+        assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
+        let key = self.curve.index_of(p);
+        let was_live = self.is_live(key);
+        self.memtable.insert(key, (p, Some(payload)));
+        if !was_live {
+            self.live += 1;
+        }
+        self.maybe_flush();
+        was_live
+    }
+
+    /// Deletes the record at cell `p`, writing a tombstone if an older run
+    /// may still hold a version of the cell. Returns `true` if a live
+    /// record was removed.
+    pub fn delete(&mut self, p: Point<D>) -> bool {
+        assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
+        let key = self.curve.index_of(p);
+        let was_live = self.is_live(key);
+        if self.runs.is_empty() {
+            // Nothing below the memtable: no tombstone needed.
+            self.memtable.remove(&key);
+        } else {
+            self.memtable.insert(key, (p, None));
+        }
+        if was_live {
+            self.live -= 1;
+        }
+        self.maybe_flush();
+        was_live
+    }
+
+    /// The live payload at cell `p`, if any (newest version wins; one
+    /// memtable probe plus at most one binary search per run).
+    pub fn get(&self, p: Point<D>) -> Option<&T> {
+        if !self.curve.grid().contains(&p) {
+            return None;
+        }
+        self.version(self.curve.index_of(p))
+            .and_then(|v| v.map(|(_, t)| t))
+    }
+
+    /// The newest version of `key` across all levels, or `None` if no
+    /// level mentions it. `Some(None)` means the newest version is a
+    /// tombstone.
+    fn version(&self, key: CurveIndex) -> Option<Version<'_, D, T>> {
+        if let Some((point, slot)) = self.memtable.get(&key) {
+            return Some(slot.as_ref().map(|t| (*point, t)));
+        }
+        for run in self.runs.iter().rev() {
+            if let Some(i) = run.find_key(key) {
+                return Some(run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+            }
+        }
+        None
+    }
+
+    fn is_live(&self, key: CurveIndex) -> bool {
+        matches!(self.version(key), Some(Some(_)))
+    }
+
+    /// `true` iff some level strictly newer than run `run_idx` holds a
+    /// version of `key` (so run `run_idx`'s version is not the visible one).
+    fn shadowed_above(&self, key: CurveIndex, run_idx: usize) -> bool {
+        self.memtable.contains_key(&key)
+            || self.runs[run_idx + 1..]
+                .iter()
+                .any(|run| run.find_key(key).is_some())
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.memtable.len() >= self.memtable_cap {
+            self.flush();
+        }
+    }
+
+    /// Drains the memtable into a new immutable run (adopted sorted via
+    /// [`SfcIndex::from_sorted`] — the memtable is already in key order),
+    /// then restores the size-tier invariant by merging runs. A no-op on
+    /// an empty memtable.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let drop_tombstones = self.runs.is_empty();
+        let mut keys = Vec::with_capacity(self.memtable.len());
+        let mut points = Vec::with_capacity(self.memtable.len());
+        let mut payloads = Vec::with_capacity(self.memtable.len());
+        for (key, (point, slot)) in std::mem::take(&mut self.memtable) {
+            if slot.is_none() && drop_tombstones {
+                continue;
+            }
+            keys.push(key);
+            points.push(point);
+            payloads.push(slot);
+        }
+        if !keys.is_empty() {
+            self.runs.push(SfcIndex::from_sorted(
+                self.curve.clone(),
+                keys,
+                points,
+                payloads,
+            ));
+            self.maybe_merge();
+        }
+    }
+
+    /// Size-tiered compaction: while an older run is less than twice the
+    /// size of the run stacked on it, merge the pair (sequential k-way
+    /// merge, newest wins). Keeps the run count at `O(log n)` and total
+    /// merge work amortised `O(log n)` moves per write.
+    fn maybe_merge(&mut self) {
+        while self.runs.len() >= 2 {
+            let n = self.runs.len();
+            if self.runs[n - 2].len() < 2 * self.runs[n - 1].len() {
+                let newer = self.runs.pop().expect("len >= 2");
+                let older = self.runs.pop().expect("len >= 2");
+                let drop_tombstones = self.runs.is_empty();
+                self.runs
+                    .push(merge_runs(&self.curve, vec![older, newer], drop_tombstones));
+            } else {
+                break;
+            }
+        }
+        if self.runs.len() == 1 && self.runs[0].is_empty() {
+            self.runs.clear();
+        }
+    }
+
+    /// Major compaction: flushes the memtable and merges **all** runs into
+    /// a single tombstone-free run. Afterwards queries touch exactly one
+    /// level.
+    pub fn compact(&mut self) {
+        self.flush();
+        if self.runs.len() > 1 {
+            let runs = std::mem::take(&mut self.runs);
+            let merged = merge_runs(&self.curve, runs, true);
+            if !merged.is_empty() {
+                self.runs.push(merged);
+            }
+        }
+        debug_assert_eq!(
+            self.runs.iter().map(SfcIndex::len).sum::<usize>(),
+            self.live,
+            "after compaction every stored record is live"
+        );
+    }
+
+    /// Collects the merged per-level versions into the final result.
+    fn collect_merged<'a>(
+        merged: BTreeMap<CurveIndex, Version<'a, D, T>>,
+        mut stats: QueryStats,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let out: Vec<StoreEntryRef<'a, D, T>> = merged
+            .into_iter()
+            .filter_map(|(key, version)| {
+                version.map(|(point, payload)| StoreEntryRef {
+                    key,
+                    point,
+                    payload,
+                })
+            })
+            .collect();
+        stats.reported = out.len() as u64;
+        (out, stats)
+    }
+
+    /// Box query via exact interval decomposition, spanning all levels:
+    /// the intervals are computed **once** and scanned against the
+    /// memtable and every run ([`interval_scan`]); per-level work is
+    /// summed and versions merge newest-wins. Works for any curve.
+    pub fn query_box_intervals(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        let intervals = b.curve_intervals(&self.curve);
+        let mut stats = QueryStats::default();
+        let mut merged: BTreeMap<CurveIndex, Version<'_, D, T>> = BTreeMap::new();
+        // Newest level first: `or_insert` keeps the first version seen.
+        for &(lo, hi) in &intervals {
+            stats.seeks += 1;
+            for (&key, (point, slot)) in self.memtable.range(lo..=hi) {
+                stats.scanned += 1;
+                merged
+                    .entry(key)
+                    .or_insert_with(|| slot.as_ref().map(|t| (*point, t)));
+            }
+        }
+        for run in self.runs.iter().rev() {
+            interval_scan(run.keys(), &intervals, &mut stats, |i| {
+                merged
+                    .entry(run.keys()[i])
+                    .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+            });
+        }
+        Self::collect_merged(merged, stats)
+    }
+
+    /// Exact k-nearest-neighbor query (Euclidean) over the merged view,
+    /// mirroring [`SfcIndex::knn`]: a candidate window around the query's
+    /// key **per level** (shadowed and tombstoned candidates discarded)
+    /// bounds the verification radius, then the Chebyshev ball is interval-
+    /// queried across all levels and re-ranked.
+    pub fn knn(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        assert!(k >= 1, "k must be at least 1");
+        if self.is_empty() {
+            return (Vec::new(), QueryStats::default());
+        }
+        let key = self.curve.index_of(q);
+        let mut stats = QueryStats::default();
+        let mut candidates: Vec<(u64, CurveIndex)> = Vec::new();
+        stats.seeks += 1;
+        for (&ck, (point, slot)) in self.memtable.range(..key).rev().take(window) {
+            stats.scanned += 1;
+            if slot.is_some() {
+                candidates.push((q.euclidean_sq(point), ck));
+            }
+        }
+        for (&ck, (point, slot)) in self.memtable.range(key..).take(window) {
+            stats.scanned += 1;
+            if slot.is_some() {
+                candidates.push((q.euclidean_sq(point), ck));
+            }
+        }
+        for (run_idx, run) in self.runs.iter().enumerate().rev() {
+            stats.seeks += 1;
+            let pos = run.lower_bound(key);
+            let lo = pos.saturating_sub(window);
+            let hi = (pos + window).min(run.len());
+            for i in lo..hi {
+                stats.scanned += 1;
+                let ck = run.keys()[i];
+                if run.payloads()[i].is_none() || self.shadowed_above(ck, run_idx) {
+                    continue;
+                }
+                candidates.push((q.euclidean_sq(&run.points()[i]), ck));
+            }
+        }
+        candidates.sort_unstable();
+        candidates.truncate(k);
+        // Verification radius: the k-th live candidate distance, or the
+        // whole grid if the windows produced fewer than k live candidates.
+        let radius = if candidates.len() == k {
+            (candidates[k - 1].0 as f64).sqrt().ceil() as u32
+        } else {
+            (self.curve.grid().side() - 1) as u32
+        };
+        let ball = BoxRegion::chebyshev_ball(self.curve.grid(), q, radius);
+        let (mut all, ball_stats) = self.query_box_intervals(&ball);
+        stats.seeks += ball_stats.seeks;
+        stats.scanned += ball_stats.scanned;
+        all.sort_by(|a, b| {
+            q.euclidean_sq(&a.point)
+                .cmp(&q.euclidean_sq(&b.point))
+                .then(a.key.cmp(&b.key))
+        });
+        all.truncate(k);
+        stats.reported = all.len() as u64;
+        (all, stats)
+    }
+
+    /// Reference k-nearest-neighbor by linear scan of the merged view
+    /// (ground truth for tests).
+    pub fn knn_linear(&self, q: Point<D>, k: usize) -> Vec<StoreEntryRef<'_, D, T>> {
+        let mut all: Vec<StoreEntryRef<'_, D, T>> = self.iter().collect();
+        all.sort_by(|a, b| {
+            q.euclidean_sq(&a.point)
+                .cmp(&q.euclidean_sq(&b.point))
+                .then(a.key.cmp(&b.key))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// A snapshot iterator over all live records in curve order: a lazy
+    /// k-way merge of the memtable and every run, newest-wins, with
+    /// tombstones suppressed.
+    pub fn iter(&self) -> SnapshotIter<'_, D, T> {
+        SnapshotIter {
+            mem: self.memtable.iter().peekable(),
+            runs: self
+                .runs
+                .iter()
+                .map(|run| RunCursor {
+                    keys: run.keys(),
+                    points: run.points(),
+                    payloads: run.payloads(),
+                    pos: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Materialises the live set into a static [`SfcIndex`] (columns built
+    /// directly in key order — no re-sort). The result answers queries
+    /// byte-identically to the store itself.
+    pub fn to_index(&self) -> SfcIndex<D, T, C>
+    where
+        T: Clone,
+    {
+        let mut keys = Vec::with_capacity(self.live);
+        let mut points = Vec::with_capacity(self.live);
+        let mut payloads = Vec::with_capacity(self.live);
+        for entry in self.iter() {
+            keys.push(entry.key);
+            points.push(entry.point);
+            payloads.push(entry.payload.clone());
+        }
+        SfcIndex::from_sorted(self.curve.clone(), keys, points, payloads)
+    }
+}
+
+impl<const D: usize, T> SfcStore<D, T, ZCurve<D>> {
+    /// Box query by BIGMIN-jumping key-range scans (Tropf & Herzog),
+    /// spanning all levels: [`bigmin_scan`] per run plus an equivalent
+    /// jumping scan over the memtable's key range, with per-level work
+    /// summed and versions merged newest-wins. Z curve only; needs no
+    /// per-query `O(volume)` preprocessing.
+    pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        let zmin = self.curve.encode(b.lo());
+        let zmax = self.curve.encode(b.hi());
+        let mut stats = QueryStats::default();
+        let mut merged: BTreeMap<CurveIndex, Version<'_, D, T>> = BTreeMap::new();
+        // Memtable (newest level): sequential range walk with BIGMIN jumps.
+        stats.seeks += 1;
+        let mut cur = zmin;
+        'memtable: loop {
+            let mut range = self.memtable.range(cur..=zmax);
+            loop {
+                let Some((&key, (point, slot))) = range.next() else {
+                    break 'memtable;
+                };
+                stats.scanned += 1;
+                if b.contains(point) {
+                    merged
+                        .entry(key)
+                        .or_insert_with(|| slot.as_ref().map(|t| (*point, t)));
+                } else {
+                    match bigmin(&self.curve, key, zmin, zmax) {
+                        Some(next) => {
+                            stats.seeks += 1;
+                            cur = next;
+                            break;
+                        }
+                        None => break 'memtable,
+                    }
+                }
+            }
+        }
+        for run in self.runs.iter().rev() {
+            bigmin_scan(&self.curve, run.keys(), run.points(), b, &mut stats, |i| {
+                merged
+                    .entry(run.keys()[i])
+                    .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+            });
+        }
+        Self::collect_merged(merged, stats)
+    }
+}
+
+/// A forward-only cursor over one run's borrowed columns.
+struct RunCursor<'a, const D: usize, T> {
+    keys: &'a [CurveIndex],
+    points: &'a [Point<D>],
+    payloads: &'a [Option<T>],
+    pos: usize,
+}
+
+/// Snapshot iterator over the live records of an [`SfcStore`] in curve
+/// order (see [`SfcStore::iter`]).
+pub struct SnapshotIter<'a, const D: usize, T> {
+    mem: std::iter::Peekable<btree_map::Iter<'a, CurveIndex, (Point<D>, Option<T>)>>,
+    /// Oldest → newest, like the store's run stack.
+    runs: Vec<RunCursor<'a, D, T>>,
+}
+
+impl<const D: usize, T> fmt::Debug for SnapshotIter<'_, D, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotIter")
+            .field("levels", &(self.runs.len() + 1))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, const D: usize, T> Iterator for SnapshotIter<'a, D, T> {
+    type Item = StoreEntryRef<'a, D, T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let mut min: Option<CurveIndex> = self.mem.peek().map(|(&key, _)| key);
+            for cursor in &self.runs {
+                if let Some(&key) = cursor.keys.get(cursor.pos) {
+                    min = Some(min.map_or(key, |m| m.min(key)));
+                }
+            }
+            let min = min?;
+            // Advance every level holding the min key; later (newer)
+            // levels overwrite, and the memtable overwrites last.
+            let mut winner: Option<(Point<D>, Option<&'a T>)> = None;
+            for cursor in self.runs.iter_mut() {
+                if cursor.keys.get(cursor.pos) == Some(&min) {
+                    winner = Some((
+                        cursor.points[cursor.pos],
+                        cursor.payloads[cursor.pos].as_ref(),
+                    ));
+                    cursor.pos += 1;
+                }
+            }
+            if self.mem.peek().map(|(&key, _)| key) == Some(min) {
+                let (_, (point, slot)) = self.mem.next().expect("peeked");
+                winner = Some((*point, slot.as_ref()));
+            }
+            let (point, slot) = winner.expect("min key came from some level");
+            if let Some(payload) = slot {
+                return Some(StoreEntryRef {
+                    key: min,
+                    point,
+                    payload,
+                });
+            }
+            // Tombstone: the cell is dead in the snapshot; keep going.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use sfc_core::{Grid, HilbertCurve};
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 4);
+        let p = Point::new([3, 7]);
+        assert_eq!(store.get(p), None);
+        assert!(!store.insert(p, 10u32));
+        assert_eq!(store.get(p), Some(&10));
+        assert!(store.insert(p, 20)); // update replaces
+        assert_eq!(store.get(p), Some(&20));
+        assert_eq!(store.len(), 1);
+        assert!(store.delete(p));
+        assert_eq!(store.get(p), None);
+        assert!(store.is_empty());
+        assert!(!store.delete(p)); // idempotent
+    }
+
+    #[test]
+    fn tombstone_shadows_older_run_until_bottom_merge() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 1024);
+        let p = Point::new([5, 5]);
+        store.insert(p, 1u32);
+        for i in 0..40u32 {
+            store.insert(Point::new([i % 16, i / 16]), 100 + i);
+        }
+        store.flush(); // run 0 holds p
+        store.delete(p);
+        store.flush(); // newer run holds the tombstone
+        assert_eq!(store.get(p), None, "tombstone shadows the bottom run");
+        assert!(store.iter().all(|e| e.point != p));
+        let total_before: usize = store.run_lens().iter().sum();
+        store.compact();
+        let total_after: usize = store.run_lens().iter().sum();
+        assert!(total_after < total_before, "compaction reclaims the pair");
+        assert_eq!(total_after, store.len());
+        assert_eq!(store.get(p), None);
+    }
+
+    #[test]
+    fn bulk_load_is_newest_wins() {
+        let grid = Grid::<2>::new(3).unwrap();
+        let p = Point::new([2, 2]);
+        let store = SfcStore::bulk_load(
+            ZCurve::over(grid),
+            vec![(p, 1u32), (Point::new([0, 1]), 2), (p, 3)],
+        );
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(p), Some(&3));
+    }
+
+    #[test]
+    fn queries_match_static_index_on_live_set() {
+        let grid = Grid::<2>::new(5).unwrap();
+        let mut rng = rng(3);
+        let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 16);
+        for i in 0..600u32 {
+            let p = grid.random_cell(&mut rng);
+            if i % 5 == 4 {
+                store.delete(p);
+            } else {
+                store.insert(p, i);
+            }
+        }
+        assert!(store.run_lens().len() >= 2, "want a multi-run store");
+        let static_index = store.to_index();
+        assert_eq!(static_index.len(), store.len());
+        for _ in 0..30 {
+            let a = grid.random_cell(&mut rng);
+            let c = grid.random_cell(&mut rng);
+            let lo = Point::new([a.coord(0).min(c.coord(0)), a.coord(1).min(c.coord(1))]);
+            let hi = Point::new([a.coord(0).max(c.coord(0)), a.coord(1).max(c.coord(1))]);
+            let b = BoxRegion::new(lo, hi);
+            let flat = |v: Vec<StoreEntryRef<'_, 2, u32>>| {
+                v.into_iter()
+                    .map(|e| (e.key, e.point, *e.payload))
+                    .collect::<Vec<_>>()
+            };
+            let flat_idx = |v: Vec<sfc_index::EntryRef<'_, 2, u32>>| {
+                v.into_iter()
+                    .map(|e| (e.key, e.point, *e.payload))
+                    .collect::<Vec<_>>()
+            };
+            let (bm, _) = store.query_box_bigmin(&b);
+            let (iv, iv_stats) = store.query_box_intervals(&b);
+            let (expected, _) = static_index.query_box_bigmin(&b);
+            assert_eq!(flat(bm), flat_idx(expected.clone()));
+            assert_eq!(flat(iv), flat_idx(expected));
+            assert_eq!(iv_stats.reported, iv_stats.reported.min(iv_stats.scanned));
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_over_merged_view() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut rng = rng(7);
+        let mut store = SfcStore::with_memtable_capacity(HilbertCurve::over(grid), 8);
+        for i in 0..200u32 {
+            let p = grid.random_cell(&mut rng);
+            if i % 7 == 6 {
+                store.delete(p);
+            } else {
+                store.insert(p, i);
+            }
+        }
+        for _ in 0..25 {
+            let q = grid.random_cell(&mut rng);
+            for k in [1usize, 4, 9] {
+                let (got, stats) = store.knn(q, k, 3);
+                let want = store.knn_linear(q, k);
+                let gd: Vec<u64> = got.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+                let wd: Vec<u64> = want.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+                assert_eq!(gd, wd, "k={k} q={q}");
+                assert_eq!(stats.reported as usize, k.min(store.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_iter_is_sorted_unique_and_live() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut rng = rng(11);
+        let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 8);
+        for i in 0..300u32 {
+            let p = grid.random_cell(&mut rng);
+            if rng.gen_range(0..4u32) == 0 {
+                store.delete(p);
+            } else {
+                store.insert(p, i);
+            }
+        }
+        let entries: Vec<(CurveIndex, u32)> = store.iter().map(|e| (e.key, *e.payload)).collect();
+        assert_eq!(entries.len(), store.len());
+        for w in entries.windows(2) {
+            assert!(w[0].0 < w[1].0, "strictly increasing keys");
+        }
+        for (key, payload) in &entries {
+            let p = store.curve().point_of(*key);
+            assert_eq!(store.get(p), Some(payload));
+        }
+    }
+
+    #[test]
+    fn run_sizes_keep_the_tier_invariant() {
+        let grid = Grid::<2>::new(6).unwrap();
+        let mut rng = rng(13);
+        let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 32);
+        for i in 0..3_000u32 {
+            store.insert(grid.random_cell(&mut rng), i);
+        }
+        let lens = store.run_lens();
+        for w in lens.windows(2) {
+            assert!(w[0] >= 2 * w[1], "size tiers violated: {lens:?}");
+        }
+        assert!(lens.len() <= 8, "too many runs: {lens:?}");
+    }
+
+    #[test]
+    fn empty_store_behaviour() {
+        let grid = Grid::<2>::new(3).unwrap();
+        let mut store: SfcStore<2, u32, _> = SfcStore::new(ZCurve::over(grid));
+        assert!(store.is_empty());
+        assert_eq!(store.iter().count(), 0);
+        let b = BoxRegion::new(Point::new([0, 0]), Point::new([7, 7]));
+        assert!(store.query_box_intervals(&b).0.is_empty());
+        assert!(store.query_box_bigmin(&b).0.is_empty());
+        assert!(store.knn(Point::new([1, 1]), 3, 2).0.is_empty());
+        store.flush();
+        store.compact();
+        assert!(store.is_empty());
+    }
+}

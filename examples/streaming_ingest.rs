@@ -1,0 +1,64 @@
+//! Streaming ingest into the mutable `SfcStore`: ingest → query → churn →
+//! query → compact → query, printing the store shape and `QueryStats`
+//! overscan after each phase.
+//!
+//! Watch two things: the run stack growing and collapsing as flushes and
+//! size-tiered merges happen, and the per-query seek/scan counts dropping
+//! back to single-index levels after a major compaction.
+
+use rand::SeedableRng;
+use sfc::prelude::*;
+use sfc::store::SfcStore;
+
+fn report(phase: &str, store: &SfcStore<2, u32, ZCurve<2>>, b: &BoxRegion<2>) {
+    let (hits, stats) = store.query_box_bigmin(b);
+    println!("== {phase}");
+    println!(
+        "   live {} | memtable {} | runs {:?}",
+        store.len(),
+        store.memtable_len(),
+        store.run_lens()
+    );
+    println!(
+        "   box query: {} hits | seeks {} | scanned {} | overscan {:.2}",
+        hits.len(),
+        stats.seeks,
+        stats.scanned,
+        stats.overscan()
+    );
+}
+
+fn main() {
+    let grid = Grid::<2>::new(8).unwrap(); // 256×256
+    let z = ZCurve::over(grid);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let mut store = SfcStore::with_memtable_capacity(z, 1_024);
+    let b = BoxRegion::new(Point::new([40, 40]), Point::new([90, 110]));
+
+    // Phase 1: stream an initial load through the memtable.
+    for i in 0..30_000u32 {
+        store.insert(grid.random_cell(&mut rng), i);
+    }
+    report("after streaming 30k inserts", &store, &b);
+
+    // Phase 2: churn — a mix of updates and deletes.
+    for i in 0..10_000u32 {
+        let p = grid.random_cell(&mut rng);
+        if i % 3 == 0 {
+            store.delete(p);
+        } else {
+            store.insert(p, 100_000 + i);
+        }
+    }
+    report("after 10k churn ops (1/3 deletes)", &store, &b);
+
+    // Phase 3: major compaction folds every level into one run.
+    store.compact();
+    report("after compact()", &store, &b);
+
+    // The merged view is a first-class static index too.
+    let index = store.to_index();
+    let (hits, _) = index.query_box_bigmin(&b);
+    println!("== static index materialised from the store");
+    println!("   {} records, box query {} hits", index.len(), hits.len());
+}

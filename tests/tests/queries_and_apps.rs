@@ -55,6 +55,56 @@ proptest! {
         prop_assert_eq!(&hd, &wd);
     }
 
+    /// The fast kNN path stays exact under the conditions the unit tests
+    /// don't reach: random candidate-window sizes (including windows far
+    /// too small for k), duplicate-heavy record sets, k exceeding the
+    /// record count, and 3 dimensions.
+    #[test]
+    fn knn_is_exact_under_stress(
+        seed in any::<u64>(),
+        qx in 0u32..32, qy in 0u32..32,
+        k in 1usize..20,
+        window in 1usize..8,
+        count in 1usize..200,
+    ) {
+        let grid = Grid::<2>::new(5).unwrap();
+        let mut records = random_records(grid, count, seed);
+        // Duplicate a prefix so many cells hold several records.
+        let dupes: Vec<(Point<2>, usize)> = records
+            .iter()
+            .take(count / 2)
+            .map(|&(p, payload)| (p, payload + 10_000))
+            .collect();
+        records.extend(dupes);
+        let q = Point::new([qx, qy]);
+        let idx = SfcIndex::build(ZCurve::over(grid), records);
+        let (got, stats) = idx.knn(q, k, window);
+        let want = idx.knn_linear(q, k);
+        let gd: Vec<u64> = got.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+        let wd: Vec<u64> = want.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+        prop_assert_eq!(gd, wd);
+        prop_assert_eq!(stats.reported as usize, k.min(idx.len()));
+    }
+
+    /// Same exactness in 3 dimensions, where the verification ball is a
+    /// cube and the curve kernels take different code paths.
+    #[test]
+    fn knn_is_exact_3d(seed in any::<u64>(), coords in proptest::array::uniform3(0u32..16), k in 1usize..8) {
+        let grid = Grid::<3>::new(4).unwrap();
+        let mut rng = test_rng(seed);
+        let records: Vec<(Point<3>, usize)> =
+            (0..120).map(|i| (grid.random_cell(&mut rng), i)).collect();
+        let q = Point::new(coords);
+        for kind in [CurveKind::Z, CurveKind::Hilbert] {
+            let idx = SfcIndex::build(kind.build::<3>(4).unwrap(), records.clone());
+            let (got, _) = idx.knn(q, k, 3);
+            let want = idx.knn_linear(q, k);
+            let gd: Vec<u64> = got.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+            let wd: Vec<u64> = want.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+            prop_assert_eq!(gd, wd);
+        }
+    }
+
     /// Partitions are well-formed for every curve, part count and
     /// workload: complete coverage, imbalance ≥ 1, cut bounded by total
     /// edges.

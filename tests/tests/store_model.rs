@@ -1,0 +1,213 @@
+//! Model-based testing of `SfcStore`: random interleavings of
+//! insert / update / delete / flush / compact are replayed against a plain
+//! `BTreeMap<CurveIndex, payload>` model, and every observable view of the
+//! store — point gets, live count, the snapshot iterator, box queries
+//! (both strategies), and kNN — must agree with the model at every
+//! checkpoint. Tiny memtable capacities force many flushes and merges, so
+//! tombstones routinely end up in *newer runs shadowing older ones*, the
+//! case single-level tests can't reach.
+
+use proptest::prelude::*;
+use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
+use sfc_index::BoxRegion;
+use sfc_integration::test_rng;
+use sfc_store::SfcStore;
+use std::collections::BTreeMap;
+
+/// One random operation of the interleaving.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u32, u32, u32),
+    Delete(u32, u32),
+    Flush,
+    Compact,
+}
+
+fn random_ops(len: usize, side: u32, seed: u64) -> Vec<Op> {
+    use rand::Rng;
+    let mut rng = test_rng(seed);
+    (0..len)
+        .map(|i| {
+            let x = rng.gen_range(0..side);
+            let y = rng.gen_range(0..side);
+            match rng.gen_range(0..10u32) {
+                // Deletes are frequent enough to seed plenty of tombstones.
+                0..=5 => Op::Insert(x, y, i as u32),
+                6..=8 => Op::Delete(x, y),
+                9 => {
+                    if rng.gen_range(0..4u32) == 0 {
+                        Op::Compact
+                    } else {
+                        Op::Flush
+                    }
+                }
+                _ => unreachable!(),
+            }
+        })
+        .collect()
+}
+
+/// Applies one op to both the store and the model.
+fn apply<C: SpaceFillingCurve<2> + Clone>(
+    store: &mut SfcStore<2, u32, C>,
+    model: &mut BTreeMap<CurveIndex, (Point<2>, u32)>,
+    op: Op,
+) {
+    match op {
+        Op::Insert(x, y, v) => {
+            let p = Point::new([x, y]);
+            let key = store.curve().index_of(p);
+            let was_live_store = store.insert(p, v);
+            let was_live_model = model.insert(key, (p, v)).is_some();
+            assert_eq!(was_live_store, was_live_model, "insert visibility");
+        }
+        Op::Delete(x, y) => {
+            let p = Point::new([x, y]);
+            let key = store.curve().index_of(p);
+            let was_live_store = store.delete(p);
+            let was_live_model = model.remove(&key).is_some();
+            assert_eq!(was_live_store, was_live_model, "delete visibility");
+        }
+        Op::Flush => store.flush(),
+        Op::Compact => store.compact(),
+    }
+}
+
+/// Full observable-state comparison between store and model.
+fn check_against_model<C: SpaceFillingCurve<2> + Clone>(
+    store: &SfcStore<2, u32, C>,
+    model: &BTreeMap<CurveIndex, (Point<2>, u32)>,
+    seed: u64,
+) {
+    use rand::Rng;
+    let grid = store.curve().grid();
+    assert_eq!(store.len(), model.len(), "live count");
+
+    // Snapshot iterator reproduces the model exactly, in key order.
+    let snapshot: Vec<(CurveIndex, Point<2>, u32)> =
+        store.iter().map(|e| (e.key, e.point, *e.payload)).collect();
+    let expected: Vec<(CurveIndex, Point<2>, u32)> =
+        model.iter().map(|(&k, &(p, v))| (k, p, v)).collect();
+    assert_eq!(snapshot, expected, "snapshot");
+
+    // Point gets agree on hits, shadowed cells, and misses.
+    let mut rng = test_rng(seed ^ 0x5eed);
+    for _ in 0..40 {
+        let p = grid.random_cell(&mut rng);
+        let key = store.curve().index_of(p);
+        assert_eq!(
+            store.get(p).copied(),
+            model.get(&key).map(|&(_, v)| v),
+            "get({p})"
+        );
+    }
+
+    // Box queries (generic interval strategy) match the filtered model.
+    for _ in 0..8 {
+        let a = grid.random_cell(&mut rng);
+        let b = grid.random_cell(&mut rng);
+        let lo = Point::new([a.coord(0).min(b.coord(0)), a.coord(1).min(b.coord(1))]);
+        let hi = Point::new([a.coord(0).max(b.coord(0)), a.coord(1).max(b.coord(1))]);
+        let region = BoxRegion::new(lo, hi);
+        let (hits, stats) = store.query_box_intervals(&region);
+        let got: Vec<(CurveIndex, u32)> = hits.iter().map(|e| (e.key, *e.payload)).collect();
+        let want: Vec<(CurveIndex, u32)> = model
+            .iter()
+            .filter(|(_, &(p, _))| region.contains(&p))
+            .map(|(&k, &(_, v))| (k, v))
+            .collect();
+        assert_eq!(got, want, "box {region:?}");
+        assert_eq!(stats.reported as usize, got.len());
+    }
+
+    // kNN over the merged view is exact.
+    for _ in 0..5 {
+        let q = grid.random_cell(&mut rng);
+        let k = rng.gen_range(1..6usize);
+        let (got, stats) = store.knn(q, k, 3);
+        let want = store.knn_linear(q, k);
+        let gd: Vec<u64> = got.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+        let wd: Vec<u64> = want.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+        assert_eq!(gd, wd, "knn k={k} q={q}");
+        assert_eq!(stats.reported as usize, k.min(store.len()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Z-curve store vs model, with the BIGMIN strategy additionally
+    /// cross-checked against the interval strategy on every checkpoint.
+    #[test]
+    fn z_store_matches_btreemap_model(seed in any::<u64>(), cap in 1usize..32) {
+        let grid = Grid::<2>::new(4).unwrap();
+        let curve = ZCurve::over(grid);
+        let mut store = SfcStore::with_memtable_capacity(curve, cap);
+        let mut model: BTreeMap<CurveIndex, (Point<2>, u32)> = BTreeMap::new();
+        let ops = random_ops(300, 16, seed);
+        for (i, chunk) in ops.chunks(60).enumerate() {
+            for &op in chunk {
+                apply(&mut store, &mut model, op);
+            }
+            check_against_model(&store, &model, seed.wrapping_add(i as u64));
+            // BIGMIN spans levels identically to the interval strategy.
+            let region = BoxRegion::new(Point::new([2, 3]), Point::new([11, 9]));
+            let (bm, _) = store.query_box_bigmin(&region);
+            let (iv, _) = store.query_box_intervals(&region);
+            let flat = |v: &[sfc_store::StoreEntryRef<'_, 2, u32>]| {
+                v.iter().map(|e| (e.key, e.point, *e.payload)).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(flat(&bm), flat(&iv));
+        }
+    }
+
+    /// The same interleavings hold for a non-Morton curve (Hilbert), where
+    /// only the interval strategy exists.
+    #[test]
+    fn hilbert_store_matches_btreemap_model(seed in any::<u64>(), cap in 1usize..24) {
+        let grid = Grid::<2>::new(4).unwrap();
+        let curve = HilbertCurve::over(grid);
+        let mut store = SfcStore::with_memtable_capacity(curve, cap);
+        let mut model: BTreeMap<CurveIndex, (Point<2>, u32)> = BTreeMap::new();
+        for &op in &random_ops(250, 16, seed) {
+            apply(&mut store, &mut model, op);
+        }
+        check_against_model(&store, &model, seed);
+        // After a major compaction the store is a single tombstone-free
+        // run and still equals the model.
+        store.compact();
+        prop_assert!(store.run_lens().len() <= 1);
+        prop_assert_eq!(store.run_lens().iter().sum::<usize>(), model.len());
+        check_against_model(&store, &model, seed ^ 1);
+    }
+}
+
+/// Deterministic regression for the canonical tombstone-across-runs shape:
+/// a key written into the bottom run, tombstoned in a *newer* run, then
+/// resurrected in the memtable — every transition observable.
+#[test]
+fn tombstone_across_runs_lifecycle() {
+    let grid = Grid::<2>::new(4).unwrap();
+    let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 64);
+    let p = Point::new([9, 4]);
+    // Bottom run holds p …
+    store.insert(p, 1u32);
+    for i in 0..32u32 {
+        store.insert(Point::new([i % 8, i / 8]), 100 + i);
+    }
+    store.flush();
+    assert_eq!(store.get(p), Some(&1));
+    // … a newer run holds only its tombstone …
+    store.delete(p);
+    store.flush();
+    assert!(store.run_lens().len() >= 2, "runs: {:?}", store.run_lens());
+    assert_eq!(store.get(p), None);
+    assert!(store.iter().all(|e| e.point != p));
+    // … the memtable resurrects it over the tombstone …
+    store.insert(p, 3u32);
+    assert_eq!(store.get(p), Some(&3));
+    // … and compaction folds all three versions into one live record.
+    store.compact();
+    assert_eq!(store.get(p), Some(&3));
+    assert_eq!(store.run_lens().iter().sum::<usize>(), store.len());
+}
