@@ -17,9 +17,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
-use sfc_index::{BoxRegion, SfcIndex};
-use sfc_store::SfcStore;
+use sfc_index::{BoxRegion, QueryStats, SfcIndex};
+use sfc_store::{SfcStore, ShardedSfcStore};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 
@@ -165,6 +166,157 @@ fn assert_equivalence(sc: &Scenario) {
     println!("equivalence: store query results byte-identical to static index (Z + Hilbert)");
 }
 
+/// Per-shard BIGMIN fan-out: the `*_par` hook. The vendored rayon
+/// stand-in runs the closure sequentially; with the real rayon patched
+/// back in (see ROADMAP), the same line fans the shards out across a
+/// thread pool unchanged — each shard is an independent `&SfcStore`.
+fn sharded_query_bigmin_par<'a>(
+    store: &'a ShardedSfcStore<2, u64, ZCurve<2>>,
+    b: &BoxRegion<2>,
+) -> (Vec<sfc_store::StoreEntryRef<'a, 2, u64>>, QueryStats) {
+    let per_shard: Vec<_> = store
+        .shards()
+        .par_iter()
+        .map(|shard| shard.query_box_bigmin(b))
+        .collect();
+    let mut out = Vec::new();
+    let mut stats = QueryStats::default();
+    for (hits, shard_stats) in per_shard {
+        out.extend(hits);
+        stats.seeks += shard_stats.seeks;
+        stats.scanned += shard_stats.scanned;
+        stats.reported += shard_stats.reported;
+    }
+    (out, stats)
+}
+
+/// Asserts the sharded store's query results are byte-identical to the
+/// single store's (router + fan-out must be invisible to readers), and
+/// reports per-shard shape and query work.
+fn assert_sharded_equivalence(
+    sc: &Scenario,
+    parts: usize,
+) -> (
+    ShardedSfcStore<2, u64, ZCurve<2>>,
+    SfcStore<2, u64, ZCurve<2>>,
+) {
+    let z = ZCurve::over(sc.grid);
+    let mut sharded = ShardedSfcStore::bulk_load(z, parts, sc.base.iter().copied());
+    // Sample the write-weight feedback (1 in 64, weight 64): unbiased for
+    // rebalancing, and the accumulator's bookkeeping stays off the
+    // per-upsert hot path.
+    sharded.set_traffic_sampling(64);
+    let mut single = SfcStore::bulk_load(z, sc.base.iter().copied());
+    for updates in &sc.rounds {
+        for &(p, v) in updates {
+            sharded.insert(p, v);
+            single.insert(p, v);
+        }
+    }
+    assert_eq!(sharded.len(), single.len(), "live set size");
+    let triple = |key: CurveIndex, point: Point<2>, payload: u64| (key, point, payload);
+    let mut per_shard_work = vec![QueryStats::default(); parts];
+    for b in &sc.boxes {
+        let (got, _) = sharded.query_box_bigmin(b);
+        let (par, _) = sharded_query_bigmin_par(&sharded, b);
+        let (want, _) = single.query_box_bigmin(b);
+        let got: Vec<_> = got
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        let par: Vec<_> = par
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        let want: Vec<_> = want
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        assert_eq!(got, want, "sharded bigmin mismatch on {b:?}");
+        assert_eq!(par, want, "par fan-out bigmin mismatch on {b:?}");
+        let q = b.lo();
+        let (gk, _) = sharded.knn(q, 10, 16);
+        let (wk, _) = single.knn(q, 10, 16);
+        let gk: Vec<_> = gk
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        let wk: Vec<_> = wk
+            .iter()
+            .map(|e| triple(e.key, e.point, *e.payload))
+            .collect();
+        assert_eq!(gk, wk, "sharded knn mismatch at {q}");
+        for (j, shard) in sharded.shards().iter().enumerate() {
+            let (_, s) = shard.query_box_bigmin(b);
+            per_shard_work[j].seeks += s.seeks;
+            per_shard_work[j].scanned += s.scanned;
+            per_shard_work[j].reported += s.reported;
+        }
+    }
+    println!("sharded equivalence: {parts}-shard results byte-identical to single store");
+    for (j, (len, work)) in sharded.shard_lens().iter().zip(&per_shard_work).enumerate() {
+        println!(
+            "  shard {j}: {len} live | runs {:?} | box-query work: seeks {} scanned {} reported {}",
+            sharded.shards()[j].run_lens(),
+            work.seeks,
+            work.scanned,
+            work.reported
+        );
+    }
+    (sharded, single)
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    const PARTS: usize = 4;
+    let sc = scenario();
+    let (mut sharded, mut single) = assert_sharded_equivalence(&sc, PARTS);
+
+    let mut group = c.benchmark_group("sharded_ingest_100k_into_1m");
+    group.bench_function("z_single_store", |bencher| {
+        bencher.iter(|| {
+            let mut total = 0usize;
+            for updates in &sc.rounds {
+                for &(p, v) in updates {
+                    single.insert(p, v);
+                }
+                for b in &sc.boxes {
+                    total += black_box(single.query_box_bigmin(b).0.len());
+                }
+            }
+            total
+        })
+    });
+    group.bench_function("z_sharded_store", |bencher| {
+        bencher.iter(|| {
+            let mut total = 0usize;
+            for updates in &sc.rounds {
+                for &(p, v) in updates {
+                    sharded.insert(p, v);
+                }
+                for b in &sc.boxes {
+                    total += black_box(sharded.query_box_bigmin(b).0.len());
+                }
+            }
+            total
+        })
+    });
+    group.bench_function("z_sharded_store_query_par", |bencher| {
+        bencher.iter(|| {
+            let mut total = 0usize;
+            for updates in &sc.rounds {
+                for &(p, v) in updates {
+                    sharded.insert(p, v);
+                }
+                for b in &sc.boxes {
+                    total += black_box(sharded_query_bigmin_par(&sharded, b).0.len());
+                }
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
 fn bench_ingest(c: &mut Criterion) {
     let sc = scenario();
     assert_equivalence(&sc);
@@ -217,6 +369,6 @@ fn bench_ingest(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_ingest
+    targets = bench_ingest, bench_sharded_ingest
 }
 criterion_main!(benches);

@@ -249,6 +249,86 @@ mod tests {
     }
 
     #[test]
+    fn bigmin_does_not_wrap_at_end_of_keyspace_full_resolution() {
+        // Regression guard for the end-of-keyspace edge: on a
+        // full-resolution grid (2^32 × 2^32 — keys occupy all 64 bits), a
+        // box containing the all-max corner has `zmax = n − 1`. BIGMIN
+        // jumps near the maximum curve index must stay strictly
+        // increasing, land inside the box, and terminate via `None` — a
+        // wrap or overflow would either panic (debug) or jump backwards.
+        let z = ZCurve::<2>::new(32).unwrap();
+        let max = u32::MAX;
+        let b = BoxRegion::new(Point::new([max - 2, max - 2]), Point::new([max, max]));
+        let zmin = z.encode(b.lo());
+        let zmax = z.encode(b.hi());
+        assert_eq!(zmax, z.grid().n() - 1, "all-max corner is the last key");
+        // Walk every box cell by repeated BIGMIN from just-outside codes.
+        let mut code = zmin;
+        let mut visited = 0u32;
+        loop {
+            if b.contains(&z.decode(code)) {
+                visited += 1;
+                if code >= zmax {
+                    break;
+                }
+                code += 1;
+            } else {
+                match bigmin(&z, code, zmin, zmax) {
+                    Some(next) => {
+                        assert!(next > code, "bigmin wrapped: {next:#x} <= {code:#x}");
+                        assert!(next <= zmax, "bigmin escaped the key range");
+                        assert!(b.contains(&z.decode(next)), "bigmin left the box");
+                        code = next;
+                    }
+                    None => break,
+                }
+            }
+        }
+        assert_eq!(visited, 9, "all 3×3 corner cells visited");
+        assert_eq!(bigmin(&z, zmax, zmin, zmax), None, "nothing past the end");
+        assert_eq!(litmax(&z, zmin, zmin, zmax), None);
+    }
+
+    #[test]
+    fn bigmin_does_not_wrap_at_127_bit_key_cap() {
+        // Same edge through the generic (non-LUT) dilation path, at the
+        // largest grid the index type supports: d = 4, k = 31 → 124 key
+        // bits.
+        let z = ZCurve::<4>::new(31).unwrap();
+        let max = (1u32 << 31) - 1;
+        let b = BoxRegion::new(
+            Point::new([max - 1, max - 1, max - 1, max - 1]),
+            Point::new([max, max, max, max]),
+        );
+        let zmin = z.encode(b.lo());
+        let zmax = z.encode(b.hi());
+        assert_eq!(zmax, z.grid().n() - 1);
+        assert_eq!(z.decode(zmax), b.hi());
+        let mut code = zmin;
+        let mut visited = 0u32;
+        loop {
+            if b.contains(&z.decode(code)) {
+                visited += 1;
+                if code >= zmax {
+                    break;
+                }
+                code += 1;
+            } else {
+                match bigmin(&z, code, zmin, zmax) {
+                    Some(next) => {
+                        assert!(next > code, "bigmin wrapped");
+                        assert!(b.contains(&z.decode(next)), "bigmin left the box");
+                        code = next;
+                    }
+                    None => break,
+                }
+            }
+        }
+        assert_eq!(visited, 16, "all 2^4 corner cells visited");
+        assert_eq!(bigmin(&z, zmax, zmin, zmax), None);
+    }
+
+    #[test]
     fn bigmin_returns_none_past_the_box() {
         let z = ZCurve::<2>::new(2).unwrap();
         let b = BoxRegion::new(Point::new([0, 0]), Point::new([1, 1]));

@@ -15,7 +15,14 @@
 //!   N-body cell loads of the cited applications.
 //! * [`partitioner`] — cutting a curve order into `p` weighted chunks:
 //!   greedy prefix filling and an optimal min-bottleneck partition
-//!   (parametric search over the classic "chains-on-a-line" problem).
+//!   (parametric search over the classic "chains-on-a-line" problem),
+//!   dense or sparse. [`Partition`] ranges are **half-open**
+//!   (`boundaries[j] .. boundaries[j+1]`), so every curve index belongs
+//!   to exactly one part.
+//! * [`traffic`] — sparse live-traffic weight feedback: a running system
+//!   records observed per-cell load ([`TrafficWeights`]) and derives
+//!   fresh min-bottleneck boundaries from it, which is how the
+//!   `sfc-store` sharded store rebalances its shards.
 //! * [`quality`] — load imbalance, edge cut and communication volume of a
 //!   partition, computable sequentially or Rayon-parallel.
 
@@ -25,8 +32,12 @@
 
 pub mod partitioner;
 pub mod quality;
+pub mod traffic;
 pub mod weights;
 
-pub use partitioner::{partition_greedy, partition_min_bottleneck, Partition};
+pub use partitioner::{
+    partition_greedy, partition_min_bottleneck, partition_min_bottleneck_sparse, Partition,
+};
 pub use quality::{evaluate, PartitionQuality};
+pub use traffic::TrafficWeights;
 pub use weights::{WeightedGrid, Workload};

@@ -1,0 +1,201 @@
+//! Live-traffic weight feedback for repartitioning.
+//!
+//! The synthetic workloads in [`weights`](crate::weights) materialise a
+//! weight for *every* cell of the grid — fine for the paper's experiments,
+//! impossible for a serving system whose keyspace has `2^{kd}` cells. A
+//! running store instead **observes** weight where traffic actually lands:
+//! each write (or any other costed operation) reports its curve index, and
+//! the accumulated sparse histogram feeds
+//! [`partition_min_bottleneck_sparse`] to recompute shard boundaries that
+//! balance the *observed* load.
+
+use std::collections::BTreeMap;
+
+use sfc_core::CurveIndex;
+
+use crate::partitioner::{partition_min_bottleneck_sparse, Partition};
+
+/// A sparse per-cell weight accumulator over the curve order `0..n`,
+/// recording live traffic as it happens.
+///
+/// Only touched cells take memory; iteration is in curve order (the form
+/// the chains-on-a-line partitioners consume).
+#[derive(Debug, Clone)]
+pub struct TrafficWeights {
+    /// Size of the curve-index domain `{0, …, n−1}`.
+    n: u128,
+    /// Accumulated weight per touched curve index.
+    weights: BTreeMap<CurveIndex, f64>,
+}
+
+impl TrafficWeights {
+    /// An empty accumulator over the curve-index domain `0..n`.
+    pub fn new(n: u128) -> Self {
+        Self {
+            n,
+            weights: BTreeMap::new(),
+        }
+    }
+
+    /// The size of the curve-index domain.
+    pub fn n(&self) -> u128 {
+        self.n
+    }
+
+    /// Adds `weight` to the observed load of curve index `key`.
+    ///
+    /// # Panics
+    /// Panics if `key ≥ n` or `weight` is negative or non-finite.
+    pub fn record(&mut self, key: CurveIndex, weight: f64) {
+        assert!(key < self.n, "curve index {key} outside 0..{}", self.n);
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be non-negative and finite"
+        );
+        *self.weights.entry(key).or_insert(0.0) += weight;
+    }
+
+    /// Number of distinct cells with observed weight.
+    pub fn observed(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` iff no weight has been recorded since the last
+    /// [`clear`](Self::clear).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Total observed weight.
+    pub fn total(&self) -> f64 {
+        self.weights.values().sum()
+    }
+
+    /// The observed `(curve index, weight)` pairs in curve order.
+    pub fn entries(&self) -> impl Iterator<Item = (CurveIndex, f64)> + '_ {
+        self.weights.iter().map(|(&k, &w)| (k, w))
+    }
+
+    /// Forgets all observed weight (e.g. after a rebalance consumed it).
+    pub fn clear(&mut self) {
+        self.weights.clear();
+    }
+
+    /// Scales every observed weight by `factor` (an exponential-decay
+    /// step: old traffic fades instead of vanishing outright), dropping
+    /// cells whose weight underflows to noise.
+    ///
+    /// # Panics
+    /// Panics if `factor` is negative or non-finite.
+    pub fn decay(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "decay factor must be non-negative and finite"
+        );
+        self.weights.retain(|_, w| {
+            *w *= factor;
+            *w > 1e-12
+        });
+    }
+
+    /// The min-bottleneck partition of `0..n` into `p` parts under the
+    /// observed weights (see [`partition_min_bottleneck_sparse`]); the
+    /// keyspace-uniform partition when nothing has been observed.
+    pub fn partition_min_bottleneck(&self, p: usize, rel_tol: f64) -> Partition {
+        let entries: Vec<(CurveIndex, f64)> = self.entries().collect();
+        partition_min_bottleneck_sparse(&entries, self.n, p, rel_tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::WeightedGrid;
+    use sfc_core::{Grid, SpaceFillingCurve, ZCurve};
+
+    #[test]
+    fn record_accumulates_and_iterates_in_curve_order() {
+        let mut t = TrafficWeights::new(64);
+        t.record(9, 2.0);
+        t.record(3, 1.0);
+        t.record(9, 0.5);
+        assert_eq!(t.observed(), 2);
+        assert_eq!(t.entries().collect::<Vec<_>>(), vec![(3, 1.0), (9, 2.5)]);
+        assert!((t.total() - 3.5).abs() < 1e-12);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn decay_fades_and_drops_noise() {
+        let mut t = TrafficWeights::new(16);
+        t.record(1, 1.0);
+        t.record(2, 1e-12);
+        t.decay(0.5);
+        assert_eq!(t.entries().collect::<Vec<_>>(), vec![(1, 0.5)]);
+        t.decay(0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn empty_traffic_partitions_uniformly() {
+        let t = TrafficWeights::new(10);
+        let part = t.partition_min_bottleneck(3, 1e-9);
+        assert_eq!(part.boundaries(), &[0, 4, 7, 10]);
+    }
+
+    #[test]
+    fn sparse_partition_matches_dense_on_materialised_weights() {
+        // Observing every cell's weight must reproduce the dense
+        // min-bottleneck result: same bottleneck on the same weight
+        // vector.
+        let grid = Grid::<2>::new(3).unwrap();
+        let z = ZCurve::<2>::over(grid);
+        let dense_weights: Vec<f64> = (0..64u32)
+            .map(|i| f64::from((i * 37) % 11) + 0.25)
+            .collect();
+        // `WeightedGrid` weights are row-major; permute ours back so the
+        // curve order matches `dense_weights`.
+        let mut row_major = vec![0.0f64; 64];
+        for (idx, &w) in dense_weights.iter().enumerate() {
+            let cell = z.point_of(idx as u128);
+            row_major[grid.row_major_rank(&cell) as usize] = w;
+        }
+        let dense = crate::partition_min_bottleneck(
+            &z,
+            &WeightedGrid::from_weights(grid, row_major),
+            4,
+            1e-12,
+        );
+        let mut t = TrafficWeights::new(64);
+        for (idx, &w) in dense_weights.iter().enumerate() {
+            t.record(idx as u128, w);
+        }
+        let sparse = t.partition_min_bottleneck(4, 1e-12);
+        assert_eq!(sparse.boundaries(), dense.boundaries());
+        assert!(
+            (sparse.bottleneck(&dense_weights) - dense.bottleneck(&dense_weights)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn sparse_partition_balances_skewed_observations() {
+        // All weight on two distant hot cells: with 2 parts each hot cell
+        // must land in its own part.
+        let mut t = TrafficWeights::new(1 << 20);
+        t.record(100, 50.0);
+        t.record(900_000, 50.0);
+        let part = t.partition_min_bottleneck(2, 1e-9);
+        assert_eq!(part.parts(), 2);
+        assert_ne!(part.part_of(100), part.part_of(900_000));
+        // The cut lands at an observed index.
+        assert_eq!(part.boundaries()[1], 900_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 0..")]
+    fn record_rejects_out_of_domain_keys() {
+        let mut t = TrafficWeights::new(8);
+        t.record(8, 1.0);
+    }
+}

@@ -55,8 +55,8 @@ pub mod prelude {
     };
     pub use sfc_index::{BoxRegion, SfcIndex};
     pub use sfc_metrics::nn_stretch::NnStretchSummary;
-    pub use sfc_partition::{Partition, WeightedGrid, Workload};
-    pub use sfc_store::SfcStore;
+    pub use sfc_partition::{Partition, TrafficWeights, WeightedGrid, Workload};
+    pub use sfc_store::{SfcStore, ShardedSfcStore, StoreSnapshot};
 }
 
 #[cfg(test)]

@@ -44,13 +44,47 @@
 //! cheaper than 100k-record-batched full rebuilds — see
 //! `crates/bench/benches/store.rs`.
 //!
-//! ## Concurrency
+//! ## Scaling out: shards and snapshots
 //!
-//! The store is **single-writer, single-reader** (`&mut self` writes, `&self`
-//! reads, no internal synchronisation). Sharding across stores and an
-//! epoch-based concurrent reader path are the designated follow-on work —
-//! see ROADMAP "Open items".
+//! A single [`SfcStore`] is **single-writer, single-reader** (`&mut self`
+//! writes, `&self` reads, no internal synchronisation). Two layers on top
+//! lift that limit without touching the core write path:
 //!
+//! **Sharding** ([`ShardedSfcStore`]). The keyspace `0..n` is cut into
+//! contiguous curve-index ranges by a
+//! [`Partition`](sfc_partition::Partition) — the paper's SFC
+//! domain-decomposition structure, reused verbatim as a shard router.
+//! Boundary semantics are **half-open**: shard `j` owns
+//! `boundaries[j] .. boundaries[j+1]`, so every curve key routes to
+//! exactly one shard. Writes touch one shard; box queries compute their
+//! curve intervals once, clip them per shard, and fan out to only the
+//! shards whose range intersects them; results concatenate in shard order
+//! (which *is* curve order) with per-shard [`QueryStats`] summed. Every
+//! read is byte-identical to a single store holding the same records.
+//! Observed per-cell write weights
+//! ([`TrafficWeights`](sfc_partition::TrafficWeights)) feed
+//! [`ShardedSfcStore::rebalance`], which recomputes min-bottleneck
+//! boundaries from live traffic and migrates records — the paper's load
+//! balancer closing the loop over a running store.
+//!
+//! **Snapshots** ([`StoreSnapshot`] / [`ShardedSnapshot`]). Runs are held
+//! behind `Arc`, so [`SfcStore::snapshot`] can freeze the current run
+//! stack by cloning pointers (the memtable is flushed first so the
+//! snapshot is complete). The snapshot is an owned `Send + Sync` value:
+//! readers — on other threads, if desired — keep querying the frozen
+//! state while the writer absorbs new writes into fresh memtables and
+//! runs. A compaction that wants to consume a pinned run copies it out of
+//! its `Arc` instead (copy-on-write; the reason the write path requires
+//! `T: Clone`), leaving every outstanding snapshot intact.
+//!
+//! **Migration path.** Code written against the single store upgrades
+//! mechanically: construct a `ShardedSfcStore` with the same curve plus a
+//! shard count, and the read/write API is unchanged. True parallel
+//! fan-out needs only real `rayon` over
+//! [`shards()`](ShardedSfcStore::shards) — the vendored stand-in runs the
+//! same code sequentially (see ROADMAP "Open items").
+//!
+//! [`QueryStats`]: sfc_index::QueryStats
 //! [`SfcIndex`]: sfc_index::SfcIndex
 //! [`SfcIndex::from_sorted`]: sfc_index::SfcIndex::from_sorted
 
@@ -59,6 +93,12 @@
 #![forbid(unsafe_code)]
 
 mod merge;
+mod shard;
+mod snapshot;
 mod store;
+mod view;
 
-pub use store::{SfcStore, SnapshotIter, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
+pub use shard::{ShardedSfcStore, ShardedSnapshot};
+pub use snapshot::StoreSnapshot;
+pub use store::{SfcStore, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
+pub use view::SnapshotIter;

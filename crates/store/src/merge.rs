@@ -1,7 +1,11 @@
 //! K-way merge of immutable sorted runs.
 
+use std::sync::Arc;
+
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve};
 use sfc_index::SfcIndex;
+
+use crate::view::Run;
 
 /// A forward-only cursor over one run's columns. Payloads are consumed
 /// through the vector's `IntoIter`, advanced in lockstep with `pos`, so
@@ -34,15 +38,22 @@ impl<const D: usize, T> Cursor<D, T> {
 /// survives and superseded versions are dropped. Tombstones (`None`
 /// payloads) are kept as tombstones unless `drop_tombstones` is set, which
 /// is only sound when the merged run becomes the bottom of the stack.
-pub(crate) fn merge_runs<const D: usize, T, C: SpaceFillingCurve<D> + Clone>(
+///
+/// Runs arrive behind [`Arc`]s because snapshots may pin them: a uniquely
+/// owned run is consumed in place (no payload is copied); a run still
+/// pinned by a snapshot is cloned out of its `Arc` first, leaving the
+/// snapshot's view untouched.
+pub(crate) fn merge_runs<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone>(
     curve: &C,
-    runs: Vec<SfcIndex<D, Option<T>, C>>,
+    runs: Vec<Run<D, T, C>>,
     drop_tombstones: bool,
 ) -> SfcIndex<D, Option<T>, C> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut cursors: Vec<Cursor<D, T>> = runs
         .into_iter()
         .map(|run| {
+            // Copy-on-write: only snapshot-pinned runs are cloned.
+            let run = Arc::try_unwrap(run).unwrap_or_else(|shared| (*shared).clone());
             let (_, keys, points, payloads) = run.into_columns();
             Cursor {
                 keys,
@@ -79,10 +90,7 @@ mod tests {
     use super::*;
     use sfc_core::{Grid, ZCurve};
 
-    fn run_of(
-        curve: ZCurve<2>,
-        cells: &[(u32, u32, Option<u32>)],
-    ) -> SfcIndex<2, Option<u32>, ZCurve<2>> {
+    fn run_of(curve: ZCurve<2>, cells: &[(u32, u32, Option<u32>)]) -> Run<2, u32, ZCurve<2>> {
         let mut rows: Vec<(CurveIndex, Point<2>, Option<u32>)> = cells
             .iter()
             .map(|&(x, y, v)| {
@@ -93,7 +101,7 @@ mod tests {
         rows.sort_by_key(|&(k, _, _)| k);
         let (keys, rest): (Vec<_>, Vec<_>) = rows.into_iter().map(|(k, p, v)| (k, (p, v))).unzip();
         let (points, payloads) = rest.into_iter().unzip();
-        SfcIndex::from_sorted(curve, keys, points, payloads)
+        Arc::new(SfcIndex::from_sorted(curve, keys, points, payloads))
     }
 
     #[test]
@@ -108,9 +116,14 @@ mod tests {
         assert!(vals.contains(&None));
         assert!(vals.contains(&Some(20)) && !vals.contains(&Some(2)));
 
-        let bottom = merge_runs(&curve, vec![old, new], true);
+        // `old` and `new` are still pinned by this test (cloned above), so
+        // the second merge exercises the copy-on-write path — and the
+        // pinned runs remain readable afterwards.
+        let bottom = merge_runs(&curve, vec![old.clone(), new.clone()], true);
         assert_eq!(bottom.len(), 3); // (0,0)=1, (1,1)=20, (3,3)=4
         assert!(bottom.payloads().iter().all(Option::is_some));
+        assert_eq!(old.len(), 3);
+        assert_eq!(new.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,928 @@
+//! The sharded store: a `Partition` over curve-index ranges routing
+//! writes to independent [`SfcStore`] shards.
+//!
+//! This is the bridge from the paper's partitioner to the serving layer:
+//! the same curve-range [`Partition`] that balances work across processors
+//! in SFC domain decomposition balances a keyspace across store shards.
+//! Each shard owns one **half-open** curve-index range
+//! (`boundaries[j] .. boundaries[j+1]`) and is a complete single-writer
+//! [`SfcStore`]; the router above them
+//!
+//! * sends every upsert/delete to the shard owning the record's curve key
+//!   (recording per-cell write weight as it goes),
+//! * fans box queries out to **only** the shards whose range intersects
+//!   the query's curve intervals, clipping the interval list per shard,
+//! * concatenates per-shard results — shard ranges are ascending and
+//!   disjoint, so shard-order concatenation *is* curve order — and sums
+//!   the per-shard [`QueryStats`],
+//! * recomputes boundaries from the observed weights on demand
+//!   ([`ShardedSfcStore::rebalance`], backed by
+//!   [`partition_min_bottleneck_sparse`](sfc_partition::partition_min_bottleneck_sparse))
+//!   and migrates records to their new shards.
+
+use std::fmt;
+
+use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
+use sfc_index::{BoxRegion, QueryStats};
+use sfc_partition::{Partition, TrafficWeights};
+
+use crate::snapshot::StoreSnapshot;
+use crate::store::{SfcStore, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
+use crate::view::{rank_by_distance, verification_radius, LevelsView};
+
+/// Sums per-shard query work into the fan-out total.
+fn add_stats(total: &mut QueryStats, shard: QueryStats) {
+    total.seeks += shard.seeks;
+    total.scanned += shard.scanned;
+    total.reported += shard.reported;
+}
+
+/// Clips sorted inclusive intervals to the half-open range `start..end`,
+/// keeping only the non-empty intersections.
+fn clip_intervals(
+    intervals: &[(CurveIndex, CurveIndex)],
+    range: &std::ops::Range<CurveIndex>,
+) -> Vec<(CurveIndex, CurveIndex)> {
+    intervals
+        .iter()
+        .filter(|&&(lo, hi)| hi >= range.start && lo < range.end)
+        .map(|&(lo, hi)| (lo.max(range.start), hi.min(range.end - 1)))
+        .collect()
+}
+
+/// The borrowed fan-out engine shared by [`ShardedSfcStore`] and
+/// [`ShardedSnapshot`]: a partition plus one [`LevelsView`] per shard.
+/// Exactly as [`LevelsView`] holds the merged multi-level algorithms once
+/// for store and snapshot, this holds the clip/route/concatenate
+/// algorithms once for their sharded counterparts.
+struct ShardsView<'a, const D: usize, T, C: SpaceFillingCurve<D>> {
+    curve: &'a C,
+    partition: &'a Partition,
+    shards: Vec<LevelsView<'a, D, T, C>>,
+}
+
+impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> ShardsView<'a, D, T, C> {
+    /// Interval query fanned out to only the shards whose range
+    /// intersects the (sorted, inclusive) intervals, each handed the list
+    /// clipped to its own range. Shard-order concatenation = curve order.
+    fn query_intervals(
+        &self,
+        intervals: &[(CurveIndex, CurveIndex)],
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        for (j, shard) in self.shards.iter().enumerate() {
+            let range = self.partition.range(j);
+            if range.is_empty() {
+                continue;
+            }
+            let clipped = clip_intervals(intervals, &range);
+            if clipped.is_empty() {
+                continue;
+            }
+            let (hits, shard_stats) = shard.query_intervals(&clipped);
+            out.extend(hits);
+            add_stats(&mut stats, shard_stats);
+        }
+        stats.reported = out.len() as u64;
+        (out, stats)
+    }
+
+    /// Box query via exact interval decomposition (intervals computed
+    /// once for the whole fan-out).
+    fn query_box_intervals(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        self.query_intervals(&b.curve_intervals(self.curve))
+    }
+
+    /// Exact kNN: live candidates gathered per shard with the widened
+    /// per-level windows, the k-th best bounds the verification radius,
+    /// the Chebyshev ball fans out as an interval query.
+    fn knn(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let key = self.curve.index_of(q);
+        let mut stats = QueryStats::default();
+        let mut candidates: Vec<(u64, CurveIndex)> = Vec::new();
+        for shard in &self.shards {
+            candidates.extend(shard.knn_candidates(q, key, k, window, &mut stats));
+        }
+        candidates.sort_unstable();
+        candidates.truncate(k);
+        let radius = verification_radius(self.curve.grid(), &candidates, k);
+        let ball = BoxRegion::chebyshev_ball(self.curve.grid(), q, radius);
+        let (all, ball_stats) = self.query_box_intervals(&ball);
+        stats.seeks += ball_stats.seeks;
+        stats.scanned += ball_stats.scanned;
+        let all = rank_by_distance(all, q, k);
+        stats.reported = all.len() as u64;
+        (all, stats)
+    }
+}
+
+impl<'a, const D: usize, T> ShardsView<'a, D, T, ZCurve<D>> {
+    /// BIGMIN box query fanned out to only the shards whose range
+    /// intersects the box's Morton key range `[Z(lo), Z(hi)]`.
+    fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let zmin = self.curve.encode(b.lo());
+        let zmax = self.curve.encode(b.hi());
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        for (j, shard) in self.shards.iter().enumerate() {
+            let range = self.partition.range(j);
+            if range.is_empty() || range.start > zmax || range.end <= zmin {
+                continue;
+            }
+            let (hits, shard_stats) = shard.query_box_bigmin(b);
+            out.extend(hits);
+            add_stats(&mut stats, shard_stats);
+        }
+        stats.reported = out.len() as u64;
+        (out, stats)
+    }
+}
+
+/// A mutable spatial store sharded by curve-index range.
+///
+/// Reads and queries return results byte-identical to a single
+/// [`SfcStore`] holding the same records; writes route through a
+/// [`Partition`] and touch exactly one shard. See the module docs for the
+/// architecture and [`ShardedSfcStore::rebalance`] for the feedback loop
+/// from observed traffic back into the partition.
+pub struct ShardedSfcStore<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
+    curve: C,
+    /// Shard `j` owns the half-open curve range `partition.range(j)`.
+    partition: Partition,
+    shards: Vec<SfcStore<D, T, C>>,
+    /// Observed per-cell write weight since the last rebalance.
+    traffic: TrafficWeights,
+    /// Record 1 in `sample_every` writes (with weight `sample_every`) to
+    /// bound the accumulator's footprint — see
+    /// [`set_traffic_sampling`](Self::set_traffic_sampling) for the
+    /// stride-aliasing caveat.
+    sample_every: u64,
+    /// Writes since construction, driving the deterministic sampler.
+    write_count: u64,
+    memtable_cap: usize,
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> fmt::Debug for ShardedSfcStore<D, T, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedSfcStore")
+            .field("curve", &self.curve.name())
+            .field("parts", &self.partition.parts())
+            .field("boundaries", &self.partition.boundaries())
+            .field("shard_lens", &self.shard_lens())
+            .finish()
+    }
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<D, T, C> {
+    /// An empty store with `parts` shards over a keyspace-uniform
+    /// partition and the default per-shard memtable capacity.
+    pub fn new(curve: C, parts: usize) -> Self {
+        Self::with_memtable_capacity(curve, parts, DEFAULT_MEMTABLE_CAPACITY)
+    }
+
+    /// An empty store with `parts` shards, each flushing its memtable at
+    /// `capacity` entries.
+    pub fn with_memtable_capacity(curve: C, parts: usize, capacity: usize) -> Self {
+        let partition = Partition::uniform(curve.grid().n(), parts);
+        Self::with_partition(curve, partition, capacity)
+    }
+
+    /// An empty store over explicit shard boundaries (e.g. precomputed
+    /// from a known workload with
+    /// [`partition_min_bottleneck`](sfc_partition::partition_min_bottleneck)).
+    ///
+    /// # Panics
+    /// Panics unless the partition covers exactly the curve's keyspace
+    /// (`partition.n() == curve.grid().n()`).
+    pub fn with_partition(curve: C, partition: Partition, capacity: usize) -> Self {
+        let n = curve.grid().n();
+        assert_eq!(
+            partition.n(),
+            n,
+            "partition must cover the curve's keyspace 0..{n}"
+        );
+        let shards = (0..partition.parts())
+            .map(|_| SfcStore::with_memtable_capacity(curve.clone(), capacity))
+            .collect();
+        Self {
+            curve,
+            partition,
+            shards,
+            traffic: TrafficWeights::new(n),
+            sample_every: 1,
+            write_count: 0,
+            memtable_cap: capacity.max(1),
+        }
+    }
+
+    /// Builds a sharded store from a batch of records (uniform partition,
+    /// one bulk-loaded bottom run per shard). Records sharing a cell
+    /// collapse newest-wins, exactly like [`SfcStore::bulk_load`].
+    pub fn bulk_load(
+        curve: C,
+        parts: usize,
+        records: impl IntoIterator<Item = (Point<D>, T)>,
+    ) -> Self {
+        let partition = Partition::uniform(curve.grid().n(), parts);
+        let mut buckets: Vec<Vec<(Point<D>, T)>> = (0..parts).map(|_| Vec::new()).collect();
+        for (p, v) in records {
+            let key = curve.index_of(p);
+            buckets[partition.part_of(key)].push((p, v));
+        }
+        let shards = buckets
+            .into_iter()
+            .map(|bucket| SfcStore::bulk_load(curve.clone(), bucket))
+            .collect();
+        let traffic = TrafficWeights::new(curve.grid().n());
+        Self {
+            curve,
+            partition,
+            shards,
+            traffic,
+            sample_every: 1,
+            write_count: 0,
+            memtable_cap: DEFAULT_MEMTABLE_CAPACITY,
+        }
+    }
+
+    /// The curve backing this store.
+    pub fn curve(&self) -> &C {
+        &self.curve
+    }
+
+    /// The current shard partition (half-open curve-index ranges).
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of shards.
+    pub fn parts(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves, in curve order. Read-only: per-shard
+    /// queries through this slice are the fan-out primitive parallel
+    /// runtimes (rayon) distribute.
+    pub fn shards(&self) -> &[SfcStore<D, T, C>] {
+        &self.shards
+    }
+
+    /// Live records per shard, in curve order.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(SfcStore::len).collect()
+    }
+
+    /// The observed per-cell write weights accumulated since the last
+    /// [`rebalance`](Self::rebalance).
+    pub fn traffic(&self) -> &TrafficWeights {
+        &self.traffic
+    }
+
+    /// Samples write-weight recording down to 1 in `every` writes, each
+    /// carrying weight `every`. Sampling bounds the accumulator's memory
+    /// and takes the `O(log observed)` bookkeeping off the per-write hot
+    /// path; `1` (the default) records every write exactly.
+    ///
+    /// The sampler strides deterministically through the write sequence,
+    /// which is an unbiased load estimator as long as the workload is not
+    /// phase-locked to the stride: a write stream whose per-cell pattern
+    /// repeats with a period sharing a factor with `every` (e.g. strict
+    /// A,B,A,B alternation with `every = 2`) aliases, systematically
+    /// over- or under-counting those cells. Pick a stride coprime to any
+    /// known workload periodicity, or keep `1` when in doubt.
+    pub fn set_traffic_sampling(&mut self, every: u64) {
+        self.sample_every = every.max(1);
+    }
+
+    /// One write happened at `key`: count it, recording only sampled
+    /// writes.
+    fn observe_write(&mut self, key: CurveIndex) {
+        if self.write_count.is_multiple_of(self.sample_every) {
+            self.traffic.record(key, self.sample_every as f64);
+        }
+        self.write_count += 1;
+    }
+
+    /// Total number of live records across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(SfcStore::len).sum()
+    }
+
+    /// `true` iff no shard holds a live record.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(SfcStore::is_empty)
+    }
+
+    /// The live payload at cell `p`, if any — routed to the one shard
+    /// owning the cell's curve key.
+    pub fn get(&self, p: Point<D>) -> Option<&T> {
+        if !self.curve.grid().contains(&p) {
+            return None;
+        }
+        let key = self.curve.index_of(p);
+        self.shards[self.partition.part_of(key)].get(p)
+    }
+
+    /// All live records in curve order: shard ranges are ascending and
+    /// disjoint, so chaining the per-shard merged iterators *is* the
+    /// global curve order.
+    pub fn iter(&self) -> impl Iterator<Item = StoreEntryRef<'_, D, T>> {
+        self.shards.iter().flat_map(SfcStore::iter)
+    }
+
+    /// The borrowed fan-out view all sharded queries run against.
+    fn shards_view(&self) -> ShardsView<'_, D, T, C> {
+        ShardsView {
+            curve: &self.curve,
+            partition: &self.partition,
+            shards: self.shards.iter().map(SfcStore::view).collect(),
+        }
+    }
+
+    /// Box query via exact interval decomposition: the intervals are
+    /// computed **once**, clipped to each shard's range, and only shards
+    /// whose range intersects them are consulted. Results concatenate in
+    /// shard order (= curve order); per-shard work is summed.
+    pub fn query_box_intervals(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.shards_view().query_box_intervals(b)
+    }
+
+    /// Queries the shards for keys inside the given inclusive curve-index
+    /// intervals (sorted ascending), fanning out only to intersecting
+    /// shards.
+    pub fn query_intervals(
+        &self,
+        intervals: &[(CurveIndex, CurveIndex)],
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.shards_view().query_intervals(intervals)
+    }
+
+    /// Exact k-nearest-neighbor query over all shards: live candidates
+    /// are gathered per shard with the same widened per-level windows as
+    /// [`SfcStore::knn`], the k-th best bounds the verification radius,
+    /// and the Chebyshev ball is fanned out as an interval query.
+    pub fn knn(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        assert!(k >= 1, "k must be at least 1");
+        if self.is_empty() {
+            return (Vec::new(), QueryStats::default());
+        }
+        self.shards_view().knn(q, k, window)
+    }
+
+    /// Reference k-nearest-neighbor by linear scan of the merged view
+    /// (ground truth for tests).
+    pub fn knn_linear(&self, q: Point<D>, k: usize) -> Vec<StoreEntryRef<'_, D, T>> {
+        rank_by_distance(self.iter().collect(), q, k)
+    }
+}
+
+impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<D, T, C> {
+    /// Inserts or updates the record at cell `p`, routed to the owning
+    /// shard; records one unit of write weight for the cell. Returns
+    /// `true` if a live record was replaced.
+    pub fn insert(&mut self, p: Point<D>, payload: T) -> bool {
+        assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
+        let key = self.curve.index_of(p);
+        self.observe_write(key);
+        self.shards[self.partition.part_of(key)].insert(p, payload)
+    }
+
+    /// Deletes the record at cell `p`, routed to the owning shard; records
+    /// one unit of write weight for the cell. Returns `true` if a live
+    /// record was removed.
+    pub fn delete(&mut self, p: Point<D>) -> bool {
+        assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
+        let key = self.curve.index_of(p);
+        self.observe_write(key);
+        self.shards[self.partition.part_of(key)].delete(p)
+    }
+
+    /// Adds explicit weight for cell `p` to the traffic feedback without
+    /// writing — e.g. to make read-heavy cells count toward the next
+    /// [`rebalance`](Self::rebalance).
+    pub fn record_weight(&mut self, p: Point<D>, weight: f64) {
+        assert!(self.curve.grid().contains(&p), "cell out of bounds: {p}");
+        self.traffic.record(self.curve.index_of(p), weight);
+    }
+
+    /// Flushes every shard's memtable.
+    pub fn flush(&mut self) {
+        for shard in &mut self.shards {
+            shard.flush();
+        }
+    }
+
+    /// Major compaction of every shard (each collapses to a single
+    /// tombstone-free run).
+    pub fn compact(&mut self) {
+        for shard in &mut self.shards {
+            shard.compact();
+        }
+    }
+
+    /// Freezes the whole sharded store into an owned
+    /// [`ShardedSnapshot`]: each shard is flushed and its run stack
+    /// pinned (see [`SfcStore::snapshot`]), so readers keep querying this
+    /// exact state — from other threads if they like — while writes
+    /// continue.
+    pub fn snapshot(&mut self) -> ShardedSnapshot<D, T, C> {
+        ShardedSnapshot {
+            curve: self.curve.clone(),
+            partition: self.partition.clone(),
+            shards: self.shards.iter_mut().map(SfcStore::snapshot).collect(),
+        }
+    }
+
+    /// Recomputes the shard boundaries with the sparse min-bottleneck
+    /// partitioner over the write weights observed since the last
+    /// rebalance, and migrates records to their new shards. Returns
+    /// `true` if the boundaries changed (a no-op rebalance keeps every
+    /// shard untouched).
+    ///
+    /// The observed weights are consumed either way: each rebalance
+    /// reacts to the traffic of its own epoch.
+    ///
+    /// Shards whose range is unchanged are kept as-is (run stacks and
+    /// all); only records in shards whose range moved are gathered and
+    /// redistributed — the shards partition the keyspace disjointly, so
+    /// a record can only change owner if its old owner's range changed.
+    /// Migrated records are adopted as pre-sorted bottom runs: no
+    /// re-sorting or re-encoding.
+    pub fn rebalance(&mut self, rel_tol: f64) -> bool {
+        let new = self.traffic.partition_min_bottleneck(self.parts(), rel_tol);
+        self.traffic.clear();
+        if new == self.partition {
+            return false;
+        }
+        // Keep shards whose range survived; gather the rest's records in
+        // curve order (changed ranges are ascending, like the shards).
+        let mut kept: Vec<Option<SfcStore<D, T, C>>> = Vec::with_capacity(self.parts());
+        let mut moved: Vec<(CurveIndex, Point<D>, Option<T>)> = Vec::new();
+        for (j, shard) in std::mem::take(&mut self.shards).into_iter().enumerate() {
+            if new.range(j) == self.partition.range(j) {
+                kept.push(Some(shard));
+            } else {
+                for e in shard.iter() {
+                    moved.push((e.key, e.point, Some(e.payload.clone())));
+                }
+                kept.push(None);
+            }
+        }
+        let mut shards = Vec::with_capacity(new.parts());
+        let mut records = moved.into_iter().peekable();
+        for (j, kept_shard) in kept.into_iter().enumerate() {
+            if let Some(shard) = kept_shard {
+                debug_assert!(
+                    records
+                        .peek()
+                        .is_none_or(|&(k, _, _)| !new.range(j).contains(&k)),
+                    "no migrated record may land in an unchanged shard"
+                );
+                shards.push(shard);
+                continue;
+            }
+            let end = new.range(j).end;
+            let mut keys = Vec::new();
+            let mut points = Vec::new();
+            let mut payloads = Vec::new();
+            while records.peek().is_some_and(|&(k, _, _)| k < end) {
+                let (k, p, v) = records.next().expect("peeked");
+                keys.push(k);
+                points.push(p);
+                payloads.push(v);
+            }
+            let mut shard = SfcStore::from_sorted_run(self.curve.clone(), keys, points, payloads);
+            shard.set_memtable_capacity(self.memtable_cap);
+            shards.push(shard);
+        }
+        debug_assert!(records.next().is_none(), "every record migrated");
+        self.shards = shards;
+        self.partition = new;
+        true
+    }
+}
+
+impl<const D: usize, T> ShardedSfcStore<D, T, ZCurve<D>> {
+    /// Box query by BIGMIN-jumping key-range scans, fanned out to only
+    /// the shards whose range intersects the box's Morton key range
+    /// `[Z(lo), Z(hi)]`. Z curve only.
+    pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.shards_view().query_box_bigmin(b)
+    }
+}
+
+/// A frozen, queryable view of a whole [`ShardedSfcStore`] at snapshot
+/// time: one pinned [`StoreSnapshot`] per shard plus the partition that
+/// routed them. `Send + Sync` whenever the payload and curve are.
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
+    curve: C,
+    partition: Partition,
+    shards: Vec<StoreSnapshot<D, T, C>>,
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardedSnapshot<D, T, C> {
+    /// The curve backing this snapshot.
+    pub fn curve(&self) -> &C {
+        &self.curve
+    }
+
+    /// The shard partition at snapshot time.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The per-shard snapshots, in curve order.
+    pub fn shards(&self) -> &[StoreSnapshot<D, T, C>] {
+        &self.shards
+    }
+
+    /// Total number of live records visible in the snapshot.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(StoreSnapshot::len).sum()
+    }
+
+    /// `true` iff the snapshot holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(StoreSnapshot::is_empty)
+    }
+
+    /// The live payload at cell `p` as of snapshot time, if any.
+    pub fn get(&self, p: Point<D>) -> Option<&T> {
+        if !self.curve.grid().contains(&p) {
+            return None;
+        }
+        let key = self.curve.index_of(p);
+        self.shards[self.partition.part_of(key)].get(p)
+    }
+
+    /// All live records in curve order.
+    pub fn iter(&self) -> impl Iterator<Item = StoreEntryRef<'_, D, T>> {
+        self.shards.iter().flat_map(StoreSnapshot::iter)
+    }
+
+    /// The borrowed fan-out view all sharded queries run against.
+    fn shards_view(&self) -> ShardsView<'_, D, T, C> {
+        ShardsView {
+            curve: &self.curve,
+            partition: &self.partition,
+            shards: self.shards.iter().map(StoreSnapshot::view).collect(),
+        }
+    }
+
+    /// Box query via exact interval decomposition, fanned out to
+    /// intersecting shards only — see
+    /// [`ShardedSfcStore::query_box_intervals`].
+    pub fn query_box_intervals(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.shards_view().query_box_intervals(b)
+    }
+
+    /// Exact k-nearest-neighbor query over the frozen shards — see
+    /// [`ShardedSfcStore::knn`].
+    pub fn knn(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        assert!(k >= 1, "k must be at least 1");
+        if self.is_empty() {
+            return (Vec::new(), QueryStats::default());
+        }
+        self.shards_view().knn(q, k, window)
+    }
+}
+
+impl<const D: usize, T> ShardedSnapshot<D, T, ZCurve<D>> {
+    /// Box query by BIGMIN-jumping key-range scans over the frozen
+    /// shards. Z curve only.
+    pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.shards_view().query_box_bigmin(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use sfc_core::{Grid, HilbertCurve};
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn flat<'a, const D: usize>(
+        v: impl IntoIterator<Item = StoreEntryRef<'a, D, u32>>,
+    ) -> Vec<(CurveIndex, Point<D>, u32)> {
+        v.into_iter()
+            .map(|e| (e.key, e.point, *e.payload))
+            .collect()
+    }
+
+    /// Drives the same random workload into a sharded store and a single
+    /// store, returning both.
+    fn paired_stores(
+        parts: usize,
+        ops: usize,
+        seed: u64,
+    ) -> (
+        ShardedSfcStore<2, u32, ZCurve<2>>,
+        SfcStore<2, u32, ZCurve<2>>,
+    ) {
+        let grid = Grid::<2>::new(5).unwrap();
+        let mut rng = rng(seed);
+        let mut sharded = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), parts, 16);
+        let mut single = SfcStore::with_memtable_capacity(ZCurve::over(grid), 16);
+        for i in 0..ops as u32 {
+            let p = grid.random_cell(&mut rng);
+            match i % 10 {
+                0..=6 => {
+                    assert_eq!(sharded.insert(p, i), single.insert(p, i), "insert({p})");
+                }
+                7..=8 => {
+                    assert_eq!(sharded.delete(p), single.delete(p), "delete({p})");
+                }
+                _ => {
+                    sharded.flush();
+                    single.flush();
+                }
+            }
+        }
+        (sharded, single)
+    }
+
+    #[test]
+    fn routed_writes_land_in_the_owning_shard() {
+        let grid = Grid::<2>::new(3).unwrap();
+        let mut store = ShardedSfcStore::new(ZCurve::over(grid), 4);
+        assert_eq!(store.parts(), 4);
+        let p = Point::new([7, 7]); // last cell → last shard
+        store.insert(p, 9u32);
+        assert_eq!(store.shard_lens(), vec![0, 0, 0, 1]);
+        assert_eq!(store.get(p), Some(&9));
+        assert_eq!(store.len(), 1);
+        assert!(store.delete(p));
+        assert!(store.is_empty());
+        assert_eq!(store.traffic().observed(), 1, "write weight recorded");
+    }
+
+    #[test]
+    fn sharded_queries_are_byte_identical_to_single_store() {
+        for parts in [1usize, 2, 3, 4, 7] {
+            let (sharded, single) = paired_stores(parts, 800, 42 + parts as u64);
+            assert_eq!(sharded.len(), single.len());
+            assert_eq!(flat(sharded.iter()), flat(single.iter()), "iter");
+            let grid = *sharded.curve();
+            let mut rng = rng(99);
+            for _ in 0..25 {
+                let a = grid.grid().random_cell(&mut rng);
+                let c = grid.grid().random_cell(&mut rng);
+                let lo = Point::new([a.coord(0).min(c.coord(0)), a.coord(1).min(c.coord(1))]);
+                let hi = Point::new([a.coord(0).max(c.coord(0)), a.coord(1).max(c.coord(1))]);
+                let b = BoxRegion::new(lo, hi);
+                assert_eq!(
+                    flat(sharded.query_box_intervals(&b).0),
+                    flat(single.query_box_intervals(&b).0),
+                    "intervals, parts={parts}"
+                );
+                assert_eq!(
+                    flat(sharded.query_box_bigmin(&b).0),
+                    flat(single.query_box_bigmin(&b).0),
+                    "bigmin, parts={parts}"
+                );
+                let q = grid.grid().random_cell(&mut rng);
+                for k in [1usize, 4] {
+                    assert_eq!(
+                        flat(sharded.knn(q, k, 3).0),
+                        flat(single.knn(q, k, 3).0),
+                        "knn k={k}, parts={parts}"
+                    );
+                }
+                assert_eq!(sharded.get(q), single.get(q));
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_skips_non_intersecting_shards() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut store = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 4, 8);
+        let mut rng = rng(3);
+        for i in 0..300u32 {
+            store.insert(grid.random_cell(&mut rng), i);
+        }
+        // The first Z quadrant [0,8)² is exactly the first quarter of the
+        // keyspace: a box inside it must not touch the other shards.
+        let b = BoxRegion::new(Point::new([0, 0]), Point::new([7, 7]));
+        let (hits, stats) = store.query_box_bigmin(&b);
+        let (single_hits, single_stats) = store.shards()[0].query_box_bigmin(&b);
+        assert_eq!(flat(hits), flat(single_hits));
+        assert_eq!(stats.seeks, single_stats.seeks, "only shard 0 consulted");
+    }
+
+    #[test]
+    fn rebalance_follows_skewed_traffic() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut store = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 4, 16);
+        let mut rng = rng(17);
+        // Hammer the first Z quadrant: uniform boundaries leave shard 0
+        // with nearly all the load.
+        for i in 0..600u32 {
+            let p = Point::new([rng.gen_range(0..8u32), rng.gen_range(0..8u32)]);
+            store.insert(p, i);
+        }
+        // A bit of background traffic elsewhere.
+        for i in 0..60u32 {
+            store.insert(grid.random_cell(&mut rng), 10_000 + i);
+        }
+        let before = flat(store.iter());
+        let skew_before: Vec<usize> = store.shard_lens();
+        assert!(
+            *skew_before.iter().max().unwrap() > store.len() / 2,
+            "workload should be skewed before rebalance: {skew_before:?}"
+        );
+        assert!(store.rebalance(1e-9), "skewed traffic must move boundaries");
+        // Contents are untouched and queries still agree.
+        assert_eq!(flat(store.iter()), before, "rebalance lost records");
+        let skew_after = store.shard_lens();
+        assert!(
+            *skew_after.iter().max().unwrap() < *skew_before.iter().max().unwrap(),
+            "bottleneck shard should shrink: {skew_before:?} → {skew_after:?}"
+        );
+        // Writes keep routing correctly under the new boundaries.
+        let p = Point::new([1, 2]);
+        store.insert(p, 77_777);
+        assert_eq!(store.get(p), Some(&77_777));
+        // Traffic was consumed; an immediate rebalance with no new
+        // observations falls back to uniform boundaries (a real change
+        // from the skewed cut, so it reports true) and still loses
+        // nothing.
+        let before = flat(store.iter());
+        store.rebalance(1e-9);
+        assert_eq!(flat(store.iter()), before);
+    }
+
+    #[test]
+    fn traffic_sampling_is_an_unbiased_estimator() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut exact = ShardedSfcStore::new(ZCurve::over(grid), 2);
+        let mut sampled = ShardedSfcStore::new(ZCurve::over(grid), 2);
+        sampled.set_traffic_sampling(8);
+        let mut rng = rng(41);
+        for i in 0..4_000u32 {
+            let p = grid.random_cell(&mut rng);
+            exact.insert(p, i);
+            sampled.insert(p, i);
+        }
+        assert_eq!(exact.traffic().total(), 4_000.0, "every write counted");
+        assert_eq!(
+            sampled.traffic().total(),
+            4_000.0,
+            "sampled weight is scaled back to the true write count"
+        );
+        assert!(
+            sampled.traffic().observed() < exact.traffic().observed(),
+            "sampling shrinks the accumulator"
+        );
+        // Sampled feedback still rebalances sensibly: boundaries move off
+        // uniform under the same skew that moves them with exact weights.
+        let mut skewed = ShardedSfcStore::new(ZCurve::over(grid), 2);
+        skewed.set_traffic_sampling(4);
+        for i in 0..2_000u32 {
+            skewed.insert(Point::new([i % 4, (i / 4) % 4]), i);
+        }
+        assert!(skewed.rebalance(1e-9));
+    }
+
+    #[test]
+    fn rebalance_without_traffic_is_a_noop() {
+        let grid = Grid::<2>::new(3).unwrap();
+        let mut store: ShardedSfcStore<2, u32, _> = ShardedSfcStore::new(ZCurve::over(grid), 3);
+        assert!(!store.rebalance(1e-9), "uniform → uniform: no change");
+    }
+
+    #[test]
+    fn sharded_snapshot_freezes_all_shards() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut store = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 3, 8);
+        let mut rng = rng(23);
+        for i in 0..250u32 {
+            store.insert(grid.random_cell(&mut rng), i);
+        }
+        let frozen = store.snapshot();
+        let frozen_entries = flat(frozen.iter());
+        assert_eq!(frozen.len(), store.len());
+        // Writer churns, compacts, and even rebalances.
+        for i in 0..300u32 {
+            let p = grid.random_cell(&mut rng);
+            if i % 3 == 0 {
+                store.delete(p);
+            } else {
+                store.insert(p, 5_000 + i);
+            }
+        }
+        store.compact();
+        store.rebalance(1e-9);
+        assert_eq!(flat(frozen.iter()), frozen_entries, "snapshot drifted");
+        // Snapshot queries match a fresh query of the frozen contents.
+        let b = BoxRegion::new(Point::new([2, 2]), Point::new([12, 9]));
+        let want: Vec<_> = frozen_entries
+            .iter()
+            .filter(|&&(_, p, _)| b.contains(&p))
+            .copied()
+            .collect();
+        assert_eq!(flat(frozen.query_box_intervals(&b).0), want);
+        assert_eq!(flat(frozen.query_box_bigmin(&b).0), want);
+        let q = Point::new([5, 5]);
+        assert_eq!(flat(frozen.knn(q, 3, 2).0), {
+            let mut all = frozen_entries.clone();
+            all.sort_by_key(|&(key, p, _)| (q.euclidean_sq(&p), key));
+            all.truncate(3);
+            all
+        });
+        fn assert_send_sync<X: Send + Sync>() {}
+        assert_send_sync::<ShardedSnapshot<2, u32, ZCurve<2>>>();
+    }
+
+    #[test]
+    fn hilbert_sharded_store_works_without_bigmin() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut rng = rng(31);
+        let mut store = ShardedSfcStore::with_memtable_capacity(HilbertCurve::over(grid), 3, 8);
+        let mut single = SfcStore::with_memtable_capacity(HilbertCurve::over(grid), 8);
+        for i in 0..400u32 {
+            let p = grid.random_cell(&mut rng);
+            if i % 5 == 4 {
+                store.delete(p);
+                single.delete(p);
+            } else {
+                store.insert(p, i);
+                single.insert(p, i);
+            }
+        }
+        let b = BoxRegion::new(Point::new([3, 1]), Point::new([11, 13]));
+        assert_eq!(
+            flat(store.query_box_intervals(&b).0),
+            flat(single.query_box_intervals(&b).0)
+        );
+        let q = Point::new([9, 2]);
+        assert_eq!(flat(store.knn(q, 5, 3).0), flat(single.knn(q, 5, 3).0));
+    }
+
+    #[test]
+    fn bulk_load_routes_and_collapses_newest_wins() {
+        let grid = Grid::<2>::new(3).unwrap();
+        let p = Point::new([6, 6]);
+        let store = ShardedSfcStore::bulk_load(
+            ZCurve::over(grid),
+            4,
+            vec![(p, 1u32), (Point::new([0, 0]), 2), (p, 3)],
+        );
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(p), Some(&3));
+        assert_eq!(store.shard_lens().iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn empty_sharded_store_behaviour() {
+        let grid = Grid::<2>::new(3).unwrap();
+        let mut store: ShardedSfcStore<2, u32, _> = ShardedSfcStore::new(ZCurve::over(grid), 5);
+        assert!(store.is_empty());
+        assert_eq!(store.iter().count(), 0);
+        let b = BoxRegion::new(Point::new([0, 0]), Point::new([7, 7]));
+        assert!(store.query_box_intervals(&b).0.is_empty());
+        assert!(store.query_box_bigmin(&b).0.is_empty());
+        assert!(store.knn(Point::new([1, 1]), 3, 2).0.is_empty());
+        store.flush();
+        store.compact();
+        let frozen = store.snapshot();
+        assert!(frozen.is_empty());
+        assert!(frozen.query_box_intervals(&b).0.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must cover")]
+    fn with_partition_rejects_mismatched_domain() {
+        let grid = Grid::<2>::new(3).unwrap();
+        let partition = Partition::uniform(32, 2); // grid has 64 cells
+        let _: ShardedSfcStore<2, u32, _> =
+            ShardedSfcStore::with_partition(ZCurve::over(grid), partition, 16);
+    }
+}

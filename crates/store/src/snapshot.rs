@@ -1,0 +1,263 @@
+//! Owned, immutable snapshots of a store's contents.
+//!
+//! A [`StoreSnapshot`] pins the run stack an [`SfcStore`](crate::SfcStore)
+//! had at [`snapshot()`](crate::SfcStore::snapshot) time by cloning its
+//! `Arc`s — `O(runs)` pointer copies, no record is moved. Because runs are
+//! immutable and the curve itself is shared, the snapshot keeps answering
+//! queries against exactly that state while the writer continues to absorb
+//! inserts and deletes into fresh memtables and runs.
+//!
+//! Unlike the store (which hands out views borrowing `&self`), a snapshot
+//! is a free-standing **owned** value: it can be moved to another thread
+//! and queried there — it is `Send + Sync` whenever the payload and curve
+//! are — which is the epoch-style reader path the single-writer store
+//! lacked.
+
+use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
+use sfc_index::{BoxRegion, QueryStats, SfcIndex};
+
+use crate::store::StoreEntryRef;
+use crate::view::{LevelsView, Run, SnapshotIter};
+
+/// A frozen, queryable view of one store's contents at snapshot time.
+///
+/// Obtained from [`SfcStore::snapshot`](crate::SfcStore::snapshot); all
+/// query methods mirror the store's and return byte-identical results for
+/// the state the snapshot pinned.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
+    curve: C,
+    /// Pinned immutable runs, oldest first (tombstones included — the
+    /// snapshot merges them away exactly like the store does).
+    runs: Vec<Run<D, T, C>>,
+    /// Live records visible in this snapshot.
+    live: usize,
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> StoreSnapshot<D, T, C> {
+    pub(crate) fn new(curve: C, runs: Vec<Run<D, T, C>>, live: usize) -> Self {
+        Self { curve, runs, live }
+    }
+
+    pub(crate) fn view(&self) -> LevelsView<'_, D, T, C> {
+        LevelsView {
+            curve: &self.curve,
+            memtable: None,
+            runs: &self.runs,
+        }
+    }
+
+    /// The curve backing this snapshot.
+    pub fn curve(&self) -> &C {
+        &self.curve
+    }
+
+    /// Number of live records visible in the snapshot.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` iff the snapshot holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Sizes of the pinned runs, oldest first (tombstones included).
+    pub fn run_lens(&self) -> Vec<usize> {
+        self.runs.iter().map(|run| run.len()).collect()
+    }
+
+    /// The live payload at cell `p` as of snapshot time, if any.
+    pub fn get(&self, p: Point<D>) -> Option<&T> {
+        if !self.curve.grid().contains(&p) {
+            return None;
+        }
+        self.view()
+            .version(self.curve.index_of(p))
+            .and_then(|v| v.map(|(_, t)| t))
+    }
+
+    /// Box query via exact interval decomposition — see
+    /// [`SfcStore::query_box_intervals`](crate::SfcStore::query_box_intervals).
+    pub fn query_box_intervals(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.view().query_box_intervals(b)
+    }
+
+    /// Queries the pinned runs for keys inside the given inclusive
+    /// curve-index intervals (sorted ascending), merging newest-wins.
+    pub fn query_intervals(
+        &self,
+        intervals: &[(CurveIndex, CurveIndex)],
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.view().query_intervals(intervals)
+    }
+
+    /// Exact k-nearest-neighbor query — see
+    /// [`SfcStore::knn`](crate::SfcStore::knn).
+    pub fn knn(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        assert!(k >= 1, "k must be at least 1");
+        if self.is_empty() {
+            return (Vec::new(), QueryStats::default());
+        }
+        self.view().knn(q, k, window)
+    }
+
+    /// Reference k-nearest-neighbor by linear scan (ground truth for
+    /// tests).
+    pub fn knn_linear(&self, q: Point<D>, k: usize) -> Vec<StoreEntryRef<'_, D, T>> {
+        crate::view::rank_by_distance(self.iter().collect(), q, k)
+    }
+
+    /// All live records in curve order, newest-wins, tombstones
+    /// suppressed.
+    pub fn iter(&self) -> SnapshotIter<'_, D, T> {
+        self.view().iter()
+    }
+
+    /// Materialises the snapshot's live set into a static [`SfcIndex`].
+    pub fn to_index(&self) -> SfcIndex<D, T, C>
+    where
+        T: Clone,
+    {
+        let mut keys = Vec::with_capacity(self.live);
+        let mut points = Vec::with_capacity(self.live);
+        let mut payloads = Vec::with_capacity(self.live);
+        for entry in self.iter() {
+            keys.push(entry.key);
+            points.push(entry.point);
+            payloads.push(entry.payload.clone());
+        }
+        SfcIndex::from_sorted(self.curve.clone(), keys, points, payloads)
+    }
+}
+
+impl<const D: usize, T> StoreSnapshot<D, T, ZCurve<D>> {
+    /// Box query by BIGMIN-jumping key-range scans — see
+    /// [`SfcStore::query_box_bigmin`](crate::SfcStore::query_box_bigmin).
+    /// Z curve only.
+    pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.view().query_box_bigmin(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SfcStore;
+    use rand::SeedableRng;
+    use sfc_core::Grid;
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<X: Send + Sync>() {}
+        assert_send_sync::<StoreSnapshot<2, u32, ZCurve<2>>>();
+    }
+
+    #[test]
+    fn snapshot_freezes_state_while_writer_continues() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 8);
+        let mut rng = rng(5);
+        for i in 0..120u32 {
+            store.insert(grid.random_cell(&mut rng), i);
+        }
+        let frozen = store.snapshot();
+        let frozen_entries: Vec<(CurveIndex, u32)> =
+            frozen.iter().map(|e| (e.key, *e.payload)).collect();
+        assert_eq!(frozen.len(), store.len());
+
+        // Writer churns on: updates, deletes, flushes, a full compaction.
+        for i in 0..200u32 {
+            let p = grid.random_cell(&mut rng);
+            if i % 3 == 0 {
+                store.delete(p);
+            } else {
+                store.insert(p, 1_000 + i);
+            }
+        }
+        store.compact();
+
+        // The snapshot still answers from the pinned state.
+        let after: Vec<(CurveIndex, u32)> = frozen.iter().map(|e| (e.key, *e.payload)).collect();
+        assert_eq!(frozen_entries, after, "snapshot drifted under writes");
+        for (key, payload) in &frozen_entries {
+            let p = frozen.curve().point_of(*key);
+            assert_eq!(frozen.get(p), Some(payload));
+        }
+    }
+
+    #[test]
+    fn snapshot_queries_match_store_at_snapshot_time() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 8);
+        let mut rng = rng(9);
+        for i in 0..250u32 {
+            let p = grid.random_cell(&mut rng);
+            if i % 5 == 4 {
+                store.delete(p);
+            } else {
+                store.insert(p, i);
+            }
+        }
+        let frozen = store.snapshot();
+        let flat = |v: Vec<StoreEntryRef<'_, 2, u32>>| {
+            v.into_iter()
+                .map(|e| (e.key, e.point, *e.payload))
+                .collect::<Vec<_>>()
+        };
+        for _ in 0..20 {
+            let a = grid.random_cell(&mut rng);
+            let c = grid.random_cell(&mut rng);
+            let lo = Point::new([a.coord(0).min(c.coord(0)), a.coord(1).min(c.coord(1))]);
+            let hi = Point::new([a.coord(0).max(c.coord(0)), a.coord(1).max(c.coord(1))]);
+            let b = BoxRegion::new(lo, hi);
+            assert_eq!(
+                flat(frozen.query_box_intervals(&b).0),
+                flat(store.query_box_intervals(&b).0)
+            );
+            assert_eq!(
+                flat(frozen.query_box_bigmin(&b).0),
+                flat(store.query_box_bigmin(&b).0)
+            );
+            let q = grid.random_cell(&mut rng);
+            let gd: Vec<u64> = frozen
+                .knn(q, 4, 3)
+                .0
+                .iter()
+                .map(|e| q.euclidean_sq(&e.point))
+                .collect();
+            let wd: Vec<u64> = frozen
+                .knn_linear(q, 4)
+                .iter()
+                .map(|e| q.euclidean_sq(&e.point))
+                .collect();
+            assert_eq!(gd, wd);
+        }
+        assert_eq!(frozen.to_index().len(), frozen.len());
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let grid = Grid::<2>::new(3).unwrap();
+        let mut store: SfcStore<2, u32, _> = SfcStore::new(ZCurve::over(grid));
+        let frozen = store.snapshot();
+        assert!(frozen.is_empty());
+        assert_eq!(frozen.iter().count(), 0);
+        assert!(frozen.run_lens().is_empty());
+        let b = BoxRegion::new(Point::new([0, 0]), Point::new([7, 7]));
+        assert!(frozen.query_box_intervals(&b).0.is_empty());
+        assert!(frozen.knn(Point::new([1, 1]), 2, 2).0.is_empty());
+    }
+}

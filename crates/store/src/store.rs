@@ -1,14 +1,15 @@
 //! The mutable store: memtable, run stack, compaction, merged queries.
 
-use std::collections::{btree_map, BTreeMap};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
-use sfc_index::{
-    bigmin, bigmin_scan, interval_scan, sort_columns, BoxRegion, QueryStats, SfcIndex,
-};
+use sfc_index::{sort_columns, BoxRegion, QueryStats, SfcIndex};
 
 use crate::merge::merge_runs;
+use crate::snapshot::StoreSnapshot;
+use crate::view::{LevelsView, Memtable, Run, SnapshotIter};
 
 /// Memtable entries buffered before an automatic flush, unless overridden
 /// with [`SfcStore::with_memtable_capacity`].
@@ -27,22 +28,24 @@ pub struct StoreEntryRef<'a, const D: usize, T> {
     pub payload: &'a T,
 }
 
-/// The version of a cell found at some level: `None` payload = tombstone.
-type Version<'a, const D: usize, T> = Option<(Point<D>, &'a T)>;
-
 /// A mutable spatial store over SFC-sorted runs (see the crate docs for
 /// the memtable / run / compaction lifecycle).
 ///
 /// The store maps each grid cell (equivalently, each curve key — the curve
 /// is a bijection) to at most one live payload. All reads see the merged,
 /// newest-wins view across the memtable and every run.
+///
+/// Runs are held behind [`Arc`] so a [`StoreSnapshot`] can pin the current
+/// run stack at zero copy cost ([`SfcStore::snapshot`]); because
+/// compaction may then need to copy a pinned run out of its `Arc`, the
+/// write path requires `T: Clone`.
 pub struct SfcStore<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
     curve: C,
     /// Newest level: key → (cell, payload-or-tombstone), sorted by key.
-    memtable: BTreeMap<CurveIndex, (Point<D>, Option<T>)>,
+    memtable: Memtable<D, T>,
     /// Immutable sorted runs, oldest first; each run has unique keys and
     /// the bottom run (`runs[0]`) is always tombstone-free.
-    runs: Vec<SfcIndex<D, Option<T>, C>>,
+    runs: Vec<Run<D, T, C>>,
     memtable_cap: usize,
     /// Exact number of live (visible, non-tombstoned) records.
     live: usize,
@@ -99,16 +102,36 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
                 run_payloads.push(Some(payload));
             }
         }
-        let live = run_keys.len();
+        Self::from_sorted_run(curve, run_keys, run_points, run_payloads)
+    }
+
+    /// Adopts pre-sorted columns (unique keys, all slots `Some`) as the
+    /// store's single bottom run. This is the zero-copy rebuild primitive
+    /// the sharded store's rebalance migration uses.
+    pub(crate) fn from_sorted_run(
+        curve: C,
+        keys: Vec<CurveIndex>,
+        points: Vec<Point<D>>,
+        payloads: Vec<Option<T>>,
+    ) -> Self {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "bottom run keys must be strictly increasing"
+        );
+        debug_assert!(
+            payloads.iter().all(Option::is_some),
+            "bottom run must be tombstone-free"
+        );
+        let live = keys.len();
         let runs = if live == 0 {
             Vec::new()
         } else {
-            vec![SfcIndex::from_sorted(
+            vec![Arc::new(SfcIndex::from_sorted(
                 curve.clone(),
-                run_keys,
-                run_points,
-                run_payloads,
-            )]
+                keys,
+                points,
+                payloads,
+            ))]
         };
         Self {
             curve,
@@ -116,6 +139,21 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
             runs,
             memtable_cap: DEFAULT_MEMTABLE_CAPACITY,
             live,
+        }
+    }
+
+    /// Overrides the memtable capacity (records buffered before an
+    /// automatic flush) without disturbing the store contents.
+    pub(crate) fn set_memtable_capacity(&mut self, capacity: usize) {
+        self.memtable_cap = capacity.max(1);
+    }
+
+    /// The borrowed multi-level view all queries run against.
+    pub(crate) fn view(&self) -> LevelsView<'_, D, T, C> {
+        LevelsView {
+            curve: &self.curve,
+            memtable: Some(&self.memtable),
+            runs: &self.runs,
         }
     }
 
@@ -141,16 +179,106 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
 
     /// Sizes of the immutable runs, oldest first (tombstones included).
     pub fn run_lens(&self) -> Vec<usize> {
-        self.runs.iter().map(SfcIndex::len).collect()
+        self.runs.iter().map(|run| run.len()).collect()
     }
 
+    /// The live payload at cell `p`, if any (newest version wins; one
+    /// memtable probe plus at most one binary search per run).
+    pub fn get(&self, p: Point<D>) -> Option<&T> {
+        if !self.curve.grid().contains(&p) {
+            return None;
+        }
+        self.view()
+            .version(self.curve.index_of(p))
+            .and_then(|v| v.map(|(_, t)| t))
+    }
+
+    /// Box query via exact interval decomposition, spanning all levels:
+    /// the intervals are computed **once** and scanned against the
+    /// memtable and every run
+    /// ([`interval_scan`](sfc_index::interval_scan)); per-level work is
+    /// summed and versions merge newest-wins. Works for any curve.
+    pub fn query_box_intervals(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.view().query_box_intervals(b)
+    }
+
+    /// Queries all levels for keys inside the given inclusive curve-index
+    /// intervals (sorted ascending), merging versions newest-wins. This is
+    /// the primitive a shard router uses to hand each shard only the
+    /// intervals clipped to its keyspace range.
+    pub fn query_intervals(
+        &self,
+        intervals: &[(CurveIndex, CurveIndex)],
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.view().query_intervals(intervals)
+    }
+
+    /// Exact k-nearest-neighbor query (Euclidean) over the merged view,
+    /// mirroring [`SfcIndex::knn`]: candidate windows around the query's
+    /// key **per level** bound the verification radius, then the Chebyshev
+    /// ball is interval-queried across all levels and re-ranked.
+    ///
+    /// Per level and direction, the window covers at least `window` slots
+    /// and **widens past tombstoned/shadowed slots** until `k` live
+    /// candidates are bracketed (or the level is exhausted), so heavy
+    /// deletes near `q` cannot collapse the candidate set and blow the
+    /// verification ball up to the whole grid.
+    pub fn knn(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        assert!(k >= 1, "k must be at least 1");
+        if self.is_empty() {
+            return (Vec::new(), QueryStats::default());
+        }
+        self.view().knn(q, k, window)
+    }
+
+    /// Reference k-nearest-neighbor by linear scan of the merged view
+    /// (ground truth for tests).
+    pub fn knn_linear(&self, q: Point<D>, k: usize) -> Vec<StoreEntryRef<'_, D, T>> {
+        crate::view::rank_by_distance(self.iter().collect(), q, k)
+    }
+
+    /// A snapshot iterator over all live records in curve order: a lazy
+    /// k-way merge of the memtable and every run, newest-wins, with
+    /// tombstones suppressed.
+    pub fn iter(&self) -> SnapshotIter<'_, D, T> {
+        self.view().iter()
+    }
+
+    /// Materialises the live set into a static [`SfcIndex`] (columns built
+    /// directly in key order — no re-sort). The result answers queries
+    /// byte-identically to the store itself.
+    pub fn to_index(&self) -> SfcIndex<D, T, C>
+    where
+        T: Clone,
+    {
+        let mut keys = Vec::with_capacity(self.live);
+        let mut points = Vec::with_capacity(self.live);
+        let mut payloads = Vec::with_capacity(self.live);
+        for entry in self.iter() {
+            keys.push(entry.key);
+            points.push(entry.point);
+            payloads.push(entry.payload.clone());
+        }
+        SfcIndex::from_sorted(self.curve.clone(), keys, points, payloads)
+    }
+}
+
+impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
     /// Inserts or updates the record at cell `p` (an *upsert*: the store
     /// holds one live record per cell). Returns `true` if a live record
     /// was replaced.
     pub fn insert(&mut self, p: Point<D>, payload: T) -> bool {
         assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
         let key = self.curve.index_of(p);
-        let was_live = self.is_live(key);
+        let was_live = self.view().is_live(key);
         self.memtable.insert(key, (p, Some(payload)));
         if !was_live {
             self.live += 1;
@@ -165,7 +293,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
     pub fn delete(&mut self, p: Point<D>) -> bool {
         assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
         let key = self.curve.index_of(p);
-        let was_live = self.is_live(key);
+        let was_live = self.view().is_live(key);
         if self.runs.is_empty() {
             // Nothing below the memtable: no tombstone needed.
             self.memtable.remove(&key);
@@ -177,44 +305,6 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
         }
         self.maybe_flush();
         was_live
-    }
-
-    /// The live payload at cell `p`, if any (newest version wins; one
-    /// memtable probe plus at most one binary search per run).
-    pub fn get(&self, p: Point<D>) -> Option<&T> {
-        if !self.curve.grid().contains(&p) {
-            return None;
-        }
-        self.version(self.curve.index_of(p))
-            .and_then(|v| v.map(|(_, t)| t))
-    }
-
-    /// The newest version of `key` across all levels, or `None` if no
-    /// level mentions it. `Some(None)` means the newest version is a
-    /// tombstone.
-    fn version(&self, key: CurveIndex) -> Option<Version<'_, D, T>> {
-        if let Some((point, slot)) = self.memtable.get(&key) {
-            return Some(slot.as_ref().map(|t| (*point, t)));
-        }
-        for run in self.runs.iter().rev() {
-            if let Some(i) = run.find_key(key) {
-                return Some(run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
-            }
-        }
-        None
-    }
-
-    fn is_live(&self, key: CurveIndex) -> bool {
-        matches!(self.version(key), Some(Some(_)))
-    }
-
-    /// `true` iff some level strictly newer than run `run_idx` holds a
-    /// version of `key` (so run `run_idx`'s version is not the visible one).
-    fn shadowed_above(&self, key: CurveIndex, run_idx: usize) -> bool {
-        self.memtable.contains_key(&key)
-            || self.runs[run_idx + 1..]
-                .iter()
-                .any(|run| run.find_key(key).is_some())
     }
 
     fn maybe_flush(&mut self) {
@@ -244,12 +334,12 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
             payloads.push(slot);
         }
         if !keys.is_empty() {
-            self.runs.push(SfcIndex::from_sorted(
+            self.runs.push(Arc::new(SfcIndex::from_sorted(
                 self.curve.clone(),
                 keys,
                 points,
                 payloads,
-            ));
+            )));
             self.maybe_merge();
         }
     }
@@ -265,8 +355,11 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
                 let newer = self.runs.pop().expect("len >= 2");
                 let older = self.runs.pop().expect("len >= 2");
                 let drop_tombstones = self.runs.is_empty();
-                self.runs
-                    .push(merge_runs(&self.curve, vec![older, newer], drop_tombstones));
+                self.runs.push(Arc::new(merge_runs(
+                    &self.curve,
+                    vec![older, newer],
+                    drop_tombstones,
+                )));
             } else {
                 break;
             }
@@ -285,295 +378,44 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
             let runs = std::mem::take(&mut self.runs);
             let merged = merge_runs(&self.curve, runs, true);
             if !merged.is_empty() {
-                self.runs.push(merged);
+                self.runs.push(Arc::new(merged));
             }
         }
         debug_assert_eq!(
-            self.runs.iter().map(SfcIndex::len).sum::<usize>(),
+            self.runs.iter().map(|run| run.len()).sum::<usize>(),
             self.live,
             "after compaction every stored record is live"
         );
     }
 
-    /// Collects the merged per-level versions into the final result.
-    fn collect_merged<'a>(
-        merged: BTreeMap<CurveIndex, Version<'a, D, T>>,
-        mut stats: QueryStats,
-    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
-        let out: Vec<StoreEntryRef<'a, D, T>> = merged
-            .into_iter()
-            .filter_map(|(key, version)| {
-                version.map(|(point, payload)| StoreEntryRef {
-                    key,
-                    point,
-                    payload,
-                })
-            })
-            .collect();
-        stats.reported = out.len() as u64;
-        (out, stats)
-    }
-
-    /// Box query via exact interval decomposition, spanning all levels:
-    /// the intervals are computed **once** and scanned against the
-    /// memtable and every run ([`interval_scan`]); per-level work is
-    /// summed and versions merge newest-wins. Works for any curve.
-    pub fn query_box_intervals(
-        &self,
-        b: &BoxRegion<D>,
-    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        let intervals = b.curve_intervals(&self.curve);
-        let mut stats = QueryStats::default();
-        let mut merged: BTreeMap<CurveIndex, Version<'_, D, T>> = BTreeMap::new();
-        // Newest level first: `or_insert` keeps the first version seen.
-        for &(lo, hi) in &intervals {
-            stats.seeks += 1;
-            for (&key, (point, slot)) in self.memtable.range(lo..=hi) {
-                stats.scanned += 1;
-                merged
-                    .entry(key)
-                    .or_insert_with(|| slot.as_ref().map(|t| (*point, t)));
-            }
-        }
-        for run in self.runs.iter().rev() {
-            interval_scan(run.keys(), &intervals, &mut stats, |i| {
-                merged
-                    .entry(run.keys()[i])
-                    .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
-            });
-        }
-        Self::collect_merged(merged, stats)
-    }
-
-    /// Exact k-nearest-neighbor query (Euclidean) over the merged view,
-    /// mirroring [`SfcIndex::knn`]: a candidate window around the query's
-    /// key **per level** (shadowed and tombstoned candidates discarded)
-    /// bounds the verification radius, then the Chebyshev ball is interval-
-    /// queried across all levels and re-ranked.
-    pub fn knn(
-        &self,
-        q: Point<D>,
-        k: usize,
-        window: usize,
-    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        assert!(k >= 1, "k must be at least 1");
-        if self.is_empty() {
-            return (Vec::new(), QueryStats::default());
-        }
-        let key = self.curve.index_of(q);
-        let mut stats = QueryStats::default();
-        let mut candidates: Vec<(u64, CurveIndex)> = Vec::new();
-        stats.seeks += 1;
-        for (&ck, (point, slot)) in self.memtable.range(..key).rev().take(window) {
-            stats.scanned += 1;
-            if slot.is_some() {
-                candidates.push((q.euclidean_sq(point), ck));
-            }
-        }
-        for (&ck, (point, slot)) in self.memtable.range(key..).take(window) {
-            stats.scanned += 1;
-            if slot.is_some() {
-                candidates.push((q.euclidean_sq(point), ck));
-            }
-        }
-        for (run_idx, run) in self.runs.iter().enumerate().rev() {
-            stats.seeks += 1;
-            let pos = run.lower_bound(key);
-            let lo = pos.saturating_sub(window);
-            let hi = (pos + window).min(run.len());
-            for i in lo..hi {
-                stats.scanned += 1;
-                let ck = run.keys()[i];
-                if run.payloads()[i].is_none() || self.shadowed_above(ck, run_idx) {
-                    continue;
-                }
-                candidates.push((q.euclidean_sq(&run.points()[i]), ck));
-            }
-        }
-        candidates.sort_unstable();
-        candidates.truncate(k);
-        // Verification radius: the k-th live candidate distance, or the
-        // whole grid if the windows produced fewer than k live candidates.
-        let radius = if candidates.len() == k {
-            (candidates[k - 1].0 as f64).sqrt().ceil() as u32
-        } else {
-            (self.curve.grid().side() - 1) as u32
-        };
-        let ball = BoxRegion::chebyshev_ball(self.curve.grid(), q, radius);
-        let (mut all, ball_stats) = self.query_box_intervals(&ball);
-        stats.seeks += ball_stats.seeks;
-        stats.scanned += ball_stats.scanned;
-        all.sort_by(|a, b| {
-            q.euclidean_sq(&a.point)
-                .cmp(&q.euclidean_sq(&b.point))
-                .then(a.key.cmp(&b.key))
-        });
-        all.truncate(k);
-        stats.reported = all.len() as u64;
-        (all, stats)
-    }
-
-    /// Reference k-nearest-neighbor by linear scan of the merged view
-    /// (ground truth for tests).
-    pub fn knn_linear(&self, q: Point<D>, k: usize) -> Vec<StoreEntryRef<'_, D, T>> {
-        let mut all: Vec<StoreEntryRef<'_, D, T>> = self.iter().collect();
-        all.sort_by(|a, b| {
-            q.euclidean_sq(&a.point)
-                .cmp(&q.euclidean_sq(&b.point))
-                .then(a.key.cmp(&b.key))
-        });
-        all.truncate(k);
-        all
-    }
-
-    /// A snapshot iterator over all live records in curve order: a lazy
-    /// k-way merge of the memtable and every run, newest-wins, with
-    /// tombstones suppressed.
-    pub fn iter(&self) -> SnapshotIter<'_, D, T> {
-        SnapshotIter {
-            mem: self.memtable.iter().peekable(),
-            runs: self
-                .runs
-                .iter()
-                .map(|run| RunCursor {
-                    keys: run.keys(),
-                    points: run.points(),
-                    payloads: run.payloads(),
-                    pos: 0,
-                })
-                .collect(),
-        }
-    }
-
-    /// Materialises the live set into a static [`SfcIndex`] (columns built
-    /// directly in key order — no re-sort). The result answers queries
-    /// byte-identically to the store itself.
-    pub fn to_index(&self) -> SfcIndex<D, T, C>
-    where
-        T: Clone,
-    {
-        let mut keys = Vec::with_capacity(self.live);
-        let mut points = Vec::with_capacity(self.live);
-        let mut payloads = Vec::with_capacity(self.live);
-        for entry in self.iter() {
-            keys.push(entry.key);
-            points.push(entry.point);
-            payloads.push(entry.payload.clone());
-        }
-        SfcIndex::from_sorted(self.curve.clone(), keys, points, payloads)
+    /// Freezes the store's current contents into an owned, immutable
+    /// [`StoreSnapshot`]: the memtable is flushed (so the snapshot sees
+    /// every write so far) and the resulting run stack is pinned by
+    /// cloning its `Arc`s — `O(runs)` work, no record is copied.
+    ///
+    /// The snapshot keeps answering queries against exactly this state
+    /// while the store absorbs further writes. Compactions that want to
+    /// consume a pinned run copy it out of its `Arc` instead (the reason
+    /// the write path requires `T: Clone`), leaving the snapshot intact.
+    pub fn snapshot(&mut self) -> StoreSnapshot<D, T, C> {
+        self.flush();
+        StoreSnapshot::new(self.curve.clone(), self.runs.clone(), self.live)
     }
 }
 
 impl<const D: usize, T> SfcStore<D, T, ZCurve<D>> {
     /// Box query by BIGMIN-jumping key-range scans (Tropf & Herzog),
-    /// spanning all levels: [`bigmin_scan`] per run plus an equivalent
-    /// jumping scan over the memtable's key range, with per-level work
-    /// summed and versions merged newest-wins. Z curve only; needs no
-    /// per-query `O(volume)` preprocessing.
+    /// spanning all levels: [`bigmin_scan`](sfc_index::bigmin_scan) per
+    /// run plus an equivalent jumping scan over the memtable's key range,
+    /// with per-level work summed and versions merged newest-wins. Z curve
+    /// only; needs no per-query `O(volume)` preprocessing.
+    ///
+    /// The jumps are exact at the edges of the keyspace: a box containing
+    /// the grid's all-max corner terminates through
+    /// [`bigmin`](sfc_index::bigmin()) returning `None`, never by wrapping
+    /// past the last curve index.
     pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        let zmin = self.curve.encode(b.lo());
-        let zmax = self.curve.encode(b.hi());
-        let mut stats = QueryStats::default();
-        let mut merged: BTreeMap<CurveIndex, Version<'_, D, T>> = BTreeMap::new();
-        // Memtable (newest level): sequential range walk with BIGMIN jumps.
-        stats.seeks += 1;
-        let mut cur = zmin;
-        'memtable: loop {
-            let mut range = self.memtable.range(cur..=zmax);
-            loop {
-                let Some((&key, (point, slot))) = range.next() else {
-                    break 'memtable;
-                };
-                stats.scanned += 1;
-                if b.contains(point) {
-                    merged
-                        .entry(key)
-                        .or_insert_with(|| slot.as_ref().map(|t| (*point, t)));
-                } else {
-                    match bigmin(&self.curve, key, zmin, zmax) {
-                        Some(next) => {
-                            stats.seeks += 1;
-                            cur = next;
-                            break;
-                        }
-                        None => break 'memtable,
-                    }
-                }
-            }
-        }
-        for run in self.runs.iter().rev() {
-            bigmin_scan(&self.curve, run.keys(), run.points(), b, &mut stats, |i| {
-                merged
-                    .entry(run.keys()[i])
-                    .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
-            });
-        }
-        Self::collect_merged(merged, stats)
-    }
-}
-
-/// A forward-only cursor over one run's borrowed columns.
-struct RunCursor<'a, const D: usize, T> {
-    keys: &'a [CurveIndex],
-    points: &'a [Point<D>],
-    payloads: &'a [Option<T>],
-    pos: usize,
-}
-
-/// Snapshot iterator over the live records of an [`SfcStore`] in curve
-/// order (see [`SfcStore::iter`]).
-pub struct SnapshotIter<'a, const D: usize, T> {
-    mem: std::iter::Peekable<btree_map::Iter<'a, CurveIndex, (Point<D>, Option<T>)>>,
-    /// Oldest → newest, like the store's run stack.
-    runs: Vec<RunCursor<'a, D, T>>,
-}
-
-impl<const D: usize, T> fmt::Debug for SnapshotIter<'_, D, T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SnapshotIter")
-            .field("levels", &(self.runs.len() + 1))
-            .finish_non_exhaustive()
-    }
-}
-
-impl<'a, const D: usize, T> Iterator for SnapshotIter<'a, D, T> {
-    type Item = StoreEntryRef<'a, D, T>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            let mut min: Option<CurveIndex> = self.mem.peek().map(|(&key, _)| key);
-            for cursor in &self.runs {
-                if let Some(&key) = cursor.keys.get(cursor.pos) {
-                    min = Some(min.map_or(key, |m| m.min(key)));
-                }
-            }
-            let min = min?;
-            // Advance every level holding the min key; later (newer)
-            // levels overwrite, and the memtable overwrites last.
-            let mut winner: Option<(Point<D>, Option<&'a T>)> = None;
-            for cursor in self.runs.iter_mut() {
-                if cursor.keys.get(cursor.pos) == Some(&min) {
-                    winner = Some((
-                        cursor.points[cursor.pos],
-                        cursor.payloads[cursor.pos].as_ref(),
-                    ));
-                    cursor.pos += 1;
-                }
-            }
-            if self.mem.peek().map(|(&key, _)| key) == Some(min) {
-                let (_, (point, slot)) = self.mem.next().expect("peeked");
-                winner = Some((*point, slot.as_ref()));
-            }
-            let (point, slot) = winner.expect("min key came from some level");
-            if let Some(payload) = slot {
-                return Some(StoreEntryRef {
-                    key: min,
-                    point,
-                    payload,
-                });
-            }
-            // Tombstone: the cell is dead in the snapshot; keep going.
-        }
+        self.view().query_box_bigmin(b)
     }
 }
 
@@ -702,6 +544,90 @@ mod tests {
                 assert_eq!(gd, wd, "k={k} q={q}");
                 assert_eq!(stats.reported as usize, k.min(store.len()));
             }
+        }
+    }
+
+    #[test]
+    fn knn_windows_widen_past_tombstones() {
+        // Regression for the candidate-window under-collection: every cell
+        // near the query point is deleted across several levels, so a
+        // fixed ±window of slots sees only tombstones. The widened windows
+        // must still bracket k live candidates per level, keeping the
+        // verification ball small — without the fix the radius fell back
+        // to the whole grid, scanning every live record.
+        let grid = Grid::<2>::new(6).unwrap(); // 64×64
+        let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 32);
+        for x in 0..64u32 {
+            for y in 0..64u32 {
+                store.insert(Point::new([x, y]), x * 64 + y);
+            }
+        }
+        store.flush();
+        let q = Point::new([20, 20]);
+        // Delete a Chebyshev-radius-5 neighborhood around q, spread across
+        // memtable and freshly flushed runs so tombstones shadow the
+        // bottom run from multiple levels.
+        let mut deleted = 0u32;
+        for cell in BoxRegion::chebyshev_ball(grid, q, 5).cells() {
+            store.delete(cell);
+            deleted += 1;
+            if deleted.is_multiple_of(40) {
+                store.flush();
+            }
+        }
+        for k in [1usize, 3, 8] {
+            for window in [1usize, 2, 4] {
+                let (got, stats) = store.knn(q, k, window);
+                let want = store.knn_linear(q, k);
+                let gd: Vec<u64> = got.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+                let wd: Vec<u64> = want.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+                assert_eq!(gd, wd, "true neighbor dropped: k={k} window={window}");
+                // The widened windows bound the verification ball: without
+                // widening the ball degenerated to the whole 64×64 grid
+                // and scanned all ~4k live records.
+                assert!(
+                    stats.scanned < 1500,
+                    "verification ball degenerated: scanned {} (k={k} window={window})",
+                    stats.scanned
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_box_bigmin_at_end_of_keyspace_full_resolution() {
+        // Regression: a box containing the all-max corner of a
+        // full-resolution grid (2^32 × 2^32 — curve keys occupy all 64
+        // bits) must terminate cleanly, not wrap past the last curve
+        // index. Exercises both the memtable jumping scan and the per-run
+        // BIGMIN scan.
+        let grid = Grid::<2>::new(32).unwrap();
+        let z = ZCurve::over(grid);
+        let max = u32::MAX;
+        let b = BoxRegion::new(Point::new([max - 2, max - 2]), Point::new([max, max]));
+        assert_eq!(z.encode(b.hi()), grid.n() - 1, "all-max corner is last key");
+        // Memtable-only store: the jumping memtable scan path.
+        let mut mem_store = SfcStore::with_memtable_capacity(z, 1 << 20);
+        // Run-backed store: the bigmin_scan path.
+        let mut run_store = SfcStore::with_memtable_capacity(z, 4);
+        for dx in 0..6u32 {
+            for dy in 0..6u32 {
+                let p = Point::new([max - dx, max - dy]);
+                mem_store.insert(p, dx * 10 + dy);
+                run_store.insert(p, dx * 10 + dy);
+            }
+        }
+        assert!(mem_store.run_lens().is_empty());
+        assert!(!run_store.run_lens().is_empty());
+        for store in [&mem_store, &run_store] {
+            let (hits, _) = store.query_box_bigmin(&b);
+            assert_eq!(hits.len(), 9, "3×3 corner cells");
+            let (iv, _) = store.query_box_intervals(&b);
+            assert_eq!(
+                hits.iter().map(|e| e.key).collect::<Vec<_>>(),
+                iv.iter().map(|e| e.key).collect::<Vec<_>>(),
+                "bigmin disagrees with interval strategy at keyspace end"
+            );
         }
     }
 

@@ -1,0 +1,420 @@
+//! The shared multi-level query engine.
+//!
+//! An [`SfcStore`](crate::SfcStore) reads merge a mutable memtable with a
+//! stack of immutable runs; a [`StoreSnapshot`](crate::StoreSnapshot)
+//! reads merge a frozen run stack only. Both are the *same* algorithm —
+//! newest level wins, tombstones suppress older versions, per-level work
+//! summed into one [`QueryStats`] — so it lives here once, expressed over
+//! a [`LevelsView`]: an optional borrowed memtable plus a slice of
+//! `Arc`-shared runs.
+
+use std::collections::{btree_map, BTreeMap};
+use std::fmt;
+use std::sync::Arc;
+
+use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
+use sfc_index::{bigmin, bigmin_scan, interval_scan, BoxRegion, QueryStats, SfcIndex};
+
+use crate::store::StoreEntryRef;
+
+/// The newest-level table: key → (cell, payload-or-tombstone).
+pub(crate) type Memtable<const D: usize, T> = BTreeMap<CurveIndex, (Point<D>, Option<T>)>;
+
+/// One immutable sorted run, shareable with snapshots.
+pub(crate) type Run<const D: usize, T, C> = Arc<SfcIndex<D, Option<T>, C>>;
+
+/// The version of a cell found at some level: `None` payload = tombstone.
+pub(crate) type Version<'a, const D: usize, T> = Option<(Point<D>, &'a T)>;
+
+/// A borrowed view of the levels of a store or snapshot: the newest level
+/// (an optional memtable) over a stack of immutable runs, oldest first.
+pub(crate) struct LevelsView<'a, const D: usize, T, C: SpaceFillingCurve<D>> {
+    pub curve: &'a C,
+    /// `None` for snapshots (whose memtable was flushed at creation).
+    pub memtable: Option<&'a Memtable<D, T>>,
+    /// Oldest → newest, like the store's run stack.
+    pub runs: &'a [Run<D, T, C>],
+}
+
+impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
+    /// The newest version of `key` across all levels, or `None` if no
+    /// level mentions it. `Some(None)` means the newest version is a
+    /// tombstone.
+    pub(crate) fn version(&self, key: CurveIndex) -> Option<Version<'a, D, T>> {
+        if let Some(mem) = self.memtable {
+            if let Some((point, slot)) = mem.get(&key) {
+                return Some(slot.as_ref().map(|t| (*point, t)));
+            }
+        }
+        for run in self.runs.iter().rev() {
+            if let Some(i) = run.find_key(key) {
+                return Some(run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+            }
+        }
+        None
+    }
+
+    /// `true` iff the newest version of `key` is live.
+    pub(crate) fn is_live(&self, key: CurveIndex) -> bool {
+        matches!(self.version(key), Some(Some(_)))
+    }
+
+    /// `true` iff some level strictly newer than run `run_idx` holds a
+    /// version of `key` (so run `run_idx`'s version is not the visible one).
+    fn shadowed_above(&self, key: CurveIndex, run_idx: usize) -> bool {
+        self.memtable.is_some_and(|mem| mem.contains_key(&key))
+            || self.runs[run_idx + 1..]
+                .iter()
+                .any(|run| run.find_key(key).is_some())
+    }
+
+    /// Collects the merged per-level versions into the final result.
+    fn collect_merged(
+        merged: BTreeMap<CurveIndex, Version<'a, D, T>>,
+        mut stats: QueryStats,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let out: Vec<StoreEntryRef<'a, D, T>> = merged
+            .into_iter()
+            .filter_map(|(key, version)| {
+                version.map(|(point, payload)| StoreEntryRef {
+                    key,
+                    point,
+                    payload,
+                })
+            })
+            .collect();
+        stats.reported = out.len() as u64;
+        (out, stats)
+    }
+
+    /// Scans every level for keys inside the given inclusive curve-index
+    /// intervals (sorted ascending, as produced by
+    /// [`BoxRegion::curve_intervals`]), merging versions newest-wins.
+    pub(crate) fn query_intervals(
+        &self,
+        intervals: &[(CurveIndex, CurveIndex)],
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut merged: BTreeMap<CurveIndex, Version<'a, D, T>> = BTreeMap::new();
+        // Newest level first: `or_insert` keeps the first version seen.
+        if let Some(mem) = self.memtable {
+            for &(lo, hi) in intervals {
+                stats.seeks += 1;
+                for (&key, (point, slot)) in mem.range(lo..=hi) {
+                    stats.scanned += 1;
+                    merged
+                        .entry(key)
+                        .or_insert_with(|| slot.as_ref().map(|t| (*point, t)));
+                }
+            }
+        }
+        for run in self.runs.iter().rev() {
+            interval_scan(run.keys(), intervals, &mut stats, |i| {
+                merged
+                    .entry(run.keys()[i])
+                    .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+            });
+        }
+        Self::collect_merged(merged, stats)
+    }
+
+    /// Box query via exact interval decomposition (computed once, scanned
+    /// against every level). Works for any curve.
+    pub(crate) fn query_box_intervals(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        self.query_intervals(&b.curve_intervals(self.curve))
+    }
+
+    /// Collects live candidates for a kNN query from every level: per
+    /// level, walk outward from the query key's position on both sides,
+    /// **widening past tombstoned and shadowed slots** until `k` live
+    /// candidates are bracketed on that side (or the level is exhausted),
+    /// and always covering at least `window` slots per side.
+    ///
+    /// The widening is what keeps the verification radius tight under
+    /// heavy deletes: a fixed slot window can be eaten entirely by
+    /// tombstones, collapsing to the whole-grid fallback radius. With
+    /// widening, the fallback only triggers when the view holds fewer than
+    /// `k` live records in total.
+    pub(crate) fn knn_candidates(
+        &self,
+        q: Point<D>,
+        key: CurveIndex,
+        k: usize,
+        window: usize,
+        stats: &mut QueryStats,
+    ) -> Vec<(u64, CurveIndex)> {
+        let mut candidates: Vec<(u64, CurveIndex)> = Vec::new();
+        if let Some(mem) = self.memtable {
+            stats.seeks += 1;
+            let mut live = 0usize;
+            let mut slots = 0usize;
+            for (&ck, (point, slot)) in mem.range(..key).rev() {
+                slots += 1;
+                stats.scanned += 1;
+                if slot.is_some() {
+                    candidates.push((q.euclidean_sq(point), ck));
+                    live += 1;
+                }
+                if live >= k && slots >= window {
+                    break;
+                }
+            }
+            live = 0;
+            slots = 0;
+            for (&ck, (point, slot)) in mem.range(key..) {
+                slots += 1;
+                stats.scanned += 1;
+                if slot.is_some() {
+                    candidates.push((q.euclidean_sq(point), ck));
+                    live += 1;
+                }
+                if live >= k && slots >= window {
+                    break;
+                }
+            }
+        }
+        for (run_idx, run) in self.runs.iter().enumerate().rev() {
+            stats.seeks += 1;
+            let pos = run.lower_bound(key);
+            let mut live = 0usize;
+            let mut slots = 0usize;
+            let mut i = pos;
+            while i > 0 && !(live >= k && slots >= window) {
+                i -= 1;
+                slots += 1;
+                stats.scanned += 1;
+                let ck = run.keys()[i];
+                if run.payloads()[i].is_some() && !self.shadowed_above(ck, run_idx) {
+                    candidates.push((q.euclidean_sq(&run.points()[i]), ck));
+                    live += 1;
+                }
+            }
+            live = 0;
+            slots = 0;
+            let mut i = pos;
+            while i < run.len() && !(live >= k && slots >= window) {
+                slots += 1;
+                stats.scanned += 1;
+                let ck = run.keys()[i];
+                if run.payloads()[i].is_some() && !self.shadowed_above(ck, run_idx) {
+                    candidates.push((q.euclidean_sq(&run.points()[i]), ck));
+                    live += 1;
+                }
+                i += 1;
+            }
+        }
+        candidates
+    }
+
+    /// Exact k-nearest-neighbor query over the merged view: widened
+    /// candidate windows per level bound the verification radius, then the
+    /// Chebyshev ball is interval-queried across all levels and re-ranked.
+    pub(crate) fn knn(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        assert!(k >= 1, "k must be at least 1");
+        let key = self.curve.index_of(q);
+        let mut stats = QueryStats::default();
+        let mut candidates = self.knn_candidates(q, key, k, window, &mut stats);
+        candidates.sort_unstable();
+        candidates.truncate(k);
+        let radius = verification_radius(self.curve.grid(), &candidates, k);
+        let ball = BoxRegion::chebyshev_ball(self.curve.grid(), q, radius);
+        let (all, ball_stats) = self.query_box_intervals(&ball);
+        stats.seeks += ball_stats.seeks;
+        stats.scanned += ball_stats.scanned;
+        let all = rank_by_distance(all, q, k);
+        stats.reported = all.len() as u64;
+        (all, stats)
+    }
+
+    /// A lazy k-way merge of all levels in curve order, newest-wins, with
+    /// tombstones suppressed.
+    pub(crate) fn iter(&self) -> SnapshotIter<'a, D, T> {
+        SnapshotIter {
+            mem: self.memtable.map(|mem| mem.iter().peekable()),
+            runs: self
+                .runs
+                .iter()
+                .map(|run| RunCursor {
+                    keys: run.keys(),
+                    points: run.points(),
+                    payloads: run.payloads(),
+                    pos: 0,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<'a, const D: usize, T> LevelsView<'a, D, T, ZCurve<D>> {
+    /// Box query by BIGMIN-jumping key-range scans (Tropf & Herzog):
+    /// [`bigmin_scan`] per run plus an equivalent jumping scan over the
+    /// memtable's key range. Z curve only; needs no per-query `O(volume)`
+    /// preprocessing.
+    pub(crate) fn query_box_bigmin(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let zmin = self.curve.encode(b.lo());
+        let zmax = self.curve.encode(b.hi());
+        let mut stats = QueryStats::default();
+        let mut merged: BTreeMap<CurveIndex, Version<'a, D, T>> = BTreeMap::new();
+        if let Some(mem) = self.memtable {
+            // Memtable (newest level): sequential range walk with BIGMIN
+            // jumps.
+            stats.seeks += 1;
+            let mut cur = zmin;
+            'memtable: loop {
+                let mut range = mem.range(cur..=zmax);
+                loop {
+                    let Some((&key, (point, slot))) = range.next() else {
+                        break 'memtable;
+                    };
+                    stats.scanned += 1;
+                    if b.contains(point) {
+                        merged
+                            .entry(key)
+                            .or_insert_with(|| slot.as_ref().map(|t| (*point, t)));
+                    } else {
+                        match bigmin(self.curve, key, zmin, zmax) {
+                            Some(next) => {
+                                stats.seeks += 1;
+                                cur = next;
+                                break;
+                            }
+                            None => break 'memtable,
+                        }
+                    }
+                }
+            }
+        }
+        for run in self.runs.iter().rev() {
+            bigmin_scan(self.curve, run.keys(), run.points(), b, &mut stats, |i| {
+                merged
+                    .entry(run.keys()[i])
+                    .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+            });
+        }
+        Self::collect_merged(merged, stats)
+    }
+}
+
+/// Ranks entries by Euclidean distance to `q` (ties broken by curve key —
+/// the ordering every kNN result and every `knn_linear` ground truth in
+/// this crate must share) and keeps the `k` nearest.
+pub(crate) fn rank_by_distance<const D: usize, T>(
+    mut all: Vec<StoreEntryRef<'_, D, T>>,
+    q: Point<D>,
+    k: usize,
+) -> Vec<StoreEntryRef<'_, D, T>> {
+    all.sort_by(|a, b| {
+        q.euclidean_sq(&a.point)
+            .cmp(&q.euclidean_sq(&b.point))
+            .then(a.key.cmp(&b.key))
+    });
+    all.truncate(k);
+    all
+}
+
+/// The verification radius for a kNN query: the k-th best candidate
+/// distance (squared distances sorted ascending, truncated to `k`), or
+/// the whole grid if fewer than `k` live candidates were found — possible
+/// only when the queried structure holds fewer than `k` live records,
+/// thanks to the widened candidate windows.
+pub(crate) fn verification_radius<const D: usize>(
+    grid: sfc_core::Grid<D>,
+    candidates: &[(u64, CurveIndex)],
+    k: usize,
+) -> u32 {
+    if candidates.len() >= k {
+        (candidates[k - 1].0 as f64).sqrt().ceil() as u32
+    } else {
+        (grid.side() - 1) as u32
+    }
+}
+
+/// A forward-only cursor over one run's borrowed columns.
+struct RunCursor<'a, const D: usize, T> {
+    keys: &'a [CurveIndex],
+    points: &'a [Point<D>],
+    payloads: &'a [Option<T>],
+    pos: usize,
+}
+
+/// A peekable walk of the memtable level.
+type MemIter<'a, const D: usize, T> =
+    std::iter::Peekable<btree_map::Iter<'a, CurveIndex, (Point<D>, Option<T>)>>;
+
+/// Snapshot iterator over the live records of a store or snapshot in curve
+/// order (see [`SfcStore::iter`](crate::SfcStore::iter) and
+/// [`StoreSnapshot::iter`](crate::StoreSnapshot::iter)).
+pub struct SnapshotIter<'a, const D: usize, T> {
+    /// `None` when iterating a snapshot (no memtable level).
+    mem: Option<MemIter<'a, D, T>>,
+    /// Oldest → newest, like the store's run stack.
+    runs: Vec<RunCursor<'a, D, T>>,
+}
+
+impl<const D: usize, T> fmt::Debug for SnapshotIter<'_, D, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotIter")
+            .field(
+                "levels",
+                &(self.runs.len() + usize::from(self.mem.is_some())),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, const D: usize, T> Iterator for SnapshotIter<'a, D, T> {
+    type Item = StoreEntryRef<'a, D, T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let mut min: Option<CurveIndex> = self
+                .mem
+                .as_mut()
+                .and_then(|mem| mem.peek().map(|(&key, _)| key));
+            for cursor in &self.runs {
+                if let Some(&key) = cursor.keys.get(cursor.pos) {
+                    min = Some(min.map_or(key, |m| m.min(key)));
+                }
+            }
+            let min = min?;
+            // Advance every level holding the min key; later (newer)
+            // levels overwrite, and the memtable overwrites last.
+            let mut winner: Option<(Point<D>, Option<&'a T>)> = None;
+            for cursor in self.runs.iter_mut() {
+                if cursor.keys.get(cursor.pos) == Some(&min) {
+                    winner = Some((
+                        cursor.points[cursor.pos],
+                        cursor.payloads[cursor.pos].as_ref(),
+                    ));
+                    cursor.pos += 1;
+                }
+            }
+            if let Some(mem) = self.mem.as_mut() {
+                if mem.peek().map(|(&key, _)| key) == Some(min) {
+                    let (_, (point, slot)) = mem.next().expect("peeked");
+                    winner = Some((*point, slot.as_ref()));
+                }
+            }
+            let (point, slot) = winner.expect("min key came from some level");
+            if let Some(payload) = slot {
+                return Some(StoreEntryRef {
+                    key: min,
+                    point,
+                    payload,
+                });
+            }
+            // Tombstone: the cell is dead in the snapshot; keep going.
+        }
+    }
+}

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::BoxRegion;
 use sfc_integration::test_rng;
-use sfc_store::SfcStore;
+use sfc_store::{SfcStore, ShardedSfcStore};
 use std::collections::BTreeMap;
 
 /// One random operation of the interleaving.
@@ -179,6 +179,173 @@ proptest! {
         prop_assert!(store.run_lens().len() <= 1);
         prop_assert_eq!(store.run_lens().iter().sum::<usize>(), model.len());
         check_against_model(&store, &model, seed ^ 1);
+    }
+}
+
+/// One random operation of the sharded interleaving; `Rebalance` has no
+/// single-store analogue and is applied to the sharded side only.
+#[derive(Debug, Clone, Copy)]
+enum ShardedOp {
+    Insert(u32, u32, u32),
+    Delete(u32, u32),
+    Flush,
+    Compact,
+    Rebalance,
+}
+
+fn random_sharded_ops(len: usize, side: u32, seed: u64) -> Vec<ShardedOp> {
+    use rand::Rng;
+    let mut rng = test_rng(seed);
+    (0..len)
+        .map(|i| {
+            let x = rng.gen_range(0..side);
+            let y = rng.gen_range(0..side);
+            match rng.gen_range(0..12u32) {
+                0..=6 => ShardedOp::Insert(x, y, i as u32),
+                7..=9 => ShardedOp::Delete(x, y),
+                10 => {
+                    if rng.gen_range(0..4u32) == 0 {
+                        ShardedOp::Compact
+                    } else {
+                        ShardedOp::Flush
+                    }
+                }
+                // Rebalances are frequent enough that records routinely
+                // migrate between shards mid-interleaving.
+                11 => ShardedOp::Rebalance,
+                _ => unreachable!(),
+            }
+        })
+        .collect()
+}
+
+/// Byte-level comparison of every observable view of the sharded store
+/// against the single store and the model.
+fn check_sharded_against_single_and_model(
+    sharded: &ShardedSfcStore<2, u32, ZCurve<2>>,
+    single: &SfcStore<2, u32, ZCurve<2>>,
+    model: &BTreeMap<CurveIndex, (Point<2>, u32)>,
+    seed: u64,
+) {
+    use rand::Rng;
+    let grid = single.curve().grid();
+    assert_eq!(sharded.len(), model.len(), "live count vs model");
+    assert_eq!(sharded.len(), single.len(), "live count vs single");
+
+    let flat_sharded: Vec<(CurveIndex, Point<2>, u32)> = sharded
+        .iter()
+        .map(|e| (e.key, e.point, *e.payload))
+        .collect();
+    let flat_single: Vec<(CurveIndex, Point<2>, u32)> = single
+        .iter()
+        .map(|e| (e.key, e.point, *e.payload))
+        .collect();
+    assert_eq!(&flat_sharded, &flat_single, "merged iteration");
+    let flat_model: Vec<(CurveIndex, Point<2>, u32)> =
+        model.iter().map(|(&k, &(p, v))| (k, p, v)).collect();
+    assert_eq!(&flat_sharded, &flat_model, "iteration vs model");
+
+    let mut rng = test_rng(seed ^ 0x51a4d);
+    for _ in 0..20 {
+        let p = grid.random_cell(&mut rng);
+        assert_eq!(sharded.get(p), single.get(p), "get({p})");
+    }
+    for _ in 0..6 {
+        let a = grid.random_cell(&mut rng);
+        let b = grid.random_cell(&mut rng);
+        let lo = Point::new([a.coord(0).min(b.coord(0)), a.coord(1).min(b.coord(1))]);
+        let hi = Point::new([a.coord(0).max(b.coord(0)), a.coord(1).max(b.coord(1))]);
+        let region = BoxRegion::new(lo, hi);
+        let flat = |v: &[sfc_store::StoreEntryRef<'_, 2, u32>]| {
+            v.iter()
+                .map(|e| (e.key, e.point, *e.payload))
+                .collect::<Vec<_>>()
+        };
+        let (siv, _) = sharded.query_box_intervals(&region);
+        let (uiv, _) = single.query_box_intervals(&region);
+        assert_eq!(flat(&siv), flat(&uiv), "intervals on {region:?}");
+        let (sbm, _) = sharded.query_box_bigmin(&region);
+        let (ubm, _) = single.query_box_bigmin(&region);
+        assert_eq!(flat(&sbm), flat(&ubm), "bigmin on {region:?}");
+    }
+    for _ in 0..4 {
+        let q = grid.random_cell(&mut rng);
+        let k = rng.gen_range(1..6usize);
+        let flat = |v: &[sfc_store::StoreEntryRef<'_, 2, u32>]| {
+            v.iter()
+                .map(|e| (e.key, e.point, *e.payload))
+                .collect::<Vec<_>>()
+        };
+        let (sk, _) = sharded.knn(q, k, 3);
+        let (uk, _) = single.knn(q, k, 3);
+        assert_eq!(flat(&sk), flat(&uk), "knn k={k} q={q}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded store vs single store vs BTreeMap model under random
+    /// insert / update / delete / flush / compact / **rebalance**
+    /// interleavings across 1–4 shards: every observable view must be
+    /// byte-identical to the single store's (and therefore to the model).
+    #[test]
+    fn sharded_store_matches_single_store_and_model(
+        seed in any::<u64>(),
+        cap in 1usize..24,
+        parts in 1usize..5,
+    ) {
+        let grid = Grid::<2>::new(4).unwrap();
+        let curve = ZCurve::over(grid);
+        let mut sharded = ShardedSfcStore::with_memtable_capacity(curve, parts, cap);
+        let mut single = SfcStore::with_memtable_capacity(curve, cap);
+        let mut model: BTreeMap<CurveIndex, (Point<2>, u32)> = BTreeMap::new();
+        let ops = random_sharded_ops(300, 16, seed);
+        for (i, chunk) in ops.chunks(75).enumerate() {
+            for &op in chunk {
+                match op {
+                    ShardedOp::Insert(x, y, v) => {
+                        let p = Point::new([x, y]);
+                        let key = curve.index_of(p);
+                        let a = sharded.insert(p, v);
+                        let b = single.insert(p, v);
+                        let c = model.insert(key, (p, v)).is_some();
+                        prop_assert_eq!(a, b, "insert visibility vs single");
+                        prop_assert_eq!(a, c, "insert visibility vs model");
+                    }
+                    ShardedOp::Delete(x, y) => {
+                        let p = Point::new([x, y]);
+                        let key = curve.index_of(p);
+                        let a = sharded.delete(p);
+                        let b = single.delete(p);
+                        let c = model.remove(&key).is_some();
+                        prop_assert_eq!(a, b, "delete visibility vs single");
+                        prop_assert_eq!(a, c, "delete visibility vs model");
+                    }
+                    ShardedOp::Flush => {
+                        sharded.flush();
+                        single.flush();
+                    }
+                    ShardedOp::Compact => {
+                        sharded.compact();
+                        single.compact();
+                    }
+                    ShardedOp::Rebalance => {
+                        sharded.rebalance(1e-9);
+                    }
+                }
+            }
+            check_sharded_against_single_and_model(
+                &sharded,
+                &single,
+                &model,
+                seed.wrapping_add(i as u64),
+            );
+        }
+        // A final rebalance + compaction sweep leaves everything intact.
+        sharded.rebalance(1e-9);
+        sharded.compact();
+        check_sharded_against_single_and_model(&sharded, &single, &model, seed ^ 0xfe);
     }
 }
 
