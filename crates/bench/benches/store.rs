@@ -15,7 +15,7 @@
 //! index built over the same live set — for BIGMIN on Z, intervals on
 //! Hilbert, and kNN.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
@@ -23,6 +23,7 @@ use sfc_index::{BoxRegion, QueryStats, SfcIndex};
 use sfc_store::{SfcStore, ShardedSfcStore};
 use std::collections::BTreeMap;
 use std::hint::black_box;
+use std::io::Write as _;
 
 const BASE: usize = 1_000_000;
 const ROUNDS: usize = 10;
@@ -366,9 +367,316 @@ fn bench_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// The zone-map / planner headline: query latency against a *multi-run*
+/// million-record store, pre-change plain scans vs the zone-mapped paths
+/// and the adaptive planner. Byte-identical results are asserted for
+/// every query before anything is timed, and the per-path [`QueryStats`]
+/// are collected for the JSON report.
+struct QueryBench {
+    records: Vec<criterion::BenchRecord>,
+    stats: Vec<(&'static str, QueryStats)>,
+}
+
+const QUERY_BOXES: usize = 24;
+const KNN_QUERIES: usize = 24;
+const KNN_K: usize = 10;
+const KNN_WINDOW: usize = 16;
+
+/// Builds the benchmark store: 1M bulk-loaded records plus 100k streamed
+/// updates (1 in 10 a delete), left un-compacted so queries span a big
+/// bottom run, several mid-size runs, and a warm memtable.
+fn query_store(sc: &Scenario) -> SfcStore<2, u64, ZCurve<2>> {
+    let z = ZCurve::over(sc.grid);
+    let mut store = SfcStore::bulk_load(z, sc.base.iter().copied());
+    for updates in &sc.rounds {
+        for (i, &(p, v)) in updates.iter().enumerate() {
+            if i % 10 == 9 {
+                store.delete(p);
+            } else {
+                store.insert(p, v);
+            }
+        }
+    }
+    store
+}
+
+/// Selective query boxes (side 16–40 cells: inside the planner's
+/// decomposition cutoff) plus kNN query points.
+fn selective_boxes(sc: &Scenario) -> (Vec<BoxRegion<2>>, Vec<Point<2>>) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4242);
+    let max = (sc.grid.side() - 1) as u32;
+    let boxes = (0..QUERY_BOXES)
+        .map(|_| {
+            let corner = sc.grid.random_cell(&mut rng);
+            let size = rng.gen_range(16..40u32);
+            BoxRegion::new(
+                corner,
+                Point::new([
+                    (corner.coord(0) + size).min(max),
+                    (corner.coord(1) + size).min(max),
+                ]),
+            )
+        })
+        .collect();
+    let queries = (0..KNN_QUERIES)
+        .map(|_| sc.grid.random_cell(&mut rng))
+        .collect();
+    (boxes, queries)
+}
+
+fn bench_query_paths(c: &mut Criterion, sc: &Scenario) -> QueryBench {
+    let store = query_store(sc);
+    let (boxes, knn_queries) = selective_boxes(sc);
+    println!(
+        "query benchmark store: {} live, runs {:?}, memtable {}",
+        store.len(),
+        store.run_lens(),
+        store.memtable_len()
+    );
+
+    // Byte-identical results across every path, asserted before timing.
+    // Summed per-path counters are recorded by name so paths can be added
+    // or reordered without silently misattributing stats in the report.
+    let triple = |e: &sfc_store::StoreEntryRef<'_, 2, u64>| (e.key, e.point, *e.payload);
+    let mut stats: Vec<(&'static str, QueryStats)> = Vec::new();
+    let record =
+        |stats: &mut Vec<(&'static str, QueryStats)>, name: &'static str, s: &QueryStats| {
+            match stats.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => total.add(s),
+                None => {
+                    let mut total = QueryStats::default();
+                    total.add(s);
+                    stats.push((name, total));
+                }
+            }
+        };
+    for b in &boxes {
+        let (want, s) = store.query_box_intervals_plain(b);
+        let want: Vec<_> = want.iter().map(triple).collect();
+        record(&mut stats, "box_plain_intervals", &s);
+        let (got, s) = store.query_box_bigmin_plain(b);
+        assert_eq!(
+            want,
+            got.iter().map(triple).collect::<Vec<_>>(),
+            "plain bigmin {b:?}"
+        );
+        record(&mut stats, "box_plain_bigmin", &s);
+        let (got, s) = store.query_box_intervals(b);
+        assert_eq!(
+            want,
+            got.iter().map(triple).collect::<Vec<_>>(),
+            "zone intervals {b:?}"
+        );
+        record(&mut stats, "box_zone_intervals", &s);
+        let (got, s) = store.query_box_bigmin(b);
+        assert_eq!(
+            want,
+            got.iter().map(triple).collect::<Vec<_>>(),
+            "zone bigmin {b:?}"
+        );
+        record(&mut stats, "box_zone_bigmin", &s);
+        let (got, s) = store.query_box(b);
+        assert_eq!(
+            want,
+            got.iter().map(triple).collect::<Vec<_>>(),
+            "planner {b:?}"
+        );
+        record(&mut stats, "box_planner", &s);
+    }
+    for &q in &knn_queries {
+        let (want, s) = store.knn_plain(q, KNN_K, KNN_WINDOW);
+        let want: Vec<_> = want.iter().map(triple).collect();
+        record(&mut stats, "knn_plain", &s);
+        let (got, s) = store.knn(q, KNN_K, KNN_WINDOW);
+        assert_eq!(
+            want,
+            got.iter().map(triple).collect::<Vec<_>>(),
+            "knn at {q}"
+        );
+        record(&mut stats, "knn_zone", &s);
+    }
+    println!("equivalence: all box paths and kNN byte-identical across {QUERY_BOXES} boxes / {KNN_QUERIES} queries");
+
+    let mut group = c.benchmark_group("box_query_1m_selective");
+    group.bench_function("plain_intervals", |bencher| {
+        bencher.iter(|| {
+            boxes
+                .iter()
+                .map(|b| black_box(store.query_box_intervals_plain(b).0.len()))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("plain_bigmin", |bencher| {
+        bencher.iter(|| {
+            boxes
+                .iter()
+                .map(|b| black_box(store.query_box_bigmin_plain(b).0.len()))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("zone_intervals", |bencher| {
+        bencher.iter(|| {
+            boxes
+                .iter()
+                .map(|b| black_box(store.query_box_intervals(b).0.len()))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("zone_bigmin", |bencher| {
+        bencher.iter(|| {
+            boxes
+                .iter()
+                .map(|b| black_box(store.query_box_bigmin(b).0.len()))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("planner", |bencher| {
+        bencher.iter(|| {
+            boxes
+                .iter()
+                .map(|b| black_box(store.query_box(b).0.len()))
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("knn_1m");
+    group.bench_function("plain", |bencher| {
+        bencher.iter(|| {
+            knn_queries
+                .iter()
+                .map(|&q| black_box(store.knn_plain(q, KNN_K, KNN_WINDOW).0.len()))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("zone", |bencher| {
+        bencher.iter(|| {
+            knn_queries
+                .iter()
+                .map(|&q| black_box(store.knn(q, KNN_K, KNN_WINDOW).0.len()))
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+
+    QueryBench {
+        records: criterion::take_records(),
+        stats,
+    }
+}
+
 criterion_group! {
-    name = benches;
+    name = ingest_benches;
     config = Criterion::default().sample_size(10);
     targets = bench_ingest, bench_sharded_ingest
 }
-criterion_main!(benches);
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn stats_json(s: &QueryStats) -> String {
+    format!(
+        "{{\"seeks\": {}, \"scanned\": {}, \"reported\": {}, \"blocks_scanned\": {}, \"blocks_pruned\": {}, \"overscan\": {:.4}}}",
+        s.seeks, s.scanned, s.reported, s.blocks_scanned, s.blocks_pruned, s.overscan()
+    )
+}
+
+/// Writes `BENCH_store.json` at the workspace root: every benchmark's
+/// median (and min/max) nanoseconds, the summed per-path `QueryStats`
+/// counters, and the headline plain-vs-zone speedups. CI uploads the file
+/// so the perf trajectory is tracked per commit.
+fn write_report(all_records: &[criterion::BenchRecord], qb: &QueryBench) {
+    let median = |name: &str| {
+        all_records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    };
+    let speedup = |plain: &str, new: &str| -> Option<f64> { Some(median(plain)? / median(new)?) };
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"bench\": \"store\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"base_records\": {BASE}, \"updates\": {}, \"grid_k\": {GRID_K}, \"query_boxes\": {QUERY_BOXES}, \"knn_queries\": {KNN_QUERIES}, \"knn_k\": {KNN_K}}},\n",
+        ROUNDS * UPDATES_PER_ROUND
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in all_records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+            json_escape(&r.name),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            if i + 1 == all_records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"query_stats\": {\n");
+    for (i, (name, s)) in qb.stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            name,
+            stats_json(s),
+            if i + 1 == qb.stats.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  },\n  \"speedups\": {\n");
+    let pairs = [
+        (
+            "selective_box_planner_vs_plain_intervals",
+            speedup(
+                "box_query_1m_selective/plain_intervals",
+                "box_query_1m_selective/planner",
+            ),
+        ),
+        (
+            "selective_box_planner_vs_plain_bigmin",
+            speedup(
+                "box_query_1m_selective/plain_bigmin",
+                "box_query_1m_selective/planner",
+            ),
+        ),
+        (
+            "selective_box_zone_intervals_vs_plain",
+            speedup(
+                "box_query_1m_selective/plain_intervals",
+                "box_query_1m_selective/zone_intervals",
+            ),
+        ),
+        (
+            "selective_box_zone_bigmin_vs_plain",
+            speedup(
+                "box_query_1m_selective/plain_bigmin",
+                "box_query_1m_selective/zone_bigmin",
+            ),
+        ),
+        ("knn_zone_vs_plain", speedup("knn_1m/plain", "knn_1m/zone")),
+    ];
+    for (i, (name, ratio)) in pairs.iter().enumerate() {
+        match ratio {
+            Some(r) => out.push_str(&format!("    \"{name}\": {r:.3}")),
+            None => out.push_str(&format!("    \"{name}\": null")),
+        }
+        out.push_str(if i + 1 == pairs.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    let mut file = std::fs::File::create(path).expect("create BENCH_store.json");
+    file.write_all(out.as_bytes())
+        .expect("write BENCH_store.json");
+    println!("wrote {path}");
+    for (name, ratio) in pairs {
+        if let Some(r) = ratio {
+            println!("speedup {name}: {r:.2}x");
+        }
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default().sample_size(10);
+    let sc = scenario();
+    let qb = bench_query_paths(&mut criterion, &sc);
+    ingest_benches();
+    let mut all_records = qb.records.clone();
+    all_records.extend(criterion::take_records());
+    write_report(&all_records, &qb);
+}

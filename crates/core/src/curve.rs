@@ -64,6 +64,17 @@ pub trait SpaceFillingCurve<const D: usize> {
         "unnamed".to_string()
     }
 
+    /// The Morton order backing this curve, if this *is* the Z curve
+    /// (possibly behind a reference or smart pointer).
+    ///
+    /// Generic code uses this to unlock Morton-only machinery — BIGMIN
+    /// range jumps, `Z(lo)..Z(hi)` key-range bounds — at runtime without
+    /// needing a `ZCurve`-specialised impl block. Every other curve keeps
+    /// the default `None` and falls back to curve-agnostic strategies.
+    fn as_morton(&self) -> Option<&crate::morton::ZCurve<D>> {
+        None
+    }
+
     /// The paper's `Δπ(α, β) = |π(α) − π(β)|`: the distance between two
     /// cells *along the curve*.
     #[inline]
@@ -203,6 +214,9 @@ macro_rules! impl_curve_for_smart_pointer {
             fn name(&self) -> String {
                 (**self).name()
             }
+            fn as_morton(&self) -> Option<&crate::morton::ZCurve<D>> {
+                (**self).as_morton()
+            }
         }
     )*};
 }
@@ -231,6 +245,9 @@ impl<const D: usize> SpaceFillingCurve<D> for BoxedCurve<D> {
     fn name(&self) -> String {
         (**self).name()
     }
+    fn as_morton(&self) -> Option<&crate::morton::ZCurve<D>> {
+        (**self).as_morton()
+    }
 }
 
 impl<const D: usize, C: SpaceFillingCurve<D> + ?Sized> SpaceFillingCurve<D> for &C {
@@ -251,6 +268,9 @@ impl<const D: usize, C: SpaceFillingCurve<D> + ?Sized> SpaceFillingCurve<D> for 
     }
     fn name(&self) -> String {
         (**self).name()
+    }
+    fn as_morton(&self) -> Option<&crate::morton::ZCurve<D>> {
+        (**self).as_morton()
     }
 }
 

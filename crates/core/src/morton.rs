@@ -180,6 +180,10 @@ impl<const D: usize> SpaceFillingCurve<D> for ZCurve<D> {
     fn name(&self) -> String {
         "Z".to_string()
     }
+
+    fn as_morton(&self) -> Option<&ZCurve<D>> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

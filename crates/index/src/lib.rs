@@ -34,7 +34,22 @@
 //! sorted by a stable LSD **radix sort** over the `d·k` significant key
 //! bits — linear passes with sequential memory traffic, replacing the
 //! comparison sort a naive build would use. Already-sorted columns can be
-//! adopted wholesale with [`SfcIndex::from_sorted`].
+//! adopted wholesale with [`SfcIndex::from_sorted`] (or
+//! [`SfcIndex::from_sorted_versions`] when `None` payloads are
+//! tombstones).
+//!
+//! ## Block summaries (zone maps)
+//!
+//! Every index additionally carries a [`ZoneMap`]: per block of
+//! [`BLOCK_SLOTS`] consecutive slots, a fence key, the per-dimension AABB
+//! of the block's points, and a live (non-tombstone) count, all built in
+//! one pass at construction. Scans consult the summaries before touching
+//! entries: the BIGMIN scan skips blocks whose AABB misses the query box
+//! and bulk-accepts blocks whose AABB lies inside it, jump landings
+//! resolve through the fence array, and kNN candidate collection in
+//! multi-run stores skips all-dead blocks and lower-bounds block
+//! distances. [`QueryStats::blocks_pruned`](QueryStats) /
+//! [`blocks_scanned`](QueryStats) make the effect observable per query.
 //!
 //! ## Choosing a box-query strategy
 //!
@@ -57,7 +72,11 @@
 //! * [`sort_columns`] — batch-encode + stable radix sort: sorted-column
 //!   construction from unsorted records;
 //! * [`interval_scan`] / [`bigmin_scan`] — the two range-scan shapes over
-//!   a bare key slice, with per-level [`QueryStats`] accounting;
+//!   a bare key slice, with per-level [`QueryStats`] accounting
+//!   (galloping seeks and zone-map block pruning respectively; the
+//!   pre-zone-map reference versions survive as
+//!   [`interval_scan_plain`] / [`bigmin_scan_plain`] for differential
+//!   tests and baseline benches);
 //! * [`SfcIndex::from_sorted`] / [`SfcIndex::into_columns`] — adopt and
 //!   release column storage without re-sorting;
 //! * [`SfcIndex::lower_bound`] / [`SfcIndex::find_key`] — key-column
@@ -72,9 +91,11 @@ pub mod query;
 pub mod region;
 pub mod scan;
 pub mod table;
+pub mod zone;
 
 pub use bigmin::{bigmin, litmax};
 pub use query::QueryStats;
 pub use region::BoxRegion;
-pub use scan::{bigmin_scan, interval_scan};
+pub use scan::{bigmin_scan, bigmin_scan_plain, interval_scan, interval_scan_plain};
 pub use table::{sort_columns, EntryRef, SfcIndex};
+pub use zone::{ZoneMap, BLOCK_SLOTS};

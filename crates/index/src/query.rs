@@ -6,7 +6,11 @@
 //! * `seeks` — binary searches / scan restarts (disk seeks in the classic
 //!   secondary-memory model of the paper's reference [9]);
 //! * `scanned` — entries touched by the scan;
-//! * `reported` — entries actually inside the query region.
+//! * `reported` — entries actually inside the query region;
+//! * `blocks_scanned` / `blocks_pruned` — zone-map blocks a scan examined
+//!   versus rejected wholesale from their summaries (fence key, point
+//!   AABB, live count) without touching a single entry — see
+//!   [`ZoneMap`](crate::ZoneMap).
 //!
 //! `scanned / reported` is the **overscan ratio**: 1.0 means the curve laid
 //! the region out perfectly contiguously.
@@ -20,6 +24,11 @@ pub struct QueryStats {
     pub scanned: u64,
     /// Entries matching the query.
     pub reported: u64,
+    /// Zone-map blocks whose entries a scan examined.
+    pub blocks_scanned: u64,
+    /// Zone-map blocks rejected from their summaries alone — their entries
+    /// were never touched.
+    pub blocks_pruned: u64,
 }
 
 impl QueryStats {
@@ -36,6 +45,18 @@ impl QueryStats {
             self.scanned as f64 / self.reported as f64
         }
     }
+
+    /// Accumulates another query's counters into this one — the summation
+    /// every multi-level and multi-shard query path uses, so per-part
+    /// stats always add up to the reported total (see the shard-router
+    /// audit tests).
+    pub fn add(&mut self, other: &QueryStats) {
+        self.seeks += other.seeks;
+        self.scanned += other.scanned;
+        self.reported += other.reported;
+        self.blocks_scanned += other.blocks_scanned;
+        self.blocks_pruned += other.blocks_pruned;
+    }
 }
 
 #[cfg(test)]
@@ -48,6 +69,7 @@ mod tests {
             seeks: 1,
             scanned: 20,
             reported: 10,
+            ..Default::default()
         };
         assert_eq!(q.overscan(), 2.0);
         let empty = QueryStats::default();
@@ -56,7 +78,37 @@ mod tests {
             seeks: 1,
             scanned: 5,
             reported: 0,
+            ..Default::default()
         };
         assert!(miss.overscan().is_infinite());
+    }
+
+    #[test]
+    fn add_sums_every_counter() {
+        let mut a = QueryStats {
+            seeks: 1,
+            scanned: 2,
+            reported: 3,
+            blocks_scanned: 4,
+            blocks_pruned: 5,
+        };
+        let b = QueryStats {
+            seeks: 10,
+            scanned: 20,
+            reported: 30,
+            blocks_scanned: 40,
+            blocks_pruned: 50,
+        };
+        a.add(&b);
+        assert_eq!(
+            a,
+            QueryStats {
+                seeks: 11,
+                scanned: 22,
+                reported: 33,
+                blocks_scanned: 44,
+                blocks_pruned: 55,
+            }
+        );
     }
 }

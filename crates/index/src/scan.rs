@@ -8,21 +8,101 @@
 //! level of every structure; matches are surfaced as column positions
 //! through a `visit` callback and work is accounted in a caller-supplied
 //! [`QueryStats`].
+//!
+//! ## Zone-mapped fast paths
+//!
+//! The production scans exploit the run's [`ZoneMap`]:
+//!
+//! * [`interval_scan`] **gallops** forward from the previous interval's
+//!   resting position instead of binary-searching the whole column per
+//!   interval — intervals arrive sorted, so each seek is an exponential
+//!   probe over the short gap to the next interval, cache-hot for the
+//!   clustered queries a good curve produces.
+//! * [`bigmin_scan`] makes whole-block decisions before touching keys:
+//!   blocks whose point AABB misses the box are **skipped** without a
+//!   single per-key test (`blocks_pruned`), blocks whose AABB lies inside
+//!   the box are **bulk-visited** without per-point filtering, and BIGMIN
+//!   jump landings resolve through the fence array (one small search, one
+//!   in-block search) instead of a whole-tail binary search.
+//!
+//! The pre-zone-map variants are kept as [`interval_scan_plain`] and
+//! [`bigmin_scan_plain`]: they are the reference the zone-mapped scans are
+//! differential-tested against, and the baseline the benches measure the
+//! speedup over.
 
 use crate::bigmin::bigmin;
 use crate::query::QueryStats;
 use crate::region::BoxRegion;
+use crate::zone::ZoneMap;
 use sfc_core::{CurveIndex, Point, ZCurve};
 
+/// First position in `keys[from..]` holding a key ≥ `target`, found by
+/// galloping (exponential probes doubling outward from `from`, then a
+/// binary search inside the bracketed gap). Equivalent to
+/// `from + keys[from..].partition_point(|&k| k < target)` but `O(log gap)`
+/// instead of `O(log remaining)` — and `O(1)` when already in position,
+/// the common case for sorted interval lists.
+fn gallop(keys: &[CurveIndex], from: usize, target: CurveIndex) -> usize {
+    if from >= keys.len() || keys[from] >= target {
+        return from;
+    }
+    // Invariant: keys[prev] < target.
+    let mut prev = from;
+    let mut step = 1usize;
+    loop {
+        let probe = match from.checked_add(step) {
+            Some(p) if p < keys.len() => p,
+            _ => break,
+        };
+        if keys[probe] >= target {
+            break;
+        }
+        prev = probe;
+        step <<= 1;
+    }
+    let end = (from + step).min(keys.len());
+    prev + 1 + keys[prev + 1..end].partition_point(|&k| k < target)
+}
+
 /// Scans a sorted key column for every entry inside the given curve
-/// intervals (each `(lo, hi)` inclusive, as produced by
+/// intervals (each `(lo, hi)` inclusive, sorted ascending, as produced by
 /// [`BoxRegion::curve_intervals`]), calling `visit` with the position of
 /// each match.
 ///
-/// One binary search per interval plus one sequential step per matching
-/// entry; because the intervals are exact, every visited entry is a match
-/// (`scanned == reported` for interval queries).
+/// One seek per interval plus one sequential step per matching entry;
+/// because the intervals are exact, every visited entry is a match
+/// (`scanned == reported` for interval queries). Seeks **gallop** forward
+/// from the previous interval's resting position — see the module docs.
+/// The cursor never rewinds, so the intervals **must** be sorted
+/// ascending and disjoint (as [`BoxRegion::curve_intervals`] produces
+/// them); unsorted input would silently drop matches, hence the debug
+/// assertion.
 pub fn interval_scan(
+    keys: &[CurveIndex],
+    intervals: &[(CurveIndex, CurveIndex)],
+    stats: &mut QueryStats,
+    mut visit: impl FnMut(usize),
+) {
+    debug_assert!(
+        intervals.windows(2).all(|w| w[0].1 < w[1].0),
+        "interval_scan requires ascending disjoint intervals"
+    );
+    let mut i = 0usize;
+    for &(lo, hi) in intervals {
+        stats.seeks += 1;
+        i = gallop(keys, i, lo);
+        while i < keys.len() && keys[i] <= hi {
+            stats.scanned += 1;
+            visit(i);
+            i += 1;
+        }
+    }
+}
+
+/// The pre-zone-map interval scan: one whole-column binary search per
+/// interval. Reference implementation for differential tests and the
+/// baseline the benches compare [`interval_scan`] against.
+pub fn interval_scan_plain(
     keys: &[CurveIndex],
     intervals: &[(CurveIndex, CurveIndex)],
     stats: &mut QueryStats,
@@ -39,15 +119,86 @@ pub fn interval_scan(
     }
 }
 
-/// BIGMIN jumping scan of a sorted Morton-key column (Tropf & Herzog):
-/// scan from `Z(lo)`, and whenever the scan meets an entry outside the
-/// box, compute BIGMIN and restart the scan there with a binary search
-/// over the remaining tail. Calls `visit` with the position of every entry
-/// whose point lies in the box.
+/// BIGMIN jumping scan of a sorted Morton-key column (Tropf & Herzog),
+/// accelerated by the run's [`ZoneMap`]: scan from `Z(lo)`; at each block
+/// boundary decide the whole block at once (skip if its AABB misses the
+/// box, bulk-visit if contained); whenever the per-key scan meets an entry
+/// outside the box, compute BIGMIN and land the jump through the fence
+/// array. Calls `visit` with the position of every entry whose point lies
+/// in the box — the exact same set [`bigmin_scan_plain`] visits.
 ///
-/// `points` must be the point column parallel to `keys`; only positions
-/// under consideration are dereferenced.
+/// `points` must be the point column parallel to `keys` and `zones` the
+/// zone map built over them; only positions under consideration are
+/// dereferenced.
 pub fn bigmin_scan<const D: usize>(
+    z: &ZCurve<D>,
+    keys: &[CurveIndex],
+    points: &[Point<D>],
+    zones: &ZoneMap<D>,
+    b: &BoxRegion<D>,
+    stats: &mut QueryStats,
+    mut visit: impl FnMut(usize),
+) {
+    debug_assert_eq!(keys.len(), points.len(), "column length mismatch");
+    debug_assert_eq!(keys.len(), zones.len(), "zone map built over other columns");
+    let zmin = z.encode(b.lo());
+    let zmax = z.encode(b.hi());
+    stats.seeks += 1;
+    let mut i = zones.lower_bound(keys, zmin);
+    while i < keys.len() {
+        let block = zones.block_of(i);
+        let range = zones.block_range(block);
+        if i == range.start {
+            // Block boundary: decide the whole block at once. The fence is
+            // the block's smallest key, so fence > zmax ends the scan.
+            if zones.fence(block) > zmax {
+                return;
+            }
+            if zones.disjoint(block, b) {
+                stats.blocks_pruned += 1;
+                i = range.end;
+                continue;
+            }
+            stats.blocks_scanned += 1;
+            if zones.contained(block, b) {
+                // Componentwise Morton monotonicity: AABB ⊆ box ⇒ every
+                // key of the block lies in [Z(lo), Z(hi)] — visit all
+                // slots without per-point tests.
+                stats.scanned += range.len() as u64;
+                for slot in range.clone() {
+                    visit(slot);
+                }
+                i = range.end;
+                continue;
+            }
+        }
+        let key = keys[i];
+        if key > zmax {
+            return;
+        }
+        stats.scanned += 1;
+        if b.contains(&points[i]) {
+            visit(i);
+            i += 1;
+        } else {
+            match bigmin(z, key, zmin, zmax) {
+                Some(next) => {
+                    stats.seeks += 1;
+                    // `next > key`, so the fence-accelerated lower bound
+                    // finds the same position as a whole-tail search.
+                    i = zones.lower_bound(keys, next).max(i + 1);
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// The pre-zone-map BIGMIN scan: per-key box tests throughout and
+/// whole-tail binary searches after each jump. Reference implementation
+/// for differential tests and the baseline the benches compare
+/// [`bigmin_scan`] against.
+pub fn bigmin_scan_plain<const D: usize>(
     z: &ZCurve<D>,
     keys: &[CurveIndex],
     points: &[Point<D>],
@@ -89,6 +240,18 @@ mod tests {
     use sfc_core::{Grid, SpaceFillingCurve};
 
     #[test]
+    fn gallop_agrees_with_partition_point() {
+        let keys: Vec<CurveIndex> = vec![0, 2, 2, 5, 7, 9, 12, 12, 12, 40, 41, 100];
+        for from in 0..=keys.len() {
+            for target in 0..=101 {
+                let want = from + keys[from..].partition_point(|&k| k < target);
+                assert_eq!(gallop(&keys, from, target), want, "from={from} t={target}");
+            }
+        }
+        assert_eq!(gallop(&[], 0, 7), 0);
+    }
+
+    #[test]
     fn interval_scan_visits_exactly_the_ranges() {
         let keys: Vec<CurveIndex> = vec![0, 2, 2, 5, 7, 9, 12];
         let mut stats = QueryStats::default();
@@ -97,6 +260,14 @@ mod tests {
         assert_eq!(hits, vec![1, 2, 3, 5]);
         assert_eq!(stats.seeks, 2);
         assert_eq!(stats.scanned, 4);
+        // The galloped scan visits exactly what the plain scan visits.
+        let mut plain_stats = QueryStats::default();
+        let mut plain_hits = Vec::new();
+        interval_scan_plain(&keys, &[(2, 5), (9, 10)], &mut plain_stats, |i| {
+            plain_hits.push(i)
+        });
+        assert_eq!(hits, plain_hits);
+        assert_eq!(stats, plain_stats);
     }
 
     #[test]
@@ -106,17 +277,64 @@ mod tests {
         // All cells, sorted by key (the full curve order).
         let points: Vec<Point<2>> = z.traverse().collect();
         let keys: Vec<CurveIndex> = (0..grid.n()).collect();
+        let zones = ZoneMap::build(&keys, &points, |_| true);
         let b = BoxRegion::new(Point::new([2, 1]), Point::new([6, 5]));
         let mut stats = QueryStats::default();
         let mut hits = Vec::new();
-        bigmin_scan(&z, &keys, &points, &b, &mut stats, |i| hits.push(i));
+        bigmin_scan(&z, &keys, &points, &zones, &b, &mut stats, |i| hits.push(i));
         let expected: Vec<usize> = (0..points.len())
             .filter(|&i| b.contains(&points[i]))
             .collect();
         assert_eq!(hits, expected);
-        assert_eq!(
-            stats.scanned as usize,
-            hits.len() + stats.seeks as usize - 1
-        );
+    }
+
+    #[test]
+    fn zone_mapped_bigmin_visits_exactly_what_plain_does() {
+        // Dense and sparse columns, many box shapes — the zone-mapped scan
+        // must visit byte-identical positions to the plain scan while
+        // pruning blocks.
+        let grid = Grid::<2>::new(5).unwrap(); // 32×32
+        let z = ZCurve::over(grid);
+        for stride in [1u128, 3, 7] {
+            let keys: Vec<CurveIndex> = (0..grid.n()).step_by(stride as usize).collect();
+            let points: Vec<Point<2>> = keys.iter().map(|&k| z.point_of(k)).collect();
+            let zones = ZoneMap::build(&keys, &points, |_| true);
+            for (lo, hi) in [
+                ((0, 0), (31, 31)),
+                ((3, 5), (9, 8)),
+                ((16, 0), (31, 15)),
+                ((30, 30), (31, 31)),
+                ((0, 17), (31, 18)),
+            ] {
+                let b = BoxRegion::new(Point::new([lo.0, lo.1]), Point::new([hi.0, hi.1]));
+                let mut zs = QueryStats::default();
+                let mut zone_hits = Vec::new();
+                bigmin_scan(&z, &keys, &points, &zones, &b, &mut zs, |i| {
+                    zone_hits.push(i)
+                });
+                let mut ps = QueryStats::default();
+                let mut plain_hits = Vec::new();
+                bigmin_scan_plain(&z, &keys, &points, &b, &mut ps, |i| plain_hits.push(i));
+                assert_eq!(zone_hits, plain_hits, "stride={stride} box={b:?}");
+                assert!(zs.scanned <= ps.scanned, "zone scan must not scan more");
+            }
+        }
+    }
+
+    #[test]
+    fn full_grid_box_takes_the_contained_fast_path() {
+        let grid = Grid::<2>::new(4).unwrap();
+        let z = ZCurve::over(grid);
+        let points: Vec<Point<2>> = z.traverse().collect();
+        let keys: Vec<CurveIndex> = (0..grid.n()).collect();
+        let zones = ZoneMap::build(&keys, &points, |_| true);
+        let b = BoxRegion::new(Point::new([0, 0]), Point::new([15, 15]));
+        let mut stats = QueryStats::default();
+        let mut hits = 0usize;
+        bigmin_scan(&z, &keys, &points, &zones, &b, &mut stats, |_| hits += 1);
+        assert_eq!(hits, 256);
+        assert_eq!(stats.blocks_scanned, zones.blocks() as u64);
+        assert_eq!(stats.blocks_pruned, 0);
+        assert_eq!(stats.seeks, 1, "no jump needed inside a contained box");
     }
 }

@@ -24,6 +24,7 @@
 use crate::query::QueryStats;
 use crate::region::BoxRegion;
 use crate::scan::{bigmin_scan, interval_scan};
+use crate::zone::ZoneMap;
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
 
 /// A borrowed view of one record of the index.
@@ -52,6 +53,9 @@ pub struct SfcIndex<const D: usize, T, C: SpaceFillingCurve<D>> {
     keys: Vec<CurveIndex>,
     points: Vec<Point<D>>,
     payloads: Vec<T>,
+    /// Per-block summaries (fence key, point AABB, live count) built at
+    /// construction — see [`ZoneMap`].
+    zones: ZoneMap<D>,
 }
 
 /// An unsigned key type the radix sort can extract 8-bit digits from.
@@ -207,11 +211,27 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
     pub fn build(curve: C, records: impl IntoIterator<Item = (Point<D>, T)>) -> Self {
         let (points, payloads): (Vec<Point<D>>, Vec<T>) = records.into_iter().unzip();
         let (keys, points, payloads) = sort_columns(&curve, points, payloads);
+        Self::assemble(curve, keys, points, payloads, |_| true)
+    }
+
+    /// Shared construction: adopts sorted columns and builds the zone map
+    /// in one pass, with liveness decided per payload (`|_| true` for
+    /// indexes without tombstones). Columns must already satisfy the
+    /// `from_sorted` invariants.
+    fn assemble(
+        curve: C,
+        keys: Vec<CurveIndex>,
+        points: Vec<Point<D>>,
+        payloads: Vec<T>,
+        is_live: impl Fn(&T) -> bool,
+    ) -> Self {
+        let zones = ZoneMap::build(&keys, &points, |slot| is_live(&payloads[slot]));
         Self {
             curve,
             keys,
             points,
             payloads,
+            zones,
         }
     }
 
@@ -241,17 +261,18 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
                 .all(|(&key, &point)| curve.index_of(point) == key),
             "key column disagrees with curve encoding of the point column"
         );
-        Self {
-            curve,
-            keys,
-            points,
-            payloads,
-        }
+        Self::assemble(curve, keys, points, payloads, |_| true)
     }
 
     /// The curve backing this index.
     pub fn curve(&self) -> &C {
         &self.curve
+    }
+
+    /// The per-block summaries (fence keys, point AABBs, live counts)
+    /// built at construction.
+    pub fn zones(&self) -> &ZoneMap<D> {
+        &self.zones
     }
 
     /// The key column, sorted non-decreasing.
@@ -301,10 +322,12 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
         self.keys.is_empty()
     }
 
-    /// First entry position with key ≥ `key` (binary search over the key
-    /// column only).
+    /// First entry position with key ≥ `key`: a fence-array search over
+    /// the zone map followed by one in-block search — two small,
+    /// cache-resident binary searches instead of one whole-column search
+    /// (see [`ZoneMap::lower_bound`]).
     pub fn lower_bound(&self, key: CurveIndex) -> usize {
-        self.keys.partition_point(|&k| k < key)
+        self.zones.lower_bound(&self.keys, key)
     }
 
     /// Position of the first entry with exactly this key, or `None` if the
@@ -336,6 +359,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
             seeks: 1,
             scanned: self.len() as u64,
             reported: out.len() as u64,
+            ..Default::default()
         };
         (out, stats)
     }
@@ -357,6 +381,39 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
     }
 }
 
+impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, Option<T>, C> {
+    /// Builds a *versioned* run from columns already sorted by key, where
+    /// a `None` payload is a tombstone. Identical to
+    /// [`from_sorted`](Self::from_sorted) except that the zone map's
+    /// per-block live counts reflect tombstones, which is what lets
+    /// multi-run structures skip all-dead blocks during candidate
+    /// collection. This is the constructor every LSM-style run goes
+    /// through.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`from_sorted`](Self::from_sorted).
+    pub fn from_sorted_versions(
+        curve: C,
+        keys: Vec<CurveIndex>,
+        points: Vec<Point<D>>,
+        payloads: Vec<Option<T>>,
+    ) -> Self {
+        assert_eq!(keys.len(), points.len(), "column length mismatch");
+        assert_eq!(keys.len(), payloads.len(), "column length mismatch");
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "from_sorted requires keys in non-decreasing order"
+        );
+        debug_assert!(
+            keys.iter()
+                .zip(points.iter())
+                .all(|(&key, &point)| curve.index_of(point) == key),
+            "key column disagrees with curve encoding of the point column"
+        );
+        Self::assemble(curve, keys, points, payloads, Option::is_some)
+    }
+}
+
 impl<const D: usize, T> SfcIndex<D, T, ZCurve<D>> {
     /// Box query by key-range scan with BIGMIN jumps (Tropf & Herzog): scan
     /// from `Z(lo)`; whenever the scan meets an entry outside the box,
@@ -369,9 +426,17 @@ impl<const D: usize, T> SfcIndex<D, T, ZCurve<D>> {
     pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<EntryRef<'_, D, T>>, QueryStats) {
         let mut out = Vec::new();
         let mut stats = QueryStats::default();
-        bigmin_scan(&self.curve, &self.keys, &self.points, b, &mut stats, |i| {
-            out.push(self.entry(i));
-        });
+        bigmin_scan(
+            &self.curve,
+            &self.keys,
+            &self.points,
+            &self.zones,
+            b,
+            &mut stats,
+            |i| {
+                out.push(self.entry(i));
+            },
+        );
         stats.reported = out.len() as u64;
         (out, stats)
     }
@@ -410,6 +475,9 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
             scanned: (hi - lo) as u64,
             ..Default::default()
         };
+        // (knn keeps the simple fixed-window candidate strategy at the
+        // single-run level; the multi-level store's kNN is the one that
+        // exploits the zone map's live counts and distance bounds.)
         // Rank candidates by true distance.
         candidates.sort_by(|&a, &b| {
             q.euclidean_sq(&self.points[a])
@@ -427,8 +495,8 @@ impl<const D: usize, T, C: SpaceFillingCurve<D>> SfcIndex<D, T, C> {
         };
         let ball = BoxRegion::chebyshev_ball(self.curve.grid(), q, radius);
         let (verified, ball_stats) = self.query_box_intervals(&ball);
-        stats.seeks += ball_stats.seeks;
-        stats.scanned += ball_stats.scanned;
+        // `reported` is recomputed below, so summing it here is harmless.
+        stats.add(&ball_stats);
         let mut all = verified;
         all.sort_by(|a, b| {
             q.euclidean_sq(&a.point)

@@ -1,0 +1,342 @@
+//! Block summaries (zone maps) over a sorted run's columns.
+//!
+//! A [`ZoneMap`] cuts a run into fixed-size blocks of [`BLOCK_SLOTS`]
+//! consecutive slots and records, per block:
+//!
+//! * the **fence key** — the block's first (smallest) curve key, so a
+//!   two-level binary search (fence array, then one block) replaces a
+//!   whole-column search with two cache-resident ones;
+//! * the per-dimension **AABB** of the block's points, so a scan can
+//!   reject or wholesale-accept a block against a query box (or lower
+//!   bound its distance to a kNN query) without decoding a single key;
+//! * the **live count** — slots whose payload is not a tombstone, so
+//!   scans that only want live records (kNN candidate collection) can
+//!   skip all-dead blocks outright.
+//!
+//! The summaries are built once at run construction
+//! ([`SfcIndex::from_sorted`](crate::SfcIndex::from_sorted) /
+//! [`from_sorted_versions`](crate::SfcIndex::from_sorted_versions)) in one
+//! sequential pass and are immutable afterwards, exactly like the run
+//! itself. Memory cost is ~0.6 bytes per slot at `D = 2`.
+//!
+//! [`BLOCK_SLOTS`] is the tuning knob: smaller blocks prune more precisely
+//! but cost more fence searches and memory; 64 slots keeps the whole fence
+//! array of a million-record run (~16k entries) inside L2 while one block
+//! spans exactly one or two cache lines of keys.
+
+use sfc_core::{CurveIndex, Point};
+
+use crate::region::BoxRegion;
+
+/// Slots per zone-map block. See the module docs for the tradeoff.
+pub const BLOCK_SLOTS: usize = 64;
+
+/// Per-block summaries of one sorted run: fence keys, point AABBs, live
+/// counts. Built by [`ZoneMap::build`]; immutable afterwards.
+#[derive(Debug, Clone)]
+pub struct ZoneMap<const D: usize> {
+    /// Total slots summarised (the run length).
+    len: usize,
+    /// First key of each block, in block order (ascending).
+    fences: Vec<CurveIndex>,
+    /// Componentwise minimum of each block's points.
+    lo: Vec<Point<D>>,
+    /// Componentwise maximum of each block's points.
+    hi: Vec<Point<D>>,
+    /// Non-tombstone slots per block.
+    live: Vec<u32>,
+    /// Componentwise min over the whole run (meaningful iff `len > 0`).
+    all_lo: Point<D>,
+    /// Componentwise max over the whole run (meaningful iff `len > 0`).
+    all_hi: Point<D>,
+}
+
+impl<const D: usize> ZoneMap<D> {
+    /// Builds the summaries in one pass over parallel `keys` / `points`
+    /// columns (sorted by key). `is_live` reports whether the slot at a
+    /// given position holds a live payload (`|_| true` for indexes without
+    /// tombstones).
+    ///
+    /// # Panics
+    /// Panics if the columns have different lengths.
+    pub fn build(
+        keys: &[CurveIndex],
+        points: &[Point<D>],
+        mut is_live: impl FnMut(usize) -> bool,
+    ) -> Self {
+        assert_eq!(keys.len(), points.len(), "column length mismatch");
+        let len = keys.len();
+        let blocks = len.div_ceil(BLOCK_SLOTS);
+        let mut fences = Vec::with_capacity(blocks);
+        let mut lo = Vec::with_capacity(blocks);
+        let mut hi = Vec::with_capacity(blocks);
+        let mut live = Vec::with_capacity(blocks);
+        let mut all_lo = [u32::MAX; D];
+        let mut all_hi = [0u32; D];
+        for block in 0..blocks {
+            let start = block * BLOCK_SLOTS;
+            let end = (start + BLOCK_SLOTS).min(len);
+            let mut blk_lo = [u32::MAX; D];
+            let mut blk_hi = [0u32; D];
+            let mut blk_live = 0u32;
+            for (slot, point) in points.iter().enumerate().take(end).skip(start) {
+                for axis in 0..D {
+                    let c = point.coord(axis);
+                    blk_lo[axis] = blk_lo[axis].min(c);
+                    blk_hi[axis] = blk_hi[axis].max(c);
+                }
+                blk_live += u32::from(is_live(slot));
+            }
+            for axis in 0..D {
+                all_lo[axis] = all_lo[axis].min(blk_lo[axis]);
+                all_hi[axis] = all_hi[axis].max(blk_hi[axis]);
+            }
+            fences.push(keys[start]);
+            lo.push(Point::new(blk_lo));
+            hi.push(Point::new(blk_hi));
+            live.push(blk_live);
+        }
+        Self {
+            len,
+            fences,
+            lo,
+            hi,
+            live,
+            all_lo: Point::new(all_lo),
+            all_hi: Point::new(all_hi),
+        }
+    }
+
+    /// Total slots summarised.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the map summarises an empty run.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.fences.len()
+    }
+
+    /// The block containing slot `slot`.
+    #[inline]
+    pub fn block_of(&self, slot: usize) -> usize {
+        slot / BLOCK_SLOTS
+    }
+
+    /// The slot range of block `block` (`start..end`, end-exclusive; the
+    /// last block may be short).
+    #[inline]
+    pub fn block_range(&self, block: usize) -> std::ops::Range<usize> {
+        let start = block * BLOCK_SLOTS;
+        start..(start + BLOCK_SLOTS).min(self.len)
+    }
+
+    /// The block's first (smallest) key.
+    #[inline]
+    pub fn fence(&self, block: usize) -> CurveIndex {
+        self.fences[block]
+    }
+
+    /// Non-tombstone slots in the block.
+    #[inline]
+    pub fn live(&self, block: usize) -> u32 {
+        self.live[block]
+    }
+
+    /// `true` iff every slot of the block is a tombstone.
+    #[inline]
+    pub fn is_all_dead(&self, block: usize) -> bool {
+        self.live[block] == 0
+    }
+
+    /// The block's point AABB as inclusive `(lo, hi)` corners.
+    #[inline]
+    pub fn aabb(&self, block: usize) -> (Point<D>, Point<D>) {
+        (self.lo[block], self.hi[block])
+    }
+
+    /// `true` iff the block's AABB and the box share no cell — no slot of
+    /// the block can possibly match the box.
+    #[inline]
+    pub fn disjoint(&self, block: usize, b: &BoxRegion<D>) -> bool {
+        let (lo, hi) = (&self.lo[block], &self.hi[block]);
+        (0..D)
+            .any(|axis| hi.coord(axis) < b.lo().coord(axis) || lo.coord(axis) > b.hi().coord(axis))
+    }
+
+    /// `true` iff the block's AABB lies entirely inside the box — every
+    /// slot of the block matches without a per-point test.
+    #[inline]
+    pub fn contained(&self, block: usize, b: &BoxRegion<D>) -> bool {
+        let (lo, hi) = (&self.lo[block], &self.hi[block]);
+        (0..D).all(|axis| {
+            b.lo().coord(axis) <= lo.coord(axis) && hi.coord(axis) <= b.hi().coord(axis)
+        })
+    }
+
+    /// Lower bound on the squared Euclidean distance from `q` to any point
+    /// of the block (distance to the block's AABB; 0 if `q` is inside it).
+    #[inline]
+    pub fn min_dist_sq(&self, block: usize, q: &Point<D>) -> u64 {
+        let (lo, hi) = (&self.lo[block], &self.hi[block]);
+        let mut acc = 0u64;
+        for axis in 0..D {
+            let c = q.coord(axis);
+            let d = if c < lo.coord(axis) {
+                lo.coord(axis) - c
+            } else if c > hi.coord(axis) {
+                c - hi.coord(axis)
+            } else {
+                0
+            };
+            acc += u64::from(d) * u64::from(d);
+        }
+        acc
+    }
+
+    /// The whole run's point AABB, or `None` for an empty run.
+    pub fn bounds(&self) -> Option<(Point<D>, Point<D>)> {
+        (self.len > 0).then_some((self.all_lo, self.all_hi))
+    }
+
+    /// `true` iff the whole run's AABB misses the box (so every block
+    /// does). `false` for an empty run (nothing to prune — scans of an
+    /// empty run are free anyway).
+    pub fn run_disjoint(&self, b: &BoxRegion<D>) -> bool {
+        self.len > 0
+            && (0..D).any(|axis| {
+                self.all_hi.coord(axis) < b.lo().coord(axis)
+                    || self.all_lo.coord(axis) > b.hi().coord(axis)
+            })
+    }
+
+    /// First slot whose key is ≥ `key`: a binary search over the fence
+    /// array followed by one inside a single block — both arrays small and
+    /// cache-resident, unlike a whole-column search. `keys` must be the
+    /// column this map was built over.
+    pub fn lower_bound(&self, keys: &[CurveIndex], key: CurveIndex) -> usize {
+        // First block whose fence is ≥ key; the answer can also sit in the
+        // tail of the block before it (fence < key ≤ last key).
+        let blk = self.fences.partition_point(|&f| f < key);
+        let start = blk.saturating_sub(1) * BLOCK_SLOTS;
+        let end = (start + BLOCK_SLOTS).min(self.len);
+        let within = keys[start..end].partition_point(|&k| k < key);
+        start + within
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfc_core::{Grid, SpaceFillingCurve, ZCurve};
+
+    fn sorted_columns(n: usize) -> (Vec<CurveIndex>, Vec<Point<2>>, ZCurve<2>) {
+        let z = ZCurve::<2>::new(5).unwrap();
+        let mut rows: Vec<(CurveIndex, Point<2>)> = (0..n)
+            .map(|i| {
+                let p = Point::new([(i as u32 * 7) % 32, (i as u32 * 13) % 32]);
+                (z.index_of(p), p)
+            })
+            .collect();
+        rows.sort_by_key(|&(k, _)| k);
+        let (keys, points) = rows.into_iter().unzip();
+        (keys, points, z)
+    }
+
+    #[test]
+    fn build_covers_all_slots_and_counts_live() {
+        let (keys, points, _) = sorted_columns(200);
+        let zm = ZoneMap::build(&keys, &points, |slot| slot % 3 != 0);
+        assert_eq!(zm.len(), 200);
+        assert_eq!(zm.blocks(), 200usize.div_ceil(BLOCK_SLOTS));
+        let mut covered = 0usize;
+        let mut live = 0u32;
+        for b in 0..zm.blocks() {
+            let r = zm.block_range(b);
+            assert_eq!(zm.fence(b), keys[r.start]);
+            covered += r.len();
+            live += zm.live(b);
+            let (lo, hi) = zm.aabb(b);
+            for slot in r {
+                assert_eq!(zm.block_of(slot), b);
+                for axis in 0..2 {
+                    assert!(lo.coord(axis) <= points[slot].coord(axis));
+                    assert!(points[slot].coord(axis) <= hi.coord(axis));
+                }
+            }
+        }
+        assert_eq!(covered, 200);
+        assert_eq!(live, (0..200).filter(|s| s % 3 != 0).count() as u32);
+        let (all_lo, all_hi) = zm.bounds().unwrap();
+        for axis in 0..2 {
+            assert!(points.iter().all(|p| p.coord(axis) >= all_lo.coord(axis)));
+            assert!(points.iter().all(|p| p.coord(axis) <= all_hi.coord(axis)));
+        }
+    }
+
+    #[test]
+    fn lower_bound_matches_whole_column_search() {
+        let (keys, points, _) = sorted_columns(500);
+        let zm = ZoneMap::build(&keys, &points, |_| true);
+        let grid = Grid::<2>::new(5).unwrap();
+        for key in 0..grid.n() {
+            assert_eq!(
+                zm.lower_bound(&keys, key),
+                keys.partition_point(|&k| k < key),
+                "key {key}"
+            );
+        }
+        // Past the last key.
+        assert_eq!(zm.lower_bound(&keys, grid.n() + 10), keys.len());
+    }
+
+    #[test]
+    fn disjoint_contained_and_distance_are_consistent_with_points() {
+        let (keys, points, _) = sorted_columns(300);
+        let zm = ZoneMap::build(&keys, &points, |_| true);
+        let boxes = [
+            BoxRegion::new(Point::new([0, 0]), Point::new([31, 31])),
+            BoxRegion::new(Point::new([4, 9]), Point::new([11, 14])),
+            BoxRegion::new(Point::new([30, 30]), Point::new([31, 31])),
+        ];
+        for b in &boxes {
+            for block in 0..zm.blocks() {
+                let slots = zm.block_range(block);
+                let any_in = slots.clone().any(|s| b.contains(&points[s]));
+                let all_in = slots.clone().all(|s| b.contains(&points[s]));
+                if zm.disjoint(block, b) {
+                    assert!(!any_in, "disjoint block {block} intersects {b:?}");
+                }
+                if zm.contained(block, b) {
+                    assert!(all_in, "contained block {block} leaks out of {b:?}");
+                }
+                let q = Point::new([7, 21]);
+                let bound = zm.min_dist_sq(block, &q);
+                for s in slots {
+                    assert!(bound <= q.euclidean_sq(&points[s]));
+                }
+            }
+            // run_disjoint is AABB-level: it may report false while every
+            // point still misses the box, but never the reverse.
+            if zm.run_disjoint(b) {
+                assert!(points.iter().all(|p| !b.contains(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_zone_map() {
+        let zm: ZoneMap<2> = ZoneMap::build(&[], &[], |_| true);
+        assert!(zm.is_empty());
+        assert_eq!(zm.blocks(), 0);
+        assert!(zm.bounds().is_none());
+        let b = BoxRegion::new(Point::new([0, 0]), Point::new([3, 3]));
+        assert!(!zm.run_disjoint(&b));
+        assert_eq!(zm.lower_bound(&[], 5), 0);
+    }
+}

@@ -53,10 +53,10 @@ pub mod prelude {
         CurveIndex, CurveKind, DiagonalCurve, GrayCurve, Grid, HilbertCurve, PermutationCurve,
         Point, SimpleCurve, SnakeCurve, SpaceFillingCurve, SpiralCurve, ZCurve,
     };
-    pub use sfc_index::{BoxRegion, SfcIndex};
+    pub use sfc_index::{BoxRegion, QueryStats, SfcIndex, ZoneMap};
     pub use sfc_metrics::nn_stretch::NnStretchSummary;
     pub use sfc_partition::{Partition, TrafficWeights, WeightedGrid, Workload};
-    pub use sfc_store::{SfcStore, ShardedSfcStore, StoreSnapshot};
+    pub use sfc_store::{LevelStrategy, QueryPlan, SfcStore, ShardedSfcStore, StoreSnapshot};
 }
 
 #[cfg(test)]

@@ -37,6 +37,42 @@
 //!    [`SfcStore::iter`] exposes the same merged view as a snapshot
 //!    iterator in curve order.
 //!
+//! ## Zone maps and the adaptive query planner
+//!
+//! Every run carries the block summaries of
+//! [`sfc_index::ZoneMap`] — per 64-slot block, a fence key, the point
+//! AABB, and a live (non-tombstone) count — built once at flush/merge
+//! time. The query paths lean on them end-to-end:
+//!
+//! * **Run pruning.** A run whose key range misses the query's curve span,
+//!   or whose AABB misses the box, is skipped without a single seek
+//!   (`QueryStats::blocks_pruned` counts what was skipped).
+//! * **Block pruning.** Inside a BIGMIN scan, blocks whose AABB misses
+//!   the box are stepped over and blocks contained in the box are
+//!   bulk-accepted — no per-key decode or filter either way; interval
+//!   seeks gallop forward from the previous interval's position instead
+//!   of re-searching the whole column.
+//! * **kNN.** Candidate collection skips all-dead blocks, stops a walk at
+//!   blocks whose AABB distance lower bound cannot tighten the current
+//!   k-th best (a thread-local top-k distance heap replaces per-query
+//!   candidate vectors), and the verification ball runs through the box
+//!   planner.
+//! * **The planner.** [`SfcStore::query_box`] picks intervals-vs-BIGMIN
+//!   **per level** from run statistics instead of forcing one strategy
+//!   store-wide: non-Morton curves always decompose; Morton boxes larger
+//!   than [`INTERVAL_VOLUME_CUTOFF`] cells skip decomposition and jump;
+//!   otherwise a run holding fewer slots inside the box's key span than
+//!   there are intervals is jump-scanned while bigger runs gallop the
+//!   interval list. [`SfcStore::plan_box_query`] exposes the chosen
+//!   [`QueryPlan`]; `examples/query_planner.rs` prints it live. The
+//!   sharded router makes the decompose decision once, clips intervals
+//!   per shard, and lets every shard plan its own levels.
+//!
+//! The fixed-strategy entry points (`query_box_intervals`,
+//! `query_box_bigmin`) remain for callers that know their workload; the
+//! pre-zone-map implementations survive as hidden `*_plain` methods used
+//! by the differential tests and as the benchmark baseline.
+//!
 //! Amortised write cost is `O(log² n)` comparisons per update (memtable
 //! insert plus a geometric cascade of sequential merges); the run count is
 //! bounded by `O(log n)`, which bounds per-query overhead. Streaming 100k
@@ -101,4 +137,4 @@ mod view;
 pub use shard::{ShardedSfcStore, ShardedSnapshot};
 pub use snapshot::StoreSnapshot;
 pub use store::{SfcStore, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
-pub use view::SnapshotIter;
+pub use view::{LevelStrategy, QueryPlan, SnapshotIter, INTERVAL_VOLUME_CUTOFF};

@@ -82,7 +82,9 @@ pub(crate) fn merge_runs<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clo
             payloads.push(slot);
         }
     }
-    SfcIndex::from_sorted(curve.clone(), keys, points, payloads)
+    // `from_sorted_versions` rebuilds the zone map with tombstone-aware
+    // live counts for the merged run.
+    SfcIndex::from_sorted_versions(curve.clone(), keys, points, payloads)
 }
 
 #[cfg(test)]
@@ -101,7 +103,9 @@ mod tests {
         rows.sort_by_key(|&(k, _, _)| k);
         let (keys, rest): (Vec<_>, Vec<_>) = rows.into_iter().map(|(k, p, v)| (k, (p, v))).unzip();
         let (points, payloads) = rest.into_iter().unzip();
-        Arc::new(SfcIndex::from_sorted(curve, keys, points, payloads))
+        Arc::new(SfcIndex::from_sorted_versions(
+            curve, keys, points, payloads,
+        ))
     }
 
     #[test]

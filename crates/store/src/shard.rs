@@ -28,14 +28,9 @@ use sfc_partition::{Partition, TrafficWeights};
 
 use crate::snapshot::StoreSnapshot;
 use crate::store::{SfcStore, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
-use crate::view::{rank_by_distance, verification_radius, LevelsView};
-
-/// Sums per-shard query work into the fan-out total.
-fn add_stats(total: &mut QueryStats, shard: QueryStats) {
-    total.seeks += shard.seeks;
-    total.scanned += shard.scanned;
-    total.reported += shard.reported;
-}
+use crate::view::{
+    radius_from_heap, rank_by_distance, should_decompose, with_knn_heap, LevelsView,
+};
 
 /// Clips sorted inclusive intervals to the half-open range `start..end`,
 /// keeping only the non-empty intersections.
@@ -82,7 +77,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> ShardsView<'a, D, T, C> {
             }
             let (hits, shard_stats) = shard.query_intervals(&clipped);
             out.extend(hits);
-            add_stats(&mut stats, shard_stats);
+            stats.add(&shard_stats);
         }
         stats.reported = out.len() as u64;
         (out, stats)
@@ -94,9 +89,50 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> ShardsView<'a, D, T, C> {
         self.query_intervals(&b.curve_intervals(self.curve))
     }
 
-    /// Exact kNN: live candidates gathered per shard with the widened
-    /// per-level windows, the k-th best bounds the verification radius,
-    /// the Chebyshev ball fans out as an interval query.
+    /// Box query through the adaptive planner: the decompose-or-not
+    /// decision (and the decomposition itself) happens **once** at the
+    /// router, each intersecting shard receives the interval list clipped
+    /// to its range and plans its own levels from its own run statistics —
+    /// the bottom-heavy shard may gallop intervals while a freshly
+    /// rebalanced neighbor BIGMIN-scans its small runs.
+    fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let intervals =
+            should_decompose(self.curve, b.volume()).then(|| b.curve_intervals(self.curve));
+        let zrange = self
+            .curve
+            .as_morton()
+            .map(|z| (z.encode(b.lo()), z.encode(b.hi())));
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        for (j, shard) in self.shards.iter().enumerate() {
+            let range = self.partition.range(j);
+            if range.is_empty() {
+                continue;
+            }
+            if let Some((zmin, zmax)) = zrange {
+                if range.start > zmax || range.end <= zmin {
+                    continue;
+                }
+            }
+            let clipped = intervals.as_ref().map(|iv| clip_intervals(iv, &range));
+            if let Some(civ) = &clipped {
+                if civ.is_empty() {
+                    continue;
+                }
+            }
+            let plan = shard.plan_box_with(b, clipped);
+            let (hits, shard_stats) = shard.execute_plan(b, &plan);
+            out.extend(hits);
+            stats.add(&shard_stats);
+        }
+        stats.reported = out.len() as u64;
+        (out, stats)
+    }
+
+    /// Exact kNN: live candidates gathered per shard into the shared
+    /// top-k distance heap (zone-map live counts and AABB distance bounds
+    /// sharpen each shard's walk), the k-th best bounds the verification
+    /// radius, and the Chebyshev ball fans out through the planner.
     fn knn(
         &self,
         q: Point<D>,
@@ -105,17 +141,15 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> ShardsView<'a, D, T, C> {
     ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
         let key = self.curve.index_of(q);
         let mut stats = QueryStats::default();
-        let mut candidates: Vec<(u64, CurveIndex)> = Vec::new();
-        for shard in &self.shards {
-            candidates.extend(shard.knn_candidates(q, key, k, window, &mut stats));
-        }
-        candidates.sort_unstable();
-        candidates.truncate(k);
-        let radius = verification_radius(self.curve.grid(), &candidates, k);
+        let radius = with_knn_heap(|heap| {
+            for shard in &self.shards {
+                shard.knn_collect(q, key, k, window, heap, &mut stats);
+            }
+            radius_from_heap(self.curve.grid(), heap, k)
+        });
         let ball = BoxRegion::chebyshev_ball(self.curve.grid(), q, radius);
-        let (all, ball_stats) = self.query_box_intervals(&ball);
-        stats.seeks += ball_stats.seeks;
-        stats.scanned += ball_stats.scanned;
+        let (all, ball_stats) = self.query_box(&ball);
+        stats.add(&ball_stats);
         let all = rank_by_distance(all, q, k);
         stats.reported = all.len() as u64;
         (all, stats)
@@ -137,7 +171,7 @@ impl<'a, const D: usize, T> ShardsView<'a, D, T, ZCurve<D>> {
             }
             let (hits, shard_stats) = shard.query_box_bigmin(b);
             out.extend(hits);
-            add_stats(&mut stats, shard_stats);
+            stats.add(&shard_stats);
         }
         stats.reported = out.len() as u64;
         (out, stats)
@@ -343,6 +377,14 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<D, T, C
             partition: &self.partition,
             shards: self.shards.iter().map(SfcStore::view).collect(),
         }
+    }
+
+    /// Box query through the adaptive planner, fanned out to intersecting
+    /// shards only: the decompose decision happens once at the router,
+    /// each shard receives its clipped interval list and plans its own
+    /// levels — see [`SfcStore::query_box`].
+    pub fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.shards_view().query_box(b)
     }
 
     /// Box query via exact interval decomposition: the intervals are
@@ -582,6 +624,12 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardedSnapshot<D, T, C
             partition: &self.partition,
             shards: self.shards.iter().map(StoreSnapshot::view).collect(),
         }
+    }
+
+    /// Box query through the adaptive planner, fanned out to intersecting
+    /// shards only — see [`ShardedSfcStore::query_box`].
+    pub fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.shards_view().query_box(b)
     }
 
     /// Box query via exact interval decomposition, fanned out to
@@ -915,6 +963,119 @@ mod tests {
         let frozen = store.snapshot();
         assert!(frozen.is_empty());
         assert!(frozen.query_box_intervals(&b).0.is_empty());
+    }
+
+    /// Satellite audit: the router's reported [`QueryStats`] must be the
+    /// exact sum of the per-shard stats it fanned out to — seeks, scanned,
+    /// reported, and the zone-map block counters — for every query path.
+    #[test]
+    fn router_stats_are_the_sum_of_per_shard_stats() {
+        let (sharded, _) = paired_stores(4, 900, 77);
+        let grid = sharded.curve().grid();
+        let mut rng = rng(5);
+        for _ in 0..20 {
+            let a = grid.random_cell(&mut rng);
+            let c = grid.random_cell(&mut rng);
+            let lo = Point::new([a.coord(0).min(c.coord(0)), a.coord(1).min(c.coord(1))]);
+            let hi = Point::new([a.coord(0).max(c.coord(0)), a.coord(1).max(c.coord(1))]);
+            let b = BoxRegion::new(lo, hi);
+
+            // BIGMIN path: the router consults exactly the shards whose
+            // range intersects [Z(lo), Z(hi)].
+            let z = sharded.curve();
+            let (zmin, zmax) = (z.encode(b.lo()), z.encode(b.hi()));
+            let (_, router) = sharded.query_box_bigmin(&b);
+            let mut manual = QueryStats::default();
+            for (j, shard) in sharded.shards().iter().enumerate() {
+                let range = sharded.partition().range(j);
+                if range.is_empty() || range.start > zmax || range.end <= zmin {
+                    continue;
+                }
+                let (_, s) = shard.query_box_bigmin(&b);
+                manual.add(&s);
+            }
+            // The router recomputes `reported` from the concatenated hits;
+            // the per-shard reported counts must sum to the same number.
+            assert_eq!(router.reported, manual.reported, "reported sum, bigmin");
+            assert_eq!(router, manual, "bigmin stats drifted on {b:?}");
+
+            // Interval path: the router hands each shard its clipped list.
+            let intervals = b.curve_intervals(z);
+            let (_, router) = sharded.query_box_intervals(&b);
+            let mut manual = QueryStats::default();
+            let mut manual_reported = 0u64;
+            for (j, shard) in sharded.shards().iter().enumerate() {
+                let range = sharded.partition().range(j);
+                if range.is_empty() {
+                    continue;
+                }
+                let clipped = clip_intervals(&intervals, &range);
+                if clipped.is_empty() {
+                    continue;
+                }
+                let (hits, s) = shard.query_intervals(&clipped);
+                manual_reported += hits.len() as u64;
+                manual.add(&s);
+            }
+            assert_eq!(router.reported, manual.reported, "reported sum, intervals");
+            assert_eq!(router, manual, "interval stats drifted on {b:?}");
+            assert_eq!(
+                router.reported, manual_reported,
+                "per-shard reported counts must sum to the router's"
+            );
+            // Overscan is consistent with the summed counters.
+            assert_eq!(router.overscan(), manual.overscan());
+
+            // Planner path: replicate the router's per-shard plan+execute.
+            let (_, router) = sharded.query_box(&b);
+            let decomposed =
+                crate::view::should_decompose(z, b.volume()).then(|| b.curve_intervals(z));
+            let mut manual = QueryStats::default();
+            for (j, shard) in sharded.shards().iter().enumerate() {
+                let range = sharded.partition().range(j);
+                if range.is_empty() || range.start > zmax || range.end <= zmin {
+                    continue;
+                }
+                let clipped = decomposed.as_ref().map(|iv| clip_intervals(iv, &range));
+                if let Some(civ) = &clipped {
+                    if civ.is_empty() {
+                        continue;
+                    }
+                }
+                let view = shard.view();
+                let plan = view.plan_box_with(&b, clipped);
+                let (_, s) = view.execute_plan(&b, &plan);
+                manual.add(&s);
+            }
+            assert_eq!(router.reported, manual.reported, "reported sum, planner");
+            assert_eq!(router, manual, "planner stats drifted on {b:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_planner_is_byte_identical_to_single_store() {
+        for parts in [1usize, 3, 5] {
+            let (sharded, single) = paired_stores(parts, 700, 120 + parts as u64);
+            let grid = sharded.curve().grid();
+            let mut rng = rng(8);
+            for _ in 0..20 {
+                let a = grid.random_cell(&mut rng);
+                let c = grid.random_cell(&mut rng);
+                let lo = Point::new([a.coord(0).min(c.coord(0)), a.coord(1).min(c.coord(1))]);
+                let hi = Point::new([a.coord(0).max(c.coord(0)), a.coord(1).max(c.coord(1))]);
+                let b = BoxRegion::new(lo, hi);
+                assert_eq!(
+                    flat(sharded.query_box(&b).0),
+                    flat(single.query_box(&b).0),
+                    "planner, parts={parts}"
+                );
+                assert_eq!(
+                    flat(sharded.query_box(&b).0),
+                    flat(single.query_box_intervals(&b).0),
+                    "planner vs fixed intervals, parts={parts}"
+                );
+            }
+        }
     }
 
     #[test]

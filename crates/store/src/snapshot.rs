@@ -17,7 +17,7 @@ use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::{BoxRegion, QueryStats, SfcIndex};
 
 use crate::store::StoreEntryRef;
-use crate::view::{LevelsView, Run, SnapshotIter};
+use crate::view::{LevelsView, QueryPlan, Run, SnapshotIter};
 
 /// A frozen, queryable view of one store's contents at snapshot time.
 ///
@@ -75,6 +75,18 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> StoreSnapshot<D, T, C> 
         self.view()
             .version(self.curve.index_of(p))
             .and_then(|v| v.map(|(_, t)| t))
+    }
+
+    /// Box query through the adaptive planner — see
+    /// [`SfcStore::query_box`](crate::SfcStore::query_box).
+    pub fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.view().query_box(b)
+    }
+
+    /// The per-level plan [`query_box`](Self::query_box) would execute —
+    /// see [`SfcStore::plan_box_query`](crate::SfcStore::plan_box_query).
+    pub fn plan_box_query(&self, b: &BoxRegion<D>) -> QueryPlan {
+        self.view().plan_box(b)
     }
 
     /// Box query via exact interval decomposition — see

@@ -9,7 +9,7 @@ use sfc_index::{sort_columns, BoxRegion, QueryStats, SfcIndex};
 
 use crate::merge::merge_runs;
 use crate::snapshot::StoreSnapshot;
-use crate::view::{LevelsView, Memtable, Run, SnapshotIter};
+use crate::view::{LevelsView, Memtable, QueryPlan, Run, SnapshotIter};
 
 /// Memtable entries buffered before an automatic flush, unless overridden
 /// with [`SfcStore::with_memtable_capacity`].
@@ -126,7 +126,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
         let runs = if live == 0 {
             Vec::new()
         } else {
-            vec![Arc::new(SfcIndex::from_sorted(
+            vec![Arc::new(SfcIndex::from_sorted_versions(
                 curve.clone(),
                 keys,
                 points,
@@ -193,6 +193,25 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
             .and_then(|v| v.map(|(_, t)| t))
     }
 
+    /// Box query through the **adaptive planner**: per level, the planner
+    /// picks between walking the box's exact curve intervals and BIGMIN
+    /// key-range jumping (Morton order only) from the level's statistics —
+    /// size within the box's key span, interval count, curve — and prunes
+    /// levels whose key range or zone-map AABB cannot intersect the box.
+    /// Results are byte-identical to either fixed strategy; see the
+    /// [`view` module docs](crate::QueryPlan) for the heuristics and
+    /// [`plan_box_query`](Self::plan_box_query) to inspect the choices.
+    pub fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.view().query_box(b)
+    }
+
+    /// The per-level plan [`query_box`](Self::query_box) would execute for
+    /// this box right now — for observability and tuning; executing the
+    /// query later plans afresh.
+    pub fn plan_box_query(&self, b: &BoxRegion<D>) -> QueryPlan {
+        self.view().plan_box(b)
+    }
+
     /// Box query via exact interval decomposition, spanning all levels:
     /// the intervals are computed **once** and scanned against the
     /// memtable and every run
@@ -203,6 +222,37 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
         b: &BoxRegion<D>,
     ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
         self.view().query_box_intervals(b)
+    }
+
+    /// Pre-zone-map interval query (whole-column seeks per interval, no
+    /// run pruning). Kept as the reference the zone-mapped paths are
+    /// differential-tested against and the baseline the benches measure;
+    /// not part of the supported API.
+    #[doc(hidden)]
+    pub fn query_box_intervals_plain(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.view()
+            .query_intervals_plain(&b.curve_intervals(&self.curve))
+    }
+
+    /// Pre-zone-map kNN (fixed candidate windows, interval-decomposed
+    /// verification ball). Kept as the reference the zone-mapped kNN is
+    /// differential-tested against and the baseline the benches measure;
+    /// not part of the supported API.
+    #[doc(hidden)]
+    pub fn knn_plain(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        assert!(k >= 1, "k must be at least 1");
+        if self.is_empty() {
+            return (Vec::new(), QueryStats::default());
+        }
+        self.view().knn_plain(q, k, window)
     }
 
     /// Queries all levels for keys inside the given inclusive curve-index
@@ -334,7 +384,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
             payloads.push(slot);
         }
         if !keys.is_empty() {
-            self.runs.push(Arc::new(SfcIndex::from_sorted(
+            self.runs.push(Arc::new(SfcIndex::from_sorted_versions(
                 self.curve.clone(),
                 keys,
                 points,
@@ -416,6 +466,18 @@ impl<const D: usize, T> SfcStore<D, T, ZCurve<D>> {
     /// past the last curve index.
     pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
         self.view().query_box_bigmin(b)
+    }
+
+    /// Pre-zone-map BIGMIN query (no run pruning, whole-tail jump
+    /// searches). Kept as the reference the zone-mapped paths are
+    /// differential-tested against and the baseline the benches measure;
+    /// not part of the supported API.
+    #[doc(hidden)]
+    pub fn query_box_bigmin_plain(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.view().query_box_bigmin_plain(b)
     }
 }
 
@@ -668,6 +730,102 @@ mod tests {
             assert!(w[0] >= 2 * w[1], "size tiers violated: {lens:?}");
         }
         assert!(lens.len() <= 8, "too many runs: {lens:?}");
+    }
+
+    #[test]
+    fn planner_matches_both_fixed_strategies_and_plain_paths() {
+        let grid = Grid::<2>::new(6).unwrap(); // 64×64
+        let mut rng = rng(21);
+        let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 32);
+        for i in 0..2_500u32 {
+            let p = grid.random_cell(&mut rng);
+            if i % 6 == 5 {
+                store.delete(p);
+            } else {
+                store.insert(p, i);
+            }
+        }
+        assert!(store.run_lens().len() >= 2, "want a multi-run store");
+        let flat = |v: Vec<StoreEntryRef<'_, 2, u32>>| {
+            v.into_iter()
+                .map(|e| (e.key, e.point, *e.payload))
+                .collect::<Vec<_>>()
+        };
+        for _ in 0..40 {
+            let a = grid.random_cell(&mut rng);
+            let c = grid.random_cell(&mut rng);
+            let lo = Point::new([a.coord(0).min(c.coord(0)), a.coord(1).min(c.coord(1))]);
+            let hi = Point::new([a.coord(0).max(c.coord(0)), a.coord(1).max(c.coord(1))]);
+            let b = BoxRegion::new(lo, hi);
+            let want = flat(store.query_box_intervals(&b).0);
+            assert_eq!(flat(store.query_box(&b).0), want, "planner vs intervals");
+            assert_eq!(
+                flat(store.query_box_bigmin(&b).0),
+                want,
+                "bigmin vs intervals"
+            );
+            assert_eq!(
+                flat(store.query_box_intervals_plain(&b).0),
+                want,
+                "plain intervals drifted"
+            );
+            assert_eq!(
+                flat(store.query_box_bigmin_plain(&b).0),
+                want,
+                "plain bigmin drifted"
+            );
+            let q = grid.random_cell(&mut rng);
+            assert_eq!(
+                flat(store.knn(q, 5, 3).0),
+                flat(store.knn_plain(q, 5, 3).0),
+                "knn vs knn_plain at {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn planner_adapts_decomposition_to_volume_and_levels_to_run_size() {
+        let grid = Grid::<2>::new(10).unwrap(); // 1024×1024
+        let mut rng = rng(33);
+        let mut store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 256);
+        for i in 0..20_000u32 {
+            store.insert(grid.random_cell(&mut rng), i);
+        }
+        store.flush();
+        assert!(store.run_lens().len() >= 2, "want a multi-run store");
+        // A tiny box decomposes; every non-pruned run picks a strategy.
+        let small = BoxRegion::new(Point::new([100, 100]), Point::new([107, 107]));
+        let plan = store.plan_box_query(&small);
+        assert_eq!(plan.volume, 64);
+        let count = plan.interval_count().expect("tiny Z boxes decompose");
+        assert!(count >= 1);
+        assert_eq!(plan.runs.len(), store.run_lens().len());
+        // A bigger box skips decomposition outright: all levels jump.
+        let huge = BoxRegion::new(Point::new([0, 0]), Point::new([767, 767]));
+        let plan = store.plan_box_query(&huge);
+        assert!(plan.interval_count().is_none(), "oversized box decomposed");
+        assert!(plan
+            .runs
+            .iter()
+            .all(|s| *s == crate::LevelStrategy::Bigmin || *s == crate::LevelStrategy::Pruned));
+        // A box outside every run's AABB prunes everything (records only
+        // populate random cells; an empty corner may not exist — so build
+        // one deliberately).
+        let mut corner_store = SfcStore::with_memtable_capacity(ZCurve::over(grid), 8);
+        for i in 0..64u32 {
+            corner_store.insert(Point::new([i % 8, i / 8]), i);
+        }
+        corner_store.flush();
+        let far = BoxRegion::new(Point::new([900, 900]), Point::new([905, 905]));
+        let plan = corner_store.plan_box_query(&far);
+        assert!(
+            plan.runs.iter().all(|s| *s == crate::LevelStrategy::Pruned),
+            "far box must prune every run: {plan:?}"
+        );
+        let (hits, stats) = corner_store.query_box(&far);
+        assert!(hits.is_empty());
+        assert_eq!(stats.scanned, 0, "pruned runs must not scan");
+        assert!(stats.blocks_pruned > 0, "pruning must be observable");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The shared multi-level query engine.
+//! The shared multi-level query engine and the adaptive query planner.
 //!
 //! An [`SfcStore`](crate::SfcStore) reads merge a mutable memtable with a
 //! stack of immutable runs; a [`StoreSnapshot`](crate::StoreSnapshot)
@@ -7,15 +7,68 @@
 //! summed into one [`QueryStats`] — so it lives here once, expressed over
 //! a [`LevelsView`]: an optional borrowed memtable plus a slice of
 //! `Arc`-shared runs.
+//!
+//! ## The adaptive box-query planner
+//!
+//! A box query has two exact execution strategies per level — walking the
+//! box's precomputed curve intervals, or BIGMIN key-range jumping (Morton
+//! order only) — and their costs scale differently: intervals pay
+//! `O(volume · log volume)` preprocessing once plus one galloped seek per
+//! interval per level, BIGMIN pays nothing up front but re-derives the
+//! box structure per level through jump computations. Forcing one
+//! strategy store-wide (the old `query_box_intervals` / `query_box_bigmin`
+//! dichotomy, both still available) leaves work on the table: a store
+//! usually holds one huge bottom run *and* several small recent runs, and
+//! the right answer differs per run.
+//!
+//! [`LevelsView::plan_box`] picks per level, from run statistics:
+//!
+//! 1. **Decompose or not.** Non-Morton curves always decompose (intervals
+//!    are their only exact strategy). The Z curve decomposes only when the
+//!    box volume is at most [`INTERVAL_VOLUME_CUTOFF`] cells — beyond
+//!    that, enumerating the box costs more than BIGMIN-scanning every
+//!    level.
+//! 2. **Prune.** A run whose key range misses the box's curve span, or
+//!    whose zone-map AABB misses the box outright, is skipped wholesale
+//!    ([`LevelStrategy::Pruned`], counted in
+//!    [`QueryStats::blocks_pruned`]).
+//! 3. **Per-run choice.** With intervals in hand, a run estimated (via two
+//!    fence-array searches) to hold fewer slots inside the box's key span
+//!    than there are intervals is BIGMIN-scanned — a short jumping scan
+//!    beats issuing one seek per interval against a table that small. The
+//!    memtable makes the same choice against its total size.
+//!
+//! The resulting [`QueryPlan`] is observable through
+//! [`SfcStore::plan_box_query`](crate::SfcStore::plan_box_query) (see
+//! `examples/query_planner.rs`), and every executed strategy records
+//! zone-map block work in `blocks_scanned` / `blocks_pruned`.
 
-use std::collections::{btree_map, BTreeMap};
+use std::cell::RefCell;
+use std::collections::{btree_map, BTreeMap, BinaryHeap};
 use std::fmt;
 use std::sync::Arc;
 
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
-use sfc_index::{bigmin, bigmin_scan, interval_scan, BoxRegion, QueryStats, SfcIndex};
+use sfc_index::{
+    bigmin, bigmin_scan, bigmin_scan_plain, interval_scan, interval_scan_plain, BoxRegion,
+    QueryStats, SfcIndex,
+};
 
 use crate::store::StoreEntryRef;
+
+/// Boxes with at most this many cells are decomposed into exact curve
+/// intervals when planning a Morton-order box query; larger boxes run on
+/// BIGMIN jumps alone. Non-Morton curves always decompose (it is their
+/// only exact strategy).
+///
+/// The threshold is deliberately low: decomposition costs one encode plus
+/// an `O(volume log volume)` sort *per query*, while the zone-accelerated
+/// BIGMIN scan re-derives the same structure lazily per level at a few
+/// jumps per key-range island — measured on a multi-run million-record
+/// store, jumping overtakes decomposition well before a hundred cells.
+/// Tiny boxes (point-ish lookups) still profit from the zero-overscan
+/// interval walk, which is where the per-level choice below kicks in.
+pub const INTERVAL_VOLUME_CUTOFF: u128 = 64;
 
 /// The newest-level table: key → (cell, payload-or-tombstone).
 pub(crate) type Memtable<const D: usize, T> = BTreeMap<CurveIndex, (Point<D>, Option<T>)>;
@@ -25,6 +78,106 @@ pub(crate) type Run<const D: usize, T, C> = Arc<SfcIndex<D, Option<T>, C>>;
 
 /// The version of a cell found at some level: `None` payload = tombstone.
 pub(crate) type Version<'a, const D: usize, T> = Option<(Point<D>, &'a T)>;
+
+/// An inclusive curve-index interval, as produced by
+/// [`BoxRegion::curve_intervals`].
+type Interval = (CurveIndex, CurveIndex);
+
+/// One level's query hits, in ascending key order (the order every scan
+/// visits them in).
+type LevelHits<'a, const D: usize, T> = Vec<(CurveIndex, Version<'a, D, T>)>;
+
+/// How the planner executes (or skips) one level of a box query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelStrategy {
+    /// Walk the box's precomputed curve intervals with galloped seeks.
+    Intervals,
+    /// BIGMIN key-range jumping scan (Morton order only).
+    Bigmin,
+    /// Skipped wholesale: the level's key range or point AABB cannot
+    /// intersect the box.
+    Pruned,
+}
+
+impl fmt::Display for LevelStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LevelStrategy::Intervals => "intervals",
+            LevelStrategy::Bigmin => "bigmin",
+            LevelStrategy::Pruned => "pruned",
+        })
+    }
+}
+
+/// The per-level execution plan for one box query — see the module docs
+/// for how it is chosen and
+/// [`SfcStore::plan_box_query`](crate::SfcStore::plan_box_query) for
+/// inspecting it.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Cells in the query box.
+    pub volume: u128,
+    /// Strategy for the memtable level (`None` when the view has no
+    /// memtable, e.g. snapshots).
+    pub memtable: Option<LevelStrategy>,
+    /// Strategy per immutable run, oldest first.
+    pub runs: Vec<LevelStrategy>,
+    /// The box's exact curve intervals, when the planner decided to
+    /// decompose.
+    intervals: Option<Vec<Interval>>,
+}
+
+impl QueryPlan {
+    /// Number of curve intervals the box decomposed into, or `None` if the
+    /// planner skipped decomposition (large Morton-order boxes).
+    pub fn interval_count(&self) -> Option<usize> {
+        self.intervals.as_ref().map(Vec::len)
+    }
+}
+
+/// `true` iff the planner should decompose a box of this volume into exact
+/// curve intervals for this curve.
+pub(crate) fn should_decompose<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    volume: u128,
+) -> bool {
+    curve.as_morton().is_none() || volume <= INTERVAL_VOLUME_CUTOFF
+}
+
+thread_local! {
+    /// Reusable kNN candidate scratch: a max-heap of the best `k` squared
+    /// candidate distances seen so far, shared across all levels (and all
+    /// shards) of one query and reused across queries — candidate
+    /// collection allocates nothing after warm-up.
+    static KNN_HEAP: RefCell<BinaryHeap<u64>> = const { RefCell::new(BinaryHeap::new()) };
+}
+
+/// Offers a squared distance to the top-k max-heap.
+#[inline]
+fn offer(heap: &mut BinaryHeap<u64>, k: usize, dist_sq: u64) {
+    if heap.len() < k {
+        heap.push(dist_sq);
+    } else if dist_sq < *heap.peek().expect("non-empty: len >= k >= 1") {
+        heap.pop();
+        heap.push(dist_sq);
+    }
+}
+
+/// The verification radius bounded by the heap's k-th best candidate
+/// distance, or the whole grid if fewer than `k` live candidates exist —
+/// possible only when the queried structure holds fewer than `k` live
+/// records.
+pub(crate) fn radius_from_heap<const D: usize>(
+    grid: sfc_core::Grid<D>,
+    heap: &BinaryHeap<u64>,
+    k: usize,
+) -> u32 {
+    if heap.len() >= k {
+        (*heap.peek().expect("k >= 1") as f64).sqrt().ceil() as u32
+    } else {
+        (grid.side() - 1) as u32
+    }
+}
 
 /// A borrowed view of the levels of a store or snapshot: the newest level
 /// (an optional memtable) over a stack of immutable runs, oldest first.
@@ -87,35 +240,320 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         (out, stats)
     }
 
-    /// Scans every level for keys inside the given inclusive curve-index
-    /// intervals (sorted ascending, as produced by
-    /// [`BoxRegion::curve_intervals`]), merging versions newest-wins.
-    pub(crate) fn query_intervals(
+    /// Merges per-level hit lists (each ascending in key, ordered newest
+    /// level first) into the final newest-wins result. A k-way merge over
+    /// a handful of already-sorted vectors — `O(levels)` per output row
+    /// with zero per-row allocation, replacing the old per-hit `BTreeMap`
+    /// insertion that dominated query time on large result sets.
+    fn merge_level_hits(
+        levels: Vec<LevelHits<'a, D, T>>,
+        mut stats: QueryStats,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let mut pos = vec![0usize; levels.len()];
+        let upper: usize = levels.iter().map(Vec::len).sum();
+        let mut out: Vec<StoreEntryRef<'a, D, T>> = Vec::with_capacity(upper);
+        loop {
+            let mut min: Option<CurveIndex> = None;
+            for (level, &p) in levels.iter().zip(&pos) {
+                if let Some(&(key, _)) = level.get(p) {
+                    min = Some(min.map_or(key, |m| m.min(key)));
+                }
+            }
+            let Some(min) = min else { break };
+            // The first (newest) level holding the min key wins; every
+            // level holding it advances.
+            let mut winner: Option<Version<'a, D, T>> = None;
+            for (level, p) in levels.iter().zip(pos.iter_mut()) {
+                if let Some(&(key, version)) = level.get(*p) {
+                    if key == min {
+                        winner.get_or_insert(version);
+                        *p += 1;
+                    }
+                }
+            }
+            if let Some(Some((point, payload))) = winner {
+                out.push(StoreEntryRef {
+                    key: min,
+                    point,
+                    payload,
+                });
+            }
+        }
+        stats.reported = out.len() as u64;
+        (out, stats)
+    }
+
+    /// `true` iff the run cannot contribute to keys within `[lo, hi]`.
+    fn run_outside_span(run: &Run<D, T, C>, lo: CurveIndex, hi: CurveIndex) -> bool {
+        match (run.keys().first(), run.keys().last()) {
+            (Some(&first), Some(&last)) => last < lo || first > hi,
+            _ => true,
+        }
+    }
+
+    /// Picks the planner strategy for one run, given the curve span the
+    /// query covers, the query box (for AABB pruning, when known), and the
+    /// decomposed interval count (when available). `morton_adaptive` is
+    /// set when both strategies are on the table for this run.
+    fn run_strategy(
+        run: &Run<D, T, C>,
+        span: (CurveIndex, CurveIndex),
+        b: Option<&BoxRegion<D>>,
+        interval_count: Option<usize>,
+        morton_adaptive: bool,
+    ) -> LevelStrategy {
+        if Self::run_outside_span(run, span.0, span.1) {
+            return LevelStrategy::Pruned;
+        }
+        if let Some(b) = b {
+            if run.zones().run_disjoint(b) {
+                return LevelStrategy::Pruned;
+            }
+        }
+        match interval_count {
+            None => LevelStrategy::Bigmin,
+            Some(count) if morton_adaptive => {
+                // Slots the run holds inside the span, at fence-array
+                // search cost. A run smaller than the interval list is
+                // cheaper to jump-scan than to seek once per interval.
+                let lo_pos = run.zones().lower_bound(run.keys(), span.0);
+                let hi_pos = run.zones().lower_bound(run.keys(), span.1 + 1);
+                let span_slots = hi_pos - lo_pos;
+                if span_slots == 0 {
+                    LevelStrategy::Pruned
+                } else if span_slots < count {
+                    LevelStrategy::Bigmin
+                } else {
+                    LevelStrategy::Intervals
+                }
+            }
+            Some(_) => LevelStrategy::Intervals,
+        }
+    }
+
+    /// Builds the per-level execution plan for a box query, adopting
+    /// already-decomposed (possibly shard-clipped) intervals instead of
+    /// recomputing them. `intervals == None` means the planner decided
+    /// against decomposition (Morton order, large box).
+    pub(crate) fn plan_box_with(
         &self,
-        intervals: &[(CurveIndex, CurveIndex)],
+        b: &BoxRegion<D>,
+        intervals: Option<Vec<Interval>>,
+    ) -> QueryPlan {
+        let volume = b.volume();
+        let z = self.curve.as_morton();
+        let interval_count = intervals.as_ref().map(Vec::len);
+        // The curve span the query covers: Z(lo)..Z(hi) under Morton
+        // order, else the hull of the interval list.
+        let span = match z {
+            Some(z) => (z.encode(b.lo()), z.encode(b.hi())),
+            None => {
+                let iv = intervals.as_ref().expect("non-Morton curves decompose");
+                match (iv.first(), iv.last()) {
+                    (Some(&(lo, _)), Some(&(_, hi))) => (lo, hi),
+                    _ => (1, 0), // empty interval list: prune everything
+                }
+            }
+        };
+        let morton_adaptive = z.is_some();
+        let runs = self
+            .runs
+            .iter()
+            .map(|run| Self::run_strategy(run, span, Some(b), interval_count, morton_adaptive))
+            .collect();
+        let memtable = self.memtable.map(|mem| match interval_count {
+            None => LevelStrategy::Bigmin,
+            // The same size-vs-interval-count tradeoff as for runs, with
+            // the memtable's total size standing in for its span slots.
+            Some(count) if morton_adaptive && mem.len() < count => LevelStrategy::Bigmin,
+            Some(_) => LevelStrategy::Intervals,
+        });
+        QueryPlan {
+            volume,
+            memtable,
+            runs,
+            intervals,
+        }
+    }
+
+    /// Builds the per-level execution plan for a box query — see the
+    /// module docs for the heuristics.
+    pub(crate) fn plan_box(&self, b: &BoxRegion<D>) -> QueryPlan {
+        let intervals =
+            should_decompose(self.curve, b.volume()).then(|| b.curve_intervals(self.curve));
+        self.plan_box_with(b, intervals)
+    }
+
+    /// Executes a box-query plan: every level is scanned with its chosen
+    /// strategy into its own ascending hit list, pruned levels charge
+    /// their zone-map blocks to `blocks_pruned`, and the lists k-way merge
+    /// newest-wins.
+    pub(crate) fn execute_plan(
+        &self,
+        b: &BoxRegion<D>,
+        plan: &QueryPlan,
     ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
         let mut stats = QueryStats::default();
-        let mut merged: BTreeMap<CurveIndex, Version<'a, D, T>> = BTreeMap::new();
-        // Newest level first: `or_insert` keeps the first version seen.
-        if let Some(mem) = self.memtable {
-            for &(lo, hi) in intervals {
-                stats.seeks += 1;
-                for (&key, (point, slot)) in mem.range(lo..=hi) {
-                    stats.scanned += 1;
-                    merged
-                        .entry(key)
-                        .or_insert_with(|| slot.as_ref().map(|t| (*point, t)));
+        let mut levels: Vec<LevelHits<'a, D, T>> =
+            Vec::with_capacity(self.runs.len() + usize::from(self.memtable.is_some()));
+        if let (Some(mem), Some(strategy)) = (self.memtable, plan.memtable) {
+            let mut hits: LevelHits<'a, D, T> = Vec::new();
+            match strategy {
+                LevelStrategy::Intervals => Self::mem_interval_scan(
+                    mem,
+                    plan.intervals.as_deref().expect("planned intervals"),
+                    &mut stats,
+                    |key, version| hits.push((key, version)),
+                ),
+                LevelStrategy::Bigmin => {
+                    let z = self
+                        .curve
+                        .as_morton()
+                        .expect("bigmin plans are Morton-only");
+                    Self::mem_bigmin_scan(mem, z, b, &mut stats, |key, version| {
+                        hits.push((key, version))
+                    });
+                }
+                LevelStrategy::Pruned => {}
+            }
+            levels.push(hits);
+        }
+        for (run, &strategy) in self.runs.iter().zip(&plan.runs).rev() {
+            let mut hits: LevelHits<'a, D, T> = Vec::new();
+            match strategy {
+                LevelStrategy::Pruned => stats.blocks_pruned += run.zones().blocks() as u64,
+                LevelStrategy::Intervals => {
+                    let intervals = plan.intervals.as_deref().expect("planned intervals");
+                    interval_scan(run.keys(), intervals, &mut stats, |i| {
+                        hits.push((
+                            run.keys()[i],
+                            run.payloads()[i].as_ref().map(|t| (run.points()[i], t)),
+                        ));
+                    });
+                }
+                LevelStrategy::Bigmin => {
+                    let z = self
+                        .curve
+                        .as_morton()
+                        .expect("bigmin plans are Morton-only");
+                    bigmin_scan(
+                        z,
+                        run.keys(),
+                        run.points(),
+                        run.zones(),
+                        b,
+                        &mut stats,
+                        |i| {
+                            hits.push((
+                                run.keys()[i],
+                                run.payloads()[i].as_ref().map(|t| (run.points()[i], t)),
+                            ));
+                        },
+                    );
+                }
+            }
+            levels.push(hits);
+        }
+        Self::merge_level_hits(levels, stats)
+    }
+
+    /// Box query through the adaptive planner: plan, then execute.
+    pub(crate) fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let plan = self.plan_box(b);
+        self.execute_plan(b, &plan)
+    }
+
+    /// Scans the memtable for keys inside the intervals, surfacing each
+    /// version to `sink` in ascending key order.
+    fn mem_interval_scan(
+        mem: &'a Memtable<D, T>,
+        intervals: &[Interval],
+        stats: &mut QueryStats,
+        mut sink: impl FnMut(CurveIndex, Version<'a, D, T>),
+    ) {
+        for &(lo, hi) in intervals {
+            stats.seeks += 1;
+            for (&key, (point, slot)) in mem.range(lo..=hi) {
+                stats.scanned += 1;
+                sink(key, slot.as_ref().map(|t| (*point, t)));
+            }
+        }
+    }
+
+    /// Sequential memtable range walk with BIGMIN jumps (Morton order),
+    /// surfacing each version to `sink` in ascending key order.
+    fn mem_bigmin_scan(
+        mem: &'a Memtable<D, T>,
+        z: &ZCurve<D>,
+        b: &BoxRegion<D>,
+        stats: &mut QueryStats,
+        mut sink: impl FnMut(CurveIndex, Version<'a, D, T>),
+    ) {
+        let zmin = z.encode(b.lo());
+        let zmax = z.encode(b.hi());
+        stats.seeks += 1;
+        let mut cur = zmin;
+        'memtable: loop {
+            let mut range = mem.range(cur..=zmax);
+            loop {
+                let Some((&key, (point, slot))) = range.next() else {
+                    break 'memtable;
+                };
+                stats.scanned += 1;
+                if b.contains(point) {
+                    sink(key, slot.as_ref().map(|t| (*point, t)));
+                } else {
+                    match bigmin(z, key, zmin, zmax) {
+                        Some(next) => {
+                            stats.seeks += 1;
+                            cur = next;
+                            break;
+                        }
+                        None => break 'memtable,
+                    }
                 }
             }
         }
-        for run in self.runs.iter().rev() {
-            interval_scan(run.keys(), intervals, &mut stats, |i| {
-                merged
-                    .entry(run.keys()[i])
-                    .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+    }
+
+    /// Scans every level for keys inside the given inclusive curve-index
+    /// intervals (sorted ascending, as produced by
+    /// [`BoxRegion::curve_intervals`]), merging versions newest-wins. Runs
+    /// whose key range misses the interval hull are pruned wholesale.
+    pub(crate) fn query_intervals(
+        &self,
+        intervals: &[Interval],
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut levels: Vec<LevelHits<'a, D, T>> =
+            Vec::with_capacity(self.runs.len() + usize::from(self.memtable.is_some()));
+        let span = match (intervals.first(), intervals.last()) {
+            (Some(&(lo, _)), Some(&(_, hi))) => (lo, hi),
+            _ => (1, 0),
+        };
+        // Newest level first: the merge keeps the first version seen.
+        if let Some(mem) = self.memtable {
+            let mut hits: LevelHits<'a, D, T> = Vec::new();
+            Self::mem_interval_scan(mem, intervals, &mut stats, |key, version| {
+                hits.push((key, version))
             });
+            levels.push(hits);
         }
-        Self::collect_merged(merged, stats)
+        for run in self.runs.iter().rev() {
+            if Self::run_outside_span(run, span.0, span.1) {
+                stats.blocks_pruned += run.zones().blocks() as u64;
+                continue;
+            }
+            let mut hits: LevelHits<'a, D, T> = Vec::new();
+            interval_scan(run.keys(), intervals, &mut stats, |i| {
+                hits.push((
+                    run.keys()[i],
+                    run.payloads()[i].as_ref().map(|t| (run.points()[i], t)),
+                ));
+            });
+            levels.push(hits);
+        }
+        Self::merge_level_hits(levels, stats)
     }
 
     /// Box query via exact interval decomposition (computed once, scanned
@@ -127,18 +565,252 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         self.query_intervals(&b.curve_intervals(self.curve))
     }
 
-    /// Collects live candidates for a kNN query from every level: per
-    /// level, walk outward from the query key's position on both sides,
-    /// **widening past tombstoned and shadowed slots** until `k` live
-    /// candidates are bracketed on that side (or the level is exhausted),
-    /// and always covering at least `window` slots per side.
+    /// The pre-zone-map interval query (whole-column seeks, no run
+    /// pruning): reference implementation for differential tests and the
+    /// baseline the benches compare against.
+    pub(crate) fn query_intervals_plain(
+        &self,
+        intervals: &[Interval],
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut merged: BTreeMap<CurveIndex, Version<'a, D, T>> = BTreeMap::new();
+        if let Some(mem) = self.memtable {
+            Self::mem_interval_scan(mem, intervals, &mut stats, |key, version| {
+                merged.entry(key).or_insert(version);
+            });
+        }
+        for run in self.runs.iter().rev() {
+            interval_scan_plain(run.keys(), intervals, &mut stats, |i| {
+                merged
+                    .entry(run.keys()[i])
+                    .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+            });
+        }
+        Self::collect_merged(merged, stats)
+    }
+
+    /// Collects live kNN candidates from every level into the top-k
+    /// distance heap: per level, walk outward from the query key's
+    /// position on both sides, **widening past tombstoned and shadowed
+    /// slots** until `k` live candidates are bracketed on that side (or
+    /// the level is exhausted), covering at least `window` slots per side
+    /// unless the zone map certifies further slots useless.
     ///
-    /// The widening is what keeps the verification radius tight under
-    /// heavy deletes: a fixed slot window can be eaten entirely by
-    /// tombstones, collapsing to the whole-grid fallback radius. With
-    /// widening, the fallback only triggers when the view holds fewer than
-    /// `k` live records in total.
-    pub(crate) fn knn_candidates(
+    /// The zone map sharpens the walk three ways:
+    ///
+    /// * **levels are visited biggest first** — the densest level almost
+    ///   always holds the true nearest neighbors, so the heap's k-th best
+    ///   is tight before the small levels are even looked at;
+    /// * **all-dead blocks are skipped** without touching a slot — a
+    ///   tombstone-heavy neighborhood costs one summary check per 64
+    ///   slots instead of 64 payload probes;
+    /// * once the heap holds `k` candidates, a side walk **stops at any
+    ///   block whose AABB distance lower bound exceeds the current k-th
+    ///   best** — no slot of it can tighten the verification radius, so a
+    ///   small level whose neighborhood is farther than the incumbent
+    ///   candidates costs two summary checks total. Collection stopping
+    ///   early only loosens the radius bound; the ball query restores
+    ///   exactness regardless.
+    pub(crate) fn knn_collect(
+        &self,
+        q: Point<D>,
+        key: CurveIndex,
+        k: usize,
+        window: usize,
+        heap: &mut BinaryHeap<u64>,
+        stats: &mut QueryStats,
+    ) {
+        // Biggest level first (the memtable competes by its length).
+        let mut order: Vec<(usize, Option<usize>)> = self
+            .runs
+            .iter()
+            .enumerate()
+            .map(|(run_idx, run)| (run.len(), Some(run_idx)))
+            .collect();
+        if let Some(mem) = self.memtable {
+            order.push((mem.len(), None));
+        }
+        order.sort_by_key(|&(len, _)| std::cmp::Reverse(len));
+        for (_, level) in order {
+            match level {
+                None => self.knn_collect_memtable(q, key, k, window, heap, stats),
+                Some(run_idx) => self.knn_collect_run(q, key, k, window, run_idx, heap, stats),
+            }
+        }
+    }
+
+    /// The memtable side of [`knn_collect`](Self::knn_collect).
+    fn knn_collect_memtable(
+        &self,
+        q: Point<D>,
+        key: CurveIndex,
+        k: usize,
+        window: usize,
+        heap: &mut BinaryHeap<u64>,
+        stats: &mut QueryStats,
+    ) {
+        let mem = self.memtable.expect("caller checked");
+        stats.seeks += 1;
+        let mut live = 0usize;
+        let mut slots = 0usize;
+        for (&_ck, (point, slot)) in mem.range(..key).rev() {
+            slots += 1;
+            stats.scanned += 1;
+            if slot.is_some() {
+                offer(heap, k, q.euclidean_sq(point));
+                live += 1;
+            }
+            if live >= k && slots >= window {
+                break;
+            }
+        }
+        live = 0;
+        slots = 0;
+        for (&_ck, (point, slot)) in mem.range(key..) {
+            slots += 1;
+            stats.scanned += 1;
+            if slot.is_some() {
+                offer(heap, k, q.euclidean_sq(point));
+                live += 1;
+            }
+            if live >= k && slots >= window {
+                break;
+            }
+        }
+    }
+
+    /// One run's side walks of [`knn_collect`](Self::knn_collect),
+    /// block at a time.
+    #[allow(clippy::too_many_arguments)]
+    fn knn_collect_run(
+        &self,
+        q: Point<D>,
+        key: CurveIndex,
+        k: usize,
+        window: usize,
+        run_idx: usize,
+        heap: &mut BinaryHeap<u64>,
+        stats: &mut QueryStats,
+    ) {
+        let run = &self.runs[run_idx];
+        let zones = run.zones();
+        stats.seeks += 1;
+        let pos = zones.lower_bound(run.keys(), key);
+        // Walk left (descending keys), block at a time.
+        let mut live = 0usize;
+        let mut slots = 0usize;
+        let mut i = pos;
+        while i > 0 && !(live >= k && slots >= window) {
+            let block = zones.block_of(i - 1);
+            let range = zones.block_range(block);
+            if zones.is_all_dead(block) {
+                stats.blocks_pruned += 1;
+                slots += i - range.start;
+                i = range.start;
+                continue;
+            }
+            if heap.len() >= k && zones.min_dist_sq(block, &q) > *heap.peek().expect("len >= k") {
+                stats.blocks_pruned += 1;
+                break;
+            }
+            stats.blocks_scanned += 1;
+            while i > range.start && !(live >= k && slots >= window) {
+                i -= 1;
+                slots += 1;
+                stats.scanned += 1;
+                if run.payloads()[i].is_some() {
+                    live += usize::from(self.knn_offer_slot(q, run, run_idx, i, k, heap));
+                }
+            }
+        }
+        // Walk right (ascending keys), block at a time.
+        live = 0;
+        slots = 0;
+        let mut i = pos;
+        while i < run.len() && !(live >= k && slots >= window) {
+            let block = zones.block_of(i);
+            let range = zones.block_range(block);
+            if zones.is_all_dead(block) {
+                stats.blocks_pruned += 1;
+                slots += range.end - i;
+                i = range.end;
+                continue;
+            }
+            if heap.len() >= k && zones.min_dist_sq(block, &q) > *heap.peek().expect("len >= k") {
+                stats.blocks_pruned += 1;
+                break;
+            }
+            stats.blocks_scanned += 1;
+            while i < range.end && !(live >= k && slots >= window) {
+                slots += 1;
+                stats.scanned += 1;
+                if run.payloads()[i].is_some() {
+                    live += usize::from(self.knn_offer_slot(q, run, run_idx, i, k, heap));
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// Offers one non-tombstone run slot as a kNN candidate, returning
+    /// whether it counts as a live candidate for the walk's stop
+    /// condition. The expensive shadowed-above probe (one lookup per newer
+    /// level) runs **only when the slot could actually enter the top-k
+    /// heap**: a candidate no closer than the current k-th best cannot
+    /// tighten the radius whether or not it is still visible, so it is
+    /// counted and skipped — with the biggest level walked first, this
+    /// reduces liveness probes from one per scanned slot to a handful per
+    /// query.
+    fn knn_offer_slot(
+        &self,
+        q: Point<D>,
+        run: &Run<D, T, C>,
+        run_idx: usize,
+        i: usize,
+        k: usize,
+        heap: &mut BinaryHeap<u64>,
+    ) -> bool {
+        let dist_sq = q.euclidean_sq(&run.points()[i]);
+        if heap.len() >= k && dist_sq >= *heap.peek().expect("len >= k") {
+            return true;
+        }
+        if self.shadowed_above(run.keys()[i], run_idx) {
+            return false;
+        }
+        offer(heap, k, dist_sq);
+        true
+    }
+
+    /// Exact k-nearest-neighbor query over the merged view: zone-sharpened
+    /// candidate collection bounds the verification radius through the
+    /// top-k distance heap, then the Chebyshev ball runs through the
+    /// adaptive box planner and the survivors are re-ranked.
+    pub(crate) fn knn(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        assert!(k >= 1, "k must be at least 1");
+        let key = self.curve.index_of(q);
+        let mut stats = QueryStats::default();
+        let radius = with_knn_heap(|heap| {
+            self.knn_collect(q, key, k, window, heap, &mut stats);
+            radius_from_heap(self.curve.grid(), heap, k)
+        });
+        let ball = BoxRegion::chebyshev_ball(self.curve.grid(), q, radius);
+        let (all, ball_stats) = self.query_box(&ball);
+        stats.add(&ball_stats);
+        let all = rank_by_distance(all, q, k);
+        stats.reported = all.len() as u64;
+        (all, stats)
+    }
+
+    /// The pre-zone-map kNN candidate collection: fixed slot windows
+    /// widened past dead slots, no block skipping, candidates gathered
+    /// into a vector. Reference for differential tests and baseline
+    /// benches.
+    pub(crate) fn knn_candidates_plain(
         &self,
         q: Point<D>,
         key: CurveIndex,
@@ -209,10 +881,10 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         candidates
     }
 
-    /// Exact k-nearest-neighbor query over the merged view: widened
-    /// candidate windows per level bound the verification radius, then the
-    /// Chebyshev ball is interval-queried across all levels and re-ranked.
-    pub(crate) fn knn(
+    /// The pre-zone-map kNN: plain candidate windows, interval-decomposed
+    /// verification ball with whole-column seeks. Reference for
+    /// differential tests and baseline benches.
+    pub(crate) fn knn_plain(
         &self,
         q: Point<D>,
         k: usize,
@@ -221,12 +893,12 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         assert!(k >= 1, "k must be at least 1");
         let key = self.curve.index_of(q);
         let mut stats = QueryStats::default();
-        let mut candidates = self.knn_candidates(q, key, k, window, &mut stats);
+        let mut candidates = self.knn_candidates_plain(q, key, k, window, &mut stats);
         candidates.sort_unstable();
         candidates.truncate(k);
         let radius = verification_radius(self.curve.grid(), &candidates, k);
         let ball = BoxRegion::chebyshev_ball(self.curve.grid(), q, radius);
-        let (all, ball_stats) = self.query_box_intervals(&ball);
+        let (all, ball_stats) = self.query_intervals_plain(&ball.curve_intervals(self.curve));
         stats.seeks += ball_stats.seeks;
         stats.scanned += ball_stats.scanned;
         let all = rank_by_distance(all, q, k);
@@ -255,9 +927,9 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
 
 impl<'a, const D: usize, T> LevelsView<'a, D, T, ZCurve<D>> {
     /// Box query by BIGMIN-jumping key-range scans (Tropf & Herzog):
-    /// [`bigmin_scan`] per run plus an equivalent jumping scan over the
-    /// memtable's key range. Z curve only; needs no per-query `O(volume)`
-    /// preprocessing.
+    /// zone-accelerated [`bigmin_scan`] per run (runs pruned by key range
+    /// and AABB) plus an equivalent jumping scan over the memtable's key
+    /// range. Z curve only; needs no per-query `O(volume)` preprocessing.
     pub(crate) fn query_box_bigmin(
         &self,
         b: &BoxRegion<D>,
@@ -265,38 +937,56 @@ impl<'a, const D: usize, T> LevelsView<'a, D, T, ZCurve<D>> {
         let zmin = self.curve.encode(b.lo());
         let zmax = self.curve.encode(b.hi());
         let mut stats = QueryStats::default();
-        let mut merged: BTreeMap<CurveIndex, Version<'a, D, T>> = BTreeMap::new();
+        let mut levels: Vec<LevelHits<'a, D, T>> =
+            Vec::with_capacity(self.runs.len() + usize::from(self.memtable.is_some()));
         if let Some(mem) = self.memtable {
-            // Memtable (newest level): sequential range walk with BIGMIN
-            // jumps.
-            stats.seeks += 1;
-            let mut cur = zmin;
-            'memtable: loop {
-                let mut range = mem.range(cur..=zmax);
-                loop {
-                    let Some((&key, (point, slot))) = range.next() else {
-                        break 'memtable;
-                    };
-                    stats.scanned += 1;
-                    if b.contains(point) {
-                        merged
-                            .entry(key)
-                            .or_insert_with(|| slot.as_ref().map(|t| (*point, t)));
-                    } else {
-                        match bigmin(self.curve, key, zmin, zmax) {
-                            Some(next) => {
-                                stats.seeks += 1;
-                                cur = next;
-                                break;
-                            }
-                            None => break 'memtable,
-                        }
-                    }
-                }
-            }
+            let mut hits: LevelHits<'a, D, T> = Vec::new();
+            Self::mem_bigmin_scan(mem, self.curve, b, &mut stats, |key, version| {
+                hits.push((key, version))
+            });
+            levels.push(hits);
         }
         for run in self.runs.iter().rev() {
-            bigmin_scan(self.curve, run.keys(), run.points(), b, &mut stats, |i| {
+            if Self::run_outside_span(run, zmin, zmax) || run.zones().run_disjoint(b) {
+                stats.blocks_pruned += run.zones().blocks() as u64;
+                continue;
+            }
+            let mut hits: LevelHits<'a, D, T> = Vec::new();
+            bigmin_scan(
+                self.curve,
+                run.keys(),
+                run.points(),
+                run.zones(),
+                b,
+                &mut stats,
+                |i| {
+                    hits.push((
+                        run.keys()[i],
+                        run.payloads()[i].as_ref().map(|t| (run.points()[i], t)),
+                    ));
+                },
+            );
+            levels.push(hits);
+        }
+        Self::merge_level_hits(levels, stats)
+    }
+
+    /// The pre-zone-map BIGMIN query (no run pruning, whole-tail jump
+    /// searches): reference implementation for differential tests and the
+    /// baseline the benches compare against.
+    pub(crate) fn query_box_bigmin_plain(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut merged: BTreeMap<CurveIndex, Version<'a, D, T>> = BTreeMap::new();
+        if let Some(mem) = self.memtable {
+            Self::mem_bigmin_scan(mem, self.curve, b, &mut stats, |key, version| {
+                merged.entry(key).or_insert(version);
+            });
+        }
+        for run in self.runs.iter().rev() {
+            bigmin_scan_plain(self.curve, run.keys(), run.points(), b, &mut stats, |i| {
                 merged
                     .entry(run.keys()[i])
                     .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
@@ -338,6 +1028,16 @@ pub(crate) fn verification_radius<const D: usize>(
     } else {
         (grid.side() - 1) as u32
     }
+}
+
+/// The kNN machinery shared with the shard router: the scratch heap, the
+/// offer primitive, and the radius bound.
+pub(crate) fn with_knn_heap<R>(f: impl FnOnce(&mut BinaryHeap<u64>) -> R) -> R {
+    KNN_HEAP.with(|cell| {
+        let mut heap = cell.borrow_mut();
+        heap.clear();
+        f(&mut heap)
+    })
 }
 
 /// A forward-only cursor over one run's borrowed columns.

@@ -102,7 +102,9 @@ fn check_against_model<C: SpaceFillingCurve<2> + Clone>(
         );
     }
 
-    // Box queries (generic interval strategy) match the filtered model.
+    // Box queries match the filtered model — and the zone-mapped paths
+    // (galloped intervals, planner) are byte-identical to the pre-change
+    // plain scans.
     for _ in 0..8 {
         let a = grid.random_cell(&mut rng);
         let b = grid.random_cell(&mut rng);
@@ -118,9 +120,20 @@ fn check_against_model<C: SpaceFillingCurve<2> + Clone>(
             .collect();
         assert_eq!(got, want, "box {region:?}");
         assert_eq!(stats.reported as usize, got.len());
+        let flat = |v: &[sfc_store::StoreEntryRef<'_, 2, u32>]| {
+            v.iter()
+                .map(|e| (e.key, e.point, *e.payload))
+                .collect::<Vec<_>>()
+        };
+        let zone = flat(&hits);
+        let (plain, _) = store.query_box_intervals_plain(&region);
+        assert_eq!(zone, flat(&plain), "zone-mapped vs plain intervals");
+        let (planned, _) = store.query_box(&region);
+        assert_eq!(zone, flat(&planned), "planner vs intervals");
     }
 
-    // kNN over the merged view is exact.
+    // kNN over the merged view is exact — and byte-identical to the
+    // pre-change plain kNN.
     for _ in 0..5 {
         let q = grid.random_cell(&mut rng);
         let k = rng.gen_range(1..6usize);
@@ -130,6 +143,13 @@ fn check_against_model<C: SpaceFillingCurve<2> + Clone>(
         let wd: Vec<u64> = want.iter().map(|e| q.euclidean_sq(&e.point)).collect();
         assert_eq!(gd, wd, "knn k={k} q={q}");
         assert_eq!(stats.reported as usize, k.min(store.len()));
+        let flat = |v: &[sfc_store::StoreEntryRef<'_, 2, u32>]| {
+            v.iter()
+                .map(|e| (e.key, e.point, *e.payload))
+                .collect::<Vec<_>>()
+        };
+        let (plain, _) = store.knn_plain(q, k, 3);
+        assert_eq!(flat(&got), flat(&plain), "knn vs knn_plain k={k} q={q}");
     }
 }
 
@@ -150,7 +170,8 @@ proptest! {
                 apply(&mut store, &mut model, op);
             }
             check_against_model(&store, &model, seed.wrapping_add(i as u64));
-            // BIGMIN spans levels identically to the interval strategy.
+            // BIGMIN spans levels identically to the interval strategy —
+            // zone-mapped, plain, and planner alike.
             let region = BoxRegion::new(Point::new([2, 3]), Point::new([11, 9]));
             let (bm, _) = store.query_box_bigmin(&region);
             let (iv, _) = store.query_box_intervals(&region);
@@ -158,6 +179,10 @@ proptest! {
                 v.iter().map(|e| (e.key, e.point, *e.payload)).collect::<Vec<_>>()
             };
             prop_assert_eq!(flat(&bm), flat(&iv));
+            let (bm_plain, _) = store.query_box_bigmin_plain(&region);
+            prop_assert_eq!(flat(&bm), flat(&bm_plain));
+            let (planned, _) = store.query_box(&region);
+            prop_assert_eq!(flat(&bm), flat(&planned));
         }
     }
 
@@ -346,6 +371,127 @@ proptest! {
         sharded.rebalance(1e-9);
         sharded.compact();
         check_sharded_against_single_and_model(&sharded, &single, &model, seed ^ 0xfe);
+    }
+}
+
+/// Tombstone-heavy interleavings: deletes dominate, so runs end up mostly
+/// (sometimes entirely) tombstones and zone-map blocks routinely go
+/// all-dead. Every observable view — box (both strategies and the
+/// planner), kNN, iter — must stay byte-identical to the model and to the
+/// pre-change plain scans.
+fn random_tombstone_heavy_ops(len: usize, side: u32, seed: u64) -> Vec<Op> {
+    use rand::Rng;
+    let mut rng = test_rng(seed);
+    (0..len)
+        .map(|i| {
+            // Confine writes to a narrow band so deletes actually hit
+            // earlier inserts instead of missing at random.
+            let x = rng.gen_range(0..side / 2);
+            let y = rng.gen_range(0..side / 2);
+            match rng.gen_range(0..10u32) {
+                0..=2 => Op::Insert(x, y, i as u32),
+                3..=8 => Op::Delete(x, y),
+                9 => Op::Flush,
+                _ => unreachable!(),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tombstone_heavy_store_matches_model_and_plain_scans(
+        seed in any::<u64>(),
+        cap in 1usize..16,
+    ) {
+        let grid = Grid::<2>::new(4).unwrap();
+        let curve = ZCurve::over(grid);
+        let mut store = SfcStore::with_memtable_capacity(curve, cap);
+        let mut model: BTreeMap<CurveIndex, (Point<2>, u32)> = BTreeMap::new();
+        let ops = random_tombstone_heavy_ops(400, 16, seed);
+        for (i, chunk) in ops.chunks(100).enumerate() {
+            for &op in chunk {
+                apply(&mut store, &mut model, op);
+            }
+            check_against_model(&store, &model, seed.wrapping_add(i as u64));
+        }
+    }
+}
+
+/// Deterministic all-dead-block shape: a curve-contiguous region is bulk
+/// inserted, flushed into a run, then deleted cell by cell and flushed
+/// again — the tombstone run consists of several *entirely dead* zone-map
+/// blocks shadowing the bottom run. Box queries must still honor the
+/// tombstones (no resurrection), kNN candidate collection must skip the
+/// dead blocks, and everything stays byte-identical to the plain scans.
+#[test]
+fn all_dead_blocks_shadow_correctly_and_are_skipped_by_knn() {
+    let grid = Grid::<2>::new(5).unwrap(); // 32×32
+    let z = ZCurve::over(grid);
+    let mut store = SfcStore::with_memtable_capacity(z, 4096);
+    // The Z quadrant [0,16)² is exactly the contiguous key range 0..256.
+    let quadrant = BoxRegion::new(Point::new([0, 0]), Point::new([15, 15]));
+    for (i, cell) in quadrant.cells().enumerate() {
+        store.insert(cell, i as u32);
+    }
+    // Background records elsewhere keep the store non-empty afterwards —
+    // and make the bottom run big enough (≥ 2 × 256) that the size-tiered
+    // policy does NOT merge the upcoming tombstone run into it.
+    let background = BoxRegion::new(Point::new([16, 0]), Point::new([31, 31]));
+    for (i, cell) in background.cells().enumerate() {
+        store.insert(cell, 10_000 + i as u32);
+    }
+    store.flush();
+    for cell in quadrant.cells() {
+        store.delete(cell);
+    }
+    store.flush();
+    // The newest run now holds 256 contiguous tombstones — at block size
+    // 64 that is at least 4 entirely dead blocks.
+    assert_eq!(
+        store.run_lens(),
+        vec![768, 256],
+        "tombstone run must survive"
+    );
+    assert_eq!(store.len(), 512);
+
+    let flat = |v: &[sfc_store::StoreEntryRef<'_, 2, u32>]| {
+        v.iter()
+            .map(|e| (e.key, e.point, *e.payload))
+            .collect::<Vec<_>>()
+    };
+    // Box queries over the dead region: every strategy agrees on "empty".
+    let (iv, _) = store.query_box_intervals(&quadrant);
+    let (bm, _) = store.query_box_bigmin(&quadrant);
+    let (pl, _) = store.query_box(&quadrant);
+    let (iv_plain, _) = store.query_box_intervals_plain(&quadrant);
+    let (bm_plain, _) = store.query_box_bigmin_plain(&quadrant);
+    assert!(iv.is_empty(), "tombstoned region resurrected: {:?}", iv[0]);
+    assert_eq!(flat(&iv), flat(&bm));
+    assert_eq!(flat(&iv), flat(&pl));
+    assert_eq!(flat(&iv), flat(&iv_plain));
+    assert_eq!(flat(&iv), flat(&bm_plain));
+    // Iteration sees only the live half.
+    assert_eq!(store.iter().count(), 512);
+    assert!(store.iter().all(|e| e.point.coord(0) >= 16));
+
+    // kNN from inside the dead region: exact, identical to plain, and the
+    // dead blocks are observably skipped.
+    let q = Point::new([5, 5]);
+    for k in [1usize, 4, 10] {
+        let (got, stats) = store.knn(q, k, 3);
+        let want = store.knn_linear(q, k);
+        let gd: Vec<u64> = got.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+        let wd: Vec<u64> = want.iter().map(|e| q.euclidean_sq(&e.point)).collect();
+        assert_eq!(gd, wd, "knn k={k}");
+        let (plain, _) = store.knn_plain(q, k, 3);
+        assert_eq!(flat(&got), flat(&plain), "knn vs plain k={k}");
+        assert!(
+            stats.blocks_pruned > 0,
+            "kNN near all-dead blocks must skip some: {stats:?}"
+        );
     }
 }
 

@@ -11,13 +11,45 @@
 //! iterations sized to ≳1 ms) and reports the median together with min/max,
 //! in criterion's familiar `time: [low median high]` shape. There is no
 //! statistical regression analysis and no HTML report.
+//!
+//! In addition to the printed lines, every finished benchmark is recorded
+//! in a process-global list that a custom `main` can drain with
+//! [`take_records`] — the hook the workspace's bench harness uses to emit
+//! machine-readable JSON (`BENCH_store.json`) for CI trend tracking. The
+//! real criterion serves the same need through `--message-format=json` /
+//! `cargo-criterion`; this is the offline stand-in's minimal equivalent.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished benchmark: its full name and the per-iteration
+/// nanosecond statistics printed in the `time: [low median high]` line.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// `group/function` name as printed.
+    pub name: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample — the number regressions are judged against.
+    pub median_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+/// Every benchmark finished so far, in execution order.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drains and returns all benchmark records collected so far. Call from a
+/// custom `main` after the `criterion_group!` functions have run to
+/// post-process results (e.g. write a JSON report).
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut RECORDS.lock().expect("record list poisoned"))
+}
 
 /// Identifies one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -134,6 +166,15 @@ fn run_one(full_name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher))
         fmt_ns(median),
         fmt_ns(hi)
     );
+    RECORDS
+        .lock()
+        .expect("record list poisoned")
+        .push(BenchRecord {
+            name: full_name.to_string(),
+            min_ns: lo,
+            median_ns: median,
+            max_ns: hi,
+        });
 }
 
 /// The benchmark harness entry point.
@@ -252,5 +293,18 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
         assert_eq!(BenchmarkId::from_parameter("z").id, "z");
+    }
+
+    #[test]
+    fn records_are_collected_and_drainable() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("recorded_noop", |b| b.iter(|| black_box(2 + 2)));
+        let records = take_records();
+        let rec = records
+            .iter()
+            .find(|r| r.name == "recorded_noop")
+            .expect("benchmark recorded");
+        assert!(rec.min_ns <= rec.median_ns && rec.median_ns <= rec.max_ns);
+        assert!(rec.median_ns > 0.0);
     }
 }
