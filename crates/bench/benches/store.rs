@@ -17,7 +17,6 @@
 
 use criterion::{criterion_group, Criterion};
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::{BoxRegion, QueryStats, SfcIndex};
 use sfc_store::{SfcStore, ShardedSfcStore};
@@ -167,33 +166,11 @@ fn assert_equivalence(sc: &Scenario) {
     println!("equivalence: store query results byte-identical to static index (Z + Hilbert)");
 }
 
-/// Per-shard BIGMIN fan-out: the `*_par` hook. The vendored rayon
-/// stand-in runs the closure sequentially; with the real rayon patched
-/// back in (see ROADMAP), the same line fans the shards out across a
-/// thread pool unchanged — each shard is an independent `&SfcStore`.
-fn sharded_query_bigmin_par<'a>(
-    store: &'a ShardedSfcStore<2, u64, ZCurve<2>>,
-    b: &BoxRegion<2>,
-) -> (Vec<sfc_store::StoreEntryRef<'a, 2, u64>>, QueryStats) {
-    let per_shard: Vec<_> = store
-        .shards()
-        .par_iter()
-        .map(|shard| shard.query_box_bigmin(b))
-        .collect();
-    let mut out = Vec::new();
-    let mut stats = QueryStats::default();
-    for (hits, shard_stats) in per_shard {
-        out.extend(hits);
-        stats.seeks += shard_stats.seeks;
-        stats.scanned += shard_stats.scanned;
-        stats.reported += shard_stats.reported;
-    }
-    (out, stats)
-}
-
 /// Asserts the sharded store's query results are byte-identical to the
-/// single store's (router + fan-out must be invisible to readers), and
-/// reports per-shard shape and query work.
+/// single store's (router + fan-out must be invisible to readers) — for
+/// the sequential fan-out AND the scoped-thread parallel one, which now
+/// really distributes the per-shard scans — and reports per-shard shape
+/// and query work.
 fn assert_sharded_equivalence(
     sc: &Scenario,
     parts: usize,
@@ -202,10 +179,10 @@ fn assert_sharded_equivalence(
     SfcStore<2, u64, ZCurve<2>>,
 ) {
     let z = ZCurve::over(sc.grid);
-    let mut sharded = ShardedSfcStore::bulk_load(z, parts, sc.base.iter().copied());
-    // Sample the write-weight feedback (1 in 64, weight 64): unbiased for
-    // rebalancing, and the accumulator's bookkeeping stays off the
-    // per-upsert hot path.
+    let sharded = ShardedSfcStore::bulk_load(z, parts, sc.base.iter().copied());
+    // Sample the write-weight feedback (1 in 64 per shard, weight 64):
+    // unbiased for rebalancing, and the accumulator's bookkeeping stays
+    // off the per-upsert hot path.
     sharded.set_traffic_sampling(64);
     let mut single = SfcStore::bulk_load(z, sc.base.iter().copied());
     for updates in &sc.rounds {
@@ -217,17 +194,18 @@ fn assert_sharded_equivalence(
     assert_eq!(sharded.len(), single.len(), "live set size");
     let triple = |key: CurveIndex, point: Point<2>, payload: u64| (key, point, payload);
     let mut per_shard_work = vec![QueryStats::default(); parts];
+    let frozen = sharded.snapshot();
     for b in &sc.boxes {
         let (got, _) = sharded.query_box_bigmin(b);
-        let (par, _) = sharded_query_bigmin_par(&sharded, b);
+        let (par, _) = sharded.query_box_bigmin_par(b);
         let (want, _) = single.query_box_bigmin(b);
         let got: Vec<_> = got
             .iter()
-            .map(|e| triple(e.key, e.point, *e.payload))
+            .map(|e| triple(e.key, e.point, e.payload))
             .collect();
         let par: Vec<_> = par
             .iter()
-            .map(|e| triple(e.key, e.point, *e.payload))
+            .map(|e| triple(e.key, e.point, e.payload))
             .collect();
         let want: Vec<_> = want
             .iter()
@@ -237,28 +215,36 @@ fn assert_sharded_equivalence(
         assert_eq!(par, want, "par fan-out bigmin mismatch on {b:?}");
         let q = b.lo();
         let (gk, _) = sharded.knn(q, 10, 16);
+        let (gkp, _) = sharded.knn_par(q, 10, 16);
         let (wk, _) = single.knn(q, 10, 16);
         let gk: Vec<_> = gk
             .iter()
-            .map(|e| triple(e.key, e.point, *e.payload))
+            .map(|e| triple(e.key, e.point, e.payload))
+            .collect();
+        let gkp: Vec<_> = gkp
+            .iter()
+            .map(|e| triple(e.key, e.point, e.payload))
             .collect();
         let wk: Vec<_> = wk
             .iter()
             .map(|e| triple(e.key, e.point, *e.payload))
             .collect();
         assert_eq!(gk, wk, "sharded knn mismatch at {q}");
-        for (j, shard) in sharded.shards().iter().enumerate() {
+        assert_eq!(gkp, wk, "par knn mismatch at {q}");
+        for (j, shard) in frozen.shards().iter().enumerate() {
             let (_, s) = shard.query_box_bigmin(b);
             per_shard_work[j].seeks += s.seeks;
             per_shard_work[j].scanned += s.scanned;
             per_shard_work[j].reported += s.reported;
         }
     }
-    println!("sharded equivalence: {parts}-shard results byte-identical to single store");
+    println!(
+        "sharded equivalence: {parts}-shard results byte-identical to single store (seq + par)"
+    );
     for (j, (len, work)) in sharded.shard_lens().iter().zip(&per_shard_work).enumerate() {
         println!(
             "  shard {j}: {len} live | runs {:?} | box-query work: seeks {} scanned {} reported {}",
-            sharded.shards()[j].run_lens(),
+            sharded.shard_run_lens()[j],
             work.seeks,
             work.scanned,
             work.reported
@@ -270,7 +256,7 @@ fn assert_sharded_equivalence(
 fn bench_sharded_ingest(c: &mut Criterion) {
     const PARTS: usize = 4;
     let sc = scenario();
-    let (mut sharded, mut single) = assert_sharded_equivalence(&sc, PARTS);
+    let (sharded, mut single) = assert_sharded_equivalence(&sc, PARTS);
 
     let mut group = c.benchmark_group("sharded_ingest_100k_into_1m");
     group.bench_function("z_single_store", |bencher| {
@@ -309,12 +295,57 @@ fn bench_sharded_ingest(c: &mut Criterion) {
                     sharded.insert(p, v);
                 }
                 for b in &sc.boxes {
-                    total += black_box(sharded_query_bigmin_par(&sharded, b).0.len());
+                    total += black_box(sharded.query_box_bigmin_par(b).0.len());
                 }
             }
             total
         })
     });
+    group.finish();
+}
+
+/// Multi-writer ingest throughput: the same total op count split across
+/// 1/2/4/8 writer threads driving the `&self` API of an 8-shard store.
+/// Writers own disjoint shard subsets, so the per-shard locks never
+/// contend — wall-clock scaling above one writer is bounded only by the
+/// machine's cores (single-core containers will show ≈1×).
+fn bench_concurrent_throughput(c: &mut Criterion) {
+    const SHARDS: usize = 8;
+    const TOTAL_OPS: usize = 200_000;
+    let grid = Grid::<2>::new(GRID_K).unwrap();
+    let z = ZCurve::over(grid);
+    let partition = sfc_partition::Partition::uniform(grid.n(), SHARDS);
+    // Pre-bucket a fixed op stream by owning shard so each writer thread
+    // can take whole shards (disjoint ranges, deterministic content).
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(777);
+    let mut buckets: Vec<Vec<(Point<2>, u64)>> = vec![Vec::new(); SHARDS];
+    for i in 0..TOTAL_OPS {
+        let p = grid.random_cell(&mut rng);
+        buckets[partition.part_of(z.index_of(p))].push((p, i as u64));
+    }
+    let mut group = c.benchmark_group("concurrent_throughput");
+    for writers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("writers_{writers}"), |bencher| {
+            bencher.iter(|| {
+                let store = ShardedSfcStore::with_memtable_capacity(z, SHARDS, 2048);
+                store.set_traffic_sampling(64);
+                std::thread::scope(|scope| {
+                    for w in 0..writers {
+                        let store = &store;
+                        let buckets = &buckets;
+                        scope.spawn(move || {
+                            for bucket in buckets.iter().skip(w).step_by(writers) {
+                                for &(p, v) in bucket {
+                                    store.insert(p, v);
+                                }
+                            }
+                        });
+                    }
+                });
+                black_box(store.len())
+            })
+        });
+    }
     group.finish();
 }
 
@@ -568,7 +599,7 @@ fn bench_query_paths(c: &mut Criterion, sc: &Scenario) -> QueryBench {
 criterion_group! {
     name = ingest_benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_ingest, bench_sharded_ingest
+    targets = bench_ingest, bench_sharded_ingest, bench_concurrent_throughput
 }
 
 fn json_escape(s: &str) -> String {
@@ -650,6 +681,27 @@ fn write_report(all_records: &[criterion::BenchRecord], qb: &QueryBench) {
             ),
         ),
         ("knn_zone_vs_plain", speedup("knn_1m/plain", "knn_1m/zone")),
+        (
+            "multi_writer_scaling_2_vs_1",
+            speedup(
+                "concurrent_throughput/writers_1",
+                "concurrent_throughput/writers_2",
+            ),
+        ),
+        (
+            "multi_writer_scaling_4_vs_1",
+            speedup(
+                "concurrent_throughput/writers_1",
+                "concurrent_throughput/writers_4",
+            ),
+        ),
+        (
+            "multi_writer_scaling_8_vs_1",
+            speedup(
+                "concurrent_throughput/writers_1",
+                "concurrent_throughput/writers_8",
+            ),
+        ),
     ];
     for (i, (name, ratio)) in pairs.iter().enumerate() {
         match ratio {

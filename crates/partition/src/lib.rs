@@ -39,5 +39,5 @@ pub use partitioner::{
     partition_greedy, partition_min_bottleneck, partition_min_bottleneck_sparse, Partition,
 };
 pub use quality::{evaluate, PartitionQuality};
-pub use traffic::TrafficWeights;
+pub use traffic::{ConcurrentTraffic, TrafficWeights};
 pub use weights::{WeightedGrid, Workload};

@@ -8,8 +8,21 @@
 //! the accumulated sparse histogram feeds
 //! [`partition_min_bottleneck_sparse`] to recompute shard boundaries that
 //! balance the *observed* load.
+//!
+//! Two accumulators are provided. [`TrafficWeights`] is the
+//! single-threaded original: one sparse map, `&mut self` recording.
+//! [`ConcurrentTraffic`] is its concurrent counterpart for multi-writer
+//! engines: the map is **striped** (one stripe per shard, matching the
+//! writers' natural partition), each stripe samples its own write stream
+//! through a per-stripe atomic counter, and only sampled writes touch the
+//! stripe's mutex — so concurrent writers to different shards never
+//! contend, a hot shard can never be under-sampled by other shards
+//! advancing a shared stride counter, and draining merges the stripes
+//! back into a plain [`TrafficWeights`] for the partitioner.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use sfc_core::CurveIndex;
 
@@ -107,6 +120,147 @@ impl TrafficWeights {
     }
 }
 
+/// One contention domain of a [`ConcurrentTraffic`] accumulator: the
+/// stripe's own write counter (driving its sampler) plus its share of the
+/// sparse weight map.
+#[derive(Debug, Default)]
+struct TrafficStripe {
+    /// Writes observed by this stripe since construction (sampled or
+    /// not) — the deterministic per-stripe sampling stride walks this.
+    writes: AtomicU64,
+    /// Accumulated weight per touched curve index, this stripe only.
+    weights: Mutex<BTreeMap<CurveIndex, f64>>,
+}
+
+/// A striped, `&self` traffic accumulator for concurrent writers.
+///
+/// Each stripe is an independent contention domain — callers route a
+/// write to the stripe of the shard that absorbed it, so writers to
+/// different shards touch disjoint atomics and mutexes. Sampling
+/// ([`set_sample_every`](Self::set_sample_every)) is **per stripe**: every
+/// stripe counts its own writes and records 1 in `every` of them with
+/// weight `every`, which keeps the estimator unbiased per shard. A single
+/// global stride counter (the previous design) shared its phase across
+/// shards: under parallel writers the interleaving decided which shard's
+/// writes landed on the sampled ticks, systematically under-counting hot
+/// shards. A per-stripe counter cannot — each shard's sample rate depends
+/// only on that shard's own write count.
+#[derive(Debug)]
+pub struct ConcurrentTraffic {
+    /// Size of the curve-index domain `{0, …, n−1}`.
+    n: u128,
+    /// Record 1 in `sample_every` writes, each carrying weight
+    /// `sample_every`.
+    sample_every: AtomicU64,
+    stripes: Box<[TrafficStripe]>,
+}
+
+impl ConcurrentTraffic {
+    /// An empty accumulator over the curve-index domain `0..n` with
+    /// `stripes` independent contention domains (typically one per
+    /// shard). Sampling starts at 1 (record every write exactly).
+    pub fn new(n: u128, stripes: usize) -> Self {
+        Self {
+            n,
+            sample_every: AtomicU64::new(1),
+            stripes: (0..stripes.max(1))
+                .map(|_| TrafficStripe::default())
+                .collect(),
+        }
+    }
+
+    /// The size of the curve-index domain.
+    pub fn n(&self) -> u128 {
+        self.n
+    }
+
+    /// Number of stripes (contention domains).
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Samples write-weight recording down to 1 in `every` writes per
+    /// stripe, each carrying weight `every` (`1` records every write
+    /// exactly). Takes effect for subsequent writes on every stripe.
+    pub fn set_sample_every(&self, every: u64) {
+        self.sample_every.store(every.max(1), Ordering::Relaxed);
+    }
+
+    /// The current sampling stride.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// One write happened at `key`, absorbed by the shard behind
+    /// `stripe`: count it, touching the stripe's weight map only on
+    /// sampled ticks.
+    ///
+    /// # Panics
+    /// Panics if `stripe` is out of range or `key ≥ n`.
+    pub fn record_write(&self, stripe: usize, key: CurveIndex) {
+        assert!(key < self.n, "curve index {key} outside 0..{}", self.n);
+        let s = &self.stripes[stripe];
+        let count = s.writes.fetch_add(1, Ordering::Relaxed);
+        let every = self.sample_every.load(Ordering::Relaxed);
+        if count.is_multiple_of(every) {
+            let mut weights = s.weights.lock().expect("traffic stripe poisoned");
+            *weights.entry(key).or_insert(0.0) += every as f64;
+        }
+    }
+
+    /// Adds explicit (unsampled) `weight` for `key` to the given stripe —
+    /// e.g. to make read-heavy cells count toward the next rebalance.
+    ///
+    /// # Panics
+    /// Panics if `stripe` is out of range, `key ≥ n`, or `weight` is
+    /// negative or non-finite.
+    pub fn record(&self, stripe: usize, key: CurveIndex, weight: f64) {
+        assert!(key < self.n, "curve index {key} outside 0..{}", self.n);
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be non-negative and finite"
+        );
+        let mut weights = self.stripes[stripe]
+            .weights
+            .lock()
+            .expect("traffic stripe poisoned");
+        *weights.entry(key).or_insert(0.0) += weight;
+    }
+
+    /// Total writes observed by `stripe` (sampled and unsampled alike).
+    pub fn stripe_writes(&self, stripe: usize) -> u64 {
+        self.stripes[stripe].writes.load(Ordering::Relaxed)
+    }
+
+    /// Merges every stripe into a plain [`TrafficWeights`] without
+    /// clearing anything — a consistent *copy* of the observed load.
+    pub fn merged(&self) -> TrafficWeights {
+        let mut out = TrafficWeights::new(self.n);
+        for stripe in self.stripes.iter() {
+            let weights = stripe.weights.lock().expect("traffic stripe poisoned");
+            for (&k, &w) in weights.iter() {
+                out.record(k, w);
+            }
+        }
+        out
+    }
+
+    /// Drains every stripe into a plain [`TrafficWeights`] and forgets
+    /// the observed load (each rebalance consumes its own epoch of
+    /// traffic). Write counters keep running — they drive the sampling
+    /// phase, not the weights.
+    pub fn drain(&self) -> TrafficWeights {
+        let mut out = TrafficWeights::new(self.n);
+        for stripe in self.stripes.iter() {
+            let mut weights = stripe.weights.lock().expect("traffic stripe poisoned");
+            for (k, w) in std::mem::take(&mut *weights) {
+                out.record(k, w);
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +351,100 @@ mod tests {
     fn record_rejects_out_of_domain_keys() {
         let mut t = TrafficWeights::new(8);
         t.record(8, 1.0);
+    }
+
+    #[test]
+    fn concurrent_unsampled_recording_is_exact() {
+        let t = ConcurrentTraffic::new(1 << 10, 4);
+        for i in 0..100u64 {
+            t.record_write((i % 4) as usize, u128::from(i));
+        }
+        let merged = t.merged();
+        assert_eq!(merged.observed(), 100);
+        assert!((merged.total() - 100.0).abs() < 1e-9);
+        // Drain consumes; a second drain sees nothing.
+        let drained = t.drain();
+        assert!((drained.total() - 100.0).abs() < 1e-9);
+        assert!(t.drain().is_empty());
+        // Write counters keep running across drains.
+        assert_eq!(t.stripe_writes(0), 25);
+    }
+
+    #[test]
+    fn per_stripe_sampling_cannot_undersample_a_hot_stripe() {
+        // Regression for the global-stride design: stripe 0 takes 400
+        // writes, stripe 1 takes 4, interleaved. A single shared counter
+        // with stride 4 could phase-lock so that (depending on the
+        // interleaving) stripe 1's writes land on every sampled tick and
+        // stripe 0 is under-counted. Per-stripe counters make each
+        // stripe's recorded total depend only on its own write count.
+        let t = ConcurrentTraffic::new(1 << 10, 2);
+        t.set_sample_every(4);
+        for i in 0..400u64 {
+            t.record_write(0, u128::from(i % 64));
+            if i % 100 == 0 {
+                t.record_write(1, 512 + u128::from(i));
+            }
+        }
+        let merged = t.merged();
+        // Stripe 0: 400 writes at stride 4 → exactly 100 samples × 4.
+        let hot: f64 = merged
+            .entries()
+            .filter(|&(k, _)| k < 512)
+            .map(|(_, w)| w)
+            .sum();
+        assert!(
+            (hot - 400.0).abs() < 1e-9,
+            "hot stripe under-sampled: {hot}"
+        );
+        // Stripe 1: 4 writes at stride 4 → at least the first sampled.
+        let cold: f64 = merged
+            .entries()
+            .filter(|&(k, _)| k >= 512)
+            .map(|(_, w)| w)
+            .sum();
+        assert!(cold >= 4.0, "cold stripe lost its traffic: {cold}");
+    }
+
+    #[test]
+    fn concurrent_recording_is_race_free_across_threads() {
+        // 4 writer threads × 2 stripes, sampling 1 (exact): every write
+        // must be counted exactly once — fetch_add and the stripe mutex
+        // may lose nothing.
+        let t = ConcurrentTraffic::new(1 << 20, 2);
+        let per_thread = 5_000u64;
+        std::thread::scope(|scope| {
+            for thread in 0..4u64 {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let stripe = (thread % 2) as usize;
+                        t.record_write(stripe, u128::from(thread * per_thread + i));
+                    }
+                });
+            }
+        });
+        let merged = t.merged();
+        assert!((merged.total() - 20_000.0).abs() < 1e-9);
+        assert_eq!(merged.observed(), 20_000);
+        assert_eq!(t.stripe_writes(0) + t.stripe_writes(1), 20_000);
+    }
+
+    #[test]
+    fn sampled_weight_total_tracks_true_write_count() {
+        let t = ConcurrentTraffic::new(1 << 12, 3);
+        t.set_sample_every(8);
+        let writes = 4_000u64;
+        for i in 0..writes {
+            t.record_write((i % 3) as usize, u128::from(i % 1024));
+        }
+        let total = t.merged().total();
+        // Each stripe records ceil(writes_j / 8) samples of weight 8: the
+        // total can overshoot by at most (every − 1) per stripe.
+        let slack = 8.0 * 3.0;
+        assert!(
+            (total - writes as f64).abs() <= slack,
+            "sampled total {total} drifted from {writes}"
+        );
     }
 }

@@ -55,8 +55,11 @@ pub mod prelude {
     };
     pub use sfc_index::{BoxRegion, QueryStats, SfcIndex, ZoneMap};
     pub use sfc_metrics::nn_stretch::NnStretchSummary;
-    pub use sfc_partition::{Partition, TrafficWeights, WeightedGrid, Workload};
-    pub use sfc_store::{LevelStrategy, QueryPlan, SfcStore, ShardedSfcStore, StoreSnapshot};
+    pub use sfc_partition::{ConcurrentTraffic, Partition, TrafficWeights, WeightedGrid, Workload};
+    pub use sfc_store::{
+        LevelStrategy, QueryPlan, SfcStore, ShardedSfcStore, ShardedSnapshot, StoreEntry,
+        StoreSnapshot,
+    };
 }
 
 #[cfg(test)]

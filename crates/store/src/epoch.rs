@@ -1,0 +1,465 @@
+//! The concurrent shard engine: per-shard write locks and epoch-published
+//! frozen run stacks.
+//!
+//! One [`Shard`] is the unit of write concurrency in a
+//! [`ShardedSfcStore`](crate::ShardedSfcStore). Its state is split along
+//! the mutability boundary the LSM design already draws:
+//!
+//! * **Mutable tail** — the seq-numbered memtable plus the shard's live
+//!   count, behind the shard's [`Mutex`] (`mem`). Writers hold it for one
+//!   map operation; readers hold it just long enough to clone the key
+//!   range a query needs. Writers to *different* shards touch disjoint
+//!   locks and never contend.
+//! * **Frozen run stack** — published through an atomically swapped
+//!   [`Arc`] (an [`EpochCell`], a hand-rolled arc-swap over
+//!   `Mutex<Arc<_>>` whose critical section is a single refcount bump).
+//!   Readers load the current epoch and scan it without any further
+//!   synchronisation; maintenance builds the *next* run stack off-lock
+//!   and swaps it in whole. No reader ever blocks on a flush, merge, or
+//!   compaction, and no flush ever waits for a reader.
+//! * **Maintenance guard** (`maint`) — serialises the epoch *writers*
+//!   (flush, compaction, migration) against each other. Plain writes and
+//!   reads never take it.
+//!
+//! ## The flush protocol (publish before drain)
+//!
+//! A flush must move memtable entries into a new immutable run without a
+//! window in which readers see the entries in *neither* place. The
+//! protocol:
+//!
+//! 1. Under `mem`, clone the memtable image and note the current
+//!    sequence-number high-water mark.
+//! 2. Off-lock (serialised by `maint`), build the new run, restore the
+//!    size-tier invariant, and **publish** the new epoch.
+//! 3. Under `mem` again, drain exactly the entries the clone covered —
+//!    those whose sequence number is below the high-water mark. Entries
+//!    written concurrently with step 2 carry newer sequence numbers and
+//!    stay.
+//!
+//! Between steps 2 and 3 a reader may see a flushed entry twice — once in
+//! the memtable image, once in the new run — with identical key, point,
+//! and payload; the newest-wins level merge collapses the duplicate, so
+//! the anomaly is invisible. The sequence numbers (not value comparison)
+//! make step 3 sound when a concurrent writer *updates* a key mid-flush:
+//! the update's newer sequence number keeps it in the memtable, where it
+//! correctly shadows the just-flushed older version.
+//!
+//! ## Lock order
+//!
+//! `partition (RwLock, router level) → maint → mem → EpochCell` —
+//! every acquisition path in this crate follows it; the `EpochCell`
+//! mutex is a leaf (nothing is ever acquired while holding it).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use sfc_core::{CurveIndex, Point, SpaceFillingCurve};
+use sfc_index::SfcIndex;
+
+use crate::merge::{merge_runs, restore_size_tiers};
+use crate::snapshot::StoreSnapshot;
+use crate::view::{Memtable, Run};
+
+/// One published generation of a shard's frozen state: the immutable run
+/// stack (oldest first) plus the number of live records visible in it.
+/// Epochs are immutable once published; readers pin one with an `Arc`
+/// clone and scan it at leisure.
+#[derive(Debug)]
+pub(crate) struct RunsEpoch<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
+    /// Immutable sorted runs, oldest first (the same stack shape as
+    /// [`SfcStore`](crate::SfcStore)'s).
+    pub(crate) runs: Vec<Run<D, T, C>>,
+    /// Live (visible, non-tombstoned) records in `runs` alone.
+    pub(crate) live: usize,
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> RunsEpoch<D, T, C> {
+    fn empty() -> Self {
+        Self {
+            runs: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// `true` iff the newest version of `key` in the run stack is live.
+    fn is_live(&self, key: CurveIndex) -> bool {
+        for run in self.runs.iter().rev() {
+            if let Some(i) = run.find_key(key) {
+                return run.payloads()[i].is_some();
+            }
+        }
+        false
+    }
+
+    /// The newest version of `key` in the run stack (`None` for both
+    /// "absent" and "tombstoned").
+    fn get(&self, key: CurveIndex) -> Option<T>
+    where
+        T: Clone,
+    {
+        for run in self.runs.iter().rev() {
+            if let Some(i) = run.find_key(key) {
+                return run.payloads()[i].clone();
+            }
+        }
+        None
+    }
+}
+
+/// A hand-rolled arc-swap: the current epoch behind a mutex whose
+/// critical section is one `Arc` clone (load) or one pointer swap
+/// (publish). Readers and writers pass through in nanoseconds; the heavy
+/// work of building the next epoch happens entirely outside.
+#[derive(Debug)]
+pub(crate) struct EpochCell<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
+    current: Mutex<Arc<RunsEpoch<D, T, C>>>,
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> EpochCell<D, T, C> {
+    fn new(epoch: RunsEpoch<D, T, C>) -> Self {
+        Self {
+            current: Mutex::new(Arc::new(epoch)),
+        }
+    }
+
+    /// Pins and returns the current epoch.
+    pub(crate) fn load(&self) -> Arc<RunsEpoch<D, T, C>> {
+        self.current.lock().expect("epoch cell poisoned").clone()
+    }
+
+    /// Atomically replaces the current epoch.
+    fn publish(&self, epoch: Arc<RunsEpoch<D, T, C>>) {
+        *self.current.lock().expect("epoch cell poisoned") = epoch;
+    }
+}
+
+/// The memtable entry: cell, payload-or-tombstone, and the write sequence
+/// number that makes the flush drain race-free.
+type SeqSlot<const D: usize, T> = (Point<D>, Option<T>, u64);
+
+/// The mutable tail of one shard, guarded by the shard's `mem` lock.
+#[derive(Debug)]
+struct MemState<const D: usize, T> {
+    /// Newest level: key → (cell, payload-or-tombstone, seq).
+    table: BTreeMap<CurveIndex, SeqSlot<D, T>>,
+    /// Monotonic per-shard write counter stamping every memtable entry.
+    next_seq: u64,
+    /// Live records of the whole shard (memtable *and* published runs),
+    /// maintained incrementally by insert/delete.
+    live: usize,
+    /// Entries buffered before an automatic flush.
+    cap: usize,
+}
+
+/// A point-in-time capture of one shard for a single query: the memtable
+/// image (cloned under the `mem` lock, restricted to the key span the
+/// query can touch) plus the pinned epoch. All the heavy scanning runs
+/// against the capture with no shard lock held.
+#[derive(Debug)]
+pub(crate) struct ShardCapture<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
+    /// `None` when the captured span of the memtable was empty — the
+    /// capture then behaves exactly like a snapshot level-wise (and
+    /// charges no phantom memtable seeks to the query stats).
+    mem: Option<Memtable<D, T>>,
+    epoch: Arc<RunsEpoch<D, T, C>>,
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardCapture<D, T, C> {
+    /// The borrowed multi-level view the query engine runs against.
+    pub(crate) fn view<'a>(&'a self, curve: &'a C) -> crate::view::LevelsView<'a, D, T, C> {
+        crate::view::LevelsView {
+            curve,
+            memtable: self.mem.as_ref(),
+            runs: &self.epoch.runs,
+        }
+    }
+}
+
+/// One concurrently writable shard: see the module docs for the locking
+/// and publication protocol.
+#[derive(Debug)]
+pub(crate) struct Shard<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
+    /// Serialises flush/compact/migration and their epoch swaps.
+    maint: Mutex<()>,
+    mem: Mutex<MemState<D, T>>,
+    epoch: EpochCell<D, T, C>,
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
+    /// An empty shard flushing its memtable at `cap` entries.
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            maint: Mutex::new(()),
+            mem: Mutex::new(MemState {
+                table: BTreeMap::new(),
+                next_seq: 0,
+                live: 0,
+                cap: cap.max(1),
+            }),
+            epoch: EpochCell::new(RunsEpoch::empty()),
+        }
+    }
+
+    /// A shard adopting pre-sorted columns (strictly increasing keys, all
+    /// slots `Some`) as its single bottom run.
+    pub(crate) fn from_bottom_run(
+        curve: &C,
+        keys: Vec<CurveIndex>,
+        points: Vec<Point<D>>,
+        payloads: Vec<Option<T>>,
+        cap: usize,
+    ) -> Self {
+        let shard = Self::new(cap);
+        shard.install_bottom_run(curve, keys, points, payloads);
+        shard
+    }
+
+    /// Live records in the shard (memtable and runs merged).
+    pub(crate) fn live(&self) -> usize {
+        self.mem.lock().expect("shard mem poisoned").live
+    }
+
+    /// Buffered memtable entries (live and tombstone).
+    pub(crate) fn memtable_len(&self) -> usize {
+        self.mem.lock().expect("shard mem poisoned").table.len()
+    }
+
+    /// Sizes of the published immutable runs, oldest first.
+    pub(crate) fn run_lens(&self) -> Vec<usize> {
+        self.epoch.load().runs.iter().map(|r| r.len()).collect()
+    }
+
+    /// Captures the shard for one query: the memtable image clipped to
+    /// `span` (inclusive; `None` captures the whole memtable) plus the
+    /// pinned epoch, both under one brief `mem` lock so they are mutually
+    /// consistent. See the module docs for why a concurrent flush cannot
+    /// open a gap between the two.
+    pub(crate) fn capture(&self, span: Option<(CurveIndex, CurveIndex)>) -> ShardCapture<D, T, C>
+    where
+        T: Clone,
+    {
+        let mem = self.mem.lock().expect("shard mem poisoned");
+        let image: Memtable<D, T> = match span {
+            Some((lo, hi)) if lo <= hi => mem
+                .table
+                .range(lo..=hi)
+                .map(|(&k, (p, s, _))| (k, (*p, s.clone())))
+                .collect(),
+            Some(_) => BTreeMap::new(),
+            None => mem
+                .table
+                .iter()
+                .map(|(&k, (p, s, _))| (k, (*p, s.clone())))
+                .collect(),
+        };
+        let epoch = self.epoch.load();
+        ShardCapture {
+            mem: (!image.is_empty()).then_some(image),
+            epoch,
+        }
+    }
+
+    /// The live payload at `key`, if any (memtable first, then the
+    /// pinned epoch).
+    pub(crate) fn get(&self, key: CurveIndex) -> Option<T>
+    where
+        T: Clone,
+    {
+        let mem = self.mem.lock().expect("shard mem poisoned");
+        if let Some((_, slot, _)) = mem.table.get(&key) {
+            return slot.clone();
+        }
+        let epoch = self.epoch.load();
+        drop(mem);
+        epoch.get(key)
+    }
+}
+
+impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
+    /// Upserts the record at `key`; returns `true` if a live record was
+    /// replaced. Flushes the memtable when it reaches capacity.
+    pub(crate) fn insert(&self, curve: &C, key: CurveIndex, p: Point<D>, payload: T) -> bool {
+        let needs_flush;
+        let was_live;
+        {
+            let mut mem = self.mem.lock().expect("shard mem poisoned");
+            was_live = match mem.table.get(&key) {
+                Some((_, slot, _)) => slot.is_some(),
+                None => self.epoch.load().is_live(key),
+            };
+            let seq = mem.next_seq;
+            mem.next_seq += 1;
+            mem.table.insert(key, (p, Some(payload), seq));
+            if !was_live {
+                mem.live += 1;
+            }
+            needs_flush = mem.table.len() >= mem.cap;
+        }
+        if needs_flush {
+            self.flush(curve);
+        }
+        was_live
+    }
+
+    /// Deletes the record at `key`; returns `true` if a live record was
+    /// removed. Always writes a tombstone — with concurrent flushes in
+    /// flight, an already-cloned-but-not-yet-published run may hold an
+    /// older live version this delete must shadow, so the "no runs below,
+    /// just remove the entry" shortcut of the single-writer store is not
+    /// sound here. Tombstones that turn out to shadow nothing are dropped
+    /// when a flush builds the bottom run.
+    pub(crate) fn delete(&self, curve: &C, key: CurveIndex, p: Point<D>) -> bool {
+        let needs_flush;
+        let was_live;
+        {
+            let mut mem = self.mem.lock().expect("shard mem poisoned");
+            was_live = match mem.table.get(&key) {
+                Some((_, slot, _)) => slot.is_some(),
+                None => self.epoch.load().is_live(key),
+            };
+            let seq = mem.next_seq;
+            mem.next_seq += 1;
+            mem.table.insert(key, (p, None, seq));
+            if was_live {
+                mem.live -= 1;
+            }
+            needs_flush = mem.table.len() >= mem.cap;
+        }
+        if needs_flush {
+            self.flush(curve);
+        }
+        was_live
+    }
+
+    /// Drains the memtable into a new published run (see the module docs
+    /// for the publish-before-drain protocol), then restores the
+    /// size-tier invariant. A no-op on an empty memtable.
+    pub(crate) fn flush(&self, curve: &C) {
+        let _maint = self.maint.lock().expect("shard maint poisoned");
+        self.flush_locked(curve);
+    }
+
+    fn flush_locked(&self, curve: &C) {
+        // Step 1: clone the memtable image under a brief mem lock.
+        let (entries, high_water, live_at) = {
+            let mem = self.mem.lock().expect("shard mem poisoned");
+            if mem.table.is_empty() {
+                return;
+            }
+            let entries: Vec<(CurveIndex, Point<D>, Option<T>)> = mem
+                .table
+                .iter()
+                .map(|(&k, (p, s, _))| (k, *p, s.clone()))
+                .collect();
+            (entries, mem.next_seq, mem.live)
+        };
+        // Step 2: build the next epoch off-lock (`maint` keeps other
+        // epoch writers out; readers keep the old epoch).
+        let old = self.epoch.load();
+        let drop_tombstones = old.runs.is_empty();
+        let mut keys = Vec::with_capacity(entries.len());
+        let mut points = Vec::with_capacity(entries.len());
+        let mut payloads = Vec::with_capacity(entries.len());
+        for (key, point, slot) in entries {
+            if slot.is_none() && drop_tombstones {
+                continue;
+            }
+            keys.push(key);
+            points.push(point);
+            payloads.push(slot);
+        }
+        let mut runs = old.runs.clone();
+        if !keys.is_empty() {
+            runs.push(Arc::new(SfcIndex::from_sorted_versions(
+                curve.clone(),
+                keys,
+                points,
+                payloads,
+            )));
+            restore_size_tiers(curve, &mut runs);
+        }
+        // `live_at` was captured together with the memtable image: after
+        // the flush, everything that was visible then lives in `runs`.
+        self.epoch.publish(Arc::new(RunsEpoch {
+            runs,
+            live: live_at,
+        }));
+        // Step 3: drain exactly the flushed entries; concurrent writes
+        // carry seq >= high_water and stay.
+        let mut mem = self.mem.lock().expect("shard mem poisoned");
+        mem.table.retain(|_, &mut (_, _, seq)| seq >= high_water);
+    }
+
+    /// Major compaction: flush, then merge all runs into a single
+    /// tombstone-free run and publish it as the next epoch.
+    pub(crate) fn compact(&self, curve: &C) {
+        let _maint = self.maint.lock().expect("shard maint poisoned");
+        self.flush_locked(curve);
+        let old = self.epoch.load();
+        if old.runs.len() > 1 {
+            let merged = merge_runs(curve, old.runs.clone(), true);
+            let runs = if merged.is_empty() {
+                Vec::new()
+            } else {
+                vec![Arc::new(merged)]
+            };
+            debug_assert_eq!(
+                runs.iter().map(|r| r.len()).sum::<usize>(),
+                old.live,
+                "after compaction every stored record is live"
+            );
+            self.epoch.publish(Arc::new(RunsEpoch {
+                runs,
+                live: old.live,
+            }));
+        }
+    }
+
+    /// Freezes the shard into an owned [`StoreSnapshot`]: flush, then pin
+    /// the published epoch. The snapshot is complete with respect to
+    /// every write that happened before this call; after creation it
+    /// never touches a shard lock again.
+    pub(crate) fn snapshot(&self, curve: &C) -> StoreSnapshot<D, T, C> {
+        self.flush(curve);
+        let epoch = self.epoch.load();
+        StoreSnapshot::new(curve.clone(), epoch.runs.clone(), epoch.live)
+    }
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
+    /// Replaces the shard's entire contents with one bottom run — the
+    /// migration primitive `rebalance` uses while it holds the router's
+    /// exclusive guard (no writer or reader can be in flight).
+    pub(crate) fn install_bottom_run(
+        &self,
+        curve: &C,
+        keys: Vec<CurveIndex>,
+        points: Vec<Point<D>>,
+        payloads: Vec<Option<T>>,
+    ) {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "bottom run keys must be strictly increasing"
+        );
+        debug_assert!(
+            payloads.iter().all(Option::is_some),
+            "bottom run must be tombstone-free"
+        );
+        let _maint = self.maint.lock().expect("shard maint poisoned");
+        let mut mem = self.mem.lock().expect("shard mem poisoned");
+        let live = keys.len();
+        mem.table.clear();
+        mem.live = live;
+        let runs = if keys.is_empty() {
+            Vec::new()
+        } else {
+            vec![Arc::new(SfcIndex::from_sorted_versions(
+                curve.clone(),
+                keys,
+                points,
+                payloads,
+            ))]
+        };
+        self.epoch.publish(Arc::new(RunsEpoch { runs, live }));
+    }
+}

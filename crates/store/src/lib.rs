@@ -80,45 +80,71 @@
 //! cheaper than 100k-record-batched full rebuilds — see
 //! `crates/bench/benches/store.rs`.
 //!
-//! ## Scaling out: shards and snapshots
+//! ## Scaling out: the concurrent sharded engine
 //!
-//! A single [`SfcStore`] is **single-writer, single-reader** (`&mut self`
-//! writes, `&self` reads, no internal synchronisation). Two layers on top
-//! lift that limit without touching the core write path:
+//! A single [`SfcStore`] is **single-writer** (`&mut self` writes, no
+//! internal synchronisation) — the simple building block. The
+//! [`ShardedSfcStore`] on top of it is a genuinely **concurrent engine**:
+//! every operation, including `insert`/`delete`/`flush`/`compact`/
+//! `snapshot`/`rebalance`, takes `&self`, and the store is `Send + Sync`.
 //!
-//! **Sharding** ([`ShardedSfcStore`]). The keyspace `0..n` is cut into
-//! contiguous curve-index ranges by a
-//! [`Partition`](sfc_partition::Partition) — the paper's SFC
+//! **Sharding** — the keyspace `0..n` is cut into contiguous curve-index
+//! ranges by a [`Partition`](sfc_partition::Partition) — the paper's SFC
 //! domain-decomposition structure, reused verbatim as a shard router.
 //! Boundary semantics are **half-open**: shard `j` owns
 //! `boundaries[j] .. boundaries[j+1]`, so every curve key routes to
-//! exactly one shard. Writes touch one shard; box queries compute their
-//! curve intervals once, clip them per shard, and fan out to only the
-//! shards whose range intersects them; results concatenate in shard order
-//! (which *is* curve order) with per-shard [`QueryStats`] summed. Every
-//! read is byte-identical to a single store holding the same records.
-//! Observed per-cell write weights
-//! ([`TrafficWeights`](sfc_partition::TrafficWeights)) feed
-//! [`ShardedSfcStore::rebalance`], which recomputes min-bottleneck
-//! boundaries from live traffic and migrates records — the paper's load
-//! balancer closing the loop over a running store.
+//! exactly one shard. Curve contiguity is what makes the concurrency
+//! design work: each shard's mutable tail (a seq-numbered memtable plus
+//! its live count) sits behind its **own mutex**, so concurrent writers
+//! to different shards never contend — the paper's locality argument,
+//! turned into a lock-partitioning argument.
 //!
-//! **Snapshots** ([`StoreSnapshot`] / [`ShardedSnapshot`]). Runs are held
-//! behind `Arc`, so [`SfcStore::snapshot`] can freeze the current run
-//! stack by cloning pointers (the memtable is flushed first so the
-//! snapshot is complete). The snapshot is an owned `Send + Sync` value:
-//! readers — on other threads, if desired — keep querying the frozen
-//! state while the writer absorbs new writes into fresh memtables and
-//! runs. A compaction that wants to consume a pinned run copies it out of
-//! its `Arc` instead (copy-on-write; the reason the write path requires
-//! `T: Clone`), leaving every outstanding snapshot intact.
+//! **Epoch publication** — each shard's frozen run stack is published
+//! through an atomically swapped `Arc` (a hand-rolled arc-swap; see the
+//! `epoch` module). Queries *capture* a shard — one microscopic lock to
+//! clone the memtable range the query spans and pin the current epoch —
+//! and then scan entirely lock-free; flushes and compactions build the
+//! next run stack off to the side and swap it in whole, so **readers
+//! never block maintenance and maintenance never blocks readers**. A
+//! flush publishes the new run *before* draining the memtable
+//! (per-entry sequence numbers make the drain race-free), so no reader
+//! can ever observe a write in neither place. Because query results can
+//! no longer borrow from behind a lock, sharded queries return owned
+//! [`StoreEntry`] values (payloads cloned per reported hit).
 //!
-//! **Migration path.** Code written against the single store upgrades
-//! mechanically: construct a `ShardedSfcStore` with the same curve plus a
-//! shard count, and the read/write API is unchanged. True parallel
-//! fan-out needs only real `rayon` over
-//! [`shards()`](ShardedSfcStore::shards) — the vendored stand-in runs the
-//! same code sequentially (see ROADMAP "Open items").
+//! **Lock order** — `partition RwLock → shard maint → shard mem →
+//! epoch cell / traffic stripe`; the last two are leaves, and multiple
+//! shards are only locked together (in ascending index order) under the
+//! partition's write guard.
+//!
+//! **Traffic and rebalancing** — per-cell write weights accumulate in a
+//! striped [`ConcurrentTraffic`](sfc_partition::ConcurrentTraffic)
+//! (one stripe per shard, per-stripe atomic sampling counters — a hot
+//! shard's sample rate cannot be skewed by other shards' writes).
+//! [`ShardedSfcStore::rebalance`] is the engine's one **stop-the-world**
+//! operation: it holds the partition's write guard for its whole
+//! duration (excluding all writers and router-level readers), flushes
+//! every shard, recomputes min-bottleneck boundaries from the drained
+//! traffic, and migrates records as pre-sorted bottom runs.
+//!
+//! **Snapshots** ([`StoreSnapshot`] / [`ShardedSnapshot`]) — runs are
+//! held behind `Arc`, so a snapshot pins the published epochs by cloning
+//! pointers (each shard is flushed first so the snapshot is complete).
+//! The snapshot is an owned `Send + Sync` value that never touches a
+//! lock after creation: readers on any thread keep querying the frozen
+//! state while writers continue. A compaction that wants to consume a
+//! pinned run copies it out of its `Arc` instead (copy-on-write; the
+//! reason the write path requires `T: Clone`), leaving every
+//! outstanding snapshot — and every published epoch — intact.
+//!
+//! **Parallel fan-out** — the sharded query paths have
+//! `*_par` twins (`query_box_par`, `query_box_intervals_par`,
+//! `query_box_bigmin_par`, `knn_par`, on both the store and its
+//! snapshots) that distribute the per-shard scans across
+//! `std::thread::scope` worker threads; per-shard results join in shard
+//! order, so parallel results are byte-identical to sequential ones.
+//! The vendored rayon stand-in spawns real threads too, so
+//! `par_iter()`-style fan-outs over snapshot shards distribute as well.
 //!
 //! [`QueryStats`]: sfc_index::QueryStats
 //! [`SfcIndex`]: sfc_index::SfcIndex
@@ -128,6 +154,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod epoch;
 mod merge;
 mod shard;
 mod snapshot;
@@ -136,5 +163,5 @@ mod view;
 
 pub use shard::{ShardedSfcStore, ShardedSnapshot};
 pub use snapshot::StoreSnapshot;
-pub use store::{SfcStore, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
+pub use store::{SfcStore, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
 pub use view::{LevelStrategy, QueryPlan, SnapshotIter, INTERVAL_VOLUME_CUTOFF};

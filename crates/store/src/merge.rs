@@ -87,6 +87,36 @@ pub(crate) fn merge_runs<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clo
     SfcIndex::from_sorted_versions(curve.clone(), keys, points, payloads)
 }
 
+/// Restores the size-tier invariant on a run stack: while an older run is
+/// less than twice the size of the run stacked on it, the pair is merged
+/// (newest wins; tombstones drop only when the merge produces the bottom
+/// run). Shared by the single-writer [`SfcStore`](crate::SfcStore) and
+/// the concurrent shard engine, which applies it to a *copy* of the
+/// published run stack before swapping the next epoch in.
+pub(crate) fn restore_size_tiers<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone>(
+    curve: &C,
+    runs: &mut Vec<Run<D, T, C>>,
+) {
+    while runs.len() >= 2 {
+        let n = runs.len();
+        if runs[n - 2].len() < 2 * runs[n - 1].len() {
+            let newer = runs.pop().expect("len >= 2");
+            let older = runs.pop().expect("len >= 2");
+            let drop_tombstones = runs.is_empty();
+            runs.push(Arc::new(merge_runs(
+                curve,
+                vec![older, newer],
+                drop_tombstones,
+            )));
+        } else {
+            break;
+        }
+    }
+    if runs.len() == 1 && runs[0].is_empty() {
+        runs.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

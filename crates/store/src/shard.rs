@@ -1,43 +1,69 @@
-//! The sharded store: a `Partition` over curve-index ranges routing
-//! writes to independent [`SfcStore`] shards.
+//! The concurrent sharded store: a `Partition` over curve-index ranges
+//! routing `&self` writes to independently locked [`Shard`]s, with
+//! epoch-published frozen state for lock-free readers and
+//! `std::thread::scope`-based parallel query fan-out.
 //!
 //! This is the bridge from the paper's partitioner to the serving layer:
 //! the same curve-range [`Partition`] that balances work across processors
-//! in SFC domain decomposition balances a keyspace across store shards.
-//! Each shard owns one **half-open** curve-index range
-//! (`boundaries[j] .. boundaries[j+1]`) and is a complete single-writer
-//! [`SfcStore`]; the router above them
+//! in SFC domain decomposition balances a keyspace across store shards —
+//! and because curve-contiguous shards make concurrent writers land on
+//! *disjoint* locks, the paper's locality argument is exactly what makes
+//! the per-shard write locks contention-free. Each shard owns one
+//! **half-open** curve-index range (`boundaries[j] .. boundaries[j+1]`)
+//! and consists of a mutex-guarded memtable plus an atomically swapped
+//! frozen run stack (see the [`epoch`](crate::epoch) module for the
+//! publication protocol). The router above them
 //!
 //! * sends every upsert/delete to the shard owning the record's curve key
-//!   (recording per-cell write weight as it goes),
-//! * fans box queries out to **only** the shards whose range intersects
-//!   the query's curve intervals, clipping the interval list per shard,
-//! * concatenates per-shard results — shard ranges are ascending and
-//!   disjoint, so shard-order concatenation *is* curve order — and sums
-//!   the per-shard [`QueryStats`],
-//! * recomputes boundaries from the observed weights on demand
-//!   ([`ShardedSfcStore::rebalance`], backed by
-//!   [`partition_min_bottleneck_sparse`](sfc_partition::partition_min_bottleneck_sparse))
-//!   and migrates records to their new shards.
+//!   under a shared [`RwLock`] read guard on the partition (recording
+//!   per-shard write weight through striped atomic counters —
+//!   [`ConcurrentTraffic`]),
+//! * answers queries by **capturing** each shard — a microscopic lock to
+//!   clone the relevant memtable range and pin the current epoch — and
+//!   then scanning the captures entirely lock-free; the per-shard
+//!   clip/route/concatenate algorithms ([`ShardsView`]) are shared with
+//!   [`ShardedSnapshot`] and unchanged from the single-writer design,
+//! * fans the per-shard scans out across [`std::thread::scope`] worker
+//!   threads in the `*_par` variants (results are concatenated in shard
+//!   order, so parallel results are byte-identical to sequential ones),
+//! * treats [`rebalance`](ShardedSfcStore::rebalance) as **stop the
+//!   world**: it takes the partition's write guard (excluding every
+//!   writer and router-level reader), flushes all shards, recomputes
+//!   min-bottleneck boundaries from the drained traffic, and migrates
+//!   records — after which concurrency resumes.
+//!
+//! **Lock order** (deadlock freedom): `partition RwLock → shard maint →
+//! shard mem → epoch cell / traffic stripe` (the last two are leaves).
+//! Shards are only ever locked in ascending index order when more than
+//! one is held (migration), and only under the partition write guard.
+//!
+//! Because query results can no longer borrow from state behind a lock,
+//! the concurrent store returns **owned** [`StoreEntry`] values (payloads
+//! cloned per reported hit); snapshots still hand out borrowed
+//! [`StoreEntryRef`]s.
 
+use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::RwLock;
 
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::{BoxRegion, QueryStats};
-use sfc_partition::{Partition, TrafficWeights};
+use sfc_partition::{ConcurrentTraffic, Partition, TrafficWeights};
 
+use crate::epoch::{Shard, ShardCapture};
 use crate::snapshot::StoreSnapshot;
-use crate::store::{SfcStore, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
+use crate::store::{sorted_unique_columns, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
 use crate::view::{
-    radius_from_heap, rank_by_distance, should_decompose, with_knn_heap, LevelsView,
+    distance_key_order, interval_hull, offer, radius_from_heap, rank_by_distance, should_decompose,
+    with_knn_heap, LevelsView,
 };
+
+/// An inclusive curve-index interval.
+type Interval = (CurveIndex, CurveIndex);
 
 /// Clips sorted inclusive intervals to the half-open range `start..end`,
 /// keeping only the non-empty intersections.
-fn clip_intervals(
-    intervals: &[(CurveIndex, CurveIndex)],
-    range: &std::ops::Range<CurveIndex>,
-) -> Vec<(CurveIndex, CurveIndex)> {
+fn clip_intervals(intervals: &[Interval], range: &std::ops::Range<CurveIndex>) -> Vec<Interval> {
     intervals
         .iter()
         .filter(|&&(lo, hi)| hi >= range.start && lo < range.end)
@@ -45,11 +71,38 @@ fn clip_intervals(
         .collect()
 }
 
-/// The borrowed fan-out engine shared by [`ShardedSfcStore`] and
-/// [`ShardedSnapshot`]: a partition plus one [`LevelsView`] per shard.
-/// Exactly as [`LevelsView`] holds the merged multi-level algorithms once
-/// for store and snapshot, this holds the clip/route/concatenate
-/// algorithms once for their sharded counterparts.
+/// Converts borrowed hits into owned entries (payloads cloned).
+fn owned<const D: usize, T: Clone>(hits: Vec<StoreEntryRef<'_, D, T>>) -> Vec<StoreEntry<D, T>> {
+    hits.into_iter().map(|e| e.to_owned()).collect()
+}
+
+/// The one capture-and-query sequence every sharded query runs: capture
+/// all shards for `span` (microscopic per-shard locks, guard released
+/// before scanning), assemble the borrowed [`ShardsView`] over the
+/// captures, run `$body` against it, and clone the reported hits into
+/// owned entries. A macro rather than a closure-taking method because the
+/// view borrows locals whose lifetime a closure signature cannot name.
+macro_rules! with_shards_view {
+    ($store:expr, $span:expr, |$sv:ident| $body:expr) => {{
+        let (partition, caps) = $store.capture_all($span);
+        let views: Vec<_> = caps.iter().map(|c| c.view(&$store.curve)).collect();
+        let $sv = ShardsView {
+            curve: &$store.curve,
+            partition: &partition,
+            shards: views,
+        };
+        let (hits, stats) = $body;
+        (owned(hits), stats)
+    }};
+}
+
+/// The borrowed fan-out engine shared by [`ShardedSfcStore`] (over
+/// per-query shard captures) and [`ShardedSnapshot`] (over pinned
+/// snapshots): a partition plus one [`LevelsView`] per shard. Exactly as
+/// [`LevelsView`] holds the merged multi-level algorithms once for store
+/// and snapshot, this holds the clip/route/concatenate algorithms once
+/// for their sharded counterparts — including the scoped-thread parallel
+/// dispatch of the `*_par` entry points.
 struct ShardsView<'a, const D: usize, T, C: SpaceFillingCurve<D>> {
     curve: &'a C,
     partition: &'a Partition,
@@ -62,7 +115,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> ShardsView<'a, D, T, C> {
     /// clipped to its own range. Shard-order concatenation = curve order.
     fn query_intervals(
         &self,
-        intervals: &[(CurveIndex, CurveIndex)],
+        intervals: &[Interval],
     ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
         let mut out = Vec::new();
         let mut stats = QueryStats::default();
@@ -89,15 +142,18 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> ShardsView<'a, D, T, C> {
         self.query_intervals(&b.curve_intervals(self.curve))
     }
 
-    /// Box query through the adaptive planner: the decompose-or-not
-    /// decision (and the decomposition itself) happens **once** at the
-    /// router, each intersecting shard receives the interval list clipped
-    /// to its range and plans its own levels from its own run statistics —
-    /// the bottom-heavy shard may gallop intervals while a freshly
-    /// rebalanced neighbor BIGMIN-scans its small runs.
-    fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
-        let intervals =
-            should_decompose(self.curve, b.volume()).then(|| b.curve_intervals(self.curve));
+    /// Box query through the adaptive planner, adopting an
+    /// already-decomposed interval list (`None` = the planner decided
+    /// against decomposition): the decompose decision happens **once**
+    /// upstream, each intersecting shard receives the interval list
+    /// clipped to its range and plans its own levels from its own run
+    /// statistics — the bottom-heavy shard may gallop intervals while a
+    /// freshly rebalanced neighbor BIGMIN-scans its small runs.
+    fn query_box_with(
+        &self,
+        b: &BoxRegion<D>,
+        intervals: Option<Vec<Interval>>,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
         let zrange = self
             .curve
             .as_morton()
@@ -129,6 +185,14 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> ShardsView<'a, D, T, C> {
         (out, stats)
     }
 
+    /// Box query through the adaptive planner (decompose decision made
+    /// here) — see [`query_box_with`](Self::query_box_with).
+    fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let intervals =
+            should_decompose(self.curve, b.volume()).then(|| b.curve_intervals(self.curve));
+        self.query_box_with(b, intervals)
+    }
+
     /// Exact kNN: live candidates gathered per shard into the shared
     /// top-k distance heap (zone-map live counts and AABB distance bounds
     /// sharpen each shard's walk), the k-th best bounds the verification
@@ -156,6 +220,168 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> ShardsView<'a, D, T, C> {
     }
 }
 
+/// The scoped-thread parallel dispatch: each per-shard scan runs on its
+/// own worker thread; joining in shard order makes the concatenation —
+/// and therefore the full result — byte-identical to the sequential
+/// fan-out.
+impl<'a, const D: usize, T: Send + Sync, C: SpaceFillingCurve<D> + Send + Sync>
+    ShardsView<'a, D, T, C>
+{
+    /// Runs `work(j, shard_view)` for every shard passing `keep`, on one
+    /// scoped thread per participating shard, and returns the per-shard
+    /// results in shard order.
+    fn dispatch<R: Send>(
+        &self,
+        keep: impl Fn(usize, &std::ops::Range<CurveIndex>) -> bool,
+        work: impl Fn(usize, &LevelsView<'a, D, T, C>) -> R + Sync,
+    ) -> Vec<R> {
+        std::thread::scope(|scope| {
+            let work = &work;
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(j, shard)| {
+                    let range = self.partition.range(j);
+                    (!range.is_empty() && keep(j, &range))
+                        .then(|| scope.spawn(move || work(j, shard)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flatten()
+                .map(|h| h.join().expect("shard query worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Parallel [`query_intervals`](Self::query_intervals): byte-identical
+    /// results, per-shard scans on worker threads.
+    fn query_intervals_par(
+        &self,
+        intervals: &[Interval],
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let clipped: Vec<Vec<Interval>> = (0..self.shards.len())
+            .map(|j| {
+                let range = self.partition.range(j);
+                if range.is_empty() {
+                    Vec::new()
+                } else {
+                    clip_intervals(intervals, &range)
+                }
+            })
+            .collect();
+        let per_shard = self.dispatch(
+            |j, _| !clipped[j].is_empty(),
+            |j, shard| shard.query_intervals(&clipped[j]),
+        );
+        Self::concat(per_shard)
+    }
+
+    /// Parallel [`query_box_with`](Self::query_box_with): byte-identical
+    /// results, per-shard plan+execute on worker threads.
+    fn query_box_with_par(
+        &self,
+        b: &BoxRegion<D>,
+        intervals: Option<Vec<Interval>>,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let zrange = self
+            .curve
+            .as_morton()
+            .map(|z| (z.encode(b.lo()), z.encode(b.hi())));
+        // Participation and the interval clip are both decided once per
+        // shard, before dispatch: `None` = skipped, `Some(None)` =
+        // participates without decomposition, `Some(Some(civ))` =
+        // participates with its clipped interval list.
+        let prepared: Vec<Option<Option<Vec<Interval>>>> = (0..self.shards.len())
+            .map(|j| {
+                let range = self.partition.range(j);
+                if range.is_empty() {
+                    return None;
+                }
+                if let Some((zmin, zmax)) = zrange {
+                    if range.start > zmax || range.end <= zmin {
+                        return None;
+                    }
+                }
+                match &intervals {
+                    None => Some(None),
+                    Some(iv) => {
+                        let clipped = clip_intervals(iv, &range);
+                        (!clipped.is_empty()).then_some(Some(clipped))
+                    }
+                }
+            })
+            .collect();
+        let per_shard = self.dispatch(
+            |j, _| prepared[j].is_some(),
+            |j, shard| {
+                let clipped = prepared[j].clone().expect("kept shards are prepared");
+                let plan = shard.plan_box_with(b, clipped);
+                shard.execute_plan(b, &plan)
+            },
+        );
+        Self::concat(per_shard)
+    }
+
+    /// Parallel kNN: per-shard candidate collection on worker threads
+    /// (each into its own local heap — merged afterwards, the k-th best
+    /// of the union bounds the radius), then a parallel ball query. The
+    /// final ranked result is byte-identical to the sequential kNN: any
+    /// radius derived from k genuine live candidates yields a ball
+    /// containing the true k nearest, and `rank_by_distance` breaks ties
+    /// deterministically by curve key.
+    fn knn_par(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let key = self.curve.index_of(q);
+        let per_shard: Vec<(Vec<u64>, QueryStats)> = self.dispatch(
+            |_, _| true,
+            |_, shard| {
+                let mut heap = BinaryHeap::new();
+                let mut stats = QueryStats::default();
+                shard.knn_collect(q, key, k, window, &mut heap, &mut stats);
+                (heap.into_sorted_vec(), stats)
+            },
+        );
+        let mut stats = QueryStats::default();
+        let radius = with_knn_heap(|heap| {
+            for (dists, shard_stats) in &per_shard {
+                stats.add(shard_stats);
+                for &d in dists {
+                    offer(heap, k, d);
+                }
+            }
+            radius_from_heap(self.curve.grid(), heap, k)
+        });
+        let ball = BoxRegion::chebyshev_ball(self.curve.grid(), q, radius);
+        let intervals =
+            should_decompose(self.curve, ball.volume()).then(|| ball.curve_intervals(self.curve));
+        let (all, ball_stats) = self.query_box_with_par(&ball, intervals);
+        stats.add(&ball_stats);
+        let all = rank_by_distance(all, q, k);
+        stats.reported = all.len() as u64;
+        (all, stats)
+    }
+
+    /// Concatenates per-shard results in shard order and sums the stats.
+    fn concat(
+        per_shard: Vec<(Vec<StoreEntryRef<'a, D, T>>, QueryStats)>,
+    ) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        for (hits, shard_stats) in per_shard {
+            out.extend(hits);
+            stats.add(&shard_stats);
+        }
+        stats.reported = out.len() as u64;
+        (out, stats)
+    }
+}
+
 impl<'a, const D: usize, T> ShardsView<'a, D, T, ZCurve<D>> {
     /// BIGMIN box query fanned out to only the shards whose range
     /// intersects the box's Morton key range `[Z(lo), Z(hi)]`.
@@ -178,42 +404,70 @@ impl<'a, const D: usize, T> ShardsView<'a, D, T, ZCurve<D>> {
     }
 }
 
-/// A mutable spatial store sharded by curve-index range.
+impl<'a, const D: usize, T: Send + Sync> ShardsView<'a, D, T, ZCurve<D>> {
+    /// Parallel [`query_box_bigmin`](Self::query_box_bigmin):
+    /// byte-identical results, per-shard scans on worker threads.
+    fn query_box_bigmin_par(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'a, D, T>>, QueryStats) {
+        let zmin = self.curve.encode(b.lo());
+        let zmax = self.curve.encode(b.hi());
+        let per_shard = self.dispatch(
+            |_, range| range.start <= zmax && range.end > zmin,
+            |_, shard| shard.query_box_bigmin(b),
+        );
+        Self::concat(per_shard)
+    }
+}
+
+/// A concurrently writable spatial store sharded by curve-index range.
 ///
-/// Reads and queries return results byte-identical to a single
-/// [`SfcStore`] holding the same records; writes route through a
-/// [`Partition`] and touch exactly one shard. See the module docs for the
-/// architecture and [`ShardedSfcStore::rebalance`] for the feedback loop
-/// from observed traffic back into the partition.
+/// All mutating operations take `&self`: writes route through the
+/// partition's read guard to the one shard owning the record's curve key
+/// and contend only with same-shard writers; queries capture each shard
+/// (a microscopic lock) and scan lock-free; `rebalance` is stop-the-world
+/// under the partition's write guard. Against any quiesced state, reads
+/// and queries return results byte-identical to a single
+/// [`SfcStore`](crate::SfcStore) holding the same records — as owned
+/// [`StoreEntry`] values, since borrowed results cannot escape the shard
+/// locks. While writers are in flight, multi-shard queries carry the
+/// same per-shard-consistency caveat as [`iter`](Self::iter): shards are
+/// captured in sequence, so a racing writer's effects may appear in a
+/// later-captured shard and not an earlier one. See the module docs for
+/// the architecture and lock order.
 pub struct ShardedSfcStore<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
     curve: C,
     /// Shard `j` owns the half-open curve range `partition.range(j)`.
-    partition: Partition,
-    shards: Vec<SfcStore<D, T, C>>,
-    /// Observed per-cell write weight since the last rebalance.
-    traffic: TrafficWeights,
-    /// Record 1 in `sample_every` writes (with weight `sample_every`) to
-    /// bound the accumulator's footprint — see
-    /// [`set_traffic_sampling`](Self::set_traffic_sampling) for the
-    /// stride-aliasing caveat.
-    sample_every: u64,
-    /// Writes since construction, driving the deterministic sampler.
-    write_count: u64,
-    memtable_cap: usize,
+    /// Writers and router-level readers hold the read guard; `rebalance`
+    /// holds the write guard — the explicit stop-the-world exclusion.
+    partition: RwLock<Partition>,
+    shards: Box<[Shard<D, T, C>]>,
+    /// Observed per-cell write weight since the last rebalance, striped
+    /// one-to-one with the shards.
+    traffic: ConcurrentTraffic,
 }
 
 impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> fmt::Debug for ShardedSfcStore<D, T, C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardedSfcStore")
             .field("curve", &self.curve.name())
-            .field("parts", &self.partition.parts())
-            .field("boundaries", &self.partition.boundaries())
-            .field("shard_lens", &self.shard_lens())
+            .field("parts", &self.shards.len())
+            .field(
+                "boundaries",
+                &self
+                    .partition
+                    .read()
+                    .expect("partition poisoned")
+                    .boundaries()
+                    .to_vec(),
+            )
+            .field(
+                "shard_lens",
+                &self.shards.iter().map(Shard::live).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
 
-impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<D, T, C> {
+impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<D, T, C> {
     /// An empty store with `parts` shards over a keyspace-uniform
     /// partition and the default per-shard memtable capacity.
     pub fn new(curve: C, parts: usize) -> Self {
@@ -241,47 +495,44 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<D, T, C
             n,
             "partition must cover the curve's keyspace 0..{n}"
         );
-        let shards = (0..partition.parts())
-            .map(|_| SfcStore::with_memtable_capacity(curve.clone(), capacity))
-            .collect();
+        let parts = partition.parts();
+        let shards = (0..parts).map(|_| Shard::new(capacity)).collect();
         Self {
             curve,
-            partition,
+            partition: RwLock::new(partition),
             shards,
-            traffic: TrafficWeights::new(n),
-            sample_every: 1,
-            write_count: 0,
-            memtable_cap: capacity.max(1),
+            traffic: ConcurrentTraffic::new(n, parts),
         }
     }
 
     /// Builds a sharded store from a batch of records (uniform partition,
     /// one bulk-loaded bottom run per shard). Records sharing a cell
-    /// collapse newest-wins, exactly like [`SfcStore::bulk_load`].
+    /// collapse newest-wins, exactly like
+    /// [`SfcStore::bulk_load`](crate::SfcStore::bulk_load).
     pub fn bulk_load(
         curve: C,
         parts: usize,
         records: impl IntoIterator<Item = (Point<D>, T)>,
     ) -> Self {
         let partition = Partition::uniform(curve.grid().n(), parts);
-        let mut buckets: Vec<Vec<(Point<D>, T)>> = (0..parts).map(|_| Vec::new()).collect();
+        let mut buckets: Vec<Vec<(Point<D>, T)>> = (0..parts.max(1)).map(|_| Vec::new()).collect();
         for (p, v) in records {
             let key = curve.index_of(p);
             buckets[partition.part_of(key)].push((p, v));
         }
         let shards = buckets
             .into_iter()
-            .map(|bucket| SfcStore::bulk_load(curve.clone(), bucket))
+            .map(|bucket| {
+                let (keys, points, payloads) = sorted_unique_columns(&curve, bucket);
+                Shard::from_bottom_run(&curve, keys, points, payloads, DEFAULT_MEMTABLE_CAPACITY)
+            })
             .collect();
-        let traffic = TrafficWeights::new(curve.grid().n());
+        let n = curve.grid().n();
         Self {
             curve,
-            partition,
+            partition: RwLock::new(partition),
             shards,
-            traffic,
-            sample_every: 1,
-            write_count: 0,
-            memtable_cap: DEFAULT_MEMTABLE_CAPACITY,
+            traffic: ConcurrentTraffic::new(n, parts),
         }
     }
 
@@ -290,9 +541,10 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<D, T, C
         &self.curve
     }
 
-    /// The current shard partition (half-open curve-index ranges).
-    pub fn partition(&self) -> &Partition {
-        &self.partition
+    /// The current shard partition (half-open curve-index ranges), as an
+    /// owned copy — the live partition sits behind the router's lock.
+    pub fn partition(&self) -> Partition {
+        self.partition.read().expect("partition poisoned").clone()
     }
 
     /// Number of shards.
@@ -300,192 +552,228 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<D, T, C
         self.shards.len()
     }
 
-    /// The shards themselves, in curve order. Read-only: per-shard
-    /// queries through this slice are the fan-out primitive parallel
-    /// runtimes (rayon) distribute.
-    pub fn shards(&self) -> &[SfcStore<D, T, C>] {
-        &self.shards
-    }
-
     /// Live records per shard, in curve order.
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.shards.iter().map(SfcStore::len).collect()
+        self.shards.iter().map(Shard::live).collect()
     }
 
-    /// The observed per-cell write weights accumulated since the last
-    /// [`rebalance`](Self::rebalance).
-    pub fn traffic(&self) -> &TrafficWeights {
-        &self.traffic
+    /// Sizes of each shard's published immutable runs, oldest first —
+    /// the per-shard observability `shards()` used to provide before the
+    /// shards moved behind their locks.
+    pub fn shard_run_lens(&self) -> Vec<Vec<usize>> {
+        self.shards.iter().map(Shard::run_lens).collect()
     }
 
-    /// Samples write-weight recording down to 1 in `every` writes, each
-    /// carrying weight `every`. Sampling bounds the accumulator's memory
-    /// and takes the `O(log observed)` bookkeeping off the per-write hot
-    /// path; `1` (the default) records every write exactly.
-    ///
-    /// The sampler strides deterministically through the write sequence,
-    /// which is an unbiased load estimator as long as the workload is not
-    /// phase-locked to the stride: a write stream whose per-cell pattern
-    /// repeats with a period sharing a factor with `every` (e.g. strict
-    /// A,B,A,B alternation with `every = 2`) aliases, systematically
-    /// over- or under-counting those cells. Pick a stride coprime to any
-    /// known workload periodicity, or keep `1` when in doubt.
-    pub fn set_traffic_sampling(&mut self, every: u64) {
-        self.sample_every = every.max(1);
+    /// Buffered (unflushed) memtable entries per shard.
+    pub fn shard_memtable_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(Shard::memtable_len).collect()
     }
 
-    /// One write happened at `key`: count it, recording only sampled
-    /// writes.
-    fn observe_write(&mut self, key: CurveIndex) {
-        if self.write_count.is_multiple_of(self.sample_every) {
-            self.traffic.record(key, self.sample_every as f64);
-        }
-        self.write_count += 1;
+    /// A consistent copy of the per-cell write weights observed since the
+    /// last [`rebalance`](Self::rebalance), merged across the per-shard
+    /// stripes.
+    pub fn traffic(&self) -> TrafficWeights {
+        self.traffic.merged()
+    }
+
+    /// Samples write-weight recording down to 1 in `every` writes **per
+    /// shard**, each carrying weight `every` (`1`, the default, records
+    /// every write exactly). Sampling bounds the accumulator's memory and
+    /// takes the map bookkeeping off the per-write hot path; because
+    /// every shard strides its own write stream through its own atomic
+    /// counter, a hot shard's sample rate is independent of traffic to
+    /// other shards — concurrent writers cannot skew it the way a single
+    /// shared stride counter could.
+    pub fn set_traffic_sampling(&self, every: u64) {
+        self.traffic.set_sample_every(every);
     }
 
     /// Total number of live records across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(SfcStore::len).sum()
+        self.shards.iter().map(Shard::live).sum()
     }
 
     /// `true` iff no shard holds a live record.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(SfcStore::is_empty)
+        self.shards.iter().all(|s| s.live() == 0)
     }
 
     /// The live payload at cell `p`, if any — routed to the one shard
-    /// owning the cell's curve key.
-    pub fn get(&self, p: Point<D>) -> Option<&T> {
+    /// owning the cell's curve key. Returns an owned clone (the record
+    /// itself lives behind the shard's lock).
+    pub fn get(&self, p: Point<D>) -> Option<T> {
         if !self.curve.grid().contains(&p) {
             return None;
         }
         let key = self.curve.index_of(p);
-        self.shards[self.partition.part_of(key)].get(p)
+        let part = self.partition.read().expect("partition poisoned");
+        self.shards[part.part_of(key)].get(key)
     }
 
-    /// All live records in curve order: shard ranges are ascending and
-    /// disjoint, so chaining the per-shard merged iterators *is* the
-    /// global curve order.
-    pub fn iter(&self) -> impl Iterator<Item = StoreEntryRef<'_, D, T>> {
-        self.shards.iter().flat_map(SfcStore::iter)
+    /// All live records in curve order, as owned entries: shard ranges
+    /// are ascending and disjoint, so per-shard concatenation *is* the
+    /// global curve order. Each shard's contribution is a consistent
+    /// point-in-time capture, but shards are captured in sequence — a
+    /// writer racing this call may land in an earlier-captured shard
+    /// after its capture and a later-captured shard before its capture.
+    /// Quiesce writers (or use [`snapshot`](Self::snapshot), which has
+    /// the same per-shard granularity but yields a reusable frozen view)
+    /// when cross-shard atomicity matters.
+    pub fn iter(&self) -> std::vec::IntoIter<StoreEntry<D, T>> {
+        let (_, caps) = self.capture_all(None);
+        let mut out = Vec::new();
+        for cap in &caps {
+            out.extend(cap.view(&self.curve).iter().map(|e| e.to_owned()));
+        }
+        out.into_iter()
     }
 
-    /// The borrowed fan-out view all sharded queries run against.
-    fn shards_view(&self) -> ShardsView<'_, D, T, C> {
-        ShardsView {
-            curve: &self.curve,
-            partition: &self.partition,
-            shards: self.shards.iter().map(SfcStore::view).collect(),
+    /// Captures every shard under the partition's read guard: the
+    /// memtable image clipped to `span` plus the pinned epoch, per shard.
+    /// The guard is released before any scanning happens.
+    fn capture_all(&self, span: Option<Interval>) -> (Partition, Vec<ShardCapture<D, T, C>>) {
+        let part = self.partition.read().expect("partition poisoned");
+        let caps = self.shards.iter().map(|s| s.capture(span)).collect();
+        (part.clone(), caps)
+    }
+
+    /// The curve span a box query can touch: the Morton key range when
+    /// the curve is Morton-ordered, else the hull of the decomposed
+    /// intervals. Used to clip the memtable captures; runs are pruned by
+    /// the planner regardless.
+    fn box_span(&self, b: &BoxRegion<D>, intervals: Option<&[Interval]>) -> Option<Interval> {
+        match self.curve.as_morton() {
+            Some(z) => Some((z.encode(b.lo()), z.encode(b.hi()))),
+            // Non-Morton curves always decompose; an empty hull captures
+            // nothing (lo > hi sentinel).
+            None => Some(intervals.and_then(interval_hull).unwrap_or((1, 0))),
         }
     }
 
     /// Box query through the adaptive planner, fanned out to intersecting
     /// shards only: the decompose decision happens once at the router,
     /// each shard receives its clipped interval list and plans its own
-    /// levels — see [`SfcStore::query_box`].
-    pub fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        self.shards_view().query_box(b)
+    /// levels — see [`SfcStore::query_box`](crate::SfcStore::query_box).
+    pub fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let intervals =
+            should_decompose(&self.curve, b.volume()).then(|| b.curve_intervals(&self.curve));
+        let span = self.box_span(b, intervals.as_deref());
+        with_shards_view!(self, span, |sv| sv.query_box_with(b, intervals))
     }
 
     /// Box query via exact interval decomposition: the intervals are
     /// computed **once**, clipped to each shard's range, and only shards
     /// whose range intersects them are consulted. Results concatenate in
     /// shard order (= curve order); per-shard work is summed.
-    pub fn query_box_intervals(
-        &self,
-        b: &BoxRegion<D>,
-    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        self.shards_view().query_box_intervals(b)
+    pub fn query_box_intervals(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        self.query_intervals(&b.curve_intervals(&self.curve))
     }
 
     /// Queries the shards for keys inside the given inclusive curve-index
     /// intervals (sorted ascending), fanning out only to intersecting
     /// shards.
-    pub fn query_intervals(
-        &self,
-        intervals: &[(CurveIndex, CurveIndex)],
-    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        self.shards_view().query_intervals(intervals)
+    pub fn query_intervals(&self, intervals: &[Interval]) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let span = interval_hull(intervals).unwrap_or((1, 0));
+        with_shards_view!(self, Some(span), |sv| sv.query_intervals(intervals))
     }
 
     /// Exact k-nearest-neighbor query over all shards: live candidates
     /// are gathered per shard with the same widened per-level windows as
-    /// [`SfcStore::knn`], the k-th best bounds the verification radius,
-    /// and the Chebyshev ball is fanned out as an interval query.
-    pub fn knn(
-        &self,
-        q: Point<D>,
-        k: usize,
-        window: usize,
-    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+    /// [`SfcStore::knn`](crate::SfcStore::knn), the k-th best bounds the
+    /// verification radius, and the Chebyshev ball is fanned out through
+    /// the planner.
+    pub fn knn(&self, q: Point<D>, k: usize, window: usize) -> (Vec<StoreEntry<D, T>>, QueryStats) {
         assert!(k >= 1, "k must be at least 1");
         if self.is_empty() {
             return (Vec::new(), QueryStats::default());
         }
-        self.shards_view().knn(q, k, window)
+        with_shards_view!(self, None, |sv| sv.knn(q, k, window))
     }
 
     /// Reference k-nearest-neighbor by linear scan of the merged view
     /// (ground truth for tests).
-    pub fn knn_linear(&self, q: Point<D>, k: usize) -> Vec<StoreEntryRef<'_, D, T>> {
-        rank_by_distance(self.iter().collect(), q, k)
-    }
-}
-
-impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<D, T, C> {
-    /// Inserts or updates the record at cell `p`, routed to the owning
-    /// shard; records one unit of write weight for the cell. Returns
-    /// `true` if a live record was replaced.
-    pub fn insert(&mut self, p: Point<D>, payload: T) -> bool {
-        assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
-        let key = self.curve.index_of(p);
-        self.observe_write(key);
-        self.shards[self.partition.part_of(key)].insert(p, payload)
+    pub fn knn_linear(&self, q: Point<D>, k: usize) -> Vec<StoreEntry<D, T>> {
+        let mut all: Vec<StoreEntry<D, T>> = self.iter().collect();
+        all.sort_by(|a, b| distance_key_order(&q, (&a.point, a.key), (&b.point, b.key)));
+        all.truncate(k);
+        all
     }
 
-    /// Deletes the record at cell `p`, routed to the owning shard; records
-    /// one unit of write weight for the cell. Returns `true` if a live
-    /// record was removed.
-    pub fn delete(&mut self, p: Point<D>) -> bool {
+    /// Inserts or updates the record at cell `p` (`&self`: concurrent
+    /// writers to different shards never contend), routed to the owning
+    /// shard; records one unit of write weight on the shard's traffic
+    /// stripe. Returns `true` if a live record was replaced.
+    pub fn insert(&self, p: Point<D>, payload: T) -> bool {
         assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
         let key = self.curve.index_of(p);
-        self.observe_write(key);
-        self.shards[self.partition.part_of(key)].delete(p)
+        let part = self.partition.read().expect("partition poisoned");
+        let j = part.part_of(key);
+        self.traffic.record_write(j, key);
+        self.shards[j].insert(&self.curve, key, p, payload)
+    }
+
+    /// Deletes the record at cell `p` (`&self`), routed to the owning
+    /// shard; records one unit of write weight on the shard's traffic
+    /// stripe. Returns `true` if a live record was removed.
+    pub fn delete(&self, p: Point<D>) -> bool {
+        assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
+        let key = self.curve.index_of(p);
+        let part = self.partition.read().expect("partition poisoned");
+        let j = part.part_of(key);
+        self.traffic.record_write(j, key);
+        self.shards[j].delete(&self.curve, key, p)
     }
 
     /// Adds explicit weight for cell `p` to the traffic feedback without
     /// writing — e.g. to make read-heavy cells count toward the next
     /// [`rebalance`](Self::rebalance).
-    pub fn record_weight(&mut self, p: Point<D>, weight: f64) {
+    pub fn record_weight(&self, p: Point<D>, weight: f64) {
         assert!(self.curve.grid().contains(&p), "cell out of bounds: {p}");
-        self.traffic.record(self.curve.index_of(p), weight);
+        let key = self.curve.index_of(p);
+        let part = self.partition.read().expect("partition poisoned");
+        self.traffic.record(part.part_of(key), key, weight);
     }
 
-    /// Flushes every shard's memtable.
-    pub fn flush(&mut self) {
-        for shard in &mut self.shards {
-            shard.flush();
+    /// Flushes every shard's memtable (each publishes a fresh epoch).
+    pub fn flush(&self) {
+        let _part = self.partition.read().expect("partition poisoned");
+        for shard in self.shards.iter() {
+            shard.flush(&self.curve);
         }
     }
 
     /// Major compaction of every shard (each collapses to a single
-    /// tombstone-free run).
-    pub fn compact(&mut self) {
-        for shard in &mut self.shards {
-            shard.compact();
+    /// tombstone-free run). Readers are never blocked: each shard's merge
+    /// builds the next epoch off to the side and swaps it in whole.
+    pub fn compact(&self) {
+        let _part = self.partition.read().expect("partition poisoned");
+        for shard in self.shards.iter() {
+            shard.compact(&self.curve);
         }
     }
 
-    /// Freezes the whole sharded store into an owned
-    /// [`ShardedSnapshot`]: each shard is flushed and its run stack
-    /// pinned (see [`SfcStore::snapshot`]), so readers keep querying this
-    /// exact state — from other threads if they like — while writes
-    /// continue.
-    pub fn snapshot(&mut self) -> ShardedSnapshot<D, T, C> {
+    /// Freezes the sharded store into an owned [`ShardedSnapshot`]: each
+    /// shard is flushed and its published epoch pinned, and after
+    /// creation the snapshot never touches a lock again — readers keep
+    /// querying the frozen state from any thread while writes continue.
+    ///
+    /// Consistency is **per shard**: shards are pinned in sequence under
+    /// the partition's read guard (which excludes rebalances, not
+    /// writers), so each shard's view is complete for every write that
+    /// reached that shard before it was pinned, but a writer racing this
+    /// call across *multiple* shards may be captured in a later shard
+    /// and not an earlier one. Quiesce writers around `snapshot()` when
+    /// a single global linearization point is required.
+    pub fn snapshot(&self) -> ShardedSnapshot<D, T, C> {
+        let part = self.partition.read().expect("partition poisoned");
         ShardedSnapshot {
             curve: self.curve.clone(),
-            partition: self.partition.clone(),
-            shards: self.shards.iter_mut().map(SfcStore::snapshot).collect(),
+            partition: part.clone(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| s.snapshot(&self.curve))
+                .collect(),
         }
     }
 
@@ -495,46 +783,56 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
     /// `true` if the boundaries changed (a no-op rebalance keeps every
     /// shard untouched).
     ///
-    /// The observed weights are consumed either way: each rebalance
-    /// reacts to the traffic of its own epoch.
+    /// This is the store's one **stop-the-world** operation: it holds the
+    /// partition's write guard for its whole duration, excluding every
+    /// writer and router-level reader (outstanding [`ShardedSnapshot`]s
+    /// keep serving, untouched). The observed weights are consumed either
+    /// way: each rebalance reacts to the traffic of its own epoch.
     ///
     /// Shards whose range is unchanged are kept as-is (run stacks and
     /// all); only records in shards whose range moved are gathered and
-    /// redistributed — the shards partition the keyspace disjointly, so
-    /// a record can only change owner if its old owner's range changed.
-    /// Migrated records are adopted as pre-sorted bottom runs: no
-    /// re-sorting or re-encoding.
-    pub fn rebalance(&mut self, rel_tol: f64) -> bool {
-        let new = self.traffic.partition_min_bottleneck(self.parts(), rel_tol);
-        self.traffic.clear();
-        if new == self.partition {
+    /// redistributed as pre-sorted bottom runs — no re-sorting or
+    /// re-encoding.
+    pub fn rebalance(&self, rel_tol: f64) -> bool {
+        let mut part = self.partition.write().expect("partition poisoned");
+        let traffic = self.traffic.drain();
+        let new = traffic.partition_min_bottleneck(self.parts(), rel_tol);
+        if new == *part {
+            // No boundary moved: don't stall the world any longer — in
+            // particular, don't force a flush + tiny-run publish on
+            // every shard for nothing.
             return false;
         }
-        // Keep shards whose range survived; gather the rest's records in
-        // curve order (changed ranges are ascending, like the shards).
-        let mut kept: Vec<Option<SfcStore<D, T, C>>> = Vec::with_capacity(self.parts());
+        // Everything into the epochs before migrating: memtables empty
+        // from here on, so the changed-shard captures below are pure
+        // run-stack walks and unchanged shards keep their state as-is.
+        for shard in self.shards.iter() {
+            shard.flush(&self.curve);
+        }
+        // Gather the records of shards whose range moved, in curve order
+        // (changed ranges are ascending, like the shards).
+        let changed: Vec<bool> = (0..self.shards.len())
+            .map(|j| new.range(j) != part.range(j))
+            .collect();
         let mut moved: Vec<(CurveIndex, Point<D>, Option<T>)> = Vec::new();
-        for (j, shard) in std::mem::take(&mut self.shards).into_iter().enumerate() {
-            if new.range(j) == self.partition.range(j) {
-                kept.push(Some(shard));
-            } else {
-                for e in shard.iter() {
-                    moved.push((e.key, e.point, Some(e.payload.clone())));
-                }
-                kept.push(None);
+        for (j, shard) in self.shards.iter().enumerate() {
+            if !changed[j] {
+                continue;
+            }
+            let cap = shard.capture(None);
+            for e in cap.view(&self.curve).iter() {
+                moved.push((e.key, e.point, Some(e.payload.clone())));
             }
         }
-        let mut shards = Vec::with_capacity(new.parts());
         let mut records = moved.into_iter().peekable();
-        for (j, kept_shard) in kept.into_iter().enumerate() {
-            if let Some(shard) = kept_shard {
+        for (j, shard) in self.shards.iter().enumerate() {
+            if !changed[j] {
                 debug_assert!(
                     records
                         .peek()
                         .is_none_or(|&(k, _, _)| !new.range(j).contains(&k)),
                     "no migrated record may land in an unchanged shard"
                 );
-                shards.push(shard);
                 continue;
             }
             let end = new.range(j).end;
@@ -547,29 +845,76 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
                 points.push(p);
                 payloads.push(v);
             }
-            let mut shard = SfcStore::from_sorted_run(self.curve.clone(), keys, points, payloads);
-            shard.set_memtable_capacity(self.memtable_cap);
-            shards.push(shard);
+            shard.install_bottom_run(&self.curve, keys, points, payloads);
         }
         debug_assert!(records.next().is_none(), "every record migrated");
-        self.shards = shards;
-        self.partition = new;
+        *part = new;
         true
     }
 }
 
-impl<const D: usize, T> ShardedSfcStore<D, T, ZCurve<D>> {
+/// The thread-parallel query fan-out: per-shard scans distributed across
+/// [`std::thread::scope`] workers, results byte-identical to the
+/// sequential entry points (per-shard results join in shard order).
+impl<const D: usize, T, C> ShardedSfcStore<D, T, C>
+where
+    T: Clone + Send + Sync,
+    C: SpaceFillingCurve<D> + Clone + Send + Sync,
+{
+    /// Parallel [`query_box`](Self::query_box).
+    pub fn query_box_par(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let intervals =
+            should_decompose(&self.curve, b.volume()).then(|| b.curve_intervals(&self.curve));
+        let span = self.box_span(b, intervals.as_deref());
+        with_shards_view!(self, span, |sv| sv.query_box_with_par(b, intervals))
+    }
+
+    /// Parallel [`query_box_intervals`](Self::query_box_intervals).
+    pub fn query_box_intervals_par(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let intervals = b.curve_intervals(&self.curve);
+        let span = interval_hull(&intervals).unwrap_or((1, 0));
+        with_shards_view!(self, Some(span), |sv| sv.query_intervals_par(&intervals))
+    }
+
+    /// Parallel [`knn`](Self::knn): candidate collection and the
+    /// verification ball both fan out across worker threads.
+    pub fn knn_par(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        assert!(k >= 1, "k must be at least 1");
+        if self.is_empty() {
+            return (Vec::new(), QueryStats::default());
+        }
+        with_shards_view!(self, None, |sv| sv.knn_par(q, k, window))
+    }
+}
+
+impl<const D: usize, T: Clone> ShardedSfcStore<D, T, ZCurve<D>> {
     /// Box query by BIGMIN-jumping key-range scans, fanned out to only
     /// the shards whose range intersects the box's Morton key range
     /// `[Z(lo), Z(hi)]`. Z curve only.
-    pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        self.shards_view().query_box_bigmin(b)
+    pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let span = (self.curve.encode(b.lo()), self.curve.encode(b.hi()));
+        with_shards_view!(self, Some(span), |sv| sv.query_box_bigmin(b))
+    }
+}
+
+impl<const D: usize, T: Clone + Send + Sync> ShardedSfcStore<D, T, ZCurve<D>> {
+    /// Parallel [`query_box_bigmin`](Self::query_box_bigmin).
+    pub fn query_box_bigmin_par(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let span = (self.curve.encode(b.lo()), self.curve.encode(b.hi()));
+        with_shards_view!(self, Some(span), |sv| sv.query_box_bigmin_par(b))
     }
 }
 
 /// A frozen, queryable view of a whole [`ShardedSfcStore`] at snapshot
 /// time: one pinned [`StoreSnapshot`] per shard plus the partition that
-/// routed them. `Send + Sync` whenever the payload and curve are.
+/// routed them. `Send + Sync` whenever the payload and curve are; after
+/// creation it never touches a lock, so snapshot reads are wait-free with
+/// respect to every writer.
 #[derive(Debug, Clone)]
 pub struct ShardedSnapshot<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
     curve: C,
@@ -658,6 +1003,44 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardedSnapshot<D, T, C
     }
 }
 
+impl<const D: usize, T: Send + Sync, C: SpaceFillingCurve<D> + Clone + Send + Sync>
+    ShardedSnapshot<D, T, C>
+{
+    /// Parallel [`query_box`](Self::query_box): per-shard scans on
+    /// scoped worker threads, byte-identical results.
+    pub fn query_box_par(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        let sv = self.shards_view();
+        let intervals =
+            should_decompose(&self.curve, b.volume()).then(|| b.curve_intervals(&self.curve));
+        // The view borrows from `self`, which outlives this call frame.
+        let (hits, stats) = sv.query_box_with_par(b, intervals);
+        (hits, stats)
+    }
+
+    /// Parallel [`query_box_intervals`](Self::query_box_intervals).
+    pub fn query_box_intervals_par(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        let intervals = b.curve_intervals(&self.curve);
+        self.shards_view().query_intervals_par(&intervals)
+    }
+
+    /// Parallel [`knn`](Self::knn).
+    pub fn knn_par(
+        &self,
+        q: Point<D>,
+        k: usize,
+        window: usize,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        assert!(k >= 1, "k must be at least 1");
+        if self.is_empty() {
+            return (Vec::new(), QueryStats::default());
+        }
+        self.shards_view().knn_par(q, k, window)
+    }
+}
+
 impl<const D: usize, T> ShardedSnapshot<D, T, ZCurve<D>> {
     /// Box query by BIGMIN-jumping key-range scans over the frozen
     /// shards. Z curve only.
@@ -666,9 +1049,20 @@ impl<const D: usize, T> ShardedSnapshot<D, T, ZCurve<D>> {
     }
 }
 
+impl<const D: usize, T: Send + Sync> ShardedSnapshot<D, T, ZCurve<D>> {
+    /// Parallel [`query_box_bigmin`](Self::query_box_bigmin).
+    pub fn query_box_bigmin_par(
+        &self,
+        b: &BoxRegion<D>,
+    ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
+        self.shards_view().query_box_bigmin_par(b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SfcStore;
     use rand::{Rng, SeedableRng};
     use sfc_core::{Grid, HilbertCurve};
 
@@ -676,7 +1070,13 @@ mod tests {
         rand_chacha::ChaCha8Rng::seed_from_u64(seed)
     }
 
-    fn flat<'a, const D: usize>(
+    fn flat<const D: usize>(
+        v: impl IntoIterator<Item = StoreEntry<D, u32>>,
+    ) -> Vec<(CurveIndex, Point<D>, u32)> {
+        v.into_iter().map(|e| (e.key, e.point, e.payload)).collect()
+    }
+
+    fn flat_ref<'a, const D: usize>(
         v: impl IntoIterator<Item = StoreEntryRef<'a, D, u32>>,
     ) -> Vec<(CurveIndex, Point<D>, u32)> {
         v.into_iter()
@@ -696,7 +1096,7 @@ mod tests {
     ) {
         let grid = Grid::<2>::new(5).unwrap();
         let mut rng = rng(seed);
-        let mut sharded = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), parts, 16);
+        let sharded = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), parts, 16);
         let mut single = SfcStore::with_memtable_capacity(ZCurve::over(grid), 16);
         for i in 0..ops as u32 {
             let p = grid.random_cell(&mut rng);
@@ -717,14 +1117,21 @@ mod tests {
     }
 
     #[test]
+    fn sharded_store_is_send_and_sync() {
+        fn assert_send_sync<X: Send + Sync>() {}
+        assert_send_sync::<ShardedSfcStore<2, u32, ZCurve<2>>>();
+        assert_send_sync::<ShardedSnapshot<2, u32, ZCurve<2>>>();
+    }
+
+    #[test]
     fn routed_writes_land_in_the_owning_shard() {
         let grid = Grid::<2>::new(3).unwrap();
-        let mut store = ShardedSfcStore::new(ZCurve::over(grid), 4);
+        let store = ShardedSfcStore::new(ZCurve::over(grid), 4);
         assert_eq!(store.parts(), 4);
         let p = Point::new([7, 7]); // last cell → last shard
         store.insert(p, 9u32);
         assert_eq!(store.shard_lens(), vec![0, 0, 0, 1]);
-        assert_eq!(store.get(p), Some(&9));
+        assert_eq!(store.get(p), Some(9));
         assert_eq!(store.len(), 1);
         assert!(store.delete(p));
         assert!(store.is_empty());
@@ -732,11 +1139,28 @@ mod tests {
     }
 
     #[test]
+    fn all_write_and_maintenance_ops_take_shared_self() {
+        // The concurrency contract, statically: a shared reference is
+        // enough for the full write/maintenance API.
+        let grid = Grid::<2>::new(3).unwrap();
+        let store = ShardedSfcStore::new(ZCurve::over(grid), 2);
+        let by_ref: &ShardedSfcStore<2, u32, _> = &store;
+        by_ref.insert(Point::new([1, 1]), 1);
+        by_ref.delete(Point::new([1, 1]));
+        by_ref.flush();
+        by_ref.compact();
+        by_ref.set_traffic_sampling(2);
+        by_ref.record_weight(Point::new([2, 2]), 1.0);
+        let _snap = by_ref.snapshot();
+        by_ref.rebalance(1e-9);
+    }
+
+    #[test]
     fn sharded_queries_are_byte_identical_to_single_store() {
         for parts in [1usize, 2, 3, 4, 7] {
             let (sharded, single) = paired_stores(parts, 800, 42 + parts as u64);
             assert_eq!(sharded.len(), single.len());
-            assert_eq!(flat(sharded.iter()), flat(single.iter()), "iter");
+            assert_eq!(flat(sharded.iter()), flat_ref(single.iter()), "iter");
             let grid = *sharded.curve();
             let mut rng = rng(99);
             for _ in 0..25 {
@@ -747,48 +1171,182 @@ mod tests {
                 let b = BoxRegion::new(lo, hi);
                 assert_eq!(
                     flat(sharded.query_box_intervals(&b).0),
-                    flat(single.query_box_intervals(&b).0),
+                    flat_ref(single.query_box_intervals(&b).0),
                     "intervals, parts={parts}"
                 );
                 assert_eq!(
                     flat(sharded.query_box_bigmin(&b).0),
-                    flat(single.query_box_bigmin(&b).0),
+                    flat_ref(single.query_box_bigmin(&b).0),
                     "bigmin, parts={parts}"
                 );
                 let q = grid.grid().random_cell(&mut rng);
                 for k in [1usize, 4] {
                     assert_eq!(
                         flat(sharded.knn(q, k, 3).0),
-                        flat(single.knn(q, k, 3).0),
+                        flat_ref(single.knn(q, k, 3).0),
                         "knn k={k}, parts={parts}"
                     );
                 }
-                assert_eq!(sharded.get(q), single.get(q));
+                assert_eq!(sharded.get(q), single.get(q).copied());
+            }
+        }
+    }
+
+    /// Satellite: the `*_par` fan-outs must be byte-identical to the
+    /// sequential fan-outs — across shard counts, multi-level shards, and
+    /// every parallel entry point. With the thread-spawning rayon
+    /// stand-in and the scoped-thread dispatch these really do cross
+    /// thread boundaries (this test used to be impossible to state
+    /// non-tautologically: the old `*_par` hook ran the sequential code).
+    #[test]
+    fn par_queries_are_byte_identical_to_sequential() {
+        for parts in [1usize, 3, 5] {
+            let (sharded, single) = paired_stores(parts, 900, 7 + parts as u64);
+            let snap = sharded.snapshot();
+            let grid = sharded.curve().grid();
+            let mut rng = rng(17);
+            for _ in 0..15 {
+                let a = grid.random_cell(&mut rng);
+                let c = grid.random_cell(&mut rng);
+                let lo = Point::new([a.coord(0).min(c.coord(0)), a.coord(1).min(c.coord(1))]);
+                let hi = Point::new([a.coord(0).max(c.coord(0)), a.coord(1).max(c.coord(1))]);
+                let b = BoxRegion::new(lo, hi);
+                let want = flat_ref(single.query_box_intervals(&b).0);
+                assert_eq!(
+                    flat(sharded.query_box_par(&b).0),
+                    want,
+                    "store planner par, parts={parts}"
+                );
+                assert_eq!(
+                    flat(sharded.query_box_intervals_par(&b).0),
+                    want,
+                    "store intervals par, parts={parts}"
+                );
+                assert_eq!(
+                    flat(sharded.query_box_bigmin_par(&b).0),
+                    want,
+                    "store bigmin par, parts={parts}"
+                );
+                assert_eq!(
+                    flat_ref(snap.query_box_par(&b).0),
+                    want,
+                    "snapshot planner par, parts={parts}"
+                );
+                assert_eq!(
+                    flat_ref(snap.query_box_intervals_par(&b).0),
+                    want,
+                    "snapshot intervals par, parts={parts}"
+                );
+                assert_eq!(
+                    flat_ref(snap.query_box_bigmin_par(&b).0),
+                    want,
+                    "snapshot bigmin par, parts={parts}"
+                );
+                let q = grid.random_cell(&mut rng);
+                for k in [1usize, 5] {
+                    let want = flat(sharded.knn(q, k, 3).0);
+                    assert_eq!(
+                        flat(sharded.knn_par(q, k, 3).0),
+                        want,
+                        "store knn par k={k}, parts={parts}"
+                    );
+                    assert_eq!(
+                        flat_ref(snap.knn_par(q, k, 3).0),
+                        want,
+                        "snapshot knn par k={k}, parts={parts}"
+                    );
+                }
             }
         }
     }
 
     #[test]
+    fn concurrent_writers_to_disjoint_shards_match_sequential_replay() {
+        // 4 writer threads, each confined to one Z quadrant (= one shard
+        // of the uniform 4-partition): the final state must equal a
+        // sequential replay of the same per-thread op streams (disjoint
+        // ranges ⇒ no cross-thread write conflicts to order).
+        let grid = Grid::<2>::new(4).unwrap();
+        let z = ZCurve::over(grid);
+        let store = ShardedSfcStore::with_memtable_capacity(z, 4, 8);
+        let mut replay = SfcStore::with_memtable_capacity(z, 8);
+        let ops_of = |quadrant: u32| -> Vec<(Point<2>, Option<u32>)> {
+            let mut rng = rng(1000 + u64::from(quadrant));
+            // Quadrant origin in Z order: [0,8)² tiles shifted.
+            let (ox, oy) = [(0, 0), (8, 0), (0, 8), (8, 8)][quadrant as usize];
+            (0..400u32)
+                .map(|i| {
+                    let p = Point::new([ox + rng.gen_range(0..8u32), oy + rng.gen_range(0..8u32)]);
+                    if i % 5 == 4 {
+                        (p, None)
+                    } else {
+                        (p, Some(quadrant * 1_000 + i))
+                    }
+                })
+                .collect()
+        };
+        std::thread::scope(|scope| {
+            for quadrant in 0..4u32 {
+                let store = &store;
+                let ops = ops_of(quadrant);
+                scope.spawn(move || {
+                    for (p, op) in ops {
+                        match op {
+                            Some(v) => {
+                                store.insert(p, v);
+                            }
+                            None => {
+                                store.delete(p);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        for quadrant in 0..4u32 {
+            for (p, op) in ops_of(quadrant) {
+                match op {
+                    Some(v) => {
+                        replay.insert(p, v);
+                    }
+                    None => {
+                        replay.delete(p);
+                    }
+                }
+            }
+        }
+        assert_eq!(store.len(), replay.len());
+        assert_eq!(flat(store.iter()), flat_ref(replay.iter()));
+    }
+
+    #[test]
     fn fan_out_skips_non_intersecting_shards() {
         let grid = Grid::<2>::new(4).unwrap();
-        let mut store = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 4, 8);
+        let store = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 4, 8);
         let mut rng = rng(3);
         for i in 0..300u32 {
             store.insert(grid.random_cell(&mut rng), i);
         }
         // The first Z quadrant [0,8)² is exactly the first quarter of the
-        // keyspace: a box inside it must not touch the other shards.
+        // keyspace: a box inside it must not touch the other shards. The
+        // snapshot exposes the per-shard readers the router fans out to.
+        let snap = store.snapshot();
         let b = BoxRegion::new(Point::new([0, 0]), Point::new([7, 7]));
-        let (hits, stats) = store.query_box_bigmin(&b);
-        let (single_hits, single_stats) = store.shards()[0].query_box_bigmin(&b);
-        assert_eq!(flat(hits), flat(single_hits));
+        let (hits, stats) = snap.query_box_bigmin(&b);
+        let (single_hits, single_stats) = snap.shards()[0].query_box_bigmin(&b);
+        assert_eq!(flat_ref(hits), flat_ref(single_hits));
         assert_eq!(stats.seeks, single_stats.seeks, "only shard 0 consulted");
+        // The live store agrees with its own snapshot (memtables are
+        // empty right after snapshot() flushed them).
+        let (live_hits, live_stats) = store.query_box_bigmin(&b);
+        assert_eq!(flat(live_hits), flat_ref(snap.query_box_bigmin(&b).0));
+        assert_eq!(live_stats.seeks, stats.seeks);
     }
 
     #[test]
     fn rebalance_follows_skewed_traffic() {
         let grid = Grid::<2>::new(4).unwrap();
-        let mut store = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 4, 16);
+        let store = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 4, 16);
         let mut rng = rng(17);
         // Hammer the first Z quadrant: uniform boundaries leave shard 0
         // with nearly all the load.
@@ -817,7 +1375,7 @@ mod tests {
         // Writes keep routing correctly under the new boundaries.
         let p = Point::new([1, 2]);
         store.insert(p, 77_777);
-        assert_eq!(store.get(p), Some(&77_777));
+        assert_eq!(store.get(p), Some(77_777));
         // Traffic was consumed; an immediate rebalance with no new
         // observations falls back to uniform boundaries (a real change
         // from the skewed cut, so it reports true) and still loses
@@ -828,10 +1386,10 @@ mod tests {
     }
 
     #[test]
-    fn traffic_sampling_is_an_unbiased_estimator() {
+    fn traffic_sampling_is_per_shard_and_tracks_write_counts() {
         let grid = Grid::<2>::new(4).unwrap();
-        let mut exact = ShardedSfcStore::new(ZCurve::over(grid), 2);
-        let mut sampled = ShardedSfcStore::new(ZCurve::over(grid), 2);
+        let exact = ShardedSfcStore::new(ZCurve::over(grid), 2);
+        let sampled = ShardedSfcStore::new(ZCurve::over(grid), 2);
         sampled.set_traffic_sampling(8);
         let mut rng = rng(41);
         for i in 0..4_000u32 {
@@ -840,10 +1398,13 @@ mod tests {
             sampled.insert(p, i);
         }
         assert_eq!(exact.traffic().total(), 4_000.0, "every write counted");
-        assert_eq!(
-            sampled.traffic().total(),
-            4_000.0,
-            "sampled weight is scaled back to the true write count"
+        // Per-shard striding: each stripe records ceil(writes_j / 8)
+        // samples of weight 8, so the total tracks the true count to
+        // within (every − 1) per stripe.
+        let total = sampled.traffic().total();
+        assert!(
+            (total - 4_000.0).abs() <= 8.0 * 2.0,
+            "sampled weight total {total} drifted from 4000"
         );
         assert!(
             sampled.traffic().observed() < exact.traffic().observed(),
@@ -851,7 +1412,7 @@ mod tests {
         );
         // Sampled feedback still rebalances sensibly: boundaries move off
         // uniform under the same skew that moves them with exact weights.
-        let mut skewed = ShardedSfcStore::new(ZCurve::over(grid), 2);
+        let skewed = ShardedSfcStore::new(ZCurve::over(grid), 2);
         skewed.set_traffic_sampling(4);
         for i in 0..2_000u32 {
             skewed.insert(Point::new([i % 4, (i / 4) % 4]), i);
@@ -862,20 +1423,20 @@ mod tests {
     #[test]
     fn rebalance_without_traffic_is_a_noop() {
         let grid = Grid::<2>::new(3).unwrap();
-        let mut store: ShardedSfcStore<2, u32, _> = ShardedSfcStore::new(ZCurve::over(grid), 3);
+        let store: ShardedSfcStore<2, u32, _> = ShardedSfcStore::new(ZCurve::over(grid), 3);
         assert!(!store.rebalance(1e-9), "uniform → uniform: no change");
     }
 
     #[test]
     fn sharded_snapshot_freezes_all_shards() {
         let grid = Grid::<2>::new(4).unwrap();
-        let mut store = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 3, 8);
+        let store = ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 3, 8);
         let mut rng = rng(23);
         for i in 0..250u32 {
             store.insert(grid.random_cell(&mut rng), i);
         }
         let frozen = store.snapshot();
-        let frozen_entries = flat(frozen.iter());
+        let frozen_entries = flat_ref(frozen.iter());
         assert_eq!(frozen.len(), store.len());
         // Writer churns, compacts, and even rebalances.
         for i in 0..300u32 {
@@ -888,7 +1449,7 @@ mod tests {
         }
         store.compact();
         store.rebalance(1e-9);
-        assert_eq!(flat(frozen.iter()), frozen_entries, "snapshot drifted");
+        assert_eq!(flat_ref(frozen.iter()), frozen_entries, "snapshot drifted");
         // Snapshot queries match a fresh query of the frozen contents.
         let b = BoxRegion::new(Point::new([2, 2]), Point::new([12, 9]));
         let want: Vec<_> = frozen_entries
@@ -896,24 +1457,22 @@ mod tests {
             .filter(|&&(_, p, _)| b.contains(&p))
             .copied()
             .collect();
-        assert_eq!(flat(frozen.query_box_intervals(&b).0), want);
-        assert_eq!(flat(frozen.query_box_bigmin(&b).0), want);
+        assert_eq!(flat_ref(frozen.query_box_intervals(&b).0), want);
+        assert_eq!(flat_ref(frozen.query_box_bigmin(&b).0), want);
         let q = Point::new([5, 5]);
-        assert_eq!(flat(frozen.knn(q, 3, 2).0), {
+        assert_eq!(flat_ref(frozen.knn(q, 3, 2).0), {
             let mut all = frozen_entries.clone();
             all.sort_by_key(|&(key, p, _)| (q.euclidean_sq(&p), key));
             all.truncate(3);
             all
         });
-        fn assert_send_sync<X: Send + Sync>() {}
-        assert_send_sync::<ShardedSnapshot<2, u32, ZCurve<2>>>();
     }
 
     #[test]
     fn hilbert_sharded_store_works_without_bigmin() {
         let grid = Grid::<2>::new(4).unwrap();
         let mut rng = rng(31);
-        let mut store = ShardedSfcStore::with_memtable_capacity(HilbertCurve::over(grid), 3, 8);
+        let store = ShardedSfcStore::with_memtable_capacity(HilbertCurve::over(grid), 3, 8);
         let mut single = SfcStore::with_memtable_capacity(HilbertCurve::over(grid), 8);
         for i in 0..400u32 {
             let p = grid.random_cell(&mut rng);
@@ -928,10 +1487,18 @@ mod tests {
         let b = BoxRegion::new(Point::new([3, 1]), Point::new([11, 13]));
         assert_eq!(
             flat(store.query_box_intervals(&b).0),
-            flat(single.query_box_intervals(&b).0)
+            flat_ref(single.query_box_intervals(&b).0)
+        );
+        assert_eq!(
+            flat(store.query_box_intervals_par(&b).0),
+            flat_ref(single.query_box_intervals(&b).0)
         );
         let q = Point::new([9, 2]);
-        assert_eq!(flat(store.knn(q, 5, 3).0), flat(single.knn(q, 5, 3).0));
+        assert_eq!(flat(store.knn(q, 5, 3).0), flat_ref(single.knn(q, 5, 3).0));
+        assert_eq!(
+            flat(store.knn_par(q, 5, 3).0),
+            flat_ref(single.knn(q, 5, 3).0)
+        );
     }
 
     #[test]
@@ -944,14 +1511,14 @@ mod tests {
             vec![(p, 1u32), (Point::new([0, 0]), 2), (p, 3)],
         );
         assert_eq!(store.len(), 2);
-        assert_eq!(store.get(p), Some(&3));
+        assert_eq!(store.get(p), Some(3));
         assert_eq!(store.shard_lens().iter().sum::<usize>(), 2);
     }
 
     #[test]
     fn empty_sharded_store_behaviour() {
         let grid = Grid::<2>::new(3).unwrap();
-        let mut store: ShardedSfcStore<2, u32, _> = ShardedSfcStore::new(ZCurve::over(grid), 5);
+        let store: ShardedSfcStore<2, u32, _> = ShardedSfcStore::new(ZCurve::over(grid), 5);
         assert!(store.is_empty());
         assert_eq!(store.iter().count(), 0);
         let b = BoxRegion::new(Point::new([0, 0]), Point::new([7, 7]));
@@ -968,9 +1535,12 @@ mod tests {
     /// Satellite audit: the router's reported [`QueryStats`] must be the
     /// exact sum of the per-shard stats it fanned out to — seeks, scanned,
     /// reported, and the zone-map block counters — for every query path.
+    /// Audited on a snapshot, whose per-shard readers execute the same
+    /// `ShardsView` fan-out as the live store's captures.
     #[test]
     fn router_stats_are_the_sum_of_per_shard_stats() {
-        let (sharded, _) = paired_stores(4, 900, 77);
+        let (sharded_live, _) = paired_stores(4, 900, 77);
+        let sharded = sharded_live.snapshot();
         let grid = sharded.curve().grid();
         let mut rng = rng(5);
         for _ in 0..20 {
@@ -998,6 +1568,9 @@ mod tests {
             // the per-shard reported counts must sum to the same number.
             assert_eq!(router.reported, manual.reported, "reported sum, bigmin");
             assert_eq!(router, manual, "bigmin stats drifted on {b:?}");
+            // The parallel fan-out sums the same per-shard stats.
+            let (_, par) = sharded.query_box_bigmin_par(&b);
+            assert_eq!(par, router, "par bigmin stats drifted on {b:?}");
 
             // Interval path: the router hands each shard its clipped list.
             let intervals = b.curve_intervals(z);
@@ -1049,6 +1622,8 @@ mod tests {
             }
             assert_eq!(router.reported, manual.reported, "reported sum, planner");
             assert_eq!(router, manual, "planner stats drifted on {b:?}");
+            let (_, par) = sharded.query_box_par(&b);
+            assert_eq!(par, router, "par planner stats drifted on {b:?}");
         }
     }
 
@@ -1066,12 +1641,12 @@ mod tests {
                 let b = BoxRegion::new(lo, hi);
                 assert_eq!(
                     flat(sharded.query_box(&b).0),
-                    flat(single.query_box(&b).0),
+                    flat_ref(single.query_box(&b).0),
                     "planner, parts={parts}"
                 );
                 assert_eq!(
                     flat(sharded.query_box(&b).0),
-                    flat(single.query_box_intervals(&b).0),
+                    flat_ref(single.query_box_intervals(&b).0),
                     "planner vs fixed intervals, parts={parts}"
                 );
             }

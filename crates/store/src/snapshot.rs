@@ -10,8 +10,11 @@
 //! Unlike the store (which hands out views borrowing `&self`), a snapshot
 //! is a free-standing **owned** value: it can be moved to another thread
 //! and queried there — it is `Send + Sync` whenever the payload and curve
-//! are — which is the epoch-style reader path the single-writer store
-//! lacked.
+//! are. In the concurrent sharded engine this is the fully lock-free read
+//! path: [`ShardedSfcStore::snapshot`](crate::ShardedSfcStore::snapshot)
+//! pins each shard's published epoch (see the `epoch` module), and the
+//! resulting snapshot never touches a lock again, no matter how many
+//! writers keep pounding the store.
 
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::{BoxRegion, QueryStats, SfcIndex};

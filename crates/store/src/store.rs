@@ -28,6 +28,33 @@ pub struct StoreEntryRef<'a, const D: usize, T> {
     pub payload: &'a T,
 }
 
+/// An owned live record — what the concurrent sharded store's queries
+/// return. The borrowed [`StoreEntryRef`] cannot outlive a lock-guarded
+/// view, so the `&self` query paths of
+/// [`ShardedSfcStore`](crate::ShardedSfcStore) clone the payload of every
+/// reported hit into one of these instead (the write path already
+/// requires `T: Clone`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry<const D: usize, T> {
+    /// Curve key of the record's cell.
+    pub key: CurveIndex,
+    /// The record's cell.
+    pub point: Point<D>,
+    /// User payload of the newest version.
+    pub payload: T,
+}
+
+impl<const D: usize, T: Clone> StoreEntryRef<'_, D, T> {
+    /// Clones the referenced payload into an owned [`StoreEntry`].
+    pub fn to_owned(&self) -> StoreEntry<D, T> {
+        StoreEntry {
+            key: self.key,
+            point: self.point,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
 /// A mutable spatial store over SFC-sorted runs (see the crate docs for
 /// the memtable / run / compaction lifecycle).
 ///
@@ -62,6 +89,33 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> fmt::Debug for SfcStore
     }
 }
 
+/// Sorts a record batch into unique-key bottom-run columns, collapsing
+/// records that share a cell newest-wins (later in the iterator = newer).
+/// The shared bulk-load primitive of [`SfcStore`] and the sharded store.
+pub(crate) fn sorted_unique_columns<const D: usize, T, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    records: impl IntoIterator<Item = (Point<D>, T)>,
+) -> (Vec<CurveIndex>, Vec<Point<D>>, Vec<Option<T>>) {
+    let (points, payloads): (Vec<Point<D>>, Vec<T>) = records.into_iter().unzip();
+    let (keys, points, payloads) = sort_columns(curve, points, payloads);
+    // The sort is stable, so within an equal-key group the last record
+    // is the newest — keep it.
+    let mut run_keys: Vec<CurveIndex> = Vec::with_capacity(keys.len());
+    let mut run_points: Vec<Point<D>> = Vec::with_capacity(keys.len());
+    let mut run_payloads: Vec<Option<T>> = Vec::with_capacity(keys.len());
+    for ((key, point), payload) in keys.into_iter().zip(points).zip(payloads) {
+        if run_keys.last() == Some(&key) {
+            *run_points.last_mut().expect("non-empty") = point;
+            *run_payloads.last_mut().expect("non-empty") = Some(payload);
+        } else {
+            run_keys.push(key);
+            run_points.push(point);
+            run_payloads.push(Some(payload));
+        }
+    }
+    (run_keys, run_points, run_payloads)
+}
+
 impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
     /// An empty store with the default memtable capacity.
     pub fn new(curve: C) -> Self {
@@ -85,24 +139,8 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
     /// (later in the iterator = newer), matching the store's update
     /// semantics.
     pub fn bulk_load(curve: C, records: impl IntoIterator<Item = (Point<D>, T)>) -> Self {
-        let (points, payloads): (Vec<Point<D>>, Vec<T>) = records.into_iter().unzip();
-        let (keys, points, payloads) = sort_columns(&curve, points, payloads);
-        // The sort is stable, so within an equal-key group the last record
-        // is the newest — keep it.
-        let mut run_keys: Vec<CurveIndex> = Vec::with_capacity(keys.len());
-        let mut run_points: Vec<Point<D>> = Vec::with_capacity(keys.len());
-        let mut run_payloads: Vec<Option<T>> = Vec::with_capacity(keys.len());
-        for ((key, point), payload) in keys.into_iter().zip(points).zip(payloads) {
-            if run_keys.last() == Some(&key) {
-                *run_points.last_mut().expect("non-empty") = point;
-                *run_payloads.last_mut().expect("non-empty") = Some(payload);
-            } else {
-                run_keys.push(key);
-                run_points.push(point);
-                run_payloads.push(Some(payload));
-            }
-        }
-        Self::from_sorted_run(curve, run_keys, run_points, run_payloads)
+        let (keys, points, payloads) = sorted_unique_columns(&curve, records);
+        Self::from_sorted_run(curve, keys, points, payloads)
     }
 
     /// Adopts pre-sorted columns (unique keys, all slots `Some`) as the
@@ -140,12 +178,6 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
             memtable_cap: DEFAULT_MEMTABLE_CAPACITY,
             live,
         }
-    }
-
-    /// Overrides the memtable capacity (records buffered before an
-    /// automatic flush) without disturbing the store contents.
-    pub(crate) fn set_memtable_capacity(&mut self, capacity: usize) {
-        self.memtable_cap = capacity.max(1);
     }
 
     /// The borrowed multi-level view all queries run against.
@@ -399,24 +431,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
     /// merge, newest wins). Keeps the run count at `O(log n)` and total
     /// merge work amortised `O(log n)` moves per write.
     fn maybe_merge(&mut self) {
-        while self.runs.len() >= 2 {
-            let n = self.runs.len();
-            if self.runs[n - 2].len() < 2 * self.runs[n - 1].len() {
-                let newer = self.runs.pop().expect("len >= 2");
-                let older = self.runs.pop().expect("len >= 2");
-                let drop_tombstones = self.runs.is_empty();
-                self.runs.push(Arc::new(merge_runs(
-                    &self.curve,
-                    vec![older, newer],
-                    drop_tombstones,
-                )));
-            } else {
-                break;
-            }
-        }
-        if self.runs.len() == 1 && self.runs[0].is_empty() {
-            self.runs.clear();
-        }
+        crate::merge::restore_size_tiers(&self.curve, &mut self.runs);
     }
 
     /// Major compaction: flushes the memtable and merges **all** runs into

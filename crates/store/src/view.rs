@@ -154,7 +154,7 @@ thread_local! {
 
 /// Offers a squared distance to the top-k max-heap.
 #[inline]
-fn offer(heap: &mut BinaryHeap<u64>, k: usize, dist_sq: u64) {
+pub(crate) fn offer(heap: &mut BinaryHeap<u64>, k: usize, dist_sq: u64) {
     if heap.len() < k {
         heap.push(dist_sq);
     } else if dist_sq < *heap.peek().expect("non-empty: len >= k >= 1") {
@@ -349,10 +349,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
             Some(z) => (z.encode(b.lo()), z.encode(b.hi())),
             None => {
                 let iv = intervals.as_ref().expect("non-Morton curves decompose");
-                match (iv.first(), iv.last()) {
-                    (Some(&(lo, _)), Some(&(_, hi))) => (lo, hi),
-                    _ => (1, 0), // empty interval list: prune everything
-                }
+                interval_hull(iv).unwrap_or((1, 0))
             }
         };
         let morton_adaptive = z.is_some();
@@ -527,10 +524,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         let mut stats = QueryStats::default();
         let mut levels: Vec<LevelHits<'a, D, T>> =
             Vec::with_capacity(self.runs.len() + usize::from(self.memtable.is_some()));
-        let span = match (intervals.first(), intervals.last()) {
-            (Some(&(lo, _)), Some(&(_, hi))) => (lo, hi),
-            _ => (1, 0),
-        };
+        let span = interval_hull(intervals).unwrap_or((1, 0));
         // Newest level first: the merge keeps the first version seen.
         if let Some(mem) = self.memtable {
             let mut hits: LevelHits<'a, D, T> = Vec::new();
@@ -996,21 +990,39 @@ impl<'a, const D: usize, T> LevelsView<'a, D, T, ZCurve<D>> {
     }
 }
 
-/// Ranks entries by Euclidean distance to `q` (ties broken by curve key —
-/// the ordering every kNN result and every `knn_linear` ground truth in
-/// this crate must share) and keeps the `k` nearest.
+/// The canonical kNN result order: Euclidean distance to `q`, ties
+/// broken by curve key. Every kNN path — and every `knn_linear` ground
+/// truth, borrowed or owned — must rank with exactly this comparator.
+pub(crate) fn distance_key_order<const D: usize>(
+    q: &Point<D>,
+    a: (&Point<D>, CurveIndex),
+    b: (&Point<D>, CurveIndex),
+) -> std::cmp::Ordering {
+    q.euclidean_sq(a.0)
+        .cmp(&q.euclidean_sq(b.0))
+        .then(a.1.cmp(&b.1))
+}
+
+/// Ranks entries by [`distance_key_order`] and keeps the `k` nearest.
 pub(crate) fn rank_by_distance<const D: usize, T>(
     mut all: Vec<StoreEntryRef<'_, D, T>>,
     q: Point<D>,
     k: usize,
 ) -> Vec<StoreEntryRef<'_, D, T>> {
-    all.sort_by(|a, b| {
-        q.euclidean_sq(&a.point)
-            .cmp(&q.euclidean_sq(&b.point))
-            .then(a.key.cmp(&b.key))
-    });
+    all.sort_by(|a, b| distance_key_order(&q, (&a.point, a.key), (&b.point, b.key)));
     all.truncate(k);
     all
+}
+
+/// The hull `[first.lo, last.hi]` of a sorted inclusive interval list —
+/// the curve span a query over those intervals can touch. `None` for an
+/// empty list; callers that need a span either way use the canonical
+/// empty sentinel `(1, 0)` (lo > hi prunes everything).
+pub(crate) fn interval_hull(intervals: &[Interval]) -> Option<Interval> {
+    match (intervals.first(), intervals.last()) {
+        (Some(&(lo, _)), Some(&(_, hi))) => Some((lo, hi)),
+        _ => None,
+    }
 }
 
 /// The verification radius for a kNN query: the k-th best candidate

@@ -17,11 +17,10 @@ fn shard_report(label: &str, store: &ShardedSfcStore<2, u32, ZCurve<2>>) {
     let total = store.len().max(1);
     println!("== {label}");
     println!("   boundaries: {:?}", store.partition().boundaries());
-    for (j, (len, shard)) in lens.iter().zip(store.shards()).enumerate() {
+    for (j, (len, run_lens)) in lens.iter().zip(store.shard_run_lens()).enumerate() {
         println!(
-            "   shard {j}: {len:>6} live ({:>2}%) | runs {:?}",
+            "   shard {j}: {len:>6} live ({:>2}%) | runs {run_lens:?}",
             100 * len / total,
-            shard.run_lens()
         );
     }
 }
@@ -30,7 +29,7 @@ fn main() {
     let grid = Grid::<2>::new(8).unwrap(); // 256×256
     let z = ZCurve::over(grid);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
-    let mut sharded = ShardedSfcStore::with_memtable_capacity(z, 4, 512);
+    let sharded = ShardedSfcStore::with_memtable_capacity(z, 4, 512);
     let mut single = SfcStore::with_memtable_capacity(z, 512);
 
     // Phase 1: heavily skewed traffic — 85% of writes land in the first
@@ -55,7 +54,7 @@ fn main() {
         assert!(hits
             .iter()
             .zip(&want)
-            .all(|(a, b)| (a.key, *a.payload) == (b.key, *b.payload)));
+            .all(|(a, b)| (a.key, a.payload) == (b.key, *b.payload)));
         println!(
             "   box query: {} hits | seeks {} | scanned {} (identical to single store)",
             hits.len(),
@@ -102,7 +101,7 @@ fn main() {
     assert!(sk
         .iter()
         .zip(&uk)
-        .all(|(a, b)| (a.key, *a.payload) == (b.key, *b.payload)));
+        .all(|(a, b)| (a.key, a.payload) == (b.key, *b.payload)));
     println!(
         "== kNN at {q}: {} neighbors, identical to single store",
         sk.len()

@@ -245,7 +245,10 @@ fn random_sharded_ops(len: usize, side: u32, seed: u64) -> Vec<ShardedOp> {
 }
 
 /// Byte-level comparison of every observable view of the sharded store
-/// against the single store and the model.
+/// against the single store and the model. The concurrent sharded store
+/// returns owned [`sfc_store::StoreEntry`] values and `&self` everywhere;
+/// the single store keeps its borrowed API — both flatten to the same
+/// triples.
 fn check_sharded_against_single_and_model(
     sharded: &ShardedSfcStore<2, u32, ZCurve<2>>,
     single: &SfcStore<2, u32, ZCurve<2>>,
@@ -257,9 +260,19 @@ fn check_sharded_against_single_and_model(
     assert_eq!(sharded.len(), model.len(), "live count vs model");
     assert_eq!(sharded.len(), single.len(), "live count vs single");
 
+    let flat_owned = |v: &[sfc_store::StoreEntry<2, u32>]| {
+        v.iter()
+            .map(|e| (e.key, e.point, e.payload))
+            .collect::<Vec<_>>()
+    };
+    let flat_ref = |v: &[sfc_store::StoreEntryRef<'_, 2, u32>]| {
+        v.iter()
+            .map(|e| (e.key, e.point, *e.payload))
+            .collect::<Vec<_>>()
+    };
     let flat_sharded: Vec<(CurveIndex, Point<2>, u32)> = sharded
         .iter()
-        .map(|e| (e.key, e.point, *e.payload))
+        .map(|e| (e.key, e.point, e.payload))
         .collect();
     let flat_single: Vec<(CurveIndex, Point<2>, u32)> = single
         .iter()
@@ -273,7 +286,7 @@ fn check_sharded_against_single_and_model(
     let mut rng = test_rng(seed ^ 0x51a4d);
     for _ in 0..20 {
         let p = grid.random_cell(&mut rng);
-        assert_eq!(sharded.get(p), single.get(p), "get({p})");
+        assert_eq!(sharded.get(p), single.get(p).copied(), "get({p})");
     }
     for _ in 0..6 {
         let a = grid.random_cell(&mut rng);
@@ -281,29 +294,36 @@ fn check_sharded_against_single_and_model(
         let lo = Point::new([a.coord(0).min(b.coord(0)), a.coord(1).min(b.coord(1))]);
         let hi = Point::new([a.coord(0).max(b.coord(0)), a.coord(1).max(b.coord(1))]);
         let region = BoxRegion::new(lo, hi);
-        let flat = |v: &[sfc_store::StoreEntryRef<'_, 2, u32>]| {
-            v.iter()
-                .map(|e| (e.key, e.point, *e.payload))
-                .collect::<Vec<_>>()
-        };
         let (siv, _) = sharded.query_box_intervals(&region);
         let (uiv, _) = single.query_box_intervals(&region);
-        assert_eq!(flat(&siv), flat(&uiv), "intervals on {region:?}");
+        assert_eq!(flat_owned(&siv), flat_ref(&uiv), "intervals on {region:?}");
         let (sbm, _) = sharded.query_box_bigmin(&region);
         let (ubm, _) = single.query_box_bigmin(&region);
-        assert_eq!(flat(&sbm), flat(&ubm), "bigmin on {region:?}");
+        assert_eq!(flat_owned(&sbm), flat_ref(&ubm), "bigmin on {region:?}");
+        // The scoped-thread parallel fan-outs are byte-identical to the
+        // sequential ones (satellite: no longer a tautology — the
+        // per-shard scans really run on worker threads).
+        let (spar, _) = sharded.query_box_par(&region);
+        assert_eq!(
+            flat_owned(&spar),
+            flat_ref(&uiv),
+            "par planner on {region:?}"
+        );
+        let (sbpar, _) = sharded.query_box_bigmin_par(&region);
+        assert_eq!(
+            flat_owned(&sbpar),
+            flat_ref(&ubm),
+            "par bigmin on {region:?}"
+        );
     }
     for _ in 0..4 {
         let q = grid.random_cell(&mut rng);
         let k = rng.gen_range(1..6usize);
-        let flat = |v: &[sfc_store::StoreEntryRef<'_, 2, u32>]| {
-            v.iter()
-                .map(|e| (e.key, e.point, *e.payload))
-                .collect::<Vec<_>>()
-        };
         let (sk, _) = sharded.knn(q, k, 3);
         let (uk, _) = single.knn(q, k, 3);
-        assert_eq!(flat(&sk), flat(&uk), "knn k={k} q={q}");
+        assert_eq!(flat_owned(&sk), flat_ref(&uk), "knn k={k} q={q}");
+        let (skp, _) = sharded.knn_par(q, k, 3);
+        assert_eq!(flat_owned(&skp), flat_ref(&uk), "par knn k={k} q={q}");
     }
 }
 
@@ -322,7 +342,8 @@ proptest! {
     ) {
         let grid = Grid::<2>::new(4).unwrap();
         let curve = ZCurve::over(grid);
-        let mut sharded = ShardedSfcStore::with_memtable_capacity(curve, parts, cap);
+        // `&self` writes: no `mut` binding needed for the sharded side.
+        let sharded = ShardedSfcStore::with_memtable_capacity(curve, parts, cap);
         let mut single = SfcStore::with_memtable_capacity(curve, cap);
         let mut model: BTreeMap<CurveIndex, (Point<2>, u32)> = BTreeMap::new();
         let ops = random_sharded_ops(300, 16, seed);

@@ -1,96 +1,183 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — now with real threads.
 //!
 //! The build environment has no crates.io access, so this crate provides
 //! the parallel-iterator API surface the workspace uses
-//! (`into_par_iter`, `par_iter`, `map`, `enumerate`, `reduce`, `collect`,
-//! `sum`, `for_each`, and [`join`]) with **sequential** execution. The
-//! semantics match rayon for deterministic pipelines: `reduce` folds in
-//! order, `collect` preserves input order. Swapping the real rayon back in
-//! requires no source changes.
+//! (`into_par_iter`, `par_iter`, `map`, `enumerate`, `filter`, `reduce`,
+//! `collect`, `sum`, `for_each`, `count`, and [`join`]). Unlike the first
+//! generation of this stand-in (which executed everything sequentially on
+//! the calling thread), the element-wise stages now **fan out across
+//! [`std::thread::scope`] worker threads**: the input is materialised,
+//! split into contiguous chunks (one per worker), each chunk is processed
+//! on its own thread, and the per-chunk outputs are concatenated in input
+//! order — so `map`/`filter`/`collect` preserve order and `reduce` folds
+//! chunk results left-to-right, exactly the determinism guarantees the
+//! real rayon gives for associative operators.
+//!
+//! The worker count is `std::thread::available_parallelism()`, floored at
+//! two so the parallel code paths are genuinely exercised (threads really
+//! spawn, results really cross thread boundaries) even on single-core CI
+//! containers. Single-element and empty inputs run inline. Swapping the
+//! real rayon back in requires no source changes: the closure bounds
+//! (`Fn + Sync`, `Send` items) match the real crate's.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-/// A "parallel" iterator: a thin sequential wrapper with rayon's method
-/// names.
-#[derive(Debug, Clone)]
-pub struct ParIter<I> {
-    inner: I,
+/// Number of worker threads for chunked stages: the machine's available
+/// parallelism, floored at 2 so concurrency is exercised everywhere.
+fn thread_budget() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(2)
 }
 
-impl<I: Iterator> ParIter<I> {
-    /// Maps each element through `f`.
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+/// Splits `items` into at most `parts` contiguous chunks of near-equal
+/// size, preserving order.
+fn split_chunks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    // Split from the back so each split_off is O(tail).
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(parts);
+    let mut cuts: Vec<usize> = Vec::with_capacity(parts);
+    let mut start = 0;
+    for j in 0..parts {
+        cuts.push(start);
+        start += base + usize::from(j < extra);
+    }
+    for &cut in cuts.iter().rev() {
+        chunks.push(items.split_off(cut));
+    }
+    chunks.reverse();
+    chunks
+}
+
+/// Runs `work` over each chunk of `items` on its own scoped thread,
+/// returning the per-chunk results in input order.
+fn run_chunked<T, R, F>(items: Vec<T>, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return if items.is_empty() {
+            Vec::new()
+        } else {
+            vec![work(items)]
+        };
+    }
+    let chunks = split_chunks(items, thread_budget());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(|| work(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stand-in worker panicked"))
+            .collect()
+    })
+}
+
+/// A parallel iterator: a materialised item list whose element-wise
+/// stages run chunked across scoped threads.
+#[derive(Debug, Clone)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each element through `f` (in parallel, order preserved).
+    pub fn map<B, F>(self, f: F) -> ParIter<B>
+    where
+        B: Send,
+        F: Fn(T) -> B + Sync,
+    {
+        let chunks = run_chunked(self.items, |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<B>>()
+        });
         ParIter {
-            inner: self.inner.map(f),
+            items: chunks.into_iter().flatten().collect(),
         }
     }
 
     /// Pairs each element with its index.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
         ParIter {
-            inner: self.inner.enumerate(),
+            items: self.items.into_iter().enumerate().collect(),
         }
     }
 
-    /// Keeps elements matching the predicate.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter {
-            inner: self.inner.filter(f),
-        }
-    }
-
-    /// Folds all elements with `op`, starting from `identity()`.
-    ///
-    /// Rayon's contract: `identity` may be invoked any number of times and
-    /// `op` must be associative; a sequential left fold satisfies both.
-    pub fn reduce<ID, OP>(mut self, identity: ID, op: OP) -> I::Item
+    /// Keeps elements matching the predicate (in parallel, order
+    /// preserved).
+    pub fn filter<F>(self, f: F) -> ParIter<T>
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        F: Fn(&T) -> bool + Sync,
     {
-        let first = self.inner.next().unwrap_or_else(&identity);
-        self.inner.fold(first, op)
+        let chunks = run_chunked(self.items, |chunk| {
+            chunk.into_iter().filter(|x| f(x)).collect::<Vec<T>>()
+        });
+        ParIter {
+            items: chunks.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Folds all elements with `op`, starting each worker from
+    /// `identity()` and combining per-chunk results left-to-right.
+    ///
+    /// Rayon's contract: `identity` may be invoked any number of times
+    /// (once per chunk here) and `op` must be associative, which makes
+    /// the chunked fold equal to the sequential one.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let chunks = run_chunked(self.items, |chunk| chunk.into_iter().fold(identity(), &op));
+        chunks.into_iter().fold(identity(), &op)
     }
 
     /// Collects into any `FromIterator` container, preserving order.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.inner.collect()
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
     }
 
     /// Sums the elements.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.inner.sum()
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
     }
 
-    /// Runs `f` on every element.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.inner.for_each(f)
+    /// Runs `f` on every element (in parallel).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunked(self.items, |chunk| chunk.into_iter().for_each(&f));
     }
 
     /// The number of elements.
     pub fn count(self) -> usize {
-        self.inner.count()
+        self.items.len()
     }
 }
 
 /// Conversion into a [`ParIter`] by value (rayon's `IntoParallelIterator`).
 pub trait IntoParallelIterator {
-    /// The wrapped sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
     /// The element type.
     type Item;
-    /// Wraps `self`.
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    /// Wraps `self`, materialising the elements.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
 }
 
 impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
     type Item = T::Item;
 
-    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+    fn into_par_iter(self) -> ParIter<T::Item> {
         ParIter {
-            inner: self.into_iter(),
+            items: self.into_iter().collect(),
         }
     }
 }
@@ -98,39 +185,46 @@ impl<T: IntoIterator> IntoParallelIterator for T {
 /// Conversion into a [`ParIter`] over references (rayon's
 /// `IntoParallelRefIterator`).
 pub trait IntoParallelRefIterator<'a> {
-    /// The wrapped sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
     /// The element type (a reference).
     type Item: 'a;
     /// Wraps a shared borrow of `self`.
-    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
 }
 
 impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-    type Iter = std::slice::Iter<'a, T>;
     type Item = &'a T;
 
-    fn par_iter(&'a self) -> ParIter<std::slice::Iter<'a, T>> {
-        ParIter { inner: self.iter() }
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
 impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Iter = std::slice::Iter<'a, T>;
     type Item = &'a T;
 
-    fn par_iter(&'a self) -> ParIter<std::slice::Iter<'a, T>> {
-        ParIter { inner: self.iter() }
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
-/// Runs both closures (sequentially here) and returns both results.
+/// Runs both closures — `b` on a scoped thread, `a` on the caller — and
+/// returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon stand-in join arm panicked"))
+    })
 }
 
 pub mod prelude {
@@ -159,9 +253,42 @@ mod tests {
     }
 
     #[test]
+    fn large_map_preserves_order_across_chunks() {
+        let out: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, (0u64..10_000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_preserves_order_across_chunks() {
+        let out: Vec<u64> = (0u64..10_000)
+            .into_par_iter()
+            .filter(|x| x % 7 == 0)
+            .collect();
+        assert_eq!(
+            out,
+            (0u64..10_000).filter(|x| x % 7 == 0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn reduce_of_empty_uses_identity() {
         let total = (0u64..0).into_par_iter().reduce(|| 7, |a, b| a + b);
         assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn map_runs_on_worker_threads() {
+        // The whole point of the rewrite: element-wise stages really do
+        // cross thread boundaries.
+        let main_id = std::thread::current().id();
+        let ids: Vec<_> = (0u64..64)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        assert!(
+            ids.iter().any(|&id| id != main_id),
+            "no element was processed off the calling thread"
+        );
     }
 
     #[test]
@@ -169,5 +296,22 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn split_chunks_covers_everything_in_order() {
+        for len in [0usize, 1, 2, 5, 17, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let items: Vec<usize> = (0..len).collect();
+                let chunks = super::split_chunks(items, parts);
+                let flat: Vec<usize> = chunks.iter().flatten().copied().collect();
+                assert_eq!(
+                    flat,
+                    (0..len).collect::<Vec<_>>(),
+                    "len={len} parts={parts}"
+                );
+                assert!(chunks.len() <= parts.max(1));
+            }
+        }
     }
 }
