@@ -406,7 +406,36 @@ fn bench_ingest(c: &mut Criterion) {
 struct QueryBench {
     records: Vec<criterion::BenchRecord>,
     stats: Vec<(&'static str, QueryStats)>,
+    footprint: Footprint,
 }
+
+/// The query store's measured memory footprint, for the
+/// `bytes_per_record` report section and the CI budget gate.
+struct Footprint {
+    /// Heap bytes held by the store (compressed runs + memtable estimate).
+    heap_bytes: usize,
+    /// Total slots stored across runs and memtable (tombstones included).
+    slots: usize,
+    /// What a naive structure-of-arrays layout would charge per slot
+    /// (uncompressed key + point + `Option` payload).
+    naive_slot_bytes: usize,
+}
+
+impl Footprint {
+    fn bytes_per_record(&self) -> f64 {
+        self.heap_bytes as f64 / self.slots as f64
+    }
+
+    fn compression_ratio(&self) -> f64 {
+        self.naive_slot_bytes as f64 / self.bytes_per_record()
+    }
+}
+
+/// The committed memory budget: the compressed store must stay under this
+/// many heap bytes per stored slot at the 1M-record bench scale. The CI
+/// bench step fails if the packed format regresses past it (the naive
+/// layout costs `naive_slot_bytes` = 40).
+const BYTES_PER_RECORD_BUDGET: f64 = 20.0;
 
 const QUERY_BOXES: usize = 24;
 const KNN_QUERIES: usize = 24;
@@ -528,6 +557,51 @@ fn bench_query_paths(c: &mut Criterion, sc: &Scenario) -> QueryBench {
     }
     println!("equivalence: all box paths and kNN byte-identical across {QUERY_BOXES} boxes / {KNN_QUERIES} queries");
 
+    // Regression gate for the kNN side-walk fix: the block-summary walk
+    // must not scan more slots than the plain fixed-window walk (it
+    // prunes blocks the plain walk reads; it never reads more).
+    let scanned_of = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.scanned)
+            .expect("path recorded")
+    };
+    assert!(
+        scanned_of("knn_zone") <= scanned_of("knn_plain"),
+        "knn_zone scanned {} > knn_plain scanned {} — block-skip walk is over-admitting",
+        scanned_of("knn_zone"),
+        scanned_of("knn_plain")
+    );
+
+    // Memory footprint of the compressed store vs the naive layout.
+    let slots: usize = store.run_lens().iter().sum::<usize>() + store.memtable_len();
+    let footprint = Footprint {
+        heap_bytes: store.heap_bytes(),
+        slots,
+        naive_slot_bytes: std::mem::size_of::<CurveIndex>()
+            + std::mem::size_of::<Point<2>>()
+            + std::mem::size_of::<Option<u64>>(),
+    };
+    println!(
+        "footprint: {} slots in {} heap bytes = {:.2} B/record ({:.2}x under the naive {} B/record)",
+        footprint.slots,
+        footprint.heap_bytes,
+        footprint.bytes_per_record(),
+        footprint.compression_ratio(),
+        footprint.naive_slot_bytes
+    );
+    assert!(
+        footprint.compression_ratio() >= 2.0,
+        "compressed blocks must at least halve the naive footprint, got {:.2}x",
+        footprint.compression_ratio()
+    );
+    assert!(
+        footprint.bytes_per_record() <= BYTES_PER_RECORD_BUDGET,
+        "bytes per record {:.2} exceeds the committed budget {BYTES_PER_RECORD_BUDGET}",
+        footprint.bytes_per_record()
+    );
+
     let mut group = c.benchmark_group("box_query_1m_selective");
     group.bench_function("plain_intervals", |bencher| {
         bencher.iter(|| {
@@ -590,9 +664,27 @@ fn bench_query_paths(c: &mut Criterion, sc: &Scenario) -> QueryBench {
     });
     group.finish();
 
+    // Decode-kernel scan throughput: a full k-way iteration touches every
+    // block of every run through the unpack kernels. Throughput is
+    // reported in *logical* bytes — the uncompressed key + point +
+    // payload each visited slot represents — so the number is comparable
+    // across format changes.
+    let logical_slot_bytes = (std::mem::size_of::<CurveIndex>()
+        + std::mem::size_of::<Point<2>>()
+        + std::mem::size_of::<u64>()) as u64;
+    let mut group = c.benchmark_group("scan_throughput_1m");
+    group.throughput(criterion::Throughput::Bytes(
+        slots as u64 * logical_slot_bytes,
+    ));
+    group.bench_function("full_iter", |bencher| {
+        bencher.iter(|| black_box(store.iter().count()))
+    });
+    group.finish();
+
     QueryBench {
         records: criterion::take_records(),
         stats,
+        footprint,
     }
 }
 
@@ -608,8 +700,8 @@ fn json_escape(s: &str) -> String {
 
 fn stats_json(s: &QueryStats) -> String {
     format!(
-        "{{\"seeks\": {}, \"scanned\": {}, \"reported\": {}, \"blocks_scanned\": {}, \"blocks_pruned\": {}, \"overscan\": {:.4}}}",
-        s.seeks, s.scanned, s.reported, s.blocks_scanned, s.blocks_pruned, s.overscan()
+        "{{\"seeks\": {}, \"scanned\": {}, \"reported\": {}, \"blocks_scanned\": {}, \"blocks_pruned\": {}, \"blocks_decoded\": {}, \"overscan\": {:.4}}}",
+        s.seeks, s.scanned, s.reported, s.blocks_scanned, s.blocks_pruned, s.blocks_decoded, s.overscan()
     )
 }
 
@@ -648,6 +740,29 @@ fn write_report(all_records: &[criterion::BenchRecord], qb: &QueryBench) {
             name,
             stats_json(s),
             if i + 1 == qb.stats.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  },\n");
+    let fp = &qb.footprint;
+    out.push_str(&format!(
+        "  \"bytes_per_record\": {{\"heap_bytes\": {}, \"slots\": {}, \"compressed\": {:.3}, \"uncompressed\": {}, \"compression_ratio\": {:.3}, \"budget\": {BYTES_PER_RECORD_BUDGET}}},\n",
+        fp.heap_bytes,
+        fp.slots,
+        fp.bytes_per_record(),
+        fp.naive_slot_bytes,
+        fp.compression_ratio()
+    ));
+    out.push_str("  \"scan_throughput_gbps\": {\n");
+    let thrpt: Vec<&criterion::BenchRecord> = all_records
+        .iter()
+        .filter(|r| r.gb_per_sec().is_some())
+        .collect();
+    for (i, r) in thrpt.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {:.4}{}\n",
+            json_escape(&r.name),
+            r.gb_per_sec().expect("filtered on Some"),
+            if i + 1 == thrpt.len() { "" } else { "," }
         ));
     }
     out.push_str("  },\n  \"speedups\": {\n");

@@ -1,0 +1,764 @@
+//! Compressed columnar blocks: the physical format of a sorted run.
+//!
+//! A [`BlockStore`] cuts a run into fixed-size blocks of [`BLOCK_SLOTS`]
+//! consecutive slots and stores, per block:
+//!
+//! * the **fence key** — the block's first (smallest) curve key, kept
+//!   uncompressed so a two-level binary search (fence array, then one
+//!   block) replaces a whole-column search with two cache-resident ones;
+//! * the **keys** as frame-of-reference deltas from the fence key,
+//!   bit-packed at the narrowest width that fits the block's largest
+//!   delta (SFC-sorted keys make consecutive deltas tiny, so widths of
+//!   8–16 bits are typical where raw keys cost 128);
+//! * the per-dimension **point AABB** (`lo`/`hi` corners), doubling as
+//!   the zone-map pruning summary *and* the frame of reference for the
+//!   coordinates;
+//! * the **coordinates** as per-axis offsets from the AABB minimum,
+//!   bit-packed at the narrowest sufficient width per axis;
+//! * a **tombstone bitmap** — one `u64` per block, bit `j` set iff slot
+//!   `j` is live — replacing per-slot `Option` discriminants, plus a
+//!   rank prefix sum so a slot's position in the dense payload column is
+//!   a masked popcount away.
+//!
+//! Tail blocks are zero-padded to the full [`BLOCK_SLOTS`] width, so a
+//! block's word count is exactly its bit width (per column) and all word
+//! offsets are plain prefix sums. Padding costs at most one block's worth
+//! of bits per run and keeps every decode kernel branch-free.
+//!
+//! Everything scans need *before* touching a block — fences, AABBs, live
+//! counts — lives in the uncompressed per-block metadata, so pruning
+//! decisions never decode. Decoding happens lazily, one block at a time,
+//! through [`BlockStore::decode_into`] or a [`BlockCursor`] that caches
+//! the most recent block and counts decode-kernel invocations for
+//! [`QueryStats::blocks_decoded`](crate::QueryStats).
+
+use sfc_core::{CurveIndex, Point};
+
+use crate::kernels;
+use crate::region::BoxRegion;
+
+/// Slots per block. Fixed at 64 so the tombstone bitmap is exactly one
+/// machine word per block and filter kernels produce one-word hit masks.
+pub const BLOCK_SLOTS: usize = 64;
+
+// The bitmap and mask kernels assume one u64 word per block.
+const _: () = assert!(BLOCK_SLOTS == 64);
+
+/// One decoded block's columns, the scratch target of the unpack kernels.
+/// Slots past the block's length hold the fence key / AABB minimum (the
+/// zero-delta padding); callers mask them off with the block's range.
+#[derive(Debug, Clone)]
+pub struct DecodedBlock<const D: usize> {
+    /// Decoded curve keys.
+    pub keys: [CurveIndex; BLOCK_SLOTS],
+    /// Decoded coordinates, one lane array per axis.
+    pub coords: [[u32; BLOCK_SLOTS]; D],
+}
+
+impl<const D: usize> Default for DecodedBlock<D> {
+    fn default() -> Self {
+        Self {
+            keys: [0; BLOCK_SLOTS],
+            coords: [[0; BLOCK_SLOTS]; D],
+        }
+    }
+}
+
+impl<const D: usize> DecodedBlock<D> {
+    /// Reassembles the point at in-block slot `j` from the coordinate
+    /// lanes.
+    #[inline]
+    pub fn point(&self, j: usize) -> Point<D> {
+        Point::new(std::array::from_fn(|axis| self.coords[axis][j]))
+    }
+}
+
+/// The compressed physical format of one sorted run: per-block metadata
+/// (fences, AABBs, tombstone bitmap) plus bit-packed key and coordinate
+/// words. Built once by [`BlockStore::pack`]; immutable afterwards.
+#[derive(Debug, Clone)]
+pub struct BlockStore<const D: usize> {
+    /// Total slots stored (the run length, including tombstones).
+    len: usize,
+    /// First key of each block, in block order (ascending).
+    fences: Vec<CurveIndex>,
+    /// Componentwise minimum of each block's points (coordinate FOR base).
+    lo: Vec<Point<D>>,
+    /// Componentwise maximum of each block's points.
+    hi: Vec<Point<D>>,
+    /// Tombstone bitmap: bit `j` of word `block` set iff the slot is live.
+    live_bits: Vec<u64>,
+    /// Live slots in all blocks before each block (dense-payload rank base).
+    live_prefix: Vec<u32>,
+    /// Key delta width per block (0..=64, or [`kernels::WIDTH_RAW`]).
+    key_widths: Vec<u8>,
+    /// Coordinate offset width per block and axis (0..=32).
+    coord_widths: Vec<[u8; D]>,
+    /// Word offset of each block's key words in `key_words`.
+    key_offsets: Vec<u32>,
+    /// Word offset of each block's first axis words in `coord_words`.
+    coord_offsets: Vec<u32>,
+    /// Bit-packed key deltas, one trailing pad word.
+    key_words: Vec<u64>,
+    /// Bit-packed coordinate offsets (axis-major per block), one pad word.
+    coord_words: Vec<u64>,
+    /// Componentwise min over the whole run (meaningful iff `len > 0`).
+    all_lo: Point<D>,
+    /// Componentwise max over the whole run (meaningful iff `len > 0`).
+    all_hi: Point<D>,
+}
+
+impl<const D: usize> BlockStore<D> {
+    /// Packs parallel `keys` / `points` columns (sorted by key, possibly
+    /// with duplicates) into compressed blocks. `is_live` reports whether
+    /// the slot at a given position holds a live payload (`|_| true` for
+    /// indexes without tombstones).
+    ///
+    /// # Panics
+    /// Panics if the columns have different lengths or keys decrease.
+    pub fn pack(
+        keys: &[CurveIndex],
+        points: &[Point<D>],
+        mut is_live: impl FnMut(usize) -> bool,
+    ) -> Self {
+        assert_eq!(keys.len(), points.len(), "column length mismatch");
+        let len = keys.len();
+        let blocks = len.div_ceil(BLOCK_SLOTS);
+        let mut store = Self {
+            len,
+            fences: Vec::with_capacity(blocks),
+            lo: Vec::with_capacity(blocks),
+            hi: Vec::with_capacity(blocks),
+            live_bits: Vec::with_capacity(blocks),
+            live_prefix: Vec::with_capacity(blocks),
+            key_widths: Vec::with_capacity(blocks),
+            coord_widths: Vec::with_capacity(blocks),
+            key_offsets: Vec::with_capacity(blocks),
+            coord_offsets: Vec::with_capacity(blocks),
+            key_words: Vec::new(),
+            coord_words: Vec::new(),
+            all_lo: Point::new([u32::MAX; D]),
+            all_hi: Point::new([0; D]),
+        };
+        let mut all_lo = [u32::MAX; D];
+        let mut all_hi = [0u32; D];
+        let mut live_total = 0u32;
+        let mut deltas = [0u128; BLOCK_SLOTS];
+        let mut fields = [0u64; BLOCK_SLOTS];
+        for block in 0..blocks {
+            let start = block * BLOCK_SLOTS;
+            let end = (start + BLOCK_SLOTS).min(len);
+            let fence = keys[start];
+
+            // Metadata: AABB and tombstone bitmap.
+            let mut blk_lo = [u32::MAX; D];
+            let mut blk_hi = [0u32; D];
+            let mut bits = 0u64;
+            for (slot, p) in points.iter().enumerate().take(end).skip(start) {
+                for axis in 0..D {
+                    let c = p.coord(axis);
+                    blk_lo[axis] = blk_lo[axis].min(c);
+                    blk_hi[axis] = blk_hi[axis].max(c);
+                }
+                bits |= u64::from(is_live(slot)) << (slot - start);
+            }
+            for axis in 0..D {
+                all_lo[axis] = all_lo[axis].min(blk_lo[axis]);
+                all_hi[axis] = all_hi[axis].max(blk_hi[axis]);
+            }
+            store.fences.push(fence);
+            store.lo.push(Point::new(blk_lo));
+            store.hi.push(Point::new(blk_hi));
+            store.live_bits.push(bits);
+            store.live_prefix.push(live_total);
+            live_total += bits.count_ones();
+
+            // Keys: frame-of-reference deltas, zero-padded to 64 slots.
+            let mut max_delta = 0u128;
+            for j in 0..BLOCK_SLOTS {
+                deltas[j] = if start + j < end {
+                    let d = keys[start + j]
+                        .checked_sub(fence)
+                        .expect("keys must be sorted (non-decreasing)");
+                    max_delta = max_delta.max(d);
+                    d
+                } else {
+                    0
+                };
+            }
+            store.key_offsets.push(store.key_words.len() as u32);
+            if max_delta > u64::MAX as u128 {
+                // Rare worst case: deltas wider than one word go in raw.
+                store.key_widths.push(kernels::WIDTH_RAW);
+                for &d in &deltas {
+                    store.key_words.push(d as u64);
+                    store.key_words.push((d >> 64) as u64);
+                }
+            } else {
+                let width = kernels::bits_for(max_delta as u64);
+                store.key_widths.push(width);
+                if width > 0 {
+                    for (f, &d) in fields.iter_mut().zip(deltas.iter()) {
+                        *f = d as u64;
+                    }
+                    kernels::pack_fields(&fields, width, &mut store.key_words);
+                }
+            }
+
+            // Coordinates: per-axis offsets from the AABB minimum,
+            // zero-padded to 64 slots.
+            store.coord_offsets.push(store.coord_words.len() as u32);
+            let mut widths = [0u8; D];
+            for (axis, w) in widths.iter_mut().enumerate() {
+                let base = blk_lo[axis];
+                let mut max_off = 0u32;
+                for (j, f) in fields.iter_mut().enumerate() {
+                    let off = if start + j < end {
+                        points[start + j].coord(axis) - base
+                    } else {
+                        0
+                    };
+                    max_off = max_off.max(off);
+                    *f = u64::from(off);
+                }
+                *w = kernels::bits_for(u64::from(max_off));
+                if *w > 0 {
+                    kernels::pack_fields(&fields, *w, &mut store.coord_words);
+                }
+            }
+            store.coord_widths.push(widths);
+        }
+        // One pad word per column lets the unpack kernels read a straddling
+        // word pair for the last field without a bounds branch.
+        store.key_words.push(0);
+        store.coord_words.push(0);
+        if len > 0 {
+            store.all_lo = Point::new(all_lo);
+            store.all_hi = Point::new(all_hi);
+        }
+        store
+    }
+
+    /// Total slots stored (including tombstones).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the store holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Live (non-tombstone) slots across all blocks.
+    pub fn live_len(&self) -> usize {
+        match self.live_bits.last() {
+            Some(last) => {
+                *self.live_prefix.last().expect("parallel to live_bits") as usize
+                    + last.count_ones() as usize
+            }
+            None => 0,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.fences.len()
+    }
+
+    /// The block containing slot `slot`.
+    #[inline]
+    pub fn block_of(&self, slot: usize) -> usize {
+        slot / BLOCK_SLOTS
+    }
+
+    /// The slot range of block `block` (`start..end`, end-exclusive; the
+    /// last block may be short).
+    #[inline]
+    pub fn block_range(&self, block: usize) -> std::ops::Range<usize> {
+        let start = block * BLOCK_SLOTS;
+        start..(start + BLOCK_SLOTS).min(self.len)
+    }
+
+    /// The block's first (smallest) key — stored uncompressed.
+    #[inline]
+    pub fn fence(&self, block: usize) -> CurveIndex {
+        self.fences[block]
+    }
+
+    /// Non-tombstone slots in the block (a bitmap popcount).
+    #[inline]
+    pub fn live(&self, block: usize) -> u32 {
+        self.live_bits[block].count_ones()
+    }
+
+    /// `true` iff every slot of the block is a tombstone.
+    #[inline]
+    pub fn is_all_dead(&self, block: usize) -> bool {
+        self.live_bits[block] == 0
+    }
+
+    /// The block's live bitmap word (bit `j` ⇔ in-block slot `j` live).
+    #[inline]
+    pub fn live_word(&self, block: usize) -> u64 {
+        self.live_bits[block]
+    }
+
+    /// `true` iff the slot holds a live payload.
+    #[inline]
+    pub fn is_live_slot(&self, slot: usize) -> bool {
+        (self.live_bits[slot / BLOCK_SLOTS] >> (slot % BLOCK_SLOTS)) & 1 == 1
+    }
+
+    /// Live slots in the absolute slot range `slots`, which must lie
+    /// within block `block`. A masked popcount.
+    #[inline]
+    pub fn live_in(&self, block: usize, slots: std::ops::Range<usize>) -> u32 {
+        let start = block * BLOCK_SLOTS;
+        debug_assert!(slots.start >= start && slots.end <= start + BLOCK_SLOTS);
+        if slots.is_empty() {
+            return 0;
+        }
+        let mask = kernels::len_mask(slots.end - start) & !kernels::len_mask(slots.start - start);
+        (self.live_bits[block] & mask).count_ones()
+    }
+
+    /// The slot's position in the dense (live-only) payload column.
+    /// Meaningful only for live slots.
+    #[inline]
+    pub fn rank(&self, slot: usize) -> usize {
+        let block = slot / BLOCK_SLOTS;
+        let before = self.live_bits[block] & !(u64::MAX << (slot % BLOCK_SLOTS));
+        self.live_prefix[block] as usize + before.count_ones() as usize
+    }
+
+    /// The block's point AABB as inclusive `(lo, hi)` corners.
+    #[inline]
+    pub fn aabb(&self, block: usize) -> (Point<D>, Point<D>) {
+        (self.lo[block], self.hi[block])
+    }
+
+    /// `true` iff the block's AABB and the box share no cell — no slot of
+    /// the block can possibly match the box.
+    #[inline]
+    pub fn disjoint(&self, block: usize, b: &BoxRegion<D>) -> bool {
+        let (lo, hi) = (&self.lo[block], &self.hi[block]);
+        (0..D)
+            .any(|axis| hi.coord(axis) < b.lo().coord(axis) || lo.coord(axis) > b.hi().coord(axis))
+    }
+
+    /// `true` iff the block's AABB lies entirely inside the box — every
+    /// slot of the block matches without a per-point test.
+    #[inline]
+    pub fn contained(&self, block: usize, b: &BoxRegion<D>) -> bool {
+        let (lo, hi) = (&self.lo[block], &self.hi[block]);
+        (0..D).all(|axis| {
+            b.lo().coord(axis) <= lo.coord(axis) && hi.coord(axis) <= b.hi().coord(axis)
+        })
+    }
+
+    /// Lower bound on the squared Euclidean distance from `q` to any point
+    /// of the block (distance to the block's AABB; 0 if `q` is inside it).
+    #[inline]
+    pub fn min_dist_sq(&self, block: usize, q: &Point<D>) -> u64 {
+        let (lo, hi) = (&self.lo[block], &self.hi[block]);
+        let mut acc = 0u64;
+        for axis in 0..D {
+            let c = q.coord(axis);
+            let d = if c < lo.coord(axis) {
+                lo.coord(axis) - c
+            } else if c > hi.coord(axis) {
+                c - hi.coord(axis)
+            } else {
+                0
+            };
+            acc += u64::from(d) * u64::from(d);
+        }
+        acc
+    }
+
+    /// The whole run's point AABB, or `None` for an empty run.
+    pub fn bounds(&self) -> Option<(Point<D>, Point<D>)> {
+        (self.len > 0).then_some((self.all_lo, self.all_hi))
+    }
+
+    /// `true` iff the whole run's AABB misses the box (so every block
+    /// does). `false` for an empty run (nothing to prune — scans of an
+    /// empty run are free anyway).
+    pub fn run_disjoint(&self, b: &BoxRegion<D>) -> bool {
+        self.len > 0
+            && (0..D).any(|axis| {
+                self.all_hi.coord(axis) < b.lo().coord(axis)
+                    || self.all_lo.coord(axis) > b.hi().coord(axis)
+            })
+    }
+
+    /// Decodes the single key at absolute slot `slot` (one field
+    /// extraction; no full-block decode).
+    #[inline]
+    pub fn key_at(&self, slot: usize) -> CurveIndex {
+        let block = slot / BLOCK_SLOTS;
+        let j = slot % BLOCK_SLOTS;
+        let base = self.fences[block];
+        let off = self.key_offsets[block] as usize;
+        match self.key_widths[block] {
+            0 => base,
+            kernels::WIDTH_RAW => {
+                let lo = self.key_words[off + 2 * j] as u128;
+                let hi = (self.key_words[off + 2 * j + 1] as u128) << 64;
+                base + (lo | hi)
+            }
+            w => base + kernels::get_field(&self.key_words[off..], w, j) as u128,
+        }
+    }
+
+    /// Decodes the single point at absolute slot `slot` (one field
+    /// extraction per axis; no full-block decode).
+    #[inline]
+    pub fn point_at(&self, slot: usize) -> Point<D> {
+        let block = slot / BLOCK_SLOTS;
+        let j = slot % BLOCK_SLOTS;
+        let widths = &self.coord_widths[block];
+        let mut off = self.coord_offsets[block] as usize;
+        Point::new(std::array::from_fn(|axis| {
+            let w = widths[axis];
+            let c = if w == 0 {
+                self.lo[block].coord(axis)
+            } else {
+                self.lo[block].coord(axis)
+                    + kernels::get_field(&self.coord_words[off..], w, j) as u32
+            };
+            off += w as usize;
+            c
+        }))
+    }
+
+    /// Decodes a whole block's keys and coordinate lanes into `out` via
+    /// the branch-free unpack kernels. Pad slots past the block's length
+    /// hold the fence / AABB minimum.
+    pub fn decode_into(&self, block: usize, out: &mut DecodedBlock<D>) {
+        let off = self.key_offsets[block] as usize;
+        kernels::unpack_keys(
+            &self.key_words[off..],
+            self.key_widths[block],
+            self.fences[block],
+            &mut out.keys,
+        );
+        let mut coff = self.coord_offsets[block] as usize;
+        for axis in 0..D {
+            let w = self.coord_widths[block][axis];
+            kernels::unpack_axis(
+                &self.coord_words[coff..],
+                w,
+                self.lo[block].coord(axis),
+                &mut out.coords[axis],
+            );
+            coff += w as usize;
+        }
+    }
+
+    /// First slot whose key is ≥ `key`: a binary search over the
+    /// uncompressed fence array followed by one inside a single block's
+    /// packed keys (single-field extraction per probe — no block decode).
+    pub fn lower_bound(&self, key: CurveIndex) -> usize {
+        // First block whose fence is ≥ key; the answer can also sit in the
+        // tail of the block before it (fence < key ≤ last key).
+        let blk = self.fences.partition_point(|&f| f < key);
+        if self.fences.is_empty() {
+            return 0;
+        }
+        let range = self.block_range(blk.saturating_sub(1));
+        let (mut lo, mut hi) = (range.start, range.end);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.key_at(mid) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Bytes of heap memory held by the packed columns and metadata.
+    pub fn heap_bytes(&self) -> usize {
+        self.fences.len() * std::mem::size_of::<CurveIndex>()
+            + (self.lo.len() + self.hi.len()) * std::mem::size_of::<Point<D>>()
+            + self.live_bits.len() * 8
+            + self.live_prefix.len() * 4
+            + self.key_widths.len()
+            + self.coord_widths.len() * D
+            + (self.key_offsets.len() + self.coord_offsets.len()) * 4
+            + (self.key_words.len() + self.coord_words.len()) * 8
+    }
+}
+
+/// A lazy per-block decoder: caches the most recently decoded block so
+/// sequential scans decode each visited block exactly once, and counts
+/// decode-kernel invocations for
+/// [`QueryStats::blocks_decoded`](crate::QueryStats).
+#[derive(Debug)]
+pub struct BlockCursor<'a, const D: usize> {
+    store: &'a BlockStore<D>,
+    buf: Box<DecodedBlock<D>>,
+    current: usize,
+    /// Blocks decoded through this cursor so far.
+    pub decodes: u64,
+}
+
+impl<'a, const D: usize> BlockCursor<'a, D> {
+    /// A cursor over `store` with nothing decoded yet.
+    pub fn new(store: &'a BlockStore<D>) -> Self {
+        Self {
+            store,
+            buf: Box::default(),
+            current: usize::MAX,
+            decodes: 0,
+        }
+    }
+
+    /// The decoded columns of `block`, decoding only on a cache miss.
+    #[inline]
+    pub fn decoded(&mut self, block: usize) -> &DecodedBlock<D> {
+        if self.current != block {
+            self.store.decode_into(block, &mut self.buf);
+            self.current = block;
+            self.decodes += 1;
+        }
+        &self.buf
+    }
+
+    /// The key at absolute slot `slot`, through the block cache.
+    #[inline]
+    pub fn key(&mut self, slot: usize) -> CurveIndex {
+        let block = slot / BLOCK_SLOTS;
+        self.decoded(block).keys[slot % BLOCK_SLOTS]
+    }
+
+    /// The point at absolute slot `slot`, through the block cache.
+    #[inline]
+    pub fn point(&mut self, slot: usize) -> Point<D> {
+        let block = slot / BLOCK_SLOTS;
+        self.decoded(block).point(slot % BLOCK_SLOTS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfc_core::{Grid, SpaceFillingCurve, ZCurve};
+
+    fn sorted_columns(n: usize) -> (Vec<CurveIndex>, Vec<Point<2>>, ZCurve<2>) {
+        let z = ZCurve::<2>::new(5).unwrap();
+        let mut rows: Vec<(CurveIndex, Point<2>)> = (0..n)
+            .map(|i| {
+                let p = Point::new([(i as u32 * 7) % 32, (i as u32 * 13) % 32]);
+                (z.index_of(p), p)
+            })
+            .collect();
+        rows.sort_by_key(|&(k, _)| k);
+        let (keys, points) = rows.into_iter().unzip();
+        (keys, points, z)
+    }
+
+    fn decode_all<const D: usize>(bs: &BlockStore<D>) -> (Vec<CurveIndex>, Vec<Point<D>>) {
+        let mut cur = BlockCursor::new(bs);
+        let keys = (0..bs.len()).map(|i| cur.key(i)).collect();
+        let points = (0..bs.len()).map(|i| cur.point(i)).collect();
+        (keys, points)
+    }
+
+    #[test]
+    fn pack_round_trips_columns_exactly() {
+        let (keys, points, _) = sorted_columns(333);
+        let bs = BlockStore::pack(&keys, &points, |slot| slot % 3 != 0);
+        assert_eq!(bs.len(), 333);
+        let (dk, dp) = decode_all(&bs);
+        assert_eq!(dk, keys);
+        assert_eq!(dp, points);
+        // Single-slot accessors agree with the full-block kernels.
+        for i in 0..bs.len() {
+            assert_eq!(bs.key_at(i), keys[i]);
+            assert_eq!(bs.point_at(i), points[i]);
+            assert_eq!(bs.is_live_slot(i), i % 3 != 0);
+        }
+    }
+
+    #[test]
+    fn metadata_matches_the_columns() {
+        let (keys, points, _) = sorted_columns(200);
+        let bs = BlockStore::pack(&keys, &points, |slot| slot % 3 != 0);
+        assert_eq!(bs.blocks(), 200usize.div_ceil(BLOCK_SLOTS));
+        let mut covered = 0usize;
+        let mut live = 0u32;
+        for b in 0..bs.blocks() {
+            let r = bs.block_range(b);
+            assert_eq!(bs.fence(b), keys[r.start]);
+            covered += r.len();
+            live += bs.live(b);
+            assert_eq!(bs.live(b), bs.live_in(b, r.clone()));
+            let (lo, hi) = bs.aabb(b);
+            for slot in r {
+                assert_eq!(bs.block_of(slot), b);
+                for axis in 0..2 {
+                    assert!(lo.coord(axis) <= points[slot].coord(axis));
+                    assert!(points[slot].coord(axis) <= hi.coord(axis));
+                }
+            }
+        }
+        assert_eq!(covered, 200);
+        assert_eq!(live, (0..200).filter(|s| s % 3 != 0).count() as u32);
+        assert_eq!(bs.live_len() as u32, live);
+        let (all_lo, all_hi) = bs.bounds().unwrap();
+        for axis in 0..2 {
+            assert!(points.iter().all(|p| p.coord(axis) >= all_lo.coord(axis)));
+            assert!(points.iter().all(|p| p.coord(axis) <= all_hi.coord(axis)));
+        }
+        assert!(bs.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn rank_indexes_the_dense_payload_column() {
+        let (keys, points, _) = sorted_columns(150);
+        let is_live = |slot: usize| slot % 4 != 1;
+        let bs = BlockStore::pack(&keys, &points, is_live);
+        let mut expected = 0usize;
+        for slot in 0..bs.len() {
+            if is_live(slot) {
+                assert_eq!(bs.rank(slot), expected, "slot {slot}");
+                expected += 1;
+            }
+        }
+        assert_eq!(bs.live_len(), expected);
+    }
+
+    #[test]
+    fn lower_bound_matches_whole_column_search() {
+        let (keys, points, _) = sorted_columns(500);
+        let bs = BlockStore::pack(&keys, &points, |_| true);
+        let grid = Grid::<2>::new(5).unwrap();
+        for key in 0..grid.n() {
+            assert_eq!(
+                bs.lower_bound(key),
+                keys.partition_point(|&k| k < key),
+                "key {key}"
+            );
+        }
+        // Past the last key.
+        assert_eq!(bs.lower_bound(grid.n() + 10), keys.len());
+    }
+
+    #[test]
+    fn disjoint_contained_and_distance_are_consistent_with_points() {
+        let (keys, points, _) = sorted_columns(300);
+        let bs = BlockStore::pack(&keys, &points, |_| true);
+        let boxes = [
+            BoxRegion::new(Point::new([0, 0]), Point::new([31, 31])),
+            BoxRegion::new(Point::new([4, 9]), Point::new([11, 14])),
+            BoxRegion::new(Point::new([30, 30]), Point::new([31, 31])),
+        ];
+        for b in &boxes {
+            for block in 0..bs.blocks() {
+                let slots = bs.block_range(block);
+                let any_in = slots.clone().any(|s| b.contains(&points[s]));
+                let all_in = slots.clone().all(|s| b.contains(&points[s]));
+                if bs.disjoint(block, b) {
+                    assert!(!any_in, "disjoint block {block} intersects {b:?}");
+                }
+                if bs.contained(block, b) {
+                    assert!(all_in, "contained block {block} leaks out of {b:?}");
+                }
+                let q = Point::new([7, 21]);
+                let bound = bs.min_dist_sq(block, &q);
+                for s in slots {
+                    assert!(bound <= q.euclidean_sq(&points[s]));
+                }
+            }
+            if bs.run_disjoint(b) {
+                assert!(points.iter().all(|p| !b.contains(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_keys_pack_at_width_zero() {
+        let keys = vec![77u128; 130];
+        let points = vec![Point::new([5, 9]); 130];
+        let bs = BlockStore::pack(&keys, &points, |_| true);
+        // Every block: zero key delta width, zero coordinate widths.
+        assert_eq!(bs.key_words.len(), 1, "only the pad word");
+        assert_eq!(bs.coord_words.len(), 1, "only the pad word");
+        let (dk, dp) = decode_all(&bs);
+        assert_eq!(dk, keys);
+        assert_eq!(dp, points);
+        assert_eq!(bs.lower_bound(77), 0);
+        assert_eq!(bs.lower_bound(78), 130);
+    }
+
+    #[test]
+    fn max_delta_keys_fall_back_to_raw_blocks() {
+        // Deltas exceeding 64 bits force the raw two-word representation.
+        let mut keys: Vec<CurveIndex> = vec![0];
+        for j in 1..BLOCK_SLOTS + 3 {
+            keys.push((j as u128) << 100);
+        }
+        let points: Vec<Point<2>> = (0..keys.len())
+            .map(|i| Point::new([i as u32, 1000 - i as u32]))
+            .collect();
+        let bs = BlockStore::pack(&keys, &points, |_| true);
+        assert_eq!(bs.key_widths[0], kernels::WIDTH_RAW);
+        let (dk, dp) = decode_all(&bs);
+        assert_eq!(dk, keys);
+        assert_eq!(dp, points);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(bs.lower_bound(k), i);
+        }
+    }
+
+    #[test]
+    fn one_slot_tail_block_round_trips() {
+        let (keys, points, _) = sorted_columns(BLOCK_SLOTS + 1);
+        let bs = BlockStore::pack(&keys, &points, |_| true);
+        assert_eq!(bs.blocks(), 2);
+        assert_eq!(bs.block_range(1).len(), 1);
+        let (dk, dp) = decode_all(&bs);
+        assert_eq!(dk, keys);
+        assert_eq!(dp, points);
+    }
+
+    #[test]
+    fn all_tombstone_blocks_are_flagged_dead() {
+        let (keys, points, _) = sorted_columns(3 * BLOCK_SLOTS);
+        let bs = BlockStore::pack(&keys, &points, |slot| slot >= 2 * BLOCK_SLOTS);
+        assert!(bs.is_all_dead(0));
+        assert!(bs.is_all_dead(1));
+        assert!(!bs.is_all_dead(2));
+        assert_eq!(bs.live_len(), BLOCK_SLOTS);
+        assert_eq!(bs.rank(2 * BLOCK_SLOTS), 0);
+        // Decoding a dead block still round-trips its columns.
+        let (dk, _) = decode_all(&bs);
+        assert_eq!(dk, keys);
+    }
+
+    #[test]
+    fn empty_block_store() {
+        let bs: BlockStore<2> = BlockStore::pack(&[], &[], |_| true);
+        assert!(bs.is_empty());
+        assert_eq!(bs.blocks(), 0);
+        assert_eq!(bs.live_len(), 0);
+        assert!(bs.bounds().is_none());
+        let b = BoxRegion::new(Point::new([0, 0]), Point::new([3, 3]));
+        assert!(!bs.run_disjoint(&b));
+        assert_eq!(bs.lower_bound(5), 0);
+    }
+
+    #[test]
+    fn cursor_caches_decodes() {
+        let (keys, points, _) = sorted_columns(200);
+        let bs = BlockStore::pack(&keys, &points, |_| true);
+        let mut cur = BlockCursor::new(&bs);
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(cur.key(i), *key);
+        }
+        assert_eq!(cur.decodes, bs.blocks() as u64, "one decode per block");
+    }
+}

@@ -1,0 +1,282 @@
+//! Branch-free pack / unpack / filter kernels over 64-slot blocks.
+//!
+//! Every kernel here works on one block of [`BLOCK_SLOTS`] fixed-width
+//! bit-packed fields and is written as a straight-line loop over all 64
+//! slots with no data-dependent branches, so the autovectorizer can turn
+//! it into SIMD lanes. The kernels are the only code that touches the
+//! packed representation; [`BlockStore`](crate::BlockStore) composes them.
+//!
+//! ## Soundness of the paired-word read
+//!
+//! [`unpack_fields`] and [`get_field`] read a `w`-bit field that may
+//! straddle a word boundary by combining two consecutive words entirely
+//! in 64-bit registers: the low part is `words[word] >> shift`, and the
+//! straddling bits come down as `(words[word + 1] << 1) << (63 − shift)`
+//! — two shifts of at most 63, which yield 0 when `shift == 0` instead
+//! of the undefined-behaviour full-width shift, with no branch and no
+//! `u128` arithmetic. For slot `j` of width `w ∈ 1..=64`, the field's
+//! last bit is `j·w + w − 1 ≤ 64·w − 1`, so the highest word index ever
+//! read is `⌊(64·w − 1)/64⌋ + 1 = w`. A full block packs into exactly `w`
+//! words, blocks are laid out contiguously, and the store appends one
+//! trailing pad word — therefore a slice starting at a block's word
+//! offset always holds the `w + 1` readable words the kernels require,
+//! and the extra word's bits are masked off before use. No `unsafe` is
+//! involved anywhere (`#![forbid(unsafe_code)]` holds crate-wide); the
+//! indices are provably in bounds, so the checks compile away.
+
+use sfc_core::CurveIndex;
+
+use crate::block::BLOCK_SLOTS;
+
+/// Sentinel bit width marking a block whose key deltas exceed 64 bits:
+/// the deltas are stored raw as two little-endian words per slot.
+pub const WIDTH_RAW: u8 = 255;
+
+/// The all-ones mask of a field width (`0` for width 0).
+#[inline]
+pub fn width_mask(width: u8) -> u64 {
+    if width == 0 {
+        0
+    } else if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Bits needed to represent `v` (`0` for `v == 0`).
+#[inline]
+pub fn bits_for(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+/// Mask with the low `len` bits set (`len ≤ 64`).
+#[inline]
+pub fn len_mask(len: usize) -> u64 {
+    if len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    }
+}
+
+/// Packs 64 `width`-bit values (`width ∈ 1..=64`) into exactly `width`
+/// words appended to `words`. Values must fit in `width` bits.
+pub fn pack_fields(values: &[u64; BLOCK_SLOTS], width: u8, words: &mut Vec<u64>) {
+    let w = width as usize;
+    debug_assert!((1..=64).contains(&w));
+    let start = words.len();
+    words.resize(start + w, 0);
+    let out = &mut words[start..];
+    for (j, &v) in values.iter().enumerate() {
+        debug_assert!(w == 64 || v <= width_mask(width), "value wider than field");
+        let bit = j * w;
+        let word = bit >> 6;
+        let shift = bit & 63;
+        out[word] |= v << shift;
+        if shift + w > 64 {
+            // The spill word index is ≤ w − 1: the field's last bit is
+            // 64·w − 1 at most, which lives in word w − 1.
+            out[word + 1] |= v >> (64 - shift);
+        }
+    }
+}
+
+/// Unpacks 64 `width`-bit fields (`width ∈ 1..=64`) from `words` into
+/// `out`. `words` must start at the block's word offset and extend at
+/// least `width + 1` words (see the module docs).
+///
+/// The straddle read stays in 64-bit registers: the bits spilling into
+/// the next word are brought down by a `64 − shift` shift performed as
+/// two steps of at most 63 (`<< 1` then `<< (63 − shift)`), which yields
+/// 0 when `shift == 0` instead of the undefined full-width shift — no
+/// branch, no `u128` arithmetic.
+#[inline]
+pub fn unpack_fields(words: &[u64], width: u8, out: &mut [u64; BLOCK_SLOTS]) {
+    let w = width as usize;
+    debug_assert!((1..=64).contains(&w));
+    let mask = width_mask(width);
+    // One reslice up front: a block owns exactly `w` words and the column
+    // ends in a pad word, so `word + 1 ≤ w` below is always in bounds.
+    let words = &words[..w + 1];
+    for (j, slot) in out.iter_mut().enumerate() {
+        let bit = j * w;
+        let word = bit >> 6;
+        let shift = (bit & 63) as u32;
+        let lo = words[word] >> shift;
+        let hi = (words[word + 1] << 1) << (63 - shift);
+        *slot = (lo | hi) & mask;
+    }
+}
+
+/// Extracts the single `width`-bit field of slot `j` (`width ∈ 1..=64`).
+/// Same slice contract and shift trick as [`unpack_fields`].
+#[inline]
+pub fn get_field(words: &[u64], width: u8, j: usize) -> u64 {
+    let w = width as usize;
+    debug_assert!((1..=64).contains(&w));
+    let bit = j * w;
+    let word = bit >> 6;
+    let shift = (bit & 63) as u32;
+    let lo = words[word] >> shift;
+    let hi = (words[word + 1] << 1) << (63 - shift);
+    (lo | hi) & width_mask(width)
+}
+
+/// Decodes a block's 64 keys: `base` (the block's fence key) plus the
+/// per-slot delta stored at `width`. Width 0 means every key equals the
+/// base; [`WIDTH_RAW`] means two raw words per slot.
+#[inline]
+pub fn unpack_keys(
+    words: &[u64],
+    width: u8,
+    base: CurveIndex,
+    out: &mut [CurveIndex; BLOCK_SLOTS],
+) {
+    match width {
+        0 => out.fill(base),
+        WIDTH_RAW => {
+            for (j, slot) in out.iter_mut().enumerate() {
+                let delta = (words[2 * j] as u128) | ((words[2 * j + 1] as u128) << 64);
+                *slot = base + delta;
+            }
+        }
+        _ => {
+            let mut deltas = [0u64; BLOCK_SLOTS];
+            unpack_fields(words, width, &mut deltas);
+            for (slot, &delta) in out.iter_mut().zip(deltas.iter()) {
+                *slot = base + delta as u128;
+            }
+        }
+    }
+}
+
+/// Decodes one axis of a block's 64 coordinates: `base` (the block AABB
+/// minimum along the axis) plus the per-slot offset stored at `width`
+/// (`width ≤ 32`; width 0 means every coordinate equals the base).
+#[inline]
+pub fn unpack_axis(words: &[u64], width: u8, base: u32, out: &mut [u32; BLOCK_SLOTS]) {
+    if width == 0 {
+        out.fill(base);
+        return;
+    }
+    let mut offsets = [0u64; BLOCK_SLOTS];
+    unpack_fields(words, width, &mut offsets);
+    for (slot, &off) in out.iter_mut().zip(offsets.iter()) {
+        *slot = base + off as u32;
+    }
+}
+
+/// Bitmask of the slots (bit `j` ⇔ slot `j`) whose key lies in the
+/// inclusive range `[lo, hi]`, restricted to the block's first `len`
+/// slots. Branch-free: one compare pair per slot.
+#[inline]
+pub fn key_range_mask(
+    keys: &[CurveIndex; BLOCK_SLOTS],
+    len: usize,
+    lo: CurveIndex,
+    hi: CurveIndex,
+) -> u64 {
+    let mut mask = 0u64;
+    for (j, &key) in keys.iter().enumerate() {
+        let inside = (key >= lo) & (key <= hi);
+        mask |= (inside as u64) << j;
+    }
+    mask & len_mask(len)
+}
+
+/// Bitmask of the slots whose coordinate along one axis lies in the
+/// inclusive range `[lo, hi]`. AND the per-axis masks together (and with
+/// [`len_mask`]) to get a box-containment mask for a decoded block.
+#[inline]
+pub fn axis_range_mask(coords: &[u32; BLOCK_SLOTS], lo: u32, hi: u32) -> u64 {
+    let mut mask = 0u64;
+    for (j, &c) in coords.iter().enumerate() {
+        let inside = (c >= lo) & (c <= hi);
+        mask |= (inside as u64) << j;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trips_every_width() {
+        for width in 1u8..=64 {
+            let mask = width_mask(width);
+            let values: [u64; BLOCK_SLOTS] = std::array::from_fn(|j| {
+                (j as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(j as u32)
+                    & mask
+            });
+            let mut words = Vec::new();
+            pack_fields(&values, width, &mut words);
+            assert_eq!(words.len(), width as usize);
+            words.push(0); // the store's pad word
+            let mut out = [0u64; BLOCK_SLOTS];
+            unpack_fields(&words, width, &mut out);
+            assert_eq!(out, values, "width {width}");
+            for (j, &v) in values.iter().enumerate() {
+                assert_eq!(get_field(&words, width, j), v, "width {width} slot {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_decode_handles_zero_and_raw_widths() {
+        let mut out = [0u128; BLOCK_SLOTS];
+        unpack_keys(&[], 0, 42, &mut out);
+        assert!(out.iter().all(|&k| k == 42));
+
+        // Raw path: deltas wider than 64 bits.
+        let deltas: Vec<u128> = (0..BLOCK_SLOTS as u128).map(|j| j << 70).collect();
+        let mut words = Vec::new();
+        for &d in &deltas {
+            words.push(d as u64);
+            words.push((d >> 64) as u64);
+        }
+        unpack_keys(&words, WIDTH_RAW, 7, &mut out);
+        for (j, &k) in out.iter().enumerate() {
+            assert_eq!(k, 7 + deltas[j]);
+        }
+    }
+
+    #[test]
+    fn range_masks_match_scalar_filters() {
+        let keys: [CurveIndex; BLOCK_SLOTS] = std::array::from_fn(|j| (j as u128) * 3 + 5);
+        for (lo, hi, len) in [
+            (0, 200, 64),
+            (11, 47, 64),
+            (14, 14, 64),
+            (50, 40, 64),
+            (0, 200, 10),
+        ] {
+            let mask = key_range_mask(&keys, len, lo, hi);
+            for (j, &k) in keys.iter().enumerate() {
+                let want = j < len && k >= lo && k <= hi;
+                assert_eq!(mask >> j & 1 == 1, want, "lo={lo} hi={hi} len={len} j={j}");
+            }
+        }
+        let coords: [u32; BLOCK_SLOTS] = std::array::from_fn(|j| (j as u32 * 7) % 50);
+        let mask = axis_range_mask(&coords, 10, 30);
+        for (j, &c) in coords.iter().enumerate() {
+            assert_eq!(mask >> j & 1 == 1, (10..=30).contains(&c));
+        }
+    }
+
+    #[test]
+    fn bits_for_and_masks() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+        assert_eq!(width_mask(0), 0);
+        assert_eq!(width_mask(64), u64::MAX);
+        assert_eq!(len_mask(64), u64::MAX);
+        assert_eq!(len_mask(1), 1);
+    }
+}

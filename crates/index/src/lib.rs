@@ -13,43 +13,59 @@
 //! * [`BoxRegion`] — an axis-aligned query box.
 //! * [`bigmin`] — the Tropf–Herzog BIGMIN/LITMAX primitives on Morton
 //!   codes, which let a range scan *skip* key gaps that leave the box.
+//! * [`BlockStore`] — the compressed physical run format, and
+//!   [`kernels`] — the branch-free pack/unpack/filter loops over it.
 //! * [`SfcIndex`] — a sorted key table over any curve, with three box-query
 //!   strategies (full scan, interval decomposition, BIGMIN jumping) and a
 //!   verified exact k-nearest-neighbor search whose cost directly reflects
 //!   the curve's stretch.
 //!
-//! ## Storage layout and bulk load
+//! ## Physical layout: compressed columnar blocks
 //!
-//! [`SfcIndex`] stores its records as a **structure of arrays**: three
-//! parallel columns `keys` / `points` / `payloads`, sorted by curve key.
-//! Key-range navigation (binary search, BIGMIN scans) walks only the
-//! dense key column — 4 keys per cache line — and dereferences the other
-//! columns just for matching rows, so range scans are bounded by key-column
-//! bandwidth rather than record size. Rows are surfaced as zero-copy
-//! [`EntryRef`] views.
+//! [`SfcIndex`] stores its records sorted by curve key in blocks of
+//! [`BLOCK_SLOTS`] slots ([`BlockStore`]). Per block:
 //!
-//! [`SfcIndex::build`] is a bulk loader: points are encoded through the
-//! curve's batch kernel
+//! * **Keys** are frame-of-reference encoded: the block's first key is
+//!   the uncompressed *fence*, every slot stores `key − fence` bit-packed
+//!   at the narrowest width holding the block's largest delta. SFC
+//!   sorting is what makes this pay: curve-adjacent keys differ in few
+//!   low bits, so a 128-bit key typically packs into 8–16 bits. Deltas
+//!   wider than 64 bits (possible across sparse regions) fall back to a
+//!   raw two-words-per-slot block, flagged in the width byte.
+//! * **Coordinates** are offsets from the block's per-dimension AABB
+//!   minimum, bit-packed per axis at the narrowest sufficient width. The
+//!   AABB corners are stored uncompressed — they are simultaneously the
+//!   zone-map pruning summary and the coordinate frame of reference.
+//! * **Tombstones** are a one-word bitmap (bit `j` ⇔ slot `j` live)
+//!   instead of per-slot `Option` discriminants; payloads of live slots
+//!   live in one **dense** column, indexed by rank-select over the
+//!   bitmap (a masked popcount). A deletion marker costs one bit.
+//! * Tail blocks are zero-padded to the full 64 slots, so word offsets
+//!   are pure prefix sums and the decode kernels never branch on length.
+//!
+//! ### Lazy decode contract and kernel soundness
+//!
+//! Scans consult only the uncompressed metadata (fences, AABBs, bitmap)
+//! to *decide* — skip, bulk-accept, jump, bound a kNN distance — and run
+//! the unpack kernels only on blocks whose slots must be examined or
+//! reported, at most once per block per scan via a caching
+//! [`BlockCursor`] ([`QueryStats::blocks_decoded`](QueryStats) counts
+//! exactly these kernel invocations). The kernels themselves are
+//! straight-line 64-slot loops (`#![forbid(unsafe_code)]` holds; see
+//! [`kernels`] for the paired-word read's bounds argument) producing
+//! stack buffers and hit bitmasks — shapes the autovectorizer lowers to
+//! SIMD lanes.
+//!
+//! ## Bulk load
+//!
+//! [`SfcIndex::build`] encodes points through the curve's batch kernel
 //! ([`index_of_batch`](sfc_core::SpaceFillingCurve::index_of_batch)) and
-//! sorted by a stable LSD **radix sort** over the `d·k` significant key
+//! sorts by a stable LSD **radix sort** over the `d·k` significant key
 //! bits — linear passes with sequential memory traffic, replacing the
 //! comparison sort a naive build would use. Already-sorted columns can be
-//! adopted wholesale with [`SfcIndex::from_sorted`] (or
-//! [`SfcIndex::from_sorted_versions`] when `None` payloads are
-//! tombstones).
-//!
-//! ## Block summaries (zone maps)
-//!
-//! Every index additionally carries a [`ZoneMap`]: per block of
-//! [`BLOCK_SLOTS`] consecutive slots, a fence key, the per-dimension AABB
-//! of the block's points, and a live (non-tombstone) count, all built in
-//! one pass at construction. Scans consult the summaries before touching
-//! entries: the BIGMIN scan skips blocks whose AABB misses the query box
-//! and bulk-accepts blocks whose AABB lies inside it, jump landings
-//! resolve through the fence array, and kNN candidate collection in
-//! multi-run stores skips all-dead blocks and lower-bounds block
-//! distances. [`QueryStats::blocks_pruned`](QueryStats) /
-//! [`blocks_scanned`](QueryStats) make the effect observable per query.
+//! adopted with [`SfcIndex::from_sorted`] (or
+//! [`SfcIndex::from_sorted_versions`] when `None` slots are tombstones —
+//! the constructor every LSM-style run goes through).
 //!
 //! ## Choosing a box-query strategy
 //!
@@ -65,37 +81,37 @@
 //! ## Building blocks for multi-run structures
 //!
 //! Everything the index does to one sorted run is also exposed as a
-//! free-standing primitive over raw columns, so structures composed of
-//! *several* sorted runs (the `sfc-store` LSM-style store) reuse the exact
-//! same code per level:
+//! free-standing primitive over a run's [`BlockStore`], so structures
+//! composed of *several* sorted runs (the `sfc-store` LSM-style store)
+//! reuse the exact same code per level:
 //!
 //! * [`sort_columns`] — batch-encode + stable radix sort: sorted-column
 //!   construction from unsorted records;
-//! * [`interval_scan`] / [`bigmin_scan`] — the two range-scan shapes over
-//!   a bare key slice, with per-level [`QueryStats`] accounting
-//!   (galloping seeks and zone-map block pruning respectively; the
-//!   pre-zone-map reference versions survive as
-//!   [`interval_scan_plain`] / [`bigmin_scan_plain`] for differential
+//! * [`interval_scan`] / [`bigmin_scan`] — the two range-scan shapes with
+//!   per-level [`QueryStats`] accounting (galloping seeks, block pruning,
+//!   mask-kernel filtering; the pre-zone-map reference versions survive
+//!   as [`interval_scan_plain`] / [`bigmin_scan_plain`] for differential
 //!   tests and baseline benches);
-//! * [`SfcIndex::from_sorted`] / [`SfcIndex::into_columns`] — adopt and
-//!   release column storage without re-sorting;
-//! * [`SfcIndex::lower_bound`] / [`SfcIndex::find_key`] — key-column
-//!   binary searches.
+//! * [`SfcIndex::from_sorted_versions`] / [`SfcIndex::into_parts`] —
+//!   adopt and release run storage without re-sorting;
+//! * [`SfcIndex::lower_bound`] / [`SfcIndex::find_key`] — fence-array
+//!   key searches over packed blocks.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 pub mod bigmin;
+pub mod block;
+pub mod kernels;
 pub mod query;
 pub mod region;
 pub mod scan;
 pub mod table;
-pub mod zone;
 
 pub use bigmin::{bigmin, litmax};
+pub use block::{BlockCursor, BlockStore, DecodedBlock, BLOCK_SLOTS};
 pub use query::QueryStats;
 pub use region::BoxRegion;
 pub use scan::{bigmin_scan, bigmin_scan_plain, interval_scan, interval_scan_plain};
 pub use table::{sort_columns, EntryRef, SfcIndex};
-pub use zone::{ZoneMap, BLOCK_SLOTS};

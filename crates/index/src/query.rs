@@ -7,10 +7,14 @@
 //!   secondary-memory model of the paper's reference [9]);
 //! * `scanned` — entries touched by the scan;
 //! * `reported` — entries actually inside the query region;
-//! * `blocks_scanned` / `blocks_pruned` — zone-map blocks a scan examined
-//!   versus rejected wholesale from their summaries (fence key, point
-//!   AABB, live count) without touching a single entry — see
-//!   [`ZoneMap`](crate::ZoneMap).
+//! * `blocks_scanned` / `blocks_pruned` — blocks a scan examined versus
+//!   rejected wholesale from their uncompressed summaries (fence key,
+//!   point AABB, live count) without touching a single entry — see
+//!   [`BlockStore`](crate::BlockStore);
+//! * `blocks_decoded` — blocks whose packed key/coordinate words were run
+//!   through the unpack kernels; the gap to `blocks_scanned` shows how
+//!   much decode work the lazy per-block contract avoided (contained
+//!   blocks decode once for reporting; pruned blocks never decode).
 //!
 //! `scanned / reported` is the **overscan ratio**: 1.0 means the curve laid
 //! the region out perfectly contiguously.
@@ -24,11 +28,14 @@ pub struct QueryStats {
     pub scanned: u64,
     /// Entries matching the query.
     pub reported: u64,
-    /// Zone-map blocks whose entries a scan examined.
+    /// Blocks whose entries a scan examined.
     pub blocks_scanned: u64,
-    /// Zone-map blocks rejected from their summaries alone — their entries
-    /// were never touched.
+    /// Blocks rejected from their summaries alone — their entries were
+    /// never touched.
     pub blocks_pruned: u64,
+    /// Blocks run through the unpack kernels (each cached decode counted
+    /// once, however many slots were then read from the buffer).
+    pub blocks_decoded: u64,
 }
 
 impl QueryStats {
@@ -56,6 +63,7 @@ impl QueryStats {
         self.reported += other.reported;
         self.blocks_scanned += other.blocks_scanned;
         self.blocks_pruned += other.blocks_pruned;
+        self.blocks_decoded += other.blocks_decoded;
     }
 }
 
@@ -91,6 +99,7 @@ mod tests {
             reported: 3,
             blocks_scanned: 4,
             blocks_pruned: 5,
+            blocks_decoded: 6,
         };
         let b = QueryStats {
             seeks: 10,
@@ -98,6 +107,7 @@ mod tests {
             reported: 30,
             blocks_scanned: 40,
             blocks_pruned: 50,
+            blocks_decoded: 60,
         };
         a.add(&b);
         assert_eq!(
@@ -108,6 +118,7 @@ mod tests {
                 reported: 33,
                 blocks_scanned: 44,
                 blocks_pruned: 55,
+                blocks_decoded: 66,
             }
         );
     }

@@ -1,75 +1,107 @@
-//! Range-scan building blocks over raw sorted key slices.
+//! Range-scan building blocks over compressed block stores.
 //!
 //! [`SfcIndex`](crate::SfcIndex) and any structure composed of several
 //! sorted runs (e.g. an LSM-style store) share the same two scan shapes:
 //! walking a precomputed list of exact curve intervals, and the Tropf &
-//! Herzog BIGMIN jumping scan. Both are expressed here against plain
-//! `&[CurveIndex]` / `&[Point]` columns so one implementation serves every
-//! level of every structure; matches are surfaced as column positions
-//! through a `visit` callback and work is accounted in a caller-supplied
+//! Herzog BIGMIN jumping scan. Both are expressed here against a run's
+//! [`BlockStore`] so one implementation serves every level of every
+//! structure; matches are surfaced as `(position, key, point)` through a
+//! `visit` callback and work is accounted in a caller-supplied
 //! [`QueryStats`].
 //!
-//! ## Zone-mapped fast paths
+//! ## Lazy decode contract
 //!
-//! The production scans exploit the run's [`ZoneMap`]:
+//! All pruning decisions — fence comparisons, AABB rejection/containment,
+//! BIGMIN jump landings — run on the store's *uncompressed* per-block
+//! metadata. Packed key/coordinate words are only run through the unpack
+//! kernels (one [`BlockCursor`] decode per visited block, counted in
+//! `QueryStats::blocks_decoded`) when a block survives pruning and its
+//! slots must actually be examined or reported.
+//!
+//! ## Block-mapped fast paths
 //!
 //! * [`interval_scan`] **gallops** forward from the previous interval's
 //!   resting position instead of binary-searching the whole column per
-//!   interval — intervals arrive sorted, so each seek is an exponential
-//!   probe over the short gap to the next interval, cache-hot for the
-//!   clustered queries a good curve produces.
+//!   interval, then filters each decoded block with the branch-free
+//!   [`key_range_mask`](crate::kernels::key_range_mask) kernel and visits
+//!   the hit bits.
 //! * [`bigmin_scan`] makes whole-block decisions before touching keys:
 //!   blocks whose point AABB misses the box are **skipped** without a
 //!   single per-key test (`blocks_pruned`), blocks whose AABB lies inside
 //!   the box are **bulk-visited** without per-point filtering, and BIGMIN
 //!   jump landings resolve through the fence array (one small search, one
-//!   in-block search) instead of a whole-tail binary search.
+//!   in-block search) instead of a whole-tail binary search. Partial
+//!   blocks are filtered with one per-axis
+//!   [`axis_range_mask`](crate::kernels::axis_range_mask) pass.
 //!
 //! The pre-zone-map variants are kept as [`interval_scan_plain`] and
-//! [`bigmin_scan_plain`]: they are the reference the zone-mapped scans are
-//! differential-tested against, and the baseline the benches measure the
-//! speedup over.
+//! [`bigmin_scan_plain`]: they are the reference the block-mapped scans
+//! are differential-tested against, and the baseline the benches measure
+//! the speedup over. They binary-search whole columns and test per slot,
+//! but read through the same single-slot decode accessors.
 
 use crate::bigmin::bigmin;
+use crate::block::{BlockCursor, BlockStore};
+use crate::kernels;
 use crate::query::QueryStats;
 use crate::region::BoxRegion;
-use crate::zone::ZoneMap;
 use sfc_core::{CurveIndex, Point, ZCurve};
 
-/// First position in `keys[from..]` holding a key ≥ `target`, found by
+/// First position in `blocks[from..]` holding a key ≥ `target`, found by
 /// galloping (exponential probes doubling outward from `from`, then a
-/// binary search inside the bracketed gap). Equivalent to
-/// `from + keys[from..].partition_point(|&k| k < target)` but `O(log gap)`
-/// instead of `O(log remaining)` — and `O(1)` when already in position,
-/// the common case for sorted interval lists.
-fn gallop(keys: &[CurveIndex], from: usize, target: CurveIndex) -> usize {
-    if from >= keys.len() || keys[from] >= target {
+/// binary search inside the bracketed gap). Probes extract single packed
+/// fields — no block decodes. Equivalent to a whole-tail lower bound but
+/// `O(log gap)` instead of `O(log remaining)` — and `O(1)` when already
+/// in position, the common case for sorted interval lists.
+fn gallop<const D: usize>(blocks: &BlockStore<D>, from: usize, target: CurveIndex) -> usize {
+    let len = blocks.len();
+    if from >= len || blocks.key_at(from) >= target {
         return from;
     }
-    // Invariant: keys[prev] < target.
+    // Invariant: key(prev) < target.
     let mut prev = from;
     let mut step = 1usize;
     loop {
         let probe = match from.checked_add(step) {
-            Some(p) if p < keys.len() => p,
+            Some(p) if p < len => p,
             _ => break,
         };
-        if keys[probe] >= target {
+        if blocks.key_at(probe) >= target {
             break;
         }
         prev = probe;
         step <<= 1;
     }
-    let end = (from + step).min(keys.len());
-    prev + 1 + keys[prev + 1..end].partition_point(|&k| k < target)
+    let end = (from + step).min(len);
+    partition_point_in(blocks, prev + 1, end, target)
 }
 
-/// Scans a sorted key column for every entry inside the given curve
-/// intervals (each `(lo, hi)` inclusive, sorted ascending, as produced by
-/// [`BoxRegion::curve_intervals`]), calling `visit` with the position of
-/// each match.
+/// First position in `[from, to)` whose key is ≥ `target` (binary search
+/// over single-slot key extractions), or `to` if none.
+fn partition_point_in<const D: usize>(
+    blocks: &BlockStore<D>,
+    from: usize,
+    to: usize,
+    target: CurveIndex,
+) -> usize {
+    let (mut lo, mut hi) = (from, to);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if blocks.key_at(mid) < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Scans a run for every entry inside the given curve intervals (each
+/// `(lo, hi)` inclusive, sorted ascending, as produced by
+/// [`BoxRegion::curve_intervals`]), calling `visit` with the position,
+/// key, and point of each match.
 ///
-/// One seek per interval plus one sequential step per matching entry;
+/// One seek per interval plus one mask-kernel pass per overlapped block;
 /// because the intervals are exact, every visited entry is a match
 /// (`scanned == reported` for interval queries). Seeks **gallop** forward
 /// from the previous interval's resting position — see the module docs.
@@ -77,108 +109,182 @@ fn gallop(keys: &[CurveIndex], from: usize, target: CurveIndex) -> usize {
 /// ascending and disjoint (as [`BoxRegion::curve_intervals`] produces
 /// them); unsorted input would silently drop matches, hence the debug
 /// assertion.
-pub fn interval_scan(
-    keys: &[CurveIndex],
+pub fn interval_scan<const D: usize>(
+    blocks: &BlockStore<D>,
     intervals: &[(CurveIndex, CurveIndex)],
     stats: &mut QueryStats,
-    mut visit: impl FnMut(usize),
+    mut visit: impl FnMut(usize, CurveIndex, Point<D>),
 ) {
     debug_assert!(
         intervals.windows(2).all(|w| w[0].1 < w[1].0),
         "interval_scan requires ascending disjoint intervals"
     );
+    let mut cur = BlockCursor::new(blocks);
     let mut i = 0usize;
     for &(lo, hi) in intervals {
         stats.seeks += 1;
-        i = gallop(keys, i, lo);
-        while i < keys.len() && keys[i] <= hi {
-            stats.scanned += 1;
-            visit(i);
-            i += 1;
+        i = gallop(blocks, i, lo);
+        while i < blocks.len() {
+            // Cheap single-field guard: nothing left in this interval.
+            if blocks.key_at(i) > hi {
+                break;
+            }
+            let block = blocks.block_of(i);
+            let range = blocks.block_range(block);
+            let dec = cur.decoded(block);
+            // Branch-free key-range filter over the decoded block. Keys
+            // are sorted and key(i) ∈ [lo, hi], so the hit bits are the
+            // contiguous matching run from slot i onward.
+            let m = kernels::key_range_mask(&dec.keys, range.len(), lo, hi);
+            stats.scanned += u64::from(m.count_ones());
+            let mut bits = m;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                visit(range.start + j, dec.keys[j], dec.point(j));
+            }
+            if m >> (range.len() - 1) & 1 == 1 {
+                // The block's last slot still matched — spill into the
+                // next block.
+                i = range.end;
+            } else {
+                // Rest one past the last match for the next gallop.
+                i = range.start + (64 - m.leading_zeros()) as usize;
+                break;
+            }
         }
     }
+    stats.blocks_decoded += cur.decodes;
 }
 
 /// The pre-zone-map interval scan: one whole-column binary search per
-/// interval. Reference implementation for differential tests and the
-/// baseline the benches compare [`interval_scan`] against.
-pub fn interval_scan_plain(
-    keys: &[CurveIndex],
+/// interval and one slot at a time. Reference implementation for
+/// differential tests and the baseline the benches compare
+/// [`interval_scan`] against.
+pub fn interval_scan_plain<const D: usize>(
+    blocks: &BlockStore<D>,
     intervals: &[(CurveIndex, CurveIndex)],
     stats: &mut QueryStats,
-    mut visit: impl FnMut(usize),
+    mut visit: impl FnMut(usize, CurveIndex, Point<D>),
 ) {
+    let mut cur = BlockCursor::new(blocks);
+    let len = blocks.len();
     for &(lo, hi) in intervals {
         stats.seeks += 1;
-        let mut i = keys.partition_point(|&k| k < lo);
-        while i < keys.len() && keys[i] <= hi {
+        let mut i = partition_point_in(blocks, 0, len, lo);
+        while i < len {
+            let key = blocks.key_at(i);
+            if key > hi {
+                break;
+            }
             stats.scanned += 1;
-            visit(i);
+            visit(i, key, cur.point(i));
             i += 1;
         }
     }
+    stats.blocks_decoded += cur.decodes;
 }
 
-/// BIGMIN jumping scan of a sorted Morton-key column (Tropf & Herzog),
-/// accelerated by the run's [`ZoneMap`]: scan from `Z(lo)`; at each block
+/// BIGMIN jumping scan of a sorted Morton-key run (Tropf & Herzog),
+/// accelerated by the block metadata: scan from `Z(lo)`; at each block
 /// boundary decide the whole block at once (skip if its AABB misses the
-/// box, bulk-visit if contained); whenever the per-key scan meets an entry
-/// outside the box, compute BIGMIN and land the jump through the fence
-/// array. Calls `visit` with the position of every entry whose point lies
-/// in the box — the exact same set [`bigmin_scan_plain`] visits.
-///
-/// `points` must be the point column parallel to `keys` and `zones` the
-/// zone map built over them; only positions under consideration are
-/// dereferenced.
+/// box, bulk-visit if contained); whenever the per-slot scan meets an
+/// entry outside the box, compute BIGMIN and land the jump through the
+/// fence array. Partial blocks decode once and are filtered through the
+/// per-axis mask kernel. Calls `visit` with the position, key, and point
+/// of every entry whose point lies in the box — the exact same set
+/// [`bigmin_scan_plain`] visits.
 pub fn bigmin_scan<const D: usize>(
     z: &ZCurve<D>,
-    keys: &[CurveIndex],
-    points: &[Point<D>],
-    zones: &ZoneMap<D>,
+    blocks: &BlockStore<D>,
     b: &BoxRegion<D>,
     stats: &mut QueryStats,
-    mut visit: impl FnMut(usize),
+    mut visit: impl FnMut(usize, CurveIndex, Point<D>),
 ) {
-    debug_assert_eq!(keys.len(), points.len(), "column length mismatch");
-    debug_assert_eq!(keys.len(), zones.len(), "zone map built over other columns");
     let zmin = z.encode(b.lo());
     let zmax = z.encode(b.hi());
     stats.seeks += 1;
-    let mut i = zones.lower_bound(keys, zmin);
-    while i < keys.len() {
-        let block = zones.block_of(i);
-        let range = zones.block_range(block);
+    let mut cur = BlockCursor::new(blocks);
+    let mut i = blocks.lower_bound(zmin);
+    // The partial-block box mask, rebuilt once per entered block.
+    let mut mask_block = usize::MAX;
+    let mut box_mask = 0u64;
+    while i < blocks.len() {
+        let block = blocks.block_of(i);
+        let range = blocks.block_range(block);
         if i == range.start {
-            // Block boundary: decide the whole block at once. The fence is
-            // the block's smallest key, so fence > zmax ends the scan.
-            if zones.fence(block) > zmax {
-                return;
+            // Block boundary: decide the whole block at once on the
+            // uncompressed metadata. The fence is the block's smallest
+            // key, so fence > zmax ends the scan.
+            if blocks.fence(block) > zmax {
+                break;
             }
-            if zones.disjoint(block, b) {
+            if blocks.disjoint(block, b) {
                 stats.blocks_pruned += 1;
                 i = range.end;
                 continue;
             }
             stats.blocks_scanned += 1;
-            if zones.contained(block, b) {
+            if blocks.contained(block, b) {
                 // Componentwise Morton monotonicity: AABB ⊆ box ⇒ every
                 // key of the block lies in [Z(lo), Z(hi)] — visit all
-                // slots without per-point tests.
+                // slots without per-point tests (decode only to report).
                 stats.scanned += range.len() as u64;
-                for slot in range.clone() {
-                    visit(slot);
+                let dec = cur.decoded(block);
+                for j in 0..range.len() {
+                    visit(range.start + j, dec.keys[j], dec.point(j));
                 }
                 i = range.end;
                 continue;
             }
         }
-        let key = keys[i];
+        if mask_block != block {
+            // First touch of a partial block: probe the single landing
+            // slot through the packed-field accessors before paying for a
+            // block decode — most BIGMIN landings bounce straight back
+            // out, and a probe costs a handful of field extractions.
+            let key = blocks.key_at(i);
+            if key > zmax {
+                break;
+            }
+            stats.scanned += 1;
+            let p = blocks.point_at(i);
+            if !b.contains(&p) {
+                match bigmin(z, key, zmin, zmax) {
+                    Some(next) => {
+                        stats.seeks += 1;
+                        i = blocks.lower_bound(next).max(i + 1);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            // The landing slot matched — the block has real work in it,
+            // so decode once and mask the rest of it.
+            let dec = cur.decoded(block);
+            let mut m = kernels::len_mask(range.len());
+            for axis in 0..D {
+                m &= kernels::axis_range_mask(
+                    &dec.coords[axis],
+                    b.lo().coord(axis),
+                    b.hi().coord(axis),
+                );
+            }
+            box_mask = m;
+            mask_block = block;
+            visit(i, key, p);
+            i += 1;
+            continue;
+        }
+        let dec = cur.decoded(block);
+        let j = i - range.start;
+        let key = dec.keys[j];
         if key > zmax {
-            return;
+            break;
         }
         stats.scanned += 1;
-        if b.contains(&points[i]) {
-            visit(i);
+        if box_mask >> j & 1 == 1 {
+            visit(i, key, dec.point(j));
             i += 1;
         } else {
             match bigmin(z, key, zmin, zmax) {
@@ -186,52 +292,55 @@ pub fn bigmin_scan<const D: usize>(
                     stats.seeks += 1;
                     // `next > key`, so the fence-accelerated lower bound
                     // finds the same position as a whole-tail search.
-                    i = zones.lower_bound(keys, next).max(i + 1);
-                }
-                None => return,
-            }
-        }
-    }
-}
-
-/// The pre-zone-map BIGMIN scan: per-key box tests throughout and
-/// whole-tail binary searches after each jump. Reference implementation
-/// for differential tests and the baseline the benches compare
-/// [`bigmin_scan`] against.
-pub fn bigmin_scan_plain<const D: usize>(
-    z: &ZCurve<D>,
-    keys: &[CurveIndex],
-    points: &[Point<D>],
-    b: &BoxRegion<D>,
-    stats: &mut QueryStats,
-    mut visit: impl FnMut(usize),
-) {
-    debug_assert_eq!(keys.len(), points.len(), "column length mismatch");
-    let zmin = z.encode(b.lo());
-    let zmax = z.encode(b.hi());
-    stats.seeks += 1;
-    let mut i = keys.partition_point(|&k| k < zmin);
-    while i < keys.len() {
-        let key = keys[i];
-        if key > zmax {
-            break;
-        }
-        stats.scanned += 1;
-        if b.contains(&points[i]) {
-            visit(i);
-            i += 1;
-        } else {
-            match bigmin(z, key, zmin, zmax) {
-                Some(next) => {
-                    stats.seeks += 1;
-                    // `next > key >= keys[i]`, so searching the tail finds
-                    // the same position as a fresh whole-column search.
-                    i += keys[i..].partition_point(|&k| k < next);
+                    i = blocks.lower_bound(next).max(i + 1);
                 }
                 None => break,
             }
         }
     }
+    stats.blocks_decoded += cur.decodes;
+}
+
+/// The pre-zone-map BIGMIN scan: per-slot box tests throughout and
+/// whole-tail binary searches after each jump. Reference implementation
+/// for differential tests and the baseline the benches compare
+/// [`bigmin_scan`] against.
+pub fn bigmin_scan_plain<const D: usize>(
+    z: &ZCurve<D>,
+    blocks: &BlockStore<D>,
+    b: &BoxRegion<D>,
+    stats: &mut QueryStats,
+    mut visit: impl FnMut(usize, CurveIndex, Point<D>),
+) {
+    let zmin = z.encode(b.lo());
+    let zmax = z.encode(b.hi());
+    stats.seeks += 1;
+    let mut cur = BlockCursor::new(blocks);
+    let len = blocks.len();
+    let mut i = partition_point_in(blocks, 0, len, zmin);
+    while i < len {
+        let key = blocks.key_at(i);
+        if key > zmax {
+            break;
+        }
+        stats.scanned += 1;
+        let point = cur.point(i);
+        if b.contains(&point) {
+            visit(i, key, point);
+            i += 1;
+        } else {
+            match bigmin(z, key, zmin, zmax) {
+                Some(next) => {
+                    stats.seeks += 1;
+                    // `next > key`, so searching the tail finds the same
+                    // position as a fresh whole-column search.
+                    i = partition_point_in(blocks, i, len, next);
+                }
+                None => break,
+            }
+        }
+    }
+    stats.blocks_decoded += cur.decodes;
 }
 
 #[cfg(test)]
@@ -239,35 +348,61 @@ mod tests {
     use super::*;
     use sfc_core::{Grid, SpaceFillingCurve};
 
+    fn store_of(keys: &[CurveIndex]) -> BlockStore<2> {
+        let points = vec![Point::new([0, 0]); keys.len()];
+        BlockStore::pack(keys, &points, |_| true)
+    }
+
     #[test]
     fn gallop_agrees_with_partition_point() {
         let keys: Vec<CurveIndex> = vec![0, 2, 2, 5, 7, 9, 12, 12, 12, 40, 41, 100];
+        let bs = store_of(&keys);
         for from in 0..=keys.len() {
             for target in 0..=101 {
                 let want = from + keys[from..].partition_point(|&k| k < target);
-                assert_eq!(gallop(&keys, from, target), want, "from={from} t={target}");
+                assert_eq!(gallop(&bs, from, target), want, "from={from} t={target}");
             }
         }
-        assert_eq!(gallop(&[], 0, 7), 0);
+        assert_eq!(gallop(&store_of(&[]), 0, 7), 0);
     }
 
     #[test]
     fn interval_scan_visits_exactly_the_ranges() {
         let keys: Vec<CurveIndex> = vec![0, 2, 2, 5, 7, 9, 12];
+        let bs = store_of(&keys);
         let mut stats = QueryStats::default();
         let mut hits = Vec::new();
-        interval_scan(&keys, &[(2, 5), (9, 10)], &mut stats, |i| hits.push(i));
+        interval_scan(&bs, &[(2, 5), (9, 10)], &mut stats, |i, k, _| {
+            assert_eq!(k, keys[i]);
+            hits.push(i)
+        });
         assert_eq!(hits, vec![1, 2, 3, 5]);
         assert_eq!(stats.seeks, 2);
         assert_eq!(stats.scanned, 4);
         // The galloped scan visits exactly what the plain scan visits.
         let mut plain_stats = QueryStats::default();
         let mut plain_hits = Vec::new();
-        interval_scan_plain(&keys, &[(2, 5), (9, 10)], &mut plain_stats, |i| {
+        interval_scan_plain(&bs, &[(2, 5), (9, 10)], &mut plain_stats, |i, _, _| {
             plain_hits.push(i)
         });
         assert_eq!(hits, plain_hits);
         assert_eq!(stats, plain_stats);
+    }
+
+    #[test]
+    fn interval_scan_spills_across_block_boundaries() {
+        // One interval covering several whole blocks plus both tails.
+        let keys: Vec<CurveIndex> = (0..300u128).map(|i| i * 2).collect();
+        let bs = store_of(&keys);
+        let mut stats = QueryStats::default();
+        let mut hits = Vec::new();
+        interval_scan(&bs, &[(31, 401)], &mut stats, |i, _, _| hits.push(i));
+        let expected: Vec<usize> = (0..keys.len())
+            .filter(|&i| (31..=401).contains(&keys[i]))
+            .collect();
+        assert_eq!(hits, expected);
+        assert_eq!(stats.scanned, expected.len() as u64);
+        assert!(stats.blocks_decoded > 0);
     }
 
     #[test]
@@ -277,11 +412,15 @@ mod tests {
         // All cells, sorted by key (the full curve order).
         let points: Vec<Point<2>> = z.traverse().collect();
         let keys: Vec<CurveIndex> = (0..grid.n()).collect();
-        let zones = ZoneMap::build(&keys, &points, |_| true);
+        let bs = BlockStore::pack(&keys, &points, |_| true);
         let b = BoxRegion::new(Point::new([2, 1]), Point::new([6, 5]));
         let mut stats = QueryStats::default();
         let mut hits = Vec::new();
-        bigmin_scan(&z, &keys, &points, &zones, &b, &mut stats, |i| hits.push(i));
+        bigmin_scan(&z, &bs, &b, &mut stats, |i, k, p| {
+            assert_eq!(k, keys[i]);
+            assert_eq!(p, points[i]);
+            hits.push(i)
+        });
         let expected: Vec<usize> = (0..points.len())
             .filter(|&i| b.contains(&points[i]))
             .collect();
@@ -289,16 +428,16 @@ mod tests {
     }
 
     #[test]
-    fn zone_mapped_bigmin_visits_exactly_what_plain_does() {
-        // Dense and sparse columns, many box shapes — the zone-mapped scan
-        // must visit byte-identical positions to the plain scan while
-        // pruning blocks.
+    fn block_mapped_bigmin_visits_exactly_what_plain_does() {
+        // Dense and sparse columns, many box shapes — the block-mapped
+        // scan must visit byte-identical positions to the plain scan
+        // while pruning blocks.
         let grid = Grid::<2>::new(5).unwrap(); // 32×32
         let z = ZCurve::over(grid);
         for stride in [1u128, 3, 7] {
             let keys: Vec<CurveIndex> = (0..grid.n()).step_by(stride as usize).collect();
             let points: Vec<Point<2>> = keys.iter().map(|&k| z.point_of(k)).collect();
-            let zones = ZoneMap::build(&keys, &points, |_| true);
+            let bs = BlockStore::pack(&keys, &points, |_| true);
             for (lo, hi) in [
                 ((0, 0), (31, 31)),
                 ((3, 5), (9, 8)),
@@ -309,12 +448,10 @@ mod tests {
                 let b = BoxRegion::new(Point::new([lo.0, lo.1]), Point::new([hi.0, hi.1]));
                 let mut zs = QueryStats::default();
                 let mut zone_hits = Vec::new();
-                bigmin_scan(&z, &keys, &points, &zones, &b, &mut zs, |i| {
-                    zone_hits.push(i)
-                });
+                bigmin_scan(&z, &bs, &b, &mut zs, |i, _, _| zone_hits.push(i));
                 let mut ps = QueryStats::default();
                 let mut plain_hits = Vec::new();
-                bigmin_scan_plain(&z, &keys, &points, &b, &mut ps, |i| plain_hits.push(i));
+                bigmin_scan_plain(&z, &bs, &b, &mut ps, |i, _, _| plain_hits.push(i));
                 assert_eq!(zone_hits, plain_hits, "stride={stride} box={b:?}");
                 assert!(zs.scanned <= ps.scanned, "zone scan must not scan more");
             }
@@ -327,14 +464,19 @@ mod tests {
         let z = ZCurve::over(grid);
         let points: Vec<Point<2>> = z.traverse().collect();
         let keys: Vec<CurveIndex> = (0..grid.n()).collect();
-        let zones = ZoneMap::build(&keys, &points, |_| true);
+        let bs = BlockStore::pack(&keys, &points, |_| true);
         let b = BoxRegion::new(Point::new([0, 0]), Point::new([15, 15]));
         let mut stats = QueryStats::default();
         let mut hits = 0usize;
-        bigmin_scan(&z, &keys, &points, &zones, &b, &mut stats, |_| hits += 1);
+        bigmin_scan(&z, &bs, &b, &mut stats, |_, _, _| hits += 1);
         assert_eq!(hits, 256);
-        assert_eq!(stats.blocks_scanned, zones.blocks() as u64);
+        assert_eq!(stats.blocks_scanned, bs.blocks() as u64);
         assert_eq!(stats.blocks_pruned, 0);
         assert_eq!(stats.seeks, 1, "no jump needed inside a contained box");
+        assert_eq!(
+            stats.blocks_decoded,
+            bs.blocks() as u64,
+            "contained blocks decode exactly once, to report"
+        );
     }
 }

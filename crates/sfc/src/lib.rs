@@ -53,7 +53,7 @@ pub mod prelude {
         CurveIndex, CurveKind, DiagonalCurve, GrayCurve, Grid, HilbertCurve, PermutationCurve,
         Point, SimpleCurve, SnakeCurve, SpaceFillingCurve, SpiralCurve, ZCurve,
     };
-    pub use sfc_index::{BoxRegion, QueryStats, SfcIndex, ZoneMap};
+    pub use sfc_index::{BlockStore, BoxRegion, QueryStats, SfcIndex};
     pub use sfc_metrics::nn_stretch::NnStretchSummary;
     pub use sfc_partition::{ConcurrentTraffic, Partition, TrafficWeights, WeightedGrid, Workload};
     pub use sfc_store::{

@@ -85,7 +85,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> RunsEpoch<D, T, C> {
     fn is_live(&self, key: CurveIndex) -> bool {
         for run in self.runs.iter().rev() {
             if let Some(i) = run.find_key(key) {
-                return run.payloads()[i].is_some();
+                return run.is_live_slot(i);
             }
         }
         false
@@ -99,7 +99,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> RunsEpoch<D, T, C> {
     {
         for run in self.runs.iter().rev() {
             if let Some(i) = run.find_key(key) {
-                return run.payloads()[i].clone();
+                return run.payload_at(i).cloned();
             }
         }
         None

@@ -164,4 +164,6 @@ mod view;
 pub use shard::{ShardedSfcStore, ShardedSnapshot};
 pub use snapshot::StoreSnapshot;
 pub use store::{SfcStore, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
-pub use view::{LevelStrategy, QueryPlan, SnapshotIter, INTERVAL_VOLUME_CUTOFF};
+pub use view::{
+    LevelStrategy, QueryPlan, SnapshotIter, INTERVAL_VOLUME_CUTOFF, KNN_BALL_INTERVALS_CUTOFF,
+};

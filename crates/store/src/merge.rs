@@ -3,31 +3,49 @@
 use std::sync::Arc;
 
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve};
-use sfc_index::SfcIndex;
+use sfc_index::{BlockStore, DecodedBlock, SfcIndex, BLOCK_SLOTS};
 
 use crate::view::Run;
 
-/// A forward-only cursor over one run's columns. Payloads are consumed
-/// through the vector's `IntoIter`, advanced in lockstep with `pos`, so
+/// A forward-only cursor over one run's compressed blocks, decoding one
+/// block at a time as the merge advances. Dense payloads are consumed
+/// through the vector's `IntoIter`, advanced exactly on live slots, so
 /// merging moves every payload exactly once and never clones.
 struct Cursor<const D: usize, T> {
-    keys: Vec<CurveIndex>,
-    points: Vec<Point<D>>,
-    payloads: std::vec::IntoIter<Option<T>>,
+    blocks: BlockStore<D>,
+    payloads: std::vec::IntoIter<T>,
+    /// Decode buffer holding block `dec_block` (`usize::MAX` = none yet).
+    dec: Box<DecodedBlock<D>>,
+    dec_block: usize,
     pos: usize,
 }
 
 impl<const D: usize, T> Cursor<D, T> {
-    fn head(&self) -> Option<CurveIndex> {
-        self.keys.get(self.pos).copied()
+    /// Ensures the block holding `pos` is decoded into the buffer.
+    fn fill(&mut self) {
+        let block = self.blocks.block_of(self.pos);
+        if self.dec_block != block {
+            self.blocks.decode_into(block, &mut self.dec);
+            self.dec_block = block;
+        }
+    }
+
+    fn head(&mut self) -> Option<CurveIndex> {
+        if self.pos >= self.blocks.len() {
+            return None;
+        }
+        self.fill();
+        Some(self.dec.keys[self.pos % BLOCK_SLOTS])
     }
 
     fn take(&mut self) -> (Point<D>, Option<T>) {
-        let point = self.points[self.pos];
-        let slot = self
-            .payloads
-            .next()
-            .expect("payload column parallel to key column");
+        self.fill();
+        let point = self.dec.point(self.pos % BLOCK_SLOTS);
+        let slot = self.blocks.is_live_slot(self.pos).then(|| {
+            self.payloads
+                .next()
+                .expect("dense payload column parallel to live bitmap")
+        });
         self.pos += 1;
         (point, slot)
     }
@@ -47,18 +65,19 @@ pub(crate) fn merge_runs<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clo
     curve: &C,
     runs: Vec<Run<D, T, C>>,
     drop_tombstones: bool,
-) -> SfcIndex<D, Option<T>, C> {
+) -> SfcIndex<D, T, C> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut cursors: Vec<Cursor<D, T>> = runs
         .into_iter()
         .map(|run| {
             // Copy-on-write: only snapshot-pinned runs are cloned.
             let run = Arc::try_unwrap(run).unwrap_or_else(|shared| (*shared).clone());
-            let (_, keys, points, payloads) = run.into_columns();
+            let (_, blocks, payloads) = run.into_parts();
             Cursor {
-                keys,
-                points,
+                blocks,
                 payloads: payloads.into_iter(),
+                dec: Box::default(),
+                dec_block: usize::MAX,
                 pos: 0,
             }
         })
@@ -66,7 +85,7 @@ pub(crate) fn merge_runs<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clo
     let mut keys = Vec::with_capacity(total);
     let mut points = Vec::with_capacity(total);
     let mut payloads: Vec<Option<T>> = Vec::with_capacity(total);
-    while let Some(min) = cursors.iter().filter_map(Cursor::head).min() {
+    while let Some(min) = cursors.iter_mut().filter_map(Cursor::head).min() {
         // Advance every cursor holding the minimum key; cursors are ordered
         // oldest → newest, so the last writer is the newest version.
         let mut winner: Option<(Point<D>, Option<T>)> = None;
@@ -82,8 +101,8 @@ pub(crate) fn merge_runs<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clo
             payloads.push(slot);
         }
     }
-    // `from_sorted_versions` rebuilds the zone map with tombstone-aware
-    // live counts for the merged run.
+    // `from_sorted_versions` repacks the merged columns into compressed
+    // blocks, folding the tombstones into the live bitmap.
     SfcIndex::from_sorted_versions(curve.clone(), keys, points, payloads)
 }
 
@@ -146,16 +165,16 @@ mod tests {
 
         let kept = merge_runs(&curve, vec![old.clone(), new.clone()], false);
         assert_eq!(kept.len(), 4); // tombstone for (2,2) is retained
-        let vals: Vec<Option<u32>> = kept.payloads().to_vec();
-        assert!(vals.contains(&None));
-        assert!(vals.contains(&Some(20)) && !vals.contains(&Some(2)));
+        assert_eq!(kept.live_len(), 3);
+        let vals = kept.payloads();
+        assert!(vals.contains(&20) && !vals.contains(&2));
 
         // `old` and `new` are still pinned by this test (cloned above), so
         // the second merge exercises the copy-on-write path — and the
         // pinned runs remain readable afterwards.
         let bottom = merge_runs(&curve, vec![old.clone(), new.clone()], true);
         assert_eq!(bottom.len(), 3); // (0,0)=1, (1,1)=20, (3,3)=4
-        assert!(bottom.payloads().iter().all(Option::is_some));
+        assert_eq!(bottom.live_len(), bottom.len());
         assert_eq!(old.len(), 3);
         assert_eq!(new.len(), 3);
     }

@@ -214,6 +214,24 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
         self.runs.iter().map(|run| run.len()).collect()
     }
 
+    /// Compressed heap bytes per immutable run, oldest first — parallel
+    /// to [`run_lens`](Self::run_lens), so dividing pairwise gives each
+    /// level's bytes-per-slot figure.
+    pub fn run_heap_bytes(&self) -> Vec<usize> {
+        self.runs.iter().map(|run| run.heap_bytes()).collect()
+    }
+
+    /// Bytes of heap memory held by the immutable run stack's compressed
+    /// blocks and dense payload columns, plus a node-size estimate for the
+    /// buffered memtable entries. The per-record quotient is the
+    /// `bytes_per_record` figure the benches track against the committed
+    /// budget.
+    pub fn heap_bytes(&self) -> usize {
+        let runs: usize = self.runs.iter().map(|run| run.heap_bytes()).sum();
+        let mem_entry = std::mem::size_of::<(CurveIndex, (Point<D>, Option<T>))>();
+        runs + self.memtable.len() * mem_entry
+    }
+
     /// The live payload at cell `p`, if any (newest version wins; one
     /// memtable probe plus at most one binary search per run).
     pub fn get(&self, p: Point<D>) -> Option<&T> {

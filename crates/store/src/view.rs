@@ -29,7 +29,7 @@
 //!    that, enumerating the box costs more than BIGMIN-scanning every
 //!    level.
 //! 2. **Prune.** A run whose key range misses the box's curve span, or
-//!    whose zone-map AABB misses the box outright, is skipped wholesale
+//!    whose block-summary AABB misses the box outright, is skipped wholesale
 //!    ([`LevelStrategy::Pruned`], counted in
 //!    [`QueryStats::blocks_pruned`]).
 //! 3. **Per-run choice.** With intervals in hand, a run estimated (via two
@@ -41,7 +41,8 @@
 //! The resulting [`QueryPlan`] is observable through
 //! [`SfcStore::plan_box_query`](crate::SfcStore::plan_box_query) (see
 //! `examples/query_planner.rs`), and every executed strategy records
-//! zone-map block work in `blocks_scanned` / `blocks_pruned`.
+//! per-block work in `blocks_scanned` / `blocks_pruned` /
+//! `blocks_decoded`.
 
 use std::cell::RefCell;
 use std::collections::{btree_map, BTreeMap, BinaryHeap};
@@ -50,8 +51,8 @@ use std::sync::Arc;
 
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::{
-    bigmin, bigmin_scan, bigmin_scan_plain, interval_scan, interval_scan_plain, BoxRegion,
-    QueryStats, SfcIndex,
+    bigmin, bigmin_scan, bigmin_scan_plain, interval_scan, interval_scan_plain, BlockCursor,
+    BlockStore, BoxRegion, DecodedBlock, QueryStats, SfcIndex, BLOCK_SLOTS,
 };
 
 use crate::store::StoreEntryRef;
@@ -70,11 +71,26 @@ use crate::store::StoreEntryRef;
 /// interval walk, which is where the per-level choice below kicks in.
 pub const INTERVAL_VOLUME_CUTOFF: u128 = 64;
 
+/// kNN verification balls up to this many cells are decomposed into exact
+/// curve intervals instead of going through the adaptive box planner.
+///
+/// The ball's side is twice the k-th candidate distance, so a tight
+/// candidate walk produces a box of one-to-a-few hundred cells — the
+/// regime where BIGMIN's key-island overscan costs more extra slot
+/// examinations than decomposition costs to set up (the general-purpose
+/// [`INTERVAL_VOLUME_CUTOFF`] is tuned for broad boxes, not for the
+/// point-ish balls kNN verification emits). The cutoff stays small
+/// because decomposition pays one curve encode per cell of volume:
+/// beyond a few hundred cells that setup alone outweighs the overscan it
+/// avoids, and the adaptive planner takes over.
+pub const KNN_BALL_INTERVALS_CUTOFF: u128 = 256;
+
 /// The newest-level table: key → (cell, payload-or-tombstone).
 pub(crate) type Memtable<const D: usize, T> = BTreeMap<CurveIndex, (Point<D>, Option<T>)>;
 
-/// One immutable sorted run, shareable with snapshots.
-pub(crate) type Run<const D: usize, T, C> = Arc<SfcIndex<D, Option<T>, C>>;
+/// One immutable sorted run, shareable with snapshots. Tombstones live in
+/// the run's block bitmap; payloads are the dense live-only column.
+pub(crate) type Run<const D: usize, T, C> = Arc<SfcIndex<D, T, C>>;
 
 /// The version of a cell found at some level: `None` payload = tombstone.
 pub(crate) type Version<'a, const D: usize, T> = Option<(Point<D>, &'a T)>;
@@ -201,7 +217,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         }
         for run in self.runs.iter().rev() {
             if let Some(i) = run.find_key(key) {
-                return Some(run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+                return Some(run.payload_at(i).map(|t| (run.point_at(i), t)));
             }
         }
         None
@@ -285,10 +301,10 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
 
     /// `true` iff the run cannot contribute to keys within `[lo, hi]`.
     fn run_outside_span(run: &Run<D, T, C>, lo: CurveIndex, hi: CurveIndex) -> bool {
-        match (run.keys().first(), run.keys().last()) {
-            (Some(&first), Some(&last)) => last < lo || first > hi,
-            _ => true,
+        if run.is_empty() {
+            return true;
         }
+        run.key_at(run.len() - 1) < lo || run.blocks().fence(0) > hi
     }
 
     /// Picks the planner strategy for one run, given the curve span the
@@ -306,7 +322,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
             return LevelStrategy::Pruned;
         }
         if let Some(b) = b {
-            if run.zones().run_disjoint(b) {
+            if run.blocks().run_disjoint(b) {
                 return LevelStrategy::Pruned;
             }
         }
@@ -316,8 +332,8 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
                 // Slots the run holds inside the span, at fence-array
                 // search cost. A run smaller than the interval list is
                 // cheaper to jump-scan than to seek once per interval.
-                let lo_pos = run.zones().lower_bound(run.keys(), span.0);
-                let hi_pos = run.zones().lower_bound(run.keys(), span.1 + 1);
+                let lo_pos = run.lower_bound(span.0);
+                let hi_pos = run.lower_bound(span.1 + 1);
                 let span_slots = hi_pos - lo_pos;
                 if span_slots == 0 {
                     LevelStrategy::Pruned
@@ -418,14 +434,11 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         for (run, &strategy) in self.runs.iter().zip(&plan.runs).rev() {
             let mut hits: LevelHits<'a, D, T> = Vec::new();
             match strategy {
-                LevelStrategy::Pruned => stats.blocks_pruned += run.zones().blocks() as u64,
+                LevelStrategy::Pruned => stats.blocks_pruned += run.blocks().blocks() as u64,
                 LevelStrategy::Intervals => {
                     let intervals = plan.intervals.as_deref().expect("planned intervals");
-                    interval_scan(run.keys(), intervals, &mut stats, |i| {
-                        hits.push((
-                            run.keys()[i],
-                            run.payloads()[i].as_ref().map(|t| (run.points()[i], t)),
-                        ));
+                    interval_scan(run.blocks(), intervals, &mut stats, |i, key, point| {
+                        hits.push((key, run.payload_at(i).map(|t| (point, t))));
                     });
                 }
                 LevelStrategy::Bigmin => {
@@ -433,20 +446,9 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
                         .curve
                         .as_morton()
                         .expect("bigmin plans are Morton-only");
-                    bigmin_scan(
-                        z,
-                        run.keys(),
-                        run.points(),
-                        run.zones(),
-                        b,
-                        &mut stats,
-                        |i| {
-                            hits.push((
-                                run.keys()[i],
-                                run.payloads()[i].as_ref().map(|t| (run.points()[i], t)),
-                            ));
-                        },
-                    );
+                    bigmin_scan(z, run.blocks(), b, &mut stats, |i, key, point| {
+                        hits.push((key, run.payload_at(i).map(|t| (point, t))));
+                    });
                 }
             }
             levels.push(hits);
@@ -535,15 +537,12 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         }
         for run in self.runs.iter().rev() {
             if Self::run_outside_span(run, span.0, span.1) {
-                stats.blocks_pruned += run.zones().blocks() as u64;
+                stats.blocks_pruned += run.blocks().blocks() as u64;
                 continue;
             }
             let mut hits: LevelHits<'a, D, T> = Vec::new();
-            interval_scan(run.keys(), intervals, &mut stats, |i| {
-                hits.push((
-                    run.keys()[i],
-                    run.payloads()[i].as_ref().map(|t| (run.points()[i], t)),
-                ));
+            interval_scan(run.blocks(), intervals, &mut stats, |i, key, point| {
+                hits.push((key, run.payload_at(i).map(|t| (point, t))));
             });
             levels.push(hits);
         }
@@ -574,10 +573,10 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
             });
         }
         for run in self.runs.iter().rev() {
-            interval_scan_plain(run.keys(), intervals, &mut stats, |i| {
+            interval_scan_plain(run.blocks(), intervals, &mut stats, |i, key, point| {
                 merged
-                    .entry(run.keys()[i])
-                    .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+                    .entry(key)
+                    .or_insert_with(|| run.payload_at(i).map(|t| (point, t)));
             });
         }
         Self::collect_merged(merged, stats)
@@ -588,9 +587,9 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
     /// position on both sides, **widening past tombstoned and shadowed
     /// slots** until `k` live candidates are bracketed on that side (or
     /// the level is exhausted), covering at least `window` slots per side
-    /// unless the zone map certifies further slots useless.
+    /// unless the block summaries certify further slots useless.
     ///
-    /// The zone map sharpens the walk three ways:
+    /// The block summaries sharpen the walk three ways:
     ///
     /// * **levels are visited biggest first** — the densest level almost
     ///   always holds the true nearest neighbors, so the heap's k-th best
@@ -598,13 +597,14 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
     /// * **all-dead blocks are skipped** without touching a slot — a
     ///   tombstone-heavy neighborhood costs one summary check per 64
     ///   slots instead of 64 payload probes;
-    /// * once the heap holds `k` candidates, a side walk **stops at any
+    /// * once the heap holds `k` candidates, a side walk **skips any
     ///   block whose AABB distance lower bound exceeds the current k-th
-    ///   best** — no slot of it can tighten the verification radius, so a
-    ///   small level whose neighborhood is farther than the incumbent
-    ///   candidates costs two summary checks total. Collection stopping
-    ///   early only loosens the radius bound; the ball query restores
-    ///   exactness regardless.
+    ///   best** — no slot of it can tighten the verification radius, so
+    ///   the block costs one summary check instead of up to 64 decoded
+    ///   slots. The walk *continues* past such a block (curve order is
+    ///   not distance order, so nearer blocks may still lie further out),
+    ///   crediting the block's live slots to the stop condition exactly
+    ///   as scanning them would have.
     pub(crate) fn knn_collect(
         &self,
         q: Point<D>,
@@ -687,33 +687,49 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         stats: &mut QueryStats,
     ) {
         let run = &self.runs[run_idx];
-        let zones = run.zones();
+        let blocks = run.blocks();
+        let mut cur = BlockCursor::new(blocks);
         stats.seeks += 1;
-        let pos = zones.lower_bound(run.keys(), key);
+        let pos = run.lower_bound(key);
         // Walk left (descending keys), block at a time.
         let mut live = 0usize;
         let mut slots = 0usize;
         let mut i = pos;
         while i > 0 && !(live >= k && slots >= window) {
-            let block = zones.block_of(i - 1);
-            let range = zones.block_range(block);
-            if zones.is_all_dead(block) {
+            let block = blocks.block_of(i - 1);
+            let range = blocks.block_range(block);
+            if blocks.is_all_dead(block) {
                 stats.blocks_pruned += 1;
                 slots += i - range.start;
                 i = range.start;
                 continue;
             }
-            if heap.len() >= k && zones.min_dist_sq(block, &q) > *heap.peek().expect("len >= k") {
+            if heap.len() >= k && blocks.min_dist_sq(block, &q) > *heap.peek().expect("len >= k") {
+                // Skip, don't stop: every slot here is at least as far as
+                // the k-th best, so scanning would count each live slot
+                // without changing the heap — credit them and move on.
                 stats.blocks_pruned += 1;
-                break;
+                live += blocks.live_in(block, range.start..i) as usize;
+                slots += i - range.start;
+                i = range.start;
+                continue;
             }
             stats.blocks_scanned += 1;
+            let dec = cur.decoded(block);
             while i > range.start && !(live >= k && slots >= window) {
                 i -= 1;
                 slots += 1;
                 stats.scanned += 1;
-                if run.payloads()[i].is_some() {
-                    live += usize::from(self.knn_offer_slot(q, run, run_idx, i, k, heap));
+                if blocks.is_live_slot(i) {
+                    let j = i - range.start;
+                    live += usize::from(self.knn_offer_slot(
+                        q,
+                        dec.keys[j],
+                        dec.point(j),
+                        run_idx,
+                        k,
+                        heap,
+                    ));
                 }
             }
         }
@@ -722,28 +738,41 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         slots = 0;
         let mut i = pos;
         while i < run.len() && !(live >= k && slots >= window) {
-            let block = zones.block_of(i);
-            let range = zones.block_range(block);
-            if zones.is_all_dead(block) {
+            let block = blocks.block_of(i);
+            let range = blocks.block_range(block);
+            if blocks.is_all_dead(block) {
                 stats.blocks_pruned += 1;
                 slots += range.end - i;
                 i = range.end;
                 continue;
             }
-            if heap.len() >= k && zones.min_dist_sq(block, &q) > *heap.peek().expect("len >= k") {
+            if heap.len() >= k && blocks.min_dist_sq(block, &q) > *heap.peek().expect("len >= k") {
                 stats.blocks_pruned += 1;
-                break;
+                live += blocks.live_in(block, i..range.end) as usize;
+                slots += range.end - i;
+                i = range.end;
+                continue;
             }
             stats.blocks_scanned += 1;
+            let dec = cur.decoded(block);
             while i < range.end && !(live >= k && slots >= window) {
                 slots += 1;
                 stats.scanned += 1;
-                if run.payloads()[i].is_some() {
-                    live += usize::from(self.knn_offer_slot(q, run, run_idx, i, k, heap));
+                if blocks.is_live_slot(i) {
+                    let j = i - range.start;
+                    live += usize::from(self.knn_offer_slot(
+                        q,
+                        dec.keys[j],
+                        dec.point(j),
+                        run_idx,
+                        k,
+                        heap,
+                    ));
                 }
                 i += 1;
             }
         }
+        stats.blocks_decoded += cur.decodes;
     }
 
     /// Offers one non-tombstone run slot as a kNN candidate, returning
@@ -758,17 +787,17 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
     fn knn_offer_slot(
         &self,
         q: Point<D>,
-        run: &Run<D, T, C>,
+        key: CurveIndex,
+        point: Point<D>,
         run_idx: usize,
-        i: usize,
         k: usize,
         heap: &mut BinaryHeap<u64>,
     ) -> bool {
-        let dist_sq = q.euclidean_sq(&run.points()[i]);
+        let dist_sq = q.euclidean_sq(&point);
         if heap.len() >= k && dist_sq >= *heap.peek().expect("len >= k") {
             return true;
         }
-        if self.shadowed_above(run.keys()[i], run_idx) {
+        if self.shadowed_above(key, run_idx) {
             return false;
         }
         offer(heap, k, dist_sq);
@@ -793,7 +822,16 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
             radius_from_heap(self.curve.grid(), heap, k)
         });
         let ball = BoxRegion::chebyshev_ball(self.curve.grid(), q, radius);
-        let (all, ball_stats) = self.query_box(&ball);
+        // The verification ball is tiny whenever the candidate walk found a
+        // tight radius, and BIGMIN's key-island overscan is proportionally
+        // worst on tiny boxes — so decompose the ball exactly (zero
+        // overscan) and reserve the adaptive planner for degenerate balls
+        // whose decomposition cost would dominate.
+        let (all, ball_stats) = if ball.volume() <= KNN_BALL_INTERVALS_CUTOFF {
+            self.query_box_intervals(&ball)
+        } else {
+            self.query_box(&ball)
+        };
         stats.add(&ball_stats);
         let all = rank_by_distance(all, q, k);
         stats.reported = all.len() as u64;
@@ -845,6 +883,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         for (run_idx, run) in self.runs.iter().enumerate().rev() {
             stats.seeks += 1;
             let pos = run.lower_bound(key);
+            let mut cur = BlockCursor::new(run.blocks());
             let mut live = 0usize;
             let mut slots = 0usize;
             let mut i = pos;
@@ -852,9 +891,9 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
                 i -= 1;
                 slots += 1;
                 stats.scanned += 1;
-                let ck = run.keys()[i];
-                if run.payloads()[i].is_some() && !self.shadowed_above(ck, run_idx) {
-                    candidates.push((q.euclidean_sq(&run.points()[i]), ck));
+                let ck = cur.key(i);
+                if run.is_live_slot(i) && !self.shadowed_above(ck, run_idx) {
+                    candidates.push((q.euclidean_sq(&cur.point(i)), ck));
                     live += 1;
                 }
             }
@@ -864,13 +903,14 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
             while i < run.len() && !(live >= k && slots >= window) {
                 slots += 1;
                 stats.scanned += 1;
-                let ck = run.keys()[i];
-                if run.payloads()[i].is_some() && !self.shadowed_above(ck, run_idx) {
-                    candidates.push((q.euclidean_sq(&run.points()[i]), ck));
+                let ck = cur.key(i);
+                if run.is_live_slot(i) && !self.shadowed_above(ck, run_idx) {
+                    candidates.push((q.euclidean_sq(&cur.point(i)), ck));
                     live += 1;
                 }
                 i += 1;
             }
+            stats.blocks_decoded += cur.decodes;
         }
         candidates
     }
@@ -909,9 +949,10 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
                 .runs
                 .iter()
                 .map(|run| RunCursor {
-                    keys: run.keys(),
-                    points: run.points(),
+                    blocks: run.blocks(),
                     payloads: run.payloads(),
+                    dec: Box::default(),
+                    dec_block: usize::MAX,
                     pos: 0,
                 })
                 .collect(),
@@ -941,25 +982,14 @@ impl<'a, const D: usize, T> LevelsView<'a, D, T, ZCurve<D>> {
             levels.push(hits);
         }
         for run in self.runs.iter().rev() {
-            if Self::run_outside_span(run, zmin, zmax) || run.zones().run_disjoint(b) {
-                stats.blocks_pruned += run.zones().blocks() as u64;
+            if Self::run_outside_span(run, zmin, zmax) || run.blocks().run_disjoint(b) {
+                stats.blocks_pruned += run.blocks().blocks() as u64;
                 continue;
             }
             let mut hits: LevelHits<'a, D, T> = Vec::new();
-            bigmin_scan(
-                self.curve,
-                run.keys(),
-                run.points(),
-                run.zones(),
-                b,
-                &mut stats,
-                |i| {
-                    hits.push((
-                        run.keys()[i],
-                        run.payloads()[i].as_ref().map(|t| (run.points()[i], t)),
-                    ));
-                },
-            );
+            bigmin_scan(self.curve, run.blocks(), b, &mut stats, |i, key, point| {
+                hits.push((key, run.payload_at(i).map(|t| (point, t))));
+            });
             levels.push(hits);
         }
         Self::merge_level_hits(levels, stats)
@@ -980,10 +1010,10 @@ impl<'a, const D: usize, T> LevelsView<'a, D, T, ZCurve<D>> {
             });
         }
         for run in self.runs.iter().rev() {
-            bigmin_scan_plain(self.curve, run.keys(), run.points(), b, &mut stats, |i| {
+            bigmin_scan_plain(self.curve, run.blocks(), b, &mut stats, |i, key, point| {
                 merged
-                    .entry(run.keys()[i])
-                    .or_insert_with(|| run.payloads()[i].as_ref().map(|t| (run.points()[i], t)));
+                    .entry(key)
+                    .or_insert_with(|| run.payload_at(i).map(|t| (point, t)));
             });
         }
         Self::collect_merged(merged, stats)
@@ -1052,12 +1082,48 @@ pub(crate) fn with_knn_heap<R>(f: impl FnOnce(&mut BinaryHeap<u64>) -> R) -> R {
     })
 }
 
-/// A forward-only cursor over one run's borrowed columns.
+/// A forward-only cursor over one run's compressed blocks and dense
+/// payload column, decoding one block at a time as the merge advances.
 struct RunCursor<'a, const D: usize, T> {
-    keys: &'a [CurveIndex],
-    points: &'a [Point<D>],
-    payloads: &'a [Option<T>],
+    blocks: &'a BlockStore<D>,
+    payloads: &'a [T],
+    /// Decode buffer holding block `dec_block` (`usize::MAX` = none yet).
+    dec: Box<DecodedBlock<D>>,
+    dec_block: usize,
     pos: usize,
+}
+
+impl<'a, const D: usize, T> RunCursor<'a, D, T> {
+    /// Ensures the block holding `pos` is decoded into the buffer.
+    fn fill(&mut self) {
+        let block = self.blocks.block_of(self.pos);
+        if self.dec_block != block {
+            self.blocks.decode_into(block, &mut self.dec);
+            self.dec_block = block;
+        }
+    }
+
+    /// The key under the cursor, or `None` past the end of the run.
+    fn peek_key(&mut self) -> Option<CurveIndex> {
+        if self.pos >= self.blocks.len() {
+            return None;
+        }
+        self.fill();
+        Some(self.dec.keys[self.pos % BLOCK_SLOTS])
+    }
+
+    /// Reads the version under the cursor (`None` payload = tombstone)
+    /// and advances past it.
+    fn take(&mut self) -> (Point<D>, Option<&'a T>) {
+        self.fill();
+        let point = self.dec.point(self.pos % BLOCK_SLOTS);
+        let slot = self
+            .blocks
+            .is_live_slot(self.pos)
+            .then(|| &self.payloads[self.blocks.rank(self.pos)]);
+        self.pos += 1;
+        (point, slot)
+    }
 }
 
 /// A peekable walk of the memtable level.
@@ -1094,8 +1160,8 @@ impl<'a, const D: usize, T> Iterator for SnapshotIter<'a, D, T> {
                 .mem
                 .as_mut()
                 .and_then(|mem| mem.peek().map(|(&key, _)| key));
-            for cursor in &self.runs {
-                if let Some(&key) = cursor.keys.get(cursor.pos) {
+            for cursor in &mut self.runs {
+                if let Some(key) = cursor.peek_key() {
                     min = Some(min.map_or(key, |m| m.min(key)));
                 }
             }
@@ -1104,12 +1170,8 @@ impl<'a, const D: usize, T> Iterator for SnapshotIter<'a, D, T> {
             // levels overwrite, and the memtable overwrites last.
             let mut winner: Option<(Point<D>, Option<&'a T>)> = None;
             for cursor in self.runs.iter_mut() {
-                if cursor.keys.get(cursor.pos) == Some(&min) {
-                    winner = Some((
-                        cursor.points[cursor.pos],
-                        cursor.payloads[cursor.pos].as_ref(),
-                    ));
-                    cursor.pos += 1;
+                if cursor.peek_key() == Some(min) {
+                    winner = Some(cursor.take());
                 }
             }
             if let Some(mem) = self.mem.as_mut() {

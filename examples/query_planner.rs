@@ -20,8 +20,8 @@ use sfc::store::SfcStore;
 
 fn fmt_stats(s: &QueryStats) -> String {
     format!(
-        "seeks {:>5} | scanned {:>6} | reported {:>5} | blocks scanned {:>4} pruned {:>4}",
-        s.seeks, s.scanned, s.reported, s.blocks_scanned, s.blocks_pruned
+        "seeks {:>5} | scanned {:>6} | reported {:>5} | blocks scanned {:>4} pruned {:>4} decoded {:>4}",
+        s.seeks, s.scanned, s.reported, s.blocks_scanned, s.blocks_pruned, s.blocks_decoded
     )
 }
 
@@ -57,6 +57,14 @@ fn main() {
         store.run_lens(),
         store.memtable_len()
     );
+    // Per-level compressed footprint: bytes each run's packed blocks and
+    // dense payload column occupy, and what that costs per stored slot.
+    for ((len, bytes), level) in store.run_lens().iter().zip(store.run_heap_bytes()).zip(0..) {
+        println!(
+            "  level {level}: {len:>7} slots in {bytes:>8} bytes ({:.2} B/slot)",
+            bytes as f64 / *len as f64
+        );
+    }
 
     let queries = [
         (

@@ -19,12 +19,24 @@ fn report(phase: &str, store: &SfcStore<2, u32, ZCurve<2>>, b: &BoxRegion<2>) {
         store.memtable_len(),
         store.run_lens()
     );
+    let slots: usize = store.run_lens().iter().sum();
+    let run_bytes: usize = store.run_heap_bytes().iter().sum();
     println!(
-        "   box query: {} hits | seeks {} | scanned {} | overscan {:.2}",
+        "   footprint: per-level {:?} bytes = {run_bytes} total ({:.2} B/slot compressed)",
+        store.run_heap_bytes(),
+        if slots == 0 {
+            0.0
+        } else {
+            run_bytes as f64 / slots as f64
+        }
+    );
+    println!(
+        "   box query: {} hits | seeks {} | scanned {} | overscan {:.2} | blocks decoded {}",
         hits.len(),
         stats.seeks,
         stats.scanned,
-        stats.overscan()
+        stats.overscan(),
+        stats.blocks_decoded
     );
 }
 

@@ -27,6 +27,18 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Work performed by one iteration of a benchmark, declared with
+/// [`BenchmarkGroup::throughput`] so the harness can report a rate
+/// (`thrpt:` line) alongside the time — the same shape as criterion's
+/// `Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many bytes (reported in GB/s).
+    Bytes(u64),
+    /// Each iteration processes this many elements (reported in Melem/s).
+    Elements(u64),
+}
+
 /// One finished benchmark: its full name and the per-iteration
 /// nanosecond statistics printed in the `time: [low median high]` line.
 #[derive(Debug, Clone)]
@@ -39,6 +51,19 @@ pub struct BenchRecord {
     pub median_ns: f64,
     /// Slowest sample.
     pub max_ns: f64,
+    /// Declared per-iteration work, when the group set one.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchRecord {
+    /// Median throughput in gigabytes per second, when the benchmark
+    /// declared [`Throughput::Bytes`].
+    pub fn gb_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) => Some(bytes as f64 / self.median_ns),
+            _ => None,
+        }
+    }
 }
 
 /// Every benchmark finished so far, in execution order.
@@ -145,7 +170,20 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-fn run_one(full_name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+fn fmt_throughput(t: Throughput, ns: f64) -> String {
+    match t {
+        // bytes / ns == GB/s.
+        Throughput::Bytes(bytes) => format!("{:.4} GB/s", bytes as f64 / ns),
+        Throughput::Elements(n) => format!("{:.4} Melem/s", n as f64 * 1e3 / ns),
+    }
+}
+
+fn run_one(
+    full_name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     let mut b = Bencher {
         sample_size,
         samples_ns: Vec::new(),
@@ -166,6 +204,16 @@ fn run_one(full_name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher))
         fmt_ns(median),
         fmt_ns(hi)
     );
+    if let Some(t) = throughput {
+        // Like criterion: slowest rate first (from the slowest sample).
+        println!(
+            "{:<50} thrpt: [{} {} {}]",
+            "",
+            fmt_throughput(t, hi),
+            fmt_throughput(t, median),
+            fmt_throughput(t, lo)
+        );
+    }
     RECORDS
         .lock()
         .expect("record list poisoned")
@@ -174,6 +222,7 @@ fn run_one(full_name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher))
             min_ns: lo,
             median_ns: median,
             max_ns: hi,
+            throughput,
         });
 }
 
@@ -202,12 +251,13 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
+            throughput: None,
         }
     }
 
     /// Runs one stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
-        run_one(&id.into_id(), self.sample_size, &mut f);
+        run_one(&id.into_id(), self.sample_size, None, &mut f);
     }
 }
 
@@ -216,6 +266,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -225,10 +276,18 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the work one iteration of the following benchmarks
+    /// performs; each subsequently finished benchmark reports a `thrpt:`
+    /// rate line and carries the figure in its [`BenchRecord`].
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one benchmark in this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
         let full = format!("{}/{}", self.name, id.into_id());
-        run_one(&full, self.criterion.sample_size, &mut f);
+        run_one(&full, self.criterion.sample_size, self.throughput, &mut f);
     }
 
     /// Runs one benchmark with an explicit input value.
@@ -239,7 +298,12 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) {
         let full = format!("{}/{}", self.name, id.id);
-        run_one(&full, self.criterion.sample_size, &mut |b| f(b, input));
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
     }
 
     /// Ends the group (a no-op here; kept for API compatibility).
@@ -293,6 +357,24 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
         assert_eq!(BenchmarkId::from_parameter("z").id, "z");
+    }
+
+    #[test]
+    fn throughput_is_recorded_and_converted() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("thrpt");
+        g.throughput(Throughput::Bytes(1_000_000));
+        g.bench_function("bytes", |b| b.iter(|| black_box([0u8; 64])));
+        g.finish();
+        let records = take_records();
+        let rec = records
+            .iter()
+            .find(|r| r.name == "thrpt/bytes")
+            .expect("benchmark recorded");
+        assert_eq!(rec.throughput, Some(Throughput::Bytes(1_000_000)));
+        let gbps = rec.gb_per_sec().expect("bytes throughput declared");
+        assert!(gbps > 0.0 && gbps.is_finite());
+        assert!((gbps - 1_000_000.0 / rec.median_ns).abs() < 1e-12);
     }
 
     #[test]
