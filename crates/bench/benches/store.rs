@@ -19,10 +19,12 @@ use criterion::{criterion_group, Criterion};
 use rand::{Rng, SeedableRng};
 use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::{BoxRegion, QueryStats, SfcIndex};
-use sfc_store::{SfcStore, ShardedSfcStore};
+use sfc_obs::MetricsRegistry;
+use sfc_store::{EngineMetrics, SfcStore, ShardedSfcStore};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::io::Write as _;
+use std::sync::Arc;
 
 const BASE: usize = 1_000_000;
 const ROUNDS: usize = 10;
@@ -688,6 +690,88 @@ fn bench_query_paths(c: &mut Criterion, sc: &Scenario) -> QueryBench {
     }
 }
 
+/// The committed instrumentation budget: attaching an [`EngineMetrics`]
+/// to a store must not slow ingest by more than this factor. The gate
+/// compares `min_ns` (the most noise-robust summary at `sample_size(10)`)
+/// of the instrumented and uninstrumented runs of an identical workload.
+const INSTRUMENTATION_OVERHEAD_BUDGET: f64 = 1.05;
+
+const OVERHEAD_OPS: usize = 50_000;
+
+/// Ingest-overhead A/B: the same fresh-store workload (50k upserts
+/// through memtable flushes and compactions) with and without metrics
+/// attached. Returns the instrumented run's [`EngineMetrics`] so the
+/// report can embed a real registry snapshot; counters accumulate across
+/// criterion iterations, which is exactly the multi-run stress the JSON
+/// dump should show.
+fn bench_metrics_overhead(c: &mut Criterion, sc: &Scenario) -> Arc<EngineMetrics> {
+    let z = ZCurve::over(sc.grid);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+    let ops: Vec<(Point<2>, u64)> = (0..OVERHEAD_OPS)
+        .map(|i| (sc.grid.random_cell(&mut rng), i as u64))
+        .collect();
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = EngineMetrics::for_store(registry);
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.bench_function("ingest_uninstrumented", |bencher| {
+        bencher.iter(|| {
+            let mut store = SfcStore::with_memtable_capacity(z, 4096);
+            for &(p, v) in &ops {
+                store.insert(p, v);
+            }
+            black_box(store.len())
+        })
+    });
+    group.bench_function("ingest_instrumented", |bencher| {
+        bencher.iter(|| {
+            let mut store = SfcStore::with_memtable_capacity(z, 4096);
+            store.attach_metrics(metrics.clone());
+            for &(p, v) in &ops {
+                store.insert(p, v);
+            }
+            black_box(store.len())
+        })
+    });
+    group.finish();
+
+    // Run the query paths once through an instrumented store so the
+    // registry snapshot in the report carries real query metrics (and a
+    // slow-query trace or two) alongside the ingest counters.
+    let mut store = SfcStore::bulk_load(z, ops.iter().copied());
+    store.attach_metrics(metrics.clone());
+    metrics.set_slow_query_threshold(std::time::Duration::from_micros(100));
+    let (boxes, knn_queries) = selective_boxes(sc);
+    for b in &boxes {
+        black_box(store.query_box(b).0.len());
+    }
+    for &q in &knn_queries {
+        black_box(store.knn(q, KNN_K, KNN_WINDOW).0.len());
+    }
+    metrics
+}
+
+/// The ≤5% instrumentation gate CI runs on every release bench.
+fn assert_overhead_gate(all_records: &[criterion::BenchRecord]) -> f64 {
+    let min = |name: &str| {
+        all_records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.min_ns)
+            .expect("overhead bench recorded")
+    };
+    let ratio =
+        min("metrics_overhead/ingest_instrumented") / min("metrics_overhead/ingest_uninstrumented");
+    assert!(
+        ratio <= INSTRUMENTATION_OVERHEAD_BUDGET,
+        "instrumented ingest is {ratio:.3}x the uninstrumented baseline — \
+         over the {INSTRUMENTATION_OVERHEAD_BUDGET} budget; a metrics-path \
+         change has leaked onto the hot path"
+    );
+    println!("instrumentation overhead: {ratio:.3}x (budget {INSTRUMENTATION_OVERHEAD_BUDGET})");
+    ratio
+}
+
 criterion_group! {
     name = ingest_benches;
     config = Criterion::default().sample_size(10);
@@ -706,10 +790,17 @@ fn stats_json(s: &QueryStats) -> String {
 }
 
 /// Writes `BENCH_store.json` at the workspace root: every benchmark's
-/// median (and min/max) nanoseconds, the summed per-path `QueryStats`
-/// counters, and the headline plain-vs-zone speedups. CI uploads the file
-/// so the perf trajectory is tracked per commit.
-fn write_report(all_records: &[criterion::BenchRecord], qb: &QueryBench) {
+/// median/min/max **and p50/p95/p99** nanoseconds, the summed per-path
+/// `QueryStats` counters, a metrics-registry snapshot from the
+/// instrumented run, the instrumentation-overhead ratio, and the headline
+/// plain-vs-zone speedups. CI uploads the file so the perf trajectory is
+/// tracked per commit.
+fn write_report(
+    all_records: &[criterion::BenchRecord],
+    qb: &QueryBench,
+    metrics: &EngineMetrics,
+    overhead_ratio: f64,
+) {
     let median = |name: &str| {
         all_records
             .iter()
@@ -725,11 +816,14 @@ fn write_report(all_records: &[criterion::BenchRecord], qb: &QueryBench) {
     out.push_str("  \"results\": [\n");
     for (i, r) in all_records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}}}{}\n",
             json_escape(&r.name),
             r.median_ns,
             r.min_ns,
             r.max_ns,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
             if i + 1 == all_records.len() { "" } else { "," }
         ));
     }
@@ -752,6 +846,22 @@ fn write_report(all_records: &[criterion::BenchRecord], qb: &QueryBench) {
         fp.naive_slot_bytes,
         fp.compression_ratio()
     ));
+    // Registry snapshot from the instrumented overhead run: op counters,
+    // latency percentiles, gauges — plus the engine-level overscan the
+    // accumulated scanned/reported counters imply.
+    let snap = metrics.registry().snapshot();
+    let engine_overscan = QueryStats::overscan_ratio(
+        snap.counter("engine.query.scanned").unwrap_or(0),
+        snap.counter("engine.query.reported").unwrap_or(0),
+    );
+    out.push_str(&format!(
+        "  \"instrumentation\": {{\"overhead_ratio\": {overhead_ratio:.4}, \"budget\": {INSTRUMENTATION_OVERHEAD_BUDGET}, \"engine_overscan\": {engine_overscan:.4}, \"slow_queries\": {}}},\n",
+        metrics.slow_queries_admitted()
+    ));
+    let registry_json = snap.to_json();
+    out.push_str("  \"metrics\": ");
+    out.push_str(registry_json.trim_end());
+    out.push_str(",\n");
     out.push_str("  \"scan_throughput_gbps\": {\n");
     let thrpt: Vec<&criterion::BenchRecord> = all_records
         .iter()
@@ -842,8 +952,10 @@ fn main() {
     let mut criterion = Criterion::default().sample_size(10);
     let sc = scenario();
     let qb = bench_query_paths(&mut criterion, &sc);
+    let metrics = bench_metrics_overhead(&mut criterion, &sc);
     ingest_benches();
     let mut all_records = qb.records.clone();
     all_records.extend(criterion::take_records());
-    write_report(&all_records, &qb);
+    let overhead_ratio = assert_overhead_gate(&all_records);
+    write_report(&all_records, &qb, &metrics, overhead_ratio);
 }

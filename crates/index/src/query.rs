@@ -42,28 +42,39 @@ impl QueryStats {
     /// `scanned / reported`, the overscan ratio (`∞` if nothing matched but
     /// entries were scanned; 1.0 for an empty scan).
     pub fn overscan(&self) -> f64 {
-        if self.reported == 0 {
-            if self.scanned == 0 {
+        Self::overscan_ratio(self.scanned, self.reported)
+    }
+
+    /// The overscan ratio for a raw `scanned` / `reported` pair — the
+    /// same edge-case convention as [`overscan`](Self::overscan), for
+    /// callers that accumulate the two counters across many queries and
+    /// would otherwise recompute the division (and its empty/miss cases)
+    /// inline.
+    pub fn overscan_ratio(scanned: u64, reported: u64) -> f64 {
+        if reported == 0 {
+            if scanned == 0 {
                 1.0
             } else {
                 f64::INFINITY
             }
         } else {
-            self.scanned as f64 / self.reported as f64
+            scanned as f64 / reported as f64
         }
     }
 
     /// Accumulates another query's counters into this one — the summation
     /// every multi-level and multi-shard query path uses, so per-part
     /// stats always add up to the reported total (see the shard-router
-    /// audit tests).
+    /// audit tests). Saturating: experiment drivers fold millions of
+    /// queries into one accumulator, and a (pathological) overflow should
+    /// pin at `u64::MAX` rather than wrap into a nonsense total.
     pub fn add(&mut self, other: &QueryStats) {
-        self.seeks += other.seeks;
-        self.scanned += other.scanned;
-        self.reported += other.reported;
-        self.blocks_scanned += other.blocks_scanned;
-        self.blocks_pruned += other.blocks_pruned;
-        self.blocks_decoded += other.blocks_decoded;
+        self.seeks = self.seeks.saturating_add(other.seeks);
+        self.scanned = self.scanned.saturating_add(other.scanned);
+        self.reported = self.reported.saturating_add(other.reported);
+        self.blocks_scanned = self.blocks_scanned.saturating_add(other.blocks_scanned);
+        self.blocks_pruned = self.blocks_pruned.saturating_add(other.blocks_pruned);
+        self.blocks_decoded = self.blocks_decoded.saturating_add(other.blocks_decoded);
     }
 }
 
@@ -121,5 +132,27 @@ mod tests {
                 blocks_decoded: 66,
             }
         );
+    }
+
+    #[test]
+    fn add_saturates_instead_of_wrapping() {
+        let mut a = QueryStats {
+            scanned: u64::MAX - 1,
+            ..Default::default()
+        };
+        a.add(&QueryStats {
+            scanned: 5,
+            seeks: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.scanned, u64::MAX);
+        assert_eq!(a.seeks, 1);
+    }
+
+    #[test]
+    fn raw_pair_helper_matches_method() {
+        assert_eq!(QueryStats::overscan_ratio(20, 10), 2.0);
+        assert_eq!(QueryStats::overscan_ratio(0, 0), 1.0);
+        assert!(QueryStats::overscan_ratio(5, 0).is_infinite());
     }
 }

@@ -1,0 +1,310 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! The bucket layout is the classic power-of-two scheme: every value
+//! falls in the block of its highest set bit, and each block is split
+//! into `2^SUB_BITS` linear sub-buckets, so bucket width grows with the
+//! value and the *relative* quantile error stays bounded by
+//! `2^-SUB_BITS` (see the crate docs for the derivation). Recording is
+//! one relaxed `fetch_add` on the bucket plus min/max/sum maintenance —
+//! wait-free, no locks, no resizing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sub-bucket resolution: each power-of-two block is split into
+/// `2^SUB_BITS` linear buckets, bounding relative quantile error by
+/// `2^-SUB_BITS` (3.125%).
+pub const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Blocks 0..=(64 - SUB_BITS) cover the full u64 range.
+const BUCKETS: usize = (65 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Bucket holding `v`: values below `2^SUB_BITS` map directly (exact);
+/// above, the top `SUB_BITS` mantissa bits pick the sub-bucket within
+/// the value's power-of-two block.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros();
+        let m = ((v >> (e - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+        (e - SUB_BITS + 1) as usize * SUB_BUCKETS + m
+    }
+}
+
+/// Smallest value landing in bucket `idx`.
+fn bucket_low(idx: usize) -> u64 {
+    let block = idx / SUB_BUCKETS;
+    let m = (idx % SUB_BUCKETS) as u64;
+    if block == 0 {
+        m
+    } else {
+        (SUB_BUCKETS as u64 + m) << (block - 1)
+    }
+}
+
+/// Largest value landing in bucket `idx`.
+fn bucket_high(idx: usize) -> u64 {
+    let block = idx / SUB_BUCKETS;
+    if block == 0 {
+        bucket_low(idx)
+    } else {
+        bucket_low(idx) + ((1u64 << (block - 1)) - 1)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: Box<[AtomicU64]>,
+    min: AtomicU64,
+    max: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A wait-free log-bucketed histogram handle (cheap `Arc` clone).
+///
+/// Writers call [`Histogram::record`] (or [`Histogram::time`] /
+/// [`Histogram::record_since`] for durations); readers call
+/// [`Histogram::snapshot`] at any time without pausing writers.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one value (wait-free: one `fetch_add` on the bucket plus
+    /// min/max/sum maintenance, all relaxed).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let c = &self.core;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records the nanoseconds elapsed since `start`.
+    #[inline]
+    pub fn record_since(&self, start: Instant) {
+        self.record_duration(start.elapsed());
+    }
+
+    /// Times `f` and records its wall time in nanoseconds.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record_since(start);
+        out
+    }
+
+    /// A point-in-time read of the buckets. Concurrent with writers the
+    /// snapshot is *torn but monotone* — each bucket shows a prefix of
+    /// its updates — and internally consistent: `count()` is by
+    /// construction the sum of the captured buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        let mut count = 0u64;
+        let buckets: Vec<(u32, u64)> = c
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                count += n;
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count,
+            min: c.min.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An immutable capture of a [`Histogram`]: sparse non-empty buckets
+/// plus exact recorded min/max and an approximate sum.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    buckets: Vec<(u32, u64)>,
+    count: u64,
+    min: u64,
+    max: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank, reported as the
+    /// containing bucket's upper bound clamped into the exact recorded
+    /// `[min, max]` — so the estimate never under-reports the true order
+    /// statistic and overshoots it by at most a factor `1 + 2^-SUB_BITS`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(idx, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                return bucket_high(idx as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Sum of per-bucket counts — equal to [`HistogramSnapshot::count`]
+    /// by construction; exposed so consistency tests can say so.
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_inverts() {
+        let mut prev = 0usize;
+        for v in (0u64..4096).chain([u64::MAX / 3, u64::MAX]) {
+            let b = bucket_index(v);
+            assert!(b >= prev || v < 4096, "index must be monotone");
+            prev = b.max(prev);
+            assert!(bucket_low(b) <= v && v <= bucket_high(b), "v={v} b={b}");
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 64);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 63);
+        assert_eq!(s.quantile(1.0), 63);
+        // Below 64 every bucket has width 1, so quantiles are exact.
+        assert_eq!(s.p50(), 31);
+    }
+
+    #[test]
+    fn quantiles_bounded_relative_error() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (0..1000u64).map(|i| i * i * 17 + 5).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let s = h.snapshot();
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let got = s.quantile(q);
+            assert!(got >= exact, "q={q}: got {got} < exact {exact}");
+            assert!(
+                got <= exact + (exact >> SUB_BITS) + 1,
+                "q={q}: got {got} exceeds bound for exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn timing_helpers_record() {
+        let h = Histogram::new();
+        h.time(|| std::hint::black_box(3 + 4));
+        h.record_duration(Duration::from_nanos(500));
+        assert_eq!(h.snapshot().count(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! A bounded ring buffer of the slowest operations.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One retained slow operation.
+#[derive(Clone, Debug)]
+pub struct SlowEntry<T> {
+    /// Admission number: the `seq`-th operation ever admitted to this
+    /// log (older entries may have been evicted by the ring).
+    pub seq: u64,
+    /// The operation's wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Caller-supplied detail (e.g. a query trace).
+    pub detail: T,
+}
+
+/// A slow-operation log: a ring buffer of the most recent operations
+/// whose wall time crossed a configurable threshold.
+///
+/// The fast path — an operation *below* the threshold — costs one
+/// relaxed atomic load; the `detail` closure is never evaluated and no
+/// lock is touched. Slow operations take a short mutex to rotate the
+/// ring. The threshold can be changed at runtime without pausing
+/// writers.
+#[derive(Debug)]
+pub struct SlowLog<T> {
+    threshold_ns: AtomicU64,
+    capacity: usize,
+    admitted: AtomicU64,
+    entries: Mutex<VecDeque<SlowEntry<T>>>,
+}
+
+impl<T> SlowLog<T> {
+    /// A log retaining the last `capacity` operations at or above
+    /// `threshold`.
+    pub fn new(capacity: usize, threshold: Duration) -> Self {
+        SlowLog {
+            threshold_ns: AtomicU64::new(u64::try_from(threshold.as_nanos()).unwrap_or(u64::MAX)),
+            capacity: capacity.max(1),
+            admitted: AtomicU64::new(0),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Current threshold in nanoseconds.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the threshold (takes effect for subsequent `observe`s).
+    pub fn set_threshold(&self, threshold: Duration) {
+        self.threshold_ns.store(
+            u64::try_from(threshold.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Offers an operation: admitted (and `detail` evaluated) only when
+    /// `wall_ns` reaches the threshold. Returns whether it was admitted.
+    pub fn observe(&self, wall_ns: u64, detail: impl FnOnce() -> T) -> bool {
+        if wall_ns < self.threshold_ns.load(Ordering::Relaxed) {
+            return false;
+        }
+        let seq = self.admitted.fetch_add(1, Ordering::Relaxed);
+        let entry = SlowEntry {
+            seq,
+            wall_ns,
+            detail: detail(),
+        };
+        let mut ring = self.entries.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+        true
+    }
+
+    /// Operations ever admitted (including those since evicted).
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears the ring, returning the retained entries oldest-first.
+    pub fn drain(&self) -> Vec<SlowEntry<T>> {
+        self.entries.lock().unwrap().drain(..).collect()
+    }
+}
+
+impl<T: Clone> SlowLog<T> {
+    /// Copies out the retained entries oldest-first.
+    pub fn entries(&self) -> Vec<SlowEntry<T>> {
+        self.entries.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_filters_and_detail_is_lazy() {
+        let log: SlowLog<String> = SlowLog::new(8, Duration::from_nanos(100));
+        assert!(!log.observe(99, || unreachable!("detail must stay unevaluated")));
+        assert!(log.observe(100, || "at".to_string()));
+        assert!(log.observe(500, || "above".to_string()));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.admitted(), 2);
+        let e = log.entries();
+        assert_eq!(e[0].detail, "at");
+        assert_eq!(e[1].wall_ns, 500);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log: SlowLog<u64> = SlowLog::new(3, Duration::ZERO);
+        for i in 0..5u64 {
+            log.observe(i + 1, || i);
+        }
+        let kept: Vec<u64> = log.entries().iter().map(|e| e.detail).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(log.admitted(), 5);
+        assert_eq!(log.drain().len(), 3);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn threshold_is_runtime_adjustable() {
+        let log: SlowLog<()> = SlowLog::new(4, Duration::from_secs(1));
+        assert!(!log.observe(10, || ()));
+        log.set_threshold(Duration::ZERO);
+        assert!(log.observe(10, || ()));
+        assert_eq!(log.threshold_ns(), 0);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`index`] | `sfc-index` | sorted-key spatial index, BIGMIN range queries, verified kNN |
 //! | [`store`] | `sfc-store` | mutable LSM-style spatial store over SFC-sorted runs |
 //! | [`nbody`] | `sfc-nbody` | Morton-tree Barnes–Hut, leapfrog, SFC work decomposition |
+//! | [`obs`] | `sfc-obs` | lock-free metrics registry, latency histograms, slow-query log |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use sfc_core as core;
 pub use sfc_index as index;
 pub use sfc_metrics as metrics;
 pub use sfc_nbody as nbody;
+pub use sfc_obs as obs;
 pub use sfc_partition as partition;
 pub use sfc_store as store;
 

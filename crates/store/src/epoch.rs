@@ -52,11 +52,13 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve};
 use sfc_index::SfcIndex;
 
 use crate::merge::{merge_runs, restore_size_tiers};
+use crate::obs::ShardMetrics;
 use crate::snapshot::StoreSnapshot;
 use crate::view::{Memtable, Run};
 
@@ -183,6 +185,10 @@ pub(crate) struct Shard<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
     maint: Mutex<()>,
     mem: Mutex<MemState<D, T>>,
     epoch: EpochCell<D, T, C>,
+    /// Cached metric handles, set before the store is shared (see
+    /// [`ShardedSfcStore::attach_metrics`](crate::ShardedSfcStore::attach_metrics));
+    /// `None` costs one check per operation.
+    metrics: Option<Arc<ShardMetrics>>,
 }
 
 impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
@@ -197,7 +203,21 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 cap: cap.max(1),
             }),
             epoch: EpochCell::new(RunsEpoch::empty()),
+            metrics: None,
         }
+    }
+
+    /// Installs the shard's metric handles and primes the level gauges
+    /// from the current state. Needs `&mut self` — the router attaches
+    /// metrics before the store is shared across threads.
+    pub(crate) fn set_metrics(&mut self, metrics: Arc<ShardMetrics>) {
+        {
+            let mem = self.mem.lock().expect("shard mem poisoned");
+            metrics.memtable_len.set(mem.table.len() as i64);
+            metrics.live.set(mem.live as i64);
+        }
+        metrics.run_count.set(self.epoch.load().runs.len() as i64);
+        self.metrics = Some(metrics);
     }
 
     /// A shard adopting pre-sorted columns (strictly increasing keys, all
@@ -265,13 +285,25 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
     where
         T: Clone,
     {
-        let mem = self.mem.lock().expect("shard mem poisoned");
-        if let Some((_, slot, _)) = mem.table.get(&key) {
-            return slot.clone();
+        let m = self.metrics.as_deref();
+        let timer = m.and_then(|m| {
+            m.gets.inc();
+            m.sampler.sampled_start()
+        });
+        let hit = {
+            let mem = self.mem.lock().expect("shard mem poisoned");
+            if let Some((_, slot, _)) = mem.table.get(&key) {
+                slot.clone()
+            } else {
+                let epoch = self.epoch.load();
+                drop(mem);
+                epoch.get(key)
+            }
+        };
+        if let (Some(m), Some(start)) = (m, timer) {
+            m.get_ns.record_since(start);
         }
-        let epoch = self.epoch.load();
-        drop(mem);
-        epoch.get(key)
+        hit
     }
 }
 
@@ -279,8 +311,14 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
     /// Upserts the record at `key`; returns `true` if a live record was
     /// replaced. Flushes the memtable when it reaches capacity.
     pub(crate) fn insert(&self, curve: &C, key: CurveIndex, p: Point<D>, payload: T) -> bool {
+        let m = self.metrics.as_deref();
+        let timer = m.and_then(|m| {
+            m.inserts.inc();
+            m.sampler.sampled_start()
+        });
         let needs_flush;
         let was_live;
+        let (mem_len, live);
         {
             let mut mem = self.mem.lock().expect("shard mem poisoned");
             was_live = match mem.table.get(&key) {
@@ -294,9 +332,22 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 mem.live += 1;
             }
             needs_flush = mem.table.len() >= mem.cap;
+            mem_len = mem.table.len();
+            live = mem.live;
         }
         if needs_flush {
             self.flush(curve);
+        }
+        if let Some(m) = m {
+            if let Some(start) = timer {
+                m.insert_ns.record_since(start);
+            }
+            // A flush just refreshed the gauges from post-drain state;
+            // don't overwrite them with the pre-flush capture.
+            if !needs_flush {
+                m.memtable_len.set(mem_len as i64);
+                m.live.set(live as i64);
+            }
         }
         was_live
     }
@@ -309,8 +360,14 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
     /// sound here. Tombstones that turn out to shadow nothing are dropped
     /// when a flush builds the bottom run.
     pub(crate) fn delete(&self, curve: &C, key: CurveIndex, p: Point<D>) -> bool {
+        let m = self.metrics.as_deref();
+        let timer = m.and_then(|m| {
+            m.deletes.inc();
+            m.sampler.sampled_start()
+        });
         let needs_flush;
         let was_live;
+        let (mem_len, live);
         {
             let mut mem = self.mem.lock().expect("shard mem poisoned");
             was_live = match mem.table.get(&key) {
@@ -324,9 +381,20 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 mem.live -= 1;
             }
             needs_flush = mem.table.len() >= mem.cap;
+            mem_len = mem.table.len();
+            live = mem.live;
         }
         if needs_flush {
             self.flush(curve);
+        }
+        if let Some(m) = m {
+            if let Some(start) = timer {
+                m.delete_ns.record_since(start);
+            }
+            if !needs_flush {
+                m.memtable_len.set(mem_len as i64);
+                m.live.set(live as i64);
+            }
         }
         was_live
     }
@@ -340,6 +408,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
     }
 
     fn flush_locked(&self, curve: &C) {
+        let start = Instant::now();
         // Step 1: clone the memtable image under a brief mem lock.
         let (entries, high_water, live_at) = {
             let mem = self.mem.lock().expect("shard mem poisoned");
@@ -380,22 +449,36 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         }
         // `live_at` was captured together with the memtable image: after
         // the flush, everything that was visible then lives in `runs`.
+        let run_count = runs.len();
         self.epoch.publish(Arc::new(RunsEpoch {
             runs,
             live: live_at,
         }));
         // Step 3: drain exactly the flushed entries; concurrent writes
         // carry seq >= high_water and stay.
-        let mut mem = self.mem.lock().expect("shard mem poisoned");
-        mem.table.retain(|_, &mut (_, _, seq)| seq >= high_water);
+        let (mem_len, live) = {
+            let mut mem = self.mem.lock().expect("shard mem poisoned");
+            mem.table.retain(|_, &mut (_, _, seq)| seq >= high_water);
+            (mem.table.len(), mem.live)
+        };
+        if let Some(m) = self.metrics.as_deref() {
+            m.flushes.inc();
+            m.epoch_publishes.inc();
+            m.flush_ns.record_since(start);
+            m.memtable_len.set(mem_len as i64);
+            m.run_count.set(run_count as i64);
+            m.live.set(live as i64);
+        }
     }
 
     /// Major compaction: flush, then merge all runs into a single
     /// tombstone-free run and publish it as the next epoch.
     pub(crate) fn compact(&self, curve: &C) {
+        let start = Instant::now();
         let _maint = self.maint.lock().expect("shard maint poisoned");
         self.flush_locked(curve);
         let old = self.epoch.load();
+        let mut published = None;
         if old.runs.len() > 1 {
             let merged = merge_runs(curve, old.runs.clone(), true);
             let runs = if merged.is_empty() {
@@ -408,10 +491,19 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 old.live,
                 "after compaction every stored record is live"
             );
+            published = Some(runs.len());
             self.epoch.publish(Arc::new(RunsEpoch {
                 runs,
                 live: old.live,
             }));
+        }
+        if let Some(m) = self.metrics.as_deref() {
+            m.compactions.inc();
+            m.compact_ns.record_since(start);
+            if let Some(run_count) = published {
+                m.epoch_publishes.inc();
+                m.run_count.set(run_count as i64);
+            }
         }
     }
 
@@ -461,5 +553,11 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
             ))]
         };
         self.epoch.publish(Arc::new(RunsEpoch { runs, live }));
+        if let Some(m) = self.metrics.as_deref() {
+            m.epoch_publishes.inc();
+            m.memtable_len.set(0);
+            m.live.set(live as i64);
+            m.run_count.set(i64::from(live > 0));
+        }
     }
 }

@@ -146,6 +146,19 @@
 //! The vendored rayon stand-in spawns real threads too, so
 //! `par_iter()`-style fan-outs over snapshot shards distribute as well.
 //!
+//! ## Observability
+//!
+//! Both store flavours can report into a shared
+//! [`MetricsRegistry`](sfc_obs::MetricsRegistry): attach an
+//! [`EngineMetrics`] (see the [`obs`] module) and every
+//! insert/delete/get/flush/compact/rebalance feeds per-shard counters,
+//! sampled latency histograms, and level gauges, while every query folds
+//! its [`QueryStats`] into engine-wide counters and its wall time into a
+//! per-operation histogram. Queries crossing a configurable threshold
+//! leave a [`QueryTrace`] — the chosen plan's per-level strategies plus
+//! the work counters — in a bounded slow-query ring. Attachment is
+//! opt-in; an unattached store pays one `Option` check per operation.
+//!
 //! [`QueryStats`]: sfc_index::QueryStats
 //! [`SfcIndex`]: sfc_index::SfcIndex
 //! [`SfcIndex::from_sorted`]: sfc_index::SfcIndex::from_sorted
@@ -156,11 +169,13 @@
 
 mod epoch;
 mod merge;
+pub mod obs;
 mod shard;
 mod snapshot;
 mod store;
 mod view;
 
+pub use obs::{EngineMetrics, QueryTrace};
 pub use shard::{ShardedSfcStore, ShardedSnapshot};
 pub use snapshot::StoreSnapshot;
 pub use store::{SfcStore, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};

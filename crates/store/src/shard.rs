@@ -44,18 +44,21 @@
 
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::{BoxRegion, QueryStats};
+use sfc_obs::MetricsRegistry;
 use sfc_partition::{ConcurrentTraffic, Partition, TrafficWeights};
 
 use crate::epoch::{Shard, ShardCapture};
+use crate::obs::{EngineMetrics, QueryOp, QueryTrace};
 use crate::snapshot::StoreSnapshot;
 use crate::store::{sorted_unique_columns, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
 use crate::view::{
     distance_key_order, interval_hull, offer, radius_from_heap, rank_by_distance, should_decompose,
-    with_knn_heap, LevelsView,
+    with_knn_heap, LevelsView, QueryPlan,
 };
 
 /// An inclusive curve-index interval.
@@ -443,6 +446,10 @@ pub struct ShardedSfcStore<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
     /// Observed per-cell write weight since the last rebalance, striped
     /// one-to-one with the shards.
     traffic: ConcurrentTraffic,
+    /// Engine-level metric handles, when observability is attached
+    /// ([`ShardedSfcStore::attach_metrics`]); the per-shard bundles live
+    /// inside the shards themselves.
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> fmt::Debug for ShardedSfcStore<D, T, C> {
@@ -502,6 +509,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
             partition: RwLock::new(partition),
             shards,
             traffic: ConcurrentTraffic::new(n, parts),
+            metrics: None,
         }
     }
 
@@ -533,7 +541,46 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
             partition: RwLock::new(partition),
             shards,
             traffic: ConcurrentTraffic::new(n, parts),
+            metrics: None,
         }
+    }
+
+    /// Attaches observability: every shard gets its bundle from
+    /// `metrics` (prefixes `shard0`, `shard1`, …) and the router feeds
+    /// the engine-level query metrics — see the [`obs`](crate::obs)
+    /// module docs. Takes `&mut self` because attachment happens before
+    /// the store is shared across threads; the level gauges are primed
+    /// from each shard's current state.
+    ///
+    /// # Panics
+    /// Panics unless `metrics` was built for this shard count
+    /// ([`EngineMetrics::for_shards`] with `parts()`).
+    pub fn attach_metrics(&mut self, metrics: Arc<EngineMetrics>) {
+        assert_eq!(
+            metrics.shard_count(),
+            self.shards.len(),
+            "EngineMetrics must be built for this store's shard count"
+        );
+        for (j, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_metrics(metrics.shard(j).clone());
+        }
+        self.metrics = Some(metrics);
+    }
+
+    /// Convenience [`attach_metrics`](Self::attach_metrics): builds a
+    /// fresh registry and a matching [`EngineMetrics`], attaches it, and
+    /// returns it (reach the registry via
+    /// [`EngineMetrics::registry`]).
+    pub fn enable_metrics(&mut self) -> Arc<EngineMetrics> {
+        let metrics =
+            EngineMetrics::for_shards(Arc::new(MetricsRegistry::new()), self.shards.len());
+        self.attach_metrics(metrics.clone());
+        metrics
+    }
+
+    /// The attached metrics bundle, if any.
+    pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The curve backing this store.
@@ -655,10 +702,41 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
     /// each shard receives its clipped interval list and plans its own
     /// levels — see [`SfcStore::query_box`](crate::SfcStore::query_box).
     pub fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let start = self.metrics.as_deref().map(|_| Instant::now());
         let intervals =
             should_decompose(&self.curve, b.volume()).then(|| b.curve_intervals(&self.curve));
         let span = self.box_span(b, intervals.as_deref());
-        with_shards_view!(self, span, |sv| sv.query_box_with(b, intervals))
+        let (hits, stats) = with_shards_view!(self, span, |sv| sv.query_box_with(b, intervals));
+        if let (Some(m), Some(start)) = (self.metrics.as_deref(), start) {
+            m.note_query(QueryOp::Box, start, &stats, |wall| {
+                // The executed per-shard plans lived on the fan-out's
+                // stack; re-derive them advisorily for the trace (only
+                // paid for queries slow enough to be admitted).
+                let plans = self.plan_box_query(b);
+                QueryTrace::from_shard_plans("query_box", b.volume(), &plans, stats, wall)
+            });
+        }
+        (hits, stats)
+    }
+
+    /// The per-level plan each shard would choose for this box right now
+    /// — the sharded analogue of
+    /// [`SfcStore::plan_box_query`](crate::SfcStore::plan_box_query), one
+    /// [`QueryPlan`] per shard in shard order. For observability and
+    /// tuning; executing the query later plans afresh.
+    pub fn plan_box_query(&self, b: &BoxRegion<D>) -> Vec<QueryPlan> {
+        let intervals =
+            should_decompose(&self.curve, b.volume()).then(|| b.curve_intervals(&self.curve));
+        let span = self.box_span(b, intervals.as_deref());
+        let (partition, caps) = self.capture_all(span);
+        caps.iter()
+            .enumerate()
+            .map(|(j, cap)| {
+                let range = partition.range(j);
+                let clipped = intervals.as_ref().map(|iv| clip_intervals(iv, &range));
+                cap.view(&self.curve).plan_box_with(b, clipped)
+            })
+            .collect()
     }
 
     /// Box query via exact interval decomposition: the intervals are
@@ -666,15 +744,34 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
     /// whose range intersects them are consulted. Results concatenate in
     /// shard order (= curve order); per-shard work is summed.
     pub fn query_box_intervals(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
-        self.query_intervals(&b.curve_intervals(&self.curve))
+        self.query_intervals_named(&b.curve_intervals(&self.curve), "query_box_intervals")
     }
 
     /// Queries the shards for keys inside the given inclusive curve-index
     /// intervals (sorted ascending), fanning out only to intersecting
     /// shards.
     pub fn query_intervals(&self, intervals: &[Interval]) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        self.query_intervals_named(intervals, "query_intervals")
+    }
+
+    fn query_intervals_named(
+        &self,
+        intervals: &[Interval],
+        op: &'static str,
+    ) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let start = self.metrics.as_deref().map(|_| Instant::now());
         let span = interval_hull(intervals).unwrap_or((1, 0));
-        with_shards_view!(self, Some(span), |sv| sv.query_intervals(intervals))
+        let (hits, stats) = with_shards_view!(self, Some(span), |sv| sv.query_intervals(intervals));
+        if let (Some(m), Some(start)) = (self.metrics.as_deref(), start) {
+            let shards = self.shards.len();
+            m.note_query(QueryOp::Intervals, start, &stats, |wall| {
+                let mut t = QueryTrace::bare(op, stats, wall);
+                t.intervals = Some(intervals.len());
+                t.shards = Some(shards);
+                t
+            });
+        }
+        (hits, stats)
     }
 
     /// Exact k-nearest-neighbor query over all shards: live candidates
@@ -687,7 +784,17 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
         if self.is_empty() {
             return (Vec::new(), QueryStats::default());
         }
-        with_shards_view!(self, None, |sv| sv.knn(q, k, window))
+        let start = self.metrics.as_deref().map(|_| Instant::now());
+        let (hits, stats) = with_shards_view!(self, None, |sv| sv.knn(q, k, window));
+        if let (Some(m), Some(start)) = (self.metrics.as_deref(), start) {
+            let shards = self.shards.len();
+            m.note_query(QueryOp::Knn, start, &stats, |wall| {
+                let mut t = QueryTrace::bare("knn", stats, wall);
+                t.shards = Some(shards);
+                t
+            });
+        }
+        (hits, stats)
     }
 
     /// Reference k-nearest-neighbor by linear scan of the merged view
@@ -794,6 +901,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
     /// redistributed as pre-sorted bottom runs — no re-sorting or
     /// re-encoding.
     pub fn rebalance(&self, rel_tol: f64) -> bool {
+        let start = Instant::now();
         let mut part = self.partition.write().expect("partition poisoned");
         let traffic = self.traffic.drain();
         let new = traffic.partition_min_bottleneck(self.parts(), rel_tol);
@@ -849,6 +957,9 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
         }
         debug_assert!(records.next().is_none(), "every record migrated");
         *part = new;
+        if let Some(m) = self.metrics.as_deref() {
+            m.note_rebalance(start);
+        }
         true
     }
 }
@@ -863,17 +974,38 @@ where
 {
     /// Parallel [`query_box`](Self::query_box).
     pub fn query_box_par(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let start = self.metrics.as_deref().map(|_| Instant::now());
         let intervals =
             should_decompose(&self.curve, b.volume()).then(|| b.curve_intervals(&self.curve));
         let span = self.box_span(b, intervals.as_deref());
-        with_shards_view!(self, span, |sv| sv.query_box_with_par(b, intervals))
+        let (hits, stats) = with_shards_view!(self, span, |sv| sv.query_box_with_par(b, intervals));
+        if let (Some(m), Some(start)) = (self.metrics.as_deref(), start) {
+            m.note_query(QueryOp::Box, start, &stats, |wall| {
+                let plans = self.plan_box_query(b);
+                QueryTrace::from_shard_plans("query_box_par", b.volume(), &plans, stats, wall)
+            });
+        }
+        (hits, stats)
     }
 
     /// Parallel [`query_box_intervals`](Self::query_box_intervals).
     pub fn query_box_intervals_par(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let start = self.metrics.as_deref().map(|_| Instant::now());
         let intervals = b.curve_intervals(&self.curve);
         let span = interval_hull(&intervals).unwrap_or((1, 0));
-        with_shards_view!(self, Some(span), |sv| sv.query_intervals_par(&intervals))
+        let (hits, stats) =
+            with_shards_view!(self, Some(span), |sv| sv.query_intervals_par(&intervals));
+        if let (Some(m), Some(start)) = (self.metrics.as_deref(), start) {
+            let shards = self.shards.len();
+            m.note_query(QueryOp::Intervals, start, &stats, |wall| {
+                let mut t = QueryTrace::bare("query_box_intervals_par", stats, wall);
+                t.volume = Some(b.volume());
+                t.intervals = Some(intervals.len());
+                t.shards = Some(shards);
+                t
+            });
+        }
+        (hits, stats)
     }
 
     /// Parallel [`knn`](Self::knn): candidate collection and the
@@ -888,7 +1020,17 @@ where
         if self.is_empty() {
             return (Vec::new(), QueryStats::default());
         }
-        with_shards_view!(self, None, |sv| sv.knn_par(q, k, window))
+        let start = self.metrics.as_deref().map(|_| Instant::now());
+        let (hits, stats) = with_shards_view!(self, None, |sv| sv.knn_par(q, k, window));
+        if let (Some(m), Some(start)) = (self.metrics.as_deref(), start) {
+            let shards = self.shards.len();
+            m.note_query(QueryOp::Knn, start, &stats, |wall| {
+                let mut t = QueryTrace::bare("knn_par", stats, wall);
+                t.shards = Some(shards);
+                t
+            });
+        }
+        (hits, stats)
     }
 }
 
@@ -897,16 +1039,38 @@ impl<const D: usize, T: Clone> ShardedSfcStore<D, T, ZCurve<D>> {
     /// the shards whose range intersects the box's Morton key range
     /// `[Z(lo), Z(hi)]`. Z curve only.
     pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let start = self.metrics.as_deref().map(|_| Instant::now());
         let span = (self.curve.encode(b.lo()), self.curve.encode(b.hi()));
-        with_shards_view!(self, Some(span), |sv| sv.query_box_bigmin(b))
+        let (hits, stats) = with_shards_view!(self, Some(span), |sv| sv.query_box_bigmin(b));
+        if let (Some(m), Some(start)) = (self.metrics.as_deref(), start) {
+            let shards = self.shards.len();
+            m.note_query(QueryOp::Bigmin, start, &stats, |wall| {
+                let mut t = QueryTrace::bare("query_box_bigmin", stats, wall);
+                t.volume = Some(b.volume());
+                t.shards = Some(shards);
+                t
+            });
+        }
+        (hits, stats)
     }
 }
 
 impl<const D: usize, T: Clone + Send + Sync> ShardedSfcStore<D, T, ZCurve<D>> {
     /// Parallel [`query_box_bigmin`](Self::query_box_bigmin).
     pub fn query_box_bigmin_par(&self, b: &BoxRegion<D>) -> (Vec<StoreEntry<D, T>>, QueryStats) {
+        let start = self.metrics.as_deref().map(|_| Instant::now());
         let span = (self.curve.encode(b.lo()), self.curve.encode(b.hi()));
-        with_shards_view!(self, Some(span), |sv| sv.query_box_bigmin_par(b))
+        let (hits, stats) = with_shards_view!(self, Some(span), |sv| sv.query_box_bigmin_par(b));
+        if let (Some(m), Some(start)) = (self.metrics.as_deref(), start) {
+            let shards = self.shards.len();
+            m.note_query(QueryOp::Bigmin, start, &stats, |wall| {
+                let mut t = QueryTrace::bare("query_box_bigmin_par", stats, wall);
+                t.volume = Some(b.volume());
+                t.shards = Some(shards);
+                t
+            });
+        }
+        (hits, stats)
     }
 }
 
@@ -1660,5 +1824,97 @@ mod tests {
         let partition = Partition::uniform(32, 2); // grid has 64 cells
         let _: ShardedSfcStore<2, u32, _> =
             ShardedSfcStore::with_partition(ZCurve::over(grid), partition, 16);
+    }
+
+    #[test]
+    fn metrics_count_sharded_operations() {
+        let grid = Grid::<2>::new(5).unwrap();
+        let mut store: ShardedSfcStore<2, u32, _> =
+            ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 2, 8);
+        let metrics = store.enable_metrics();
+        metrics.set_slow_query_threshold(std::time::Duration::ZERO);
+        let mut rng = rng(11);
+        for i in 0..200u32 {
+            store.insert(grid.random_cell(&mut rng), i);
+        }
+        store.delete(Point::new([0, 0]));
+        store.get(Point::new([1, 1]));
+        store.compact();
+        let b = BoxRegion::new(Point::new([0, 0]), Point::new([15, 15]));
+        let (hits, stats) = store.query_box(&b);
+        let snap = metrics.registry().snapshot();
+        let inserts: u64 = (0..2)
+            .map(|j| snap.counter(&format!("shard{j}.insert.count")).unwrap())
+            .sum();
+        assert_eq!(inserts, 200, "per-shard insert counts sum to the driver's");
+        assert_eq!(
+            (0..2)
+                .map(|j| snap.counter(&format!("shard{j}.delete.count")).unwrap())
+                .sum::<u64>(),
+            1
+        );
+        assert!(
+            snap.counter("shard0.epoch_publish.count").unwrap()
+                + snap.counter("shard1.epoch_publish.count").unwrap()
+                > 0,
+            "flushes must publish epochs"
+        );
+        assert_eq!(snap.counter("engine.query.count"), Some(1));
+        assert_eq!(
+            snap.counter("engine.query.reported"),
+            Some(hits.len() as u64)
+        );
+        assert_eq!(snap.counter("engine.query.scanned"), Some(stats.scanned));
+        assert_eq!(
+            snap.histogram("engine.query_box.ns").unwrap().count(),
+            1,
+            "query wall time lands in the box histogram"
+        );
+        // Zero threshold: the query must be traced, with per-shard plans.
+        let slow = metrics.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].detail.op, "query_box");
+        assert_eq!(slow[0].detail.shards, Some(2));
+        assert_eq!(slow[0].detail.stats, stats);
+        // Gauges reflect the compacted state: one run per non-empty shard,
+        // empty memtables, live records summing to the store's len.
+        let live: i64 = (0..2)
+            .map(|j| snap.gauge(&format!("shard{j}.live")).unwrap())
+            .sum();
+        assert_eq!(live as usize, store.len());
+        for j in 0..2 {
+            assert_eq!(snap.gauge(&format!("shard{j}.memtable.len")), Some(0));
+        }
+    }
+
+    #[test]
+    fn metrics_survive_rebalance_and_count_it() {
+        let grid = Grid::<2>::new(5).unwrap();
+        let mut store: ShardedSfcStore<2, u32, _> =
+            ShardedSfcStore::with_memtable_capacity(ZCurve::over(grid), 4, 8);
+        let metrics = store.enable_metrics();
+        let mut rng = rng(12);
+        // Skewed writes into one corner to force a boundary move.
+        for i in 0..300u32 {
+            let p = grid.random_cell(&mut rng);
+            let p = Point::new([p.coord(0) / 4, p.coord(1) / 4]);
+            store.insert(p, i);
+        }
+        let moved = store.rebalance(0.01);
+        let snap = metrics.registry().snapshot();
+        assert_eq!(
+            snap.counter("engine.rebalance.count"),
+            Some(u64::from(moved))
+        );
+        if moved {
+            assert_eq!(snap.histogram("engine.rebalance.ns").unwrap().count(), 1);
+        }
+        // The store keeps working and counting after migration.
+        store.insert(Point::new([31, 31]), 1);
+        let snap = metrics.registry().snapshot();
+        let inserts: u64 = (0..4)
+            .map(|j| snap.counter(&format!("shard{j}.insert.count")).unwrap())
+            .sum();
+        assert_eq!(inserts, 301);
     }
 }

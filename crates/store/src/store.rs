@@ -3,11 +3,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::{sort_columns, BoxRegion, QueryStats, SfcIndex};
 
 use crate::merge::merge_runs;
+use crate::obs::{EngineMetrics, QueryOp, QueryTrace};
 use crate::snapshot::StoreSnapshot;
 use crate::view::{LevelsView, Memtable, QueryPlan, Run, SnapshotIter};
 
@@ -76,6 +78,9 @@ pub struct SfcStore<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
     memtable_cap: usize,
     /// Exact number of live (visible, non-tombstoned) records.
     live: usize,
+    /// Cached metric handles, when observability is attached
+    /// ([`SfcStore::attach_metrics`]); `None` costs one check per op.
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> fmt::Debug for SfcStore<D, T, C> {
@@ -130,6 +135,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
             runs: Vec::new(),
             memtable_cap: capacity.max(1),
             live: 0,
+            metrics: None,
         }
     }
 
@@ -177,7 +183,31 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
             runs,
             memtable_cap: DEFAULT_MEMTABLE_CAPACITY,
             live,
+            metrics: None,
         }
+    }
+
+    /// Attaches observability: subsequent operations feed counters,
+    /// sampled latency histograms, and gauges into `metrics`'s registry
+    /// (see the [`obs`](crate::obs) module docs). Expects a single-shard
+    /// bundle from [`EngineMetrics::for_store`]; the level gauges are
+    /// primed from the store's current state.
+    pub fn attach_metrics(&mut self, metrics: Arc<EngineMetrics>) {
+        assert_eq!(
+            metrics.shard_count(),
+            1,
+            "SfcStore takes a single-shard bundle (EngineMetrics::for_store)"
+        );
+        let s = metrics.shard(0);
+        s.live.set(self.live as i64);
+        s.run_count.set(self.runs.len() as i64);
+        s.memtable_len.set(self.memtable.len() as i64);
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached metrics bundle, if any.
+    pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The borrowed multi-level view all queries run against.
@@ -235,12 +265,23 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
     /// The live payload at cell `p`, if any (newest version wins; one
     /// memtable probe plus at most one binary search per run).
     pub fn get(&self, p: Point<D>) -> Option<&T> {
-        if !self.curve.grid().contains(&p) {
-            return None;
+        let m = self.metrics.as_deref();
+        let timer = m.and_then(|m| {
+            let s = m.shard(0);
+            s.gets.inc();
+            s.sampler.sampled_start()
+        });
+        let hit = if self.curve.grid().contains(&p) {
+            self.view()
+                .version(self.curve.index_of(p))
+                .and_then(|v| v.map(|(_, t)| t))
+        } else {
+            None
+        };
+        if let (Some(m), Some(start)) = (m, timer) {
+            m.shard(0).get_ns.record_since(start);
         }
-        self.view()
-            .version(self.curve.index_of(p))
-            .and_then(|v| v.map(|(_, t)| t))
+        hit
     }
 
     /// Box query through the **adaptive planner**: per level, the planner
@@ -252,7 +293,17 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
     /// [`view` module docs](crate::QueryPlan) for the heuristics and
     /// [`plan_box_query`](Self::plan_box_query) to inspect the choices.
     pub fn query_box(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        self.view().query_box(b)
+        let Some(m) = self.metrics.as_deref() else {
+            return self.view().query_box(b);
+        };
+        let start = Instant::now();
+        let view = self.view();
+        let plan = view.plan_box(b);
+        let (hits, stats) = view.execute_plan(b, &plan);
+        m.note_query(QueryOp::Box, start, &stats, |wall| {
+            QueryTrace::from_plan("query_box", &plan, stats, wall)
+        });
+        (hits, stats)
     }
 
     /// The per-level plan [`query_box`](Self::query_box) would execute for
@@ -271,7 +322,17 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
         &self,
         b: &BoxRegion<D>,
     ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        self.view().query_box_intervals(b)
+        let Some(m) = self.metrics.as_deref() else {
+            return self.view().query_box_intervals(b);
+        };
+        let start = Instant::now();
+        let (hits, stats) = self.view().query_box_intervals(b);
+        m.note_query(QueryOp::Intervals, start, &stats, |wall| {
+            let mut t = QueryTrace::bare("query_box_intervals", stats, wall);
+            t.volume = Some(b.volume());
+            t
+        });
+        (hits, stats)
     }
 
     /// Pre-zone-map interval query (whole-column seeks per interval, no
@@ -313,7 +374,17 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
         &self,
         intervals: &[(CurveIndex, CurveIndex)],
     ) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        self.view().query_intervals(intervals)
+        let Some(m) = self.metrics.as_deref() else {
+            return self.view().query_intervals(intervals);
+        };
+        let start = Instant::now();
+        let (hits, stats) = self.view().query_intervals(intervals);
+        m.note_query(QueryOp::Intervals, start, &stats, |wall| {
+            let mut t = QueryTrace::bare("query_intervals", stats, wall);
+            t.intervals = Some(intervals.len());
+            t
+        });
+        (hits, stats)
     }
 
     /// Exact k-nearest-neighbor query (Euclidean) over the merged view,
@@ -336,7 +407,15 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
         if self.is_empty() {
             return (Vec::new(), QueryStats::default());
         }
-        self.view().knn(q, k, window)
+        let Some(m) = self.metrics.as_deref() else {
+            return self.view().knn(q, k, window);
+        };
+        let start = Instant::now();
+        let (hits, stats) = self.view().knn(q, k, window);
+        m.note_query(QueryOp::Knn, start, &stats, |wall| {
+            QueryTrace::bare("knn", stats, wall)
+        });
+        (hits, stats)
     }
 
     /// Reference k-nearest-neighbor by linear scan of the merged view
@@ -377,6 +456,11 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
     /// was replaced.
     pub fn insert(&mut self, p: Point<D>, payload: T) -> bool {
         assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
+        let timer = self.metrics.as_deref().and_then(|m| {
+            let s = m.shard(0);
+            s.inserts.inc();
+            s.sampler.sampled_start()
+        });
         let key = self.curve.index_of(p);
         let was_live = self.view().is_live(key);
         self.memtable.insert(key, (p, Some(payload)));
@@ -384,6 +468,14 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
             self.live += 1;
         }
         self.maybe_flush();
+        if let Some(m) = self.metrics.as_deref() {
+            let s = m.shard(0);
+            if let Some(start) = timer {
+                s.insert_ns.record_since(start);
+            }
+            s.memtable_len.set(self.memtable.len() as i64);
+            s.live.set(self.live as i64);
+        }
         was_live
     }
 
@@ -392,6 +484,11 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
     /// record was removed.
     pub fn delete(&mut self, p: Point<D>) -> bool {
         assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
+        let timer = self.metrics.as_deref().and_then(|m| {
+            let s = m.shard(0);
+            s.deletes.inc();
+            s.sampler.sampled_start()
+        });
         let key = self.curve.index_of(p);
         let was_live = self.view().is_live(key);
         if self.runs.is_empty() {
@@ -404,6 +501,14 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
             self.live -= 1;
         }
         self.maybe_flush();
+        if let Some(m) = self.metrics.as_deref() {
+            let s = m.shard(0);
+            if let Some(start) = timer {
+                s.delete_ns.record_since(start);
+            }
+            s.memtable_len.set(self.memtable.len() as i64);
+            s.live.set(self.live as i64);
+        }
         was_live
     }
 
@@ -421,6 +526,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
         if self.memtable.is_empty() {
             return;
         }
+        let start = Instant::now();
         let drop_tombstones = self.runs.is_empty();
         let mut keys = Vec::with_capacity(self.memtable.len());
         let mut points = Vec::with_capacity(self.memtable.len());
@@ -442,6 +548,13 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
             )));
             self.maybe_merge();
         }
+        if let Some(m) = self.metrics.as_deref() {
+            let s = m.shard(0);
+            s.flushes.inc();
+            s.flush_ns.record_since(start);
+            s.memtable_len.set(0);
+            s.run_count.set(self.runs.len() as i64);
+        }
     }
 
     /// Size-tiered compaction: while an older run is less than twice the
@@ -456,6 +569,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
     /// a single tombstone-free run. Afterwards queries touch exactly one
     /// level.
     pub fn compact(&mut self) {
+        let start = Instant::now();
         self.flush();
         if self.runs.len() > 1 {
             let runs = std::mem::take(&mut self.runs);
@@ -469,6 +583,12 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
             self.live,
             "after compaction every stored record is live"
         );
+        if let Some(m) = self.metrics.as_deref() {
+            let s = m.shard(0);
+            s.compactions.inc();
+            s.compact_ns.record_since(start);
+            s.run_count.set(self.runs.len() as i64);
+        }
     }
 
     /// Freezes the store's current contents into an owned, immutable
@@ -498,7 +618,17 @@ impl<const D: usize, T> SfcStore<D, T, ZCurve<D>> {
     /// [`bigmin`](sfc_index::bigmin()) returning `None`, never by wrapping
     /// past the last curve index.
     pub fn query_box_bigmin(&self, b: &BoxRegion<D>) -> (Vec<StoreEntryRef<'_, D, T>>, QueryStats) {
-        self.view().query_box_bigmin(b)
+        let Some(m) = self.metrics.as_deref() else {
+            return self.view().query_box_bigmin(b);
+        };
+        let start = Instant::now();
+        let (hits, stats) = self.view().query_box_bigmin(b);
+        m.note_query(QueryOp::Bigmin, start, &stats, |wall| {
+            let mut t = QueryTrace::bare("query_box_bigmin", stats, wall);
+            t.volume = Some(b.volume());
+            t
+        });
+        (hits, stats)
     }
 
     /// Pre-zone-map BIGMIN query (no run pruning, whole-tail jump

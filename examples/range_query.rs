@@ -78,7 +78,7 @@ fn main() {
     zt.push_row(vec![
         fmt_f64(scanned as f64 / boxes.len() as f64, 1),
         fmt_f64(hits as f64 / boxes.len() as f64, 1),
-        fmt_f64(scanned as f64 / hits as f64, 3),
+        fmt_f64(QueryStats::overscan_ratio(scanned, hits), 3),
         fmt_f64(seeks as f64 / boxes.len() as f64, 1),
     ]);
     println!("{}", zt.render_text());

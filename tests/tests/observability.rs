@@ -1,0 +1,296 @@
+//! Observability-layer integration tests.
+//!
+//! Three angles on the `sfc-obs` + store instrumentation stack:
+//!
+//! * **Quantile accuracy** — proptests replay adversarial latency
+//!   distributions (all-equal, bimodal, power-law) through the
+//!   log-bucketed histogram and compare every reported quantile against
+//!   the exact nearest-rank order statistic of the sorted samples. The
+//!   histogram may never under-report, and may overshoot by at most one
+//!   sub-bucket width (`2^-SUB_BITS` relative).
+//! * **Wait-free recording** — writer threads hammer one shared
+//!   histogram while a reader snapshots mid-flight; every snapshot must
+//!   be internally consistent and the final one must account for every
+//!   sample.
+//! * **Engine accounting under concurrency** — a multi-writer run
+//!   against an instrumented `ShardedSfcStore` whose per-shard op
+//!   counters must sum to the driver's ground-truth totals, with the
+//!   registry's JSON export validated structurally and numerically.
+
+use proptest::prelude::*;
+use rand::Rng;
+use sfc_core::{Grid, Point, ZCurve};
+use sfc_index::BoxRegion;
+use sfc_integration::test_rng;
+use sfc_obs::{Histogram, SUB_BITS};
+use sfc_store::ShardedSfcStore;
+
+/// Exact nearest-rank quantile of a sorted sample set — the reference
+/// the histogram is judged against (same rank convention as
+/// `HistogramSnapshot::quantile`).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Records `values` and checks min/max/count exactly and every standard
+/// quantile against the never-under-report / bounded-overshoot contract.
+fn assert_quantiles_track_reference(values: &[u64]) {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let s = h.snapshot();
+    assert_eq!(s.count(), values.len() as u64);
+    assert_eq!(s.bucket_total(), s.count());
+    assert_eq!(s.min(), sorted[0]);
+    assert_eq!(s.max(), *sorted.last().unwrap());
+    for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        let exact = exact_quantile(&sorted, q);
+        let got = s.quantile(q);
+        assert!(got >= exact, "q={q}: reported {got} < exact {exact}");
+        assert!(
+            got <= exact + (exact >> SUB_BITS) + 1,
+            "q={q}: reported {got} overshoots exact {exact} by more than a sub-bucket"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Degenerate distribution: every sample identical. Every quantile
+    /// must collapse to that one value (the bucket-high estimate is
+    /// clamped to the exact recorded max).
+    #[test]
+    fn all_equal_samples_have_exact_quantiles(value in 0u64..10_000_000, len in 1usize..400) {
+        assert_quantiles_track_reference(&vec![value; len]);
+    }
+
+    /// Bimodal latency — a fast mode and a slow mode orders of magnitude
+    /// apart, the classic shape that breaks mean-based reporting.
+    #[test]
+    fn bimodal_samples_keep_quantile_bounds(seed in any::<u64>(), len in 2usize..400) {
+        let mut rng = test_rng(seed);
+        let fast = rng.gen_range(1u64..2_000);
+        let slow = rng.gen_range(1_000_000u64..50_000_000);
+        let values: Vec<u64> = (0..len)
+            .map(|_| {
+                if rng.gen_range(0..10u32) < 9 {
+                    fast + rng.gen_range(0..100u64)
+                } else {
+                    slow + rng.gen_range(0..10_000u64)
+                }
+            })
+            .collect();
+        assert_quantiles_track_reference(&values);
+    }
+
+    /// Power-law tail: most samples tiny, a few enormous — exercises
+    /// buckets across many power-of-two blocks in one histogram.
+    #[test]
+    fn power_law_samples_keep_quantile_bounds(seed in any::<u64>(), len in 1usize..400) {
+        let mut rng = test_rng(seed);
+        let values: Vec<u64> = (0..len)
+            .map(|_| {
+                let magnitude = rng.gen_range(0u32..40);
+                (1u64 << magnitude) + rng.gen_range(0..=(1u64 << magnitude))
+            })
+            .collect();
+        assert_quantiles_track_reference(&values);
+    }
+}
+
+/// Writer threads record disjoint known sample sets into one shared
+/// histogram while a reader snapshots continuously. Mid-flight snapshots
+/// must be internally consistent ("torn but monotone"); the final
+/// snapshot must account for every sample with exact min/max and
+/// monotone quantiles.
+#[test]
+fn concurrent_recorders_lose_no_samples() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 20_000;
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    // Spread across several power-of-two blocks, with a
+                    // per-writer offset so every thread touches the same
+                    // buckets as its peers (maximum contention).
+                    h.record((i % 1_021) * 97 + w);
+                }
+            });
+        }
+        let h = h.clone();
+        scope.spawn(move || {
+            let mut last_count = 0u64;
+            for _ in 0..200 {
+                let s = h.snapshot();
+                assert_eq!(
+                    s.bucket_total(),
+                    s.count(),
+                    "snapshot buckets must sum to its count"
+                );
+                assert!(
+                    s.count() >= last_count,
+                    "sample count went backwards between snapshots"
+                );
+                last_count = s.count();
+                if s.count() > 0 {
+                    assert!(s.min() <= s.max());
+                    let (p50, p90, p99, p999) = (s.p50(), s.p90(), s.p99(), s.p999());
+                    assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+                    assert!(p999 <= s.max() + (s.max() >> SUB_BITS) + 1);
+                }
+            }
+        });
+    });
+    let s = h.snapshot();
+    assert_eq!(s.count(), WRITERS * PER_WRITER, "samples were lost");
+    assert_eq!(s.bucket_total(), s.count());
+    assert_eq!(s.min(), 0, "writer 0's first sample is 0");
+    assert_eq!(s.max(), 1_020 * 97 + WRITERS - 1);
+}
+
+/// Minimal structural JSON validator: objects, strings, and numbers —
+/// the full grammar the registry export uses. Returns the rest of the
+/// input after one value, or panics with a position.
+fn skip_json_value(s: &[u8], mut i: usize) -> usize {
+    let ws = |s: &[u8], mut i: usize| {
+        while i < s.len() && (s[i] as char).is_whitespace() {
+            i += 1;
+        }
+        i
+    };
+    i = ws(s, i);
+    assert!(i < s.len(), "truncated JSON at byte {i}");
+    match s[i] {
+        b'{' => {
+            i += 1;
+            i = ws(s, i);
+            if s[i] == b'}' {
+                return i + 1;
+            }
+            loop {
+                i = ws(s, i);
+                assert_eq!(s[i], b'"', "object key must be a string at byte {i}");
+                i = skip_json_value(s, i);
+                i = ws(s, i);
+                assert_eq!(s[i], b':', "missing ':' at byte {i}");
+                i = skip_json_value(s, i + 1);
+                i = ws(s, i);
+                match s[i] {
+                    b',' => i += 1,
+                    b'}' => return i + 1,
+                    c => panic!("unexpected {:?} in object at byte {i}", c as char),
+                }
+            }
+        }
+        b'"' => {
+            i += 1;
+            while s[i] != b'"' {
+                i += if s[i] == b'\\' { 2 } else { 1 };
+            }
+            i + 1
+        }
+        b'-' | b'0'..=b'9' => {
+            i += 1;
+            while i < s.len() && matches!(s[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                i += 1;
+            }
+            i
+        }
+        c => panic!("unexpected {:?} at byte {i}", c as char),
+    }
+}
+
+/// Pulls a named integer field out of the flat registry JSON.
+fn json_counter(json: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\": ");
+    let at = json.find(&key).unwrap_or_else(|| panic!("{name} missing"));
+    json[at + key.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("counter field must be an integer")
+}
+
+/// Multi-writer stress against an instrumented sharded store: the
+/// per-shard op counters in the registry must sum to the driver's
+/// ground-truth totals, and the JSON export must be structurally valid
+/// with the same numbers in it.
+#[test]
+fn shard_counters_sum_to_driver_totals_under_concurrency() {
+    const WRITERS: usize = 4;
+    const INSERTS_PER_WRITER: u64 = 3_000;
+    const DELETES_PER_WRITER: u64 = 500;
+    const GETS_PER_WRITER: u64 = 800;
+    const QUERIES: u64 = 32;
+
+    let grid = Grid::<2>::new(6).unwrap(); // 64×64
+    let z = ZCurve::over(grid);
+    let mut store = ShardedSfcStore::with_memtable_capacity(z, WRITERS, 64);
+    let metrics = store.enable_metrics();
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS as u64 {
+            let store = &store;
+            scope.spawn(move || {
+                let mut rng = test_rng(0xB0B + w);
+                for i in 0..INSERTS_PER_WRITER {
+                    store.insert(grid.random_cell(&mut rng), w * 1_000_000 + i);
+                }
+                for _ in 0..DELETES_PER_WRITER {
+                    store.delete(grid.random_cell(&mut rng));
+                }
+                for _ in 0..GETS_PER_WRITER {
+                    std::hint::black_box(store.get(grid.random_cell(&mut rng)));
+                }
+            });
+        }
+        let store = &store;
+        scope.spawn(move || {
+            let b = BoxRegion::new(Point::new([8, 8]), Point::new([40, 35]));
+            for _ in 0..QUERIES {
+                std::hint::black_box(store.query_box(&b).0.len());
+            }
+        });
+    });
+
+    let snap = metrics.registry().snapshot();
+    let shard_sum = |metric: &str| -> u64 {
+        (0..WRITERS)
+            .map(|j| snap.counter(&format!("shard{j}.{metric}")).unwrap())
+            .sum()
+    };
+    let writers = WRITERS as u64;
+    assert_eq!(shard_sum("insert.count"), writers * INSERTS_PER_WRITER);
+    assert_eq!(shard_sum("delete.count"), writers * DELETES_PER_WRITER);
+    assert_eq!(shard_sum("get.count"), writers * GETS_PER_WRITER);
+    assert!(shard_sum("flush.count") > 0, "64-cap memtables must flush");
+    assert!(shard_sum("epoch_publish.count") >= shard_sum("flush.count"));
+    assert_eq!(snap.counter("engine.query.count"), Some(QUERIES));
+    // Gauges settle to the quiesced store's true shape.
+    let live_sum: i64 = (0..WRITERS)
+        .map(|j| snap.gauge(&format!("shard{j}.live")).unwrap())
+        .sum();
+    assert_eq!(live_sum as usize, store.len());
+
+    // The JSON export parses and carries the same numbers.
+    let json = snap.to_json();
+    let end = skip_json_value(json.as_bytes(), 0);
+    assert_eq!(json[end..].trim(), "", "trailing garbage after JSON value");
+    let json_insert_sum: u64 = (0..WRITERS)
+        .map(|j| json_counter(&json, &format!("shard{j}.insert.count")))
+        .sum();
+    assert_eq!(json_insert_sum, writers * INSERTS_PER_WRITER);
+    assert_eq!(
+        json_counter(&json, "engine.query.count"),
+        QUERIES,
+        "JSON export disagrees with snapshot accessor"
+    );
+}

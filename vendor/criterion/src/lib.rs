@@ -51,6 +51,15 @@ pub struct BenchRecord {
     pub median_ns: f64,
     /// Slowest sample.
     pub max_ns: f64,
+    /// 50th-percentile sample by nearest rank (the median again, kept
+    /// as an explicit field so JSON consumers get a uniform p50/p95/p99
+    /// triple).
+    pub p50_ns: f64,
+    /// 95th-percentile sample by nearest rank.
+    pub p95_ns: f64,
+    /// 99th-percentile sample by nearest rank (equals the max until the
+    /// sample count reaches 100).
+    pub p99_ns: f64,
     /// Declared per-iteration work, when the group set one.
     pub throughput: Option<Throughput>,
 }
@@ -64,6 +73,13 @@ impl BenchRecord {
             _ => None,
         }
     }
+}
+
+/// The `q`-quantile of ascending-sorted samples by nearest rank.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// Every benchmark finished so far, in execution order.
@@ -222,6 +238,9 @@ fn run_one(
             min_ns: lo,
             median_ns: median,
             max_ns: hi,
+            p50_ns: quantile_sorted(&b.samples_ns, 0.50),
+            p95_ns: quantile_sorted(&b.samples_ns, 0.95),
+            p99_ns: quantile_sorted(&b.samples_ns, 0.99),
             throughput,
         });
 }
@@ -388,5 +407,20 @@ mod tests {
             .expect("benchmark recorded");
         assert!(rec.min_ns <= rec.median_ns && rec.median_ns <= rec.max_ns);
         assert!(rec.median_ns > 0.0);
+        assert!(rec.min_ns <= rec.p50_ns);
+        assert!(rec.p50_ns <= rec.p95_ns && rec.p95_ns <= rec.p99_ns);
+        assert!(rec.p99_ns <= rec.max_ns);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile_sorted(&sorted, 0.50), 50.0);
+        assert_eq!(quantile_sorted(&sorted, 0.95), 95.0);
+        assert_eq!(quantile_sorted(&sorted, 0.99), 99.0);
+        let tiny = [7.0, 9.0, 11.0];
+        assert_eq!(quantile_sorted(&tiny, 0.50), 9.0);
+        // With 3 samples the tail percentiles collapse to the max.
+        assert_eq!(quantile_sorted(&tiny, 0.99), 11.0);
     }
 }
