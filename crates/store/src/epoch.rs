@@ -50,7 +50,6 @@
 //! every acquisition path in this crate follows it; the `EpochCell`
 //! mutex is a leaf (nothing is ever acquired while holding it).
 
-use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -139,11 +138,16 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> EpochCell<D, T, C> {
 /// number that makes the flush drain race-free.
 type SeqSlot<const D: usize, T> = (Point<D>, Option<T>, u64);
 
+/// The shard's seq-stamped memtable — the same opaque
+/// [`SfcMemtable`](crate::memtable::SfcMemtable) as the single-writer
+/// store's, with the sequence number folded into the value.
+type SeqTable<const D: usize, T> = crate::memtable::SfcMemtable<SeqSlot<D, T>>;
+
 /// The mutable tail of one shard, guarded by the shard's `mem` lock.
 #[derive(Debug)]
 struct MemState<const D: usize, T> {
     /// Newest level: key → (cell, payload-or-tombstone, seq).
-    table: BTreeMap<CurveIndex, SeqSlot<D, T>>,
+    table: SeqTable<D, T>,
     /// Monotonic per-shard write counter stamping every memtable entry.
     next_seq: u64,
     /// Live records of the whole shard (memtable *and* published runs),
@@ -197,7 +201,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         Self {
             maint: Mutex::new(()),
             mem: Mutex::new(MemState {
-                table: BTreeMap::new(),
+                table: SeqTable::new(),
                 next_seq: 0,
                 live: 0,
                 cap: cap.max(1),
@@ -214,6 +218,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         {
             let mem = self.mem.lock().expect("shard mem poisoned");
             metrics.memtable_len.set(mem.table.len() as i64);
+            metrics.memtable_bytes.set(mem.table.heap_bytes() as i64);
             metrics.live.set(mem.live as i64);
         }
         metrics.run_count.set(self.epoch.load().runs.len() as i64);
@@ -244,6 +249,15 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         self.mem.lock().expect("shard mem poisoned").table.len()
     }
 
+    /// Heap bytes held by the memtable structure, in `O(1)`.
+    pub(crate) fn memtable_heap_bytes(&self) -> usize {
+        self.mem
+            .lock()
+            .expect("shard mem poisoned")
+            .table
+            .heap_bytes()
+    }
+
     /// Sizes of the published immutable runs, oldest first.
     pub(crate) fn run_lens(&self) -> Vec<usize> {
         self.epoch.load().runs.iter().map(|r| r.len()).collect()
@@ -259,18 +273,20 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         T: Clone,
     {
         let mem = self.mem.lock().expect("shard mem poisoned");
+        // A cursor-bounded extract: the ordered range walk emits the
+        // span's entries already sorted, so the image is assembled by
+        // bulk load (leaves fill left-to-right, no comparisons) instead
+        // of per-entry map insertion.
         let image: Memtable<D, T> = match span {
-            Some((lo, hi)) if lo <= hi => mem
-                .table
-                .range(lo..=hi)
-                .map(|(&k, (p, s, _))| (k, (*p, s.clone())))
-                .collect(),
-            Some(_) => BTreeMap::new(),
-            None => mem
-                .table
-                .iter()
-                .map(|(&k, (p, s, _))| (k, (*p, s.clone())))
-                .collect(),
+            Some((lo, hi)) if lo <= hi => Memtable::from_sorted(
+                mem.table
+                    .range_iter(lo, hi)
+                    .map(|(k, (p, s, _))| (k, (*p, s.clone()))),
+            ),
+            Some(_) => Memtable::new(),
+            None => {
+                Memtable::from_sorted(mem.table.iter().map(|(k, (p, s, _))| (k, (*p, s.clone()))))
+            }
         };
         let epoch = self.epoch.load();
         ShardCapture {
@@ -318,7 +334,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         });
         let needs_flush;
         let was_live;
-        let (mem_len, live);
+        let (mem_len, mem_bytes, live);
         {
             let mut mem = self.mem.lock().expect("shard mem poisoned");
             was_live = match mem.table.get(&key) {
@@ -333,6 +349,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
             }
             needs_flush = mem.table.len() >= mem.cap;
             mem_len = mem.table.len();
+            mem_bytes = mem.table.heap_bytes();
             live = mem.live;
         }
         if needs_flush {
@@ -346,6 +363,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
             // don't overwrite them with the pre-flush capture.
             if !needs_flush {
                 m.memtable_len.set(mem_len as i64);
+                m.memtable_bytes.set(mem_bytes as i64);
                 m.live.set(live as i64);
             }
         }
@@ -367,7 +385,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         });
         let needs_flush;
         let was_live;
-        let (mem_len, live);
+        let (mem_len, mem_bytes, live);
         {
             let mut mem = self.mem.lock().expect("shard mem poisoned");
             was_live = match mem.table.get(&key) {
@@ -382,6 +400,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
             }
             needs_flush = mem.table.len() >= mem.cap;
             mem_len = mem.table.len();
+            mem_bytes = mem.table.heap_bytes();
             live = mem.live;
         }
         if needs_flush {
@@ -393,6 +412,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
             }
             if !needs_flush {
                 m.memtable_len.set(mem_len as i64);
+                m.memtable_bytes.set(mem_bytes as i64);
                 m.live.set(live as i64);
             }
         }
@@ -418,7 +438,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
             let entries: Vec<(CurveIndex, Point<D>, Option<T>)> = mem
                 .table
                 .iter()
-                .map(|(&k, (p, s, _))| (k, *p, s.clone()))
+                .map(|(k, (p, s, _))| (k, *p, s.clone()))
                 .collect();
             (entries, mem.next_seq, mem.live)
         };
@@ -455,17 +475,20 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
             live: live_at,
         }));
         // Step 3: drain exactly the flushed entries; concurrent writes
-        // carry seq >= high_water and stay.
-        let (mem_len, live) = {
+        // carry seq >= high_water and stay. `retain` is one ordered
+        // cursor walk down the leaf chain — survivors compact in place,
+        // no clone, no per-entry tree surgery.
+        let (mem_len, mem_bytes, live) = {
             let mut mem = self.mem.lock().expect("shard mem poisoned");
-            mem.table.retain(|_, &mut (_, _, seq)| seq >= high_water);
-            (mem.table.len(), mem.live)
+            mem.table.retain(|_, &(_, _, seq)| seq >= high_water);
+            (mem.table.len(), mem.table.heap_bytes(), mem.live)
         };
         if let Some(m) = self.metrics.as_deref() {
             m.flushes.inc();
             m.epoch_publishes.inc();
             m.flush_ns.record_since(start);
             m.memtable_len.set(mem_len as i64);
+            m.memtable_bytes.set(mem_bytes as i64);
             m.run_count.set(run_count as i64);
             m.live.set(live as i64);
         }
@@ -556,6 +579,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         if let Some(m) = self.metrics.as_deref() {
             m.epoch_publishes.inc();
             m.memtable_len.set(0);
+            m.memtable_bytes.set(mem.table.heap_bytes() as i64);
             m.live.set(live as i64);
             m.run_count.set(i64::from(live > 0));
         }

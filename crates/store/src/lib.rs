@@ -14,7 +14,8 @@
 //! runs are exactly the SoA column triples of `sfc-index`:
 //!
 //! 1. **Memtable.** Every `insert`/`delete` lands in a sorted in-memory
-//!    table (a `BTreeMap` keyed by curve index). A delete writes a
+//!    table — an [`SfcMemtable`](memtable::SfcMemtable), the
+//!    locality-aware B+tree described below. A delete writes a
 //!    *tombstone* — a versioned "this cell is now empty" marker — because
 //!    older levels may still hold a record for the cell.
 //! 2. **Flush.** When the memtable reaches its capacity (or [`SfcStore::flush`]
@@ -36,6 +37,51 @@
 //!    merged newest-wins with tombstones suppressing older versions.
 //!    [`SfcStore::iter`] exposes the same merged view as a snapshot
 //!    iterator in curve order.
+//!
+//! ## The memtable: a locality-aware B+tree
+//!
+//! Every layer above holds its in-memory tail in an
+//! [`SfcMemtable`](memtable::SfcMemtable) — an opaque wrapper (no
+//! engine layer can name the backing map) over the B+tree in
+//! [`memtable::bptree`]:
+//!
+//! * **Large leaves.** Leaves hold
+//!   [`DEFAULT_LEAF_CAPACITY`](memtable::bptree::DEFAULT_LEAF_CAPACITY)
+//!   (64) entries in parallel sorted key/value arrays, so one leaf spans
+//!   a whole curve neighborhood contiguously; leaves are doubly linked
+//!   for ordered iteration both ways, and heap accounting
+//!   ([`heap_bytes`](memtable::SfcMemtable::heap_bytes), surfaced as the
+//!   `memtable.bytes` gauge and the store's `heap_bytes()`) is `O(1)`
+//!   because every leaf allocation is capacity-fixed.
+//! * **A last-accessed-leaf hint.** Each seek records the leaf it landed
+//!   in (a relaxed atomic, so shared readers refresh it too); the next
+//!   operation checks the hinted leaf's key bounds before descending
+//!   from the root. Curve-local upsert streams — the order the paper's
+//!   SFC sorting produces by construction — resolve almost every write
+//!   through the hint, which is why the `memtable_ingest` bench gates
+//!   the B+tree at ≥ 1× `BTreeMap` on the curve-local stream (measured
+//!   3.6× on the ascending sweep; see `BENCH_store.json`).
+//! * **Owned cursors valid across mutation.** A
+//!   [`Cursor`](memtable::Cursor) stores `(key, leaf, slot)` and borrows
+//!   nothing: each access revalidates the cached slot in `O(1)` (does
+//!   this leaf still hold this key here?) and re-seeks by key only when
+//!   mutation moved it. After its entry is removed,
+//!   [`value`](memtable::Cursor::value) reports `None` while
+//!   [`next`](memtable::Cursor::next)/[`prev`](memtable::Cursor::prev)
+//!   keep walking from the remembered key.
+//! * **Drain protocol.** Removal frees empty nodes but never rebalances
+//!   underfull ones; instead the flush drain —
+//!   [`retain`](memtable::SfcMemtable::retain), one linked-leaf walk
+//!   that compacts survivors in place and rebuilds the inner levels
+//!   bulk-load-style — restores density wholesale. The concurrent
+//!   shard drains exactly `seq < high_water` with it, and the capture
+//!   path extracts a query's key span with a bounded range walk
+//!   bulk-loaded via [`from_sorted`](memtable::SfcMemtable::from_sorted).
+//!
+//! The old `BTreeMap` backing survives behind the `memtable-btreemap`
+//! feature as a differential reference: the full engine test suite run
+//! with `--features sfc-store/memtable-btreemap` must behave
+//! identically, and CI runs exactly that.
 //!
 //! ## Zone maps and the adaptive query planner
 //!
@@ -168,6 +214,7 @@
 #![forbid(unsafe_code)]
 
 mod epoch;
+pub mod memtable;
 mod merge;
 pub mod obs;
 mod shard;

@@ -1,0 +1,1205 @@
+//! The locality-aware B+tree backing the memtable.
+//!
+//! A safe-Rust B+tree keyed by [`CurveIndex`], designed for the one
+//! workload `std::collections::BTreeMap` cannot exploit: curve-local
+//! writes, where consecutive upserts land on adjacent keys (the access
+//! pattern the paper's space-filling-curve ordering produces by
+//! construction). Three design points, following the sweep-bptree idiom
+//! (SNIPPETS.md §1–2):
+//!
+//! * **Large leaves** ([`DEFAULT_LEAF_CAPACITY`] entries, configurable
+//!   per tree). One leaf holds a whole curve neighborhood contiguously,
+//!   so a local write burst touches one cache-resident key array instead
+//!   of a pointer chase per operation.
+//! * **A last-accessed-leaf hint.** Every seek records the leaf it
+//!   landed in (a relaxed atomic, so shared readers can update it too).
+//!   The next operation first checks whether its key falls inside the
+//!   hinted leaf's key range — a bounds check plus one binary search —
+//!   and only descends from the root on a miss. Curve-local streams hit
+//!   the hint almost always, making ordered/local access near-O(1).
+//! * **Owned cursors that survive mutation.** A [`Cursor`] stores
+//!   `(key, leaf, slot)` and owns no borrow of the tree, so it stays
+//!   usable across arbitrary inserts and removes: each access
+//!   revalidates the cached position in O(1) (leaf still holds this key
+//!   at this slot) and re-seeks by key only when mutation moved it.
+//!   [`Cursor::value`] reports `None` once the key is removed, while
+//!   [`Cursor::next`]/[`Cursor::prev`] keep walking from the key's
+//!   position, exactly the semantics the exemplar documents.
+//!
+//! Nodes live in index-addressed slabs (`Vec<Leaf>` / `Vec<Inner>`) with
+//! free lists, which keeps the whole structure in safe Rust (the crate
+//! forbids `unsafe`): node references are `u32` ids, not pointers, so
+//! there is no aliasing to argue about. Leaves are doubly linked for
+//! ordered iteration in both directions; inner nodes store the minimum
+//! key of each child subtree. Removal frees empty nodes but does not
+//! rebalance underfull ones — a memtable is drained wholesale every few
+//! thousand writes, so [`retain`](BPlusTreeMap::retain) (a linked-leaf
+//! walk that compacts survivors in place and rebuilds the inner levels
+//! bulk-load-style) restores density far more often than gradual
+//! deletion could degrade it.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use sfc_core::CurveIndex;
+
+/// Entries per leaf unless overridden with
+/// [`BPlusTreeMap::with_leaf_capacity`]. Large enough that a leaf spans a
+/// whole curve neighborhood (64 entries ≈ 3 KiB of keys+values for the
+/// store's tuple payloads), small enough that the `Vec::insert` shift on
+/// a mid-leaf write stays a fraction of a cache-miss-laden root descent.
+pub const DEFAULT_LEAF_CAPACITY: usize = 64;
+
+/// Children per inner node before it splits.
+const INNER_CAP: usize = 32;
+
+/// Slab id sentinel for "no node".
+const NIL: u32 = u32::MAX;
+
+/// One leaf: parallel sorted key/value arrays plus sibling links.
+#[derive(Debug, Clone)]
+struct Leaf<V> {
+    keys: Vec<CurveIndex>,
+    vals: Vec<V>,
+    prev: u32,
+    next: u32,
+}
+
+impl<V> Leaf<V> {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            keys: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+            prev: NIL,
+            next: NIL,
+        }
+    }
+}
+
+/// One inner node: `mins[i]` is the smallest key in subtree
+/// `children[i]`; both arrays are parallel and sorted by `mins`.
+#[derive(Debug, Clone, Default)]
+struct Inner {
+    mins: Vec<CurveIndex>,
+    children: Vec<u32>,
+}
+
+impl Inner {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            mins: Vec::with_capacity(cap + 1),
+            children: Vec::with_capacity(cap + 1),
+        }
+    }
+}
+
+/// The child of `mins` covering `key`: the last subtree whose minimum is
+/// `<= key` (clamped to the first — keys below the tree minimum descend
+/// leftmost).
+fn child_index(mins: &[CurveIndex], key: CurveIndex) -> usize {
+    mins.partition_point(|&m| m <= key).saturating_sub(1)
+}
+
+/// Deepest root-to-leaf path the slab can represent: height only grows
+/// on a root split, which needs `INNER_CAP` children each at least a
+/// half-full split product, so 32 levels would take well over `2^64`
+/// entries.
+const MAX_HEIGHT: usize = 32;
+
+/// A root-to-leaf descent path of `(inner id, child index)` pairs,
+/// stack-allocated so the descent write paths (insert miss, remove)
+/// never heap-allocate per operation.
+struct DescentPath {
+    nodes: [(u32, usize); MAX_HEIGHT],
+    len: usize,
+}
+
+impl DescentPath {
+    fn new() -> Self {
+        Self {
+            nodes: [(NIL, 0); MAX_HEIGHT],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, id: u32, ci: usize) {
+        self.nodes[self.len] = (id, ci);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u32, usize)> {
+        let i = self.len.checked_sub(1)?;
+        self.len = i;
+        Some(self.nodes[i])
+    }
+
+    fn as_slice(&self) -> &[(u32, usize)] {
+        &self.nodes[..self.len]
+    }
+}
+
+/// A locality-aware B+tree map from [`CurveIndex`] to `V` — see the
+/// module docs for the design. All ordered iteration is ascending by key
+/// unless stated otherwise.
+#[derive(Debug)]
+pub struct BPlusTreeMap<V> {
+    leaves: Vec<Leaf<V>>,
+    inners: Vec<Inner>,
+    free_leaves: Vec<u32>,
+    free_inners: Vec<u32>,
+    /// Root node id: a leaf id when `height == 0`, else an inner id.
+    /// `NIL` for the empty tree.
+    root: u32,
+    /// Inner levels above the leaves (0 = the root is a leaf).
+    height: usize,
+    /// Leftmost leaf, head of the sibling chain.
+    head: u32,
+    len: usize,
+    leaf_cap: usize,
+    /// Last-accessed leaf, checked before any root descent. Relaxed
+    /// atomic so `&self` readers can refresh it; `NIL` = no hint.
+    hint: AtomicU32,
+}
+
+impl<V> Default for BPlusTreeMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> Clone for BPlusTreeMap<V> {
+    fn clone(&self) -> Self {
+        Self {
+            leaves: self.leaves.clone(),
+            inners: self.inners.clone(),
+            free_leaves: self.free_leaves.clone(),
+            free_inners: self.free_inners.clone(),
+            root: self.root,
+            height: self.height,
+            head: self.head,
+            len: self.len,
+            leaf_cap: self.leaf_cap,
+            hint: AtomicU32::new(NIL),
+        }
+    }
+}
+
+impl<V> BPlusTreeMap<V> {
+    /// An empty tree with [`DEFAULT_LEAF_CAPACITY`]-entry leaves.
+    pub fn new() -> Self {
+        Self::with_leaf_capacity(DEFAULT_LEAF_CAPACITY)
+    }
+
+    /// An empty tree whose leaves hold up to `leaf_cap` entries
+    /// (clamped to at least 4).
+    pub fn with_leaf_capacity(leaf_cap: usize) -> Self {
+        Self {
+            leaves: Vec::new(),
+            inners: Vec::new(),
+            free_leaves: Vec::new(),
+            free_inners: Vec::new(),
+            root: NIL,
+            height: 0,
+            head: NIL,
+            len: 0,
+            leaf_cap: leaf_cap.max(4),
+            hint: AtomicU32::new(NIL),
+        }
+    }
+
+    /// Bulk-loads a tree from strictly-increasing `(key, value)` pairs —
+    /// the fastest build path: leaves fill left to right with zero
+    /// comparisons and the inner levels are assembled bottom-up in one
+    /// pass per level.
+    pub fn from_sorted(iter: impl IntoIterator<Item = (CurveIndex, V)>) -> Self {
+        Self::from_sorted_with_capacity(DEFAULT_LEAF_CAPACITY, iter)
+    }
+
+    /// [`from_sorted`](Self::from_sorted) with an explicit leaf capacity.
+    pub fn from_sorted_with_capacity(
+        leaf_cap: usize,
+        iter: impl IntoIterator<Item = (CurveIndex, V)>,
+    ) -> Self {
+        let mut tree = Self::with_leaf_capacity(leaf_cap);
+        let mut level: Vec<(CurveIndex, u32)> = Vec::new();
+        let mut cur: u32 = NIL;
+        let mut last_key: Option<CurveIndex> = None;
+        for (key, val) in iter {
+            debug_assert!(
+                last_key.is_none_or(|prev| prev < key),
+                "from_sorted keys must be strictly increasing"
+            );
+            last_key = Some(key);
+            if cur == NIL || tree.leaves[cur as usize].keys.len() == tree.leaf_cap {
+                let id = tree.alloc_leaf();
+                if cur != NIL {
+                    tree.leaves[cur as usize].next = id;
+                    tree.leaves[id as usize].prev = cur;
+                }
+                cur = id;
+                level.push((key, id));
+            }
+            let leaf = &mut tree.leaves[cur as usize];
+            leaf.keys.push(key);
+            leaf.vals.push(val);
+            tree.len += 1;
+        }
+        tree.head = level.first().map_or(NIL, |&(_, id)| id);
+        tree.rebuild_inners(level);
+        tree
+    }
+
+    /// Number of entries (live keys, tombstone values included — the
+    /// tree does not interpret `V`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured leaf capacity.
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_cap
+    }
+
+    /// Bytes of heap memory held by the node slabs. O(1): every live or
+    /// free leaf keeps its fixed `leaf_cap`-entry allocation (slabs
+    /// recycle nodes instead of freeing buffers), so the figure is a
+    /// per-node constant times the slab lengths.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let leaf_bytes =
+            size_of::<Leaf<V>>() + self.leaf_cap * (size_of::<CurveIndex>() + size_of::<V>());
+        let inner_bytes =
+            size_of::<Inner>() + (INNER_CAP + 1) * (size_of::<CurveIndex>() + size_of::<u32>());
+        self.leaves.len() * leaf_bytes
+            + self.inners.len() * inner_bytes
+            + (self.free_leaves.capacity() + self.free_inners.capacity()) * size_of::<u32>()
+    }
+
+    /// Removes every entry, keeping no allocations.
+    pub fn clear(&mut self) {
+        self.leaves.clear();
+        self.inners.clear();
+        self.free_leaves.clear();
+        self.free_inners.clear();
+        self.root = NIL;
+        self.height = 0;
+        self.head = NIL;
+        self.len = 0;
+        self.hint.store(NIL, Ordering::Relaxed);
+    }
+
+    fn alloc_leaf(&mut self) -> u32 {
+        match self.free_leaves.pop() {
+            Some(id) => id,
+            None => {
+                self.leaves.push(Leaf::with_capacity(self.leaf_cap));
+                (self.leaves.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Returns a leaf to the free list. The cleared key array is what
+    /// keeps stale cursors and hints honest: revalidation against a
+    /// freed leaf finds no key and falls back to a fresh seek.
+    fn free_leaf(&mut self, id: u32) {
+        let leaf = &mut self.leaves[id as usize];
+        leaf.keys.clear();
+        leaf.vals.clear();
+        leaf.prev = NIL;
+        leaf.next = NIL;
+        self.free_leaves.push(id);
+        if self.hint.load(Ordering::Relaxed) == id {
+            self.hint.store(NIL, Ordering::Relaxed);
+        }
+    }
+
+    fn alloc_inner(&mut self) -> u32 {
+        match self.free_inners.pop() {
+            Some(id) => id,
+            None => {
+                self.inners.push(Inner::with_capacity(INNER_CAP));
+                (self.inners.len() - 1) as u32
+            }
+        }
+    }
+
+    fn free_inner(&mut self, id: u32) {
+        let inner = &mut self.inners[id as usize];
+        inner.mins.clear();
+        inner.children.clear();
+        self.free_inners.push(id);
+    }
+
+    fn two_leaves(&mut self, a: u32, b: u32) -> (&mut Leaf<V>, &mut Leaf<V>) {
+        debug_assert_ne!(a, b);
+        let (a, b) = (a as usize, b as usize);
+        if a < b {
+            let (lo, hi) = self.leaves.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.leaves.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+
+    fn two_inners(&mut self, a: u32, b: u32) -> (&mut Inner, &mut Inner) {
+        debug_assert_ne!(a, b);
+        let (a, b) = (a as usize, b as usize);
+        if a < b {
+            let (lo, hi) = self.inners.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.inners.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+
+    /// The hinted leaf, if `key` provably belongs to it: `key` is at or
+    /// after the leaf's first key and before the next leaf's first key
+    /// (or the leaf is rightmost). The containment test needs only the
+    /// hinted leaf's bounds plus at most one sibling read — no descent.
+    fn hint_leaf(&self, key: CurveIndex) -> Option<u32> {
+        let h = self.hint.load(Ordering::Relaxed);
+        let leaf = self.leaves.get(h as usize)?;
+        let first = *leaf.keys.first()?;
+        if key < first {
+            return None;
+        }
+        if key <= *leaf.keys.last()? {
+            return Some(h);
+        }
+        if leaf.next == NIL || self.leaves[leaf.next as usize].keys.first().copied()? > key {
+            return Some(h);
+        }
+        None
+    }
+
+    /// The leaf whose key range covers `key` (hint first, root descent on
+    /// a miss), refreshing the hint. `NIL` on an empty tree. For keys
+    /// below the tree minimum this is the leftmost leaf; above the
+    /// maximum, the rightmost.
+    fn seek_leaf(&self, key: CurveIndex) -> u32 {
+        if self.root == NIL {
+            return NIL;
+        }
+        if let Some(h) = self.hint_leaf(key) {
+            return h;
+        }
+        let mut node = self.root;
+        for _ in 0..self.height {
+            let inner = &self.inners[node as usize];
+            node = inner.children[child_index(&inner.mins, key)];
+        }
+        self.hint.store(node, Ordering::Relaxed);
+        node
+    }
+
+    /// The value at `key`, if present.
+    pub fn get(&self, key: &CurveIndex) -> Option<&V> {
+        let id = self.seek_leaf(*key);
+        let leaf = self.leaves.get(id as usize)?;
+        let i = leaf.keys.binary_search(key).ok()?;
+        Some(&leaf.vals[i])
+    }
+
+    /// `true` iff `key` is present.
+    pub fn contains_key(&self, key: &CurveIndex) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts or replaces the value at `key`, returning the previous
+    /// value if one existed. Curve-local streams resolve through the
+    /// leaf hint without touching the root.
+    pub fn insert(&mut self, key: CurveIndex, val: V) -> Option<V> {
+        if let Some(h) = self.hint_leaf(key) {
+            let cap = self.leaf_cap;
+            let leaf = &mut self.leaves[h as usize];
+            match leaf.keys.binary_search(&key) {
+                Ok(i) => return Some(std::mem::replace(&mut leaf.vals[i], val)),
+                // `i > 0` keeps the leaf minimum (and so every ancestor
+                // min) unchanged; `i == 0` means key == first is absent,
+                // which the hint precondition `key >= first` rules out
+                // except for exact-first replacement handled above.
+                Err(i) if i > 0 && leaf.keys.len() < cap => {
+                    leaf.keys.insert(i, key);
+                    leaf.vals.insert(i, val);
+                    self.len += 1;
+                    return None;
+                }
+                Err(_) => {}
+            }
+        }
+        self.insert_descend(key, val)
+    }
+
+    /// Insert via root descent: records the path for min-key updates and
+    /// split propagation.
+    fn insert_descend(&mut self, key: CurveIndex, val: V) -> Option<V> {
+        if self.root == NIL {
+            let id = self.alloc_leaf();
+            let leaf = &mut self.leaves[id as usize];
+            leaf.keys.push(key);
+            leaf.vals.push(val);
+            self.root = id;
+            self.head = id;
+            self.height = 0;
+            self.len = 1;
+            self.hint.store(id, Ordering::Relaxed);
+            return None;
+        }
+        let mut path = DescentPath::new();
+        let mut node = self.root;
+        for _ in 0..self.height {
+            let inner = &self.inners[node as usize];
+            let ci = child_index(&inner.mins, key);
+            path.push(node, ci);
+            node = inner.children[ci];
+        }
+        let leaf_id = node;
+        let i = match self.leaves[leaf_id as usize].keys.binary_search(&key) {
+            Ok(i) => {
+                self.hint.store(leaf_id, Ordering::Relaxed);
+                return Some(std::mem::replace(
+                    &mut self.leaves[leaf_id as usize].vals[i],
+                    val,
+                ));
+            }
+            Err(i) => i,
+        };
+        self.len += 1;
+        if self.leaves[leaf_id as usize].keys.len() < self.leaf_cap {
+            let leaf = &mut self.leaves[leaf_id as usize];
+            leaf.keys.insert(i, key);
+            leaf.vals.insert(i, val);
+            if i == 0 {
+                self.propagate_min(path.as_slice(), key);
+            }
+            self.hint.store(leaf_id, Ordering::Relaxed);
+            return None;
+        }
+        // Split: upper half moves to a fresh right sibling, the new
+        // entry lands on its side, and (right-min, right-id) bubbles up.
+        let mid = self.leaf_cap / 2;
+        let right_id = self.alloc_leaf();
+        {
+            let (left, right) = self.two_leaves(leaf_id, right_id);
+            right.keys.extend(left.keys.drain(mid..));
+            right.vals.extend(left.vals.drain(mid..));
+            right.next = left.next;
+            right.prev = leaf_id;
+            left.next = right_id;
+        }
+        let after = self.leaves[right_id as usize].next;
+        if after != NIL {
+            self.leaves[after as usize].prev = right_id;
+        }
+        let right_first = self.leaves[right_id as usize].keys[0];
+        let target = if key < right_first {
+            let leaf = &mut self.leaves[leaf_id as usize];
+            leaf.keys.insert(i, key);
+            leaf.vals.insert(i, val);
+            if i == 0 {
+                self.propagate_min(path.as_slice(), key);
+            }
+            leaf_id
+        } else {
+            let leaf = &mut self.leaves[right_id as usize];
+            leaf.keys.insert(i - mid, key);
+            leaf.vals.insert(i - mid, val);
+            right_id
+        };
+        self.hint.store(target, Ordering::Relaxed);
+        let right_min = self.leaves[right_id as usize].keys[0];
+        self.insert_into_parents(path, right_min, right_id);
+        None
+    }
+
+    /// Rewrites the stored child minimum along `path` after the leaf's
+    /// first key changed to `new_min`; stops at the first ancestor whose
+    /// own minimum is unaffected.
+    fn propagate_min(&mut self, path: &[(u32, usize)], new_min: CurveIndex) {
+        for &(inner_id, ci) in path.iter().rev() {
+            self.inners[inner_id as usize].mins[ci] = new_min;
+            if ci != 0 {
+                break;
+            }
+        }
+    }
+
+    /// Inserts a split-off child `(new_min, new_child)` into the parents
+    /// along `path`, splitting inner nodes (and growing a new root) as
+    /// needed.
+    fn insert_into_parents(&mut self, mut path: DescentPath, min: CurveIndex, child: u32) {
+        let mut new_min = min;
+        let mut new_child = child;
+        loop {
+            let Some((inner_id, ci)) = path.pop() else {
+                // The split reached the top: grow a new root over the
+                // old one and the propagated sibling.
+                let old_root = self.root;
+                let old_min = if self.height == 0 {
+                    self.leaves[old_root as usize].keys[0]
+                } else {
+                    self.inners[old_root as usize].mins[0]
+                };
+                let id = self.alloc_inner();
+                let root = &mut self.inners[id as usize];
+                root.mins.extend([old_min, new_min]);
+                root.children.extend([old_root, new_child]);
+                self.root = id;
+                self.height += 1;
+                return;
+            };
+            let inner = &mut self.inners[inner_id as usize];
+            inner.mins.insert(ci + 1, new_min);
+            inner.children.insert(ci + 1, new_child);
+            if inner.children.len() <= INNER_CAP {
+                return;
+            }
+            let mid = inner.children.len() / 2;
+            let new_id = self.alloc_inner();
+            let (left, right) = self.two_inners(inner_id, new_id);
+            right.mins.extend(left.mins.drain(mid..));
+            right.children.extend(left.children.drain(mid..));
+            new_min = self.inners[new_id as usize].mins[0];
+            new_child = new_id;
+        }
+    }
+
+    /// Removes the entry at `key`, returning its value. Empty leaves are
+    /// unlinked and freed (cascading up through emptied inner nodes);
+    /// underfull survivors are left alone — `retain` and the drain paths
+    /// restore density wholesale.
+    pub fn remove(&mut self, key: &CurveIndex) -> Option<V> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut path = DescentPath::new();
+        let mut node = self.root;
+        for _ in 0..self.height {
+            let inner = &self.inners[node as usize];
+            let ci = child_index(&inner.mins, *key);
+            path.push(node, ci);
+            node = inner.children[ci];
+        }
+        let leaf_id = node;
+        let leaf = &mut self.leaves[leaf_id as usize];
+        let i = leaf.keys.binary_search(key).ok()?;
+        leaf.keys.remove(i);
+        let val = leaf.vals.remove(i);
+        self.len -= 1;
+        if self.leaves[leaf_id as usize].keys.is_empty() {
+            self.unlink_empty_leaf(leaf_id, path.as_slice());
+        } else if i == 0 {
+            let new_min = self.leaves[leaf_id as usize].keys[0];
+            self.propagate_min(path.as_slice(), new_min);
+        }
+        Some(val)
+    }
+
+    /// Detaches a just-emptied leaf from the sibling chain and from its
+    /// ancestors, freeing inner nodes that empty out along the way and
+    /// collapsing a single-child root chain.
+    fn unlink_empty_leaf(&mut self, leaf_id: u32, path: &[(u32, usize)]) {
+        let (prev, next) = {
+            let leaf = &self.leaves[leaf_id as usize];
+            (leaf.prev, leaf.next)
+        };
+        if prev != NIL {
+            self.leaves[prev as usize].next = next;
+        }
+        if next != NIL {
+            self.leaves[next as usize].prev = prev;
+        }
+        if self.head == leaf_id {
+            self.head = next;
+        }
+        self.free_leaf(leaf_id);
+        let mut gone = true;
+        for (depth, &(inner_id, ci)) in path.iter().enumerate().rev() {
+            if !gone {
+                break;
+            }
+            let inner = &mut self.inners[inner_id as usize];
+            inner.mins.remove(ci);
+            inner.children.remove(ci);
+            if inner.children.is_empty() {
+                self.free_inner(inner_id);
+                continue;
+            }
+            gone = false;
+            if ci == 0 {
+                let new_min = self.inners[inner_id as usize].mins[0];
+                self.propagate_min(&path[..depth], new_min);
+            }
+        }
+        if gone {
+            // The removed leaf was the last entry of the whole tree.
+            self.root = NIL;
+            self.height = 0;
+            self.head = NIL;
+            return;
+        }
+        while self.height > 0 {
+            let root = &self.inners[self.root as usize];
+            if root.children.len() > 1 {
+                break;
+            }
+            let only = root.children[0];
+            self.free_inner(self.root);
+            self.root = only;
+            self.height -= 1;
+        }
+    }
+
+    /// Keeps only the entries `f` approves, in one ordered cursor walk
+    /// down the leaf chain: each leaf compacts its survivors in place
+    /// (no per-entry tree surgery, no clone), emptied leaves are freed,
+    /// and the inner levels are rebuilt bottom-up from the surviving
+    /// leaves exactly like a bulk load. This is the memtable drain
+    /// primitive: `O(n)` with one predicate call per entry.
+    pub fn retain(&mut self, mut f: impl FnMut(CurveIndex, &V) -> bool) {
+        let mut level: Vec<(CurveIndex, u32)> = Vec::new();
+        let mut emptied: Vec<u32> = Vec::new();
+        let mut prev_kept: u32 = NIL;
+        let mut kept = 0usize;
+        let mut cur = self.head;
+        while cur != NIL {
+            let next = self.leaves[cur as usize].next;
+            let leaf = &mut self.leaves[cur as usize];
+            let mut w = 0usize;
+            for r in 0..leaf.keys.len() {
+                if f(leaf.keys[r], &leaf.vals[r]) {
+                    leaf.keys.swap(w, r);
+                    leaf.vals.swap(w, r);
+                    w += 1;
+                }
+            }
+            leaf.keys.truncate(w);
+            leaf.vals.truncate(w);
+            if w == 0 {
+                emptied.push(cur);
+            } else {
+                leaf.prev = prev_kept;
+                leaf.next = NIL;
+                if prev_kept != NIL {
+                    self.leaves[prev_kept as usize].next = cur;
+                }
+                prev_kept = cur;
+                level.push((self.leaves[cur as usize].keys[0], cur));
+                kept += w;
+            }
+            cur = next;
+        }
+        for id in emptied {
+            self.free_leaf(id);
+        }
+        // The survivors form a fresh bottom level; rebuild the inner
+        // levels over them and drop the old ones wholesale.
+        let live_inners = self.inners.len() - self.free_inners.len();
+        for id in 0..live_inners as u32 {
+            // Recycle every inner: cheaper than tracking which of them
+            // the old structure still referenced.
+            if !self.free_inners.contains(&id) {
+                self.free_inner(id);
+            }
+        }
+        self.len = kept;
+        self.head = level.first().map_or(NIL, |&(_, id)| id);
+        self.hint.store(NIL, Ordering::Relaxed);
+        self.rebuild_inners(level);
+    }
+
+    /// Builds the inner levels over a bottom level of `(min, node-id)`
+    /// pairs, [`INNER_CAP`] children at a time, and installs the root.
+    fn rebuild_inners(&mut self, mut level: Vec<(CurveIndex, u32)>) {
+        self.height = 0;
+        let Some(&(_, first)) = level.first() else {
+            self.root = NIL;
+            return;
+        };
+        if level.len() == 1 {
+            self.root = first;
+            return;
+        }
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(INNER_CAP));
+            for chunk in level.chunks(INNER_CAP) {
+                let id = self.alloc_inner();
+                let inner = &mut self.inners[id as usize];
+                inner.mins.extend(chunk.iter().map(|&(m, _)| m));
+                inner.children.extend(chunk.iter().map(|&(_, c)| c));
+                next.push((chunk[0].0, id));
+            }
+            level = next;
+            self.height += 1;
+        }
+        self.root = level[0].1;
+    }
+
+    /// Ascending iteration over all entries.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter {
+            tree: self,
+            leaf: self.head,
+            slot: 0,
+            hi: CurveIndex::MAX,
+        }
+    }
+
+    /// Ascending iteration over the inclusive key span `[lo, hi]`.
+    pub fn range_iter(&self, lo: CurveIndex, hi: CurveIndex) -> Iter<'_, V> {
+        if lo > hi || self.root == NIL {
+            return Iter {
+                tree: self,
+                leaf: NIL,
+                slot: 0,
+                hi,
+            };
+        }
+        let leaf = self.seek_leaf(lo);
+        let slot = self.leaves[leaf as usize].keys.partition_point(|&k| k < lo);
+        Iter {
+            tree: self,
+            leaf,
+            slot,
+            hi,
+        }
+    }
+
+    /// Ascending iteration from `key` (inclusive) to the end.
+    pub fn iter_from(&self, key: CurveIndex) -> Iter<'_, V> {
+        self.range_iter(key, CurveIndex::MAX)
+    }
+
+    /// Descending iteration over keys strictly below `key`.
+    pub fn iter_rev_below(&self, key: CurveIndex) -> RevIter<'_, V> {
+        if self.root == NIL {
+            return RevIter {
+                tree: self,
+                leaf: NIL,
+                slot: 0,
+            };
+        }
+        let leaf = self.seek_leaf(key);
+        let slot = self.leaves[leaf as usize]
+            .keys
+            .partition_point(|&k| k < key);
+        RevIter {
+            tree: self,
+            leaf,
+            slot,
+        }
+    }
+
+    /// A cursor at the smallest key, or `None` on an empty tree.
+    pub fn cursor_first(&self) -> Option<Cursor> {
+        let leaf = self.leaves.get(self.head as usize)?;
+        Some(Cursor {
+            key: *leaf.keys.first()?,
+            leaf: self.head,
+            slot: 0,
+        })
+    }
+
+    /// A cursor at the first entry with key `>= key`, or `None` if no
+    /// such entry exists.
+    pub fn cursor_seek(&self, key: CurveIndex) -> Option<Cursor> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut leaf_id = self.seek_leaf(key);
+        let mut slot = self.leaves[leaf_id as usize]
+            .keys
+            .partition_point(|&k| k < key);
+        if slot == self.leaves[leaf_id as usize].keys.len() {
+            leaf_id = self.leaves[leaf_id as usize].next;
+            slot = 0;
+        }
+        let leaf = self.leaves.get(leaf_id as usize)?;
+        Some(Cursor {
+            key: *leaf.keys.get(slot)?,
+            leaf: leaf_id,
+            slot: slot as u32,
+        })
+    }
+
+    /// The cursor's current position, revalidated against the live tree:
+    /// O(1) when mutation left the entry in place, one hint-assisted
+    /// seek otherwise, `None` when the key is gone.
+    fn locate(&self, c: &Cursor) -> Option<(u32, usize)> {
+        if let Some(leaf) = self.leaves.get(c.leaf as usize) {
+            let s = c.slot as usize;
+            if leaf.keys.get(s) == Some(&c.key) {
+                return Some((c.leaf, s));
+            }
+        }
+        let leaf_id = self.seek_leaf(c.key);
+        let leaf = self.leaves.get(leaf_id as usize)?;
+        let s = leaf.keys.binary_search(&c.key).ok()?;
+        Some((leaf_id, s))
+    }
+}
+
+/// An owned position in a [`BPlusTreeMap`], valid across mutation: it
+/// borrows nothing, remembers `(key, leaf, slot)`, and revalidates on
+/// every access. After the entry it points at is removed,
+/// [`value`](Cursor::value) returns `None` while
+/// [`next`](Cursor::next)/[`prev`](Cursor::prev) continue the walk from
+/// the remembered key — the sweep-bptree cursor contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    key: CurveIndex,
+    leaf: u32,
+    slot: u32,
+}
+
+impl Cursor {
+    /// The key this cursor was positioned at.
+    pub fn key(&self) -> CurveIndex {
+        self.key
+    }
+
+    /// The value currently stored at the cursor's key, or `None` if the
+    /// key has been removed since.
+    pub fn value<'a, V>(&self, tree: &'a BPlusTreeMap<V>) -> Option<&'a V> {
+        let (leaf, slot) = tree.locate(self)?;
+        Some(&tree.leaves[leaf as usize].vals[slot])
+    }
+
+    /// A cursor at the smallest key strictly greater than this one, or
+    /// `None` at the end. Works whether or not the current key still
+    /// exists.
+    pub fn next<V>(&self, tree: &BPlusTreeMap<V>) -> Option<Cursor> {
+        if let Some((leaf_id, slot)) = tree.locate(self) {
+            let leaf = &tree.leaves[leaf_id as usize];
+            if let Some(&key) = leaf.keys.get(slot + 1) {
+                return Some(Cursor {
+                    key,
+                    leaf: leaf_id,
+                    slot: (slot + 1) as u32,
+                });
+            }
+            let next = tree.leaves.get(leaf.next as usize)?;
+            return Some(Cursor {
+                key: *next.keys.first()?,
+                leaf: leaf.next,
+                slot: 0,
+            });
+        }
+        tree.cursor_seek(self.key.checked_add(1)?)
+    }
+
+    /// A cursor at the largest key strictly smaller than this one, or
+    /// `None` at the start. Works whether or not the current key still
+    /// exists.
+    pub fn prev<V>(&self, tree: &BPlusTreeMap<V>) -> Option<Cursor> {
+        let mut it = tree.iter_rev_below(self.key);
+        let (key, _) = it.next()?;
+        Some(Cursor {
+            key,
+            leaf: it.leaf,
+            slot: it.slot as u32,
+        })
+    }
+}
+
+/// Ascending borrowed iterator over a [`BPlusTreeMap`] — see
+/// [`BPlusTreeMap::iter`] / [`range_iter`](BPlusTreeMap::range_iter).
+/// Yields `(key, &value)` (keys are `Copy`).
+#[derive(Debug)]
+pub struct Iter<'a, V> {
+    tree: &'a BPlusTreeMap<V>,
+    leaf: u32,
+    slot: usize,
+    hi: CurveIndex,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (CurveIndex, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.tree.leaves.get(self.leaf as usize)?;
+            if let Some(&key) = leaf.keys.get(self.slot) {
+                if key > self.hi {
+                    self.leaf = NIL;
+                    return None;
+                }
+                let val = &leaf.vals[self.slot];
+                self.slot += 1;
+                return Some((key, val));
+            }
+            self.leaf = leaf.next;
+            self.slot = 0;
+        }
+    }
+}
+
+/// Descending borrowed iterator — see
+/// [`BPlusTreeMap::iter_rev_below`]. Yields `(key, &value)`.
+#[derive(Debug)]
+pub struct RevIter<'a, V> {
+    tree: &'a BPlusTreeMap<V>,
+    leaf: u32,
+    /// One past the next slot to yield; 0 = step to the previous leaf.
+    slot: usize,
+}
+
+impl<'a, V> Iterator for RevIter<'a, V> {
+    type Item = (CurveIndex, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.tree.leaves.get(self.leaf as usize)?;
+            if self.slot > 0 {
+                self.slot -= 1;
+                return Some((leaf.keys[self.slot], &leaf.vals[self.slot]));
+            }
+            self.leaf = leaf.prev;
+            self.slot = self
+                .tree
+                .leaves
+                .get(self.leaf as usize)
+                .map_or(0, |l| l.keys.len());
+        }
+    }
+}
+
+/// Owned ascending iterator — the ordered drain path: leaves are
+/// consumed in chain order, each one's columns moved out wholesale.
+#[derive(Debug)]
+pub struct IntoIter<V> {
+    leaves: Vec<Leaf<V>>,
+    next_leaf: u32,
+    keys: std::vec::IntoIter<CurveIndex>,
+    vals: std::vec::IntoIter<V>,
+}
+
+impl<V> Iterator for IntoIter<V> {
+    type Item = (CurveIndex, V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(key) = self.keys.next() {
+                let val = self.vals.next().expect("parallel columns");
+                return Some((key, val));
+            }
+            let id = self.next_leaf;
+            if id == NIL {
+                return None;
+            }
+            let leaf = std::mem::replace(
+                &mut self.leaves[id as usize],
+                Leaf {
+                    keys: Vec::new(),
+                    vals: Vec::new(),
+                    prev: NIL,
+                    next: NIL,
+                },
+            );
+            self.next_leaf = leaf.next;
+            self.keys = leaf.keys.into_iter();
+            self.vals = leaf.vals.into_iter();
+        }
+    }
+}
+
+impl<V> IntoIterator for BPlusTreeMap<V> {
+    type Item = (CurveIndex, V);
+    type IntoIter = IntoIter<V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter {
+            next_leaf: self.head,
+            leaves: self.leaves,
+            keys: Vec::new().into_iter(),
+            vals: Vec::new().into_iter(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn keys(tree: &BPlusTreeMap<u64>) -> Vec<CurveIndex> {
+        tree.iter().map(|(k, _)| k).collect()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = BPlusTreeMap::with_leaf_capacity(4);
+        assert!(t.is_empty());
+        for k in [5u128, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+            assert_eq!(t.insert(k, k as u64 * 10), None);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.insert(5, 999), Some(50));
+        assert_eq!(t.get(&5), Some(&999));
+        assert_eq!(keys(&t), (0..10).collect::<Vec<_>>());
+        assert_eq!(t.remove(&5), Some(999));
+        assert_eq!(t.remove(&5), None);
+        assert_eq!(t.get(&5), None);
+        assert_eq!(t.len(), 9);
+        for k in 0..10u128 {
+            t.remove(&k);
+        }
+        assert!(t.is_empty());
+        assert_eq!(keys(&t), Vec::<CurveIndex>::new());
+        // Reuse after emptying.
+        t.insert(42, 1);
+        assert_eq!(t.get(&42), Some(&1));
+    }
+
+    #[test]
+    fn matches_btreemap_under_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xB71);
+        let mut tree = BPlusTreeMap::with_leaf_capacity(8);
+        let mut model: BTreeMap<CurveIndex, u64> = BTreeMap::new();
+        for step in 0..20_000u64 {
+            let k = u128::from(rng.gen_range(0..512u32));
+            match rng.gen_range(0..10u32) {
+                0..=6 => {
+                    assert_eq!(tree.insert(k, step), model.insert(k, step), "insert {k}");
+                }
+                7..=8 => {
+                    assert_eq!(tree.remove(&k), model.remove(&k), "remove {k}");
+                }
+                _ => {
+                    let hi = k + u128::from(rng.gen_range(0..64u32));
+                    let got: Vec<_> = tree.range_iter(k, hi).map(|(k, &v)| (k, v)).collect();
+                    let want: Vec<_> = model.range(k..=hi).map(|(&k, &v)| (k, v)).collect();
+                    assert_eq!(got, want, "range {k}..={hi}");
+                }
+            }
+            assert_eq!(tree.len(), model.len());
+        }
+        let got: Vec<_> = tree.iter().map(|(k, &v)| (k, v)).collect();
+        let want: Vec<_> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want);
+        let got_rev: Vec<_> = tree.iter_rev_below(300).map(|(k, &v)| (k, v)).collect();
+        let want_rev: Vec<_> = model
+            .range(..300u128)
+            .rev()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        assert_eq!(got_rev, want_rev);
+    }
+
+    #[test]
+    fn from_sorted_bulk_load_matches_inserts() {
+        let entries: Vec<(CurveIndex, u64)> =
+            (0..1000u128).step_by(3).map(|k| (k, k as u64)).collect();
+        let bulk = BPlusTreeMap::from_sorted_with_capacity(16, entries.iter().copied());
+        assert_eq!(bulk.len(), entries.len());
+        let walked: Vec<_> = bulk.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(walked, entries);
+        assert_eq!(bulk.get(&999), Some(&999));
+        assert_eq!(bulk.get(&998), None);
+        let drained: Vec<_> = bulk.into_iter().collect();
+        assert_eq!(drained, entries);
+    }
+
+    #[test]
+    fn retain_drains_a_seq_window() {
+        let mut t = BPlusTreeMap::with_leaf_capacity(8);
+        for k in 0..500u128 {
+            t.insert(k, k as u64);
+        }
+        t.retain(|_, &v| v >= 250);
+        assert_eq!(t.len(), 250);
+        assert_eq!(keys(&t), (250..500).collect::<Vec<_>>());
+        // The rebuilt tree keeps absorbing writes correctly.
+        for k in 0..250u128 {
+            t.insert(k, k as u64 + 1000);
+        }
+        assert_eq!(t.len(), 500);
+        assert_eq!(keys(&t), (0..500).collect::<Vec<_>>());
+        t.retain(|_, _| false);
+        assert!(t.is_empty());
+        assert_eq!(t.cursor_first(), None);
+    }
+
+    #[test]
+    fn cursors_survive_mutation() {
+        let mut t = BPlusTreeMap::with_leaf_capacity(4);
+        for k in (0..100u128).step_by(2) {
+            t.insert(k, k as u64);
+        }
+        let c0 = t.cursor_first().expect("non-empty");
+        assert_eq!(c0.key(), 0);
+        assert_eq!(c0.value(&t), Some(&0));
+        // Remove under the cursor: value() goes dark, next() moves on.
+        t.remove(&0);
+        assert_eq!(c0.value(&t), None);
+        let c1 = c0.next(&t).expect("more entries");
+        assert_eq!(c1.key(), 2);
+        // Splits and inserts between accesses don't invalidate it.
+        for k in (1..100u128).step_by(2) {
+            t.insert(k, k as u64);
+        }
+        assert_eq!(c1.value(&t), Some(&2));
+        let c2 = c1.next(&t).expect("more entries");
+        assert_eq!(c2.key(), 3);
+        let back = c2.prev(&t).expect("has predecessor");
+        assert_eq!(back.key(), 2);
+        // Walk the whole tree through cursors and compare with iter().
+        let mut walked = Vec::new();
+        let mut c = t.cursor_first();
+        while let Some(cur) = c {
+            walked.push(cur.key());
+            c = cur.next(&t);
+        }
+        assert_eq!(walked, keys(&t));
+        // A cursor whose whole neighborhood is drained re-seeks by key.
+        let mid = t.cursor_seek(50).expect("present");
+        t.retain(|k, _| k >= 80);
+        assert_eq!(mid.value(&t), None);
+        assert_eq!(mid.next(&t).expect("tail remains").key(), 80);
+    }
+
+    #[test]
+    fn hint_accelerated_local_stream_stays_correct() {
+        let mut t = BPlusTreeMap::with_leaf_capacity(32);
+        // A curve-local walk: keys wander up and down in a small window.
+        let mut key = 1_000u128;
+        let mut model = BTreeMap::new();
+        for i in 0..10_000u64 {
+            key = if i % 7 < 4 {
+                key + 3
+            } else {
+                key.saturating_sub(2)
+            };
+            t.insert(key, i);
+            model.insert(key, i);
+        }
+        assert_eq!(t.len(), model.len());
+        let got: Vec<_> = t.iter().map(|(k, &v)| (k, v)).collect();
+        let want: Vec<_> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn heap_bytes_tracks_leaf_count() {
+        let mut t = BPlusTreeMap::<u64>::with_leaf_capacity(16);
+        let empty = t.heap_bytes();
+        for k in 0..1_000u128 {
+            t.insert(k, 0);
+        }
+        let full = t.heap_bytes();
+        assert!(full > empty);
+        // Draining keeps slab allocations (recycled), clear() drops them.
+        t.retain(|_, _| false);
+        assert!(t.heap_bytes() >= full / 2);
+        t.clear();
+        // Only the (tiny, retained) free-list buffers remain.
+        assert!(t.heap_bytes() < full / 100);
+    }
+}

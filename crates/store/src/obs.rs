@@ -66,6 +66,7 @@ pub struct ShardMetrics {
     pub(crate) flush_ns: Histogram,
     pub(crate) compact_ns: Histogram,
     pub(crate) memtable_len: Gauge,
+    pub(crate) memtable_bytes: Gauge,
     pub(crate) run_count: Gauge,
     pub(crate) live: Gauge,
     pub(crate) sampler: Sampler,
@@ -87,6 +88,7 @@ impl ShardMetrics {
             flush_ns: registry.histogram(&name("flush.ns")),
             compact_ns: registry.histogram(&name("compact.ns")),
             memtable_len: registry.gauge(&name("memtable.len")),
+            memtable_bytes: registry.gauge(&name("memtable.bytes")),
             run_count: registry.gauge(&name("runs")),
             live: registry.gauge(&name("live")),
             sampler: Sampler::new(DEFAULT_TIMING_SAMPLE),

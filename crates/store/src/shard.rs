@@ -616,6 +616,14 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
         self.shards.iter().map(Shard::memtable_len).collect()
     }
 
+    /// Heap bytes held by each shard's memtable structure (node slabs of
+    /// the B+tree backing, free nodes included), in curve order — `O(1)`
+    /// per shard. The same figures feed the per-shard `memtable.bytes`
+    /// gauges when metrics are attached.
+    pub fn shard_memtable_heap_bytes(&self) -> Vec<usize> {
+        self.shards.iter().map(Shard::memtable_heap_bytes).collect()
+    }
+
     /// A consistent copy of the per-cell write weights observed since the
     /// last [`rebalance`](Self::rebalance), merged across the per-shard
     /// stripes.

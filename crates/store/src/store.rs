@@ -1,6 +1,5 @@
 //! The mutable store: memtable, run stack, compaction, merged queries.
 
-use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -131,7 +130,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
     pub fn with_memtable_capacity(curve: C, capacity: usize) -> Self {
         Self {
             curve,
-            memtable: BTreeMap::new(),
+            memtable: Memtable::new(),
             runs: Vec::new(),
             memtable_cap: capacity.max(1),
             live: 0,
@@ -179,7 +178,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
         };
         Self {
             curve,
-            memtable: BTreeMap::new(),
+            memtable: Memtable::new(),
             runs,
             memtable_cap: DEFAULT_MEMTABLE_CAPACITY,
             live,
@@ -202,6 +201,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
         s.live.set(self.live as i64);
         s.run_count.set(self.runs.len() as i64);
         s.memtable_len.set(self.memtable.len() as i64);
+        s.memtable_bytes.set(self.memtable.heap_bytes() as i64);
         self.metrics = Some(metrics);
     }
 
@@ -252,14 +252,22 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C> {
     }
 
     /// Bytes of heap memory held by the immutable run stack's compressed
-    /// blocks and dense payload columns, plus a node-size estimate for the
-    /// buffered memtable entries. The per-record quotient is the
-    /// `bytes_per_record` figure the benches track against the committed
-    /// budget.
+    /// blocks and dense payload columns, plus the memtable's node slabs
+    /// (exact `O(1)` accounting — see
+    /// [`memtable_heap_bytes`](Self::memtable_heap_bytes)). The
+    /// per-record quotient is the `bytes_per_record` figure the benches
+    /// track against the committed budget.
     pub fn heap_bytes(&self) -> usize {
         let runs: usize = self.runs.iter().map(|run| run.heap_bytes()).sum();
-        let mem_entry = std::mem::size_of::<(CurveIndex, (Point<D>, Option<T>))>();
-        runs + self.memtable.len() * mem_entry
+        runs + self.memtable.heap_bytes()
+    }
+
+    /// Bytes of heap memory held by the memtable structure alone (node
+    /// slabs of the B+tree backing, including recycled free nodes), in
+    /// `O(1)`. Also exported through the `store.memtable.bytes` gauge
+    /// when metrics are attached.
+    pub fn memtable_heap_bytes(&self) -> usize {
+        self.memtable.heap_bytes()
     }
 
     /// The live payload at cell `p`, if any (newest version wins; one
@@ -474,6 +482,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
                 s.insert_ns.record_since(start);
             }
             s.memtable_len.set(self.memtable.len() as i64);
+            s.memtable_bytes.set(self.memtable.heap_bytes() as i64);
             s.live.set(self.live as i64);
         }
         was_live
@@ -507,6 +516,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
                 s.delete_ns.record_since(start);
             }
             s.memtable_len.set(self.memtable.len() as i64);
+            s.memtable_bytes.set(self.memtable.heap_bytes() as i64);
             s.live.set(self.live as i64);
         }
         was_live
@@ -553,6 +563,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
             s.flushes.inc();
             s.flush_ns.record_since(start);
             s.memtable_len.set(0);
+            s.memtable_bytes.set(self.memtable.heap_bytes() as i64);
             s.run_count.set(self.runs.len() as i64);
         }
     }

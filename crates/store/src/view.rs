@@ -45,7 +45,7 @@
 //! `blocks_decoded`.
 
 use std::cell::RefCell;
-use std::collections::{btree_map, BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -85,8 +85,12 @@ pub const INTERVAL_VOLUME_CUTOFF: u128 = 64;
 /// avoids, and the adaptive planner takes over.
 pub const KNN_BALL_INTERVALS_CUTOFF: u128 = 256;
 
-/// The newest-level table: key → (cell, payload-or-tombstone).
-pub(crate) type Memtable<const D: usize, T> = BTreeMap<CurveIndex, (Point<D>, Option<T>)>;
+/// The newest-level table: key → (cell, payload-or-tombstone). An opaque
+/// [`SfcMemtable`](crate::memtable::SfcMemtable) — the concrete map
+/// behind it (locality-aware B+tree by default, `BTreeMap` under the
+/// `memtable-btreemap` differential feature) is invisible to every layer
+/// compiled against this alias.
+pub(crate) type Memtable<const D: usize, T> = crate::memtable::SfcMemtable<(Point<D>, Option<T>)>;
 
 /// One immutable sorted run, shareable with snapshots. Tombstones live in
 /// the run's block bitmap; payloads are the dense live-only column.
@@ -472,7 +476,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
     ) {
         for &(lo, hi) in intervals {
             stats.seeks += 1;
-            for (&key, (point, slot)) in mem.range(lo..=hi) {
+            for (key, (point, slot)) in mem.range_iter(lo, hi) {
                 stats.scanned += 1;
                 sink(key, slot.as_ref().map(|t| (*point, t)));
             }
@@ -493,9 +497,9 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         stats.seeks += 1;
         let mut cur = zmin;
         'memtable: loop {
-            let mut range = mem.range(cur..=zmax);
+            let mut range = mem.range_iter(cur, zmax);
             loop {
-                let Some((&key, (point, slot))) = range.next() else {
+                let Some((key, (point, slot))) = range.next() else {
                     break 'memtable;
                 };
                 stats.scanned += 1;
@@ -647,7 +651,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         stats.seeks += 1;
         let mut live = 0usize;
         let mut slots = 0usize;
-        for (&_ck, (point, slot)) in mem.range(..key).rev() {
+        for (_ck, (point, slot)) in mem.iter_rev_below(key) {
             slots += 1;
             stats.scanned += 1;
             if slot.is_some() {
@@ -660,7 +664,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
         }
         live = 0;
         slots = 0;
-        for (&_ck, (point, slot)) in mem.range(key..) {
+        for (_ck, (point, slot)) in mem.iter_from(key) {
             slots += 1;
             stats.scanned += 1;
             if slot.is_some() {
@@ -855,7 +859,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
             stats.seeks += 1;
             let mut live = 0usize;
             let mut slots = 0usize;
-            for (&ck, (point, slot)) in mem.range(..key).rev() {
+            for (ck, (point, slot)) in mem.iter_rev_below(key) {
                 slots += 1;
                 stats.scanned += 1;
                 if slot.is_some() {
@@ -868,7 +872,7 @@ impl<'a, const D: usize, T, C: SpaceFillingCurve<D>> LevelsView<'a, D, T, C> {
             }
             live = 0;
             slots = 0;
-            for (&ck, (point, slot)) in mem.range(key..) {
+            for (ck, (point, slot)) in mem.iter_from(key) {
                 slots += 1;
                 stats.scanned += 1;
                 if slot.is_some() {
@@ -1128,7 +1132,7 @@ impl<'a, const D: usize, T> RunCursor<'a, D, T> {
 
 /// A peekable walk of the memtable level.
 type MemIter<'a, const D: usize, T> =
-    std::iter::Peekable<btree_map::Iter<'a, CurveIndex, (Point<D>, Option<T>)>>;
+    std::iter::Peekable<crate::memtable::Iter<'a, (Point<D>, Option<T>)>>;
 
 /// Snapshot iterator over the live records of a store or snapshot in curve
 /// order (see [`SfcStore::iter`](crate::SfcStore::iter) and
@@ -1159,7 +1163,7 @@ impl<'a, const D: usize, T> Iterator for SnapshotIter<'a, D, T> {
             let mut min: Option<CurveIndex> = self
                 .mem
                 .as_mut()
-                .and_then(|mem| mem.peek().map(|(&key, _)| key));
+                .and_then(|mem| mem.peek().map(|&(key, _)| key));
             for cursor in &mut self.runs {
                 if let Some(key) = cursor.peek_key() {
                     min = Some(min.map_or(key, |m| m.min(key)));
@@ -1175,7 +1179,7 @@ impl<'a, const D: usize, T> Iterator for SnapshotIter<'a, D, T> {
                 }
             }
             if let Some(mem) = self.mem.as_mut() {
-                if mem.peek().map(|(&key, _)| key) == Some(min) {
+                if mem.peek().map(|&(key, _)| key) == Some(min) {
                     let (_, (point, slot)) = mem.next().expect("peeked");
                     winner = Some((*point, slot.as_ref()));
                 }
