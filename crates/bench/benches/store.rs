@@ -21,7 +21,7 @@ use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve}
 use sfc_index::{BoxRegion, QueryStats, SfcIndex};
 use sfc_obs::MetricsRegistry;
 use sfc_store::memtable::bptree::BPlusTreeMap;
-use sfc_store::{EngineMetrics, SfcStore, ShardedSfcStore};
+use sfc_store::{EngineMetrics, SfcStore, ShardedSfcStore, WalConfig};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::io::Write as _;
@@ -466,6 +466,93 @@ fn bench_memtable_ingest(c: &mut Criterion) {
 const MEMTABLE_OPS: usize = 200_000;
 const MEMTABLE_CAP: usize = 4096;
 const MEMTABLE_ENGINE_OPS: usize = 100_000;
+
+const WAL_OPS: usize = 50_000;
+const WAL_SHARDS: usize = 4;
+
+/// The committed durability budget: group-committed WAL ingest
+/// (`insert_nosync` + one closing `sync()` barrier, `fsync_every` 512)
+/// must stay within this factor of the identical in-memory workload on
+/// tmpfs. `min_ns`-based like the other gates.
+const DURABLE_INGEST_RATIO_GATE: f64 = 2.0;
+
+/// Scratch directory for the WAL bench: `/dev/shm` (tmpfs) when the
+/// host has it, so the gate measures the logging machinery — framing,
+/// queue handoff, group fsync — rather than disk hardware.
+fn wal_bench_dir() -> std::path::PathBuf {
+    let shm = std::path::Path::new("/dev/shm");
+    let base = if shm.is_dir() {
+        shm.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    };
+    base.join(format!("sfc-bench-wal-{}", std::process::id()))
+}
+
+/// Durable vs in-memory ingest: the same 50k-upsert stream through an
+/// identical sharded store, once purely in memory and once with every
+/// record framed, CRC'd, group-committed, and fsynced (writers ride the
+/// queue without waiting; the closing `sync()` barrier makes the whole
+/// stream durable before the iteration ends).
+fn bench_wal_ingest(c: &mut Criterion) {
+    let grid = Grid::<2>::new(GRID_K).unwrap();
+    let z = ZCurve::over(grid);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1212);
+    let ops: Vec<(Point<2>, u64)> = (0..WAL_OPS)
+        .map(|i| (grid.random_cell(&mut rng), i as u64))
+        .collect();
+    let dir = wal_bench_dir();
+
+    let mut group = c.benchmark_group("wal_ingest");
+    group.bench_function("in_memory", |bencher| {
+        bencher.iter(|| {
+            let store = ShardedSfcStore::with_memtable_capacity(z, WAL_SHARDS, 2048);
+            for &(p, v) in &ops {
+                store.insert(p, v);
+            }
+            black_box(store.len())
+        })
+    });
+    group.bench_function("durable_group_commit", |bencher| {
+        bencher.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = ShardedSfcStore::open_durable(
+                z,
+                WAL_SHARDS,
+                2048,
+                WalConfig::new(&dir).fsync_every(512),
+            )
+            .expect("open durable store");
+            for &(p, v) in &ops {
+                store.insert_nosync(p, v);
+            }
+            store.sync().expect("durability barrier");
+            black_box(store.len())
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The ≤2x durability gate CI runs on every release bench.
+fn assert_wal_gate(all_records: &[criterion::BenchRecord]) -> f64 {
+    let min = |name: &str| {
+        all_records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.min_ns)
+            .expect("wal bench recorded")
+    };
+    let ratio = min("wal_ingest/durable_group_commit") / min("wal_ingest/in_memory");
+    assert!(
+        ratio <= DURABLE_INGEST_RATIO_GATE,
+        "durable ingest is {ratio:.3}x the in-memory baseline — over the \
+         {DURABLE_INGEST_RATIO_GATE} budget; the group-commit batching has \
+         stopped amortising the log"
+    );
+    println!("durable ingest overhead: {ratio:.3}x (budget {DURABLE_INGEST_RATIO_GATE})");
+    ratio
+}
 
 /// The committed memtable gate: on the curve-local stream the B+tree
 /// must at least match the `BTreeMap` it replaced (`min_ns`-based, the
@@ -942,7 +1029,7 @@ fn assert_overhead_gate(all_records: &[criterion::BenchRecord]) -> f64 {
 criterion_group! {
     name = ingest_benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_ingest, bench_sharded_ingest, bench_concurrent_throughput, bench_memtable_ingest
+    targets = bench_ingest, bench_sharded_ingest, bench_concurrent_throughput, bench_memtable_ingest, bench_wal_ingest
 }
 
 fn json_escape(s: &str) -> String {
@@ -968,6 +1055,7 @@ fn write_report(
     metrics: &EngineMetrics,
     overhead_ratio: f64,
     memtable: &MemtableRatios,
+    wal_ratio: f64,
 ) {
     let median = |name: &str| {
         all_records
@@ -1111,6 +1199,8 @@ fn write_report(
                 "memtable_ingest/engine_local_writers_4",
             ),
         ),
+        // min_ns-based, same as the ≤2x CI gate.
+        ("durable_vs_in_memory_ingest_ratio", Some(wal_ratio)),
     ];
     for (i, (name, ratio)) in pairs.iter().enumerate() {
         match ratio {
@@ -1142,5 +1232,13 @@ fn main() {
     all_records.extend(criterion::take_records());
     let overhead_ratio = assert_overhead_gate(&all_records);
     let memtable = assert_memtable_gate(&all_records);
-    write_report(&all_records, &qb, &metrics, overhead_ratio, &memtable);
+    let wal_ratio = assert_wal_gate(&all_records);
+    write_report(
+        &all_records,
+        &qb,
+        &metrics,
+        overhead_ratio,
+        &memtable,
+        wal_ratio,
+    );
 }

@@ -44,12 +44,34 @@
 //! the update's newer sequence number keeps it in the memtable, where it
 //! correctly shadows the just-flushed older version.
 //!
+//! ## Durability hook
+//!
+//! A shard of a durable store carries an `Option<Arc<dyn
+//! DurabilityHook>>` (see [`crate::wal`]). The hook is consulted at
+//! exactly three points — none of them on the reader path:
+//!
+//! * **Per write**, *after* the `mem` lock is released: the record goes
+//!   to the group-commit queue under the same sequence number the
+//!   memtable just stamped (the payload is byte-encoded *before* the
+//!   lock, since the value moves into the table inside it). A write is
+//!   *applied* (visible to readers) the moment the lock drops and
+//!   *acked* (durable) when its group is fsynced; synchronous writes
+//!   block between the two.
+//! * **Per epoch publish** (flush / compact / migration): the new run
+//!   stack is persisted and the WAL replay floor advances to the
+//!   publish's sequence high-water, which also lets the committer prune
+//!   dead segments.
+//! * **Per rebalance**, via the deferred-manifest variant — all shards'
+//!   persisted states flip in a single manifest commit.
+//!
 //! ## Lock order
 //!
-//! `partition (RwLock, router level) → maint → mem → EpochCell` —
-//! every acquisition path in this crate follows it; the `EpochCell`
-//! mutex is a leaf (nothing is ever acquired while holding it).
+//! `partition (RwLock, router level) → maint → mem → { EpochCell |
+//! persist → manifest → commit queue }` — every acquisition path in
+//! this crate follows it; the `EpochCell` mutex is a leaf, and the
+//! durability locks (see [`crate::wal`]) chain strictly after `mem`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -60,6 +82,7 @@ use crate::merge::{merge_runs, restore_size_tiers};
 use crate::obs::ShardMetrics;
 use crate::snapshot::StoreSnapshot;
 use crate::view::{Memtable, Run};
+use crate::wal::{DurabilityHook, WalError, WalRecord};
 
 /// One published generation of a shard's frozen state: the immutable run
 /// stack (oldest first) plus the number of live records visible in it.
@@ -193,6 +216,13 @@ pub(crate) struct Shard<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
     /// [`ShardedSfcStore::attach_metrics`](crate::ShardedSfcStore::attach_metrics));
     /// `None` costs one check per operation.
     metrics: Option<Arc<ShardMetrics>>,
+    /// Durability hook of a durable store (`None` = in-memory, one
+    /// pointer check per operation). Set before the store is shared.
+    wal: Option<Arc<dyn DurabilityHook<D, T, C>>>,
+    /// Whether a capacity-full memtable flushes on the writer's own
+    /// thread. The background maintenance thread clears this while it
+    /// runs, moving flush work off every writer's latency path.
+    inline_flush: AtomicBool,
 }
 
 impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
@@ -208,7 +238,71 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
             }),
             epoch: EpochCell::new(RunsEpoch::empty()),
             metrics: None,
+            wal: None,
+            inline_flush: AtomicBool::new(true),
         }
+    }
+
+    /// A shard rebuilt by crash recovery: the checkpointed run stack as
+    /// its epoch and the WAL's replayable records (sorted by seq, all
+    /// `>= high_water`) re-applied to a fresh memtable with their
+    /// original sequence numbers — exactly the state an in-memory shard
+    /// would hold right after the checkpointed flush plus those writes.
+    pub(crate) fn recovered(
+        curve: &C,
+        cap: usize,
+        runs: Vec<Run<D, T, C>>,
+        epoch_live: usize,
+        high_water: u64,
+        records: Vec<WalRecord<D, T>>,
+    ) -> Self {
+        let shard = Self::new(cap);
+        let epoch = Arc::new(RunsEpoch {
+            runs,
+            live: epoch_live,
+        });
+        {
+            let mut mem = shard.mem.lock().expect("shard mem poisoned");
+            mem.live = epoch_live;
+            mem.next_seq = high_water;
+            for rec in records {
+                debug_assert!(rec.seq >= high_water, "replay below the floor");
+                let key = curve.index_of(rec.point);
+                let was_live = match mem.table.get(&key) {
+                    Some((_, slot, _)) => slot.is_some(),
+                    None => epoch.is_live(key),
+                };
+                let now_live = rec.slot.is_some();
+                mem.table.insert(key, (rec.point, rec.slot, rec.seq));
+                match (was_live, now_live) {
+                    (false, true) => mem.live += 1,
+                    (true, false) => mem.live -= 1,
+                    _ => {}
+                }
+                mem.next_seq = mem.next_seq.max(rec.seq + 1);
+            }
+        }
+        shard.epoch.publish(epoch);
+        shard
+    }
+
+    /// Installs the durability hook. Needs `&mut self` — hooks attach
+    /// during open, before the store is shared across threads.
+    pub(crate) fn set_wal(&mut self, hook: Arc<dyn DurabilityHook<D, T, C>>) {
+        self.wal = Some(hook);
+    }
+
+    /// Turns writer-thread capacity flushes on or off (see
+    /// [`Self::over_capacity`]; maintenance turns them off while it
+    /// owns flushing).
+    pub(crate) fn set_inline_flush(&self, inline: bool) {
+        self.inline_flush.store(inline, Ordering::Relaxed);
+    }
+
+    /// `true` when the memtable has reached its flush capacity.
+    pub(crate) fn over_capacity(&self) -> bool {
+        let mem = self.mem.lock().expect("shard mem poisoned");
+        mem.table.len() >= mem.cap
     }
 
     /// Installs the shard's metric handles and primes the level gauges
@@ -235,7 +329,9 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         cap: usize,
     ) -> Self {
         let shard = Self::new(cap);
-        shard.install_bottom_run(curve, keys, points, payloads);
+        shard
+            .install_bottom_run(curve, keys, points, payloads, false)
+            .expect("no durability hook attached yet");
         shard
     }
 
@@ -325,15 +421,34 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
 
 impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
     /// Upserts the record at `key`; returns `true` if a live record was
-    /// replaced. Flushes the memtable when it reaches capacity.
-    pub(crate) fn insert(&self, curve: &C, key: CurveIndex, p: Point<D>, payload: T) -> bool {
+    /// replaced. Flushes the memtable when it reaches capacity (unless
+    /// background maintenance owns flushing).
+    ///
+    /// On a durable shard the write is logged under its memtable
+    /// sequence number after the lock drops; with `wait` the call blocks
+    /// until the group commit makes it durable. An `Err` means the write
+    /// is *applied but not acked* — readers may already see it, and it
+    /// can be lost on crash.
+    pub(crate) fn insert(
+        &self,
+        curve: &C,
+        key: CurveIndex,
+        p: Point<D>,
+        payload: T,
+        wait: bool,
+    ) -> Result<bool, WalError> {
         let m = self.metrics.as_deref();
         let timer = m.and_then(|m| {
             m.inserts.inc();
             m.sampler.sampled_start()
         });
+        // Encode before the lock: the payload moves into the table
+        // inside it, and byte-encoding under `mem` would serialise all
+        // writers behind it.
+        let payload_bytes = self.wal.as_deref().map(|w| w.encode_payload(&payload));
         let needs_flush;
         let was_live;
+        let seq;
         let (mem_len, mem_bytes, live);
         {
             let mut mem = self.mem.lock().expect("shard mem poisoned");
@@ -341,19 +456,22 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 Some((_, slot, _)) => slot.is_some(),
                 None => self.epoch.load().is_live(key),
             };
-            let seq = mem.next_seq;
+            seq = mem.next_seq;
             mem.next_seq += 1;
             mem.table.insert(key, (p, Some(payload), seq));
             if !was_live {
                 mem.live += 1;
             }
-            needs_flush = mem.table.len() >= mem.cap;
+            needs_flush = mem.table.len() >= mem.cap && self.inline_flush.load(Ordering::Relaxed);
             mem_len = mem.table.len();
             mem_bytes = mem.table.heap_bytes();
             live = mem.live;
         }
+        if let Some(w) = self.wal.as_deref() {
+            w.log_write(seq, &p, payload_bytes, wait)?;
+        }
         if needs_flush {
-            self.flush(curve);
+            self.flush(curve)?;
         }
         if let Some(m) = m {
             if let Some(start) = timer {
@@ -367,7 +485,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 m.live.set(live as i64);
             }
         }
-        was_live
+        Ok(was_live)
     }
 
     /// Deletes the record at `key`; returns `true` if a live record was
@@ -377,7 +495,15 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
     /// just remove the entry" shortcut of the single-writer store is not
     /// sound here. Tombstones that turn out to shadow nothing are dropped
     /// when a flush builds the bottom run.
-    pub(crate) fn delete(&self, curve: &C, key: CurveIndex, p: Point<D>) -> bool {
+    ///
+    /// Durability semantics match [`Self::insert`].
+    pub(crate) fn delete(
+        &self,
+        curve: &C,
+        key: CurveIndex,
+        p: Point<D>,
+        wait: bool,
+    ) -> Result<bool, WalError> {
         let m = self.metrics.as_deref();
         let timer = m.and_then(|m| {
             m.deletes.inc();
@@ -385,6 +511,7 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         });
         let needs_flush;
         let was_live;
+        let seq;
         let (mem_len, mem_bytes, live);
         {
             let mut mem = self.mem.lock().expect("shard mem poisoned");
@@ -392,19 +519,22 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 Some((_, slot, _)) => slot.is_some(),
                 None => self.epoch.load().is_live(key),
             };
-            let seq = mem.next_seq;
+            seq = mem.next_seq;
             mem.next_seq += 1;
             mem.table.insert(key, (p, None, seq));
             if was_live {
                 mem.live -= 1;
             }
-            needs_flush = mem.table.len() >= mem.cap;
+            needs_flush = mem.table.len() >= mem.cap && self.inline_flush.load(Ordering::Relaxed);
             mem_len = mem.table.len();
             mem_bytes = mem.table.heap_bytes();
             live = mem.live;
         }
+        if let Some(w) = self.wal.as_deref() {
+            w.log_write(seq, &p, None, wait)?;
+        }
         if needs_flush {
-            self.flush(curve);
+            self.flush(curve)?;
         }
         if let Some(m) = m {
             if let Some(start) = timer {
@@ -416,24 +546,27 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 m.live.set(live as i64);
             }
         }
-        was_live
+        Ok(was_live)
     }
 
     /// Drains the memtable into a new published run (see the module docs
     /// for the publish-before-drain protocol), then restores the
     /// size-tier invariant. A no-op on an empty memtable.
-    pub(crate) fn flush(&self, curve: &C) {
+    ///
+    /// On a durable shard the publish also persists the new run stack
+    /// and advances the WAL replay floor to the flush's high-water.
+    pub(crate) fn flush(&self, curve: &C) -> Result<(), WalError> {
         let _maint = self.maint.lock().expect("shard maint poisoned");
-        self.flush_locked(curve);
+        self.flush_locked(curve)
     }
 
-    fn flush_locked(&self, curve: &C) {
+    fn flush_locked(&self, curve: &C) -> Result<(), WalError> {
         let start = Instant::now();
         // Step 1: clone the memtable image under a brief mem lock.
         let (entries, high_water, live_at) = {
             let mem = self.mem.lock().expect("shard mem poisoned");
             if mem.table.is_empty() {
-                return;
+                return Ok(());
             }
             let entries: Vec<(CurveIndex, Point<D>, Option<T>)> = mem
                 .table
@@ -470,10 +603,11 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         // `live_at` was captured together with the memtable image: after
         // the flush, everything that was visible then lives in `runs`.
         let run_count = runs.len();
-        self.epoch.publish(Arc::new(RunsEpoch {
+        let published = Arc::new(RunsEpoch {
             runs,
             live: live_at,
-        }));
+        });
+        self.epoch.publish(Arc::clone(&published));
         // Step 3: drain exactly the flushed entries; concurrent writes
         // carry seq >= high_water and stay. `retain` is one ordered
         // cursor walk down the leaf chain — survivors compact in place,
@@ -483,6 +617,11 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
             mem.table.retain(|_, &(_, _, seq)| seq >= high_water);
             (mem.table.len(), mem.table.heap_bytes(), mem.live)
         };
+        // Persist the publish and advance the WAL replay floor: every
+        // record with seq < high_water is now covered by the run files.
+        if let Some(w) = self.wal.as_deref() {
+            w.persist_epoch(&published.runs, published.live, Some(high_water), false)?;
+        }
         if let Some(m) = self.metrics.as_deref() {
             m.flushes.inc();
             m.epoch_publishes.inc();
@@ -492,14 +631,15 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
             m.run_count.set(run_count as i64);
             m.live.set(live as i64);
         }
+        Ok(())
     }
 
     /// Major compaction: flush, then merge all runs into a single
     /// tombstone-free run and publish it as the next epoch.
-    pub(crate) fn compact(&self, curve: &C) {
+    pub(crate) fn compact(&self, curve: &C) -> Result<(), WalError> {
         let start = Instant::now();
         let _maint = self.maint.lock().expect("shard maint poisoned");
-        self.flush_locked(curve);
+        self.flush_locked(curve)?;
         let old = self.epoch.load();
         let mut published = None;
         if old.runs.len() > 1 {
@@ -515,10 +655,17 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 "after compaction every stored record is live"
             );
             published = Some(runs.len());
-            self.epoch.publish(Arc::new(RunsEpoch {
+            let epoch = Arc::new(RunsEpoch {
                 runs,
                 live: old.live,
-            }));
+            });
+            self.epoch.publish(Arc::clone(&epoch));
+            // Compaction republishes existing data under a merged run:
+            // the replay floor is unchanged (`None` keeps the stored
+            // high-water — the memtable may hold live records above it).
+            if let Some(w) = self.wal.as_deref() {
+                w.persist_epoch(&epoch.runs, epoch.live, None, false)?;
+            }
         }
         if let Some(m) = self.metrics.as_deref() {
             m.compactions.inc();
@@ -528,16 +675,21 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 m.run_count.set(run_count as i64);
             }
         }
+        Ok(())
     }
 
     /// Freezes the shard into an owned [`StoreSnapshot`]: flush, then pin
     /// the published epoch. The snapshot is complete with respect to
     /// every write that happened before this call; after creation it
     /// never touches a shard lock again.
-    pub(crate) fn snapshot(&self, curve: &C) -> StoreSnapshot<D, T, C> {
-        self.flush(curve);
+    pub(crate) fn snapshot(&self, curve: &C) -> Result<StoreSnapshot<D, T, C>, WalError> {
+        self.flush(curve)?;
         let epoch = self.epoch.load();
-        StoreSnapshot::new(curve.clone(), epoch.runs.clone(), epoch.live)
+        Ok(StoreSnapshot::new(
+            curve.clone(),
+            epoch.runs.clone(),
+            epoch.live,
+        ))
     }
 }
 
@@ -545,13 +697,21 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
     /// Replaces the shard's entire contents with one bottom run — the
     /// migration primitive `rebalance` uses while it holds the router's
     /// exclusive guard (no writer or reader can be in flight).
+    ///
+    /// On a durable shard the install persists with its replay floor at
+    /// the current `next_seq` (every prior record is either in the new
+    /// run or migrated to another shard). With `defer_manifest` the
+    /// manifest flip waits for the engine-level
+    /// [`commit_boundaries`](crate::wal::WalEngine::commit_boundaries) —
+    /// a crash mid-rebalance then rolls every shard back together.
     pub(crate) fn install_bottom_run(
         &self,
         curve: &C,
         keys: Vec<CurveIndex>,
         points: Vec<Point<D>>,
         payloads: Vec<Option<T>>,
-    ) {
+        defer_manifest: bool,
+    ) -> Result<(), WalError> {
         debug_assert!(
             keys.windows(2).all(|w| w[0] < w[1]),
             "bottom run keys must be strictly increasing"
@@ -563,6 +723,7 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         let _maint = self.maint.lock().expect("shard maint poisoned");
         let mut mem = self.mem.lock().expect("shard mem poisoned");
         let live = keys.len();
+        let high_water = mem.next_seq;
         mem.table.clear();
         mem.live = live;
         let runs = if keys.is_empty() {
@@ -575,13 +736,27 @@ impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
                 payloads,
             ))]
         };
-        self.epoch.publish(Arc::new(RunsEpoch { runs, live }));
+        let epoch = Arc::new(RunsEpoch { runs, live });
+        self.epoch.publish(Arc::clone(&epoch));
+        if let Some(w) = self.wal.as_deref() {
+            w.persist_epoch(&epoch.runs, live, Some(high_water), defer_manifest)?;
+        }
         if let Some(m) = self.metrics.as_deref() {
             m.epoch_publishes.inc();
             m.memtable_len.set(0);
             m.memtable_bytes.set(mem.table.heap_bytes() as i64);
             m.live.set(live as i64);
             m.run_count.set(i64::from(live > 0));
+        }
+        Ok(())
+    }
+
+    /// Completes this shard's deferred durable commit after the
+    /// engine-level manifest write (no-op without a hook or a deferral).
+    pub(crate) fn finish_durable_commit(&self) -> Result<(), WalError> {
+        match self.wal.as_deref() {
+            Some(w) => w.finish_commit(),
+            None => Ok(()),
         }
     }
 }

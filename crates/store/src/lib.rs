@@ -159,9 +159,11 @@
 //! [`StoreEntry`] values (payloads cloned per reported hit).
 //!
 //! **Lock order** — `partition RwLock → shard maint → shard mem →
-//! epoch cell / traffic stripe`; the last two are leaves, and multiple
-//! shards are only locked together (in ascending index order) under the
-//! partition's write guard.
+//! { epoch cell / traffic stripe | shard persist → manifest → commit
+//! queue }`; the durable chain appears only on stores opened with
+//! [`ShardedSfcStore::open_durable`], the commit-queue mutex is the last
+//! lock on every path, and multiple shards are only locked together (in
+//! ascending index order) under the partition's write guard.
 //!
 //! **Traffic and rebalancing** — per-cell write weights accumulate in a
 //! striped [`ConcurrentTraffic`](sfc_partition::ConcurrentTraffic)
@@ -192,6 +194,44 @@
 //! The vendored rayon stand-in spawns real threads too, so
 //! `par_iter()`-style fan-outs over snapshot shards distribute as well.
 //!
+//! ## Durability: write-ahead log, group commit, crash recovery
+//!
+//! Everything above is volatile; [`ShardedSfcStore::open_durable`] makes
+//! the sharded engine crash-safe (see the [`wal`] module for the full
+//! contract). The design rides the structure the engine already has
+//! rather than adding a second ordering domain:
+//!
+//! * **Logging.** Every write appends one length-prefixed, CRC32C-checked
+//!   frame to its shard's append-only segment log, carrying the *same
+//!   sequence number* the memtable stamped on the entry. Writers never
+//!   touch a file: frames land on an in-memory commit queue and a
+//!   dedicated committer thread batches them — one fsync per shard per
+//!   **group**, where a group accumulates across drains up to
+//!   [`WalConfig::fsync_every`] records while no writer waits on an ack
+//!   (a waiter, a barrier, or shutdown fsyncs immediately;
+//!   [`WalConfig::max_batch_delay`] optionally lingers for fuller
+//!   groups) — before acking. [`ShardedSfcStore::sync`] is the explicit
+//!   durability barrier for the `*_nosync` write variants.
+//! * **Acked vs applied.** A write is *applied* (visible to queries and
+//!   to later writes) the moment its memtable lock drops, and *acked*
+//!   (durable) only when its group's fsync completes. The synchronous
+//!   write paths return after both; on error the write is applied but
+//!   may be lost by a crash.
+//! * **Checkpoints.** A flush persists its published runs as run files,
+//!   writes a checkpoint naming them plus the flush's sequence
+//!   high-water `H`, and flips the root `MANIFEST`
+//!   (write-temp → fsync → rename → fsync-dir — the single commit
+//!   point). Reopening loads the checkpointed runs and replays exactly
+//!   the frames with `seq >= H`; segments wholly below `H` are pruned by
+//!   the committer after the next group commit, off the writer path.
+//!   A torn frame at the newest segment's tail (only ever an unacked
+//!   write) is discarded; damage anywhere else is a typed
+//!   [`WalError::Corrupt`] — never a panic, never a silent skip.
+//! * **Background maintenance.** [`ShardedSfcStore::start_maintenance`]
+//!   moves size-triggered flushes and tiered-compaction scheduling onto
+//!   a per-store thread with an optional token-bucket [`RateLimit`], so
+//!   writers never stall behind a major merge ([`MaintenanceConfig`]).
+//!
 //! ## Observability
 //!
 //! Both store flavours can report into a shared
@@ -214,6 +254,7 @@
 #![forbid(unsafe_code)]
 
 mod epoch;
+mod maintenance;
 pub mod memtable;
 mod merge;
 pub mod obs;
@@ -221,7 +262,9 @@ mod shard;
 mod snapshot;
 mod store;
 mod view;
+pub mod wal;
 
+pub use maintenance::{MaintenanceConfig, RateLimit};
 pub use obs::{EngineMetrics, QueryTrace};
 pub use shard::{ShardedSfcStore, ShardedSnapshot};
 pub use snapshot::StoreSnapshot;
@@ -229,3 +272,4 @@ pub use store::{SfcStore, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
 pub use view::{
     LevelStrategy, QueryPlan, SnapshotIter, INTERVAL_VOLUME_CUTOFF, KNN_BALL_INTERVALS_CUTOFF,
 };
+pub use wal::{RecoveryStats, WalConfig, WalError, WalPayload};

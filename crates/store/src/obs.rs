@@ -96,6 +96,45 @@ impl ShardMetrics {
     }
 }
 
+/// Cached handles for the write-ahead log's committer (see
+/// [`crate::wal`]): registered by every [`EngineMetrics`] under the
+/// `wal.` prefix, driven only when the store is durable.
+#[derive(Debug)]
+pub struct WalMetrics {
+    /// `wal.records` — records appended to the log.
+    pub(crate) records: Counter,
+    /// `wal.bytes` — framed bytes appended.
+    pub(crate) bytes: Counter,
+    /// `wal.groups` — group commits (one fsync per touched shard each).
+    pub(crate) groups: Counter,
+    /// `wal.segments.pruned` — segment files reclaimed by truncation.
+    pub(crate) prunes: Counter,
+    /// `wal.segments` — live segment files across all shards.
+    pub(crate) segments: Gauge,
+    /// `wal.append.ns` — writer-side append latency (queue push, plus
+    /// the durability wait for synchronous writes).
+    pub(crate) append_ns: Histogram,
+    /// `wal.fsync.ns` — committer-side write+fsync latency per group.
+    pub(crate) fsync_ns: Histogram,
+    /// `wal.group_size` — records amortised per group commit.
+    pub(crate) group_size: Histogram,
+}
+
+impl WalMetrics {
+    fn register(registry: &MetricsRegistry) -> Arc<Self> {
+        Arc::new(WalMetrics {
+            records: registry.counter("wal.records"),
+            bytes: registry.counter("wal.bytes"),
+            groups: registry.counter("wal.groups"),
+            prunes: registry.counter("wal.segments.pruned"),
+            segments: registry.gauge("wal.segments"),
+            append_ns: registry.histogram("wal.append.ns"),
+            fsync_ns: registry.histogram("wal.fsync.ns"),
+            group_size: registry.histogram("wal.group_size"),
+        })
+    }
+}
+
 /// Which query family an operation belongs to — selects the latency
 /// histogram it reports into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +166,11 @@ pub struct EngineMetrics {
     q_blocks_decoded: Counter,
     rebalances: Counter,
     rebalance_ns: Histogram,
+    wal: Arc<WalMetrics>,
+    pub(crate) maintenance_ticks: Counter,
+    pub(crate) maintenance_flushes: Counter,
+    pub(crate) maintenance_compactions: Counter,
+    pub(crate) maintenance_throttle_ns: Histogram,
     slow: SlowLog<QueryTrace>,
 }
 
@@ -151,6 +195,11 @@ impl EngineMetrics {
             q_blocks_decoded: registry.counter("engine.query.blocks_decoded"),
             rebalances: registry.counter("engine.rebalance.count"),
             rebalance_ns: registry.histogram("engine.rebalance.ns"),
+            wal: WalMetrics::register(&registry),
+            maintenance_ticks: registry.counter("engine.maintenance.ticks"),
+            maintenance_flushes: registry.counter("engine.maintenance.flushes"),
+            maintenance_compactions: registry.counter("engine.maintenance.compactions"),
+            maintenance_throttle_ns: registry.histogram("engine.maintenance.throttle.ns"),
             slow: SlowLog::new(
                 SLOW_QUERY_LOG_CAPACITY,
                 Duration::from_nanos(DEFAULT_SLOW_QUERY_NS),
@@ -187,6 +236,12 @@ impl EngineMetrics {
 
     pub(crate) fn shard(&self, j: usize) -> &Arc<ShardMetrics> {
         &self.shards[j]
+    }
+
+    /// The write-ahead-log handles (registered under `wal.*`; driven
+    /// only when the store is durable).
+    pub(crate) fn wal(&self) -> &Arc<WalMetrics> {
+        &self.wal
     }
 
     /// Changes the write/get timing decimation on every shard

@@ -33,9 +33,12 @@
 //!   records — after which concurrency resumes.
 //!
 //! **Lock order** (deadlock freedom): `partition RwLock → shard maint →
-//! shard mem → epoch cell / traffic stripe` (the last two are leaves).
-//! Shards are only ever locked in ascending index order when more than
-//! one is held (migration), and only under the partition write guard.
+//! shard mem → { epoch cell / traffic stripe | shard persist →
+//! manifest → commit queue }` — the durable chain exists only on stores
+//! opened with [`open_durable`](ShardedSfcStore::open_durable), and the
+//! commit-queue mutex is the last lock on every path. Shards are only
+//! ever locked in ascending index order when more than one is held
+//! (migration), and only under the partition write guard.
 //!
 //! Because query results can no longer borrow from state behind a lock,
 //! the concurrent store returns **owned** [`StoreEntry`] values (payloads
@@ -44,7 +47,7 @@
 
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
 use std::time::Instant;
 
 use sfc_core::{CurveIndex, Point, SpaceFillingCurve, ZCurve};
@@ -53,6 +56,7 @@ use sfc_obs::MetricsRegistry;
 use sfc_partition::{ConcurrentTraffic, Partition, TrafficWeights};
 
 use crate::epoch::{Shard, ShardCapture};
+use crate::maintenance::{wait_tick, MaintenanceConfig, MaintenanceHandle, TokenBucket};
 use crate::obs::{EngineMetrics, QueryOp, QueryTrace};
 use crate::snapshot::StoreSnapshot;
 use crate::store::{sorted_unique_columns, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
@@ -60,6 +64,7 @@ use crate::view::{
     distance_key_order, interval_hull, offer, radius_from_heap, rank_by_distance, should_decompose,
     with_knn_heap, LevelsView, QueryPlan,
 };
+use crate::wal::{self, RecoveryStats, WalConfig, WalEngine, WalError, WalPayload, WalShard};
 
 /// An inclusive curve-index interval.
 type Interval = (CurveIndex, CurveIndex);
@@ -450,6 +455,13 @@ pub struct ShardedSfcStore<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
     /// ([`ShardedSfcStore::attach_metrics`]); the per-shard bundles live
     /// inside the shards themselves.
     metrics: Option<Arc<EngineMetrics>>,
+    /// Durability engine (committer thread + manifest state) when the
+    /// store was opened with [`open_durable`](Self::open_durable).
+    wal: Option<Arc<WalEngine>>,
+    /// What the most recent [`open_durable`](Self::open_durable) did.
+    recovery: Option<RecoveryStats>,
+    /// Handle to the background maintenance thread, when running.
+    maintenance: Mutex<Option<MaintenanceHandle>>,
 }
 
 impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> fmt::Debug for ShardedSfcStore<D, T, C> {
@@ -510,6 +522,9 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
             shards,
             traffic: ConcurrentTraffic::new(n, parts),
             metrics: None,
+            wal: None,
+            recovery: None,
+            maintenance: Mutex::new(None),
         }
     }
 
@@ -542,6 +557,9 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
             shards,
             traffic: ConcurrentTraffic::new(n, parts),
             metrics: None,
+            wal: None,
+            recovery: None,
+            maintenance: Mutex::new(None),
         }
     }
 
@@ -563,6 +581,9 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
         );
         for (j, shard) in self.shards.iter_mut().enumerate() {
             shard.set_metrics(metrics.shard(j).clone());
+        }
+        if let Some(engine) = &self.wal {
+            engine.committer.set_metrics(metrics.wal().clone());
         }
         self.metrics = Some(metrics);
     }
@@ -818,25 +839,95 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
     /// writers to different shards never contend), routed to the owning
     /// shard; records one unit of write weight on the shard's traffic
     /// stripe. Returns `true` if a live record was replaced.
+    ///
+    /// On a durable store this blocks for the group-commit ack — the
+    /// write is both *applied* and *durable* when it returns (see
+    /// [`try_insert`](Self::try_insert) for the acked-vs-applied
+    /// contract) — and panics if the log has failed; use
+    /// [`try_insert`](Self::try_insert) to handle [`WalError`] instead.
     pub fn insert(&self, p: Point<D>, payload: T) -> bool {
-        assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
-        let key = self.curve.index_of(p);
-        let part = self.partition.read().expect("partition poisoned");
-        let j = part.part_of(key);
-        self.traffic.record_write(j, key);
-        self.shards[j].insert(&self.curve, key, p, payload)
+        self.try_insert(p, payload)
+            .unwrap_or_else(|e| panic!("durable insert failed: {e}"))
     }
 
     /// Deletes the record at cell `p` (`&self`), routed to the owning
     /// shard; records one unit of write weight on the shard's traffic
     /// stripe. Returns `true` if a live record was removed.
+    ///
+    /// On a durable store this blocks for the group-commit ack and
+    /// panics if the log has failed; use
+    /// [`try_delete`](Self::try_delete) to handle [`WalError`] instead.
     pub fn delete(&self, p: Point<D>) -> bool {
+        self.try_delete(p)
+            .unwrap_or_else(|e| panic!("durable delete failed: {e}"))
+    }
+
+    /// [`insert`](Self::insert) with the durability failure surfaced.
+    ///
+    /// **Acked vs applied.** The write is *applied* — visible to queries
+    /// and to subsequent writes — the moment the shard's memtable lock
+    /// drops, and *acknowledged* (durable) only when the committer's
+    /// group fsync covering it completes; this call returns `Ok` after
+    /// both. On `Err` the write **is applied but not acknowledged**: it
+    /// remains visible in this process and may be lost by a crash. On an
+    /// in-memory store there is no ack and this never fails.
+    pub fn try_insert(&self, p: Point<D>, payload: T) -> Result<bool, WalError> {
+        self.insert_at(p, payload, true)
+    }
+
+    /// [`delete`](Self::delete) with the durability failure surfaced —
+    /// same acked-vs-applied contract as [`try_insert`](Self::try_insert)
+    /// (an `Err` tombstone is applied but not acknowledged).
+    pub fn try_delete(&self, p: Point<D>) -> Result<bool, WalError> {
+        self.delete_at(p, true)
+    }
+
+    /// [`insert`](Self::insert) without waiting for the durable ack: the
+    /// frame is handed to the group committer and the call returns as
+    /// soon as the write is applied. Pair with [`sync`](Self::sync) —
+    /// the write is durable only once a later `sync` (or awaited write)
+    /// returns `Ok`. Panics if the log has already failed (the sticky
+    /// committer error).
+    pub fn insert_nosync(&self, p: Point<D>, payload: T) -> bool {
+        self.insert_at(p, payload, false)
+            .unwrap_or_else(|e| panic!("durable insert failed: {e}"))
+    }
+
+    /// [`delete`](Self::delete) without waiting for the durable ack; see
+    /// [`insert_nosync`](Self::insert_nosync).
+    pub fn delete_nosync(&self, p: Point<D>) -> bool {
+        self.delete_at(p, false)
+            .unwrap_or_else(|e| panic!("durable delete failed: {e}"))
+    }
+
+    fn insert_at(&self, p: Point<D>, payload: T, wait: bool) -> Result<bool, WalError> {
         assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
         let key = self.curve.index_of(p);
         let part = self.partition.read().expect("partition poisoned");
         let j = part.part_of(key);
         self.traffic.record_write(j, key);
-        self.shards[j].delete(&self.curve, key, p)
+        self.shards[j].insert(&self.curve, key, p, payload, wait)
+    }
+
+    fn delete_at(&self, p: Point<D>, wait: bool) -> Result<bool, WalError> {
+        assert!(self.curve.grid().contains(&p), "record out of bounds: {p}");
+        let key = self.curve.index_of(p);
+        let part = self.partition.read().expect("partition poisoned");
+        let j = part.part_of(key);
+        self.traffic.record_write(j, key);
+        self.shards[j].delete(&self.curve, key, p, wait)
+    }
+
+    /// The durability barrier: returns once every write accepted before
+    /// this call is fsynced (skipping the group linger for the final
+    /// batch). The barrier for [`insert_nosync`](Self::insert_nosync) /
+    /// [`delete_nosync`](Self::delete_nosync) streams; an immediate
+    /// `Ok(())` on an in-memory store.
+    pub fn sync(&self) -> Result<(), WalError> {
+        match &self.wal {
+            Some(engine) => engine.committer.sync(),
+            None => Ok(()),
+        }
     }
 
     /// Adds explicit weight for cell `p` to the traffic feedback without
@@ -850,21 +941,40 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
     }
 
     /// Flushes every shard's memtable (each publishes a fresh epoch).
+    /// On a durable store each flush also persists its runs and
+    /// checkpoint; panics if persistence fails (use
+    /// [`try_flush`](Self::try_flush) to handle [`WalError`]).
     pub fn flush(&self) {
+        self.try_flush()
+            .unwrap_or_else(|e| panic!("durable flush failed: {e}"));
+    }
+
+    /// [`flush`](Self::flush) with the durability failure surfaced.
+    pub fn try_flush(&self) -> Result<(), WalError> {
         let _part = self.partition.read().expect("partition poisoned");
         for shard in self.shards.iter() {
-            shard.flush(&self.curve);
+            shard.flush(&self.curve)?;
         }
+        Ok(())
     }
 
     /// Major compaction of every shard (each collapses to a single
     /// tombstone-free run). Readers are never blocked: each shard's merge
     /// builds the next epoch off to the side and swaps it in whole.
+    /// Panics if a durable store fails to persist the result (use
+    /// [`try_compact`](Self::try_compact) to handle [`WalError`]).
     pub fn compact(&self) {
+        self.try_compact()
+            .unwrap_or_else(|e| panic!("durable compaction failed: {e}"));
+    }
+
+    /// [`compact`](Self::compact) with the durability failure surfaced.
+    pub fn try_compact(&self) -> Result<(), WalError> {
         let _part = self.partition.read().expect("partition poisoned");
         for shard in self.shards.iter() {
-            shard.compact(&self.curve);
+            shard.compact(&self.curve)?;
         }
+        Ok(())
     }
 
     /// Freezes the sharded store into an owned [`ShardedSnapshot`]: each
@@ -887,7 +997,10 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
             shards: self
                 .shards
                 .iter()
-                .map(|s| s.snapshot(&self.curve))
+                .map(|s| {
+                    s.snapshot(&self.curve)
+                        .unwrap_or_else(|e| panic!("durable flush failed: {e}"))
+                })
                 .collect(),
         }
     }
@@ -923,7 +1036,9 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
         // from here on, so the changed-shard captures below are pure
         // run-stack walks and unchanged shards keep their state as-is.
         for shard in self.shards.iter() {
-            shard.flush(&self.curve);
+            shard
+                .flush(&self.curve)
+                .unwrap_or_else(|e| panic!("durable flush failed: {e}"));
         }
         // Gather the records of shards whose range moved, in curve order
         // (changed ranges are ascending, like the shards).
@@ -941,6 +1056,12 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
             }
         }
         let mut records = moved.into_iter().peekable();
+        // Durable stores defer the per-install manifest flips: run files
+        // and checkpoints are written here, but the root manifest — the
+        // single commit point — is replaced once below, carrying the new
+        // boundaries *and* every bumped generation together, so a crash
+        // mid-rebalance rolls back to the consistent pre-rebalance cut.
+        let defer = self.wal.is_some();
         for (j, shard) in self.shards.iter().enumerate() {
             if !changed[j] {
                 debug_assert!(
@@ -961,14 +1082,277 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
                 points.push(p);
                 payloads.push(v);
             }
-            shard.install_bottom_run(&self.curve, keys, points, payloads);
+            shard
+                .install_bottom_run(&self.curve, keys, points, payloads, defer)
+                .unwrap_or_else(|e| panic!("durable rebalance install failed: {e}"));
         }
         debug_assert!(records.next().is_none(), "every record migrated");
+        if let Some(engine) = &self.wal {
+            engine
+                .commit_boundaries(new.boundaries().to_vec())
+                .unwrap_or_else(|e| panic!("durable rebalance commit failed: {e}"));
+            for (j, shard) in self.shards.iter().enumerate() {
+                if changed[j] {
+                    shard
+                        .finish_durable_commit()
+                        .unwrap_or_else(|e| panic!("durable rebalance cleanup failed: {e}"));
+                }
+            }
+        }
         *part = new;
         if let Some(m) = self.metrics.as_deref() {
             m.note_rebalance(start);
         }
         true
+    }
+
+    /// What the [`open_durable`](Self::open_durable) that produced this
+    /// store did — `None` on an in-memory store.
+    pub fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
+    }
+
+    /// `true` when this store persists through a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Consumes the store as a power cut would: the maintenance thread
+    /// is stopped, then the committer is killed **without** draining its
+    /// queue or issuing a final fsync — in-flight unacknowledged writes
+    /// are abandoned exactly as a real crash abandons them. The
+    /// directory can be reopened with [`open_durable`](Self::open_durable)
+    /// afterwards; only acknowledged writes are guaranteed back. For the
+    /// crash-recovery tests and anyone else rehearsing failure.
+    pub fn simulate_crash(self) {
+        self.stop_maintenance();
+        if let Some(engine) = &self.wal {
+            engine.committer.abort();
+        }
+        // The normal Drop runs next; shutdown after abort is a no-op.
+    }
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<D, T, C> {
+    /// Stops the background maintenance thread (no-op if none is
+    /// running) and restores inline capacity flushes on the writer
+    /// paths. Called automatically on drop.
+    pub fn stop_maintenance(&self) {
+        let handle = self
+            .maintenance
+            .lock()
+            .expect("maintenance handle poisoned")
+            .take();
+        if let Some(mut h) = handle {
+            {
+                let (lock, cv) = &*h.stop;
+                *lock.lock().expect("maintenance stop signal poisoned") = true;
+                cv.notify_all();
+            }
+            if let Some(join) = h.handle.take() {
+                // The maintenance thread itself can drop the last strong
+                // reference (its `Weak` upgrade raced the owner's drop);
+                // it must not join itself.
+                if join.thread().id() != std::thread::current().id() {
+                    let _ = join.join();
+                }
+            }
+            for shard in self.shards.iter() {
+                shard.set_inline_flush(true);
+            }
+        }
+    }
+}
+
+impl<const D: usize, T, C: SpaceFillingCurve<D> + Clone> Drop for ShardedSfcStore<D, T, C> {
+    /// Clean shutdown: stop maintenance, then drain every accepted
+    /// append to disk before the committer thread exits (writes that
+    /// were applied but not yet fsynced become durable — only
+    /// [`simulate_crash`](Self::simulate_crash) abandons them).
+    fn drop(&mut self) {
+        self.stop_maintenance();
+        if let Some(engine) = &self.wal {
+            engine.committer.shutdown();
+        }
+    }
+}
+
+/// Opening a durable store. The payload must implement [`WalPayload`]
+/// (the log's byte codec) — the one place the bound appears.
+impl<const D: usize, T, C> ShardedSfcStore<D, T, C>
+where
+    T: WalPayload + Clone + Send + Sync + 'static,
+    C: SpaceFillingCurve<D> + Clone + Send + Sync + 'static,
+{
+    /// Opens (or creates) a durable store rooted at `config.dir`: loads
+    /// the manifest-referenced checkpoints and runs, replays the WAL
+    /// tail into the memtables, garbage-collects debris from any
+    /// interrupted flush or rebalance, and starts the group-commit
+    /// thread. The shard boundaries come from the manifest (the last
+    /// committed [`rebalance`](Self::rebalance) wins); a fresh directory
+    /// starts uniform.
+    ///
+    /// Returns [`WalError::Mismatch`] if the directory holds a store
+    /// with a different shard count, dimensionality, or curve domain,
+    /// and [`WalError::Corrupt`] if referenced state is damaged (a torn
+    /// log tail is *not* damage — see the [`wal`](crate::wal) module).
+    pub fn open_durable(
+        curve: C,
+        parts: usize,
+        capacity: usize,
+        config: WalConfig,
+    ) -> Result<Self, WalError> {
+        assert!(parts >= 1, "need at least one shard");
+        let recovered = wal::recover::<D, T, C>(&config, &curve, parts)?;
+        let partition = Partition::from_boundaries(recovered.manifest.boundaries.clone());
+        let logs = recovered.shards.iter().map(|s| s.log.clone()).collect();
+        let committer = wal::Committer::spawn(&config, D as u8, logs);
+        let engine = Arc::new(WalEngine::new(
+            &config,
+            D as u8,
+            committer,
+            recovered.manifest,
+        ));
+        let n = curve.grid().n();
+        let mut shards = Vec::with_capacity(parts);
+        for (j, rs) in recovered.shards.into_iter().enumerate() {
+            let runs = rs.runs.iter().map(|(r, _)| Arc::clone(r)).collect();
+            let mut shard = Shard::recovered(
+                &curve,
+                capacity,
+                runs,
+                rs.epoch_live,
+                rs.high_water,
+                rs.records,
+            );
+            shard.set_wal(Arc::new(WalShard::new(
+                j,
+                wal::shard_dir(&config.dir, j),
+                Arc::clone(&engine),
+                rs.gen,
+                rs.high_water,
+                rs.runs,
+            )));
+            shards.push(shard);
+        }
+        Ok(Self {
+            curve,
+            partition: RwLock::new(partition),
+            shards: shards.into_boxed_slice(),
+            traffic: ConcurrentTraffic::new(n, parts),
+            metrics: None,
+            wal: Some(engine),
+            recovery: Some(recovered.stats),
+            maintenance: Mutex::new(None),
+        })
+    }
+}
+
+/// Background maintenance: a per-store thread owning size-triggered
+/// flushes and tiered-compaction scheduling — see the
+/// [`maintenance`](crate::maintenance) module.
+impl<const D: usize, T, C> ShardedSfcStore<D, T, C>
+where
+    T: Clone + Send + Sync + 'static,
+    C: SpaceFillingCurve<D> + Clone + Send + Sync + 'static,
+{
+    /// Starts the background maintenance thread and turns off inline
+    /// capacity flushes on the writer paths: from here until
+    /// [`stop_maintenance`](Self::stop_maintenance) (or drop), writers
+    /// never flush or merge — the thread polls every
+    /// [`MaintenanceConfig::interval`], flushes shards at capacity, and
+    /// compacts shards whose run stack reached
+    /// [`MaintenanceConfig::compact_at_runs`], optionally throttled by
+    /// the token-bucket [`RateLimit`](crate::RateLimit). Works on
+    /// durable and in-memory stores alike.
+    ///
+    /// # Panics
+    /// Panics if maintenance is already running.
+    pub fn start_maintenance(self: &Arc<Self>, config: MaintenanceConfig) {
+        let mut slot = self
+            .maintenance
+            .lock()
+            .expect("maintenance handle poisoned");
+        assert!(slot.is_none(), "maintenance thread already running");
+        for shard in self.shards.iter() {
+            shard.set_inline_flush(false);
+        }
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let weak: Weak<Self> = Arc::downgrade(self);
+        let handle = std::thread::Builder::new()
+            .name("sfc-maintenance".into())
+            .spawn(move || {
+                let mut bucket = config.rate_limit.clone().map(TokenBucket::new);
+                loop {
+                    if wait_tick(&thread_stop, config.interval) {
+                        break;
+                    }
+                    // Weak: the thread must not keep a dropped store
+                    // alive; the upgrade failing is the other stop
+                    // signal.
+                    let Some(store) = weak.upgrade() else { break };
+                    store.maintenance_tick(&config, &mut bucket, &thread_stop);
+                }
+            })
+            .expect("spawn maintenance thread");
+        *slot = Some(MaintenanceHandle {
+            stop,
+            handle: Some(handle),
+        });
+    }
+
+    /// One maintenance pass over all shards, run by the background
+    /// thread.
+    fn maintenance_tick(
+        &self,
+        config: &MaintenanceConfig,
+        bucket: &mut Option<TokenBucket>,
+        stop: &crate::maintenance::StopSignal,
+    ) {
+        let m = self.metrics.as_deref();
+        if let Some(m) = m {
+            m.maintenance_ticks.inc();
+        }
+        // The read guard excludes rebalances (which flush for
+        // themselves), never writers.
+        let _part = self.partition.read().expect("partition poisoned");
+        for shard in self.shards.iter() {
+            if *stop.0.lock().expect("maintenance stop signal poisoned") {
+                return;
+            }
+            if shard.over_capacity() {
+                if let Some(b) = bucket.as_mut() {
+                    let waited = b.acquire(shard.memtable_heap_bytes() as u64, stop);
+                    if let Some(m) = m {
+                        m.maintenance_throttle_ns.record(waited.as_nanos() as u64);
+                    }
+                }
+                if shard.flush(&self.curve).is_ok() {
+                    if let Some(m) = m {
+                        m.maintenance_flushes.inc();
+                    }
+                }
+            }
+            let run_lens = shard.run_lens();
+            if run_lens.len() >= config.compact_at_runs.max(2) {
+                if let Some(b) = bucket.as_mut() {
+                    // Merge cost scales with the records rewritten; the
+                    // exact byte volume is unknowable up front, so
+                    // charge a flat per-entry estimate.
+                    let est = run_lens.iter().sum::<usize>() as u64 * 64;
+                    let waited = b.acquire(est, stop);
+                    if let Some(m) = m {
+                        m.maintenance_throttle_ns.record(waited.as_nanos() as u64);
+                    }
+                }
+                if shard.compact(&self.curve).is_ok() {
+                    if let Some(m) = m {
+                        m.maintenance_compactions.inc();
+                    }
+                }
+            }
+        }
     }
 }
 

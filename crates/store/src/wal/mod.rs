@@ -1,0 +1,270 @@
+//! Durability for the sharded engine: a per-shard write-ahead log with
+//! group commit, run/checkpoint persistence, and crash recovery.
+//!
+//! # The durability model
+//!
+//! Every acknowledged write exists in exactly one of two durable forms at
+//! any instant:
+//!
+//! 1. **A WAL frame** — an append-only, length-prefixed, CRC32C-checked
+//!    record in one of the shard's segment files (`shardN/wal-*.log`),
+//!    carrying the *same per-shard sequence number* the memtable stamped
+//!    on the entry (see [`crate::memtable`] and the epoch module). The
+//!    WAL adds no ordering of its own; it borrows the one the engine
+//!    already has.
+//! 2. **A published run** — once a flush publishes an epoch at sequence
+//!    high-water `H`, every record with `seq < H` lives in a run file
+//!    (`run-*.run`) referenced by the shard's checkpoint (`ckpt-*`), and
+//!    the frames below `H` become garbage.
+//!
+//! Recovery therefore replays exactly the frames with `seq >=` the
+//!    checkpointed high-water into a fresh memtable — it never touches
+//! the reader path, and a record is never applied twice.
+//!
+//! # Group commit
+//!
+//! Writers never touch a file. [`log_write`](DurabilityHook::log_write)
+//! pushes an encoded frame onto an in-memory commit queue and takes a
+//! *ticket*; a dedicated committer thread drains the queue, appends each
+//! shard's frames to its open segment, and issues **one fsync per shard
+//! per group**. While no writer is blocked on an ack, the committer does
+//! not even wake: un-waited records accumulate in the queue until
+//! [`WalConfig::fsync_every`] of them are pending (or
+//! [`WalConfig::max_batch_delay`] expires), then are written and synced
+//! as one group — a waiting writer, a `sync()` barrier, or shutdown
+//! forces the group immediately. Only after the fsync does the durable
+//! ticket advance and
+//! wake waiting writers. An fsync failure is *sticky*: the committer
+//! parks with the error and every subsequent or waiting append returns
+//! it — the log never silently drops a group.
+//!
+//! # Commit/prune split
+//!
+//! Truncation is decoupled from the commit path (the aptosdb writer
+//! shape): a flush *requests* pruning at its high-water and returns; the
+//! committer deletes wholly-obsolete segments (`max seq < H`) after the
+//! next group commit, off every writer's latency path.
+//!
+//! # Crash atomicity
+//!
+//! Run files and checkpoints are written, synced, and only then
+//! referenced: the per-shard checkpoint generation a reopen trusts is
+//! named by the root `MANIFEST`, which is replaced via
+//! write-temp → fsync → rename → fsync-dir. A crash between any two
+//! steps leaves either the old or the new state referenced, never a mix;
+//! unreferenced files are garbage-collected on reopen. Rebalance defers
+//! its per-shard manifest updates and commits all shard generations plus
+//! the new partition boundaries in a single manifest write, so a
+//! mid-rebalance crash rolls back to the consistent pre-rebalance cut.
+//!
+//! # Torn tails vs corruption
+//!
+//! The recovery scan classifies damage (see [`record`]): an incomplete
+//! frame — or a checksum mismatch in a frame that runs exactly to end of
+//! file — *in the newest segment* is a torn tail from the crash itself
+//! and is discarded silently (it can only hold unacknowledged writes).
+//! Any other unreadable byte is real corruption and fails recovery with
+//! a typed [`WalError::Corrupt`], never a panic and never a silent skip.
+//!
+//! # Lock order
+//!
+//! The committer machinery extends the engine's lock order; the full
+//! chain is
+//!
+//! ```text
+//! partition (RwLock) → shard maint → shard mem
+//!     → { epoch cell | shard persist → manifest → commit queue }
+//! ```
+//!
+//! The commit-queue mutex is the last lock on every path: writers take
+//! it with no other lock held, and the committer thread holds it only to
+//! swap buffers (all file I/O happens outside it).
+
+mod committer;
+mod engine;
+mod manifest;
+mod record;
+mod recovery;
+
+pub(crate) use committer::Committer;
+pub(crate) use engine::{DurabilityHook, WalEngine, WalShard};
+pub(crate) use manifest::shard_dir;
+pub(crate) use record::{encode_frame, WalRecord};
+pub(crate) use recovery::recover;
+
+pub use record::WalPayload;
+
+use std::io;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration of a durable store's write-ahead log.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Root directory of the store's persistent state (`MANIFEST` plus
+    /// one `shardN/` subdirectory per shard). Created if absent.
+    pub dir: PathBuf,
+    /// Group-commit batching bound: with no writer waiting on an ack,
+    /// the committer defers the fsync until this many records have
+    /// accumulated since the last one (a waiting writer, a [`sync`]
+    /// barrier, or shutdown forces the fsync immediately). Also caps
+    /// the in-queue linger: a group this full skips `max_batch_delay`.
+    ///
+    /// [`sync`]: crate::ShardedSfcStore::sync
+    pub fsync_every: usize,
+    /// Staleness bound on an under-full group: a deferred record is
+    /// written *and* fsynced at most this long after it was queued.
+    /// `Duration::ZERO` (the default) means no time bound — deferred
+    /// records wait for a full group, an ack-waiter, a [`sync`] barrier,
+    /// or shutdown, whichever comes first (the nosync contract already
+    /// promises durability only at the next barrier).
+    ///
+    /// [`sync`]: crate::ShardedSfcStore::sync
+    pub max_batch_delay: Duration,
+    /// Segment rotation threshold: an open segment is sealed once it
+    /// exceeds this many bytes (pruning granularity — smaller segments
+    /// reclaim space sooner after a flush).
+    pub segment_bytes: u64,
+}
+
+impl WalConfig {
+    /// A configuration with defaults: `fsync_every` 256, no batch delay,
+    /// 4 MiB segments.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync_every: 256,
+            max_batch_delay: Duration::ZERO,
+            segment_bytes: 4 << 20,
+        }
+    }
+
+    /// Replaces the group-size fsync threshold (floored at 1).
+    #[must_use]
+    pub fn fsync_every(mut self, records: usize) -> Self {
+        self.fsync_every = records.max(1);
+        self
+    }
+
+    /// Replaces the group linger delay.
+    #[must_use]
+    pub fn max_batch_delay(mut self, delay: Duration) -> Self {
+        self.max_batch_delay = delay;
+        self
+    }
+
+    /// Replaces the segment rotation threshold (floored at 4 KiB).
+    #[must_use]
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(4 << 10);
+        self
+    }
+}
+
+/// A typed durability failure. `Clone` because a committer-side failure
+/// is sticky: the original error is handed to every writer that was (or
+/// later comes) waiting on the failed group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// An operating-system I/O failure, with the file it struck.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The OS error kind.
+        kind: io::ErrorKind,
+        /// The OS error message.
+        detail: String,
+    },
+    /// Persistent state that is damaged beyond the crash-consistency
+    /// contract — a checksum mismatch before the log tail, an
+    /// unparseable record, a referenced file that is missing. Recovery
+    /// refuses to guess and reports where.
+    Corrupt {
+        /// The damaged file.
+        path: PathBuf,
+        /// Byte offset of the damage, where meaningful.
+        offset: u64,
+        /// What failed to parse or verify.
+        detail: String,
+    },
+    /// The on-disk state disagrees with the store being opened (shard
+    /// count, dimensionality, curve domain).
+    Mismatch {
+        /// What disagreed.
+        detail: String,
+    },
+    /// The commit queue was shut down (or deliberately crashed) while
+    /// the operation was in flight; the write may or may not be durable.
+    Shutdown,
+}
+
+impl WalError {
+    pub(crate) fn io(path: impl Into<PathBuf>, err: &io::Error) -> Self {
+        WalError::Io {
+            path: path.into(),
+            kind: err.kind(),
+            detail: err.to_string(),
+        }
+    }
+
+    pub(crate) fn corrupt(
+        path: impl Into<PathBuf>,
+        offset: u64,
+        detail: impl Into<String>,
+    ) -> Self {
+        WalError::Corrupt {
+            path: path.into(),
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { path, kind, detail } => {
+                write!(f, "wal i/o error on {}: {kind:?}: {detail}", path.display())
+            }
+            WalError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "wal corruption in {} at byte {offset}: {detail}",
+                path.display()
+            ),
+            WalError::Mismatch { detail } => write!(f, "wal/store mismatch: {detail}"),
+            WalError::Shutdown => write!(f, "wal committer is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// What one reopen of a durable store did, returned by
+/// [`ShardedSfcStore::recovery_stats`](crate::ShardedSfcStore::recovery_stats).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStats {
+    /// WAL records replayed into memtables (`seq >=` checkpoint
+    /// high-water).
+    pub replayed_records: usize,
+    /// Valid records skipped because a published run already covers them
+    /// (`seq <` high-water — frames a prune had not reclaimed yet).
+    pub skipped_records: usize,
+    /// Immutable runs loaded from run files across all shards.
+    pub runs_loaded: usize,
+    /// WAL segment files scanned.
+    pub segments_scanned: usize,
+    /// Total WAL bytes read.
+    pub wal_bytes: u64,
+    /// Bytes discarded as the torn tail of the newest segment (an
+    /// interrupted append — never an acknowledged write).
+    pub torn_tail_bytes: u64,
+    /// Orphaned files (unreferenced runs/checkpoints, temp files) swept
+    /// on open.
+    pub orphans_removed: usize,
+    /// Wall-clock time of the whole recovery.
+    pub elapsed: Duration,
+}

@@ -1,0 +1,436 @@
+//! The on-disk WAL record format: length-prefixed, CRC32C-checksummed
+//! frames, and the [`WalPayload`] byte codec the frames carry.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! [ body_len: u32 LE ][ crc32c(body): u32 LE ][ body: body_len bytes ]
+//! ```
+//!
+//! with the body
+//!
+//! ```text
+//! [ tag: u8 ][ seq: u64 LE ][ D × coord: u32 LE ][ payload bytes ]
+//! ```
+//!
+//! where `tag` is [`TAG_TOMBSTONE`] (no payload bytes) or [`TAG_INSERT`]
+//! (payload bytes follow, decoded by [`WalPayload::decode_payload`]).
+//! The curve key is **not** stored: the curve is a bijection from cells
+//! to keys, so recovery recomputes `curve.index_of(point)` — 16 bytes per
+//! record saved, and the log stays valid across curve implementations
+//! that agree on the mapping.
+//!
+//! ## Classifying damage
+//!
+//! [`parse_frame`] distinguishes the two ways a frame can be unreadable,
+//! because recovery treats them differently (see the `wal` module docs):
+//!
+//! * [`FrameOutcome::Truncated`] — the buffer ends before the frame does.
+//!   In the **last** segment this is a torn tail (a crash mid-append) and
+//!   is discarded silently; anywhere else it is corruption.
+//! * [`FrameOutcome::BadCrc`] — the frame is complete but its checksum
+//!   does not match. If the frame ends exactly at the end of the last
+//!   segment it is still classified as a torn tail (a partially persisted
+//!   final append is indistinguishable from a flipped bit in it); any
+//!   earlier bad checksum is corruption and fails recovery loudly.
+
+use sfc_core::Point;
+
+/// Tag byte of a tombstone (delete) record.
+pub(crate) const TAG_TOMBSTONE: u8 = 0;
+/// Tag byte of an insert/upsert record.
+pub(crate) const TAG_INSERT: u8 = 1;
+
+/// Frame header size: body length + body checksum.
+pub(crate) const FRAME_HEADER: usize = 8;
+
+/// Sanity cap on a single record body; a length prefix beyond this is
+/// treated as damage, not as a request to allocate gigabytes.
+pub(crate) const MAX_BODY: usize = 1 << 24;
+
+/// Segment file header: magic, format version, point dimensionality,
+/// two reserved zero bytes.
+pub(crate) const SEGMENT_MAGIC: &[u8; 4] = b"SFWL";
+/// Current segment format version.
+pub(crate) const SEGMENT_VERSION: u8 = 1;
+/// Size of the segment header in bytes.
+pub(crate) const SEGMENT_HEADER: usize = 8;
+
+/// Builds the 8-byte segment header for dimensionality `dims`.
+pub(crate) fn segment_header(dims: u8) -> [u8; SEGMENT_HEADER] {
+    let mut h = [0u8; SEGMENT_HEADER];
+    h[..4].copy_from_slice(SEGMENT_MAGIC);
+    h[4] = SEGMENT_VERSION;
+    h[5] = dims;
+    h
+}
+
+/// Checks a segment header; returns a human-readable complaint on
+/// mismatch.
+pub(crate) fn check_segment_header(h: &[u8], dims: u8) -> Result<(), String> {
+    if h.len() < SEGMENT_HEADER {
+        return Err(format!("segment header truncated at {} bytes", h.len()));
+    }
+    if &h[..4] != SEGMENT_MAGIC {
+        return Err("bad segment magic".to_string());
+    }
+    if h[4] != SEGMENT_VERSION {
+        return Err(format!("unsupported segment version {}", h[4]));
+    }
+    if h[5] != dims {
+        return Err(format!("segment dims {} != store dims {dims}", h[5]));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// CRC32C (Castagnoli), table-driven, table built at compile time.
+// ---------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = crc32c_table();
+
+const fn crc32c_table() -> [u32; 256] {
+    // Reflected Castagnoli polynomial.
+    const POLY: u32 = 0x82F6_3B78;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32C of `bytes` (Castagnoli polynomial, reflected, init/final XOR
+/// `!0` — the same function hardware `crc32c` instructions compute).
+pub(crate) fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------
+
+/// Byte codec a payload type must provide to ride in the WAL (and in the
+/// persisted run files). Hand-rolled rather than serde-based because the
+/// build environment is offline: implementations exist for the common
+/// primitive payloads, and user types compose them.
+///
+/// The contract: `decode_payload(encode_payload(x)) == Some(x)`, and
+/// `decode_payload` must return `None` (never panic) on malformed input —
+/// recovery turns `None` into a typed corruption error.
+pub trait WalPayload: Sized {
+    /// Appends this value's byte encoding to `out`.
+    fn encode_payload(&self, out: &mut Vec<u8>);
+    /// Decodes a value from exactly `bytes`, or `None` if malformed.
+    fn decode_payload(bytes: &[u8]) -> Option<Self>;
+}
+
+macro_rules! impl_wal_payload_int {
+    ($($t:ty),*) => {$(
+        impl WalPayload for $t {
+            fn encode_payload(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode_payload(bytes: &[u8]) -> Option<Self> {
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+impl_wal_payload_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+impl WalPayload for () {
+    fn encode_payload(&self, _out: &mut Vec<u8>) {}
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(())
+    }
+}
+
+impl WalPayload for bool {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl WalPayload for Vec<u8> {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
+
+impl WalPayload for String {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame encode / parse
+// ---------------------------------------------------------------------
+
+/// One decoded WAL record: the per-shard sequence number, the cell, and
+/// the payload (`None` = tombstone).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WalRecord<const D: usize, T> {
+    pub(crate) seq: u64,
+    pub(crate) point: Point<D>,
+    pub(crate) slot: Option<T>,
+}
+
+/// Appends one framed record to `out` and returns the frame's size in
+/// bytes. `payload_bytes` is the already-encoded payload (empty for a
+/// tombstone, which also flips the tag).
+pub(crate) fn encode_frame<const D: usize>(
+    out: &mut Vec<u8>,
+    seq: u64,
+    point: &Point<D>,
+    slot: Option<&[u8]>,
+) -> usize {
+    let body_len = 1 + 8 + 4 * D + slot.map_or(0, <[u8]>::len);
+    out.reserve(FRAME_HEADER + body_len);
+    let start = out.len();
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // crc placeholder
+    let body_start = out.len();
+    out.push(if slot.is_some() {
+        TAG_INSERT
+    } else {
+        TAG_TOMBSTONE
+    });
+    out.extend_from_slice(&seq.to_le_bytes());
+    for i in 0..D {
+        out.extend_from_slice(&point.coord(i).to_le_bytes());
+    }
+    if let Some(bytes) = slot {
+        out.extend_from_slice(bytes);
+    }
+    let crc = crc32c(&out[body_start..]);
+    out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    out.len() - start
+}
+
+/// The result of parsing one frame at some offset of a segment buffer.
+#[derive(Debug)]
+pub(crate) enum FrameOutcome<'a> {
+    /// A complete frame with a valid checksum; `body` is the record body
+    /// and `end` the buffer offset just past the frame.
+    Ok { body: &'a [u8], end: usize },
+    /// The buffer ends before the frame does (or the length prefix is
+    /// insane, which a torn append can also produce).
+    Truncated,
+    /// The frame is complete but the checksum mismatches; `end` is the
+    /// offset just past the frame — `end == buf.len()` in the last
+    /// segment means torn tail, anything else means corruption.
+    BadCrc { end: usize },
+}
+
+/// Parses the frame starting at `off`. `off == buf.len()` is a clean end
+/// — callers check that before calling.
+pub(crate) fn parse_frame(buf: &[u8], off: usize) -> FrameOutcome<'_> {
+    let rest = &buf[off..];
+    if rest.len() < FRAME_HEADER {
+        return FrameOutcome::Truncated;
+    }
+    let body_len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+    if body_len == 0 || body_len > MAX_BODY {
+        // A zero or absurd length prefix cannot be a well-formed frame;
+        // treat it like a frame the buffer cannot contain.
+        return FrameOutcome::Truncated;
+    }
+    if rest.len() < FRAME_HEADER + body_len {
+        return FrameOutcome::Truncated;
+    }
+    let want = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+    let body = &rest[FRAME_HEADER..FRAME_HEADER + body_len];
+    let end = off + FRAME_HEADER + body_len;
+    if crc32c(body) != want {
+        return FrameOutcome::BadCrc { end };
+    }
+    FrameOutcome::Ok { body, end }
+}
+
+/// Decodes a checksum-valid record body. A failure here means the frame
+/// passed its CRC but does not parse — a format bug or version skew, not
+/// bit rot — and recovery reports it as corruption with this detail.
+pub(crate) fn decode_body<const D: usize, T: WalPayload>(
+    body: &[u8],
+) -> Result<WalRecord<D, T>, String> {
+    let fixed = 1 + 8 + 4 * D;
+    if body.len() < fixed {
+        return Err(format!("body too short: {} < {fixed}", body.len()));
+    }
+    let tag = body[0];
+    let seq = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"));
+    let mut coords = [0u32; D];
+    for (i, c) in coords.iter_mut().enumerate() {
+        *c = u32::from_le_bytes(body[9 + 4 * i..13 + 4 * i].try_into().expect("4 bytes"));
+    }
+    let point = Point::new(coords);
+    let payload = &body[fixed..];
+    let slot = match tag {
+        TAG_TOMBSTONE => {
+            if !payload.is_empty() {
+                return Err(format!("tombstone with {} payload bytes", payload.len()));
+            }
+            None
+        }
+        TAG_INSERT => {
+            Some(T::decode_payload(payload).ok_or_else(|| "payload failed to decode".to_string())?)
+        }
+        other => return Err(format!("unknown record tag {other}")),
+    };
+    Ok(WalRecord { seq, point, slot })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_matches_known_vectors() {
+        // RFC 3720 test vectors for CRC32C.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn frame_roundtrip_insert_and_tombstone() {
+        let mut buf = Vec::new();
+        let p = Point::new([3u32, 17]);
+        let mut payload = Vec::new();
+        42u64.encode_payload(&mut payload);
+        let n1 = encode_frame(&mut buf, 7, &p, Some(&payload));
+        let n2 = encode_frame(&mut buf, 8, &p, None);
+        assert_eq!(buf.len(), n1 + n2);
+
+        let FrameOutcome::Ok { body, end } = parse_frame(&buf, 0) else {
+            panic!("first frame must parse");
+        };
+        let rec: WalRecord<2, u64> = decode_body(body).unwrap();
+        assert_eq!(
+            rec,
+            WalRecord {
+                seq: 7,
+                point: p,
+                slot: Some(42)
+            }
+        );
+        assert_eq!(end, n1);
+
+        let FrameOutcome::Ok { body, end } = parse_frame(&buf, n1) else {
+            panic!("second frame must parse");
+        };
+        let rec: WalRecord<2, u64> = decode_body(body).unwrap();
+        assert_eq!(rec.slot, None);
+        assert_eq!(rec.seq, 8);
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn every_truncation_of_a_frame_is_truncated() {
+        let mut buf = Vec::new();
+        let p = Point::new([1u32, 2]);
+        let mut payload = Vec::new();
+        9u32.encode_payload(&mut payload);
+        encode_frame(&mut buf, 0, &p, Some(&payload));
+        for cut in 0..buf.len() {
+            assert!(
+                matches!(parse_frame(&buf[..cut], 0), FrameOutcome::Truncated),
+                "cut at {cut} must read as truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum_or_read_as_truncated() {
+        let mut clean = Vec::new();
+        let p = Point::new([5u32, 6]);
+        let mut payload = Vec::new();
+        1234u64.encode_payload(&mut payload);
+        encode_frame(&mut clean, 3, &p, Some(&payload));
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut buf = clean.clone();
+                buf[byte] ^= 1 << bit;
+                match parse_frame(&buf, 0) {
+                    // A flip in the length prefix usually makes the frame
+                    // overshoot the buffer.
+                    FrameOutcome::Truncated => {}
+                    FrameOutcome::BadCrc { .. } => {}
+                    FrameOutcome::Ok { body, end } => {
+                        // A flip in the length prefix can shorten the
+                        // frame so the CRC covers different bytes — it
+                        // must never verify.
+                        panic!(
+                            "flip byte {byte} bit {bit} still parsed ok \
+                             (body {} bytes, end {end})",
+                            body.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_codecs_roundtrip() {
+        fn rt<T: WalPayload + PartialEq + std::fmt::Debug>(v: T) {
+            let mut buf = Vec::new();
+            v.encode_payload(&mut buf);
+            assert_eq!(T::decode_payload(&buf), Some(v));
+        }
+        rt(0u8);
+        rt(u128::MAX);
+        rt(-7i64);
+        rt(3.5f64);
+        rt(true);
+        rt(());
+        rt(String::from("spatial"));
+        rt(vec![1u8, 2, 3]);
+        assert_eq!(u32::decode_payload(&[1, 2, 3]), None);
+        assert_eq!(bool::decode_payload(&[2]), None);
+        assert_eq!(<()>::decode_payload(&[1]), None);
+    }
+
+    #[test]
+    fn segment_header_roundtrip_and_mismatches() {
+        let h = segment_header(2);
+        assert!(check_segment_header(&h, 2).is_ok());
+        assert!(check_segment_header(&h, 3).is_err());
+        assert!(check_segment_header(&h[..4], 2).is_err());
+        let mut bad = h;
+        bad[0] = b'X';
+        assert!(check_segment_header(&bad, 2).is_err());
+    }
+}

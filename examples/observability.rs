@@ -1,9 +1,11 @@
 //! Engine observability end to end: attach a metrics registry to a
-//! sharded store, drive a mixed workload (skewed writes, deletes, point
-//! gets, box queries, kNN, compaction, one rebalance), then read the
-//! engine back out three ways — the rendered text report, the slow-query
-//! log with its recorded query plans, and the flat JSON export the CI
-//! pipeline uploads as an artifact.
+//! *durable* sharded store, drive a mixed workload (skewed writes,
+//! deletes, point gets, box queries, kNN, compaction, one rebalance)
+//! with group-committed WAL appends and a background maintenance
+//! thread, then read the engine back out three ways — the rendered text
+//! report, the slow-query log with its recorded query plans, and the
+//! flat JSON export the CI pipeline uploads as an artifact (now
+//! including the `wal.*` and `engine.maintenance.*` series).
 //!
 //! ```text
 //! cargo run --release -p sfc --example observability
@@ -14,7 +16,8 @@
 use rand::{Rng, SeedableRng};
 use sfc::obs::fmt_ns;
 use sfc::prelude::*;
-use sfc::store::ShardedSfcStore;
+use sfc::store::{MaintenanceConfig, ShardedSfcStore, WalConfig};
+use std::sync::Arc;
 use std::time::Duration;
 
 const SHARDS: usize = 4;
@@ -26,26 +29,37 @@ const QUERIES: usize = 64;
 fn main() {
     let grid = Grid::<2>::new(8).unwrap(); // 256×256
     let z = ZCurve::over(grid);
-    let mut store = ShardedSfcStore::with_memtable_capacity(z, SHARDS, 512);
+    let dir = std::env::temp_dir().join(format!("sfc-observability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store =
+        ShardedSfcStore::open_durable(z, SHARDS, 512, WalConfig::new(&dir).fsync_every(512))
+            .expect("open durable store");
     let metrics = store.enable_metrics();
     // A 200µs threshold catches the heavyweight queries of this workload
     // without admitting every memtable-only lookup.
     metrics.set_slow_query_threshold(Duration::from_micros(200));
+    let store = Arc::new(store);
+    // Flushes and compactions run off the write path while we ingest.
+    store.start_maintenance(MaintenanceConfig::default());
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
 
     // Mixed workload: 85% of writes land in the first Z quadrant, so the
     // per-shard counters show the skew the partition starts blind to.
+    // Writes ride the group-commit queue without waiting (the committer
+    // fsyncs batches behind them); one `sync()` barrier at the end makes
+    // the whole stream durable.
     for i in 0..WRITES {
         let p = if i % 20 < 17 {
             Point::new([rng.gen_range(0..128u32), rng.gen_range(0..128u32)])
         } else {
             grid.random_cell(&mut rng)
         };
-        store.insert(p, i);
+        store.insert_nosync(p, i);
     }
     for _ in 0..DELETES {
-        store.delete(grid.random_cell(&mut rng));
+        store.delete_nosync(grid.random_cell(&mut rng));
     }
+    store.sync().expect("durability barrier");
     for _ in 0..GETS {
         std::hint::black_box(store.get(grid.random_cell(&mut rng)));
     }
@@ -65,6 +79,7 @@ fn main() {
     }
     store.compact();
     store.rebalance(1e-9);
+    store.stop_maintenance();
 
     // 1. The aligned text report: every counter, gauge, and histogram
     //    with its latency percentiles.
@@ -100,8 +115,35 @@ fn main() {
         "the skewed workload must move boundaries exactly once"
     );
 
-    // 4. The JSON export CI uploads per commit.
+    // 4. The durability series: every acked record hit the log, and the
+    //    committer amortised fsyncs across whole groups.
+    let wal_records = snap.counter("wal.records").unwrap_or(0);
+    let wal_groups = snap.counter("wal.groups").unwrap_or(0);
+    assert_eq!(
+        wal_records,
+        u64::from(WRITES + DELETES),
+        "every write must reach the WAL"
+    );
+    assert!(wal_groups > 0, "the committer must have fsynced groups");
+    println!(
+        "wal: {} records in {} group commits (mean group {:.1}), {} bytes, {} segments pruned",
+        wal_records,
+        wal_groups,
+        wal_records as f64 / wal_groups as f64,
+        snap.counter("wal.bytes").unwrap_or(0),
+        snap.counter("wal.segments.pruned").unwrap_or(0),
+    );
+    println!(
+        "maintenance: {} ticks, {} flushes, {} compactions",
+        snap.counter("engine.maintenance.ticks").unwrap_or(0),
+        snap.counter("engine.maintenance.flushes").unwrap_or(0),
+        snap.counter("engine.maintenance.compactions").unwrap_or(0),
+    );
+
+    // 5. The JSON export CI uploads per commit.
     let path = "METRICS_observability.json";
     std::fs::write(path, snap.to_json()).expect("write metrics dump");
     println!("wrote {path}");
+    drop(store); // clean shutdown drains the commit queue
+    let _ = std::fs::remove_dir_all(&dir);
 }

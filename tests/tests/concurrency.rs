@@ -11,12 +11,16 @@
 //! interleavings miss.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::Rng;
 use sfc_core::{CurveIndex, Grid, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::BoxRegion;
 use sfc_integration::test_rng;
-use sfc_store::{SfcStore, ShardedSfcStore, ShardedSnapshot, StoreEntry};
+use sfc_store::{
+    MaintenanceConfig, RateLimit, SfcStore, ShardedSfcStore, ShardedSnapshot, StoreEntry,
+};
 
 const WRITER_THREADS: usize = 4;
 const OPS_PER_WRITER: usize = 2_500;
@@ -317,4 +321,92 @@ fn rebalance_under_concurrent_write_load() {
         .map(|e| (e.key, e.point, *e.payload))
         .collect();
     assert_eq!(flat(store.iter()), want, "rebalance under load lost writes");
+}
+
+/// With the background maintenance thread owning flushes and compactions
+/// (rate-limited by its token bucket), writers must never stall behind a
+/// major merge: every individual insert completes well under a generous
+/// bound, even while the maintenance thread is continuously flushing and
+/// compacting the same shards. Without the maintenance offload, a writer
+/// landing on a full memtable would pay the whole flush+merge inline.
+#[test]
+fn writers_never_stall_behind_maintenance_merges() {
+    let grid = Grid::<2>::new(5).unwrap();
+    let z = ZCurve::over(grid);
+    let store = Arc::new(ShardedSfcStore::with_memtable_capacity(
+        z,
+        WRITER_THREADS,
+        64,
+    ));
+    // Aggressive maintenance: tick constantly, compact as soon as two
+    // runs exist, and throttle the merges hard so they are *slow* — the
+    // point is that writer latency stays decoupled from merge duration.
+    store.start_maintenance(MaintenanceConfig {
+        interval: Duration::from_micros(200),
+        compact_at_runs: 2,
+        rate_limit: Some(RateLimit {
+            bytes_per_sec: 4 << 20,
+            burst_bytes: 64 << 10,
+            quantum: Duration::from_micros(500),
+        }),
+    });
+
+    let worst = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WRITER_THREADS as u32)
+            .map(|writer| {
+                let store = Arc::clone(&store);
+                let ops = writer_ops(grid, writer);
+                scope.spawn(move || {
+                    let mut worst = Duration::ZERO;
+                    for (p, op) in ops {
+                        let t = Instant::now();
+                        match op {
+                            Some(v) => {
+                                store.insert(p, v);
+                            }
+                            None => {
+                                store.delete(p);
+                            }
+                        }
+                        worst = worst.max(t.elapsed());
+                    }
+                    worst
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("writer panicked"))
+            .max()
+            .unwrap()
+    });
+    store.stop_maintenance();
+
+    // Generous even for a loaded CI box, yet far below what an inline
+    // rate-limited merge (hundreds of KiB at 4 MiB/s ≈ tens to hundreds
+    // of ms, repeatedly) would cost a writer.
+    assert!(
+        worst < Duration::from_millis(500),
+        "a writer stalled {worst:?} behind background maintenance"
+    );
+
+    // Maintenance must not have lost or duplicated anything.
+    let mut replay = SfcStore::with_memtable_capacity(z, 64);
+    for writer in 0..WRITER_THREADS as u32 {
+        for (p, op) in writer_ops(grid, writer) {
+            match op {
+                Some(v) => {
+                    replay.insert(p, v);
+                }
+                None => {
+                    replay.delete(p);
+                }
+            }
+        }
+    }
+    let want: Vec<_> = replay
+        .iter()
+        .map(|e| (e.key, e.point, *e.payload))
+        .collect();
+    assert_eq!(flat(store.iter()), want, "maintenance lost writes");
 }

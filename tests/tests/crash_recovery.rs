@@ -1,0 +1,737 @@
+//! Crash-recovery harness for the durable sharded store.
+//!
+//! The contract under test (see `sfc-store`'s `wal` module): after any
+//! crash, reopening recovers **exactly the acknowledged prefix** of the
+//! write stream — every acked write is back, nothing that was never
+//! written is invented, and a torn tail (only ever unacked bytes) is
+//! discarded silently while damage under acked data fails the open with
+//! a typed error, never a panic.
+//!
+//! The headline test truncates the WAL at **every byte offset** and
+//! flips bits, reopening each mutilated copy and checking the recovered
+//! state against a sequential `BTreeMap` replay of exactly the acked
+//! prefix. CI runs this suite under `--release`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::Rng;
+use sfc_core::{CurveIndex, Grid, Point, SpaceFillingCurve, ZCurve};
+use sfc_integration::test_rng;
+use sfc_store::{ShardedSfcStore, WalConfig, WalError};
+
+type Store = ShardedSfcStore<2, u32, ZCurve<2>>;
+type Model = BTreeMap<CurveIndex, (Point<2>, u32)>;
+
+fn curve() -> ZCurve<2> {
+    ZCurve::over(Grid::from_side(64).unwrap())
+}
+
+/// A fresh scratch directory under the system temp dir, cleaned of any
+/// previous run's debris. Dropping the guard removes the directory.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("sfc-crash-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Recursively copies a store directory (MANIFEST + shard subdirs).
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+/// Every observable record of the store, as `(key, point, payload)`.
+fn state_of(store: &Store) -> Vec<(CurveIndex, Point<2>, u32)> {
+    store.iter().map(|e| (e.key, e.point, e.payload)).collect()
+}
+
+fn model_state(model: &Model) -> Vec<(CurveIndex, Point<2>, u32)> {
+    model.iter().map(|(&k, &(p, v))| (k, p, v)).collect()
+}
+
+/// Asserts the reopened store equals the model exactly: iteration, live
+/// count, and spot point-gets.
+fn assert_matches_model(store: &Store, model: &Model) {
+    assert_eq!(state_of(store), model_state(model), "recovered state");
+    assert_eq!(store.len(), model.len(), "recovered live count");
+    for (&key, &(p, v)) in model.iter().step_by(7) {
+        assert_eq!(store.get(p), Some(v), "get({p}) at key {key}");
+    }
+}
+
+/// One synchronous (acked) op applied to both store and model.
+fn apply_acked(store: &Store, model: &mut Model, p: Point<2>, slot: Option<u32>) {
+    let key = store.curve().index_of(p);
+    match slot {
+        Some(v) => {
+            let was = store.try_insert(p, v).expect("acked insert");
+            assert_eq!(
+                was,
+                model.insert(key, (p, v)).is_some(),
+                "insert visibility"
+            );
+        }
+        None => {
+            let was = store.try_delete(p).expect("acked delete");
+            assert_eq!(was, model.remove(&key).is_some(), "delete visibility");
+        }
+    }
+}
+
+fn reopen(dir: &Path, parts: usize, capacity: usize) -> Result<Store, WalError> {
+    Store::open_durable(curve(), parts, capacity, WalConfig::new(dir))
+}
+
+// ---------------------------------------------------------------------
+// Basics
+// ---------------------------------------------------------------------
+
+#[test]
+fn fresh_open_and_empty_reopen() {
+    let tmp = TempDir::new("empty");
+    {
+        let store = reopen(tmp.path(), 2, 64).unwrap();
+        assert!(store.is_durable());
+        assert!(store.is_empty());
+        let stats = store.recovery_stats().unwrap();
+        assert_eq!(stats.replayed_records, 0);
+        assert_eq!(stats.runs_loaded, 0);
+    }
+    // Clean close, nothing ever written: reopening finds a committed
+    // manifest and zero records.
+    let store = reopen(tmp.path(), 2, 64).unwrap();
+    assert!(store.is_empty());
+    assert_eq!(store.recovery_stats().unwrap().replayed_records, 0);
+}
+
+#[test]
+fn acked_writes_survive_simulated_crash() {
+    let tmp = TempDir::new("acked");
+    let mut model = Model::new();
+    {
+        let store = reopen(tmp.path(), 2, 16).unwrap();
+        let mut rng = test_rng(0xACED);
+        for i in 0..300u32 {
+            let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+            let slot = if i % 5 == 4 { None } else { Some(i) };
+            apply_acked(&store, &mut model, p, slot);
+        }
+        store.simulate_crash();
+    }
+    let store = reopen(tmp.path(), 2, 16).unwrap();
+    assert_matches_model(&store, &model);
+    let stats = store.recovery_stats().unwrap();
+    assert!(
+        stats.replayed_records + stats.skipped_records > 0 || stats.runs_loaded > 0,
+        "recovery must have read something back: {stats:?}"
+    );
+}
+
+#[test]
+fn tombstones_only_workload_recovers_empty() {
+    let tmp = TempDir::new("tombstones");
+    // Capacity above the op count: no inline capacity flush may sneak
+    // the tail tombstones' seqs under the checkpoint high-water.
+    {
+        let store = reopen(tmp.path(), 1, 64).unwrap();
+        for x in 0..32u32 {
+            store.try_delete(Point::new([x, x])).unwrap();
+        }
+        // Force some tombstones through a flush (and into a run) too.
+        store.flush();
+        for x in 0..16u32 {
+            store.try_delete(Point::new([x, 63])).unwrap();
+        }
+        store.simulate_crash();
+    }
+    let store = reopen(tmp.path(), 1, 64).unwrap();
+    assert!(store.is_empty(), "tombstones must not resurrect anything");
+    let stats = store.recovery_stats().unwrap();
+    assert!(
+        stats.replayed_records > 0,
+        "tail tombstones replay: {stats:?}"
+    );
+}
+
+#[test]
+fn half_published_flush_collapses_newest_wins() {
+    let tmp = TempDir::new("newest-wins");
+    let p = Point::new([5, 9]);
+    {
+        let store = reopen(tmp.path(), 1, 64).unwrap();
+        store.try_insert(p, 1).unwrap();
+        store.flush(); // v1 now lives in a published, persisted run
+        store.try_insert(p, 2).unwrap(); // v2 only in WAL + memtable
+        store.simulate_crash();
+    }
+    let store = reopen(tmp.path(), 1, 64).unwrap();
+    assert_eq!(store.get(p), Some(2), "WAL replay must shadow the run");
+    assert_eq!(store.len(), 1, "one live record, not two versions");
+}
+
+#[test]
+fn nosync_writes_need_the_sync_barrier() {
+    let tmp = TempDir::new("sync-barrier");
+    let mut model = Model::new();
+    {
+        let store = reopen(tmp.path(), 2, 64).unwrap();
+        for i in 0..200u32 {
+            let p = Point::new([i % 64, i / 64]);
+            store.insert_nosync(p, i);
+            model.insert(store.curve().index_of(p), (p, i));
+        }
+        store.sync().expect("durability barrier");
+        store.simulate_crash();
+    }
+    let store = reopen(tmp.path(), 2, 64).unwrap();
+    // Every write preceded the sync, so every write is back.
+    assert_matches_model(&store, &model);
+}
+
+// ---------------------------------------------------------------------
+// The truncation sweep
+// ---------------------------------------------------------------------
+
+/// Runs a single-shard synchronous workload, recording the segment-file
+/// length after each acked op — frame boundaries, since every op is its
+/// own fsynced group. Returns the shard's WAL directory contents plus
+/// `(file_len_after_op, op_index)` checkpoints and the op stream.
+struct SweepSetup {
+    ops: Vec<(Point<2>, Option<u32>)>,
+    /// `boundaries[i]` = segment length after `i` acked ops (so
+    /// `boundaries[0]` is the bare header).
+    boundaries: Vec<u64>,
+    segment: PathBuf,
+    /// Model state the sweep's replay starts from (ops already flushed
+    /// into runs before the swept segment began).
+    base: Model,
+}
+
+fn sweep_setup(dir: &Path, with_flush: bool) -> SweepSetup {
+    let mut rng = test_rng(if with_flush { 0x51EE9 } else { 0x51EE8 });
+    let store = reopen(dir, 1, 1024).unwrap();
+    let mut base = Model::new();
+    let shard_dir = dir.join("shard0");
+
+    if with_flush {
+        // Pre-populate and flush: these land in a persisted run, the
+        // flush prunes the first segment, and the sweep then mutilates
+        // only the post-flush segment.
+        for i in 0..12u32 {
+            let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+            let slot = if i % 4 == 3 { None } else { Some(1000 + i) };
+            apply_acked(&store, &mut base, p, slot);
+        }
+        store.flush();
+        // Pruning is asynchronous (the committer reclaims segments off
+        // the flush path); wait for the pre-flush segment to vanish so
+        // the sweep ops deterministically open a fresh one.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let any_segment = fs::read_dir(&shard_dir).unwrap().any(|e| {
+                let name = e.unwrap().file_name().to_string_lossy().into_owned();
+                name.starts_with("wal-") && name.ends_with(".log")
+            });
+            if !any_segment {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "flush never pruned the obsolete segment"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let segment_of = |d: &Path| -> Option<PathBuf> {
+        let mut segs: Vec<PathBuf> = fs::read_dir(d)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                name.starts_with("wal-") && name.ends_with(".log")
+            })
+            .collect();
+        segs.sort();
+        segs.pop()
+    };
+
+    let mut ops = Vec::new();
+    let mut boundaries = Vec::new();
+    let mut segment = None;
+    let mut running = base.clone(); // the live model; `base` stays frozen
+    for i in 0..20u32 {
+        let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+        let slot = if i % 5 == 4 { None } else { Some(i) };
+        apply_acked(&store, &mut running, p, slot);
+        ops.push((p, slot));
+        let seg = segment_of(&shard_dir).expect("an open segment after an acked write");
+        if boundaries.is_empty() {
+            // Length before any swept op = segment header alone.
+            boundaries.push(8);
+        }
+        boundaries.push(fs::metadata(&seg).unwrap().len());
+        segment = Some(seg);
+    }
+    store.simulate_crash();
+    SweepSetup {
+        ops,
+        boundaries,
+        segment: segment.unwrap(),
+        base,
+    }
+}
+
+/// The model after replaying the first `k` swept ops onto the base.
+fn model_after(setup: &SweepSetup, k: usize, curve: &ZCurve<2>) -> Model {
+    let mut m = setup.base.clone();
+    for &(p, slot) in &setup.ops[..k] {
+        let key = curve.index_of(p);
+        match slot {
+            Some(v) => {
+                m.insert(key, (p, v));
+            }
+            None => {
+                m.remove(&key);
+            }
+        }
+    }
+    m
+}
+
+fn truncation_sweep(with_flush: bool) {
+    let tag = if with_flush { "sweep-flush" } else { "sweep" };
+    let tmp = TempDir::new(tag);
+    let setup = sweep_setup(tmp.path(), with_flush);
+    let c = curve();
+    let full = fs::read(&setup.segment).unwrap();
+    assert_eq!(
+        *setup.boundaries.last().unwrap(),
+        full.len() as u64,
+        "boundaries must track the segment length"
+    );
+
+    let scratch = TempDir::new(&format!("{tag}-scratch"));
+    for cut in 0..=full.len() {
+        let _ = fs::remove_dir_all(scratch.path());
+        copy_dir(tmp.path(), scratch.path());
+        let seg = scratch
+            .path()
+            .join(setup.segment.strip_prefix(tmp.path()).unwrap());
+        fs::write(&seg, &full[..cut]).unwrap();
+
+        // Exactly the ops whose final frame byte is inside the prefix
+        // are recovered; the remainder is a torn tail.
+        let k = setup
+            .boundaries
+            .iter()
+            .rposition(|&b| b <= cut as u64)
+            .unwrap_or(0);
+        let expect = model_after(&setup, k, &c);
+        let store = reopen(scratch.path(), 1, 1024)
+            .unwrap_or_else(|e| panic!("truncation at {cut} must recover, got {e}"));
+        assert_eq!(
+            state_of(&store),
+            model_state(&expect),
+            "state after truncation at byte {cut} (acked prefix = {k} ops)"
+        );
+        let stats = store.recovery_stats().unwrap();
+        // Below the 8-byte header the whole stub is torn; past it, the
+        // tail after the last complete frame is.
+        let torn = if (cut as u64) < setup.boundaries[0] {
+            cut as u64
+        } else {
+            cut as u64 - setup.boundaries[k]
+        };
+        assert_eq!(
+            stats.torn_tail_bytes, torn,
+            "torn-tail accounting at byte {cut}"
+        );
+    }
+}
+
+#[test]
+fn recovery_survives_truncation_at_every_byte() {
+    truncation_sweep(false);
+}
+
+#[test]
+fn recovery_survives_truncation_at_every_byte_after_flush() {
+    truncation_sweep(true);
+}
+
+#[test]
+fn bit_flips_never_panic_and_never_invent_state() {
+    let tmp = TempDir::new("flips");
+    let setup = sweep_setup(tmp.path(), false);
+    let c = curve();
+    let full = fs::read(&setup.segment).unwrap();
+    let all_prefixes: Vec<Vec<(CurveIndex, Point<2>, u32)>> = (0..=setup.ops.len())
+        .map(|k| model_state(&model_after(&setup, k, &c)))
+        .collect();
+
+    let scratch = TempDir::new("flips-scratch");
+    for off in 0..full.len() {
+        let _ = fs::remove_dir_all(scratch.path());
+        copy_dir(tmp.path(), scratch.path());
+        let seg = scratch
+            .path()
+            .join(setup.segment.strip_prefix(tmp.path()).unwrap());
+        let mut bad = full.clone();
+        bad[off] ^= 1 << (off % 8);
+        fs::write(&seg, &bad).unwrap();
+
+        match reopen(scratch.path(), 1, 1024) {
+            // Damage under acked data must be a *typed* corruption
+            // error, with the path pointing at the log.
+            Err(WalError::Corrupt { path, .. }) => {
+                assert!(
+                    path.to_string_lossy().contains("wal-"),
+                    "corruption must name the damaged segment, got {path:?}"
+                );
+            }
+            Err(other) => panic!("flip at {off}: unexpected error {other}"),
+            // A flip that lands in the final frame (or mimics a torn
+            // tail) may legally truncate — but the result must be an
+            // exact prefix of the acked stream, never invented state.
+            Ok(store) => {
+                let got = state_of(&store);
+                assert!(
+                    all_prefixes.contains(&got),
+                    "flip at {off}: recovered state is not a prefix of the acked stream"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupt_run_file_is_a_typed_error() {
+    let tmp = TempDir::new("run-rot");
+    {
+        let store = reopen(tmp.path(), 1, 8).unwrap();
+        for i in 0..40u32 {
+            store.try_insert(Point::new([i % 64, i / 8]), i).unwrap();
+        }
+        store.flush();
+    }
+    // Flip one payload byte inside the (now referenced) run file.
+    let shard_dir = tmp.path().join("shard0");
+    let run = fs::read_dir(&shard_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "run"))
+        .expect("a persisted run file");
+    let mut bytes = fs::read(&run).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(&run, &bytes).unwrap();
+    match reopen(tmp.path(), 1, 8) {
+        Err(WalError::Corrupt { .. }) => {}
+        other => panic!("corrupt run must fail typed, got {other:?}"),
+    }
+    // A missing referenced run is equally fatal and equally typed.
+    fs::remove_file(&run).unwrap();
+    match reopen(tmp.path(), 1, 8) {
+        Err(WalError::Corrupt { .. }) => {}
+        other => panic!("missing run must fail typed, got {other:?}"),
+    }
+}
+
+#[test]
+fn shard_count_mismatch_is_rejected() {
+    let tmp = TempDir::new("mismatch");
+    {
+        let store = reopen(tmp.path(), 2, 64).unwrap();
+        store.try_insert(Point::new([1, 1]), 7).unwrap();
+    }
+    match reopen(tmp.path(), 3, 64) {
+        Err(WalError::Mismatch { .. }) => {}
+        other => panic!("shard-count mismatch must fail typed, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rollback, pruning, multi-shard
+// ---------------------------------------------------------------------
+
+#[test]
+fn unreferenced_generation_rolls_back_and_sweeps_orphans() {
+    let tmp = TempDir::new("rollback");
+    let mut model1 = Model::new();
+    {
+        let store = reopen(tmp.path(), 1, 32).unwrap();
+        let mut rng = test_rng(0xB0B);
+        for i in 0..60u32 {
+            let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+            apply_acked(&store, &mut model1, p, Some(i));
+        }
+        store.flush();
+    }
+    // Freeze generation 1, then advance the original to generation 2.
+    let frozen = TempDir::new("rollback-frozen");
+    copy_dir(tmp.path(), frozen.path());
+    {
+        let store = reopen(tmp.path(), 1, 32).unwrap();
+        let mut model2 = model1.clone();
+        let mut rng = test_rng(0xB0C);
+        for i in 0..60u32 {
+            let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+            apply_acked(&store, &mut model2, p, Some(100 + i));
+        }
+        store.flush();
+    }
+    // Drop generation 2's files into the frozen copy *without* its
+    // manifest — exactly what a crash before the manifest rename leaves
+    // behind. Recovery must roll back to generation 1 and sweep the
+    // debris.
+    let src = tmp.path().join("shard0");
+    let dst = frozen.path().join("shard0");
+    for entry in fs::read_dir(&src).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name();
+        let to = dst.join(&name);
+        if !to.exists() {
+            fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+    let store = reopen(frozen.path(), 1, 32).unwrap();
+    assert_matches_model(&store, &model1);
+    assert!(
+        store.recovery_stats().unwrap().orphans_removed > 0,
+        "generation-2 debris must be swept"
+    );
+}
+
+#[test]
+fn flushes_prune_obsolete_segments() {
+    let tmp = TempDir::new("prune");
+    let mut model = Model::new();
+    let config = WalConfig::new(tmp.path()).segment_bytes(1); // floored to 4 KiB
+    {
+        let store = Store::open_durable(curve(), 1, 256, config.clone()).unwrap();
+        let mut rng = test_rng(0x9);
+        // Enough synchronous writes to rotate through several segments,
+        // flushing as we go so earlier segments become wholly obsolete.
+        for round in 0..6 {
+            for i in 0..300u32 {
+                let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+                apply_acked(&store, &mut model, p, Some(round * 1000 + i));
+            }
+            store.flush();
+        }
+    }
+    let wal_bytes: u64 = fs::read_dir(tmp.path().join("shard0"))
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+        .map(|e| e.metadata().unwrap().len())
+        .sum();
+    // 1800 frames at ~25 bytes each is ~45 KiB of raw log; pruning must
+    // have reclaimed the flushed majority.
+    assert!(
+        wal_bytes < 16 << 10,
+        "flushed segments must be pruned, {wal_bytes} bytes remain"
+    );
+    let store = Store::open_durable(curve(), 1, 256, config).unwrap();
+    assert_matches_model(&store, &model);
+}
+
+#[test]
+fn multi_shard_crash_recovery_with_flushes() {
+    let tmp = TempDir::new("multi-shard");
+    let mut model = Model::new();
+    {
+        let store = reopen(tmp.path(), 4, 16).unwrap();
+        let mut rng = test_rng(0x4A11);
+        for i in 0..500u32 {
+            let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+            let slot = if i % 6 == 5 { None } else { Some(i) };
+            apply_acked(&store, &mut model, p, slot);
+            if i % 120 == 119 {
+                store.flush();
+            }
+        }
+        store.simulate_crash();
+    }
+    let store = reopen(tmp.path(), 4, 16).unwrap();
+    assert_matches_model(&store, &model);
+}
+
+#[test]
+fn durable_multi_writer_crash_consistency() {
+    let tmp = TempDir::new("writers");
+    let grid: Grid<2> = Grid::from_side(64).unwrap();
+    let mut model = Model::new();
+    {
+        let store = Arc::new(reopen(tmp.path(), 4, 64).unwrap());
+        // Four writers on disjoint quadrants: every write acked, so the
+        // final state is interleaving-independent.
+        std::thread::scope(|s| {
+            for w in 0..4u32 {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    let mut rng = test_rng(0xD00D + u64::from(w));
+                    let half = (grid.side() / 2) as u32;
+                    let (ox, oy) = [(0, 0), (half, 0), (0, half), (half, half)][w as usize];
+                    for i in 0..400u32 {
+                        let p =
+                            Point::new([ox + rng.gen_range(0..half), oy + rng.gen_range(0..half)]);
+                        if i % 7 == 6 {
+                            store.try_delete(p).unwrap();
+                        } else {
+                            store.try_insert(p, w * 1_000_000 + i).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        // Sequential replay of the same per-writer streams.
+        let c = curve();
+        for w in 0..4u32 {
+            let mut rng = test_rng(0xD00D + u64::from(w));
+            let half = (grid.side() / 2) as u32;
+            let (ox, oy) = [(0, 0), (half, 0), (0, half), (half, half)][w as usize];
+            for i in 0..400u32 {
+                let p = Point::new([ox + rng.gen_range(0..half), oy + rng.gen_range(0..half)]);
+                let key = c.index_of(p);
+                if i % 7 == 6 {
+                    model.remove(&key);
+                } else {
+                    model.insert(key, (p, w * 1_000_000 + i));
+                }
+            }
+        }
+        Arc::try_unwrap(store)
+            .expect("writers joined")
+            .simulate_crash();
+    }
+    let store = reopen(tmp.path(), 4, 64).unwrap();
+    assert_matches_model(&store, &model);
+}
+
+#[test]
+fn rebalance_boundaries_survive_crash() {
+    let tmp = TempDir::new("rebalance");
+    let mut model = Model::new();
+    let boundaries;
+    {
+        let store = reopen(tmp.path(), 4, 32).unwrap();
+        let mut rng = test_rng(0xBA17);
+        // Skewed traffic into one corner, then rebalance.
+        for i in 0..400u32 {
+            let p = Point::new([rng.gen_range(0..16), rng.gen_range(0..16)]);
+            apply_acked(&store, &mut model, p, Some(i));
+        }
+        assert!(store.rebalance(0.01), "skew must move boundaries");
+        boundaries = store.partition().boundaries().to_vec();
+        // More acked writes after the rebalance.
+        for i in 0..100u32 {
+            let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+            apply_acked(&store, &mut model, p, Some(1000 + i));
+        }
+        store.simulate_crash();
+    }
+    let store = reopen(tmp.path(), 4, 32).unwrap();
+    assert_eq!(
+        store.partition().boundaries(),
+        &boundaries[..],
+        "committed rebalance boundaries must persist"
+    );
+    assert_matches_model(&store, &model);
+}
+
+// ---------------------------------------------------------------------
+// Property-based interleaving
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum DurableOp {
+    Insert(u32, u32, u32),
+    Delete(u32, u32),
+    Flush,
+    CrashAndReopen,
+}
+
+fn durable_ops(seed: u64, len: usize) -> Vec<DurableOp> {
+    let mut rng = test_rng(seed);
+    (0..len)
+        .map(|i| {
+            let x = rng.gen_range(0..64);
+            let y = rng.gen_range(0..64);
+            match rng.gen_range(0..12u32) {
+                0..=6 => DurableOp::Insert(x, y, i as u32),
+                7..=9 => DurableOp::Delete(x, y),
+                10 => DurableOp::Flush,
+                11 => DurableOp::CrashAndReopen,
+                _ => unreachable!(),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random interleavings of acked writes, flushes, crashes, and
+    /// reopens: after every crash the reopened store must equal the
+    /// sequential model (every op was acked, so nothing may be lost),
+    /// and the final state must too.
+    #[test]
+    fn durable_store_matches_model_across_crashes(
+        seed in any::<u64>(),
+        parts in 1usize..5,
+        cap in 4usize..64,
+    ) {
+        let tmp = TempDir::new(&format!("prop-{seed:x}-{parts}-{cap}"));
+        let mut model = Model::new();
+        let mut store = Some(reopen(tmp.path(), parts, cap).unwrap());
+        for op in durable_ops(seed, 120) {
+            let s = store.as_ref().unwrap();
+            match op {
+                DurableOp::Insert(x, y, v) => {
+                    apply_acked(s, &mut model, Point::new([x, y]), Some(v));
+                }
+                DurableOp::Delete(x, y) => {
+                    apply_acked(s, &mut model, Point::new([x, y]), None);
+                }
+                DurableOp::Flush => s.flush(),
+                DurableOp::CrashAndReopen => {
+                    store.take().unwrap().simulate_crash();
+                    let s = reopen(tmp.path(), parts, cap).unwrap();
+                    assert_matches_model(&s, &model);
+                    store = Some(s);
+                }
+            }
+        }
+        store.take().unwrap().simulate_crash();
+        let s = reopen(tmp.path(), parts, cap).unwrap();
+        assert_matches_model(&s, &model);
+    }
+}
