@@ -21,7 +21,7 @@ use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve}
 use sfc_index::{BoxRegion, QueryStats, SfcIndex};
 use sfc_obs::MetricsRegistry;
 use sfc_store::memtable::bptree::BPlusTreeMap;
-use sfc_store::{EngineMetrics, SfcStore, ShardedSfcStore, WalConfig};
+use sfc_store::{BatchOp, EngineMetrics, SfcStore, ShardedSfcStore, WalConfig};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::io::Write as _;
@@ -476,17 +476,17 @@ const WAL_SHARDS: usize = 4;
 /// tmpfs. `min_ns`-based like the other gates.
 const DURABLE_INGEST_RATIO_GATE: f64 = 2.0;
 
-/// Scratch directory for the WAL bench: `/dev/shm` (tmpfs) when the
-/// host has it, so the gate measures the logging machinery — framing,
+/// Scratch directory for the WAL benches: `/dev/shm` (tmpfs) when the
+/// host has it, so the gates measure the logging machinery — framing,
 /// queue handoff, group fsync — rather than disk hardware.
-fn wal_bench_dir() -> std::path::PathBuf {
+fn wal_bench_dir(tag: &str) -> std::path::PathBuf {
     let shm = std::path::Path::new("/dev/shm");
     let base = if shm.is_dir() {
         shm.to_path_buf()
     } else {
         std::env::temp_dir()
     };
-    base.join(format!("sfc-bench-wal-{}", std::process::id()))
+    base.join(format!("sfc-bench-{tag}-{}", std::process::id()))
 }
 
 /// Durable vs in-memory ingest: the same 50k-upsert stream through an
@@ -501,7 +501,7 @@ fn bench_wal_ingest(c: &mut Criterion) {
     let ops: Vec<(Point<2>, u64)> = (0..WAL_OPS)
         .map(|i| (grid.random_cell(&mut rng), i as u64))
         .collect();
-    let dir = wal_bench_dir();
+    let dir = wal_bench_dir("wal");
 
     let mut group = c.benchmark_group("wal_ingest");
     group.bench_function("in_memory", |bencher| {
@@ -551,6 +551,196 @@ fn assert_wal_gate(all_records: &[criterion::BenchRecord]) -> f64 {
          stopped amortising the log"
     );
     println!("durable ingest overhead: {ratio:.3}x (budget {DURABLE_INGEST_RATIO_GATE})");
+    ratio
+}
+
+const BATCH_OPS: usize = 50_000;
+/// Bulk-ingest sized: big enough that each shard slice coalesces into a
+/// couple of near-`MAX_BODY` frames, so the durable comparison measures
+/// frame amortisation rather than the shared fsync floor.
+const BATCH_SIZE: usize = 4_096;
+/// Above `BATCH_OPS / WAL_SHARDS`: no shard flushes mid-benchmark, so
+/// the timing isolates the paths batching amortises (routing, memtable
+/// locking, WAL framing) instead of drowning them in identical
+/// flush-persist work on both sides.
+const BATCH_CAP: usize = 16_384;
+
+/// The committed batched-write budget: on the durable store, applying
+/// the stream as `BATCH_SIZE`-record batches (one routing pass per
+/// batch, one memtable-lock hold per shard slice, coalesced WAL frames
+/// with one checksum and one commit-queue ticket each) must beat the
+/// identical per-record stream by at least this factor. `min_ns`-based
+/// like the other gates.
+const BATCH_INGEST_RATIO_GATE: f64 = 1.5;
+
+/// Batched vs per-record ingest, in memory and durable: the same
+/// 50k-upsert stream applied one `insert` at a time vs as
+/// `BATCH_SIZE`-record `apply_batch` calls. The durable pair is the
+/// headline — frame coalescing turns 50k frames/tickets/CRCs into ~50.
+fn bench_batch_ingest(c: &mut Criterion) {
+    let grid = Grid::<2>::new(GRID_K).unwrap();
+    let z = ZCurve::over(grid);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3434);
+    let ops: Vec<(Point<2>, u64)> = (0..BATCH_OPS)
+        .map(|i| (grid.random_cell(&mut rng), i as u64))
+        .collect();
+    let batches: Vec<Vec<BatchOp<2, u64>>> = ops
+        .chunks(BATCH_SIZE)
+        .map(|chunk| chunk.iter().map(|&(p, v)| BatchOp::Insert(p, v)).collect())
+        .collect();
+    let dir = wal_bench_dir("batch");
+
+    let mut group = c.benchmark_group("batch_ingest");
+    group.bench_function("in_memory_per_record", |bencher| {
+        bencher.iter(|| {
+            let store = ShardedSfcStore::with_memtable_capacity(z, WAL_SHARDS, BATCH_CAP);
+            for &(p, v) in &ops {
+                store.insert(p, v);
+            }
+            black_box(store.len())
+        })
+    });
+    group.bench_function("in_memory_batched", |bencher| {
+        bencher.iter(|| {
+            let store = ShardedSfcStore::with_memtable_capacity(z, WAL_SHARDS, BATCH_CAP);
+            for batch in &batches {
+                store.apply_batch(batch);
+            }
+            black_box(store.len())
+        })
+    });
+    group.bench_function("durable_per_record", |bencher| {
+        bencher.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = ShardedSfcStore::open_durable(
+                z,
+                WAL_SHARDS,
+                BATCH_CAP,
+                WalConfig::new(&dir).fsync_every(512),
+            )
+            .expect("open durable store");
+            for &(p, v) in &ops {
+                store.insert_nosync(p, v);
+            }
+            store.sync().expect("durability barrier");
+            black_box(store.len())
+        })
+    });
+    group.bench_function("durable_batched", |bencher| {
+        bencher.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = ShardedSfcStore::open_durable(
+                z,
+                WAL_SHARDS,
+                BATCH_CAP,
+                WalConfig::new(&dir).fsync_every(512),
+            )
+            .expect("open durable store");
+            for batch in &batches {
+                store.apply_batch_nosync(batch);
+            }
+            store.sync().expect("durability barrier");
+            black_box(store.len())
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The batched-ingest ratios: durable (gated ≥ 1.5x) and in-memory
+/// (recorded only — without the log the batch API amortises just the
+/// routing and lock traffic).
+fn assert_batch_gate(all_records: &[criterion::BenchRecord]) -> (f64, f64) {
+    let min = |name: &str| {
+        all_records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.min_ns)
+            .expect("batch bench recorded")
+    };
+    let durable = min("batch_ingest/durable_per_record") / min("batch_ingest/durable_batched");
+    let in_memory =
+        min("batch_ingest/in_memory_per_record") / min("batch_ingest/in_memory_batched");
+    assert!(
+        durable >= BATCH_INGEST_RATIO_GATE,
+        "durable batched ingest is only {durable:.3}x the per-record stream — \
+         below the {BATCH_INGEST_RATIO_GATE} gate; frame coalescing has \
+         stopped amortising the log"
+    );
+    println!(
+        "batched ingest speedup: durable {durable:.3}x (gate {BATCH_INGEST_RATIO_GATE}), \
+         in-memory {in_memory:.3}x"
+    );
+    (durable, in_memory)
+}
+
+const RECOVERY_OPS: usize = 200_000;
+
+/// Serial vs parallel WAL recovery replay: a crashed 4-shard store whose
+/// whole 200k-record stream lives only in the log (synced, never
+/// flushed) is reopened with `recovery_threads(1)` vs the auto fan-out.
+/// Recorded, not gated — the ratio is machine-dependent (≈1x on a
+/// single-core host, approaching `min(shards, cores)`x otherwise).
+fn bench_recovery_replay(c: &mut Criterion) {
+    let grid = Grid::<2>::new(GRID_K).unwrap();
+    let z = ZCurve::over(grid);
+    let dir = wal_bench_dir("recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2323);
+    {
+        let store = ShardedSfcStore::open_durable(
+            z,
+            WAL_SHARDS,
+            RECOVERY_OPS, // capacity above the record count: replay stays WAL-bound
+            WalConfig::new(&dir).fsync_every(4096),
+        )
+        .expect("open durable store");
+        for i in 0..RECOVERY_OPS {
+            store.insert_nosync(grid.random_cell(&mut rng), i as u64);
+        }
+        store.sync().expect("durability barrier");
+        store.simulate_crash();
+    }
+
+    let mut group = c.benchmark_group("recovery_replay");
+    for (tag, threads) in [("serial", 1usize), ("parallel", 0usize)] {
+        group.bench_function(tag, |bencher| {
+            bencher.iter(|| {
+                let store: ShardedSfcStore<2, u64, _> = ShardedSfcStore::open_durable(
+                    z,
+                    WAL_SHARDS,
+                    RECOVERY_OPS,
+                    WalConfig::new(&dir).recovery_threads(threads),
+                )
+                .expect("reopen crashed store");
+                let replayed = store
+                    .recovery_stats()
+                    .expect("recovered store has stats")
+                    .replayed_records;
+                // The fixture must not drift across iterations: every
+                // reopen replays the full logged stream and nothing may
+                // flush or prune it behind our back.
+                assert_eq!(replayed, RECOVERY_OPS, "recovery fixture drifted");
+                store.simulate_crash(); // never a clean close: the WAL must survive
+                black_box(replayed)
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Serial / parallel recovery `min_ns` ratio for the report (ungated).
+fn recovery_replay_ratio(all_records: &[criterion::BenchRecord]) -> f64 {
+    let min = |name: &str| {
+        all_records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.min_ns)
+            .expect("recovery bench recorded")
+    };
+    let ratio = min("recovery_replay/serial") / min("recovery_replay/parallel");
+    println!("parallel recovery speedup: {ratio:.3}x serial (recorded, not gated)");
     ratio
 }
 
@@ -1029,7 +1219,7 @@ fn assert_overhead_gate(all_records: &[criterion::BenchRecord]) -> f64 {
 criterion_group! {
     name = ingest_benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_ingest, bench_sharded_ingest, bench_concurrent_throughput, bench_memtable_ingest, bench_wal_ingest
+    targets = bench_ingest, bench_sharded_ingest, bench_concurrent_throughput, bench_memtable_ingest, bench_wal_ingest, bench_batch_ingest, bench_recovery_replay
 }
 
 fn json_escape(s: &str) -> String {
@@ -1049,13 +1239,23 @@ fn stats_json(s: &QueryStats) -> String {
 /// instrumented run, the instrumentation-overhead ratio, and the headline
 /// plain-vs-zone speedups. CI uploads the file so the perf trajectory is
 /// tracked per commit.
+/// The durable-pipeline ratios `main` threads into the report: WAL
+/// overhead, batched-vs-per-record ingest (durable + in-memory), and
+/// the parallel-recovery speedup.
+struct PipelineRatios {
+    wal: f64,
+    batch_durable: f64,
+    batch_in_memory: f64,
+    recovery: f64,
+}
+
 fn write_report(
     all_records: &[criterion::BenchRecord],
     qb: &QueryBench,
     metrics: &EngineMetrics,
     overhead_ratio: f64,
     memtable: &MemtableRatios,
-    wal_ratio: f64,
+    pipeline: &PipelineRatios,
 ) {
     let median = |name: &str| {
         all_records
@@ -1200,7 +1400,15 @@ fn write_report(
             ),
         ),
         // min_ns-based, same as the ≤2x CI gate.
-        ("durable_vs_in_memory_ingest_ratio", Some(wal_ratio)),
+        ("durable_vs_in_memory_ingest_ratio", Some(pipeline.wal)),
+        // min_ns-based, same as the ≥1.5x CI gate.
+        ("batch_vs_record_ingest_ratio", Some(pipeline.batch_durable)),
+        (
+            "batch_vs_record_in_memory_ratio",
+            Some(pipeline.batch_in_memory),
+        ),
+        // min_ns-based, recorded but not gated (machine-dependent).
+        ("recovery_parallel_vs_serial", Some(pipeline.recovery)),
     ];
     for (i, (name, ratio)) in pairs.iter().enumerate() {
         match ratio {
@@ -1232,13 +1440,21 @@ fn main() {
     all_records.extend(criterion::take_records());
     let overhead_ratio = assert_overhead_gate(&all_records);
     let memtable = assert_memtable_gate(&all_records);
-    let wal_ratio = assert_wal_gate(&all_records);
+    let wal = assert_wal_gate(&all_records);
+    let (batch_durable, batch_in_memory) = assert_batch_gate(&all_records);
+    let recovery = recovery_replay_ratio(&all_records);
+    let pipeline = PipelineRatios {
+        wal,
+        batch_durable,
+        batch_in_memory,
+        recovery,
+    };
     write_report(
         &all_records,
         &qb,
         &metrics,
         overhead_ratio,
         &memtable,
-        wal_ratio,
+        &pipeline,
     );
 }

@@ -549,6 +549,101 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> Shard<D, T, C> {
         Ok(was_live)
     }
 
+    /// Applies a pre-routed, key-sorted batch slice (`Some` payload =
+    /// upsert, `None` = tombstone) under **one** mem-lock hold: one lock
+    /// acquire instead of N, and the sorted keys ride the memtable's
+    /// last-leaf insertion hint instead of paying N root descents. Ops
+    /// take a contiguous block of sequence numbers in slice order, so a
+    /// later duplicate key wins exactly as it would one-by-one.
+    ///
+    /// On a durable shard the whole slice is logged as coalesced
+    /// multi-record WAL frames after the lock drops — one commit-queue
+    /// ticket and one checksum per frame. With `wait`, blocks until the
+    /// group commit covers the slice. Error semantics match
+    /// [`Self::insert`]: an `Err` means applied but not acked.
+    pub(crate) fn apply_batch(
+        &self,
+        curve: &C,
+        ops: Vec<(CurveIndex, Point<D>, Option<T>)>,
+        wait: bool,
+    ) -> Result<(), WalError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(
+            ops.windows(2).all(|w| w[0].0 <= w[1].0),
+            "batch slices arrive key-sorted"
+        );
+        let m = self.metrics.as_deref();
+        let timer = m.and_then(|m| {
+            let inserts = ops.iter().filter(|(_, _, s)| s.is_some()).count() as u64;
+            m.inserts.add(inserts);
+            m.deletes.add(ops.len() as u64 - inserts);
+            m.sampler.sampled_start()
+        });
+        // Encode payloads before the lock, exactly as `insert` does; the
+        // sequence numbers are filled in once the lock assigns them.
+        let mut log: Vec<(u64, Point<D>, Option<Vec<u8>>)> = match self.wal.as_deref() {
+            Some(w) => ops
+                .iter()
+                .map(|(_, p, s)| (0, *p, s.as_ref().map(|t| w.encode_payload(t))))
+                .collect(),
+            None => Vec::new(),
+        };
+        let needs_flush;
+        let first_seq;
+        let (mem_len, mem_bytes, live);
+        {
+            let mut mem = self.mem.lock().expect("shard mem poisoned");
+            first_seq = mem.next_seq;
+            let mut seq = first_seq;
+            // The epoch is pinned lazily and at most once: the mem lock
+            // is held for the whole slice, so no flush can drain between
+            // ops, and a key absent from the table has the same liveness
+            // in every epoch publishable meanwhile.
+            let mut pinned: Option<Arc<RunsEpoch<D, T, C>>> = None;
+            for (key, p, slot) in ops {
+                let was_live = match mem.table.get(&key) {
+                    Some((_, s, _)) => s.is_some(),
+                    None => pinned.get_or_insert_with(|| self.epoch.load()).is_live(key),
+                };
+                let now_live = slot.is_some();
+                mem.table.insert(key, (p, slot, seq));
+                seq += 1;
+                match (was_live, now_live) {
+                    (false, true) => mem.live += 1,
+                    (true, false) => mem.live -= 1,
+                    _ => {}
+                }
+            }
+            mem.next_seq = seq;
+            needs_flush = mem.table.len() >= mem.cap && self.inline_flush.load(Ordering::Relaxed);
+            mem_len = mem.table.len();
+            mem_bytes = mem.table.heap_bytes();
+            live = mem.live;
+        }
+        if let Some(w) = self.wal.as_deref() {
+            for (i, entry) in log.iter_mut().enumerate() {
+                entry.0 = first_seq + i as u64;
+            }
+            w.log_batch(&log, wait)?;
+        }
+        if needs_flush {
+            self.flush(curve)?;
+        }
+        if let Some(m) = m {
+            if let Some(start) = timer {
+                m.insert_ns.record_since(start);
+            }
+            if !needs_flush {
+                m.memtable_len.set(mem_len as i64);
+                m.memtable_bytes.set(mem_bytes as i64);
+                m.live.set(live as i64);
+            }
+        }
+        Ok(())
+    }
+
     /// Drains the memtable into a new published run (see the module docs
     /// for the publish-before-drain protocol), then restores the
     /// size-tier invariant. A no-op on an empty memtable.

@@ -175,6 +175,18 @@
 //! every shard, recomputes min-bottleneck boundaries from the drained
 //! traffic, and migrates records as pre-sorted bottom runs.
 //!
+//! **Batched writes** — both store flavours accept a whole batch of
+//! upserts/deletes in one call ([`SfcStore::apply_batch`] /
+//! [`ShardedSfcStore::apply_batch`], ops as [`BatchOp`] values). The
+//! router keys every op, takes the partition read guard **once**,
+//! routes the batch into per-shard slices, stably sorts each slice by
+//! curve index (duplicate cells keep submission order — the last write
+//! wins, exactly as one-by-one), and applies each slice under a
+//! **single** memtable-lock hold, where the ascending keys ride the
+//! B+tree's last-leaf insertion hint instead of paying a root descent
+//! per record. The per-record costs that remain — lock acquires, WAL
+//! frames, commit-queue tickets — are amortised over the batch.
+//!
 //! **Snapshots** ([`StoreSnapshot`] / [`ShardedSnapshot`]) — runs are
 //! held behind `Arc`, so a snapshot pins the published epochs by cloning
 //! pointers (each shard is flushed first so the snapshot is complete).
@@ -210,8 +222,25 @@
 //!   [`WalConfig::fsync_every`] records while no writer waits on an ack
 //!   (a waiter, a barrier, or shutdown fsyncs immediately;
 //!   [`WalConfig::max_batch_delay`] optionally lingers for fuller
-//!   groups) — before acking. [`ShardedSfcStore::sync`] is the explicit
-//!   durability barrier for the `*_nosync` write variants.
+//!   groups) — before acking. [`WalConfig::fsync_bytes`] adds a byte
+//!   bound so bursts of large frames close groups early.
+//!   [`ShardedSfcStore::sync`] is the explicit durability barrier for
+//!   the `*_nosync` write variants.
+//! * **Frame coalescing (format v2).** A batched write logs each
+//!   shard's slice as one multi-record frame — a batch tag, the record
+//!   count, and the packed records under a **single** CRC32C and a
+//!   single commit-queue ticket. Because the checksum covers the whole
+//!   body, recovery replays a batch frame all-or-nothing: a torn batch
+//!   tail never resurrects half a slice. A one-record batch emits the
+//!   v1 frame byte-for-byte, so batched and unbatched logs intermix
+//!   freely in one segment.
+//! * **Parallel recovery.** Shards recover from disjoint directories
+//!   and share nothing, so reopening fans the per-shard segment scans
+//!   and replays across threads (serial with
+//!   [`WalConfig::recovery_threads`]`(1)`); [`RecoveryStats::shards`]
+//!   reports each shard's replay breakdown and
+//!   [`RecoveryStats::replay_threads`] the fan-out used. The recovered
+//!   store is identical either way.
 //! * **Acked vs applied.** A write is *applied* (visible to queries and
 //!   to later writes) the moment its memtable lock drops, and *acked*
 //!   (durable) only when its group's fsync completes. The synchronous
@@ -268,8 +297,8 @@ pub use maintenance::{MaintenanceConfig, RateLimit};
 pub use obs::{EngineMetrics, QueryTrace};
 pub use shard::{ShardedSfcStore, ShardedSnapshot};
 pub use snapshot::StoreSnapshot;
-pub use store::{SfcStore, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
+pub use store::{BatchOp, SfcStore, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
 pub use view::{
     LevelStrategy, QueryPlan, SnapshotIter, INTERVAL_VOLUME_CUTOFF, KNN_BALL_INTERVALS_CUTOFF,
 };
-pub use wal::{RecoveryStats, WalConfig, WalError, WalPayload};
+pub use wal::{RecoveryStats, ShardRecoveryStats, WalConfig, WalError, WalPayload};

@@ -59,7 +59,9 @@ use crate::epoch::{Shard, ShardCapture};
 use crate::maintenance::{wait_tick, MaintenanceConfig, MaintenanceHandle, TokenBucket};
 use crate::obs::{EngineMetrics, QueryOp, QueryTrace};
 use crate::snapshot::StoreSnapshot;
-use crate::store::{sorted_unique_columns, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY};
+use crate::store::{
+    sorted_unique_columns, BatchOp, StoreEntry, StoreEntryRef, DEFAULT_MEMTABLE_CAPACITY,
+};
 use crate::view::{
     distance_key_order, interval_hull, offer, radius_from_heap, rank_by_distance, should_decompose,
     with_knn_heap, LevelsView, QueryPlan,
@@ -916,6 +918,90 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> ShardedSfcStore<
         let j = part.part_of(key);
         self.traffic.record_write(j, key);
         self.shards[j].delete(&self.curve, key, p, wait)
+    }
+
+    /// Applies a batch of upserts and deletes across shards, equivalent
+    /// to issuing the ops one-by-one in slice order (for a cell written
+    /// twice, the later op wins) but with the per-record costs
+    /// amortised: the whole batch is routed under **one** partition
+    /// read-guard acquisition, each shard's slice is stably sorted by
+    /// curve index and applied under a **single** memtable-lock hold
+    /// (the sorted keys ride the B+tree's last-leaf hint), and on a
+    /// durable store each slice is logged as coalesced multi-record WAL
+    /// frames — one commit-queue ticket and one checksum per frame.
+    ///
+    /// Durability: returns after one barrier covering every shard's
+    /// frames, so the whole batch is durable on `Ok`. Crash atomicity is
+    /// **per shard frame**: recovery replays each shard's slice
+    /// all-or-nothing (a torn frame discards that slice's tail in one
+    /// piece), but an unacked crash can persist one shard's slice and
+    /// not another's — exactly the guarantee of issuing per-shard
+    /// `sync`-less writes followed by one `sync`. Panics if the log has
+    /// failed; use [`try_apply_batch`](Self::try_apply_batch) to handle
+    /// [`WalError`].
+    pub fn apply_batch(&self, ops: &[BatchOp<D, T>]) {
+        self.try_apply_batch(ops)
+            .unwrap_or_else(|e| panic!("durable batch apply failed: {e}"));
+    }
+
+    /// [`apply_batch`](Self::apply_batch) with the durability failure
+    /// surfaced. An `Err` means some ops may be applied (visible to
+    /// queries) but not acknowledged — the acked-vs-applied contract of
+    /// [`try_insert`](Self::try_insert), batch-wide.
+    pub fn try_apply_batch(&self, ops: &[BatchOp<D, T>]) -> Result<(), WalError> {
+        self.apply_batch_at(ops)?;
+        // One barrier instead of per-shard waits: every shard's frames
+        // were accepted before this call, so the barrier covers them all.
+        self.sync()
+    }
+
+    /// [`apply_batch`](Self::apply_batch) without waiting for the
+    /// durable ack — the batch rides the group committer and is durable
+    /// only once a later [`sync`](Self::sync) (or awaited write) returns
+    /// `Ok`. Panics if the log has already failed.
+    pub fn apply_batch_nosync(&self, ops: &[BatchOp<D, T>]) {
+        self.apply_batch_at(ops)
+            .unwrap_or_else(|e| panic!("durable batch apply failed: {e}"));
+    }
+
+    fn apply_batch_at(&self, ops: &[BatchOp<D, T>]) -> Result<(), WalError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        // Key and validate before taking the guard.
+        let keyed: Vec<(CurveIndex, &BatchOp<D, T>)> = ops
+            .iter()
+            .map(|op| {
+                let p = op.point();
+                assert!(self.curve.grid().contains(p), "record out of bounds: {p}");
+                (self.curve.index_of(*p), op)
+            })
+            .collect();
+        // One partition read-guard acquisition for the whole batch; held
+        // across the shard applies so no rebalance can re-route a suffix
+        // of the batch mid-way.
+        let part = self.partition.read().expect("partition poisoned");
+        let parts = part.parts();
+        let mut buckets: Vec<Vec<(CurveIndex, Point<D>, Option<T>)>> =
+            (0..parts).map(|_| Vec::new()).collect();
+        for (key, op) in keyed {
+            let j = part.part_of(key);
+            self.traffic.record_write(j, key);
+            buckets[j].push(match op {
+                BatchOp::Insert(p, payload) => (key, *p, Some(payload.clone())),
+                BatchOp::Delete(p) => (key, *p, None),
+            });
+        }
+        for (j, mut bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            // Stable sort: duplicate keys keep submission order, so the
+            // last write to a cell lands last and wins.
+            bucket.sort_by_key(|&(k, _, _)| k);
+            self.shards[j].apply_batch(&self.curve, bucket, false)?;
+        }
+        Ok(())
     }
 
     /// The durability barrier: returns once every write accepted before

@@ -56,6 +56,28 @@ impl<const D: usize, T: Clone> StoreEntryRef<'_, D, T> {
     }
 }
 
+/// One operation of a write batch — see [`SfcStore::apply_batch`] and
+/// [`ShardedSfcStore::apply_batch`](crate::ShardedSfcStore::apply_batch).
+/// Within a batch, ops on the same cell apply in submission order (the
+/// last one wins), exactly as if issued one-by-one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOp<const D: usize, T> {
+    /// Upsert the payload at the cell.
+    Insert(Point<D>, T),
+    /// Delete the record at the cell (tombstoning it if an older run may
+    /// still hold a version).
+    Delete(Point<D>),
+}
+
+impl<const D: usize, T> BatchOp<D, T> {
+    /// The cell the operation targets.
+    pub fn point(&self) -> &Point<D> {
+        match self {
+            BatchOp::Insert(p, _) | BatchOp::Delete(p) => p,
+        }
+    }
+}
+
 /// A mutable spatial store over SFC-sorted runs (see the crate docs for
 /// the memtable / run / compaction lifecycle).
 ///
@@ -520,6 +542,73 @@ impl<const D: usize, T: Clone, C: SpaceFillingCurve<D> + Clone> SfcStore<D, T, C
             s.live.set(self.live as i64);
         }
         was_live
+    }
+
+    /// Applies a batch of upserts and deletes as one operation,
+    /// equivalent to issuing the ops one-by-one in slice order (for a
+    /// cell written twice, the later op wins) but cheaper: the batch is
+    /// keyed once, stably sorted by curve index so the sorted keys ride
+    /// the memtable's last-leaf insertion hint instead of paying a root
+    /// descent each, and the flush-capacity check runs once at the end
+    /// (the memtable may briefly overshoot its capacity mid-batch).
+    pub fn apply_batch(&mut self, ops: &[BatchOp<D, T>]) {
+        if ops.is_empty() {
+            return;
+        }
+        let timer = self.metrics.as_deref().and_then(|m| {
+            let s = m.shard(0);
+            let inserts = ops
+                .iter()
+                .filter(|op| matches!(op, BatchOp::Insert(..)))
+                .count() as u64;
+            s.inserts.add(inserts);
+            s.deletes.add(ops.len() as u64 - inserts);
+            s.sampler.sampled_start()
+        });
+        let mut keyed: Vec<(CurveIndex, &BatchOp<D, T>)> = ops
+            .iter()
+            .map(|op| {
+                let p = op.point();
+                assert!(self.curve.grid().contains(p), "record out of bounds: {p}");
+                (self.curve.index_of(*p), op)
+            })
+            .collect();
+        // Stable sort: duplicate keys keep submission order, so the last
+        // write to a cell lands last and wins.
+        keyed.sort_by_key(|&(k, _)| k);
+        for (key, op) in keyed {
+            let was_live = self.view().is_live(key);
+            match op {
+                BatchOp::Insert(p, payload) => {
+                    self.memtable.insert(key, (*p, Some(payload.clone())));
+                    if !was_live {
+                        self.live += 1;
+                    }
+                }
+                BatchOp::Delete(p) => {
+                    if self.runs.is_empty() {
+                        // Nothing below the memtable: no tombstone needed
+                        // (and no flush runs mid-batch to change that).
+                        self.memtable.remove(&key);
+                    } else {
+                        self.memtable.insert(key, (*p, None));
+                    }
+                    if was_live {
+                        self.live -= 1;
+                    }
+                }
+            }
+        }
+        self.maybe_flush();
+        if let Some(m) = self.metrics.as_deref() {
+            let s = m.shard(0);
+            if let Some(start) = timer {
+                s.insert_ns.record_since(start);
+            }
+            s.memtable_len.set(self.memtable.len() as i64);
+            s.memtable_bytes.set(self.memtable.heap_bytes() as i64);
+            s.live.set(self.live as i64);
+        }
     }
 
     fn maybe_flush(&mut self) {

@@ -35,11 +35,14 @@ use super::record::{segment_header, SEGMENT_HEADER};
 use super::{WalConfig, WalError};
 use crate::obs::WalMetrics;
 
-/// One queued append: target shard, the record's sequence number (for
-/// segment pruning metadata), and the fully framed bytes.
+/// One queued append: target shard, the highest record sequence number
+/// in the frame (for segment pruning metadata), how many records the
+/// frame carries (one for a v1 frame, the batch count for a coalesced
+/// v2 frame), and the fully framed bytes.
 struct Pending {
     shard: usize,
     seq: u64,
+    records: usize,
     frame: Vec<u8>,
 }
 
@@ -47,6 +50,10 @@ struct Pending {
 /// file I/O happens with it released).
 struct QueueState {
     pending: Vec<Pending>,
+    /// Records across `pending` (a coalesced frame counts all of them).
+    pending_records: usize,
+    /// Frame bytes across `pending` — drives the byte-bound trigger.
+    pending_bytes: u64,
     prunes: Vec<(usize, u64)>,
     /// Ticket handed to the *next* append (tickets start at 1).
     next_ticket: u64,
@@ -226,6 +233,9 @@ pub(crate) struct Committer {
     /// Mirrors the thread's group bound: writers wake the committer
     /// only when a group is full (or they wait on an ack).
     fsync_every: usize,
+    /// Byte-bound companion to `fsync_every`: a group also closes once
+    /// this many frame bytes are queued/unsynced. Zero disables it.
+    fsync_bytes: u64,
     /// `max_batch_delay > 0`: queued records have a staleness bound, so
     /// the committer must wake on the first queued record to arm it.
     timed: bool,
@@ -250,6 +260,8 @@ impl Committer {
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 pending: Vec::new(),
+                pending_records: 0,
+                pending_bytes: 0,
                 prunes: Vec::new(),
                 next_ticket: 1,
                 durable: 0,
@@ -286,6 +298,7 @@ impl Committer {
             .collect();
         let thread_shared = Arc::clone(&shared);
         let fsync_every = config.fsync_every.max(1);
+        let fsync_bytes = config.fsync_bytes;
         let max_batch_delay = config.max_batch_delay;
         let segment_bytes = config.segment_bytes;
         let handle = std::thread::Builder::new()
@@ -296,6 +309,7 @@ impl Committer {
                     files,
                     dims,
                     fsync_every,
+                    fsync_bytes,
                     max_batch_delay,
                     segment_bytes,
                 );
@@ -305,6 +319,7 @@ impl Committer {
             shared,
             handle: Mutex::new(Some(handle)),
             fsync_every,
+            fsync_bytes,
             timed: max_batch_delay > Duration::ZERO,
         }
     }
@@ -319,12 +334,15 @@ impl Committer {
             .metrics = Some(metrics);
     }
 
-    /// Enqueues one framed record for `shard`. With `wait`, blocks until
-    /// the record's group is fsynced (the durable ack) or the log dies.
+    /// Enqueues one framed entry for `shard` carrying `records` records
+    /// (one for a plain frame, the batch count for a coalesced frame).
+    /// With `wait`, blocks until the frame's group is fsynced (the
+    /// durable ack) or the log dies.
     pub(crate) fn append(
         &self,
         shard: usize,
         seq: u64,
+        records: usize,
         frame: Vec<u8>,
         wait: bool,
     ) -> Result<(), WalError> {
@@ -336,21 +354,29 @@ impl Committer {
         if st.shutdown || st.abort {
             return Err(WalError::Shutdown);
         }
-        st.pending.push(Pending { shard, seq, frame });
+        st.pending_records += records;
+        st.pending_bytes += frame.len() as u64;
+        st.pending.push(Pending {
+            shard,
+            seq,
+            records,
+            frame,
+        });
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         // Wake the committer only when there is a reason for it to run
-        // *now*: this append wants an ack, the group is full, or a
-        // staleness clock must be armed for the first queued record.
-        // Un-waited records below the group bound just accumulate — the
-        // next full group, barrier, or shutdown picks them up. (And the
-        // wake syscall only matters when the committer is actually
-        // parked; while awake it re-checks the queue — and the waiter
-        // count, registered below under this same lock hold — before
-        // ever sleeping.)
+        // *now*: this append wants an ack, the group is full (by record
+        // count or bytes), or a staleness clock must be armed for the
+        // first queued frame. Un-waited frames below the group bounds
+        // just accumulate — the next full group, barrier, or shutdown
+        // picks them up. (And the wake syscall only matters when the
+        // committer is actually parked; while awake it re-checks the
+        // queue — and the waiter count, registered below under this same
+        // lock hold — before ever sleeping.)
         if st.idle
             && (wait
-                || st.pending.len() >= self.fsync_every
+                || st.pending_records >= self.fsync_every
+                || (self.fsync_bytes > 0 && st.pending_bytes >= self.fsync_bytes)
                 || (self.timed && st.pending.len() == 1))
         {
             self.shared.work.notify_one();
@@ -436,6 +462,17 @@ impl Committer {
         }
     }
 
+    /// The highest fsynced ticket — test-only visibility into group
+    /// formation.
+    #[cfg(test)]
+    fn durable_ticket(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("commit queue poisoned")
+            .durable
+    }
+
     /// Simulated crash: stop the committer *without* draining or a final
     /// fsync. Pending unacked appends are abandoned exactly as a power
     /// cut would abandon them. Idempotent.
@@ -463,15 +500,18 @@ fn run_committer(
     mut files: Vec<ShardFiles>,
     dims: u8,
     fsync_every: usize,
+    fsync_bytes: u64,
     max_batch_delay: Duration,
     segment_bytes: u64,
 ) {
-    // Records written to the OS since the last fsync round, and the
-    // highest ticket those writes cover. With no writer waiting on an
-    // ack, the fsync is deferred across drains until `fsync_every`
-    // records have accumulated (or a barrier/shutdown forces it) — the
-    // group-commit amortisation.
+    // Records/bytes written to the OS since the last fsync round, and
+    // the highest ticket those writes cover. With no writer waiting on
+    // an ack, the fsync is deferred across drains until `fsync_every`
+    // records or `fsync_bytes` bytes have accumulated (or a
+    // barrier/shutdown forces it) — the group-commit amortisation, with
+    // a byte bound so huge coalesced frames don't balloon a group.
     let mut unsynced_records: usize = 0;
+    let mut unsynced_bytes: u64 = 0;
     let mut written_ticket: u64 = 0;
     loop {
         let (batch, prunes, high_ticket, metrics, mut want_sync);
@@ -498,10 +538,11 @@ fn run_committer(
                     st.idle = false;
                     continue;
                 }
-                let backlog = st.pending.len();
+                let backlog = st.pending_records;
                 let forced = st.hurry || st.shutdown || st.waiters > 0 || !st.prunes.is_empty();
                 let timed = backlog > 0 && deadline.is_some_and(|d| Instant::now() >= d);
-                if forced || backlog >= fsync_every || timed {
+                let byte_full = fsync_bytes > 0 && st.pending_bytes >= fsync_bytes;
+                if forced || backlog >= fsync_every || byte_full || timed {
                     if backlog == 0 && st.prunes.is_empty() {
                         // A barrier, ack-waiter, or clean shutdown with
                         // nothing queued: flush deferred writes with an
@@ -547,6 +588,8 @@ fn run_committer(
                 st.idle = false;
             }
             batch = mem::take(&mut st.pending);
+            st.pending_records = 0;
+            st.pending_bytes = 0;
             prunes = mem::take(&mut st.prunes);
             // Every ticket issued so far is either already durable,
             // covered by an earlier (possibly unsynced) write, or in
@@ -563,10 +606,12 @@ fn run_committer(
         let mut synced_to = None;
         if result.is_ok() {
             if !batch.is_empty() {
-                unsynced_records += batch.len();
+                unsynced_records += batch.iter().map(|p| p.records).sum::<usize>();
+                unsynced_bytes += batch.iter().map(|p| p.frame.len() as u64).sum::<u64>();
                 written_ticket = high_ticket;
             }
-            if unsynced_records >= fsync_every {
+            if unsynced_records >= fsync_every || (fsync_bytes > 0 && unsynced_bytes >= fsync_bytes)
+            {
                 want_sync = true;
             }
             if want_sync && unsynced_records > 0 {
@@ -574,6 +619,7 @@ fn run_committer(
                     Ok(()) => {
                         synced_to = Some(written_ticket);
                         unsynced_records = 0;
+                        unsynced_bytes = 0;
                     }
                     Err(e) => result = Err(e),
                 }
@@ -632,19 +678,21 @@ fn write_group(
     }
     let mut touched = BTreeSet::new();
     let mut group_bytes = 0u64;
+    let mut group_records = 0u64;
     for p in batch {
         let f = &mut files[p.shard];
         f.buf.extend_from_slice(&p.frame);
         f.buf_max_seq = f.buf_max_seq.max(p.seq);
         f.buf_any = true;
         group_bytes += p.frame.len() as u64;
+        group_records += p.records as u64;
         touched.insert(p.shard);
     }
     for &j in &touched {
         files[j].write(dims, segment_bytes)?;
     }
     if let Some(m) = metrics {
-        m.records.add(batch.len() as u64);
+        m.records.add(group_records);
         m.bytes.add(group_bytes);
         m.segments
             .set(files.iter().map(ShardFiles::segment_count).sum::<usize>() as i64);
@@ -669,4 +717,105 @@ fn sync_group(
         m.group_size.record(group_records as u64);
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::record::encode_frame;
+    use super::*;
+    use sfc_core::Point;
+
+    struct TestDir(PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "sfc-committer-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).expect("create test dir");
+            TestDir(dir)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn frame(seq: u64, payload_len: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let payload = vec![0xabu8; payload_len];
+        encode_frame(&mut buf, seq, &Point::new([1u32, 2]), Some(&payload));
+        buf
+    }
+
+    fn spawn_one_shard(config: &WalConfig, dir: &std::path::Path) -> Committer {
+        Committer::spawn(
+            config,
+            2,
+            vec![ShardLogState {
+                dir: dir.to_path_buf(),
+                segments: Vec::new(),
+                next_segment_id: 0,
+            }],
+        )
+    }
+
+    /// ROADMAP follow-on (c): crossing `fsync_bytes` must close a group
+    /// early even though no writer waits and the record-count bound is
+    /// nowhere near met.
+    #[test]
+    fn oversized_batch_forces_a_group_by_bytes() {
+        let dir = TestDir::new("bytes");
+        let config = WalConfig::new(&dir.0)
+            .fsync_every(1_000_000)
+            .fsync_bytes(1024);
+        let committer = spawn_one_shard(&config, &dir.0);
+
+        // Below the byte bound nothing forces a group: the ticket must
+        // stay parked at zero (a spurious committer wakeup re-checks the
+        // conditions and goes back to sleep).
+        let small = frame(1, 100);
+        assert!(small.len() < 512);
+        committer.append(0, 1, 1, small, false).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            committer.durable_ticket(),
+            0,
+            "a sub-bound un-waited append must not trigger a group"
+        );
+
+        // One oversized coalesced frame blows through the byte bound;
+        // the committer must sync without any waiter or barrier.
+        let big = frame(2, 2048);
+        committer.append(0, 2, 64, big, false).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while committer.durable_ticket() < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "byte-bound group never became durable"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        committer.shutdown();
+    }
+
+    /// With the byte bound disabled (0), the same traffic stays queued
+    /// until a barrier forces it out.
+    #[test]
+    fn disabled_byte_bound_defers_to_the_barrier() {
+        let dir = TestDir::new("nobytes");
+        let config = WalConfig::new(&dir.0).fsync_every(1_000_000).fsync_bytes(0);
+        let committer = spawn_one_shard(&config, &dir.0);
+        committer.append(0, 1, 64, frame(1, 2048), false).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(committer.durable_ticket(), 0, "no bound, no group");
+        committer.sync().unwrap();
+        assert_eq!(committer.durable_ticket(), 1, "the barrier drains it");
+        committer.shutdown();
+    }
 }

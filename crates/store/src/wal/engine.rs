@@ -18,8 +18,8 @@ use sfc_core::{CurveIndex, Point, SpaceFillingCurve};
 
 use super::committer::Committer;
 use super::manifest::{ckpt_path, run_path, sync_dir, write_file, Checkpoint, Manifest};
-use super::record::WalPayload;
-use super::{encode_frame, WalConfig, WalError};
+use super::record::{batch_entry_len, WalPayload, BATCH_HEADER, MAX_BODY};
+use super::{encode_batch_frame, encode_frame, WalConfig, WalError};
 use crate::view::Run;
 
 /// Engine-wide durability state: the committer plus the in-memory image
@@ -97,6 +97,17 @@ where
         seq: u64,
         point: &Point<D>,
         payload: Option<Vec<u8>>,
+        wait: bool,
+    ) -> Result<(), WalError>;
+
+    /// Logs a shard's slice of an applied batch as coalesced
+    /// multi-record frames — one frame (one ticket, one checksum) for
+    /// the whole slice, chunked only if it would overflow a frame's
+    /// maximum body. With `wait`, blocks for the *last* chunk's group
+    /// fsync, which covers every earlier chunk (groups are ordered).
+    fn log_batch(
+        &self,
+        records: &[(u64, Point<D>, Option<Vec<u8>>)],
         wait: bool,
     ) -> Result<(), WalError>;
 
@@ -206,7 +217,39 @@ where
     ) -> Result<(), WalError> {
         let mut frame = Vec::new();
         encode_frame(&mut frame, seq, point, payload.as_deref());
-        self.engine.committer.append(self.j, seq, frame, wait)
+        self.engine.committer.append(self.j, seq, 1, frame, wait)
+    }
+
+    fn log_batch(
+        &self,
+        records: &[(u64, Point<D>, Option<Vec<u8>>)],
+        wait: bool,
+    ) -> Result<(), WalError> {
+        // Greedy chunking at the frame body limit; every chunk takes at
+        // least one record, so even a record near MAX_BODY still frames.
+        let mut start = 0;
+        while start < records.len() {
+            let mut body = BATCH_HEADER;
+            let mut end = start;
+            while end < records.len() {
+                let len = batch_entry_len::<D>(records[end].2.as_ref().map_or(0, Vec::len));
+                if end > start && body + len > MAX_BODY {
+                    break;
+                }
+                body += len;
+                end += 1;
+            }
+            let chunk = &records[start..end];
+            let mut frame = Vec::new();
+            encode_batch_frame(&mut frame, chunk);
+            let max_seq = chunk.iter().map(|&(seq, _, _)| seq).max().expect(">= 1");
+            let last = end == records.len();
+            self.engine
+                .committer
+                .append(self.j, max_seq, chunk.len(), frame, wait && last)?;
+            start = end;
+        }
+        Ok(())
     }
 
     fn persist_epoch(

@@ -19,7 +19,10 @@
 //!
 //! Recovery therefore replays exactly the frames with `seq >=` the
 //!    checkpointed high-water into a fresh memtable — it never touches
-//! the reader path, and a record is never applied twice.
+//! the reader path, and a record is never applied twice. Shards recover
+//! independently (their logs share nothing), so the per-shard scans and
+//! replays fan out across threads — see [`WalConfig::recovery_threads`]
+//! and the per-shard breakdown in [`RecoveryStats::shards`].
 //!
 //! # Group commit
 //!
@@ -29,14 +32,25 @@
 //! shard's frames to its open segment, and issues **one fsync per shard
 //! per group**. While no writer is blocked on an ack, the committer does
 //! not even wake: un-waited records accumulate in the queue until
-//! [`WalConfig::fsync_every`] of them are pending (or
-//! [`WalConfig::max_batch_delay`] expires), then are written and synced
-//! as one group — a waiting writer, a `sync()` barrier, or shutdown
-//! forces the group immediately. Only after the fsync does the durable
-//! ticket advance and
+//! [`WalConfig::fsync_every`] of them — or, since batched appends can
+//! carry kilobytes per frame, [`WalConfig::fsync_bytes`] frame bytes —
+//! are pending (or [`WalConfig::max_batch_delay`] expires), then are
+//! written and synced as one group — a waiting writer, a `sync()`
+//! barrier, or shutdown forces the group immediately. Only after the
+//! fsync does the durable ticket advance and
 //! wake waiting writers. An fsync failure is *sticky*: the committer
 //! parks with the error and every subsequent or waiting append returns
 //! it — the log never silently drops a group.
+//!
+//! # Frame coalescing
+//!
+//! A batched write ([`apply_batch`](crate::ShardedSfcStore::apply_batch))
+//! logs each shard's slice as **one multi-record frame** (frame format
+//! v2, see [`record`]): one length/CRC header, one commit-queue ticket,
+//! one `memcpy` into the segment — instead of per-record frames. Because
+//! the whole batch body sits under a single checksum, a torn batch frame
+//! is discarded *atomically* on recovery: a shard never replays half a
+//! batch slice.
 //!
 //! # Commit/prune split
 //!
@@ -89,7 +103,7 @@ mod recovery;
 pub(crate) use committer::Committer;
 pub(crate) use engine::{DurabilityHook, WalEngine, WalShard};
 pub(crate) use manifest::shard_dir;
-pub(crate) use record::{encode_frame, WalRecord};
+pub(crate) use record::{encode_batch_frame, encode_frame, WalRecord};
 pub(crate) use recovery::recover;
 
 pub use record::WalPayload;
@@ -121,21 +135,36 @@ pub struct WalConfig {
     ///
     /// [`sync`]: crate::ShardedSfcStore::sync
     pub max_batch_delay: Duration,
+    /// Byte-bound companion to `fsync_every`: the committer also closes
+    /// a group once this many frame bytes have accumulated since the
+    /// last fsync, so a burst of large coalesced batch frames does not
+    /// balloon a group (and its worst-case replay) while staying far
+    /// under the record-count bound. `0` disables the byte bound.
+    pub fsync_bytes: u64,
     /// Segment rotation threshold: an open segment is sealed once it
     /// exceeds this many bytes (pruning granularity — smaller segments
     /// reclaim space sooner after a flush).
     pub segment_bytes: u64,
+    /// Recovery replay parallelism: `1` scans and replays the shard
+    /// logs serially on the opening thread; any other value (including
+    /// the default `0` = auto) fans the per-shard recoveries out across
+    /// the scoped thread pool, up to the machine's available
+    /// parallelism. Shards share no recovery state, so the fan-out is
+    /// deterministic — the recovered store is identical either way.
+    pub recovery_threads: usize,
 }
 
 impl WalConfig {
-    /// A configuration with defaults: `fsync_every` 256, no batch delay,
-    /// 4 MiB segments.
+    /// A configuration with defaults: `fsync_every` 256, `fsync_bytes`
+    /// 1 MiB, no batch delay, 4 MiB segments, parallel recovery.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             fsync_every: 256,
+            fsync_bytes: 1 << 20,
             max_batch_delay: Duration::ZERO,
             segment_bytes: 4 << 20,
+            recovery_threads: 0,
         }
     }
 
@@ -143,6 +172,21 @@ impl WalConfig {
     #[must_use]
     pub fn fsync_every(mut self, records: usize) -> Self {
         self.fsync_every = records.max(1);
+        self
+    }
+
+    /// Replaces the group byte bound (`0` disables it).
+    #[must_use]
+    pub fn fsync_bytes(mut self, bytes: u64) -> Self {
+        self.fsync_bytes = bytes;
+        self
+    }
+
+    /// Replaces the recovery replay parallelism (`1` = serial, anything
+    /// else = parallel up to the machine's available cores).
+    #[must_use]
+    pub fn recovery_threads(mut self, threads: usize) -> Self {
+        self.recovery_threads = threads;
         self
     }
 
@@ -266,5 +310,34 @@ pub struct RecoveryStats {
     /// on open.
     pub orphans_removed: usize,
     /// Wall-clock time of the whole recovery.
+    pub elapsed: Duration,
+    /// Threads the per-shard replay fanned out across (`1` = serial —
+    /// see [`WalConfig::recovery_threads`]).
+    pub replay_threads: usize,
+    /// The per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardRecoveryStats>,
+}
+
+/// One shard's slice of a recovery — shards recover independently (in
+/// parallel by default), and each reports its own work.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRecoveryStats {
+    /// WAL records replayed into this shard's memtable.
+    pub replayed_records: usize,
+    /// Valid records skipped (already covered by a published run).
+    pub skipped_records: usize,
+    /// Immutable runs loaded from this shard's run files.
+    pub runs_loaded: usize,
+    /// WAL segment files scanned.
+    pub segments_scanned: usize,
+    /// WAL bytes read.
+    pub wal_bytes: u64,
+    /// Bytes discarded as the newest segment's torn tail.
+    pub torn_tail_bytes: u64,
+    /// Orphaned files swept from this shard's directory.
+    pub orphans_removed: usize,
+    /// Wall-clock time of this shard's scan + replay (shard times
+    /// overlap when recovery runs in parallel, so they can sum to more
+    /// than [`RecoveryStats::elapsed`]).
     pub elapsed: Duration,
 }

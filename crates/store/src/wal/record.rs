@@ -20,6 +20,28 @@
 //! record saved, and the log stays valid across curve implementations
 //! that agree on the mapping.
 //!
+//! ## Frame format v2: multi-record batch bodies
+//!
+//! A batched write coalesces a whole shard slice into **one** frame so
+//! the group committer handles one ticket and one CRC instead of N. The
+//! outer framing is unchanged (same length prefix, same checksum — v1
+//! readers of the *framing* still walk the log); only the body grows a
+//! new shape, introduced by [`TAG_BATCH`]:
+//!
+//! ```text
+//! [ TAG_BATCH: u8 ][ count: u32 LE ] then `count` ×
+//!   [ tag: u8 ][ seq: u64 LE ][ D × coord: u32 LE ]
+//!   [ payload_len: u32 LE ][ payload bytes ]
+//! ```
+//!
+//! Each packed record carries its own insert/tombstone tag and an
+//! *explicit* payload length (a single-record body infers it from the
+//! body length; packed records cannot). Because the whole batch sits
+//! under one CRC and one length prefix, [`parse_frame`]'s torn-tail
+//! classification applies to the batch as a unit: a crash mid-append
+//! tears the *whole* frame, so recovery is all-or-nothing per shard
+//! slice — exactly the atomicity the batched write path promises.
+//!
 //! ## Classifying damage
 //!
 //! [`parse_frame`] distinguishes the two ways a frame can be unreadable,
@@ -40,6 +62,20 @@ use sfc_core::Point;
 pub(crate) const TAG_TOMBSTONE: u8 = 0;
 /// Tag byte of an insert/upsert record.
 pub(crate) const TAG_INSERT: u8 = 1;
+/// Tag byte of a multi-record batch body (frame format v2): a whole
+/// shard slice of a cross-shard batch packed under one length prefix and
+/// one CRC32C. See [`encode_batch_frame`].
+pub(crate) const TAG_BATCH: u8 = 2;
+
+/// Bytes of a batch body's own header: the batch tag plus the record
+/// count.
+pub(crate) const BATCH_HEADER: usize = 1 + 4;
+
+/// Bytes one record occupies inside a batch body: per-record tag, seq,
+/// coords, explicit payload length, payload.
+pub(crate) const fn batch_entry_len<const D: usize>(payload_len: usize) -> usize {
+    1 + 8 + 4 * D + 4 + payload_len
+}
 
 /// Frame header size: body length + body checksum.
 pub(crate) const FRAME_HEADER: usize = 8;
@@ -238,6 +274,52 @@ pub(crate) fn encode_frame<const D: usize>(
     out.len() - start
 }
 
+/// Appends one multi-record batch frame (format v2, see the module docs)
+/// to `out` and returns the frame's size in bytes. `records` is a shard
+/// slice as `(seq, point, encoded payload | tombstone)` — already
+/// key-sorted by the router, though this encoder does not care. A
+/// single-record batch degenerates to the equivalent v1 frame (same
+/// bytes on disk as [`encode_frame`], no batch overhead).
+pub(crate) fn encode_batch_frame<const D: usize>(
+    out: &mut Vec<u8>,
+    records: &[(u64, Point<D>, Option<Vec<u8>>)],
+) -> usize {
+    debug_assert!(!records.is_empty(), "a batch frame carries >= 1 record");
+    if let [(seq, point, payload)] = records {
+        return encode_frame(out, *seq, point, payload.as_deref());
+    }
+    let body_len = BATCH_HEADER
+        + records
+            .iter()
+            .map(|(_, _, payload)| batch_entry_len::<D>(payload.as_ref().map_or(0, Vec::len)))
+            .sum::<usize>();
+    debug_assert!(body_len <= MAX_BODY, "caller chunks batches at MAX_BODY");
+    out.reserve(FRAME_HEADER + body_len);
+    let start = out.len();
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // crc placeholder
+    let body_start = out.len();
+    out.push(TAG_BATCH);
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for (seq, point, payload) in records {
+        out.push(if payload.is_some() {
+            TAG_INSERT
+        } else {
+            TAG_TOMBSTONE
+        });
+        out.extend_from_slice(&seq.to_le_bytes());
+        for i in 0..D {
+            out.extend_from_slice(&point.coord(i).to_le_bytes());
+        }
+        let bytes = payload.as_deref().unwrap_or(&[]);
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    let crc = crc32c(&out[body_start..]);
+    out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    out.len() - start
+}
+
 /// The result of parsing one frame at some offset of a segment buffer.
 #[derive(Debug)]
 pub(crate) enum FrameOutcome<'a> {
@@ -309,6 +391,80 @@ pub(crate) fn decode_body<const D: usize, T: WalPayload>(
         other => return Err(format!("unknown record tag {other}")),
     };
     Ok(WalRecord { seq, point, slot })
+}
+
+/// Decodes a checksum-valid body of either format — a v1 single-record
+/// body or a v2 [`TAG_BATCH`] body — pushing every record onto `out` in
+/// encoded order. Returns how many records the body held. Like
+/// [`decode_body`], a failure here is format skew under a valid CRC and
+/// recovery reports it as corruption.
+pub(crate) fn decode_body_records<const D: usize, T: WalPayload>(
+    body: &[u8],
+    out: &mut Vec<WalRecord<D, T>>,
+) -> Result<usize, String> {
+    if body.first() != Some(&TAG_BATCH) {
+        out.push(decode_body(body)?);
+        return Ok(1);
+    }
+    if body.len() < BATCH_HEADER {
+        return Err(format!("batch header too short: {} bytes", body.len()));
+    }
+    let count = u32::from_le_bytes(body[1..5].try_into().expect("4 bytes")) as usize;
+    if count == 0 {
+        return Err("batch body with zero records".to_string());
+    }
+    let mut off = BATCH_HEADER;
+    for i in 0..count {
+        let fixed = batch_entry_len::<D>(0);
+        if body.len() - off < fixed {
+            return Err(format!(
+                "batch record {i}/{count} truncated inside the body"
+            ));
+        }
+        let tag = body[off];
+        let seq = u64::from_le_bytes(body[off + 1..off + 9].try_into().expect("8 bytes"));
+        let mut coords = [0u32; D];
+        for (d, c) in coords.iter_mut().enumerate() {
+            let at = off + 9 + 4 * d;
+            *c = u32::from_le_bytes(body[at..at + 4].try_into().expect("4 bytes"));
+        }
+        let len_at = off + 9 + 4 * D;
+        let payload_len =
+            u32::from_le_bytes(body[len_at..len_at + 4].try_into().expect("4 bytes")) as usize;
+        let payload_at = len_at + 4;
+        if body.len() - payload_at < payload_len {
+            return Err(format!(
+                "batch record {i}/{count} payload overruns the body"
+            ));
+        }
+        let payload = &body[payload_at..payload_at + payload_len];
+        let slot = match tag {
+            TAG_TOMBSTONE => {
+                if payload_len != 0 {
+                    return Err(format!("batch tombstone with {payload_len} payload bytes"));
+                }
+                None
+            }
+            TAG_INSERT => Some(
+                T::decode_payload(payload)
+                    .ok_or_else(|| format!("batch record {i}/{count} payload failed to decode"))?,
+            ),
+            other => return Err(format!("unknown batch record tag {other}")),
+        };
+        out.push(WalRecord {
+            seq,
+            point: Point::new(coords),
+            slot,
+        });
+        off = payload_at + payload_len;
+    }
+    if off != body.len() {
+        return Err(format!(
+            "batch body has {} trailing bytes after {count} records",
+            body.len() - off
+        ));
+    }
+    Ok(count)
 }
 
 #[cfg(test)]
@@ -421,6 +577,133 @@ mod tests {
         assert_eq!(u32::decode_payload(&[1, 2, 3]), None);
         assert_eq!(bool::decode_payload(&[2]), None);
         assert_eq!(<()>::decode_payload(&[1]), None);
+    }
+
+    /// A three-record batch for the v2 tests: two inserts flanking a
+    /// tombstone.
+    fn sample_batch() -> Vec<(u64, Point<2>, Option<Vec<u8>>)> {
+        let enc = |v: u64| {
+            let mut b = Vec::new();
+            v.encode_payload(&mut b);
+            b
+        };
+        vec![
+            (10, Point::new([1u32, 2]), Some(enc(111))),
+            (11, Point::new([3u32, 4]), None),
+            (12, Point::new([5u32, 6]), Some(enc(222))),
+        ]
+    }
+
+    #[test]
+    fn batch_frame_roundtrip() {
+        let records = sample_batch();
+        let mut buf = Vec::new();
+        let n = encode_batch_frame(&mut buf, &records);
+        assert_eq!(n, buf.len());
+        let FrameOutcome::Ok { body, end } = parse_frame(&buf, 0) else {
+            panic!("batch frame must parse");
+        };
+        assert_eq!(end, buf.len());
+        let mut out: Vec<WalRecord<2, u64>> = Vec::new();
+        assert_eq!(decode_body_records(body, &mut out), Ok(3));
+        assert_eq!(
+            out,
+            vec![
+                WalRecord {
+                    seq: 10,
+                    point: Point::new([1, 2]),
+                    slot: Some(111)
+                },
+                WalRecord {
+                    seq: 11,
+                    point: Point::new([3, 4]),
+                    slot: None
+                },
+                WalRecord {
+                    seq: 12,
+                    point: Point::new([5, 6]),
+                    slot: Some(222)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn single_record_batch_degenerates_to_v1_frame() {
+        let mut payload = Vec::new();
+        42u64.encode_payload(&mut payload);
+        let records = vec![(7u64, Point::new([3u32, 17]), Some(payload.clone()))];
+        let mut batch = Vec::new();
+        encode_batch_frame(&mut batch, &records);
+        let mut single = Vec::new();
+        encode_frame(&mut single, 7, &Point::new([3u32, 17]), Some(&payload));
+        assert_eq!(batch, single, "one-record batch must be byte-identical");
+    }
+
+    #[test]
+    fn decode_body_records_handles_v1_bodies_too() {
+        let mut buf = Vec::new();
+        let mut payload = Vec::new();
+        9u64.encode_payload(&mut payload);
+        encode_frame(&mut buf, 3, &Point::new([5u32, 6]), Some(&payload));
+        let FrameOutcome::Ok { body, .. } = parse_frame(&buf, 0) else {
+            panic!("frame must parse");
+        };
+        let mut out: Vec<WalRecord<2, u64>> = Vec::new();
+        assert_eq!(decode_body_records(body, &mut out), Ok(1));
+        assert_eq!(out[0].slot, Some(9));
+    }
+
+    #[test]
+    fn every_truncation_of_a_batch_frame_is_truncated() {
+        let mut buf = Vec::new();
+        encode_batch_frame(&mut buf, &sample_batch());
+        for cut in 0..buf.len() {
+            assert!(
+                matches!(parse_frame(&buf[..cut], 0), FrameOutcome::Truncated),
+                "cut at {cut} must read as truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_bit_flips_fail_the_checksum_or_read_as_truncated() {
+        let mut clean = Vec::new();
+        encode_batch_frame(&mut clean, &sample_batch());
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut buf = clean.clone();
+                buf[byte] ^= 1 << bit;
+                match parse_frame(&buf, 0) {
+                    FrameOutcome::Truncated | FrameOutcome::BadCrc { .. } => {}
+                    FrameOutcome::Ok { .. } => {
+                        panic!("flip byte {byte} bit {bit} still parsed ok")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_batch_bodies_are_format_errors() {
+        let mut buf = Vec::new();
+        encode_batch_frame(&mut buf, &sample_batch());
+        let FrameOutcome::Ok { body, .. } = parse_frame(&buf, 0) else {
+            panic!("frame must parse");
+        };
+        let mut out: Vec<WalRecord<2, u64>> = Vec::new();
+        // Count says 4, body holds 3.
+        let mut overcount = body.to_vec();
+        overcount[1..5].copy_from_slice(&4u32.to_le_bytes());
+        assert!(decode_body_records::<2, u64>(&overcount, &mut out).is_err());
+        // Count says 2, body holds 3: trailing bytes.
+        let mut undercount = body.to_vec();
+        undercount[1..5].copy_from_slice(&2u32.to_le_bytes());
+        assert!(decode_body_records::<2, u64>(&undercount, &mut out).is_err());
+        // A zero-record batch is never emitted.
+        let mut empty = vec![TAG_BATCH];
+        empty.extend_from_slice(&0u32.to_le_bytes());
+        assert!(decode_body_records::<2, u64>(&empty, &mut out).is_err());
     }
 
     #[test]

@@ -29,11 +29,12 @@ use super::manifest::{
     Checkpoint, Manifest,
 };
 use super::record::{
-    check_segment_header, decode_body, parse_frame, FrameOutcome, WalPayload, WalRecord,
+    check_segment_header, decode_body_records, parse_frame, FrameOutcome, WalPayload, WalRecord,
     SEGMENT_HEADER,
 };
-use super::{RecoveryStats, WalConfig, WalError};
+use super::{RecoveryStats, ShardRecoveryStats, WalConfig, WalError};
 use crate::view::Run;
+use rayon::prelude::*;
 
 /// Everything recovery reconstructed for one shard.
 pub(crate) struct RecoveredShard<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
@@ -51,6 +52,11 @@ pub(crate) struct RecoveredShard<const D: usize, T, C: SpaceFillingCurve<D> + Cl
     /// Surviving segment files, for the committer's pruner.
     pub(crate) log: ShardLogState,
 }
+
+/// One shard's recovery outcome: the rebuilt shard plus its replay
+/// stats, or the first error that stopped the scan.
+type ShardRecovery<const D: usize, T, C> =
+    Result<(RecoveredShard<D, T, C>, ShardRecoveryStats), WalError>;
 
 /// The outcome of scanning a store directory.
 pub(crate) struct RecoveredStore<const D: usize, T, C: SpaceFillingCurve<D> + Clone> {
@@ -73,8 +79,8 @@ pub(crate) fn recover<const D: usize, T, C>(
     parts: usize,
 ) -> Result<RecoveredStore<D, T, C>, WalError>
 where
-    T: WalPayload,
-    C: SpaceFillingCurve<D> + Clone,
+    T: WalPayload + Send + Sync,
+    C: SpaceFillingCurve<D> + Clone + Send + Sync,
 {
     let start = Instant::now();
     let dir = &config.dir;
@@ -118,14 +124,49 @@ where
         m
     };
 
+    // Shards recover from disjoint directories and share no state, so
+    // the per-shard scans and replays fan out across the scoped thread
+    // pool (`recovery_threads == 1` keeps it on the opening thread; a
+    // single-shard store runs inline either way).
+    let serial = config.recovery_threads == 1 || parts <= 1;
+    let recovered: Vec<ShardRecovery<D, T, C>> = if serial {
+        manifest
+            .gens
+            .iter()
+            .enumerate()
+            .map(|(j, &gen)| recover_shard::<D, T, C>(&shard_dir(dir, j), gen, curve))
+            .collect()
+    } else {
+        manifest
+            .gens
+            .iter()
+            .copied()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(j, gen)| recover_shard::<D, T, C>(&shard_dir(dir, j), gen, curve))
+            .collect()
+    };
+    stats.replay_threads = if serial {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map_or(2, std::num::NonZeroUsize::get)
+            .max(2)
+            .min(parts)
+    };
     let mut shards = Vec::with_capacity(parts);
-    for (j, &gen) in manifest.gens.iter().enumerate() {
-        shards.push(recover_shard::<D, T, C>(
-            &shard_dir(dir, j),
-            gen,
-            curve,
-            &mut stats,
-        )?);
+    for result in recovered {
+        let (shard, ss) = result?;
+        stats.replayed_records += ss.replayed_records;
+        stats.skipped_records += ss.skipped_records;
+        stats.runs_loaded += ss.runs_loaded;
+        stats.segments_scanned += ss.segments_scanned;
+        stats.wal_bytes += ss.wal_bytes;
+        stats.torn_tail_bytes += ss.torn_tail_bytes;
+        stats.orphans_removed += ss.orphans_removed;
+        stats.shards.push(ss);
+        shards.push(shard);
     }
     stats.elapsed = start.elapsed();
     Ok(RecoveredStore {
@@ -136,17 +177,19 @@ where
 }
 
 /// Loads one shard: checkpointed runs, WAL replay set, surviving
-/// segments, and the orphan sweep.
+/// segments, and the orphan sweep. Self-contained (returns its own
+/// stats) so shards can recover on separate threads.
 fn recover_shard<const D: usize, T, C>(
     sd: &Path,
     gen: u64,
     curve: &C,
-    stats: &mut RecoveryStats,
-) -> Result<RecoveredShard<D, T, C>, WalError>
+) -> Result<(RecoveredShard<D, T, C>, ShardRecoveryStats), WalError>
 where
     T: WalPayload,
     C: SpaceFillingCurve<D> + Clone,
 {
+    let shard_start = Instant::now();
+    let mut stats = ShardRecoveryStats::default();
     // Inventory the directory once.
     let mut ckpt_ids = Vec::new();
     let mut run_ids = Vec::new();
@@ -251,13 +294,19 @@ where
             }
             match parse_frame(&buf, off) {
                 FrameOutcome::Ok { body, end } => {
-                    let rec: WalRecord<D, T> = decode_body(body)
+                    // A frame carries one record (v1) or a whole batch
+                    // slice (v2) — the checksum already passed, so a
+                    // batch decodes in full or the segment is corrupt.
+                    let mut frame_records: Vec<WalRecord<D, T>> = Vec::new();
+                    decode_body_records(body, &mut frame_records)
                         .map_err(|detail| WalError::corrupt(&path, off as u64, detail))?;
-                    max_seq = Some(max_seq.map_or(rec.seq, |m: u64| m.max(rec.seq)));
-                    if rec.seq >= ckpt.high_water {
-                        records.push(rec);
-                    } else {
-                        stats.skipped_records += 1;
+                    for rec in frame_records {
+                        max_seq = Some(max_seq.map_or(rec.seq, |m: u64| m.max(rec.seq)));
+                        if rec.seq >= ckpt.high_water {
+                            records.push(rec);
+                        } else {
+                            stats.skipped_records += 1;
+                        }
                     }
                     off = end;
                 }
@@ -293,17 +342,21 @@ where
     }
     records.sort_by_key(|r| r.seq);
     stats.replayed_records += records.len();
+    stats.elapsed = shard_start.elapsed();
 
-    Ok(RecoveredShard {
-        runs,
-        epoch_live: ckpt.live as usize,
-        high_water: ckpt.high_water,
-        gen,
-        records,
-        log: ShardLogState {
-            dir: sd.to_path_buf(),
-            next_segment_id: seg_ids.last().map_or(1, |&id| id + 1),
-            segments,
+    Ok((
+        RecoveredShard {
+            runs,
+            epoch_live: ckpt.live as usize,
+            high_water: ckpt.high_water,
+            gen,
+            records,
+            log: ShardLogState {
+                dir: sd.to_path_buf(),
+                next_segment_id: seg_ids.last().map_or(1, |&id| id + 1),
+                segments,
+            },
         },
-    })
+        stats,
+    ))
 }

@@ -22,7 +22,7 @@ use proptest::prelude::*;
 use rand::Rng;
 use sfc_core::{CurveIndex, Grid, Point, SpaceFillingCurve, ZCurve};
 use sfc_integration::test_rng;
-use sfc_store::{ShardedSfcStore, WalConfig, WalError};
+use sfc_store::{BatchOp, ShardedSfcStore, WalConfig, WalError};
 
 type Store = ShardedSfcStore<2, u32, ZCurve<2>>;
 type Model = BTreeMap<CurveIndex, (Point<2>, u32)>;
@@ -431,6 +431,241 @@ fn bit_flips_never_panic_and_never_invent_state() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Batched frames (WAL frame coalescing)
+// ---------------------------------------------------------------------
+
+/// Runs a single-shard batched workload, each batch acked through
+/// [`ShardedSfcStore::try_apply_batch`] so it lands as exactly one
+/// coalesced multi-record frame (the batches are far below the frame
+/// body limit). Records the segment length after each batch — batch
+/// *frame* boundaries this time, not per-record ones.
+struct BatchSweepSetup {
+    batches: Vec<Vec<(Point<2>, Option<u32>)>>,
+    /// `boundaries[i]` = segment length after `i` acked batches.
+    boundaries: Vec<u64>,
+    segment: PathBuf,
+}
+
+fn batched_sweep_setup(dir: &Path) -> BatchSweepSetup {
+    let mut rng = test_rng(0xBA7C4);
+    let store = reopen(dir, 1, 1024).unwrap();
+    let shard_dir = dir.join("shard0");
+    let segment_of = |d: &Path| -> Option<PathBuf> {
+        let mut segs: Vec<PathBuf> = fs::read_dir(d)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                name.starts_with("wal-") && name.ends_with(".log")
+            })
+            .collect();
+        segs.sort();
+        segs.pop()
+    };
+
+    let mut batches = Vec::new();
+    let mut boundaries = vec![8u64]; // bare segment header
+    let mut segment = None;
+    for b in 0..12u32 {
+        let len = rng.gen_range(1..=8u32); // includes the 1-record (v1) frame
+        let mut batch = Vec::new();
+        let mut ops: Vec<BatchOp<2, u32>> = Vec::new();
+        for i in 0..len {
+            let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+            let slot = if (b + i) % 5 == 4 {
+                None
+            } else {
+                Some(b * 100 + i)
+            };
+            batch.push((p, slot));
+            ops.push(match slot {
+                Some(v) => BatchOp::Insert(p, v),
+                None => BatchOp::Delete(p),
+            });
+        }
+        store.try_apply_batch(&ops).expect("acked batch");
+        batches.push(batch);
+        let seg = segment_of(&shard_dir).expect("an open segment after an acked batch");
+        boundaries.push(fs::metadata(&seg).unwrap().len());
+        segment = Some(seg);
+    }
+    store.simulate_crash();
+    BatchSweepSetup {
+        batches,
+        boundaries,
+        segment: segment.unwrap(),
+    }
+}
+
+/// The model after replaying the first `k` acked batches. Within a
+/// batch the ops apply in submission order (the store sorts each shard
+/// slice *stably*, so the last write to a cell still wins).
+fn model_after_batches(batches: &[Vec<(Point<2>, Option<u32>)>], k: usize, c: &ZCurve<2>) -> Model {
+    let mut m = Model::new();
+    for batch in &batches[..k] {
+        for &(p, slot) in batch {
+            let key = c.index_of(p);
+            match slot {
+                Some(v) => {
+                    m.insert(key, (p, v));
+                }
+                None => {
+                    m.remove(&key);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// The batched analogue of the headline sweep: truncating a log of
+/// coalesced frames at **every byte offset** must recover a
+/// whole-batch prefix — a frame sharing one checksum across its
+/// records replays all-or-nothing, never a partial batch.
+#[test]
+fn batched_truncation_at_every_byte_recovers_whole_batches() {
+    let tmp = TempDir::new("batch-sweep");
+    let setup = batched_sweep_setup(tmp.path());
+    let c = curve();
+    let full = fs::read(&setup.segment).unwrap();
+    assert_eq!(
+        *setup.boundaries.last().unwrap(),
+        full.len() as u64,
+        "boundaries must track the segment length"
+    );
+
+    let scratch = TempDir::new("batch-sweep-scratch");
+    for cut in 0..=full.len() {
+        let _ = fs::remove_dir_all(scratch.path());
+        copy_dir(tmp.path(), scratch.path());
+        let seg = scratch
+            .path()
+            .join(setup.segment.strip_prefix(tmp.path()).unwrap());
+        fs::write(&seg, &full[..cut]).unwrap();
+
+        let k = setup
+            .boundaries
+            .iter()
+            .rposition(|&b| b <= cut as u64)
+            .unwrap_or(0);
+        let expect = model_after_batches(&setup.batches, k, &c);
+        let store = reopen(scratch.path(), 1, 1024)
+            .unwrap_or_else(|e| panic!("truncation at {cut} must recover, got {e}"));
+        assert_eq!(
+            state_of(&store),
+            model_state(&expect),
+            "state after truncation at byte {cut} (acked prefix = {k} whole batches)"
+        );
+        let stats = store.recovery_stats().unwrap();
+        let torn = if (cut as u64) < setup.boundaries[0] {
+            cut as u64
+        } else {
+            cut as u64 - setup.boundaries[k]
+        };
+        assert_eq!(
+            stats.torn_tail_bytes, torn,
+            "torn-tail accounting at byte {cut}"
+        );
+    }
+}
+
+/// Crash atomicity of a cross-shard batch is **per shard frame**: when
+/// one shard's log is torn mid-frame, that shard rolls back to its last
+/// whole batch slice while every other shard keeps its full stream —
+/// never a partially applied slice on any shard.
+#[test]
+fn torn_batch_frame_is_atomic_per_shard() {
+    let tmp = TempDir::new("batch-atomic");
+    const PARTS: usize = 4;
+    const BATCHES: u32 = 6;
+    const PER_BATCH: u32 = 24;
+
+    // Insert-only: a cell always routes to the same shard, so the
+    // surviving value of any cell is determined by that one shard's
+    // recovered prefix — replaying batches in order below computes it.
+    let mut shard0_boundaries = vec![8u64];
+    let mut routed: Vec<Vec<(usize, Point<2>, u32)>> = Vec::new(); // per batch: (shard, p, v)
+    let segment;
+    {
+        let store = reopen(tmp.path(), PARTS, 1024).unwrap();
+        let part = store.partition();
+        let shard0_dir = tmp.path().join("shard0");
+        let seg_of = || -> PathBuf {
+            let mut segs: Vec<PathBuf> = fs::read_dir(&shard0_dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .filter(|p| {
+                    let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                    name.starts_with("wal-") && name.ends_with(".log")
+                })
+                .collect();
+            segs.sort();
+            segs.pop().expect("shard0 segment")
+        };
+        let mut rng = test_rng(0xA70);
+        for b in 0..BATCHES {
+            let mut ops = Vec::new();
+            let mut batch = Vec::new();
+            for i in 0..PER_BATCH {
+                let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+                let v = b * 1000 + i;
+                ops.push(BatchOp::Insert(p, v));
+                batch.push((part.part_of(store.curve().index_of(p)), p, v));
+            }
+            store.try_apply_batch(&ops).expect("acked batch");
+            shard0_boundaries.push(fs::metadata(seg_of()).unwrap().len());
+            routed.push(batch);
+        }
+        // Uniform points over the grid must spread across every shard —
+        // a torn shard0 then genuinely diverges from the others.
+        for j in 0..PARTS {
+            assert!(
+                routed.iter().flatten().any(|&(s, _, _)| s == j),
+                "workload must route records to shard {j}"
+            );
+        }
+        segment = seg_of();
+        store.simulate_crash();
+    }
+
+    let full = fs::read(&segment).unwrap();
+    let c = curve();
+    let scratch = TempDir::new("batch-atomic-scratch");
+    for cut in 0..=full.len() {
+        let _ = fs::remove_dir_all(scratch.path());
+        copy_dir(tmp.path(), scratch.path());
+        let seg = scratch
+            .path()
+            .join(segment.strip_prefix(tmp.path()).unwrap());
+        fs::write(&seg, &full[..cut]).unwrap();
+
+        // Shard 0 keeps its first `k` whole batch slices; every other
+        // shard keeps everything.
+        let k = shard0_boundaries
+            .iter()
+            .rposition(|&b| b <= cut as u64)
+            .unwrap_or(0);
+        let mut expect = Model::new();
+        for (b, batch) in routed.iter().enumerate() {
+            for &(j, p, v) in batch {
+                if j == 0 && b >= k {
+                    continue;
+                }
+                expect.insert(c.index_of(p), (p, v));
+            }
+        }
+        let store = reopen(scratch.path(), PARTS, 1024)
+            .unwrap_or_else(|e| panic!("truncation at {cut} must recover, got {e}"));
+        assert_eq!(
+            state_of(&store),
+            model_state(&expect),
+            "per-shard atomicity after truncating shard0 at byte {cut} \
+             (shard0 prefix = {k} batch slices)"
+        );
+    }
+}
+
 #[test]
 fn corrupt_run_file_is_a_typed_error() {
     let tmp = TempDir::new("run-rot");
@@ -675,8 +910,29 @@ fn rebalance_boundaries_survive_crash() {
 enum DurableOp {
     Insert(u32, u32, u32),
     Delete(u32, u32),
+    /// An acked cross-shard batch, expanded deterministically from the
+    /// seed by [`batch_ops`].
+    Batch(u64),
     Flush,
     CrashAndReopen,
+}
+
+/// The op stream a [`DurableOp::Batch`] seed expands to: a mixed
+/// insert/delete batch, including duplicate cells (last write wins).
+fn batch_ops(seed: u64) -> Vec<(Point<2>, Option<u32>)> {
+    let mut rng = test_rng(seed);
+    let len = rng.gen_range(1..=12usize);
+    (0..len)
+        .map(|i| {
+            let p = Point::new([rng.gen_range(0..64), rng.gen_range(0..64)]);
+            let slot = if rng.gen_range(0..4u32) == 3 {
+                None
+            } else {
+                Some(seed as u32 ^ i as u32)
+            };
+            (p, slot)
+        })
+        .collect()
 }
 
 fn durable_ops(seed: u64, len: usize) -> Vec<DurableOp> {
@@ -685,11 +941,12 @@ fn durable_ops(seed: u64, len: usize) -> Vec<DurableOp> {
         .map(|i| {
             let x = rng.gen_range(0..64);
             let y = rng.gen_range(0..64);
-            match rng.gen_range(0..12u32) {
+            match rng.gen_range(0..14u32) {
                 0..=6 => DurableOp::Insert(x, y, i as u32),
                 7..=9 => DurableOp::Delete(x, y),
                 10 => DurableOp::Flush,
                 11 => DurableOp::CrashAndReopen,
+                12..=13 => DurableOp::Batch(seed.wrapping_add(i as u64)),
                 _ => unreachable!(),
             }
         })
@@ -720,6 +977,28 @@ proptest! {
                 }
                 DurableOp::Delete(x, y) => {
                     apply_acked(s, &mut model, Point::new([x, y]), None);
+                }
+                DurableOp::Batch(batch_seed) => {
+                    let batch = batch_ops(batch_seed);
+                    let ops: Vec<BatchOp<2, u32>> = batch
+                        .iter()
+                        .map(|&(p, slot)| match slot {
+                            Some(v) => BatchOp::Insert(p, v),
+                            None => BatchOp::Delete(p),
+                        })
+                        .collect();
+                    s.try_apply_batch(&ops).expect("acked batch");
+                    for (p, slot) in batch {
+                        let key = s.curve().index_of(p);
+                        match slot {
+                            Some(v) => {
+                                model.insert(key, (p, v));
+                            }
+                            None => {
+                                model.remove(&key);
+                            }
+                        }
+                    }
                 }
                 DurableOp::Flush => s.flush(),
                 DurableOp::CrashAndReopen => {

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use sfc_core::{CurveIndex, Grid, HilbertCurve, Point, SpaceFillingCurve, ZCurve};
 use sfc_index::BoxRegion;
 use sfc_integration::test_rng;
-use sfc_store::{SfcStore, ShardedSfcStore};
+use sfc_store::{BatchOp, SfcStore, ShardedSfcStore};
 use std::collections::BTreeMap;
 
 /// One random operation of the interleaving.
@@ -392,6 +392,153 @@ proptest! {
         sharded.rebalance(1e-9);
         sharded.compact();
         check_sharded_against_single_and_model(&sharded, &single, &model, seed ^ 0xfe);
+    }
+}
+
+/// One action of the batched differential interleaving: a whole batch of
+/// `(x, y, Some(v) | None)` records, or a store-wide maintenance op.
+#[derive(Debug, Clone)]
+enum BatchAction {
+    Batch(Vec<(u32, u32, Option<u32>)>),
+    Flush,
+    Compact,
+    Rebalance,
+}
+
+fn random_batch_actions(len: usize, side: u32, seed: u64) -> Vec<BatchAction> {
+    use rand::Rng;
+    let mut rng = test_rng(seed);
+    (0..len)
+        .map(|i| match rng.gen_range(0..8u32) {
+            0..=5 => {
+                let n = rng.gen_range(1..=10usize);
+                // Confined to a quarter of the grid so batches routinely
+                // write the same cell twice — the last-wins case.
+                BatchAction::Batch(
+                    (0..n)
+                        .map(|j| {
+                            let x = rng.gen_range(0..side / 2);
+                            let y = rng.gen_range(0..side / 2);
+                            let v = if rng.gen_range(0..4u32) == 3 {
+                                None
+                            } else {
+                                Some((i * 100 + j) as u32)
+                            };
+                            (x, y, v)
+                        })
+                        .collect(),
+                )
+            }
+            6 => BatchAction::Flush,
+            7 => {
+                if rng.gen_range(0..3u32) == 0 {
+                    BatchAction::Rebalance
+                } else {
+                    BatchAction::Compact
+                }
+            }
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential: `apply_batch` is observably equivalent to applying
+    /// the same ops one-by-one in slice order — on both the single and
+    /// the sharded store, interleaved with flushes, compactions, and
+    /// rebalances, and including batches that write the same cell twice
+    /// (the later op must win despite the internal key sort).
+    #[test]
+    fn batched_writes_match_per_record_application(
+        seed in any::<u64>(),
+        cap in 1usize..24,
+        parts in 1usize..5,
+    ) {
+        let grid = Grid::<2>::new(4).unwrap();
+        let curve = ZCurve::over(grid);
+        let sharded = ShardedSfcStore::with_memtable_capacity(curve, parts, cap);
+        let mut single = SfcStore::with_memtable_capacity(curve, cap);
+        // The per-record twins replay every batch op individually.
+        let sharded_ref = ShardedSfcStore::with_memtable_capacity(curve, parts, cap);
+        let mut single_ref = SfcStore::with_memtable_capacity(curve, cap);
+        let mut model: BTreeMap<CurveIndex, (Point<2>, u32)> = BTreeMap::new();
+        let actions = random_batch_actions(80, 16, seed);
+        for (i, chunk) in actions.chunks(20).enumerate() {
+            for action in chunk {
+                match action {
+                    BatchAction::Batch(recs) => {
+                        let ops: Vec<BatchOp<2, u32>> = recs
+                            .iter()
+                            .map(|&(x, y, v)| {
+                                let p = Point::new([x, y]);
+                                match v {
+                                    Some(v) => BatchOp::Insert(p, v),
+                                    None => BatchOp::Delete(p),
+                                }
+                            })
+                            .collect();
+                        sharded.apply_batch(&ops);
+                        single.apply_batch(&ops);
+                        for &(x, y, v) in recs {
+                            let p = Point::new([x, y]);
+                            let key = curve.index_of(p);
+                            match v {
+                                Some(v) => {
+                                    sharded_ref.insert(p, v);
+                                    single_ref.insert(p, v);
+                                    model.insert(key, (p, v));
+                                }
+                                None => {
+                                    sharded_ref.delete(p);
+                                    single_ref.delete(p);
+                                    model.remove(&key);
+                                }
+                            }
+                        }
+                    }
+                    BatchAction::Flush => {
+                        sharded.flush();
+                        single.flush();
+                        sharded_ref.flush();
+                        single_ref.flush();
+                    }
+                    BatchAction::Compact => {
+                        sharded.compact();
+                        single.compact();
+                        sharded_ref.compact();
+                        single_ref.compact();
+                    }
+                    BatchAction::Rebalance => {
+                        sharded.rebalance(1e-9);
+                        sharded_ref.rebalance(1e-9);
+                    }
+                }
+            }
+            // Full query coverage for the batched pair (vs the model)…
+            check_sharded_against_single_and_model(
+                &sharded,
+                &single,
+                &model,
+                seed.wrapping_add(i as u64),
+            );
+            // …and byte-identical iteration against the per-record twins.
+            let batched: Vec<(CurveIndex, Point<2>, u32)> =
+                sharded.iter().map(|e| (e.key, e.point, e.payload)).collect();
+            let recorded: Vec<(CurveIndex, Point<2>, u32)> = sharded_ref
+                .iter()
+                .map(|e| (e.key, e.point, e.payload))
+                .collect();
+            prop_assert_eq!(batched, recorded, "sharded: batch vs per-record");
+            let batched: Vec<(CurveIndex, Point<2>, u32)> =
+                single.iter().map(|e| (e.key, e.point, *e.payload)).collect();
+            let recorded: Vec<(CurveIndex, Point<2>, u32)> = single_ref
+                .iter()
+                .map(|e| (e.key, e.point, *e.payload))
+                .collect();
+            prop_assert_eq!(batched, recorded, "single: batch vs per-record");
+        }
     }
 }
 
